@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: the amortizing factor L trades runtime overhead against
+ * preemption responsiveness (paper §4.1 and §7). For each L we
+ * measure the transformation overhead of a solo run and the
+ * preemption latency (flag set to all CTAs drained) — the two
+ * quantities the offline tuner balances against the 4% threshold.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "gpu/gpu_device.hh"
+#include "runtime/amortizing_tuner.hh"
+
+using namespace flep;
+using namespace flep::benchutil;
+
+namespace
+{
+
+/** Drain latency of a mid-run temporal preemption, in microseconds. */
+double
+preemptionLatencyUs(const GpuConfig &gpu, const Workload &w, int l,
+                    std::uint64_t seed)
+{
+    Simulation sim(seed);
+    GpuDevice dev(sim, gpu);
+    const auto desc =
+        w.makeLaunch(w.input(InputClass::Large), ExecMode::Persistent,
+                     l, 0);
+    auto exec = dev.createExec(desc);
+    Tick flag_at = 0;
+    Tick drained_at = 0;
+    exec->onDrained = [&](KernelExec &, Tick now) {
+        drained_at = now;
+    };
+    dev.launch(exec, gpu.kernelLaunchNs);
+    sim.events().schedule(2 * ticksPerMs, [&]() {
+        if (!exec->complete()) {
+            flag_at = sim.now();
+            exec->setFlag(flag_at, gpu.numSms);
+        }
+    });
+    sim.run();
+    if (drained_at == 0 || drained_at <= flag_at)
+        return 0.0;
+    return ticksToUs(drained_at - flag_at);
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchEnv env;
+    printHeader("Ablation A",
+                "amortizing factor: overhead vs preemption latency");
+
+    const std::vector<int> sweep{1, 2, 5, 10, 20, 50, 100, 200, 500};
+    for (const char *name : {"NN", "VA", "SPMV"}) {
+        const Workload &w = env.suite().byName(name);
+        Table table(std::string(name) +
+                    ": amortizing factor sweep (large input)");
+        table.setHeader({"L", "transform overhead (%)",
+                         "preemption latency (us)"});
+        for (int l : sweep) {
+            const double ovh = transformationOverhead(
+                env.gpu(), w, l, env.reps(), 42);
+            double lat = 0.0;
+            for (int r = 0; r < env.reps(); ++r)
+                lat += preemptionLatencyUs(
+                    env.gpu(), w, l,
+                    100 + static_cast<std::uint64_t>(r));
+            lat /= env.reps();
+            table.row()
+                .cell(static_cast<long long>(l))
+                .cell(ovh * 100.0, 2)
+                .cell(lat, 1);
+        }
+        table.print();
+    }
+    printPaperNote("small L: fast response, heavy polling overhead; "
+                   "large L: cheap but slow to yield — the offline "
+                   "tuner picks the smallest L under the 4% overhead "
+                   "threshold (paper §4.1, §7)");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: host-device interconnect latency. The paper's §7 notes
+ * that faster CPU-GPU communication (NVLink) would dramatically cut
+ * the cost of FLEP's pinned-memory polling. We sweep the pinned-read
+ * latency from PCIe-class (1.5 us) down to NVLink-class (0.2 us) and
+ * report the transformation overhead at each benchmark's paper L and
+ * the smallest L the tuner would then pick.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "common/strings.hh"
+#include "runtime/amortizing_tuner.hh"
+
+using namespace flep;
+using namespace flep::benchutil;
+
+int
+main()
+{
+    BenchEnv env;
+    printHeader("Ablation B",
+                "interconnect latency (PCIe -> NVLink, paper §7)");
+
+    const std::vector<Tick> latencies{1500, 800, 400, 200};
+
+    Table table("Transformation overhead (%) at the paper's L, per "
+                "pinned-read latency");
+    std::vector<std::string> header{"Benchmark", "L"};
+    for (Tick l : latencies)
+        header.push_back(formatDouble(
+            static_cast<double>(l) / 1000.0, 1) + "us");
+    table.setHeader(header);
+
+    for (const auto &w : env.suite().all()) {
+        std::vector<std::string> row{
+            w->name(), std::to_string(w->paperAmortizeL())};
+        for (Tick lat : latencies) {
+            GpuConfig cfg = env.gpu();
+            cfg.pinnedReadNs = lat;
+            const double ovh = transformationOverhead(
+                cfg, *w, w->paperAmortizeL(), env.reps(), 42);
+            row.push_back(formatDouble(ovh * 100.0, 2));
+        }
+        table.addRow(row);
+    }
+    table.print();
+
+    Table tuned("Tuned L under each latency (smaller = more "
+                "responsive)");
+    std::vector<std::string> header2{"Benchmark"};
+    for (Tick l : latencies)
+        header2.push_back(formatDouble(
+            static_cast<double>(l) / 1000.0, 1) + "us");
+    tuned.setHeader(header2);
+    for (const auto &w : env.suite().all()) {
+        std::vector<std::string> row{w->name()};
+        for (Tick lat : latencies) {
+            GpuConfig cfg = env.gpu();
+            cfg.pinnedReadNs = lat;
+            TunerConfig tcfg;
+            tcfg.reps = 2;
+            row.push_back(std::to_string(
+                tuneAmortizingFactor(cfg, *w, tcfg).amortizeL));
+        }
+        tuned.addRow(row);
+    }
+    tuned.print();
+    printPaperNote("future interconnects like NVLink can dramatically "
+                   "reduce the communication latency and hence the "
+                   "overhead incurred by FLEP (paper §7)");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot operations:
+ * event-queue throughput, occupancy calculation, ridge fitting, the
+ * HPF decision path, and full solo-kernel simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gpu/measure.hh"
+#include "gpu/occupancy.hh"
+#include "perfmodel/linreg.hh"
+#include "runtime/hpf.hh"
+#include "runtime/wait_queue.hh"
+#include "sim/event_queue.hh"
+#include "workload/suite.hh"
+
+namespace
+{
+
+using namespace flep;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    std::vector<Tick> times(n);
+    for (auto &t : times)
+        t = static_cast<Tick>(rng.uniformInt(0, 1000000));
+    for (auto _ : state) {
+        EventQueue q;
+        long long acc = 0;
+        for (Tick t : times)
+            q.schedule(t, [&acc]() { ++acc; });
+        q.run();
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long long>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_OccupancyCalc(benchmark::State &state)
+{
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    Rng rng(11);
+    std::vector<CtaFootprint> fps(256);
+    for (auto &fp : fps) {
+        fp.threads = static_cast<int>(rng.uniformInt(1, 32)) * 64;
+        fp.regsPerThread = static_cast<int>(rng.uniformInt(10, 128));
+        fp.smemBytes = static_cast<int>(rng.uniformInt(0, 48)) * 1024;
+    }
+    for (auto _ : state) {
+        int acc = 0;
+        for (const auto &fp : fps)
+            acc += maxActiveCtasPerSm(cfg, fp);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_OccupancyCalc);
+
+void
+BM_RidgeFit100x4(benchmark::State &state)
+{
+    Rng rng(13);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 100; ++i) {
+        x.push_back({rng.uniform(0, 1e6), 256.0,
+                     rng.uniform(0, 2.6e8), 4096.0});
+        y.push_back(3.0 * x.back()[0] + rng.normal(0, 1e3));
+    }
+    for (auto _ : state) {
+        const auto model = ridgeFit(x, y, 1.0);
+        benchmark::DoNotOptimize(model.intercept());
+    }
+}
+BENCHMARK(BM_RidgeFit100x4);
+
+void
+BM_WaitQueueEnqueueDequeue(benchmark::State &state)
+{
+    Rng rng(17);
+    std::vector<std::unique_ptr<KernelRecord>> records;
+    for (int i = 0; i < 64; ++i) {
+        records.push_back(std::make_unique<KernelRecord>(
+            nullptr, i, "K", i % 4,
+            static_cast<Tick>(rng.uniformInt(1000, 10000000)), 0));
+    }
+    for (auto _ : state) {
+        WaitQueueSet q;
+        for (auto &rec : records)
+            q.enqueue(*rec);
+        bool found = false;
+        while (!q.empty()) {
+            const Priority p = q.highestNonEmpty(found);
+            benchmark::DoNotOptimize(q.popFront(p));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WaitQueueEnqueueDequeue);
+
+void
+BM_SoloKernelSimulation(benchmark::State &state)
+{
+    BenchmarkSuite suite;
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    const Workload &w = suite.byName("MM");
+    const auto desc = w.makeLaunch(w.input(InputClass::Large),
+                                   ExecMode::Persistent, 2, 0);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            soloRun(cfg, desc, seed++).durationNs);
+    }
+}
+BENCHMARK(BM_SoloKernelSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 1: benchmark kernel execution times on the three inputs, plus
+ * the amortizing factor used (paper value) and the value the offline
+ * tuner selects on this simulator.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "gpu/measure.hh"
+#include "runtime/amortizing_tuner.hh"
+
+using namespace flep;
+using namespace flep::benchutil;
+
+int
+main()
+{
+    BenchEnv env;
+    printHeader("Table 1",
+                "kernel execution time on three inputs + amortizing "
+                "factor");
+
+    Table table("Table 1 (measured on the simulated K40)");
+    table.setHeader({"Benchmark", "Source", "LoC", "exe. large (us)",
+                     "exe. small (us)", "exe. trivial (us)",
+                     "L (paper)", "L (tuned here)",
+                     "overhead @ tuned L"});
+
+    TunerConfig tcfg;
+    tcfg.reps = env.reps();
+    for (const auto &w : env.suite().all()) {
+        const double large = env.soloUs(w->name(), InputClass::Large);
+        const double small = env.soloUs(w->name(), InputClass::Small);
+        const double trivial =
+            env.soloUs(w->name(), InputClass::Trivial);
+        const auto tuned =
+            tuneAmortizingFactor(env.gpu(), *w, tcfg);
+        table.row()
+            .cell(w->name())
+            .cell(w->source())
+            .cell(static_cast<long long>(w->kernelLoc()))
+            .cell(large, 0)
+            .cell(small, 0)
+            .cell(trivial, 0)
+            .cell(static_cast<long long>(w->paperAmortizeL()))
+            .cell(static_cast<long long>(tuned.amortizeL))
+            .cell(tuned.overhead * 100.0, 2);
+    }
+    table.print();
+    printPaperNote(
+        "large: CFD 11106, NN 15775, PF 7364, PL 5419, MD 15905, "
+        "SPMV 5840, MM 2579, VA 30634 us; "
+        "small: 521/728/811/952/938/484/1499/720 us; "
+        "trivial: 81/55/57/83/90/68/73/49 us; "
+        "L: 1/100/150/100/1/2/2/200");
+    return 0;
+}

@@ -1,0 +1,126 @@
+#include "common/bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "flep/artifact_io.hh"
+
+namespace flep::benchutil
+{
+
+namespace
+{
+
+int
+repsFromEnv()
+{
+    if (const char *env = std::getenv("FLEP_REPS")) {
+        const int reps = std::atoi(env);
+        if (reps >= 1)
+            return reps;
+        warn("ignoring invalid FLEP_REPS='", env, "'");
+    }
+    return 3;
+}
+
+} // namespace
+
+namespace
+{
+
+OfflineArtifacts
+artifactsFromEnv(const BenchmarkSuite &suite, const GpuConfig &gpu)
+{
+    const char *path = std::getenv("FLEP_ARTIFACTS");
+    if (path == nullptr)
+        return defaultArtifacts(suite, gpu);
+    if (auto loaded = loadArtifactsFile(path)) {
+        inform("loaded offline artifacts from ", path);
+        return *loaded;
+    }
+    OfflineArtifacts art = runOfflinePhase(suite, gpu, 100, 50, 999);
+    saveArtifactsFile(art, path);
+    inform("saved offline artifacts to ", path);
+    return art;
+}
+
+} // namespace
+
+BenchEnv::BenchEnv()
+    : gpu_(GpuConfig::keplerK40()),
+      artifacts_(artifactsFromEnv(suite_, gpu_)),
+      reps_(repsFromEnv())
+{}
+
+double
+BenchEnv::meanTurnaroundUs(const CoRunConfig &cfg, ProcessId pid)
+{
+    double acc = 0.0;
+    for (int r = 0; r < reps_; ++r) {
+        CoRunConfig run = cfg;
+        run.seed = cfg.seed + static_cast<std::uint64_t>(r) * 7919;
+        const auto res = runCoRun(suite_, artifacts_, run);
+        const auto turnarounds = res.turnaroundsOf(pid);
+        FLEP_ASSERT(!turnarounds.empty(),
+                    "process produced no completed invocation");
+        acc += ticksToUs(turnarounds.front());
+    }
+    return acc / reps_;
+}
+
+double
+BenchEnv::meanMakespanUs(const CoRunConfig &cfg)
+{
+    double acc = 0.0;
+    for (int r = 0; r < reps_; ++r) {
+        CoRunConfig run = cfg;
+        run.seed = cfg.seed + static_cast<std::uint64_t>(r) * 7919;
+        acc += ticksToUs(runCoRun(suite_, artifacts_, run).makespanNs);
+    }
+    return acc / reps_;
+}
+
+double
+BenchEnv::meanExecUs(const CoRunConfig &cfg, ProcessId pid)
+{
+    double acc = 0.0;
+    for (int r = 0; r < reps_; ++r) {
+        CoRunConfig run = cfg;
+        run.seed = cfg.seed + static_cast<std::uint64_t>(r) * 7919;
+        const auto res = runCoRun(suite_, artifacts_, run);
+        double exec_us = 0.0;
+        for (const auto &inv : res.invocations) {
+            if (inv.process == pid) {
+                exec_us = ticksToUs(inv.execNs);
+                break;
+            }
+        }
+        FLEP_ASSERT(exec_us > 0.0, "no execution span recorded");
+        acc += exec_us;
+    }
+    return acc / reps_;
+}
+
+double
+BenchEnv::soloUs(const std::string &workload, InputClass input)
+{
+    return soloTurnaroundNs(suite_, gpu_, workload, input, reps_) /
+           1000.0;
+}
+
+void
+printHeader(const std::string &experiment_id, const std::string &what)
+{
+    std::printf("\n################################################\n");
+    std::printf("# %s — %s\n", experiment_id.c_str(), what.c_str());
+    std::printf("################################################\n");
+}
+
+void
+printPaperNote(const std::string &note)
+{
+    std::printf("paper: %s\n", note.c_str());
+}
+
+} // namespace flep::benchutil

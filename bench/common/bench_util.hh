@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries.
+ *
+ * Each binary regenerates one paper table/figure: it runs the same
+ * experiment protocol on the simulated machine and prints the rows or
+ * series the paper reports, followed by a `paper:` reference line so
+ * measured-vs-paper comparisons are self-contained.
+ *
+ * Environment knobs:
+ *   FLEP_REPS  repetitions per data point (default 3; the paper
+ *              averages 10 — set FLEP_REPS=10 to match).
+ */
+
+#ifndef FLEP_BENCH_COMMON_BENCH_UTIL_HH
+#define FLEP_BENCH_COMMON_BENCH_UTIL_HH
+
+#include <string>
+
+#include "common/table.hh"
+#include "flep/experiment.hh"
+
+namespace flep::benchutil
+{
+
+/** Shared per-binary environment (suite, device, offline artifacts). */
+class BenchEnv
+{
+  public:
+    BenchEnv();
+
+    const BenchmarkSuite &suite() const { return suite_; }
+    const GpuConfig &gpu() const { return gpu_; }
+    const OfflineArtifacts &artifacts() const { return artifacts_; }
+    int reps() const { return reps_; }
+
+    /** Mean co-run turnaround of process `pid`'s first invocation
+     *  over reps() seeds, in microseconds. */
+    double meanTurnaroundUs(const CoRunConfig &cfg, ProcessId pid);
+
+    /** Mean makespan over reps() seeds, in microseconds. */
+    double meanMakespanUs(const CoRunConfig &cfg);
+
+    /** Mean GPU execution span (first dispatch to completion) of
+     *  process `pid`'s first invocation, in microseconds. */
+    double meanExecUs(const CoRunConfig &cfg, ProcessId pid);
+
+    /** Solo (Original-form, MPS) turnaround in microseconds. */
+    double soloUs(const std::string &workload, InputClass input);
+
+  private:
+    BenchmarkSuite suite_;
+    GpuConfig gpu_;
+    OfflineArtifacts artifacts_;
+    int reps_;
+};
+
+/** Print a standard header naming the figure being regenerated. */
+void printHeader(const std::string &experiment_id,
+                 const std::string &what);
+
+/** Print the paper's reference values for the experiment. */
+void printPaperNote(const std::string &note);
+
+} // namespace flep::benchutil
+
+#endif // FLEP_BENCH_COMMON_BENCH_UTIL_HH

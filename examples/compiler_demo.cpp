@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Compiler demo: run the FLEP compilation engine on a mini-CUDA
+ * program and print the transformed source — the Figure 4 kernel
+ * forms plus the Figure 5 host-side interception protocol — then
+ * verify with the interpreter that the outlined task function
+ * computes exactly what the original kernel computed.
+ */
+
+#include <cstdio>
+
+#include "compiler/interpreter.hh"
+#include "compiler/parser.hh"
+#include "compiler/printer.hh"
+#include "compiler/resource_scan.hh"
+#include "compiler/transform.hh"
+#include "gpu/occupancy.hh"
+
+using namespace flep;
+using namespace flep::minicuda;
+
+namespace
+{
+
+const char *program_source = R"(// saxpy.cu (mini-CUDA)
+__global__ void saxpy(const float *x, float *y, float a, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+
+void runSaxpy(float *x, float *y, float a, int n)
+{
+    saxpy<<<(n + 255) / 256, 256>>>(x, y, a, n);
+}
+)";
+
+} // namespace
+
+int
+main()
+{
+    std::puts("== FLEP compilation engine demo ==\n");
+    std::puts("---- input program ----");
+    std::puts(program_source);
+
+    const Program prog = parse(program_source);
+
+    // Resource scan (the paper's "linear scan of the compiled kernel
+    // code") feeding the occupancy calculator.
+    const auto res = scanKernelResources(*prog.find("saxpy"));
+    const CtaFootprint fp{256, res.regsPerThread, res.smemBytesPerCta};
+    const GpuConfig gpu = GpuConfig::keplerK40();
+    std::printf("resource scan: ~%d regs/thread, %d B smem/CTA -> "
+                "%d active CTAs per SM, %ld persistent CTAs total\n\n",
+                res.regsPerThread, res.smemBytesPerCta,
+                maxActiveCtasPerSm(gpu, fp),
+                deviceCtaCapacity(gpu, fp));
+
+    for (auto kind : {TransformKind::TemporalNaive,
+                      TransformKind::TemporalAmortized,
+                      TransformKind::Spatial}) {
+        TransformOptions opts;
+        opts.kind = kind;
+        const Program out = transformProgram(prog, opts);
+        const char *title =
+            kind == TransformKind::TemporalNaive
+                ? "Figure 4(a): naive temporal preemption"
+                : kind == TransformKind::TemporalAmortized
+                      ? "Figure 4(b): temporal, amortized over L tasks"
+                      : "Figure 4(c): spatial preemption (%smid)";
+        std::printf("---- %s ----\n", title);
+        std::puts(printProgram(out).c_str());
+    }
+
+    // Semantic check: original kernel vs outlined task function.
+    TransformOptions opts;
+    const Program xformed = transformProgram(prog, opts);
+    const int n = 1000;
+    const int block = 256;
+    const int grid = (n + block - 1) / block;
+    std::vector<double> x(n), y(n);
+    for (int i = 0; i < n; ++i) {
+        x[static_cast<std::size_t>(i)] = i * 0.25;
+        y[static_cast<std::size_t>(i)] = 1000 - i;
+    }
+
+    Interpreter ref(prog);
+    const int rx = ref.allocFloatBuffer(x);
+    const int ry = ref.allocFloatBuffer(y);
+    ref.launch("saxpy", grid, block,
+               {ref.ptr(rx), ref.ptr(ry), Value::floatVal(2.0),
+                Value::intVal(n)});
+
+    Interpreter got(xformed);
+    const int gx = got.allocFloatBuffer(x);
+    const int gy = got.allocFloatBuffer(y);
+    for (int task = grid - 1; task >= 0; --task) {
+        got.runDeviceBlock("saxpy_task", grid, block,
+                           {got.ptr(gx), got.ptr(gy),
+                            Value::floatVal(2.0), Value::intVal(n),
+                            Value::intVal(task),
+                            Value::intVal(grid)});
+    }
+
+    const auto expect = ref.readBuffer(ry);
+    const auto actual = got.readBuffer(gy);
+    int mismatches = 0;
+    for (int i = 0; i < n; ++i) {
+        if (expect[static_cast<std::size_t>(i)] !=
+            actual[static_cast<std::size_t>(i)]) {
+            ++mismatches;
+        }
+    }
+    std::printf("semantic check (tasks executed in reverse order): "
+                "%s (%d mismatches over %d elements)\n",
+                mismatches == 0 ? "OK" : "FAILED", mismatches, n);
+    return mismatches == 0 ? 0 : 1;
+}

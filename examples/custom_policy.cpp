@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Custom policy: FLEP's scheduling policies are plugins (paper §3:
+ * "FLEP can be configured to preempt and schedule kernels with
+ * different goals"). This example implements a new policy against the
+ * public SchedulingPolicy interface — preemptive round-robin by
+ * arrival order, ignoring priorities and predictions entirely — and
+ * runs it against HPF on the same workload.
+ */
+
+#include <cstdio>
+#include <deque>
+
+#include "flep/experiment.hh"
+#include "runtime/policy.hh"
+#include "runtime/runtime.hh"
+
+using namespace flep;
+
+namespace
+{
+
+/**
+ * Arrival-order round robin with a fixed 1 ms quantum. Deliberately
+ * simple: it shows the full policy surface (grant, preempt, timer,
+ * drain) in ~60 lines.
+ */
+class RoundRobinPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "round-robin"; }
+
+    void
+    onArrival(RuntimeContext &ctx, KernelRecord &rec) override
+    {
+        fifo_.push_back(&rec);
+        if (ctx.running() == nullptr)
+            grantNext(ctx);
+    }
+
+    void
+    onFinish(RuntimeContext &ctx, KernelRecord &rec) override
+    {
+        (void)rec;
+        ctx.cancelTimer();
+        if (ctx.running() == nullptr)
+            grantNext(ctx);
+    }
+
+    void
+    onPreempted(RuntimeContext &ctx, KernelRecord &rec) override
+    {
+        fifo_.push_back(&rec); // back of the line
+        grantNext(ctx);
+    }
+
+    void
+    onTimer(RuntimeContext &ctx) override
+    {
+        if (ctx.running() != nullptr && !fifo_.empty())
+            ctx.preempt(*ctx.running());
+        else if (ctx.running() != nullptr)
+            ctx.armTimer(quantumNs);
+    }
+
+  private:
+    void
+    grantNext(RuntimeContext &ctx)
+    {
+        if (fifo_.empty())
+            return;
+        KernelRecord *rec = fifo_.front();
+        fifo_.pop_front();
+        ctx.grant(*rec);
+        ctx.armTimer(quantumNs);
+    }
+
+    static constexpr Tick quantumNs = 1000 * 1000; // 1 ms
+    std::deque<KernelRecord *> fifo_;
+};
+
+double
+anttOf(const BenchmarkSuite &suite, const OfflineArtifacts &art,
+       std::unique_ptr<SchedulingPolicy> policy)
+{
+    Simulation sim(21);
+    GpuDevice gpu(sim, GpuConfig::keplerK40());
+    FlepRuntimeConfig rcfg;
+    rcfg.models = art.models;
+    rcfg.overheads = art.overheads;
+    FlepRuntime runtime(sim, gpu, std::move(policy), std::move(rcfg));
+
+    struct Spec
+    {
+        const char *name;
+        InputClass input;
+        Tick delay;
+    };
+    const Spec specs[] = {{"VA", InputClass::Large, 0},
+                          {"SPMV", InputClass::Small, 50000},
+                          {"MM", InputClass::Small, 90000}};
+    std::vector<std::unique_ptr<HostProcess>> hosts;
+    int pid = 0;
+    for (const auto &spec : specs) {
+        const Workload &w = suite.byName(spec.name);
+        HostProcess::ScriptEntry e;
+        e.workload = &w;
+        e.input = w.input(spec.input);
+        e.delayBefore = spec.delay;
+        e.amortizeL = w.paperAmortizeL();
+        hosts.push_back(std::make_unique<HostProcess>(
+            sim, gpu, runtime, pid++,
+            std::vector<HostProcess::ScriptEntry>{e}));
+    }
+    for (auto &h : hosts)
+        h->start();
+    sim.run();
+
+    std::vector<TurnaroundPair> pairs;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+        pairs.push_back(
+            {static_cast<double>(
+                 hosts[i]->results().front().turnaroundNs()),
+             soloTurnaroundNs(suite, GpuConfig::keplerK40(),
+                              specs[i].name, specs[i].input)});
+    }
+    return antt(pairs);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("== custom scheduling policy via the plugin API ==");
+    BenchmarkSuite suite;
+    const auto art =
+        runOfflinePhase(suite, GpuConfig::keplerK40(), 40, 10);
+
+    const double rr = anttOf(suite, art,
+                             std::make_unique<RoundRobinPolicy>());
+    const double hpf =
+        anttOf(suite, art, std::make_unique<HpfPolicy>());
+
+    std::printf("workload: VA(large) + SPMV(small) + MM(small), equal "
+                "priority\n");
+    std::printf("ANTT round-robin (custom): %.2f\n", rr);
+    std::printf("ANTT HPF/SRT (built-in):   %.2f\n", hpf);
+    std::puts("\nround-robin already rescues the short kernels from "
+              "the long one, but HPF's shortest-remaining-time "
+              "decisions do better — and a user policy needs only the "
+              "five SchedulingPolicy hooks to compete.");
+    return 0;
+}

@@ -1,0 +1,20 @@
+#include "baselines/mps_baseline.hh"
+
+#include "runtime/host_process.hh"
+
+namespace flep
+{
+
+void
+MpsDispatcher::onInvoke(HostProcess &host)
+{
+    host.grantLaunch();
+}
+
+void
+MpsDispatcher::onFinished(HostProcess &host)
+{
+    (void)host;
+}
+
+} // namespace flep

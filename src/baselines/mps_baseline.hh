@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The default co-run baseline: plain MPS.
+ *
+ * Unmodified programs launch their kernels directly; concurrency is
+ * whatever the hardware FIFO CTA scheduler provides (younger kernels
+ * use leftover resources only after older ones fully dispatch). This
+ * is the paper's baseline for every co-run experiment.
+ */
+
+#ifndef FLEP_BASELINES_MPS_BASELINE_HH
+#define FLEP_BASELINES_MPS_BASELINE_HH
+
+#include "runtime/dispatcher.hh"
+
+namespace flep
+{
+
+/** Pass-through dispatcher: every invocation launches immediately. */
+class MpsDispatcher : public KernelDispatcher
+{
+  public:
+    const char *schedulerName() const override { return "MPS"; }
+    ExecMode execMode() const override { return ExecMode::Original; }
+    Tick ipcLatency() const override { return 0; }
+
+    void onInvoke(HostProcess &host) override;
+    void onFinished(HostProcess &host) override;
+};
+
+} // namespace flep
+
+#endif // FLEP_BASELINES_MPS_BASELINE_HH

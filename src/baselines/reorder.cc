@@ -1,0 +1,58 @@
+#include "baselines/reorder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "runtime/host_process.hh"
+
+namespace flep
+{
+
+ReorderDispatcher::ReorderDispatcher(
+    std::map<std::string, KernelModel> models, Tick ipc_ns)
+    : models_(std::move(models)), ipcNs_(ipc_ns)
+{}
+
+double
+ReorderDispatcher::predict(const HostProcess &host) const
+{
+    const auto &inv = host.invocation();
+    auto it = models_.find(inv.workload->name());
+    if (it == models_.end())
+        return 1e9;
+    return it->second.predictNs(inv.input);
+}
+
+void
+ReorderDispatcher::onInvoke(HostProcess &host)
+{
+    queue_.push_back(Waiter{&host, predict(host)});
+    if (active_ == nullptr)
+        grantShortest();
+}
+
+void
+ReorderDispatcher::onFinished(HostProcess &host)
+{
+    if (active_ == &host)
+        active_ = nullptr;
+    if (active_ == nullptr)
+        grantShortest();
+}
+
+void
+ReorderDispatcher::grantShortest()
+{
+    if (queue_.empty())
+        return;
+    auto it = std::min_element(queue_.begin(), queue_.end(),
+                               [](const Waiter &a, const Waiter &b) {
+                                   return a.predictedNs < b.predictedNs;
+                               });
+    active_ = it->host;
+    HostProcess *host = it->host;
+    queue_.erase(it);
+    host->grantLaunch();
+}
+
+} // namespace flep

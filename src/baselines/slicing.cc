@@ -1,0 +1,84 @@
+#include "baselines/slicing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "gpu/occupancy.hh"
+#include "runtime/host_process.hh"
+
+namespace flep
+{
+
+SlicingDispatcher::SlicingDispatcher(const GpuConfig &cfg)
+    : cfg_(cfg)
+{}
+
+long
+SlicingDispatcher::sliceTasks(const Workload &w, int amortize_l) const
+{
+    // Match FLEP's preemption granularity: one L-task chunk on every
+    // concurrent CTA slot.
+    const long slots = deviceCtaCapacity(cfg_, w.footprint());
+    return std::max<long>(1, slots * amortize_l);
+}
+
+void
+SlicingDispatcher::onInvoke(HostProcess &host)
+{
+    if (active_ == nullptr) {
+        active_ = &host;
+        host.grantSlice();
+    } else {
+        queue_.push_back(&host);
+    }
+}
+
+void
+SlicingDispatcher::grantNext()
+{
+    if (queue_.empty())
+        return;
+    // Highest priority first; FIFO within a priority.
+    auto it = std::max_element(
+        queue_.begin(), queue_.end(),
+        [](const HostProcess *a, const HostProcess *b) {
+            return a->invocation().priority < b->invocation().priority;
+        });
+    active_ = *it;
+    queue_.erase(it);
+    active_->grantSlice();
+}
+
+void
+SlicingDispatcher::onFinished(HostProcess &host)
+{
+    if (active_ == &host)
+        active_ = nullptr;
+    if (active_ == nullptr)
+        grantNext();
+}
+
+void
+SlicingDispatcher::onSliceBoundary(HostProcess &host)
+{
+    FLEP_ASSERT(active_ == &host, "slice boundary from inactive host");
+    // Preemption point: a waiting higher-priority program wins the
+    // GPU; the current invocation re-queues and resumes later.
+    auto it = std::max_element(
+        queue_.begin(), queue_.end(),
+        [](const HostProcess *a, const HostProcess *b) {
+            return a->invocation().priority < b->invocation().priority;
+        });
+    if (it != queue_.end() &&
+        (*it)->invocation().priority > host.invocation().priority) {
+        HostProcess *winner = *it;
+        queue_.erase(it);
+        queue_.push_back(&host);
+        active_ = winner;
+        winner->grantSlice();
+    } else {
+        host.grantSlice();
+    }
+}
+
+} // namespace flep

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Kernel-slicing baseline (paper §2.2, §6.5; cf. GPES/RGEM/Basaran).
+ *
+ * The kernel is sliced into sub-kernels; the GPU can be "preempted"
+ * only at sub-kernel boundaries, where the slicing runtime checks for
+ * waiting higher-priority programs. Slices are sized to match FLEP's
+ * preemption granularity for the same kernel: FLEP's preemption
+ * latency is one L-task chunk per CTA slot, so a slice covers
+ * device_slots * L tasks. Every slice boundary pays a synchronization
+ * plus launch gap — the overhead Figure 17 compares against FLEP's.
+ */
+
+#ifndef FLEP_BASELINES_SLICING_HH
+#define FLEP_BASELINES_SLICING_HH
+
+#include <deque>
+
+#include "gpu/gpu_config.hh"
+#include "runtime/dispatcher.hh"
+
+namespace flep
+{
+
+/** Priority-aware slice-granting dispatcher. */
+class SlicingDispatcher : public KernelDispatcher
+{
+  public:
+    explicit SlicingDispatcher(const GpuConfig &cfg);
+
+    const char *schedulerName() const override { return "slicing"; }
+    ExecMode execMode() const override { return ExecMode::Original; }
+
+    long sliceTasks(const Workload &w, int amortize_l) const override;
+
+    void onInvoke(HostProcess &host) override;
+    void onFinished(HostProcess &host) override;
+    void onSliceBoundary(HostProcess &host) override;
+
+    /** Invocations waiting behind the active one. */
+    std::size_t waiting() const { return queue_.size(); }
+
+  private:
+    void grantNext();
+
+    const GpuConfig &cfg_;
+    std::deque<HostProcess *> queue_;
+    HostProcess *active_ = nullptr;
+};
+
+} // namespace flep
+
+#endif // FLEP_BASELINES_SLICING_HH

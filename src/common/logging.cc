@@ -1,0 +1,47 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flep
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Normal;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail
+{
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[flep:%s] %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[flep:panic] %s:%d: %s\n", file, line,
+                 msg.c_str());
+    std::abort();
+}
+
+} // namespace flep

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * fatal() is for user mistakes (bad configuration, invalid arguments):
+ * it throws FatalError so library embedders and tests can recover.
+ * panic() is for internal invariant violations (a FLEP bug): it aborts.
+ * inform()/warn() print status without stopping the simulation.
+ */
+
+#ifndef FLEP_COMMON_LOGGING_HH
+#define FLEP_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flep
+{
+
+/** Exception thrown by fatal(): the simulation cannot continue because
+ * of a user-level error (not a FLEP bug). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Verbosity levels for status messages. */
+enum class LogLevel
+{
+    Quiet,  //!< suppress inform() output
+    Normal, //!< inform() and warn() are printed
+    Debug   //!< additionally print debugLog() messages
+};
+
+/** Set the process-wide verbosity (default: Normal). */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+void emit(const char *tag, const std::string &msg);
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Print an informational status message (suppressed when Quiet). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() != LogLevel::Quiet)
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning: something works, but maybe not as well as it
+ * should. Never stops the simulation. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() != LogLevel::Quiet)
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a debug trace message (only at LogLevel::Debug). */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() == LogLevel::Debug)
+        detail::emit("debug", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a user-level error and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Report an internal FLEP bug and abort the process. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Report an internal FLEP bug and abort the process. */
+#define FLEP_PANIC(...)                                                    \
+    ::flep::panicImpl(__FILE__, __LINE__,                                  \
+                      ::flep::detail::concat(__VA_ARGS__))
+
+/** Abort unless an internal invariant holds. */
+#define FLEP_ASSERT(cond, ...)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::flep::panicImpl(__FILE__, __LINE__,                          \
+                              ::flep::detail::concat(                      \
+                                  "assertion failed: " #cond " ",          \
+                                  ##__VA_ARGS__));                         \
+        }                                                                  \
+    } while (0)
+
+} // namespace flep
+
+#endif // FLEP_COMMON_LOGGING_HH

@@ -1,0 +1,124 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+namespace flep
+{
+
+namespace
+{
+
+// SplitMix64, used only to expand the user seed into generator state.
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::normal()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586;
+    spare_ = mag * std::sin(two_pi * u2);
+    haveSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::normal(double mean, double sd)
+{
+    return mean + sd * normal();
+}
+
+double
+Rng::lognormalUnitMean(double cv)
+{
+    if (cv <= 0.0)
+        return 1.0;
+    // For lognormal with parameters (mu, sigma): mean = exp(mu +
+    // sigma^2/2) and cv^2 = exp(sigma^2) - 1. Solve for unit mean.
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = -0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * normal());
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
+}
+
+} // namespace flep

@@ -1,0 +1,91 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+void
+SampleStats::add(double x)
+{
+    if (samples_.empty()) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    samples_.push_back(x);
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(samples_.size());
+    m2_ += delta * (x - mean_);
+}
+
+double
+SampleStats::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 100.0)
+        return sorted.back();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double
+SampleStats::cv() const
+{
+    const double m = mean();
+    if (m == 0.0)
+        return 0.0;
+    return stddev() / m;
+}
+
+void
+SampleStats::clear()
+{
+    samples_.clear();
+    mean_ = 0.0;
+    m2_ = 0.0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+GeoMean::add(double ratio)
+{
+    FLEP_ASSERT(ratio > 0.0, "geometric mean requires positive ratios");
+    logSum_ += std::log(ratio);
+    ++n_;
+}
+
+double
+GeoMean::value() const
+{
+    if (n_ == 0)
+        return 1.0;
+    return std::exp(logSum_ / static_cast<double>(n_));
+}
+
+} // namespace flep

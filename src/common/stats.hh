@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Statistics accumulators used by the experiment harness and the
+ * preemption-overhead profiler.
+ */
+
+#ifndef FLEP_COMMON_STATS_HH
+#define FLEP_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flep
+{
+
+/**
+ * Streaming mean/variance accumulator (Welford) that also keeps the
+ * raw samples so percentiles can be reported.
+ */
+class SampleStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count() ? mean_ : 0.0; }
+
+    /** Unbiased sample standard deviation; 0 with < 2 samples. */
+    double stddev() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const { return min_; }
+
+    /** Largest observation; 0 when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+    /**
+     * Linear-interpolated percentile, p in [0, 100].
+     * Sorts a copy of the samples; intended for reporting, not for
+     * inner loops.
+     */
+    double percentile(double p) const;
+
+    /** Coefficient of variation (stddev / mean); 0 when mean is 0. */
+    double cv() const;
+
+    /** Drop all samples. */
+    void clear();
+
+    /** Access to the raw samples (insertion order). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Geometric-mean accumulator for speedup-style ratios, which the
+ * multiprogramming literature prefers over arithmetic means.
+ */
+class GeoMean
+{
+  public:
+    /** Add a strictly positive ratio. */
+    void add(double ratio);
+
+    /** Geometric mean; 1.0 when empty. */
+    double value() const;
+
+    /** Number of ratios added. */
+    std::size_t count() const { return n_; }
+
+  private:
+    double logSum_ = 0.0;
+    std::size_t n_ = 0;
+};
+
+} // namespace flep
+
+#endif // FLEP_COMMON_STATS_HH

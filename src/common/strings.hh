@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small string helpers shared by the compiler and the bench printers.
+ */
+
+#ifndef FLEP_COMMON_STRINGS_HH
+#define FLEP_COMMON_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace flep
+{
+
+/** Split on a single-character delimiter; empty fields preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** True when `s` begins with `prefix`. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True when `s` ends with `suffix`. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 const std::string &sep);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a double with the given number of decimals. */
+std::string formatDouble(double v, int decimals);
+
+/** Replace every occurrence of `from` in `s` with `to`. */
+std::string replaceAll(std::string s, const std::string &from,
+                       const std::string &to);
+
+} // namespace flep
+
+#endif // FLEP_COMMON_STRINGS_HH

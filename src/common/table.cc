@@ -1,0 +1,130 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace flep
+{
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+    bool digit = false;
+    for (; i < cell.size(); ++i) {
+        const char c = cell[i];
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            digit = true;
+        else if (c != '.' && c != 'x' && c != '%' && c != 'e' && c != '-')
+            return false;
+    }
+    return digit;
+}
+
+} // namespace
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    FLEP_ASSERT(rows_.empty(), "header must precede rows");
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    FLEP_ASSERT(header_.empty() || row.size() == header_.size(),
+                "row width ", row.size(), " != header width ",
+                header_.size());
+    rows_.push_back(std::move(row));
+}
+
+Table::RowBuilder::~RowBuilder()
+{
+    table_.addRow(std::move(cells_));
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(const std::string &text)
+{
+    cells_.push_back(text);
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(double value, int decimals)
+{
+    cells_.push_back(formatDouble(value, decimals));
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(long long value)
+{
+    cells_.push_back(std::to_string(value));
+    return *this;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    auto rule = [&]() {
+        std::string line = "+";
+        for (auto w : widths)
+            line += std::string(w + 2, '-') + "+";
+        os << line << "\n";
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            const std::size_t pad = widths[i] - cell.size();
+            if (looksNumeric(cell))
+                os << " " << std::string(pad, ' ') << cell << " |";
+            else
+                os << " " << cell << std::string(pad, ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    os << "== " << title_ << " ==\n";
+    rule();
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    rule();
+}
+
+void
+Table::print() const
+{
+    print(std::cout);
+}
+
+} // namespace flep

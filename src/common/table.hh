@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ASCII table printer used by the bench harnesses to emit the rows and
+ * series the paper's tables/figures report.
+ */
+
+#ifndef FLEP_COMMON_TABLE_HH
+#define FLEP_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flep
+{
+
+/**
+ * A simple column-aligned ASCII table. Columns are sized to their
+ * widest cell; numeric cells are right-aligned, text left-aligned.
+ */
+class Table
+{
+  public:
+    /** Create a table with a title (printed above the header). */
+    explicit Table(std::string title);
+
+    /** Set the header row. Must be called before addRow(). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: begin a row builder. */
+    class RowBuilder
+    {
+      public:
+        explicit RowBuilder(Table &table) : table_(table) {}
+        ~RowBuilder();
+        RowBuilder(const RowBuilder &) = delete;
+        RowBuilder &operator=(const RowBuilder &) = delete;
+
+        RowBuilder &cell(const std::string &text);
+        RowBuilder &cell(double value, int decimals = 2);
+        RowBuilder &cell(long long value);
+
+      private:
+        Table &table_;
+        std::vector<std::string> cells_;
+    };
+
+    /** Start building a row cell by cell. */
+    RowBuilder row() { return RowBuilder(*this); }
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace flep
+
+#endif // FLEP_COMMON_TABLE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every FLEP module.
+ */
+
+#ifndef FLEP_COMMON_TYPES_HH
+#define FLEP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace flep
+{
+
+/**
+ * Simulated time in nanoseconds. All timing constants in the GPU model
+ * (PCIe latencies, kernel launch overheads, task costs) are expressed
+ * in this unit.
+ */
+using Tick = std::uint64_t;
+
+/** A tick value that compares later than any schedulable event. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** One microsecond expressed in ticks. */
+constexpr Tick ticksPerUs = 1000;
+
+/** One millisecond expressed in ticks. */
+constexpr Tick ticksPerMs = 1000 * ticksPerUs;
+
+/** Convert ticks to (fractional) microseconds for reporting. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerUs);
+}
+
+/** Convert a microsecond quantity into ticks, rounding to nearest. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(ticksPerUs) + 0.5);
+}
+
+/** Identifier of a streaming multiprocessor, 0-based. */
+using SmId = int;
+
+/** Identifier of a kernel invocation handled by the runtime. */
+using KernelId = std::uint64_t;
+
+/** Identifier of a host process (one MPS client). */
+using ProcessId = int;
+
+/** Scheduling priority. Larger values preempt smaller ones. */
+using Priority = int;
+
+} // namespace flep
+
+#endif // FLEP_COMMON_TYPES_HH

@@ -1,0 +1,244 @@
+#include "compiler/ast.hh"
+
+namespace flep::minicuda
+{
+
+std::string
+Type::str() const
+{
+    std::string out;
+    if (isVolatile)
+        out += "volatile ";
+    if (isConst)
+        out += "const ";
+    switch (base) {
+      case BaseType::Void: out += "void"; break;
+      case BaseType::Int: out += "int"; break;
+      case BaseType::Unsigned: out += "unsigned int"; break;
+      case BaseType::Float: out += "float"; break;
+      case BaseType::Bool: out += "bool"; break;
+    }
+    if (isPointer)
+        out += " *";
+    return out;
+}
+
+namespace
+{
+
+ExprPtr
+cloneExpr(const ExprPtr &e)
+{
+    return e ? e->clone() : nullptr;
+}
+
+StmtPtr
+cloneStmt(const StmtPtr &s)
+{
+    return s ? s->clone() : nullptr;
+}
+
+} // namespace
+
+ExprPtr
+Expr::clone() const
+{
+    auto out = std::make_unique<Expr>();
+    out->kind = kind;
+    out->op = op;
+    out->postfix = postfix;
+    out->intValue = intValue;
+    out->floatValue = floatValue;
+    out->boolValue = boolValue;
+    out->name = name;
+    out->lhs = cloneExpr(lhs);
+    out->rhs = cloneExpr(rhs);
+    out->base = cloneExpr(base);
+    out->index = cloneExpr(index);
+    out->args.reserve(args.size());
+    for (const auto &arg : args)
+        out->args.push_back(arg->clone());
+    return out;
+}
+
+StmtPtr
+Stmt::clone() const
+{
+    auto out = std::make_unique<Stmt>();
+    out->kind = kind;
+    out->type = type;
+    out->isShared = isShared;
+    out->name = name;
+    out->arrayDims = arrayDims;
+    out->init = cloneExpr(init);
+    out->expr = cloneExpr(expr);
+    out->cond = cloneExpr(cond);
+    out->thenStmt = cloneStmt(thenStmt);
+    out->elseStmt = cloneStmt(elseStmt);
+    out->forInit = cloneStmt(forInit);
+    out->step = cloneExpr(step);
+    out->body = cloneStmt(body);
+    out->stmts.reserve(stmts.size());
+    for (const auto &s : stmts)
+        out->stmts.push_back(s->clone());
+    out->callee = callee;
+    out->grid = cloneExpr(grid);
+    out->block = cloneExpr(block);
+    out->args.reserve(args.size());
+    for (const auto &arg : args)
+        out->args.push_back(arg->clone());
+    return out;
+}
+
+Function
+Function::clone() const
+{
+    Function out;
+    out.kind = kind;
+    out.returnType = returnType;
+    out.name = name;
+    out.params = params;
+    out.body = body ? body->clone() : nullptr;
+    return out;
+}
+
+Function *
+Program::find(const std::string &name)
+{
+    for (auto &f : functions) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+const Function *
+Program::find(const std::string &name) const
+{
+    for (const auto &f : functions) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+std::vector<const Function *>
+Program::kernels() const
+{
+    std::vector<const Function *> out;
+    for (const auto &f : functions) {
+        if (f.kind == FuncKind::Global)
+            out.push_back(&f);
+    }
+    return out;
+}
+
+ExprPtr
+makeIdent(const std::string &name)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Ident;
+    e->name = name;
+    return e;
+}
+
+ExprPtr
+makeInt(long long value)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::IntLit;
+    e->intValue = value;
+    return e;
+}
+
+ExprPtr
+makeBinary(Tok op, ExprPtr lhs, ExprPtr rhs)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+}
+
+ExprPtr
+makeAssign(ExprPtr lhs, ExprPtr rhs)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Assign;
+    e->op = Tok::Assign;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+}
+
+ExprPtr
+makeCall(const std::string &name, std::vector<ExprPtr> args)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Call;
+    e->name = name;
+    e->args = std::move(args);
+    return e;
+}
+
+ExprPtr
+makeMember(ExprPtr base, const std::string &member)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Member;
+    e->base = std::move(base);
+    e->name = member;
+    return e;
+}
+
+ExprPtr
+makeUnary(Tok op, ExprPtr operand, bool postfix)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Unary;
+    e->op = op;
+    e->postfix = postfix;
+    e->lhs = std::move(operand);
+    return e;
+}
+
+StmtPtr
+makeCompound(std::vector<StmtPtr> stmts)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Compound;
+    s->stmts = std::move(stmts);
+    return s;
+}
+
+StmtPtr
+makeExprStmt(ExprPtr expr)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::ExprStmt;
+    s->expr = std::move(expr);
+    return s;
+}
+
+StmtPtr
+makeReturn()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Return;
+    return s;
+}
+
+StmtPtr
+makeIf(ExprPtr cond, StmtPtr then_stmt, StmtPtr else_stmt)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::If;
+    s->cond = std::move(cond);
+    s->thenStmt = std::move(then_stmt);
+    s->elseStmt = std::move(else_stmt);
+    return s;
+}
+
+} // namespace flep::minicuda

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Abstract syntax tree of mini-CUDA.
+ */
+
+#ifndef FLEP_COMPILER_AST_HH
+#define FLEP_COMPILER_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/token.hh"
+
+namespace flep::minicuda
+{
+
+/** Scalar base types. */
+enum class BaseType
+{
+    Void,
+    Int,
+    Unsigned,
+    Float,
+    Bool
+};
+
+/** A (possibly pointer) type with qualifiers. */
+struct Type
+{
+    BaseType base = BaseType::Int;
+    bool isPointer = false;
+    bool isConst = false;    //!< pointee constness for pointers
+    bool isVolatile = false;
+
+    /** Render as source text, e.g. "const float *". */
+    std::string str() const;
+
+    bool
+    operator==(const Type &o) const
+    {
+        return base == o.base && isPointer == o.isPointer &&
+               isConst == o.isConst && isVolatile == o.isVolatile;
+    }
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node kinds. */
+enum class ExprKind
+{
+    IntLit,
+    FloatLit,
+    BoolLit,
+    Ident,  //!< name
+    Member, //!< base.name (threadIdx.x and friends)
+    Index,  //!< base[index]
+    Call,   //!< name(args...)
+    Unary,  //!< op operand; postfix for x++ / x--
+    Binary, //!< lhs op rhs
+    Assign, //!< lhs op rhs where op is =, +=, -=, *=, /=
+    Ternary //!< base ? lhs : rhs
+};
+
+/** One expression node (tagged union style). */
+struct Expr
+{
+    ExprKind kind = ExprKind::IntLit;
+    Tok op = Tok::End;
+    bool postfix = false;
+
+    long long intValue = 0;
+    double floatValue = 0.0;
+    bool boolValue = false;
+    std::string name;
+
+    ExprPtr lhs;   //!< Binary/Assign lhs; Unary operand
+    ExprPtr rhs;   //!< Binary/Assign rhs
+    ExprPtr base;  //!< Member/Index base; Ternary condition
+    ExprPtr index; //!< Index subscript
+    std::vector<ExprPtr> args; //!< Call arguments
+
+    /** Deep copy. */
+    ExprPtr clone() const;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Statement node kinds. */
+enum class StmtKind
+{
+    Compound,
+    Decl,
+    ExprStmt,
+    If,
+    For,
+    While,
+    Return,
+    Break,
+    Continue,
+    Launch //!< kernel<<<grid, block>>>(args); host code only
+};
+
+/** One statement node. */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Compound;
+
+    // Decl
+    Type type;
+    bool isShared = false;
+    std::string name;
+    std::vector<long long> arrayDims; //!< __shared__ arrays
+    ExprPtr init;
+
+    // ExprStmt / Return value
+    ExprPtr expr;
+
+    // If / While / For condition
+    ExprPtr cond;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt;
+
+    // For
+    StmtPtr forInit; //!< Decl or ExprStmt (may be null)
+    ExprPtr step;    //!< may be null
+    StmtPtr body;    //!< For/While body
+
+    // Compound
+    std::vector<StmtPtr> stmts;
+
+    // Launch
+    std::string callee;
+    ExprPtr grid;
+    ExprPtr block;
+    std::vector<ExprPtr> args;
+
+    /** Deep copy. */
+    StmtPtr clone() const;
+};
+
+/** Function flavour. */
+enum class FuncKind
+{
+    Host,
+    Global, //!< __global__ kernel
+    Device  //!< __device__ helper
+};
+
+/** One function parameter. */
+struct Param
+{
+    Type type;
+    std::string name;
+};
+
+/** A parsed function. */
+struct Function
+{
+    FuncKind kind = FuncKind::Host;
+    Type returnType;
+    std::string name;
+    std::vector<Param> params;
+    StmtPtr body; //!< Compound
+
+    /** Deep copy. */
+    Function clone() const;
+};
+
+/** A parsed translation unit. */
+struct Program
+{
+    std::vector<Function> functions;
+
+    /** Find a function by name; nullptr when absent. */
+    Function *find(const std::string &name);
+    const Function *find(const std::string &name) const;
+
+    /** All __global__ kernels. */
+    std::vector<const Function *> kernels() const;
+};
+
+/** Build common node shapes (used by the FLEP transform). */
+ExprPtr makeIdent(const std::string &name);
+ExprPtr makeInt(long long value);
+ExprPtr makeBinary(Tok op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr makeAssign(ExprPtr lhs, ExprPtr rhs);
+ExprPtr makeCall(const std::string &name, std::vector<ExprPtr> args);
+ExprPtr makeMember(ExprPtr base, const std::string &member);
+ExprPtr makeUnary(Tok op, ExprPtr operand, bool postfix = false);
+StmtPtr makeCompound(std::vector<StmtPtr> stmts);
+StmtPtr makeExprStmt(ExprPtr expr);
+StmtPtr makeReturn();
+StmtPtr makeIf(ExprPtr cond, StmtPtr then_stmt,
+               StmtPtr else_stmt = nullptr);
+
+} // namespace flep::minicuda
+
+#endif // FLEP_COMPILER_AST_HH

@@ -1,0 +1,746 @@
+#include "compiler/interpreter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hh"
+
+namespace flep::minicuda
+{
+
+Value
+Value::intVal(long long v)
+{
+    Value out;
+    out.kind = Kind::Int;
+    out.i = v;
+    return out;
+}
+
+Value
+Value::floatVal(double v)
+{
+    Value out;
+    out.kind = Kind::Float;
+    out.f = v;
+    return out;
+}
+
+double
+Value::asFloat() const
+{
+    switch (kind) {
+      case Kind::Float:
+        return f;
+      case Kind::Int:
+        return static_cast<double>(i);
+      case Kind::Ptr:
+        throw InterpError("pointer used as a number");
+    }
+    return 0.0;
+}
+
+long long
+Value::asInt() const
+{
+    switch (kind) {
+      case Kind::Int:
+        return i;
+      case Kind::Float:
+        return static_cast<long long>(f);
+      case Kind::Ptr:
+        throw InterpError("pointer used as an integer");
+    }
+    return 0;
+}
+
+bool
+Value::truthy() const
+{
+    if (kind == Kind::Ptr)
+        return buffer >= 0;
+    if (kind == Kind::Float)
+        return f != 0.0;
+    return i != 0;
+}
+
+Interpreter::Interpreter(const Program &prog)
+    : prog_(prog)
+{}
+
+int
+Interpreter::allocBuffer(BaseType elem, std::size_t count)
+{
+    Buffer buf;
+    buf.elem = elem;
+    buf.data.assign(count, 0.0);
+    buffers_.push_back(std::move(buf));
+    return static_cast<int>(buffers_.size()) - 1;
+}
+
+int
+Interpreter::allocFloatBuffer(const std::vector<double> &data)
+{
+    const int id = allocBuffer(BaseType::Float, data.size());
+    buffers_.back().data = data;
+    return id;
+}
+
+int
+Interpreter::allocIntBuffer(const std::vector<long long> &data)
+{
+    const int id = allocBuffer(BaseType::Int, data.size());
+    for (std::size_t k = 0; k < data.size(); ++k)
+        buffers_.back().data[k] = static_cast<double>(data[k]);
+    return id;
+}
+
+std::vector<double>
+Interpreter::readBuffer(int id) const
+{
+    return bufferAt(id).data;
+}
+
+Value
+Interpreter::ptr(int buffer) const
+{
+    Value v;
+    v.kind = Value::Kind::Ptr;
+    v.buffer = buffer;
+    v.offset = 0;
+    return v;
+}
+
+Interpreter::Buffer &
+Interpreter::bufferAt(int id)
+{
+    if (id < 0 || id >= static_cast<int>(buffers_.size()))
+        throw InterpError(format("bad buffer id %d", id));
+    return buffers_[static_cast<std::size_t>(id)];
+}
+
+const Interpreter::Buffer &
+Interpreter::bufferAt(int id) const
+{
+    if (id < 0 || id >= static_cast<int>(buffers_.size()))
+        throw InterpError(format("bad buffer id %d", id));
+    return buffers_[static_cast<std::size_t>(id)];
+}
+
+void
+Interpreter::tick()
+{
+    if (++steps_ > stepLimit_)
+        throw InterpError("step limit exceeded (runaway kernel?)");
+}
+
+void
+Interpreter::launch(const std::string &kernel, int grid, int block,
+                    const std::vector<Value> &args)
+{
+    const Function *fn = prog_.find(kernel);
+    if (fn == nullptr || fn->kind != FuncKind::Global)
+        throw InterpError("no such kernel: " + kernel);
+    for (int b = 0; b < grid; ++b) {
+        Env proto;
+        proto.blockIdx = b;
+        proto.blockDim = block;
+        proto.gridDim = grid;
+        runBlock(*fn, proto, args, block);
+    }
+}
+
+void
+Interpreter::runDeviceBlock(const std::string &name, int grid,
+                            int block, const std::vector<Value> &args)
+{
+    const Function *fn = prog_.find(name);
+    if (fn == nullptr || fn->kind != FuncKind::Device)
+        throw InterpError("no such device function: " + name);
+    Env proto;
+    proto.blockIdx = 0;
+    proto.blockDim = block;
+    proto.gridDim = grid;
+    runBlock(*fn, proto, args, block);
+}
+
+void
+Interpreter::runBlock(const Function &fn, Env &proto,
+                      const std::vector<Value> &args, int block)
+{
+    if (args.size() != fn.params.size()) {
+        throw InterpError(format(
+            "%s: expected %zu arguments, got %zu", fn.name.c_str(),
+            fn.params.size(), args.size()));
+    }
+    std::map<std::string, SharedArray> shared;
+    for (int t = 0; t < block; ++t) {
+        Env env;
+        env.shared = &shared;
+        env.threadIdx = t;
+        env.blockIdx = proto.blockIdx;
+        env.blockDim = proto.blockDim;
+        env.gridDim = proto.gridDim;
+        for (std::size_t k = 0; k < args.size(); ++k)
+            env.locals[fn.params[k].name] = args[k];
+        exec(*fn.body, env);
+    }
+}
+
+Interpreter::Flow
+Interpreter::exec(const Stmt &stmt, Env &env)
+{
+    tick();
+    switch (stmt.kind) {
+      case StmtKind::Compound:
+        for (const auto &s : stmt.stmts) {
+            const Flow flow = exec(*s, env);
+            if (flow != Flow::Normal)
+                return flow;
+        }
+        return Flow::Normal;
+
+      case StmtKind::Decl: {
+        if (stmt.isShared) {
+            // First thread of the block materializes the storage.
+            auto &table = *env.shared;
+            if (!table.count(stmt.name)) {
+                SharedArray arr;
+                arr.elem = stmt.type.base;
+                arr.dims = stmt.arrayDims;
+                long long elems = 1;
+                for (long long d : stmt.arrayDims)
+                    elems *= d;
+                arr.data.assign(static_cast<std::size_t>(elems), 0.0);
+                table.emplace(stmt.name, std::move(arr));
+            }
+            return Flow::Normal;
+        }
+        Value v;
+        if (stmt.init) {
+            v = eval(*stmt.init, env);
+        } else if (stmt.type.base == BaseType::Float) {
+            v = Value::floatVal(0.0);
+        } else {
+            v = Value::intVal(0);
+        }
+        // Coerce to the declared scalar type.
+        if (!stmt.type.isPointer) {
+            if (stmt.type.base == BaseType::Float)
+                v = Value::floatVal(v.asFloat());
+            else
+                v = Value::intVal(v.asInt());
+        }
+        env.locals[stmt.name] = v;
+        return Flow::Normal;
+      }
+
+      case StmtKind::ExprStmt:
+        eval(*stmt.expr, env);
+        return Flow::Normal;
+
+      case StmtKind::If:
+        if (eval(*stmt.cond, env).truthy())
+            return exec(*stmt.thenStmt, env);
+        if (stmt.elseStmt)
+            return exec(*stmt.elseStmt, env);
+        return Flow::Normal;
+
+      case StmtKind::While:
+        while (eval(*stmt.cond, env).truthy()) {
+            tick();
+            const Flow flow = exec(*stmt.body, env);
+            if (flow == Flow::Break)
+                break;
+            if (flow == Flow::Return)
+                return Flow::Return;
+        }
+        return Flow::Normal;
+
+      case StmtKind::For: {
+        if (stmt.forInit)
+            exec(*stmt.forInit, env);
+        while (stmt.cond == nullptr ||
+               eval(*stmt.cond, env).truthy()) {
+            tick();
+            const Flow flow = exec(*stmt.body, env);
+            if (flow == Flow::Break)
+                break;
+            if (flow == Flow::Return)
+                return Flow::Return;
+            if (stmt.step)
+                eval(*stmt.step, env);
+        }
+        return Flow::Normal;
+      }
+
+      case StmtKind::Return:
+        if (stmt.expr)
+            eval(*stmt.expr, env);
+        return Flow::Return;
+      case StmtKind::Break:
+        return Flow::Break;
+      case StmtKind::Continue:
+        return Flow::Continue;
+      case StmtKind::Launch:
+        throw InterpError("kernel launch inside device code");
+    }
+    return Flow::Normal;
+}
+
+Interpreter::Slot
+Interpreter::resolveSlot(const Expr &expr, Env &env)
+{
+    Slot slot;
+    switch (expr.kind) {
+      case ExprKind::Ident: {
+        auto it = env.locals.find(expr.name);
+        if (it != env.locals.end()) {
+            slot.where = Slot::Where::Local;
+            slot.local = &it->second;
+            return slot;
+        }
+        auto sh = env.shared->find(expr.name);
+        if (sh != env.shared->end()) {
+            slot.where = Slot::Where::SharedElem;
+            slot.shared = &sh->second;
+            slot.offset = 0;
+            return slot;
+        }
+        throw InterpError("unknown variable: " + expr.name);
+      }
+      case ExprKind::Index: {
+        // Either buffer[i] (pointer base) or shared array indexing.
+        const Slot base = resolveSlot(*expr.base, env);
+        const long long idx = eval(*expr.index, env).asInt();
+        if (base.where == Slot::Where::Local) {
+            const Value &p = *base.local;
+            if (p.kind != Value::Kind::Ptr)
+                throw InterpError("subscript on a non-pointer");
+            slot.where = Slot::Where::BufferElem;
+            slot.buffer = &bufferAt(p.buffer);
+            slot.offset = p.offset + idx;
+            return slot;
+        }
+        if (base.where == Slot::Where::SharedElem) {
+            slot = base;
+            // Row-major step: multiply by the product of the dims
+            // consumed so far. Track via offset composition: the
+            // parent passes a partial offset; each level multiplies
+            // by the remaining row size.
+            // Compute remaining-dim product from how deep we are:
+            // offsets are always built outermost-first.
+            const auto &dims = slot.shared->dims;
+            // Determine depth: count of Index nodes below == ?
+            // Simpler: offset semantics: partial offsets are in
+            // element units of the *current* sub-array.
+            long long stride = 1;
+            // depth = number of indices applied before this one
+            int depth = 0;
+            const Expr *walker = expr.base.get();
+            while (walker->kind == ExprKind::Index) {
+                ++depth;
+                walker = walker->base.get();
+            }
+            for (std::size_t d = static_cast<std::size_t>(depth) + 1;
+                 d < dims.size(); ++d) {
+                stride *= dims[d];
+            }
+            slot.offset = base.offset + idx * stride;
+            return slot;
+        }
+        if (base.where == Slot::Where::BufferElem) {
+            // buffer[i][j] is not supported (no pointer-to-pointer).
+            throw InterpError("multi-level pointer subscript");
+        }
+        break;
+      }
+      case ExprKind::Unary:
+        if (expr.op == Tok::Star) {
+            const Value p = eval(*expr.lhs, env);
+            if (p.kind != Value::Kind::Ptr)
+                throw InterpError("dereference of a non-pointer");
+            slot.where = Slot::Where::BufferElem;
+            slot.buffer = &bufferAt(p.buffer);
+            slot.offset = p.offset;
+            return slot;
+        }
+        break;
+      default:
+        break;
+    }
+    throw InterpError("expression is not assignable");
+}
+
+Value
+Interpreter::readSlot(const Slot &slot, Env &env) const
+{
+    (void)env;
+    switch (slot.where) {
+      case Slot::Where::Local:
+        return *slot.local;
+      case Slot::Where::BufferElem: {
+        const auto &buf = *slot.buffer;
+        if (slot.offset < 0 ||
+            slot.offset >= static_cast<long long>(buf.data.size())) {
+            throw InterpError(
+                format("buffer index %lld out of range (size %zu)",
+                       slot.offset, buf.data.size()));
+        }
+        const double raw = buf.data[static_cast<std::size_t>(
+            slot.offset)];
+        return buf.elem == BaseType::Float
+            ? Value::floatVal(raw)
+            : Value::intVal(static_cast<long long>(raw));
+      }
+      case Slot::Where::SharedElem: {
+        const auto &arr = *slot.shared;
+        if (slot.offset < 0 ||
+            slot.offset >= static_cast<long long>(arr.data.size())) {
+            throw InterpError("shared array index out of range");
+        }
+        const double raw = arr.data[static_cast<std::size_t>(
+            slot.offset)];
+        return arr.elem == BaseType::Float
+            ? Value::floatVal(raw)
+            : Value::intVal(static_cast<long long>(raw));
+      }
+    }
+    throw InterpError("bad slot");
+}
+
+void
+Interpreter::writeSlot(const Slot &slot, const Value &v)
+{
+    switch (slot.where) {
+      case Slot::Where::Local:
+        *slot.local = v;
+        return;
+      case Slot::Where::BufferElem: {
+        auto &buf = *slot.buffer;
+        if (slot.offset < 0 ||
+            slot.offset >= static_cast<long long>(buf.data.size())) {
+            throw InterpError(
+                format("buffer index %lld out of range (size %zu)",
+                       slot.offset, buf.data.size()));
+        }
+        buf.data[static_cast<std::size_t>(slot.offset)] =
+            buf.elem == BaseType::Float
+                ? v.asFloat()
+                : static_cast<double>(v.asInt());
+        return;
+      }
+      case Slot::Where::SharedElem: {
+        auto &arr = *slot.shared;
+        if (slot.offset < 0 ||
+            slot.offset >= static_cast<long long>(arr.data.size())) {
+            throw InterpError("shared array index out of range");
+        }
+        arr.data[static_cast<std::size_t>(slot.offset)] =
+            arr.elem == BaseType::Float
+                ? v.asFloat()
+                : static_cast<double>(v.asInt());
+        return;
+      }
+    }
+}
+
+Value
+Interpreter::callBuiltin(const Expr &call, Env &env, bool &handled)
+{
+    handled = true;
+    const std::string &name = call.name;
+    auto arg = [&](std::size_t k) { return eval(*call.args[k], env); };
+
+    if (name == "__syncthreads")
+        return Value::intVal(0);
+    if (name == "atomicAdd") {
+        // Sequential execution makes atomics plain read-modify-write.
+        Slot slot;
+        const Expr &target = *call.args[0];
+        if (target.kind == ExprKind::Unary && target.op == Tok::Amp)
+            slot = resolveSlot(*target.lhs, env);
+        else
+            slot = resolveSlot(target, env);
+        if (slot.where == Slot::Where::Local) {
+            // A raw pointer value: redirect to its pointee.
+            const Value p = *slot.local;
+            if (p.kind != Value::Kind::Ptr)
+                throw InterpError("atomicAdd on a non-pointer");
+            slot.where = Slot::Where::BufferElem;
+            slot.buffer = &bufferAt(p.buffer);
+            slot.offset = p.offset;
+        }
+        const Value old = readSlot(slot, env);
+        const Value add = arg(1);
+        if (old.kind == Value::Kind::Float)
+            writeSlot(slot,
+                      Value::floatVal(old.asFloat() + add.asFloat()));
+        else
+            writeSlot(slot, Value::intVal(old.asInt() + add.asInt()));
+        return old;
+    }
+    if (name == "sqrtf")
+        return Value::floatVal(std::sqrt(arg(0).asFloat()));
+    if (name == "rsqrtf")
+        return Value::floatVal(1.0 / std::sqrt(arg(0).asFloat()));
+    if (name == "fabsf")
+        return Value::floatVal(std::fabs(arg(0).asFloat()));
+    if (name == "expf")
+        return Value::floatVal(std::exp(arg(0).asFloat()));
+    if (name == "logf")
+        return Value::floatVal(std::log(arg(0).asFloat()));
+    if (name == "floorf")
+        return Value::floatVal(std::floor(arg(0).asFloat()));
+    if (name == "fminf")
+        return Value::floatVal(
+            std::min(arg(0).asFloat(), arg(1).asFloat()));
+    if (name == "fmaxf")
+        return Value::floatVal(
+            std::max(arg(0).asFloat(), arg(1).asFloat()));
+    if (name == "min") {
+        const Value a = arg(0);
+        const Value b = arg(1);
+        if (a.kind == Value::Kind::Float || b.kind == Value::Kind::Float)
+            return Value::floatVal(std::min(a.asFloat(), b.asFloat()));
+        return Value::intVal(std::min(a.asInt(), b.asInt()));
+    }
+    if (name == "max") {
+        const Value a = arg(0);
+        const Value b = arg(1);
+        if (a.kind == Value::Kind::Float || b.kind == Value::Kind::Float)
+            return Value::floatVal(std::max(a.asFloat(), b.asFloat()));
+        return Value::intVal(std::max(a.asInt(), b.asInt()));
+    }
+    handled = false;
+    return Value::intVal(0);
+}
+
+Value
+Interpreter::eval(const Expr &expr, Env &env)
+{
+    tick();
+    switch (expr.kind) {
+      case ExprKind::IntLit:
+        return Value::intVal(expr.intValue);
+      case ExprKind::FloatLit:
+        return Value::floatVal(expr.floatValue);
+      case ExprKind::BoolLit:
+        return Value::intVal(expr.boolValue ? 1 : 0);
+
+      case ExprKind::Ident: {
+        auto it = env.locals.find(expr.name);
+        if (it != env.locals.end())
+            return it->second;
+        // Shared scalars read without subscripts.
+        auto sh = env.shared->find(expr.name);
+        if (sh != env.shared->end() && sh->second.dims.empty()) {
+            const Slot slot = resolveSlot(expr, env);
+            return readSlot(slot, env);
+        }
+        throw InterpError("unknown identifier: " + expr.name);
+      }
+
+      case ExprKind::Member: {
+        if (expr.base->kind == ExprKind::Ident && expr.name == "x") {
+            const std::string &b = expr.base->name;
+            if (b == "threadIdx")
+                return Value::intVal(env.threadIdx);
+            if (b == "blockIdx")
+                return Value::intVal(env.blockIdx);
+            if (b == "blockDim")
+                return Value::intVal(env.blockDim);
+            if (b == "gridDim")
+                return Value::intVal(env.gridDim);
+        }
+        throw InterpError("unsupported member access");
+      }
+
+      case ExprKind::Index: {
+        const Slot slot = resolveSlot(expr, env);
+        return readSlot(slot, env);
+      }
+
+      case ExprKind::Call: {
+        bool handled = false;
+        const Value v = callBuiltin(expr, env, handled);
+        if (handled)
+            return v;
+        // User __device__ function call, executed inline for this
+        // thread.
+        const Function *fn = prog_.find(expr.name);
+        if (fn == nullptr || fn->kind != FuncKind::Device)
+            throw InterpError("unknown function: " + expr.name);
+        if (fn->params.size() != expr.args.size())
+            throw InterpError("bad arity calling " + expr.name);
+        Env callee;
+        callee.shared = env.shared;
+        callee.threadIdx = env.threadIdx;
+        callee.blockIdx = env.blockIdx;
+        callee.blockDim = env.blockDim;
+        callee.gridDim = env.gridDim;
+        for (std::size_t k = 0; k < expr.args.size(); ++k)
+            callee.locals[fn->params[k].name] =
+                eval(*expr.args[k], env);
+        exec(*fn->body, callee);
+        return Value::intVal(0);
+      }
+
+      case ExprKind::Unary: {
+        if (expr.op == Tok::PlusPlus || expr.op == Tok::MinusMinus) {
+            const Slot slot = resolveSlot(*expr.lhs, env);
+            const Value old = readSlot(slot, env);
+            const long long delta = expr.op == Tok::PlusPlus ? 1 : -1;
+            Value next = old.kind == Value::Kind::Float
+                ? Value::floatVal(old.asFloat() +
+                                  static_cast<double>(delta))
+                : Value::intVal(old.asInt() + delta);
+            writeSlot(slot, next);
+            return expr.postfix ? old : next;
+        }
+        if (expr.op == Tok::Star) {
+            const Slot slot = resolveSlot(expr, env);
+            return readSlot(slot, env);
+        }
+        if (expr.op == Tok::Amp) {
+            // &buf[i]: produce a pointer value.
+            const Slot slot = resolveSlot(*expr.lhs, env);
+            if (slot.where != Slot::Where::BufferElem)
+                throw InterpError(
+                    "address-of supports buffer elements only");
+            Value p;
+            p.kind = Value::Kind::Ptr;
+            for (std::size_t k = 0; k < buffers_.size(); ++k) {
+                if (&buffers_[k] == slot.buffer)
+                    p.buffer = static_cast<int>(k);
+            }
+            p.offset = slot.offset;
+            return p;
+        }
+        const Value v = eval(*expr.lhs, env);
+        if (expr.op == Tok::Minus) {
+            return v.kind == Value::Kind::Float
+                ? Value::floatVal(-v.asFloat())
+                : Value::intVal(-v.asInt());
+        }
+        if (expr.op == Tok::Not)
+            return Value::intVal(v.truthy() ? 0 : 1);
+        throw InterpError("unsupported unary operator");
+      }
+
+      case ExprKind::Binary: {
+        // Short-circuit logical operators.
+        if (expr.op == Tok::AmpAmp) {
+            if (!eval(*expr.lhs, env).truthy())
+                return Value::intVal(0);
+            return Value::intVal(
+                eval(*expr.rhs, env).truthy() ? 1 : 0);
+        }
+        if (expr.op == Tok::PipePipe) {
+            if (eval(*expr.lhs, env).truthy())
+                return Value::intVal(1);
+            return Value::intVal(
+                eval(*expr.rhs, env).truthy() ? 1 : 0);
+        }
+        const Value a = eval(*expr.lhs, env);
+        const Value b = eval(*expr.rhs, env);
+
+        // Pointer arithmetic: p + i / p - i.
+        if (a.kind == Value::Kind::Ptr &&
+            (expr.op == Tok::Plus || expr.op == Tok::Minus)) {
+            Value p = a;
+            const long long delta = b.asInt();
+            p.offset += expr.op == Tok::Plus ? delta : -delta;
+            return p;
+        }
+
+        const bool flt = a.kind == Value::Kind::Float ||
+                         b.kind == Value::Kind::Float;
+        switch (expr.op) {
+          case Tok::Plus:
+            return flt ? Value::floatVal(a.asFloat() + b.asFloat())
+                       : Value::intVal(a.asInt() + b.asInt());
+          case Tok::Minus:
+            return flt ? Value::floatVal(a.asFloat() - b.asFloat())
+                       : Value::intVal(a.asInt() - b.asInt());
+          case Tok::Star:
+            return flt ? Value::floatVal(a.asFloat() * b.asFloat())
+                       : Value::intVal(a.asInt() * b.asInt());
+          case Tok::Slash:
+            if (flt)
+                return Value::floatVal(a.asFloat() / b.asFloat());
+            if (b.asInt() == 0)
+                throw InterpError("integer division by zero");
+            return Value::intVal(a.asInt() / b.asInt());
+          case Tok::Percent:
+            if (b.asInt() == 0)
+                throw InterpError("integer modulo by zero");
+            return Value::intVal(a.asInt() % b.asInt());
+          case Tok::Lt:
+            return Value::intVal(flt ? a.asFloat() < b.asFloat()
+                                     : a.asInt() < b.asInt());
+          case Tok::Gt:
+            return Value::intVal(flt ? a.asFloat() > b.asFloat()
+                                     : a.asInt() > b.asInt());
+          case Tok::Le:
+            return Value::intVal(flt ? a.asFloat() <= b.asFloat()
+                                     : a.asInt() <= b.asInt());
+          case Tok::Ge:
+            return Value::intVal(flt ? a.asFloat() >= b.asFloat()
+                                     : a.asInt() >= b.asInt());
+          case Tok::EqEq:
+            return Value::intVal(flt ? a.asFloat() == b.asFloat()
+                                     : a.asInt() == b.asInt());
+          case Tok::NotEq:
+            return Value::intVal(flt ? a.asFloat() != b.asFloat()
+                                     : a.asInt() != b.asInt());
+          default:
+            throw InterpError("unsupported binary operator");
+        }
+      }
+
+      case ExprKind::Ternary:
+        return eval(*expr.base, env).truthy() ? eval(*expr.lhs, env)
+                                              : eval(*expr.rhs, env);
+
+      case ExprKind::Assign: {
+        const Slot slot = resolveSlot(*expr.lhs, env);
+        Value rhs = eval(*expr.rhs, env);
+        if (expr.op != Tok::Assign) {
+            const Value old = readSlot(slot, env);
+            const bool flt = old.kind == Value::Kind::Float ||
+                             rhs.kind == Value::Kind::Float;
+            double fa = old.asFloat();
+            const double fb = rhs.asFloat();
+            long long ia = old.asInt();
+            const long long ib = rhs.asInt();
+            switch (expr.op) {
+              case Tok::PlusAssign:
+                fa += fb;
+                ia += ib;
+                break;
+              case Tok::MinusAssign:
+                fa -= fb;
+                ia -= ib;
+                break;
+              case Tok::StarAssign:
+                fa *= fb;
+                ia *= ib;
+                break;
+              case Tok::SlashAssign:
+                fa = fb != 0.0 ? fa / fb : fa;
+                ia = ib != 0 ? ia / ib : ia;
+                break;
+              default:
+                throw InterpError("unsupported compound assignment");
+            }
+            rhs = flt ? Value::floatVal(fa) : Value::intVal(ia);
+        }
+        writeSlot(slot, rhs);
+        return rhs;
+      }
+    }
+    throw InterpError("unhandled expression");
+}
+
+} // namespace flep::minicuda

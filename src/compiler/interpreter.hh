@@ -1,0 +1,179 @@
+/**
+ * @file
+ * A functional interpreter for mini-CUDA.
+ *
+ * Used to validate the FLEP transformation semantically: running the
+ * original kernel over its grid must produce exactly the same device
+ * memory as running the outlined task function once per task id, in
+ * any order — which is what the persistent-thread worker does.
+ *
+ * Execution model: blocks run in order; within a block, threads run
+ * to completion in thread-id order and __syncthreads() is a no-op.
+ * This is exact for kernels whose threads do not communicate through
+ * shared memory across barrier phases (all equivalence-test kernels),
+ * and for the leader-poll pattern the transform emits.
+ */
+
+#ifndef FLEP_COMPILER_INTERPRETER_HH
+#define FLEP_COMPILER_INTERPRETER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/ast.hh"
+
+namespace flep::minicuda
+{
+
+/** Thrown on runtime errors (bad index, unknown function, ...). */
+class InterpError : public std::runtime_error
+{
+  public:
+    explicit InterpError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** A runtime value: integer, float, or pointer into a device buffer. */
+struct Value
+{
+    enum class Kind
+    {
+        Int,
+        Float,
+        Ptr
+    };
+
+    Kind kind = Kind::Int;
+    long long i = 0;
+    double f = 0.0;
+    int buffer = -1;      //!< Ptr: device buffer id
+    long long offset = 0; //!< Ptr: element offset
+
+    static Value intVal(long long v);
+    static Value floatVal(double v);
+
+    /** Numeric value as double (Int or Float). */
+    double asFloat() const;
+
+    /** Numeric value as integer (Float truncates). */
+    long long asInt() const;
+
+    /** Truthiness for conditions. */
+    bool truthy() const;
+};
+
+/** Executes kernels of one parsed program against device buffers. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Program &prog);
+
+    /** Allocate a zero-filled device buffer of `count` elements. */
+    int allocBuffer(BaseType elem, std::size_t count);
+
+    /** Allocate a float buffer initialized from host data. */
+    int allocFloatBuffer(const std::vector<double> &data);
+
+    /** Allocate an int buffer initialized from host data. */
+    int allocIntBuffer(const std::vector<long long> &data);
+
+    /** Read back a buffer as doubles. */
+    std::vector<double> readBuffer(int id) const;
+
+    /** Pointer value into a buffer (offset 0). */
+    Value ptr(int buffer) const;
+
+    /**
+     * Launch a __global__ kernel over grid x block threads.
+     * Args must match the kernel parameters.
+     */
+    void launch(const std::string &kernel, int grid, int block,
+                const std::vector<Value> &args);
+
+    /**
+     * Run a __device__ void function for one CTA of `block` threads
+     * (threadIdx 0..block-1), with `grid` visible as gridDim.x.
+     * Used to drive outlined task functions.
+     */
+    void runDeviceBlock(const std::string &fn, int grid, int block,
+                        const std::vector<Value> &args);
+
+    /** Statements executed so far (runaway guard / work metric). */
+    long long stepsExecuted() const { return steps_; }
+
+    /** Abort execution beyond this many statements (default 50M). */
+    void setStepLimit(long long limit) { stepLimit_ = limit; }
+
+  private:
+    struct Buffer
+    {
+        BaseType elem = BaseType::Float;
+        std::vector<double> data;
+    };
+
+    struct SharedArray
+    {
+        std::vector<long long> dims;
+        std::vector<double> data;
+        BaseType elem = BaseType::Float;
+    };
+
+    /** Per-thread + per-block execution environment. */
+    struct Env
+    {
+        std::map<std::string, Value> locals;
+        std::map<std::string, SharedArray> *shared = nullptr;
+        int threadIdx = 0;
+        int blockIdx = 0;
+        int blockDim = 1;
+        int gridDim = 1;
+    };
+
+    enum class Flow
+    {
+        Normal,
+        Break,
+        Continue,
+        Return
+    };
+
+    /** Where an lvalue lives. */
+    struct Slot
+    {
+        enum class Where
+        {
+            Local,
+            BufferElem,
+            SharedElem
+        };
+        Where where = Where::Local;
+        Value *local = nullptr;
+        Buffer *buffer = nullptr;
+        SharedArray *shared = nullptr;
+        long long offset = 0;
+    };
+
+    void runBlock(const Function &fn, Env &proto,
+                  const std::vector<Value> &args, int block);
+    Flow exec(const Stmt &stmt, Env &env);
+    Value eval(const Expr &expr, Env &env);
+    Slot resolveSlot(const Expr &expr, Env &env);
+    Value readSlot(const Slot &slot, Env &env) const;
+    void writeSlot(const Slot &slot, const Value &v);
+    Value callBuiltin(const Expr &call, Env &env, bool &handled);
+    Buffer &bufferAt(int id);
+    const Buffer &bufferAt(int id) const;
+    void tick();
+
+    const Program &prog_;
+    std::vector<Buffer> buffers_;
+    long long steps_ = 0;
+    long long stepLimit_ = 50'000'000;
+};
+
+} // namespace flep::minicuda
+
+#endif // FLEP_COMPILER_INTERPRETER_HH

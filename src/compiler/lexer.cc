@@ -1,0 +1,233 @@
+#include "compiler/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/strings.hh"
+
+namespace flep::minicuda
+{
+
+ParseError::ParseError(const std::string &msg, int line, int column)
+    : std::runtime_error(format("%d:%d: %s", line, column, msg.c_str())),
+      line_(line),
+      column_(column)
+{}
+
+namespace
+{
+
+const std::unordered_map<std::string, Tok> keywords = {
+    {"void", Tok::KwVoid},         {"int", Tok::KwInt},
+    {"unsigned", Tok::KwUnsigned}, {"float", Tok::KwFloat},
+    {"bool", Tok::KwBool},         {"const", Tok::KwConst},
+    {"volatile", Tok::KwVolatile}, {"if", Tok::KwIf},
+    {"else", Tok::KwElse},         {"for", Tok::KwFor},
+    {"while", Tok::KwWhile},       {"return", Tok::KwReturn},
+    {"break", Tok::KwBreak},       {"continue", Tok::KwContinue},
+    {"true", Tok::KwTrue},         {"false", Tok::KwFalse},
+    {"__global__", Tok::KwGlobal}, {"__device__", Tok::KwDevice},
+    {"__shared__", Tok::KwShared},
+};
+
+/** Cursor over the raw source with line/column tracking. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &src) : src_(src) {}
+
+    bool done() const { return pos_ >= src_.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+    char
+    advance()
+    {
+        const char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+  private:
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    Cursor cur(source);
+    std::vector<Token> out;
+
+    auto push = [&](Tok kind, std::string text, int line, int col) {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = line;
+        t.column = col;
+        out.push_back(std::move(t));
+    };
+
+    while (!cur.done()) {
+        const int line = cur.line();
+        const int col = cur.column();
+        const char c = cur.peek();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        // Comments.
+        if (c == '/' && cur.peek(1) == '/') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            bool closed = false;
+            while (!cur.done()) {
+                if (cur.peek() == '*' && cur.peek(1) == '/') {
+                    cur.advance();
+                    cur.advance();
+                    closed = true;
+                    break;
+                }
+                cur.advance();
+            }
+            if (!closed)
+                throw ParseError("unterminated block comment", line, col);
+            continue;
+        }
+        // Identifiers and keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string text;
+            while (!cur.done() &&
+                   (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+                    cur.peek() == '_')) {
+                text.push_back(cur.advance());
+            }
+            auto it = keywords.find(text);
+            push(it == keywords.end() ? Tok::Identifier : it->second,
+                 text, line, col);
+            continue;
+        }
+        // Numeric literals.
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+            std::string text;
+            bool is_float = false;
+            while (!cur.done() &&
+                   (std::isdigit(static_cast<unsigned char>(cur.peek())) ||
+                    cur.peek() == '.' || cur.peek() == 'e' ||
+                    cur.peek() == 'E' || cur.peek() == 'f' ||
+                    ((cur.peek() == '+' || cur.peek() == '-') &&
+                     (text.back() == 'e' || text.back() == 'E')))) {
+                const char d = cur.advance();
+                if (d == '.' || d == 'e' || d == 'E')
+                    is_float = true;
+                if (d == 'f') {
+                    is_float = true;
+                    break; // 'f' suffix terminates the literal
+                }
+                text.push_back(d);
+            }
+            Token t;
+            t.kind = is_float ? Tok::FloatLiteral : Tok::IntLiteral;
+            t.text = text;
+            t.line = line;
+            t.column = col;
+            if (is_float)
+                t.floatValue = std::strtod(text.c_str(), nullptr);
+            else
+                t.intValue = std::strtoll(text.c_str(), nullptr, 10);
+            out.push_back(std::move(t));
+            continue;
+        }
+        // Operators and punctuation.
+        auto two = [&](char a, char b) {
+            return c == a && cur.peek(1) == b;
+        };
+        if (c == '<' && cur.peek(1) == '<' && cur.peek(2) == '<') {
+            cur.advance(); cur.advance(); cur.advance();
+            push(Tok::LaunchOpen, "<<<", line, col);
+            continue;
+        }
+        if (c == '>' && cur.peek(1) == '>' && cur.peek(2) == '>') {
+            cur.advance(); cur.advance(); cur.advance();
+            push(Tok::LaunchClose, ">>>", line, col);
+            continue;
+        }
+        struct TwoChar { char a, b; Tok kind; };
+        static const TwoChar twos[] = {
+            {'+', '=', Tok::PlusAssign},  {'-', '=', Tok::MinusAssign},
+            {'*', '=', Tok::StarAssign},  {'/', '=', Tok::SlashAssign},
+            {'+', '+', Tok::PlusPlus},    {'-', '-', Tok::MinusMinus},
+            {'<', '=', Tok::Le},          {'>', '=', Tok::Ge},
+            {'=', '=', Tok::EqEq},        {'!', '=', Tok::NotEq},
+            {'&', '&', Tok::AmpAmp},      {'|', '|', Tok::PipePipe},
+        };
+        bool matched = false;
+        for (const auto &tc : twos) {
+            if (two(tc.a, tc.b)) {
+                cur.advance();
+                cur.advance();
+                push(tc.kind, std::string{tc.a, tc.b}, line, col);
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+
+        Tok kind = Tok::End;
+        switch (c) {
+          case '(': kind = Tok::LParen; break;
+          case ')': kind = Tok::RParen; break;
+          case '{': kind = Tok::LBrace; break;
+          case '}': kind = Tok::RBrace; break;
+          case '[': kind = Tok::LBracket; break;
+          case ']': kind = Tok::RBracket; break;
+          case ',': kind = Tok::Comma; break;
+          case ';': kind = Tok::Semi; break;
+          case '.': kind = Tok::Dot; break;
+          case '=': kind = Tok::Assign; break;
+          case '+': kind = Tok::Plus; break;
+          case '-': kind = Tok::Minus; break;
+          case '*': kind = Tok::Star; break;
+          case '/': kind = Tok::Slash; break;
+          case '%': kind = Tok::Percent; break;
+          case '<': kind = Tok::Lt; break;
+          case '>': kind = Tok::Gt; break;
+          case '!': kind = Tok::Not; break;
+          case '&': kind = Tok::Amp; break;
+          case '?': kind = Tok::Question; break;
+          case ':': kind = Tok::Colon; break;
+          default:
+            throw ParseError(
+                format("unexpected character '%c'", c), line, col);
+        }
+        cur.advance();
+        push(kind, std::string(1, c), line, col);
+    }
+
+    push(Tok::End, "", cur.line(), cur.column());
+    return out;
+}
+
+} // namespace flep::minicuda

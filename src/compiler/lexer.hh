@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Lexer for mini-CUDA.
+ */
+
+#ifndef FLEP_COMPILER_LEXER_HH
+#define FLEP_COMPILER_LEXER_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "compiler/token.hh"
+
+namespace flep::minicuda
+{
+
+/** Thrown on malformed source. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(const std::string &msg, int line, int column);
+
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+  private:
+    int line_;
+    int column_;
+};
+
+/**
+ * Tokenize mini-CUDA source. Handles // and block comments; the
+ * `<<<` / `>>>` launch brackets are recognized as single tokens.
+ * @throws ParseError on invalid characters or unterminated comments.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace flep::minicuda
+
+#endif // FLEP_COMPILER_LEXER_HH

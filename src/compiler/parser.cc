@@ -1,0 +1,491 @@
+#include "compiler/parser.hh"
+
+#include "common/strings.hh"
+
+namespace flep::minicuda
+{
+
+namespace
+{
+
+/** Token-stream parser. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : toks_(std::move(tokens))
+    {}
+
+    Program
+    parseProgram()
+    {
+        Program prog;
+        while (!at(Tok::End))
+            prog.functions.push_back(parseFunction());
+        return prog;
+    }
+
+    ExprPtr
+    parseSingleExpression()
+    {
+        ExprPtr e = parseExpr();
+        expect(Tok::End);
+        return e;
+    }
+
+  private:
+    // --- token helpers ---
+
+    const Token &peek(std::size_t ahead = 0) const
+    {
+        const std::size_t i = pos_ + ahead;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    bool at(Tok kind) const { return peek().kind == kind; }
+    bool
+    accept(Tok kind)
+    {
+        if (!at(kind))
+            return false;
+        ++pos_;
+        return true;
+    }
+    const Token &
+    expect(Tok kind)
+    {
+        if (!at(kind)) {
+            fail(format("expected %s, found '%s'", tokName(kind),
+                        peek().text.c_str()));
+        }
+        return toks_[pos_++];
+    }
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw ParseError(msg, peek().line, peek().column);
+    }
+
+    bool
+    atTypeStart() const
+    {
+        switch (peek().kind) {
+          case Tok::KwVoid:
+          case Tok::KwInt:
+          case Tok::KwUnsigned:
+          case Tok::KwFloat:
+          case Tok::KwBool:
+          case Tok::KwConst:
+          case Tok::KwVolatile:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    // --- grammar ---
+
+    Type
+    parseType()
+    {
+        Type type;
+        bool have_base = false;
+        while (true) {
+            if (accept(Tok::KwConst)) {
+                type.isConst = true;
+            } else if (accept(Tok::KwVolatile)) {
+                type.isVolatile = true;
+            } else if (!have_base) {
+                if (accept(Tok::KwVoid))
+                    type.base = BaseType::Void;
+                else if (accept(Tok::KwInt))
+                    type.base = BaseType::Int;
+                else if (accept(Tok::KwUnsigned)) {
+                    type.base = BaseType::Unsigned;
+                    accept(Tok::KwInt); // allow "unsigned int"
+                } else if (accept(Tok::KwFloat))
+                    type.base = BaseType::Float;
+                else if (accept(Tok::KwBool))
+                    type.base = BaseType::Bool;
+                else
+                    fail("expected a type");
+                have_base = true;
+            } else {
+                break;
+            }
+        }
+        if (accept(Tok::Star))
+            type.isPointer = true;
+        return type;
+    }
+
+    Function
+    parseFunction()
+    {
+        Function fn;
+        if (accept(Tok::KwGlobal))
+            fn.kind = FuncKind::Global;
+        else if (accept(Tok::KwDevice))
+            fn.kind = FuncKind::Device;
+        else
+            fn.kind = FuncKind::Host;
+
+        fn.returnType = parseType();
+        fn.name = expect(Tok::Identifier).text;
+        expect(Tok::LParen);
+        if (!at(Tok::RParen)) {
+            do {
+                Param param;
+                param.type = parseType();
+                param.name = expect(Tok::Identifier).text;
+                fn.params.push_back(std::move(param));
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen);
+        fn.body = parseCompound();
+        return fn;
+    }
+
+    StmtPtr
+    parseCompound()
+    {
+        expect(Tok::LBrace);
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = StmtKind::Compound;
+        while (!at(Tok::RBrace))
+            stmt->stmts.push_back(parseStatement());
+        expect(Tok::RBrace);
+        return stmt;
+    }
+
+    StmtPtr
+    parseDecl(bool shared)
+    {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = StmtKind::Decl;
+        stmt->isShared = shared;
+        stmt->type = parseType();
+        stmt->name = expect(Tok::Identifier).text;
+        while (accept(Tok::LBracket)) {
+            stmt->arrayDims.push_back(expect(Tok::IntLiteral).intValue);
+            expect(Tok::RBracket);
+        }
+        if (accept(Tok::Assign))
+            stmt->init = parseExpr();
+        expect(Tok::Semi);
+        return stmt;
+    }
+
+    StmtPtr
+    parseStatement()
+    {
+        if (at(Tok::LBrace))
+            return parseCompound();
+        if (accept(Tok::KwShared))
+            return parseDecl(true);
+        if (atTypeStart())
+            return parseDecl(false);
+
+        if (accept(Tok::KwIf)) {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::If;
+            expect(Tok::LParen);
+            stmt->cond = parseExpr();
+            expect(Tok::RParen);
+            stmt->thenStmt = parseStatement();
+            if (accept(Tok::KwElse))
+                stmt->elseStmt = parseStatement();
+            return stmt;
+        }
+        if (accept(Tok::KwWhile)) {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::While;
+            expect(Tok::LParen);
+            stmt->cond = parseExpr();
+            expect(Tok::RParen);
+            stmt->body = parseStatement();
+            return stmt;
+        }
+        if (accept(Tok::KwFor)) {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::For;
+            expect(Tok::LParen);
+            if (!accept(Tok::Semi)) {
+                if (atTypeStart()) {
+                    stmt->forInit = parseDecl(false); // eats ';'
+                } else {
+                    stmt->forInit = makeExprStmt(parseExpr());
+                    expect(Tok::Semi);
+                }
+            }
+            if (!at(Tok::Semi))
+                stmt->cond = parseExpr();
+            expect(Tok::Semi);
+            if (!at(Tok::RParen))
+                stmt->step = parseExpr();
+            expect(Tok::RParen);
+            stmt->body = parseStatement();
+            return stmt;
+        }
+        if (accept(Tok::KwReturn)) {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::Return;
+            if (!at(Tok::Semi))
+                stmt->expr = parseExpr();
+            expect(Tok::Semi);
+            return stmt;
+        }
+        if (accept(Tok::KwBreak)) {
+            expect(Tok::Semi);
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::Break;
+            return stmt;
+        }
+        if (accept(Tok::KwContinue)) {
+            expect(Tok::Semi);
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::Continue;
+            return stmt;
+        }
+
+        // Kernel launch: name<<<grid, block>>>(args);
+        if (at(Tok::Identifier) && peek(1).kind == Tok::LaunchOpen) {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::Launch;
+            stmt->callee = expect(Tok::Identifier).text;
+            expect(Tok::LaunchOpen);
+            stmt->grid = parseExpr();
+            expect(Tok::Comma);
+            stmt->block = parseExpr();
+            expect(Tok::LaunchClose);
+            expect(Tok::LParen);
+            if (!at(Tok::RParen)) {
+                do {
+                    stmt->args.push_back(parseExpr());
+                } while (accept(Tok::Comma));
+            }
+            expect(Tok::RParen);
+            expect(Tok::Semi);
+            return stmt;
+        }
+
+        auto stmt = makeExprStmt(parseExpr());
+        expect(Tok::Semi);
+        return stmt;
+    }
+
+    // --- expressions (precedence climbing) ---
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseAssign();
+    }
+
+    ExprPtr
+    parseAssign()
+    {
+        ExprPtr lhs = parseTernary();
+        switch (peek().kind) {
+          case Tok::Assign:
+          case Tok::PlusAssign:
+          case Tok::MinusAssign:
+          case Tok::StarAssign:
+          case Tok::SlashAssign: {
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Assign;
+            e->op = toks_[pos_++].kind;
+            e->lhs = std::move(lhs);
+            e->rhs = parseAssign(); // right-associative
+            return e;
+          }
+          default:
+            return lhs;
+        }
+    }
+
+    ExprPtr
+    parseTernary()
+    {
+        ExprPtr cond = parseOr();
+        if (!accept(Tok::Question))
+            return cond;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Ternary;
+        e->base = std::move(cond);
+        e->lhs = parseAssign(); // then-branch, right-associative
+        expect(Tok::Colon);
+        e->rhs = parseAssign();
+        return e;
+    }
+
+    ExprPtr
+    parseOr()
+    {
+        ExprPtr lhs = parseAnd();
+        while (at(Tok::PipePipe)) {
+            ++pos_;
+            lhs = makeBinary(Tok::PipePipe, std::move(lhs), parseAnd());
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAnd()
+    {
+        ExprPtr lhs = parseEquality();
+        while (at(Tok::AmpAmp)) {
+            ++pos_;
+            lhs = makeBinary(Tok::AmpAmp, std::move(lhs),
+                             parseEquality());
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        ExprPtr lhs = parseRelational();
+        while (at(Tok::EqEq) || at(Tok::NotEq)) {
+            const Tok op = toks_[pos_++].kind;
+            lhs = makeBinary(op, std::move(lhs), parseRelational());
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        ExprPtr lhs = parseAdditive();
+        while (at(Tok::Lt) || at(Tok::Gt) || at(Tok::Le) ||
+               at(Tok::Ge)) {
+            const Tok op = toks_[pos_++].kind;
+            lhs = makeBinary(op, std::move(lhs), parseAdditive());
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        ExprPtr lhs = parseMultiplicative();
+        while (at(Tok::Plus) || at(Tok::Minus)) {
+            const Tok op = toks_[pos_++].kind;
+            lhs = makeBinary(op, std::move(lhs),
+                             parseMultiplicative());
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        ExprPtr lhs = parseUnary();
+        while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+            const Tok op = toks_[pos_++].kind;
+            lhs = makeBinary(op, std::move(lhs), parseUnary());
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (at(Tok::Minus) || at(Tok::Not) || at(Tok::Star) ||
+            at(Tok::Amp) || at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+            const Tok op = toks_[pos_++].kind;
+            return makeUnary(op, parseUnary());
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        while (true) {
+            if (accept(Tok::LBracket)) {
+                auto idx = std::make_unique<Expr>();
+                idx->kind = ExprKind::Index;
+                idx->base = std::move(e);
+                idx->index = parseExpr();
+                expect(Tok::RBracket);
+                e = std::move(idx);
+            } else if (accept(Tok::Dot)) {
+                e = makeMember(std::move(e),
+                               expect(Tok::Identifier).text);
+            } else if (at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+                const Tok op = toks_[pos_++].kind;
+                e = makeUnary(op, std::move(e), /*postfix=*/true);
+            } else {
+                break;
+            }
+        }
+        return e;
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        if (at(Tok::IntLiteral)) {
+            const Token &t = toks_[pos_++];
+            auto e = makeInt(t.intValue);
+            return e;
+        }
+        if (at(Tok::FloatLiteral)) {
+            const Token &t = toks_[pos_++];
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::FloatLit;
+            e->floatValue = t.floatValue;
+            return e;
+        }
+        if (at(Tok::KwTrue) || at(Tok::KwFalse)) {
+            const bool value = at(Tok::KwTrue);
+            ++pos_;
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::BoolLit;
+            e->boolValue = value;
+            return e;
+        }
+        if (at(Tok::Identifier)) {
+            const std::string name = toks_[pos_++].text;
+            if (accept(Tok::LParen)) {
+                std::vector<ExprPtr> args;
+                if (!at(Tok::RParen)) {
+                    do {
+                        args.push_back(parseExpr());
+                    } while (accept(Tok::Comma));
+                }
+                expect(Tok::RParen);
+                return makeCall(name, std::move(args));
+            }
+            return makeIdent(name);
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen);
+            return e;
+        }
+        fail(format("unexpected token '%s'", peek().text.c_str()));
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    Parser parser(lex(source));
+    return parser.parseProgram();
+}
+
+ExprPtr
+parseExpression(const std::string &source)
+{
+    Parser parser(lex(source));
+    return parser.parseSingleExpression();
+}
+
+} // namespace flep::minicuda

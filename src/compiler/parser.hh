@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Recursive-descent parser for mini-CUDA.
+ */
+
+#ifndef FLEP_COMPILER_PARSER_HH
+#define FLEP_COMPILER_PARSER_HH
+
+#include <string>
+
+#include "compiler/ast.hh"
+#include "compiler/lexer.hh"
+
+namespace flep::minicuda
+{
+
+/**
+ * Parse a mini-CUDA translation unit.
+ * @throws ParseError on malformed input.
+ */
+Program parse(const std::string &source);
+
+/** Parse a single expression (tests and tools). */
+ExprPtr parseExpression(const std::string &source);
+
+} // namespace flep::minicuda
+
+#endif // FLEP_COMPILER_PARSER_HH

@@ -1,0 +1,228 @@
+#include "compiler/printer.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace flep::minicuda
+{
+
+namespace
+{
+
+const char *
+opText(Tok op)
+{
+    return tokName(op);
+}
+
+std::string
+ind(int level)
+{
+    return std::string(static_cast<std::size_t>(level) * 4, ' ');
+}
+
+/** Parenthesize children conservatively: cheap and always correct. */
+std::string
+printChild(const Expr &e)
+{
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::BoolLit:
+      case ExprKind::Ident:
+      case ExprKind::Member:
+      case ExprKind::Index:
+      case ExprKind::Call:
+        return printExpr(e);
+      default:
+        return "(" + printExpr(e) + ")";
+    }
+}
+
+} // namespace
+
+std::string
+printExpr(const Expr &expr)
+{
+    switch (expr.kind) {
+      case ExprKind::IntLit:
+        return std::to_string(expr.intValue);
+      case ExprKind::FloatLit: {
+        std::string s = format("%g", expr.floatValue);
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos) {
+            s += ".0";
+        }
+        return s + "f";
+      }
+      case ExprKind::BoolLit:
+        return expr.boolValue ? "true" : "false";
+      case ExprKind::Ident:
+        return expr.name;
+      case ExprKind::Member:
+        return printChild(*expr.base) + "." + expr.name;
+      case ExprKind::Index:
+        return printChild(*expr.base) + "[" + printExpr(*expr.index) +
+               "]";
+      case ExprKind::Call: {
+        std::vector<std::string> args;
+        args.reserve(expr.args.size());
+        for (const auto &arg : expr.args)
+            args.push_back(printExpr(*arg));
+        return expr.name + "(" + join(args, ", ") + ")";
+      }
+      case ExprKind::Unary:
+        if (expr.postfix)
+            return printChild(*expr.lhs) + opText(expr.op);
+        return std::string(opText(expr.op)) + printChild(*expr.lhs);
+      case ExprKind::Binary:
+        return printChild(*expr.lhs) + " " + opText(expr.op) + " " +
+               printChild(*expr.rhs);
+      case ExprKind::Assign:
+        return printExpr(*expr.lhs) + " " + opText(expr.op) + " " +
+               printExpr(*expr.rhs);
+      case ExprKind::Ternary:
+        return printChild(*expr.base) + " ? " + printChild(*expr.lhs) +
+               " : " + printChild(*expr.rhs);
+    }
+    FLEP_PANIC("unhandled expression kind");
+}
+
+std::string
+printStmt(const Stmt &stmt, int indent)
+{
+    const std::string pad = ind(indent);
+    switch (stmt.kind) {
+      case StmtKind::Compound: {
+        std::string out = pad + "{\n";
+        for (const auto &s : stmt.stmts)
+            out += printStmt(*s, indent + 1);
+        out += pad + "}\n";
+        return out;
+      }
+      case StmtKind::Decl: {
+        std::string out = pad;
+        if (stmt.isShared)
+            out += "__shared__ ";
+        out += stmt.type.str();
+        if (!endsWith(out, "*"))
+            out += " ";
+        out += stmt.name;
+        for (long long dim : stmt.arrayDims)
+            out += format("[%lld]", dim);
+        if (stmt.init)
+            out += " = " + printExpr(*stmt.init);
+        return out + ";\n";
+      }
+      case StmtKind::ExprStmt:
+        return pad + printExpr(*stmt.expr) + ";\n";
+      case StmtKind::If: {
+        std::string out =
+            pad + "if (" + printExpr(*stmt.cond) + ")\n";
+        out += printStmt(*stmt.thenStmt,
+                         stmt.thenStmt->kind == StmtKind::Compound
+                             ? indent
+                             : indent + 1);
+        if (stmt.elseStmt) {
+            out += pad + "else\n";
+            out += printStmt(*stmt.elseStmt,
+                             stmt.elseStmt->kind == StmtKind::Compound
+                                 ? indent
+                                 : indent + 1);
+        }
+        return out;
+      }
+      case StmtKind::For: {
+        std::string head = pad + "for (";
+        if (stmt.forInit) {
+            std::string init = printStmt(*stmt.forInit, 0);
+            // Strip trailing newline; the decl printer adds ';'.
+            while (!init.empty() &&
+                   (init.back() == '\n' || init.back() == ';')) {
+                init.pop_back();
+            }
+            head += init;
+        }
+        head += "; ";
+        if (stmt.cond)
+            head += printExpr(*stmt.cond);
+        head += "; ";
+        if (stmt.step)
+            head += printExpr(*stmt.step);
+        head += ")\n";
+        return head + printStmt(*stmt.body,
+                                stmt.body->kind == StmtKind::Compound
+                                    ? indent
+                                    : indent + 1);
+      }
+      case StmtKind::While:
+        return pad + "while (" + printExpr(*stmt.cond) + ")\n" +
+               printStmt(*stmt.body,
+                         stmt.body->kind == StmtKind::Compound
+                             ? indent
+                             : indent + 1);
+      case StmtKind::Return:
+        if (stmt.expr)
+            return pad + "return " + printExpr(*stmt.expr) + ";\n";
+        return pad + "return;\n";
+      case StmtKind::Break:
+        return pad + "break;\n";
+      case StmtKind::Continue:
+        return pad + "continue;\n";
+      case StmtKind::Launch: {
+        std::vector<std::string> args;
+        args.reserve(stmt.args.size());
+        for (const auto &arg : stmt.args)
+            args.push_back(printExpr(*arg));
+        return pad + stmt.callee + "<<<" + printExpr(*stmt.grid) +
+               ", " + printExpr(*stmt.block) + ">>>(" +
+               join(args, ", ") + ");\n";
+      }
+    }
+    FLEP_PANIC("unhandled statement kind");
+}
+
+std::string
+printFunction(const Function &fn)
+{
+    std::string out;
+    switch (fn.kind) {
+      case FuncKind::Global:
+        out += "__global__ ";
+        break;
+      case FuncKind::Device:
+        out += "__device__ ";
+        break;
+      case FuncKind::Host:
+        break;
+    }
+    out += fn.returnType.str();
+    if (!endsWith(out, "*"))
+        out += " ";
+    out += fn.name + "(";
+    std::vector<std::string> params;
+    params.reserve(fn.params.size());
+    for (const auto &p : fn.params) {
+        std::string s = p.type.str();
+        if (!endsWith(s, "*"))
+            s += " ";
+        params.push_back(s + p.name);
+    }
+    out += join(params, ", ") + ")\n";
+    out += printStmt(*fn.body, 0);
+    return out;
+}
+
+std::string
+printProgram(const Program &prog)
+{
+    std::string out;
+    for (std::size_t i = 0; i < prog.functions.size(); ++i) {
+        if (i)
+            out += "\n";
+        out += printFunction(prog.functions[i]);
+    }
+    return out;
+}
+
+} // namespace flep::minicuda

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Pretty-printer: AST back to mini-CUDA source. The FLEP compiler is
+ * source-to-source, so its output is the printed transformed program.
+ */
+
+#ifndef FLEP_COMPILER_PRINTER_HH
+#define FLEP_COMPILER_PRINTER_HH
+
+#include <string>
+
+#include "compiler/ast.hh"
+
+namespace flep::minicuda
+{
+
+/** Render one expression. */
+std::string printExpr(const Expr &expr);
+
+/** Render one statement at the given indent level (4 spaces each). */
+std::string printStmt(const Stmt &stmt, int indent = 0);
+
+/** Render one function. */
+std::string printFunction(const Function &fn);
+
+/** Render a whole translation unit. */
+std::string printProgram(const Program &prog);
+
+} // namespace flep::minicuda
+
+#endif // FLEP_COMPILER_PRINTER_HH

@@ -1,0 +1,125 @@
+#include "compiler/resource_scan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flep::minicuda
+{
+
+int
+scalarSizeBytes(BaseType base)
+{
+    switch (base) {
+      case BaseType::Void:
+        return 0;
+      case BaseType::Bool:
+        return 1;
+      case BaseType::Int:
+      case BaseType::Unsigned:
+      case BaseType::Float:
+        return 4;
+    }
+    return 4;
+}
+
+namespace
+{
+
+int
+exprDepth(const Expr &e)
+{
+    int depth = 0;
+    auto dive = [&](const ExprPtr &child) {
+        if (child)
+            depth = std::max(depth, exprDepth(*child));
+    };
+    dive(e.lhs);
+    dive(e.rhs);
+    dive(e.base);
+    dive(e.index);
+    for (const auto &arg : e.args)
+        depth = std::max(depth, exprDepth(*arg));
+    return depth + 1;
+}
+
+void
+scanStmt(const Stmt &stmt, KernelResources &res)
+{
+    auto scanExpr = [&](const ExprPtr &e) {
+        if (e)
+            res.maxExprDepth = std::max(res.maxExprDepth,
+                                        exprDepth(*e));
+    };
+
+    switch (stmt.kind) {
+      case StmtKind::Decl: {
+        if (stmt.isShared) {
+            ++res.sharedDecls;
+            long long elems = 1;
+            for (long long dim : stmt.arrayDims)
+                elems *= dim;
+            res.smemBytesPerCta += static_cast<int>(
+                elems * scalarSizeBytes(stmt.type.base));
+        } else if (!stmt.type.isPointer) {
+            ++res.localDecls;
+        }
+        scanExpr(stmt.init);
+        break;
+      }
+      case StmtKind::Compound:
+        for (const auto &s : stmt.stmts)
+            scanStmt(*s, res);
+        break;
+      case StmtKind::ExprStmt:
+      case StmtKind::Return:
+        scanExpr(stmt.expr);
+        break;
+      case StmtKind::If:
+        scanExpr(stmt.cond);
+        scanStmt(*stmt.thenStmt, res);
+        if (stmt.elseStmt)
+            scanStmt(*stmt.elseStmt, res);
+        break;
+      case StmtKind::For:
+        if (stmt.forInit)
+            scanStmt(*stmt.forInit, res);
+        scanExpr(stmt.cond);
+        scanExpr(stmt.step);
+        scanStmt(*stmt.body, res);
+        break;
+      case StmtKind::While:
+        scanExpr(stmt.cond);
+        scanStmt(*stmt.body, res);
+        break;
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        break;
+      case StmtKind::Launch:
+        FLEP_PANIC("kernel launch inside a __global__ function");
+    }
+}
+
+} // namespace
+
+KernelResources
+scanKernelResources(const Function &kernel)
+{
+    FLEP_ASSERT(kernel.kind == FuncKind::Global,
+                "resource scan expects a __global__ kernel");
+    KernelResources res;
+    scanStmt(*kernel.body, res);
+
+    // Register estimate: ABI/base cost, one per pointer param (64-bit
+    // addresses take two 32-bit registers), one per scalar local, and
+    // temporaries proportional to the deepest expression.
+    int regs = 10;
+    for (const auto &p : kernel.params)
+        regs += p.type.isPointer ? 2 : 1;
+    regs += res.localDecls;
+    regs += std::max(0, res.maxExprDepth - 2);
+    res.regsPerThread = std::clamp(regs, 10, 255);
+    return res;
+}
+
+} // namespace flep::minicuda

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Kernel resource scan.
+ *
+ * The paper derives a kernel's per-CTA hardware demand "through a
+ * linear scan of the compiled kernel code" (§4.1) to compute the
+ * maximum number of active CTAs an SM can host. This module performs
+ * that scan on the mini-CUDA AST: shared-memory bytes are summed from
+ * __shared__ declarations, and registers per thread are estimated from
+ * the kernel's live scalar locals and expression depth.
+ */
+
+#ifndef FLEP_COMPILER_RESOURCE_SCAN_HH
+#define FLEP_COMPILER_RESOURCE_SCAN_HH
+
+#include "compiler/ast.hh"
+
+namespace flep::minicuda
+{
+
+/** Scanned per-CTA resource demand (threads come from the launch). */
+struct KernelResources
+{
+    int regsPerThread = 0;
+    int smemBytesPerCta = 0;
+    int localDecls = 0;       //!< scalar locals found
+    int sharedDecls = 0;      //!< __shared__ declarations found
+    int maxExprDepth = 0;     //!< deepest expression tree
+};
+
+/**
+ * Scan a __global__ kernel. Registers are estimated as a base cost
+ * (for the ABI and address arithmetic) plus one register per live
+ * scalar local plus extra for deep expressions, clamped to [10, 255]
+ * like a real compiler's allocator output.
+ */
+KernelResources scanKernelResources(const Function &kernel);
+
+/** Size in bytes of one element of a type (int/float/bool). */
+int scalarSizeBytes(BaseType base);
+
+} // namespace flep::minicuda
+
+#endif // FLEP_COMPILER_RESOURCE_SCAN_HH

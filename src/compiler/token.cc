@@ -1,0 +1,72 @@
+#include "compiler/token.hh"
+
+namespace flep::minicuda
+{
+
+const char *
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::End: return "<end>";
+      case Tok::Identifier: return "identifier";
+      case Tok::IntLiteral: return "integer literal";
+      case Tok::FloatLiteral: return "float literal";
+      case Tok::KwVoid: return "void";
+      case Tok::KwInt: return "int";
+      case Tok::KwUnsigned: return "unsigned";
+      case Tok::KwFloat: return "float";
+      case Tok::KwBool: return "bool";
+      case Tok::KwConst: return "const";
+      case Tok::KwVolatile: return "volatile";
+      case Tok::KwIf: return "if";
+      case Tok::KwElse: return "else";
+      case Tok::KwFor: return "for";
+      case Tok::KwWhile: return "while";
+      case Tok::KwReturn: return "return";
+      case Tok::KwBreak: return "break";
+      case Tok::KwContinue: return "continue";
+      case Tok::KwTrue: return "true";
+      case Tok::KwFalse: return "false";
+      case Tok::KwGlobal: return "__global__";
+      case Tok::KwDevice: return "__device__";
+      case Tok::KwShared: return "__shared__";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::LBrace: return "{";
+      case Tok::RBrace: return "}";
+      case Tok::LBracket: return "[";
+      case Tok::RBracket: return "]";
+      case Tok::Comma: return ",";
+      case Tok::Semi: return ";";
+      case Tok::Dot: return ".";
+      case Tok::Assign: return "=";
+      case Tok::PlusAssign: return "+=";
+      case Tok::MinusAssign: return "-=";
+      case Tok::StarAssign: return "*=";
+      case Tok::SlashAssign: return "/=";
+      case Tok::Plus: return "+";
+      case Tok::Minus: return "-";
+      case Tok::Star: return "*";
+      case Tok::Slash: return "/";
+      case Tok::Percent: return "%";
+      case Tok::PlusPlus: return "++";
+      case Tok::MinusMinus: return "--";
+      case Tok::Lt: return "<";
+      case Tok::Gt: return ">";
+      case Tok::Le: return "<=";
+      case Tok::Ge: return ">=";
+      case Tok::EqEq: return "==";
+      case Tok::NotEq: return "!=";
+      case Tok::AmpAmp: return "&&";
+      case Tok::PipePipe: return "||";
+      case Tok::Not: return "!";
+      case Tok::Amp: return "&";
+      case Tok::Question: return "?";
+      case Tok::Colon: return ":";
+      case Tok::LaunchOpen: return "<<<";
+      case Tok::LaunchClose: return ">>>";
+    }
+    return "<unknown>";
+}
+
+} // namespace flep::minicuda

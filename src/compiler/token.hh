@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tokens of the mini-CUDA language accepted by the FLEP compiler.
+ *
+ * The real FLEP compiler is a Clang-LibTooling source-to-source pass
+ * over CUDA C++. This reproduction implements a faithful CUDA subset
+ * ("mini-CUDA") large enough to express the paper's benchmark kernels
+ * and the Figure 4 transformations.
+ */
+
+#ifndef FLEP_COMPILER_TOKEN_HH
+#define FLEP_COMPILER_TOKEN_HH
+
+#include <string>
+
+namespace flep::minicuda
+{
+
+/** Token kinds. */
+enum class Tok
+{
+    End,
+    Identifier,
+    IntLiteral,
+    FloatLiteral,
+
+    // keywords
+    KwVoid, KwInt, KwUnsigned, KwFloat, KwBool, KwConst, KwVolatile,
+    KwIf, KwElse, KwFor, KwWhile, KwReturn, KwBreak, KwContinue,
+    KwTrue, KwFalse,
+    KwGlobal,   // __global__
+    KwDevice,   // __device__
+    KwShared,   // __shared__
+
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Dot,
+
+    // operators
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+    Plus, Minus, Star, Slash, Percent,
+    PlusPlus, MinusMinus,
+    Lt, Gt, Le, Ge, EqEq, NotEq,
+    AmpAmp, PipePipe, Not, Amp,
+    Question, Colon,
+    LaunchOpen,  // <<<
+    LaunchClose  // >>>
+};
+
+/** One lexed token with source position. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    int line = 0;
+    int column = 0;
+
+    /** Integer value (IntLiteral). */
+    long long intValue = 0;
+
+    /** Floating value (FloatLiteral). */
+    double floatValue = 0.0;
+};
+
+/** Printable name of a token kind (diagnostics). */
+const char *tokName(Tok kind);
+
+} // namespace flep::minicuda
+
+#endif // FLEP_COMPILER_TOKEN_HH

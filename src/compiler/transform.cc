@@ -1,0 +1,386 @@
+#include "compiler/transform.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace flep::minicuda
+{
+
+namespace
+{
+
+/**
+ * Rewrite grid references inside the outlined task body:
+ * blockIdx.x -> the pulled task id, gridDim.x -> the task count.
+ * Rejects .y/.z uses (the pass supports 1-D grids, as do all Table 1
+ * benchmarks).
+ */
+void
+rewriteExpr(ExprPtr &e, const std::string &task_id,
+            const std::string &num_tasks)
+{
+    if (!e)
+        return;
+    if (e->kind == ExprKind::Member && e->base &&
+        e->base->kind == ExprKind::Ident) {
+        const std::string &base = e->base->name;
+        if (base == "blockIdx" || base == "gridDim") {
+            if (e->name != "x") {
+                throw TransformError(
+                    format("%s.%s: only 1-D grids are supported",
+                           base.c_str(), e->name.c_str()));
+            }
+            e = makeIdent(base == "blockIdx" ? task_id : num_tasks);
+            return;
+        }
+    }
+    rewriteExpr(e->lhs, task_id, num_tasks);
+    rewriteExpr(e->rhs, task_id, num_tasks);
+    rewriteExpr(e->base, task_id, num_tasks);
+    rewriteExpr(e->index, task_id, num_tasks);
+    for (auto &arg : e->args)
+        rewriteExpr(arg, task_id, num_tasks);
+}
+
+void
+rewriteStmt(Stmt &s, const std::string &task_id,
+            const std::string &num_tasks)
+{
+    rewriteExpr(s.init, task_id, num_tasks);
+    rewriteExpr(s.expr, task_id, num_tasks);
+    rewriteExpr(s.cond, task_id, num_tasks);
+    rewriteExpr(s.step, task_id, num_tasks);
+    rewriteExpr(s.grid, task_id, num_tasks);
+    rewriteExpr(s.block, task_id, num_tasks);
+    for (auto &arg : s.args)
+        rewriteExpr(arg, task_id, num_tasks);
+    if (s.thenStmt)
+        rewriteStmt(*s.thenStmt, task_id, num_tasks);
+    if (s.elseStmt)
+        rewriteStmt(*s.elseStmt, task_id, num_tasks);
+    if (s.forInit)
+        rewriteStmt(*s.forInit, task_id, num_tasks);
+    if (s.body)
+        rewriteStmt(*s.body, task_id, num_tasks);
+    for (auto &sub : s.stmts)
+        rewriteStmt(*sub, task_id, num_tasks);
+}
+
+Type
+makeType(BaseType base, bool pointer = false, bool is_volatile = false)
+{
+    Type t;
+    t.base = base;
+    t.isPointer = pointer;
+    t.isVolatile = is_volatile;
+    return t;
+}
+
+/** `if (threadIdx.x == 0) { body... }` */
+StmtPtr
+leaderOnly(std::vector<StmtPtr> body)
+{
+    auto cond = makeBinary(
+        Tok::EqEq, makeMember(makeIdent("threadIdx"), "x"),
+        makeInt(0));
+    return makeIf(std::move(cond), makeCompound(std::move(body)));
+}
+
+StmtPtr
+declShared(BaseType base, const std::string &name)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Decl;
+    s->isShared = true;
+    s->type = makeType(base);
+    s->name = name;
+    return s;
+}
+
+StmtPtr
+syncThreads()
+{
+    return makeExprStmt(makeCall("__syncthreads", {}));
+}
+
+/** Build the outlined __device__ task function. */
+Function
+buildTaskFunction(const Function &kernel, const TransformOptions &opts)
+{
+    Function task;
+    task.kind = FuncKind::Device;
+    task.returnType = makeType(BaseType::Void);
+    task.name = kernel.name + opts.taskSuffix;
+    task.params = kernel.params;
+    task.params.push_back(
+        Param{makeType(BaseType::Int), "flep_task_id"});
+    task.params.push_back(
+        Param{makeType(BaseType::Int), "flep_num_tasks"});
+    task.body = kernel.body->clone();
+    rewriteStmt(*task.body, "flep_task_id", "flep_num_tasks");
+    return task;
+}
+
+/** Arguments forwarding the original params to the task function. */
+std::vector<ExprPtr>
+forwardedArgs(const Function &kernel)
+{
+    std::vector<ExprPtr> args;
+    args.reserve(kernel.params.size());
+    for (const auto &p : kernel.params)
+        args.push_back(makeIdent(p.name));
+    return args;
+}
+
+/**
+ * `if (threadIdx.x == 0) flep_task = atomicAdd(flep_next_task, 1);
+ *  __syncthreads();
+ *  if (flep_task >= flep_num_tasks) return;
+ *  name_task(params..., flep_task, flep_num_tasks);`
+ */
+void
+appendPullAndProcess(std::vector<StmtPtr> &out, const Function &kernel,
+                     const TransformOptions &opts)
+{
+    {
+        std::vector<StmtPtr> leader;
+        leader.push_back(makeExprStmt(makeAssign(
+            makeIdent("flep_task"),
+            makeCall("atomicAdd",
+                     [] {
+                         std::vector<ExprPtr> a;
+                         a.push_back(makeIdent("flep_next_task"));
+                         a.push_back(makeInt(1));
+                         return a;
+                     }()))));
+        out.push_back(leaderOnly(std::move(leader)));
+    }
+    out.push_back(syncThreads());
+    out.push_back(makeIf(
+        makeBinary(Tok::Ge, makeIdent("flep_task"),
+                   makeIdent("flep_num_tasks")),
+        makeReturn()));
+
+    std::vector<ExprPtr> call_args = forwardedArgs(kernel);
+    call_args.push_back(makeIdent("flep_task"));
+    call_args.push_back(makeIdent("flep_num_tasks"));
+    out.push_back(makeExprStmt(makeCall(
+        kernel.name + opts.taskSuffix, std::move(call_args))));
+}
+
+/** Build the persistent __global__ worker kernel. */
+Function
+buildPersistentKernel(const Function &kernel,
+                      const TransformOptions &opts)
+{
+    const bool spatial = opts.kind == TransformKind::Spatial;
+    const bool amortized = opts.kind != TransformKind::TemporalNaive;
+
+    Function out;
+    out.kind = FuncKind::Global;
+    out.returnType = makeType(BaseType::Void);
+    out.name = kernel.name + opts.kernelSuffix;
+    out.params = kernel.params;
+    out.params.push_back(Param{
+        makeType(BaseType::Unsigned, /*pointer=*/true,
+                 /*is_volatile=*/true),
+        spatial ? "flep_spa_p" : "flep_temp_p"});
+    if (amortized)
+        out.params.push_back(
+            Param{makeType(BaseType::Unsigned), "flep_l"});
+    out.params.push_back(
+        Param{makeType(BaseType::Int, true), "flep_next_task"});
+    out.params.push_back(
+        Param{makeType(BaseType::Int), "flep_num_tasks"});
+
+    std::vector<StmtPtr> body;
+    body.push_back(declShared(BaseType::Unsigned, "flep_stop"));
+    body.push_back(declShared(BaseType::Int, "flep_task"));
+    if (spatial)
+        body.push_back(declShared(BaseType::Unsigned, "flep_smid"));
+
+    // while (true) { poll; [for-L] pull+process }
+    std::vector<StmtPtr> loop;
+    {
+        // One thread polls the pinned flag; the value is shared with
+        // the CTA through shared memory + a barrier (paper §4.1's
+        // single-reader optimization).
+        std::vector<StmtPtr> leader;
+        leader.push_back(makeExprStmt(makeAssign(
+            makeIdent("flep_stop"),
+            makeUnary(Tok::Star,
+                      makeIdent(spatial ? "flep_spa_p"
+                                        : "flep_temp_p")))));
+        if (spatial) {
+            leader.push_back(makeExprStmt(makeAssign(
+                makeIdent("flep_smid"),
+                makeCall(RuntimeAbi::getSmid, {}))));
+        }
+        loop.push_back(leaderOnly(std::move(leader)));
+        loop.push_back(syncThreads());
+        if (spatial) {
+            loop.push_back(makeIf(
+                makeBinary(Tok::Lt, makeIdent("flep_smid"),
+                           makeIdent("flep_stop")),
+                makeReturn()));
+        } else {
+            loop.push_back(makeIf(
+                makeBinary(Tok::NotEq, makeIdent("flep_stop"),
+                           makeInt(0)),
+                makeReturn()));
+        }
+    }
+    if (amortized) {
+        // for (unsigned int flep_i = 0; flep_i < flep_l; flep_i++)
+        auto for_stmt = std::make_unique<Stmt>();
+        for_stmt->kind = StmtKind::For;
+        {
+            auto init = std::make_unique<Stmt>();
+            init->kind = StmtKind::Decl;
+            init->type = makeType(BaseType::Unsigned);
+            init->name = "flep_i";
+            init->init = makeInt(0);
+            for_stmt->forInit = std::move(init);
+        }
+        for_stmt->cond = makeBinary(Tok::Lt, makeIdent("flep_i"),
+                                    makeIdent("flep_l"));
+        for_stmt->step =
+            makeUnary(Tok::PlusPlus, makeIdent("flep_i"), true);
+        std::vector<StmtPtr> inner;
+        appendPullAndProcess(inner, kernel, opts);
+        for_stmt->body = makeCompound(std::move(inner));
+        loop.push_back(std::move(for_stmt));
+    } else {
+        appendPullAndProcess(loop, kernel, opts);
+    }
+
+    auto while_stmt = std::make_unique<Stmt>();
+    while_stmt->kind = StmtKind::While;
+    {
+        auto true_lit = std::make_unique<Expr>();
+        true_lit->kind = ExprKind::BoolLit;
+        true_lit->boolValue = true;
+        while_stmt->cond = std::move(true_lit);
+    }
+    while_stmt->body = makeCompound(std::move(loop));
+    body.push_back(std::move(while_stmt));
+
+    out.body = makeCompound(std::move(body));
+    return out;
+}
+
+/** Rewrite one host launch statement into the Figure 5 protocol. */
+StmtPtr
+rewriteLaunch(const Stmt &launch, const TransformOptions &opts)
+{
+    std::vector<StmtPtr> block;
+
+    // int flep_hnd = flep_intercept("<name>" grid, block);
+    // (mini-CUDA has no string literals; the kernel is identified by
+    //  an identifier argument, matching a registration table.)
+    {
+        auto decl = std::make_unique<Stmt>();
+        decl->kind = StmtKind::Decl;
+        decl->type = makeType(BaseType::Int);
+        decl->name = "flep_hnd";
+        std::vector<ExprPtr> args;
+        args.push_back(makeIdent(launch.callee));
+        args.push_back(launch.grid->clone());
+        args.push_back(launch.block->clone());
+        decl->init = makeCall(RuntimeAbi::intercept, std::move(args));
+        block.push_back(std::move(decl));
+    }
+    // flep_wait_grant(flep_hnd);   (S2 -> S3)
+    {
+        std::vector<ExprPtr> args;
+        args.push_back(makeIdent("flep_hnd"));
+        block.push_back(makeExprStmt(
+            makeCall(RuntimeAbi::waitGrant, std::move(args))));
+    }
+    // name_flep<<<flep_wave_ctas(flep_hnd), block>>>(args...,
+    //     flep_flag_ptr(flep_hnd), [flep_amortize_l(flep_hnd),]
+    //     flep_task_counter(flep_hnd), grid);
+    {
+        auto ls = std::make_unique<Stmt>();
+        ls->kind = StmtKind::Launch;
+        ls->callee = launch.callee + opts.kernelSuffix;
+        std::vector<ExprPtr> wave_args;
+        wave_args.push_back(makeIdent("flep_hnd"));
+        ls->grid = makeCall(RuntimeAbi::waveCtas, std::move(wave_args));
+        ls->block = launch.block->clone();
+        for (const auto &arg : launch.args)
+            ls->args.push_back(arg->clone());
+
+        auto handle_call = [](const char *fn) {
+            std::vector<ExprPtr> args;
+            args.push_back(makeIdent("flep_hnd"));
+            return makeCall(fn, std::move(args));
+        };
+        ls->args.push_back(handle_call(RuntimeAbi::flagPtr));
+        if (opts.kind != TransformKind::TemporalNaive)
+            ls->args.push_back(handle_call(RuntimeAbi::amortizeL));
+        ls->args.push_back(handle_call(RuntimeAbi::taskCounter));
+        ls->args.push_back(launch.grid->clone());
+        block.push_back(std::move(ls));
+    }
+    // flep_wait_complete(flep_hnd);   (S3 -> S1)
+    {
+        std::vector<ExprPtr> args;
+        args.push_back(makeIdent("flep_hnd"));
+        block.push_back(makeExprStmt(
+            makeCall(RuntimeAbi::waitComplete, std::move(args))));
+    }
+    return makeCompound(std::move(block));
+}
+
+void
+rewriteHostStmt(StmtPtr &stmt, const TransformOptions &opts)
+{
+    if (stmt->kind == StmtKind::Launch) {
+        stmt = rewriteLaunch(*stmt, opts);
+        return;
+    }
+    if (stmt->thenStmt)
+        rewriteHostStmt(stmt->thenStmt, opts);
+    if (stmt->elseStmt)
+        rewriteHostStmt(stmt->elseStmt, opts);
+    if (stmt->body)
+        rewriteHostStmt(stmt->body, opts);
+    if (stmt->forInit)
+        rewriteHostStmt(stmt->forInit, opts);
+    for (auto &sub : stmt->stmts)
+        rewriteHostStmt(sub, opts);
+}
+
+} // namespace
+
+std::vector<Function>
+transformKernel(const Function &kernel, const TransformOptions &opts)
+{
+    FLEP_ASSERT(kernel.kind == FuncKind::Global,
+                "transformKernel expects a __global__ function");
+    std::vector<Function> out;
+    out.push_back(buildTaskFunction(kernel, opts));
+    out.push_back(buildPersistentKernel(kernel, opts));
+    return out;
+}
+
+Program
+transformProgram(const Program &prog, const TransformOptions &opts)
+{
+    Program out;
+    for (const auto &fn : prog.functions) {
+        if (fn.kind == FuncKind::Global) {
+            for (auto &t : transformKernel(fn, opts))
+                out.functions.push_back(std::move(t));
+        } else {
+            Function copy = fn.clone();
+            if (copy.kind == FuncKind::Host && copy.body)
+                rewriteHostStmt(copy.body, opts);
+            out.functions.push_back(std::move(copy));
+        }
+    }
+    return out;
+}
+
+} // namespace flep::minicuda

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The FLEP compilation engine (paper §4.1).
+ *
+ * Rewrites a mini-CUDA program into its preemptable form:
+ *
+ *  - Every __global__ kernel's per-CTA work is outlined into a
+ *    __device__ task function (so early returns in the original body
+ *    stay task-local), and the kernel becomes a persistent-thread
+ *    worker in one of the three Figure 4 shapes: the naive temporal
+ *    form (a), the L-amortized temporal form (b), or the spatial form
+ *    (c) that compares the host SM id (%smid) against the flag.
+ *
+ *  - Every host-side launch statement is rewritten into the Figure 5
+ *    protocol: report the invocation to the runtime (S1 -> S2), wait
+ *    for the grant (S2 -> S3), launch the persistent wave, and wait
+ *    for completion (S3 -> S1).
+ *
+ * The original blockIdx.x becomes the pulled task id and gridDim.x the
+ * total task count, exactly the persistent-threads reinterpretation of
+ * the original launch geometry.
+ */
+
+#ifndef FLEP_COMPILER_TRANSFORM_HH
+#define FLEP_COMPILER_TRANSFORM_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "compiler/ast.hh"
+
+namespace flep::minicuda
+{
+
+/** Thrown when a kernel uses constructs the pass cannot transform. */
+class TransformError : public std::runtime_error
+{
+  public:
+    explicit TransformError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Which Figure 4 shape to emit. */
+enum class TransformKind
+{
+    TemporalNaive,     //!< Figure 4 (a): poll before every task
+    TemporalAmortized, //!< Figure 4 (b): poll every L tasks
+    Spatial            //!< Figure 4 (c): yield SMs below spa_P
+};
+
+/** Transformation options. */
+struct TransformOptions
+{
+    TransformKind kind = TransformKind::Spatial;
+
+    /** Suffix appended to transformed kernel names. */
+    std::string kernelSuffix = "_flep";
+
+    /** Suffix for the outlined per-task device function. */
+    std::string taskSuffix = "_task";
+};
+
+/** Names of the runtime ABI the transformed host code calls. */
+struct RuntimeAbi
+{
+    static constexpr const char *intercept = "flep_intercept";
+    static constexpr const char *waitGrant = "flep_wait_grant";
+    static constexpr const char *waitComplete = "flep_wait_complete";
+    static constexpr const char *waveCtas = "flep_wave_ctas";
+    static constexpr const char *flagPtr = "flep_flag_ptr";
+    static constexpr const char *amortizeL = "flep_amortize_l";
+    static constexpr const char *taskCounter = "flep_task_counter";
+    static constexpr const char *getSmid = "flep_get_smid";
+};
+
+/**
+ * Transform one __global__ kernel.
+ * @return the outlined task function followed by the persistent
+ *         kernel (two functions).
+ * @throws TransformError on multi-dimensional grid use.
+ */
+std::vector<Function> transformKernel(const Function &kernel,
+                                      const TransformOptions &opts);
+
+/**
+ * Transform a whole translation unit: kernels are replaced by their
+ * outlined/persistent pairs and host launch statements by the
+ * interception protocol.
+ */
+Program transformProgram(const Program &prog,
+                         const TransformOptions &opts);
+
+} // namespace flep::minicuda
+
+#endif // FLEP_COMPILER_TRANSFORM_HH

@@ -1,0 +1,135 @@
+#include "flep/artifact_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace flep
+{
+
+namespace
+{
+
+constexpr const char *magic = "flep-artifacts v1";
+
+} // namespace
+
+void
+saveArtifacts(const OfflineArtifacts &artifacts, std::ostream &os)
+{
+    os << magic << "\n";
+    os << "# duration models: kernel, d, intercept, coef, mean, "
+          "scale\n";
+    os.precision(17);
+    for (const auto &[name, model] : artifacts.models) {
+        const auto &reg = model.regression();
+        os << "model " << name << " " << reg.featureCount() << " "
+           << reg.intercept();
+        for (double v : reg.coefficients())
+            os << " " << v;
+        for (double v : reg.means())
+            os << " " << v;
+        for (double v : reg.scales())
+            os << " " << v;
+        os << "\n";
+    }
+    os << "# profiled preemption overheads in ticks\n";
+    for (const auto &[name, ticks] : artifacts.overheads)
+        os << "overhead " << name << " " << ticks << "\n";
+    os << "# amortizing factors\n";
+    for (const auto &[name, l] : artifacts.amortizeL)
+        os << "amortize " << name << " " << l << "\n";
+}
+
+void
+saveArtifactsFile(const OfflineArtifacts &artifacts,
+                  const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write artifact file: ", path);
+    saveArtifacts(artifacts, os);
+    if (!os)
+        fatal("I/O error writing artifact file: ", path);
+}
+
+std::optional<OfflineArtifacts>
+loadArtifacts(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || trim(line) != magic)
+        return std::nullopt;
+
+    OfflineArtifacts out;
+    while (std::getline(is, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kind;
+        ls >> kind;
+        if (kind == "model") {
+            std::string name;
+            std::size_t d = 0;
+            double intercept = 0.0;
+            ls >> name >> d >> intercept;
+            if (!ls || d == 0 || d > 64)
+                return std::nullopt;
+            auto read_vec = [&](std::vector<double> &v) {
+                v.resize(d);
+                for (auto &x : v)
+                    ls >> x;
+            };
+            std::vector<double> coef;
+            std::vector<double> mean;
+            std::vector<double> scale;
+            read_vec(coef);
+            read_vec(mean);
+            read_vec(scale);
+            if (!ls)
+                return std::nullopt;
+            for (double s : scale) {
+                if (s <= 0.0)
+                    return std::nullopt;
+            }
+            out.models.emplace(
+                name, KernelModel(name, RidgeModel::fromParameters(
+                                            std::move(coef),
+                                            std::move(mean),
+                                            std::move(scale),
+                                            intercept)));
+        } else if (kind == "overhead") {
+            std::string name;
+            Tick ticks = 0;
+            ls >> name >> ticks;
+            if (!ls)
+                return std::nullopt;
+            out.overheads[name] = ticks;
+        } else if (kind == "amortize") {
+            std::string name;
+            int l = 0;
+            ls >> name >> l;
+            if (!ls || l < 1)
+                return std::nullopt;
+            out.amortizeL[name] = l;
+        } else {
+            return std::nullopt;
+        }
+    }
+    if (out.models.empty())
+        return std::nullopt;
+    return out;
+}
+
+std::optional<OfflineArtifacts>
+loadArtifactsFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return std::nullopt;
+    return loadArtifacts(is);
+}
+
+} // namespace flep

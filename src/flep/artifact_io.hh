@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Persistence of the offline phase's products.
+ *
+ * FLEP's offline phase (model training, overhead profiling, L tuning)
+ * is per-installation work the paper runs once; this module saves and
+ * loads its artifacts in a line-oriented text format so tools and
+ * benches can share one training run instead of repeating it.
+ *
+ * Format (one record per line, '#' comments allowed):
+ *
+ *   flep-artifacts v1
+ *   model <kernel> <d> <intercept> <coef..d> <mean..d> <scale..d>
+ *   overhead <kernel> <ticks>
+ *   amortize <kernel> <L>
+ */
+
+#ifndef FLEP_FLEP_ARTIFACT_IO_HH
+#define FLEP_FLEP_ARTIFACT_IO_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "flep/experiment.hh"
+
+namespace flep
+{
+
+/** Serialize artifacts to a stream. */
+void saveArtifacts(const OfflineArtifacts &artifacts,
+                   std::ostream &os);
+
+/** Serialize artifacts to a file. @throws FatalError on I/O error. */
+void saveArtifactsFile(const OfflineArtifacts &artifacts,
+                       const std::string &path);
+
+/**
+ * Parse artifacts from a stream.
+ * @return nullopt when the stream is not a valid artifact file.
+ */
+std::optional<OfflineArtifacts> loadArtifacts(std::istream &is);
+
+/**
+ * Load artifacts from a file.
+ * @return nullopt when the file is missing or malformed.
+ */
+std::optional<OfflineArtifacts> loadArtifactsFile(
+    const std::string &path);
+
+} // namespace flep
+
+#endif // FLEP_FLEP_ARTIFACT_IO_HH

@@ -1,0 +1,271 @@
+#include "flep/experiment.hh"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "common/logging.hh"
+#include "gpu/measure.hh"
+
+namespace flep
+{
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Mps:
+        return "MPS";
+      case SchedulerKind::FlepHpf:
+        return "FLEP-HPF";
+      case SchedulerKind::FlepFfs:
+        return "FLEP-FFS";
+      case SchedulerKind::Reorder:
+        return "reorder";
+      case SchedulerKind::Slicing:
+        return "slicing";
+    }
+    return "unknown";
+}
+
+OfflineArtifacts
+runOfflinePhase(const BenchmarkSuite &suite, const GpuConfig &cfg,
+                int train_inputs, int profile_runs, std::uint64_t seed)
+{
+    OfflineArtifacts art;
+
+    TrainerConfig tcfg;
+    tcfg.trainInputs = train_inputs;
+    tcfg.seed = seed;
+    const ModelTrainer trainer(cfg, tcfg);
+    art.models = trainer.trainSuite(suite);
+
+    ProfilerConfig pcfg;
+    pcfg.runs = profile_runs;
+    pcfg.seed = seed * 31 + 7;
+    art.overheads = profileSuite(cfg, suite, pcfg);
+
+    for (const auto &w : suite.all())
+        art.amortizeL[w->name()] = w->paperAmortizeL();
+    return art;
+}
+
+const OfflineArtifacts &
+defaultArtifacts(const BenchmarkSuite &suite, const GpuConfig &cfg)
+{
+    // The K40 preset is the only configuration benches use; training
+    // takes about a second, so one lazy shared copy suffices.
+    static OfflineArtifacts cached = runOfflinePhase(
+        suite, cfg, 100, 50, 999);
+    return cached;
+}
+
+std::vector<Tick>
+CoRunResult::turnaroundsOf(ProcessId pid) const
+{
+    std::vector<Tick> out;
+    for (const auto &inv : invocations) {
+        if (inv.process == pid)
+            out.push_back(inv.turnaroundNs());
+    }
+    return out;
+}
+
+std::size_t
+CoRunResult::completedOf(ProcessId pid) const
+{
+    std::size_t n = 0;
+    for (const auto &inv : invocations) {
+        if (inv.process == pid)
+            ++n;
+    }
+    return n;
+}
+
+CoRunResult
+runCoRun(const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
+         const CoRunConfig &cfg)
+{
+    FLEP_ASSERT(!cfg.kernels.empty(), "co-run needs kernels");
+
+    Simulation sim(cfg.seed);
+    GpuDevice gpu(sim, cfg.gpu);
+
+    // Build the scheduler under test.
+    std::unique_ptr<KernelDispatcher> dispatcher;
+    FlepRuntime *flep_runtime = nullptr;
+    switch (cfg.scheduler) {
+      case SchedulerKind::Mps:
+        dispatcher = std::make_unique<MpsDispatcher>();
+        break;
+      case SchedulerKind::FlepHpf:
+      case SchedulerKind::FlepFfs: {
+        FlepRuntimeConfig rcfg;
+        rcfg.models = artifacts.models;
+        rcfg.overheads = artifacts.overheads;
+        std::unique_ptr<SchedulingPolicy> policy;
+        if (cfg.scheduler == SchedulerKind::FlepHpf)
+            policy = std::make_unique<HpfPolicy>(cfg.hpf);
+        else
+            policy = std::make_unique<FfsPolicy>(cfg.ffs);
+        auto rt = std::make_unique<FlepRuntime>(
+            sim, gpu, std::move(policy), std::move(rcfg));
+        flep_runtime = rt.get();
+        dispatcher = std::move(rt);
+        break;
+      }
+      case SchedulerKind::Reorder:
+        dispatcher = std::make_unique<ReorderDispatcher>(
+            artifacts.models, cfg.gpu.ipcNs);
+        break;
+      case SchedulerKind::Slicing:
+        dispatcher = std::make_unique<SlicingDispatcher>(gpu.config());
+        break;
+    }
+
+    // Optional GPU-share tracking.
+    std::unique_ptr<ShareTracker> tracker;
+    if (cfg.shareWindowNs > 0) {
+        tracker = std::make_unique<ShareTracker>(cfg.shareWindowNs);
+        gpu.onSlotBusy = [&tracker](ProcessId pid, Tick b, Tick e) {
+            tracker->trackBusy(pid, b, e);
+        };
+    }
+
+    // One host process per kernel spec.
+    std::vector<std::unique_ptr<HostProcess>> hosts;
+    for (std::size_t i = 0; i < cfg.kernels.size(); ++i) {
+        const KernelSpec &spec = cfg.kernels[i];
+        const Workload &w = suite.byName(spec.workload);
+        auto l_it = artifacts.amortizeL.find(spec.workload);
+        const int amortize_l = l_it == artifacts.amortizeL.end()
+            ? w.paperAmortizeL()
+            : l_it->second;
+
+        HostProcess::ScriptEntry entry;
+        entry.workload = &w;
+        entry.input = w.input(spec.input);
+        entry.priority = spec.priority;
+        entry.delayBefore = spec.invokeDelayNs;
+        entry.repeats = spec.repeats;
+        entry.amortizeL = amortize_l;
+
+        hosts.push_back(std::make_unique<HostProcess>(
+            sim, gpu, *dispatcher, static_cast<ProcessId>(i),
+            std::vector<HostProcess::ScriptEntry>{entry}));
+    }
+    for (auto &host : hosts)
+        host->start();
+
+    if (cfg.horizonNs > 0)
+        sim.runUntil(cfg.horizonNs);
+    else
+        sim.run();
+
+    // Collect results.
+    CoRunResult result;
+    for (const auto &host : hosts) {
+        for (const auto &inv : host->results())
+            result.invocations.push_back(inv);
+    }
+    std::sort(result.invocations.begin(), result.invocations.end(),
+              [](const InvocationResult &a, const InvocationResult &b) {
+                  return a.finishTick < b.finishTick;
+              });
+    for (const auto &inv : result.invocations)
+        result.makespanNs = std::max(result.makespanNs, inv.finishTick);
+    if (tracker) {
+        for (ProcessId pid : tracker->processes()) {
+            result.shareSeries[pid] = tracker->shareSeries(pid);
+            result.overallShare[pid] = tracker->overallShare(pid);
+        }
+    }
+    if (flep_runtime != nullptr)
+        result.preemptions = flep_runtime->preemptionsSignalled();
+    return result;
+}
+
+double
+soloTurnaroundNs(const BenchmarkSuite &suite, const GpuConfig &cfg,
+                 const std::string &workload, InputClass input, int reps)
+{
+    // Cached per (workload, input class): the benches ask for the
+    // same references hundreds of times.
+    static std::map<std::string, double> cache;
+    const std::string key =
+        workload + "/" + inputClassName(input);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    const Workload &w = suite.byName(workload);
+    const auto desc =
+        w.makeLaunch(w.input(input), ExecMode::Original, 1, 0);
+    const double ns = soloMeanDurationNs(cfg, desc, 555, reps);
+    cache.emplace(key, ns);
+    return ns;
+}
+
+std::vector<std::pair<std::string, std::string>>
+priorityPairs()
+{
+    const std::array<const char *, 4> lows = {"CFD", "NN", "PF", "PL"};
+    const std::array<const char *, 8> all = {"CFD", "NN",   "PF", "PL",
+                                             "MD",  "SPMV", "MM", "VA"};
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const char *low : lows) {
+        for (const char *high : all) {
+            if (std::string(low) != high)
+                pairs.emplace_back(low, high);
+        }
+    }
+    return pairs;
+}
+
+std::vector<std::pair<std::string, std::string>>
+equalPriorityPairs()
+{
+    const std::array<const char *, 4> smalls = {"MD", "MM", "SPMV",
+                                                "VA"};
+    const std::array<const char *, 8> all = {"CFD", "NN",   "PF", "PL",
+                                             "MD",  "SPMV", "MM", "VA"};
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const char *small : smalls) {
+        for (const char *large : all) {
+            if (std::string(small) != large)
+                pairs.emplace_back(large, small);
+        }
+    }
+    return pairs;
+}
+
+std::vector<std::array<std::string, 3>>
+randomTriplets(std::uint64_t seed)
+{
+    const std::array<const char *, 8> all = {"CFD", "NN",   "PF", "PL",
+                                             "MD",  "SPMV", "MM", "VA"};
+    Rng rng(seed);
+    std::vector<std::array<std::string, 3>> triplets;
+    // Always include the paper's highlighted triplet VA_SPMV_MM.
+    triplets.push_back({"VA", "SPMV", "MM"});
+    while (triplets.size() < 28) {
+        const auto a = all[static_cast<std::size_t>(
+            rng.uniformInt(0, 7))];
+        const auto b = all[static_cast<std::size_t>(
+            rng.uniformInt(0, 7))];
+        const auto c = all[static_cast<std::size_t>(
+            rng.uniformInt(0, 7))];
+        if (std::string(a) == b || std::string(a) == c ||
+            std::string(b) == c) {
+            continue;
+        }
+        std::array<std::string, 3> t = {a, b, c};
+        if (std::find(triplets.begin(), triplets.end(), t) ==
+            triplets.end()) {
+            triplets.push_back(t);
+        }
+    }
+    return triplets;
+}
+
+} // namespace flep

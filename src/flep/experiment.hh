@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Co-run experiment harness: builds a simulated machine (GPU + host
+ * processes + a scheduler), runs it, and collects the measurements the
+ * paper's tables and figures report.
+ */
+
+#ifndef FLEP_FLEP_EXPERIMENT_HH
+#define FLEP_FLEP_EXPERIMENT_HH
+
+#include <array>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/mps_baseline.hh"
+#include "baselines/reorder.hh"
+#include "baselines/slicing.hh"
+#include "flep/metrics.hh"
+#include "perfmodel/overhead_profiler.hh"
+#include "perfmodel/trainer.hh"
+#include "runtime/ffs.hh"
+#include "runtime/hpf.hh"
+#include "runtime/host_process.hh"
+#include "runtime/runtime.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+
+/** Scheduler under test. */
+enum class SchedulerKind
+{
+    Mps,     //!< plain MPS co-run (paper baseline)
+    FlepHpf, //!< FLEP with the HPF policy
+    FlepFfs, //!< FLEP with the FFS policy
+    Reorder, //!< non-preemptive kernel reordering
+    Slicing  //!< kernel-slicing preemption
+};
+
+/** Human-readable scheduler name. */
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Products of FLEP's offline phase, shared across experiments. */
+struct OfflineArtifacts
+{
+    std::map<std::string, KernelModel> models;
+    OverheadTable overheads;
+    std::map<std::string, int> amortizeL;
+};
+
+/**
+ * Run the offline phase: train duration models, profile preemption
+ * overheads, and record the amortizing factors. `train_inputs` and
+ * `profile_runs` default to the paper's 100 and 50.
+ */
+OfflineArtifacts runOfflinePhase(const BenchmarkSuite &suite,
+                                 const GpuConfig &cfg,
+                                 int train_inputs = 100,
+                                 int profile_runs = 50,
+                                 std::uint64_t seed = 999);
+
+/**
+ * Cached offline artifacts for the K40 preset (trained on first use).
+ * Benches share this so each binary trains at most once.
+ */
+const OfflineArtifacts &defaultArtifacts(const BenchmarkSuite &suite,
+                                         const GpuConfig &cfg);
+
+/** One co-running program (one host process). */
+struct KernelSpec
+{
+    std::string workload;
+    InputClass input = InputClass::Large;
+    Priority priority = 0;
+    /** Host think time before the invocation (and between repeats). */
+    Tick invokeDelayNs = 0;
+    /** Invocations; negative repeats forever (use a horizon). */
+    int repeats = 1;
+};
+
+/** Full description of one co-run experiment. */
+struct CoRunConfig
+{
+    GpuConfig gpu = GpuConfig::keplerK40();
+    SchedulerKind scheduler = SchedulerKind::Mps;
+    HpfPolicy::Config hpf;
+    FfsPolicy::Config ffs;
+    std::vector<KernelSpec> kernels;
+    /** Stop time for infinite workloads; 0 runs to completion. */
+    Tick horizonNs = 0;
+    std::uint64_t seed = 1;
+    /** When > 0, track per-process GPU shares in windows this wide. */
+    Tick shareWindowNs = 0;
+};
+
+/** Measurements of one co-run. */
+struct CoRunResult
+{
+    /** Completed invocations across all hosts, by completion order. */
+    std::vector<InvocationResult> invocations;
+
+    /** Latest completion time. */
+    Tick makespanNs = 0;
+
+    /** Per-process share time series (when tracking was enabled). */
+    std::map<ProcessId, std::vector<double>> shareSeries;
+
+    /** Per-process overall share of busy slot time. */
+    std::map<ProcessId, double> overallShare;
+
+    /** Preemptions signalled by the FLEP runtime (0 for baselines). */
+    long preemptions = 0;
+
+    /** Turnarounds of the completed invocations of one process. */
+    std::vector<Tick> turnaroundsOf(ProcessId pid) const;
+
+    /** Completed invocation count of one process. */
+    std::size_t completedOf(ProcessId pid) const;
+};
+
+/**
+ * Run one co-run experiment. Host process i runs kernels[i]; process
+ * ids are assigned 0..n-1 in order.
+ */
+CoRunResult runCoRun(const BenchmarkSuite &suite,
+                     const OfflineArtifacts &artifacts,
+                     const CoRunConfig &cfg);
+
+/**
+ * Mean solo turnaround of a benchmark input in Original (baseline)
+ * form, for metric normalization. Cached per (workload, class).
+ */
+double soloTurnaroundNs(const BenchmarkSuite &suite, const GpuConfig &cfg,
+                        const std::string &workload, InputClass input,
+                        int reps = 3);
+
+/**
+ * The paper's 28 high/low-priority pairs (§6.3.1): each of CFD, NN,
+ * PF, PL on the large input (low priority) against each of the other
+ * seven on the small input (high priority).
+ * @return pairs of (lowPriorityLarge, highPrioritySmall).
+ */
+std::vector<std::pair<std::string, std::string>> priorityPairs();
+
+/**
+ * The paper's 28 equal-priority pairs: each of MD, MM, SPMV, VA on the
+ * small input against each of the other seven on the large input.
+ * @return pairs of (largeKernel, smallKernel).
+ */
+std::vector<std::pair<std::string, std::string>> equalPriorityPairs();
+
+/**
+ * 28 pseudo-random three-benchmark triplets A_B_C (A large, B and C
+ * small), as in §6.3.2.
+ */
+std::vector<std::array<std::string, 3>> randomTriplets(
+    std::uint64_t seed = 2017);
+
+} // namespace flep
+
+#endif // FLEP_FLEP_EXPERIMENT_HH

@@ -1,0 +1,80 @@
+#include "flep/flep.hh"
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+FlepSystem::FlepSystem(Options opts)
+    : opts_(opts)
+{
+    artifacts_ = runOfflinePhase(suite_, opts_.gpu, opts_.trainInputs,
+                                 opts_.profileRuns, opts_.seed * 17 + 3);
+
+    sim_ = std::make_unique<Simulation>(opts_.seed);
+    gpu_ = std::make_unique<GpuDevice>(*sim_, opts_.gpu);
+
+    FlepRuntimeConfig rcfg;
+    rcfg.models = artifacts_.models;
+    rcfg.overheads = artifacts_.overheads;
+    std::unique_ptr<SchedulingPolicy> policy;
+    if (opts_.policy == Policy::Hpf)
+        policy = std::make_unique<HpfPolicy>(opts_.hpf);
+    else
+        policy = std::make_unique<FfsPolicy>(opts_.ffs);
+    runtime_ = std::make_unique<FlepRuntime>(*sim_, *gpu_,
+                                             std::move(policy),
+                                             std::move(rcfg));
+}
+
+FlepSystem::~FlepSystem() = default;
+
+HostProcess::ScriptEntry
+FlepSystem::kernel(const std::string &workload, InputClass input,
+                   Priority priority, Tick delay_ns, int repeats) const
+{
+    const Workload &w = suite_.byName(workload);
+    HostProcess::ScriptEntry entry;
+    entry.workload = &w;
+    entry.input = w.input(input);
+    entry.priority = priority;
+    entry.delayBefore = delay_ns;
+    entry.repeats = repeats;
+    auto it = artifacts_.amortizeL.find(workload);
+    entry.amortizeL =
+        it == artifacts_.amortizeL.end() ? w.paperAmortizeL()
+                                         : it->second;
+    return entry;
+}
+
+HostProcess &
+FlepSystem::addProcess(std::vector<HostProcess::ScriptEntry> script)
+{
+    hosts_.push_back(std::make_unique<HostProcess>(
+        *sim_, *gpu_, *runtime_,
+        static_cast<ProcessId>(hosts_.size()), std::move(script)));
+    return *hosts_.back();
+}
+
+void
+FlepSystem::startPending()
+{
+    for (; started_ < hosts_.size(); ++started_)
+        hosts_[started_]->start();
+}
+
+Tick
+FlepSystem::run()
+{
+    startPending();
+    return sim_->run();
+}
+
+Tick
+FlepSystem::runFor(Tick ns)
+{
+    startPending();
+    return sim_->runUntil(sim_->now() + ns);
+}
+
+} // namespace flep

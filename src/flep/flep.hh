@@ -1,0 +1,117 @@
+/**
+ * @file
+ * FlepSystem: the library facade.
+ *
+ * Bundles a simulated machine (GPU device + event-driven simulation),
+ * the FLEP runtime with a chosen scheduling policy, and host-process
+ * management into one object, so applications can express scenarios
+ * in a few lines:
+ *
+ * @code
+ *   flep::FlepSystem sys(flep::FlepSystem::Options{});
+ *   auto &batch = sys.addProcess(0, {sys.kernel("NN", ...)});
+ *   auto &query = sys.addProcess(5, {sys.kernel("SPMV", ...)});
+ *   sys.run();
+ * @endcode
+ */
+
+#ifndef FLEP_FLEP_FLEP_HH
+#define FLEP_FLEP_FLEP_HH
+
+#include <memory>
+#include <vector>
+
+#include "flep/experiment.hh"
+
+namespace flep
+{
+
+/** One assembled FLEP machine. */
+class FlepSystem
+{
+  public:
+    /** Which FLEP policy to install. */
+    enum class Policy
+    {
+        Hpf,
+        Ffs
+    };
+
+    /** Construction options. */
+    struct Options
+    {
+        GpuConfig gpu = GpuConfig::keplerK40();
+        Policy policy = Policy::Hpf;
+        HpfPolicy::Config hpf;
+        FfsPolicy::Config ffs;
+        std::uint64_t seed = 1;
+        /**
+         * Offline phase effort. The defaults are reduced from the
+         * paper's 100/50 to keep example startup snappy; benches use
+         * runOfflinePhase() directly with the paper values.
+         */
+        int trainInputs = 40;
+        int profileRuns = 10;
+    };
+
+    explicit FlepSystem(Options opts);
+    ~FlepSystem();
+
+    FlepSystem(const FlepSystem &) = delete;
+    FlepSystem &operator=(const FlepSystem &) = delete;
+
+    /** The benchmark suite available to scripts. */
+    const BenchmarkSuite &suite() const { return suite_; }
+
+    /** Offline-phase products (models, overheads, amortizing L). */
+    const OfflineArtifacts &artifacts() const { return artifacts_; }
+
+    /** Underlying simulation (advanced use). */
+    Simulation &sim() { return *sim_; }
+
+    /** Simulated device (advanced use). */
+    GpuDevice &gpu() { return *gpu_; }
+
+    /** The FLEP runtime engine. */
+    FlepRuntime &runtime() { return *runtime_; }
+
+    /** Build a script entry for a named benchmark. */
+    HostProcess::ScriptEntry kernel(const std::string &workload,
+                                    InputClass input, Priority priority,
+                                    Tick delay_ns = 0,
+                                    int repeats = 1) const;
+
+    /**
+     * Add a host process with the given script. Started lazily by
+     * run()/runFor().
+     */
+    HostProcess &addProcess(std::vector<HostProcess::ScriptEntry> script);
+
+    /** Run until every process finishes. @return final time. */
+    Tick run();
+
+    /** Run for a bounded amount of simulated time. */
+    Tick runFor(Tick ns);
+
+    /** All processes, in creation order. */
+    const std::vector<std::unique_ptr<HostProcess>> &processes() const
+    {
+        return hosts_;
+    }
+
+  private:
+    void startPending();
+
+    Options opts_;
+    BenchmarkSuite suite_;
+    OfflineArtifacts artifacts_;
+    std::unique_ptr<Simulation> sim_;
+    std::unique_ptr<GpuDevice> gpu_;
+    std::unique_ptr<FlepRuntime> runtime_;
+    std::vector<std::unique_ptr<HostProcess>> hosts_;
+    std::size_t started_ = 0;
+};
+
+} // namespace flep
+
+#endif // FLEP_FLEP_FLEP_HH

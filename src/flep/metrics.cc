@@ -1,0 +1,125 @@
+#include "flep/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+double
+antt(const std::vector<TurnaroundPair> &pairs)
+{
+    FLEP_ASSERT(!pairs.empty(), "ANTT of an empty set");
+    double acc = 0.0;
+    for (const auto &p : pairs) {
+        FLEP_ASSERT(p.soloNs > 0.0, "solo turnaround must be positive");
+        acc += p.coRunNs / p.soloNs;
+    }
+    return acc / static_cast<double>(pairs.size());
+}
+
+double
+stp(const std::vector<TurnaroundPair> &pairs)
+{
+    FLEP_ASSERT(!pairs.empty(), "STP of an empty set");
+    double acc = 0.0;
+    for (const auto &p : pairs) {
+        FLEP_ASSERT(p.coRunNs > 0.0, "co-run turnaround must be positive");
+        acc += p.soloNs / p.coRunNs;
+    }
+    return acc;
+}
+
+ShareTracker::ShareTracker(Tick window_ns)
+    : windowNs_(window_ns)
+{
+    FLEP_ASSERT(window_ns > 0, "share window must be positive");
+}
+
+void
+ShareTracker::trackBusy(ProcessId pid, Tick begin, Tick end)
+{
+    FLEP_ASSERT(end >= begin, "negative busy interval");
+    auto &bins = busy_[pid];
+    Tick t = begin;
+    while (t < end) {
+        const auto w = static_cast<std::size_t>(t / windowNs_);
+        const Tick w_end = (static_cast<Tick>(w) + 1) * windowNs_;
+        const Tick upto = std::min(end, w_end);
+        if (bins.size() <= w)
+            bins.resize(w + 1, 0.0);
+        bins[w] += static_cast<double>(upto - t);
+        windows_ = std::max(windows_, w + 1);
+        t = upto;
+    }
+}
+
+std::vector<ProcessId>
+ShareTracker::processes() const
+{
+    std::vector<ProcessId> out;
+    out.reserve(busy_.size());
+    for (const auto &[pid, bins] : busy_)
+        out.push_back(pid);
+    return out;
+}
+
+std::size_t
+ShareTracker::windowCount() const
+{
+    return windows_;
+}
+
+double
+ShareTracker::busyIn(ProcessId pid, std::size_t w) const
+{
+    auto it = busy_.find(pid);
+    if (it == busy_.end() || it->second.size() <= w)
+        return 0.0;
+    return it->second[w];
+}
+
+double
+ShareTracker::share(ProcessId pid, std::size_t w) const
+{
+    double total = 0.0;
+    for (const auto &[other, bins] : busy_) {
+        (void)other;
+        if (bins.size() > w)
+            total += bins[w];
+    }
+    if (total <= 0.0)
+        return 0.0;
+    return busyIn(pid, w) / total;
+}
+
+double
+ShareTracker::overallShare(ProcessId pid) const
+{
+    double mine = 0.0;
+    double total = 0.0;
+    for (const auto &[other, bins] : busy_) {
+        double s = 0.0;
+        for (double b : bins)
+            s += b;
+        total += s;
+        if (other == pid)
+            mine = s;
+    }
+    if (total <= 0.0)
+        return 0.0;
+    return mine / total;
+}
+
+std::vector<double>
+ShareTracker::shareSeries(ProcessId pid) const
+{
+    std::vector<double> out;
+    out.reserve(windows_);
+    for (std::size_t w = 0; w < windows_; ++w)
+        out.push_back(share(pid, w));
+    return out;
+}
+
+} // namespace flep

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multiprogram performance metrics (Eyerman & Eeckhout) and the
+ * GPU-share tracker used by the fairness experiments.
+ */
+
+#ifndef FLEP_FLEP_METRICS_HH
+#define FLEP_FLEP_METRICS_HH
+
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+/** One program's co-run vs solo turnaround pair. */
+struct TurnaroundPair
+{
+    double coRunNs = 0.0;
+    double soloNs = 0.0;
+};
+
+/**
+ * Average Normalized Turnaround Time: mean of co-run turnaround over
+ * solo turnaround. Lower is better; 1.0 is no slowdown.
+ */
+double antt(const std::vector<TurnaroundPair> &pairs);
+
+/**
+ * System Throughput: sum of solo/co-run turnaround ratios. Higher is
+ * better; equals the program count with zero interference.
+ */
+double stp(const std::vector<TurnaroundPair> &pairs);
+
+/**
+ * Windowed per-process GPU-share tracker. Attach trackBusy() to
+ * GpuDevice::onSlotBusy; shares are each process's fraction of the
+ * total busy CTA-slot time per window.
+ */
+class ShareTracker
+{
+  public:
+    /** @param window_ns width of one share window. */
+    explicit ShareTracker(Tick window_ns);
+
+    /** Account one busy slot interval for a process. */
+    void trackBusy(ProcessId pid, Tick begin, Tick end);
+
+    /** Process ids seen so far. */
+    std::vector<ProcessId> processes() const;
+
+    /** Number of (possibly empty) windows up to the last busy tick. */
+    std::size_t windowCount() const;
+
+    /**
+     * Share of process `pid` in window `w`: its busy time divided by
+     * all processes' busy time in that window (0 when idle).
+     */
+    double share(ProcessId pid, std::size_t w) const;
+
+    /** Share of `pid` over the whole run. */
+    double overallShare(ProcessId pid) const;
+
+    /** Time series of shares for one process. */
+    std::vector<double> shareSeries(ProcessId pid) const;
+
+    /** The window width. */
+    Tick windowNs() const { return windowNs_; }
+
+  private:
+    double busyIn(ProcessId pid, std::size_t w) const;
+
+    Tick windowNs_;
+    // per process: per window busy ns
+    std::map<ProcessId, std::vector<double>> busy_;
+    std::size_t windows_ = 0;
+};
+
+} // namespace flep
+
+#endif // FLEP_FLEP_METRICS_HH

@@ -1,0 +1,66 @@
+#include "flep/trace.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace flep
+{
+
+std::vector<Tick>
+generateArrivalTimes(const ArrivalProcess &proc, Tick horizon,
+                     Rng &rng)
+{
+    FLEP_ASSERT(horizon > 0, "trace horizon must be positive");
+    std::vector<Tick> times;
+    if (proc.periodNs > 0) {
+        for (Tick t = proc.periodNs; t < horizon; t += proc.periodNs)
+            times.push_back(t);
+        return times;
+    }
+    FLEP_ASSERT(proc.ratePerMs > 0.0,
+                "Poisson arrivals need a positive rate");
+    const double mean_gap_ns = 1e6 / proc.ratePerMs;
+    double t = rng.exponential(mean_gap_ns);
+    while (t < static_cast<double>(horizon)) {
+        times.push_back(static_cast<Tick>(t));
+        t += rng.exponential(mean_gap_ns);
+    }
+    return times;
+}
+
+std::vector<KernelSpec>
+generateTrace(const std::vector<ArrivalProcess> &procs, Tick horizon,
+              Rng &rng)
+{
+    std::vector<KernelSpec> specs;
+    for (const auto &proc : procs) {
+        for (Tick at : generateArrivalTimes(proc, horizon, rng)) {
+            KernelSpec spec;
+            spec.workload = proc.workload;
+            spec.input = proc.input;
+            spec.priority = proc.priority;
+            spec.invokeDelayNs = at;
+            spec.repeats = 1;
+            specs.push_back(spec);
+        }
+    }
+    return specs;
+}
+
+TraceLatency
+summarizeLatency(const CoRunResult &result, Priority priority)
+{
+    SampleStats stats;
+    for (const auto &inv : result.invocations) {
+        if (inv.priority == priority)
+            stats.add(ticksToUs(inv.turnaroundNs()));
+    }
+    TraceLatency out;
+    out.completed = stats.count();
+    out.meanUs = stats.mean();
+    out.p95Us = stats.percentile(95);
+    out.maxUs = stats.max();
+    return out;
+}
+
+} // namespace flep

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Open-loop arrival traces for cloud-style scenarios.
+ *
+ * The paper motivates spatial preemption with GPUs that "process a
+ * large number of short queries from user-facing interactive
+ * applications" (§2.2). This module generates such query streams:
+ * each arrival becomes its own host process (its own MPS client), so
+ * arrivals are open-loop — they do not wait for earlier queries.
+ */
+
+#ifndef FLEP_FLEP_TRACE_HH
+#define FLEP_FLEP_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "flep/experiment.hh"
+
+namespace flep
+{
+
+/** One class of arriving requests. */
+struct ArrivalProcess
+{
+    std::string workload;
+    InputClass input = InputClass::Small;
+    Priority priority = 0;
+
+    /** Mean arrivals per simulated millisecond (Poisson). */
+    double ratePerMs = 1.0;
+
+    /** If > 0, arrivals are periodic with this interval instead. */
+    Tick periodNs = 0;
+};
+
+/**
+ * Generate the arrival times of one process class over [0, horizon).
+ * Poisson by default; periodic when periodNs is set.
+ */
+std::vector<Tick> generateArrivalTimes(const ArrivalProcess &proc,
+                                       Tick horizon, Rng &rng);
+
+/**
+ * Expand arrival processes into per-invocation KernelSpecs (one host
+ * process each) suitable for CoRunConfig::kernels. Arrival order is
+ * preserved within a class; classes are concatenated.
+ */
+std::vector<KernelSpec> generateTrace(
+    const std::vector<ArrivalProcess> &procs, Tick horizon, Rng &rng);
+
+/** Latency summary of the completed invocations of one trace class. */
+struct TraceLatency
+{
+    std::size_t completed = 0;
+    double meanUs = 0.0;
+    double p95Us = 0.0;
+    double maxUs = 0.0;
+};
+
+/**
+ * Summarize turnaround latency of all invocations with the given
+ * priority (trace classes are usually distinguished by priority).
+ */
+TraceLatency summarizeLatency(const CoRunResult &result,
+                              Priority priority);
+
+} // namespace flep
+
+#endif // FLEP_FLEP_TRACE_HH

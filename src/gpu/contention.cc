@@ -1,0 +1,16 @@
+#include "gpu/contention.hh"
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+double
+contentionFactor(double beta, int resident_ctas)
+{
+    FLEP_ASSERT(resident_ctas >= 1, "a task's own CTA is resident");
+    FLEP_ASSERT(beta >= 0.0, "negative contention sensitivity");
+    return 1.0 + beta * static_cast<double>(resident_ctas - 1);
+}
+
+} // namespace flep

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Intra-SM contention model.
+ *
+ * Co-resident CTAs on an SM contend for memory bandwidth, cache and
+ * issue slots, so per-task latency grows with residency. This is the
+ * effect behind the paper's Figure 16: a kernel whose CTAs are packed
+ * onto the minimum number of preempted SMs runs up to ~2.2x slower
+ * than the same CTAs spread across the whole device.
+ */
+
+#ifndef FLEP_GPU_CONTENTION_HH
+#define FLEP_GPU_CONTENTION_HH
+
+namespace flep
+{
+
+/**
+ * Multiplicative slowdown of one task when `resident_ctas` CTAs
+ * (including the task's own) share the SM.
+ *
+ * The model is linear: 1 + beta * (resident_ctas - 1), with a
+ * per-workload sensitivity beta (memory-bound kernels have high beta,
+ * compute-bound kernels low beta).
+ */
+double contentionFactor(double beta, int resident_ctas);
+
+} // namespace flep
+
+#endif // FLEP_GPU_CONTENTION_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Per-CTA execution state used inside the device model.
+ */
+
+#ifndef FLEP_GPU_CTA_HH
+#define FLEP_GPU_CTA_HH
+
+#include <memory>
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+class KernelExec;
+
+/**
+ * State of one active CTA. In Original mode a CtaState may represent a
+ * short run of CTAs executed back to back on the same slot (task
+ * batching, see GpuDevice); in Persistent mode it is one persistent
+ * worker CTA that loops pulling tasks.
+ */
+struct CtaState
+{
+    /** Owning kernel execution (kept alive by the device). */
+    std::shared_ptr<KernelExec> owner;
+
+    /** SM hosting this CTA; the value %smid would report. */
+    SmId sm = -1;
+
+    /** Dispatch time, for latency accounting. */
+    Tick dispatched = 0;
+};
+
+} // namespace flep
+
+#endif // FLEP_GPU_CTA_HH

@@ -1,0 +1,50 @@
+#include "gpu/gpu_config.hh"
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+GpuConfig
+GpuConfig::keplerK40()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+GpuConfig::pascalP100()
+{
+    GpuConfig cfg;
+    cfg.numSms = 56;
+    cfg.maxThreadsPerSm = 2048;
+    cfg.maxCtasPerSm = 32;
+    cfg.regsPerSm = 65536;
+    cfg.smemPerSm = 65536;
+    // NVLink-generation interconnect: cheaper host-device traffic.
+    cfg.pinnedReadNs = 700;
+    cfg.pinnedWriteVisibleNs = 250;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::tiny()
+{
+    GpuConfig cfg;
+    cfg.numSms = 4;
+    cfg.maxThreadsPerSm = 1024;
+    cfg.maxCtasPerSm = 8;
+    cfg.regsPerSm = 32768;
+    cfg.smemPerSm = 16384;
+    return cfg;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numSms <= 0 || maxThreadsPerSm <= 0 || maxCtasPerSm <= 0 ||
+        regsPerSm <= 0 || smemPerSm < 0 || warpSize <= 0) {
+        fatal("invalid GpuConfig: all capacities must be positive");
+    }
+}
+
+} // namespace flep

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Static description of the simulated GPU.
+ *
+ * The default preset models the Nvidia Tesla K40 (Kepler, 15 SMs) used
+ * in the paper's evaluation, including the host-device communication
+ * latencies that dominate the cost of FLEP's preemption-flag polling.
+ */
+
+#ifndef FLEP_GPU_GPU_CONFIG_HH
+#define FLEP_GPU_GPU_CONFIG_HH
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+/**
+ * Hardware parameters of the simulated device. All latencies are in
+ * ticks (nanoseconds).
+ */
+struct GpuConfig
+{
+    /** Number of streaming multiprocessors. */
+    int numSms = 15;
+
+    /** Maximum concurrent threads per SM. */
+    int maxThreadsPerSm = 2048;
+
+    /** Hard cap on active CTAs per SM regardless of resources. */
+    int maxCtasPerSm = 16;
+
+    /** 32-bit registers per SM. */
+    int regsPerSm = 65536;
+
+    /** Shared memory per SM in bytes. */
+    int smemPerSm = 49152;
+
+    /** Threads per warp (used by the resource scan). */
+    int warpSize = 32;
+
+    /**
+     * Device-side read of a pinned host-memory variable (the temp_P /
+     * spa_P poll), including the block-wide barrier that shares the
+     * value. Crosses PCIe, so it is the expensive operation the
+     * amortizing factor L exists to hide.
+     */
+    Tick pinnedReadNs = 1500;
+
+    /**
+     * Delay between a host store to pinned memory and device
+     * visibility of the new value.
+     */
+    Tick pinnedWriteVisibleNs = 500;
+
+    /** Device global-memory atomic used by pull_task(). */
+    Tick atomicNs = 30;
+
+    /** Host-API kernel launch overhead (cold, through MPS). */
+    Tick kernelLaunchNs = 5000;
+
+    /**
+     * Gap between back-to-back kernels queued asynchronously in the
+     * same stream (the cost a kernel-slicing scheme pays per slice).
+     */
+    Tick streamLaunchGapNs = 1500;
+
+    /** Hardware scheduler latency to place one CTA on an SM. Small:
+     *  the hardware pipelines dispatch with execution. */
+    Tick ctaDispatchNs = 20;
+
+    /** One-way latency of a host-process-to-runtime IPC message. */
+    Tick ipcNs = 3000;
+
+    /**
+     * Cost multiplier for the first chunk of a persistent CTA
+     * dispatched after its kernel was preempted: caches and TLBs were
+     * repopulated by the preemptor, so resumed work starts cold. This
+     * is the dominant component of the profiled preemption overhead.
+     */
+    double coldRestartFactor = 1.5;
+
+    /**
+     * While an SM hosts CTAs of more than one kernel, task bodies are
+     * simulated in quanta of this length so the contention factor
+     * tracks the changing residency (e.g. a spatial preemptor
+     * overlapping the victim's draining chunks). Uniform-residency
+     * chunks run as a single event. 0 disables segmentation.
+     */
+    Tick contentionQuantumNs = 10000;
+
+    /** Total CTA slots across the device for a given per-SM count. */
+    int
+    totalSlots(int ctas_per_sm) const
+    {
+        return numSms * ctas_per_sm;
+    }
+
+    /** The K40 preset used throughout the evaluation. */
+    static GpuConfig keplerK40();
+
+    /**
+     * A Pascal-class 56-SM device (P100-like geometry). Pascal is the
+     * architecture the paper notes "claims to support preemption" in
+     * hardware; the preset is used by the device-size ablation to ask
+     * how FLEP's spatial preemption scales with SM count.
+     */
+    static GpuConfig pascalP100();
+
+    /** A small 4-SM device used by fast unit tests. */
+    static GpuConfig tiny();
+
+    /** Validate basic sanity; calls fatal() on nonsense values. */
+    void validate() const;
+};
+
+} // namespace flep
+
+#endif // FLEP_GPU_GPU_CONFIG_HH

@@ -1,0 +1,326 @@
+#include "gpu/gpu_device.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "gpu/contention.hh"
+
+namespace flep
+{
+
+namespace
+{
+
+/**
+ * Target number of batched slot-events per CTA slot for Original-mode
+ * kernels. Larger values reduce the tail quantization error of task
+ * batching (bounded by ~1/origWaveTarget of the kernel duration) at
+ * the cost of more simulation events.
+ */
+constexpr long origWaveTarget = 200;
+
+} // namespace
+
+void
+KernelExec::setFlag(Tick now, int value)
+{
+    if (value > 0)
+        ++preemptGeneration_;
+    flag_.hostWrite(now, value);
+}
+
+GpuDevice::GpuDevice(Simulation &sim, GpuConfig cfg)
+    : SimObject(sim, "gpu"),
+      cfg_(cfg),
+      scheduler_(*this),
+      rng_(sim.forkRng())
+{
+    cfg_.validate();
+    sms_.reserve(static_cast<std::size_t>(cfg_.numSms));
+    for (SmId id = 0; id < cfg_.numSms; ++id)
+        sms_.emplace_back(id, cfg_);
+    smResidents_.resize(static_cast<std::size_t>(cfg_.numSms));
+    smBusyNs_.assign(static_cast<std::size_t>(cfg_.numSms), 0);
+}
+
+bool
+GpuDevice::mixedResidency(SmId sm) const
+{
+    return smResidents_[static_cast<std::size_t>(sm)].size() > 1;
+}
+
+std::shared_ptr<KernelExec>
+GpuDevice::createExec(KernelLaunchDesc desc)
+{
+    FLEP_ASSERT(desc.totalTasks > 0, "kernel ", desc.name,
+                " has no tasks");
+    if (maxActivePerSm(desc.footprint) == 0) {
+        fatal("kernel ", desc.name,
+              ": one CTA exceeds the resources of an SM");
+    }
+    auto exec = std::shared_ptr<KernelExec>(new KernelExec(
+        std::move(desc), sim_.forkRng(), cfg_.pinnedWriteVisibleNs));
+    const long capacity = capacityFor(exec->desc().footprint);
+    exec->origBatch_ = std::max<long>(
+        1, exec->totalTasks() / (capacity * origWaveTarget));
+    exec->waveEstimate_ = std::min(capacity, exec->totalTasks());
+    return exec;
+}
+
+void
+GpuDevice::launch(std::shared_ptr<KernelExec> exec, Tick launch_latency)
+{
+    sim_.events().scheduleAfter(launch_latency, [this, exec]() {
+        if (exec->complete())
+            return;
+        const long unclaimed = exec->tasksUnclaimed();
+        if (unclaimed <= 0)
+            return;
+        long ctas = 0;
+        if (exec->desc().mode == ExecMode::Original) {
+            ctas = (unclaimed + exec->origBatch_ - 1) / exec->origBatch_;
+        } else {
+            ctas = std::min(capacityFor(exec->desc().footprint),
+                            unclaimed);
+        }
+        scheduler_.enqueue(exec, ctas);
+    });
+}
+
+void
+GpuDevice::launchWave(std::shared_ptr<KernelExec> exec, long ctas,
+                      Tick launch_latency)
+{
+    FLEP_ASSERT(exec->desc().mode == ExecMode::Persistent,
+                "explicit waves only make sense for persistent kernels");
+    sim_.events().scheduleAfter(launch_latency, [this, exec, ctas]() {
+        if (exec->complete())
+            return;
+        const long n = std::min(ctas, std::max<long>(
+            exec->tasksUnclaimed(), 0));
+        if (n <= 0)
+            return;
+        scheduler_.enqueue(exec, n);
+    });
+}
+
+int
+GpuDevice::maxActivePerSm(const CtaFootprint &fp) const
+{
+    return maxActiveCtasPerSm(cfg_, fp);
+}
+
+long
+GpuDevice::capacityFor(const CtaFootprint &fp) const
+{
+    return deviceCtaCapacity(cfg_, fp);
+}
+
+int
+GpuDevice::residentCtas() const
+{
+    int total = 0;
+    for (const auto &sm : sms_)
+        total += sm.residentCtas();
+    return total;
+}
+
+SmId
+GpuDevice::pickSmFor(const CtaFootprint &fp) const
+{
+    SmId best = -1;
+    int best_load = std::numeric_limits<int>::max();
+    for (const auto &sm : sms_) {
+        if (!sm.fits(fp))
+            continue;
+        if (sm.residentCtas() < best_load) {
+            best_load = sm.residentCtas();
+            best = sm.id();
+        }
+    }
+    return best;
+}
+
+void
+GpuDevice::dispatchCta(std::shared_ptr<KernelExec> exec, SmId sm)
+{
+    sms_[static_cast<std::size_t>(sm)].acquire(exec->desc().footprint);
+    smResidents_[static_cast<std::size_t>(sm)][exec.get()] += 1;
+    exec->activeCtas_ += 1;
+    exec->firstDispatch_ = std::min(exec->firstDispatch_, sim_.now());
+
+    // CTAs dispatched after a preemption start with cold caches: the
+    // preemptor evicted the kernel's working set.
+    const bool cold = exec->preemptGeneration_ > 0;
+    sim_.events().scheduleAfter(cfg_.ctaDispatchNs,
+                                [this, exec, sm, cold]() {
+        if (exec->desc().mode == ExecMode::Original)
+            runOriginalCta(exec, sm);
+        else
+            persistentIterate(exec, sm, cold);
+    });
+}
+
+long
+GpuDevice::claimTasks(KernelExec &exec, long want, long &first)
+{
+    const long k = std::min(want, exec.tasksUnclaimed());
+    first = exec.tasksClaimed_;
+    exec.tasksClaimed_ += k;
+    return k;
+}
+
+void
+GpuDevice::runTaskHook(KernelExec &exec, long first, long count)
+{
+    if (!exec.desc().onTask)
+        return;
+    for (long i = 0; i < count; ++i)
+        exec.desc().onTask(first + i);
+}
+
+void
+GpuDevice::runOriginalCta(std::shared_ptr<KernelExec> exec, SmId sm)
+{
+    long first = 0;
+    const long k = claimTasks(*exec, exec->origBatch_, first);
+    if (k == 0) {
+        retireCta(exec, sm);
+        return;
+    }
+    const Tick base = exec->desc().cost.sampleChunk(k, exec->rng_);
+    runBodySegments(exec, sm, base, 1.0, 0,
+                    [this, exec, sm, k, first]() {
+        exec->tasksCompleted_ += k;
+        runTaskHook(*exec, first, k);
+        retireCta(exec, sm);
+    });
+}
+
+void
+GpuDevice::runBodySegments(std::shared_ptr<KernelExec> exec, SmId sm,
+                           Tick base_left, double extra_factor,
+                           Tick lead_ns, std::function<void()> done)
+{
+    // One event per chunk while the SM's residency is uniform; time
+    // quanta while kernels overlap, so the contention factor tracks
+    // the changing CTA mix.
+    Tick base_step = base_left;
+    if (cfg_.contentionQuantumNs > 0 && mixedResidency(sm))
+        base_step = std::min(base_left, cfg_.contentionQuantumNs);
+
+    const auto &sm_obj = sms_[static_cast<std::size_t>(sm)];
+    const double factor = contentionFactor(exec->desc().contentionBeta,
+                                           sm_obj.residentCtas()) *
+                          extra_factor;
+    const Tick wall = lead_ns + std::max<Tick>(
+        static_cast<Tick>(static_cast<double>(base_step) * factor), 1);
+    const Tick begin = sim_.now();
+    const Tick left = base_left - base_step;
+    sim_.events().scheduleAfter(
+        wall,
+        [this, exec, sm, left, extra_factor, begin,
+         done = std::move(done)]() mutable {
+            accountBusy(*exec, sm, begin, sim_.now());
+            if (left > 0) {
+                runBodySegments(exec, sm, left, extra_factor, 0,
+                                std::move(done));
+            } else {
+                done();
+            }
+        });
+}
+
+void
+GpuDevice::persistentIterate(std::shared_ptr<KernelExec> exec, SmId sm,
+                             bool cold)
+{
+    // Figure 4 (b)/(c): poll the flag, then pull and process up to L
+    // tasks. Polling is done by one thread and shared through block
+    // synchronization; its PCIe cost is pinnedReadNs.
+    exec->pollCount_ += 1;
+    const int flag = exec->flag_.deviceRead(sim_.now());
+    if (sm < flag) {
+        // This CTA's host SM is being yielded.
+        sim_.events().scheduleAfter(cfg_.pinnedReadNs,
+                                    [this, exec, sm]() {
+            retireCta(exec, sm);
+        });
+        return;
+    }
+
+    // Chunk claiming approximates the per-task atomic pulls of the
+    // transformed kernel. Bounding the claim by a fair share of the
+    // remaining tasks keeps the approximation faithful when few tasks
+    // remain (or the whole kernel is tiny): real CTAs interleave
+    // their pulls, so no single CTA runs away with the tail. The
+    // wave-size estimate is used because CTAs of a starting wave are
+    // dispatched one by one as slots free up.
+    const long fair_share = std::max<long>(
+        1, exec->tasksUnclaimed() / exec->waveEstimate_);
+    long first = 0;
+    const long k = claimTasks(
+        *exec, std::min<long>(exec->desc().amortizeL, fair_share),
+        first);
+    if (k == 0) {
+        // pull_task() returned NULL: all tasks claimed, worker exits.
+        sim_.events().scheduleAfter(cfg_.pinnedReadNs + cfg_.atomicNs,
+                                    [this, exec, sm]() {
+            retireCta(exec, sm);
+        });
+        return;
+    }
+
+    const Tick base = exec->desc().cost.sampleChunk(k, exec->rng_);
+    const Tick lead = cfg_.pinnedReadNs +
+                      static_cast<Tick>(k) * cfg_.atomicNs;
+    const double extra = cold ? cfg_.coldRestartFactor : 1.0;
+    runBodySegments(exec, sm, base, extra, lead,
+                    [this, exec, sm, k, first]() {
+        exec->tasksCompleted_ += k;
+        runTaskHook(*exec, first, k);
+        persistentIterate(exec, sm, false);
+    });
+}
+
+void
+GpuDevice::retireCta(std::shared_ptr<KernelExec> exec, SmId sm)
+{
+    sms_[static_cast<std::size_t>(sm)].release(exec->desc().footprint);
+    auto &residents = smResidents_[static_cast<std::size_t>(sm)];
+    if (--residents[exec.get()] == 0)
+        residents.erase(exec.get());
+    exec->activeCtas_ -= 1;
+    FLEP_ASSERT(exec->activeCtas_ >= 0, "CTA count underflow for ",
+                exec->name());
+
+    if (exec->activeCtas_ == 0 && !exec->complete()) {
+        if (exec->tasksCompleted_ == exec->totalTasks()) {
+            exec->completed_ = true;
+            exec->completionTick_ = sim_.now();
+            if (exec->onComplete)
+                exec->onComplete(*exec, sim_.now());
+        } else if (scheduler_.undispatchedCtas(exec.get()) == 0) {
+            // Preempted off the GPU with work remaining: the host must
+            // relaunch to resume.
+            if (exec->onDrained)
+                exec->onDrained(*exec, sim_.now());
+        }
+    }
+
+    scheduler_.tryDispatch();
+}
+
+void
+GpuDevice::accountBusy(KernelExec &exec, SmId sm, Tick begin, Tick end)
+{
+    exec.busySlotNs_ += end - begin;
+    smBusyNs_[static_cast<std::size_t>(sm)] += end - begin;
+    if (onSlotBusy)
+        onSlotBusy(exec.desc().process, begin, end);
+    if (onSlotBusyDetailed)
+        onSlotBusyDetailed(exec, sm, begin, end);
+}
+
+} // namespace flep

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The simulated GPU device and per-invocation execution state.
+ */
+
+#ifndef FLEP_GPU_GPU_DEVICE_HH
+#define FLEP_GPU_GPU_DEVICE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/hw_scheduler.hh"
+#include "gpu/kernel.hh"
+#include "gpu/pinned_flag.hh"
+#include "gpu/sm.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+namespace flep
+{
+
+class GpuDevice;
+
+/**
+ * Device-side state of one logical kernel invocation.
+ *
+ * A KernelExec outlives individual launches: a preempted persistent
+ * kernel keeps its global task counter, so a later relaunch (resume)
+ * continues from where execution stopped — no task is lost or redone.
+ */
+class KernelExec
+{
+  public:
+    using Callback = std::function<void(KernelExec &, Tick)>;
+
+    /** The launch descriptor this execution was created from. */
+    const KernelLaunchDesc &desc() const { return desc_; }
+
+    /** Kernel name shorthand. */
+    const std::string &name() const { return desc_.name; }
+
+    /** Tasks whose results are complete. */
+    long tasksCompleted() const { return tasksCompleted_; }
+
+    /** Tasks not yet claimed by any CTA. */
+    long tasksUnclaimed() const { return desc_.totalTasks - tasksClaimed_; }
+
+    /** Total tasks of the invocation. */
+    long totalTasks() const { return desc_.totalTasks; }
+
+    /** CTAs currently resident on SMs. */
+    int activeCtas() const { return activeCtas_; }
+
+    /** True once every task has completed and every CTA retired. */
+    bool complete() const { return completed_; }
+
+    /** Time the first CTA was dispatched; maxTick if none yet. */
+    Tick firstDispatchTick() const { return firstDispatch_; }
+
+    /** Completion time; maxTick while still running. */
+    Tick completionTick() const { return completionTick_; }
+
+    /** Aggregate busy slot-time (ns summed over CTA slots). */
+    Tick busySlotTime() const { return busySlotNs_; }
+
+    /** Number of preemption-flag polls executed (overhead metric). */
+    long pollCount() const { return pollCount_; }
+
+    /** Times the host has raised the preemption flag. */
+    int preemptGeneration() const { return preemptGeneration_; }
+
+    /**
+     * Host-side store to the preemption flag (temp_P / spa_P).
+     * Value semantics: CTAs on SMs with id < value yield at their next
+     * poll; value >= numSms yields the whole GPU (temporal); 0 runs.
+     */
+    void setFlag(Tick now, int value);
+
+    /** Flag value as the device observes it at `now`. */
+    int flagDeviceValue(Tick now) const { return flag_.deviceRead(now); }
+
+    /** Flag value as the host sees it. */
+    int flagHostValue() const { return flag_.hostValue(); }
+
+    /** Fired when the invocation fully completes. */
+    Callback onComplete;
+
+    /**
+     * Fired when the active CTA count reaches zero while tasks remain:
+     * the kernel has been preempted off the GPU and needs a relaunch
+     * to continue.
+     */
+    Callback onDrained;
+
+  private:
+    friend class GpuDevice;
+
+    KernelExec(KernelLaunchDesc desc, Rng rng, Tick flag_delay)
+        : desc_(std::move(desc)), rng_(rng), flag_(flag_delay)
+    {}
+
+    KernelLaunchDesc desc_;
+    Rng rng_;
+    PinnedFlag flag_;
+
+    long tasksClaimed_ = 0;
+    long tasksCompleted_ = 0;
+    int activeCtas_ = 0;
+    bool completed_ = false;
+    long pollCount_ = 0;
+    int preemptGeneration_ = 0;
+
+    Tick firstDispatch_ = maxTick;
+    Tick completionTick_ = maxTick;
+    Tick busySlotNs_ = 0;
+
+    /** Original-mode task batching factor (see GpuDevice). */
+    long origBatch_ = 1;
+
+    /** Persistent wave size estimate (for fair chunk claiming). */
+    long waveEstimate_ = 1;
+};
+
+/**
+ * The simulated GPU: SMs, the hardware FIFO CTA scheduler, and the
+ * execution engines for Original and Persistent kernels.
+ */
+class GpuDevice : public SimObject
+{
+  public:
+    GpuDevice(Simulation &sim, GpuConfig cfg);
+
+    /** Device parameters. */
+    const GpuConfig &config() const { return cfg_; }
+
+    /**
+     * Create the execution state for one logical kernel invocation.
+     * The returned object may be launched, preempted and relaunched
+     * any number of times until it completes.
+     */
+    std::shared_ptr<KernelExec> createExec(KernelLaunchDesc desc);
+
+    /**
+     * Issue a launch command. After `launch_latency` ticks the
+     * invocation's CTAs join the hardware FIFO queue:
+     *  - Original mode: one CTA per remaining task;
+     *  - Persistent mode: min(device capacity, remaining tasks)
+     *    persistent CTAs (the FLEP wave).
+     */
+    void launch(std::shared_ptr<KernelExec> exec, Tick launch_latency);
+
+    /**
+     * Issue a launch of an explicit number of worker CTAs. Used by the
+     * runtime for spatial refills, where only the freed SMs' worth of
+     * persistent CTAs should be relaunched.
+     */
+    void launchWave(std::shared_ptr<KernelExec> exec, long ctas,
+                    Tick launch_latency);
+
+    /** Per-SM maximum active CTAs for a footprint on this device. */
+    int maxActivePerSm(const CtaFootprint &fp) const;
+
+    /** Device-wide concurrent CTA capacity for a footprint. */
+    long capacityFor(const CtaFootprint &fp) const;
+
+    /** Read-only view of one SM (tests and diagnostics). */
+    const Sm &sm(SmId id) const { return sms_[static_cast<size_t>(id)]; }
+
+    /** Number of CTAs resident device-wide. */
+    int residentCtas() const;
+
+    /** The hardware scheduler (tests and diagnostics). */
+    const HwScheduler &scheduler() const { return scheduler_; }
+
+    /**
+     * Optional accounting hook: called with every busy CTA-slot
+     * interval, attributed to the owning process. The FFS experiments
+     * use it to track weighted GPU shares over time.
+     */
+    std::function<void(ProcessId, Tick begin, Tick end)> onSlotBusy;
+
+    /**
+     * Optional detailed accounting hook: like onSlotBusy but with the
+     * execution and SM identified. Used for timelines and per-SM
+     * utilization views (e.g. the Figure 2 walkthrough example).
+     */
+    std::function<void(const KernelExec &, SmId, Tick begin, Tick end)>
+        onSlotBusyDetailed;
+
+    /** Accumulated busy CTA-slot time on one SM. */
+    Tick smBusyNs(SmId id) const
+    {
+        return smBusyNs_[static_cast<std::size_t>(id)];
+    }
+
+  private:
+    friend class HwScheduler;
+
+    /** Pick the least-loaded SM that fits `fp`; -1 when none. */
+    SmId pickSmFor(const CtaFootprint &fp) const;
+
+    /** Called by the scheduler: place one CTA of `exec` on `sm`. */
+    void dispatchCta(std::shared_ptr<KernelExec> exec, SmId sm);
+
+    void runOriginalCta(std::shared_ptr<KernelExec> exec, SmId sm);
+    void persistentIterate(std::shared_ptr<KernelExec> exec, SmId sm,
+                           bool cold);
+    void retireCta(std::shared_ptr<KernelExec> exec, SmId sm);
+
+    /**
+     * Execute `base_left` ticks of uncontended task-body work on
+     * `sm`, inflating each time quantum by the contention factor of
+     * the residency observed when the quantum starts, then invoke
+     * `done`. `lead_ns` is fixed-cost overhead (flag poll, task-pull
+     * atomics) prepended to the first quantum.
+     */
+    void runBodySegments(std::shared_ptr<KernelExec> exec, SmId sm,
+                         Tick base_left, double extra_factor,
+                         Tick lead_ns, std::function<void()> done);
+
+    /** True when `sm` hosts CTAs of more than one execution. */
+    bool mixedResidency(SmId sm) const;
+
+    void accountBusy(KernelExec &exec, SmId sm, Tick begin, Tick end);
+
+    /**
+     * Claim up to `want` tasks; returns the count and sets `first`
+     * to the index of the first claimed task.
+     */
+    long claimTasks(KernelExec &exec, long want, long &first);
+
+    /** Run the functional hook for tasks [first, first + count). */
+    static void runTaskHook(KernelExec &exec, long first, long count);
+
+    GpuConfig cfg_;
+    std::vector<Sm> sms_;
+    HwScheduler scheduler_;
+    Rng rng_;
+    /** Per-SM count of resident CTAs per execution. */
+    std::vector<std::unordered_map<const KernelExec *, int>>
+        smResidents_;
+
+    /** Per-SM accumulated busy slot time. */
+    std::vector<Tick> smBusyNs_;
+};
+
+} // namespace flep
+
+#endif // FLEP_GPU_GPU_DEVICE_HH

@@ -1,0 +1,68 @@
+#include "gpu/hw_scheduler.hh"
+
+#include "common/logging.hh"
+#include "gpu/gpu_device.hh"
+
+namespace flep
+{
+
+HwScheduler::HwScheduler(GpuDevice &dev)
+    : dev_(dev)
+{}
+
+void
+HwScheduler::enqueue(std::shared_ptr<KernelExec> exec, long ctas)
+{
+    FLEP_ASSERT(ctas > 0, "empty launch batch for ", exec->name());
+    fifo_.push_back(Batch{std::move(exec), ctas});
+    tryDispatch();
+}
+
+void
+HwScheduler::tryDispatch()
+{
+    if (dispatching_)
+        return;
+    dispatching_ = true;
+
+    auto it = fifo_.begin();
+    while (it != fifo_.end()) {
+        while (it->remaining > 0) {
+            const SmId sm = dev_.pickSmFor(it->exec->desc().footprint);
+            if (sm < 0)
+                break;
+            it->remaining -= 1;
+            dev_.dispatchCta(it->exec, sm);
+        }
+        if (it->remaining > 0) {
+            // Head-of-line blocking: the front batch cannot place its
+            // next CTA, so younger batches must wait.
+            break;
+        }
+        it = fifo_.erase(it);
+    }
+
+    dispatching_ = false;
+}
+
+long
+HwScheduler::undispatchedCtas(const KernelExec *exec) const
+{
+    long total = 0;
+    for (const auto &batch : fifo_) {
+        if (batch.exec.get() == exec)
+            total += batch.remaining;
+    }
+    return total;
+}
+
+long
+HwScheduler::totalUndispatched() const
+{
+    long total = 0;
+    for (const auto &batch : fifo_)
+        total += batch.remaining;
+    return total;
+}
+
+} // namespace flep

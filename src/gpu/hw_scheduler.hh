@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The hardware CTA scheduler.
+ *
+ * Models the GPU's global FIFO CTA queue (paper §2.1 and §4.1): CTAs
+ * of launched kernels are buffered in launch order. The head batch's
+ * CTAs are dispatched to any SM with free resources; while the head
+ * batch still has undispatched CTAs that fit nowhere, all younger
+ * batches are blocked (head-of-line blocking). Once a batch has fully
+ * dispatched, younger batches may use leftover resources — exactly the
+ * MPS sharing semantics the paper describes.
+ */
+
+#ifndef FLEP_GPU_HW_SCHEDULER_HH
+#define FLEP_GPU_HW_SCHEDULER_HH
+
+#include <deque>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+class GpuDevice;
+class KernelExec;
+
+/** FIFO hardware CTA scheduler with head-of-line blocking. */
+class HwScheduler
+{
+  public:
+    explicit HwScheduler(GpuDevice &dev);
+
+    /**
+     * Append a launch batch: `ctas` worker CTAs of `exec` become
+     * eligible for dispatch, behind everything already queued.
+     */
+    void enqueue(std::shared_ptr<KernelExec> exec, long ctas);
+
+    /**
+     * Dispatch as many queued CTAs as the FIFO discipline and SM
+     * resources allow. Called whenever a batch arrives or an SM frees
+     * resources. Dispatching only schedules events; it never runs CTA
+     * work synchronously, so it is safe to call from event handlers.
+     */
+    void tryDispatch();
+
+    /** Number of batches still holding undispatched CTAs. */
+    std::size_t pendingBatches() const { return fifo_.size(); }
+
+    /** Undispatched CTAs of a given execution across all batches. */
+    long undispatchedCtas(const KernelExec *exec) const;
+
+    /** Total undispatched CTAs in the queue. */
+    long totalUndispatched() const;
+
+  private:
+    struct Batch
+    {
+        std::shared_ptr<KernelExec> exec;
+        long remaining;
+    };
+
+    GpuDevice &dev_;
+    std::deque<Batch> fifo_;
+    bool dispatching_ = false;
+};
+
+} // namespace flep
+
+#endif // FLEP_GPU_HW_SCHEDULER_HH

@@ -1,0 +1,52 @@
+#include "gpu/kernel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Original:
+        return "original";
+      case ExecMode::Persistent:
+        return "persistent";
+    }
+    return "unknown";
+}
+
+TaskCostModel::TaskCostModel(double mean_ns, double cv)
+    : meanNs_(mean_ns), cv_(cv)
+{
+    FLEP_ASSERT(mean_ns > 0.0, "task cost must be positive");
+    FLEP_ASSERT(cv >= 0.0, "coefficient of variation must be >= 0");
+}
+
+Tick
+TaskCostModel::sampleChunk(long k, Rng &rng) const
+{
+    if (k <= 0)
+        return 0;
+    double total = 0.0;
+    if (cv_ <= 0.0) {
+        total = meanNs_ * static_cast<double>(k);
+    } else if (k == 1) {
+        total = meanNs_ * rng.lognormalUnitMean(cv_);
+    } else {
+        // Sum of k i.i.d. costs: normal approximation with matched
+        // first two moments, truncated away from zero.
+        const double mean = meanNs_ * static_cast<double>(k);
+        const double sd =
+            meanNs_ * cv_ * std::sqrt(static_cast<double>(k));
+        total = rng.normal(mean, sd);
+        total = std::max(total, 0.1 * mean);
+    }
+    return static_cast<Tick>(std::max(total, 1.0));
+}
+
+} // namespace flep

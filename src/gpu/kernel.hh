@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Kernel launch descriptors and the task-cost model.
+ *
+ * A "task" is the unit of work one CTA performs in the *original*
+ * kernel (paper §4.1). The original kernel launches one CTA per task;
+ * a FLEP-transformed kernel launches only as many persistent CTAs as
+ * the device can host and lets each CTA pull tasks from a global
+ * counter.
+ */
+
+#ifndef FLEP_GPU_KERNEL_HH
+#define FLEP_GPU_KERNEL_HH
+
+#include <functional>
+#include <string>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "gpu/occupancy.hh"
+
+namespace flep
+{
+
+/** How the device executes a kernel's CTAs. */
+enum class ExecMode
+{
+    /**
+     * Untransformed kernel: one CTA per task, non-preemptable; the
+     * hardware scheduler drains all CTAs before any younger kernel.
+     */
+    Original,
+
+    /**
+     * FLEP persistent-thread form (Figure 4 b/c): a fixed wave of
+     * persistent CTAs that poll the preemption flag every L tasks.
+     * Spatial yielding is encoded in the flag value, so a single mode
+     * covers both temporal and spatial preemption.
+     */
+    Persistent,
+};
+
+/** Human-readable mode name. */
+const char *execModeName(ExecMode mode);
+
+/**
+ * Stochastic per-task cost model. Task base costs are i.i.d. with the
+ * given mean and coefficient of variation; the cost of a chunk of k
+ * consecutive tasks is sampled as the sum of k such draws (normal
+ * approximation for k > 1, exact lognormal draw for k == 1).
+ */
+class TaskCostModel
+{
+  public:
+    TaskCostModel() = default;
+
+    /**
+     * @param mean_ns mean base cost of one task in ticks
+     * @param cv coefficient of variation of a single task's cost
+     */
+    TaskCostModel(double mean_ns, double cv);
+
+    /** Mean base cost of one task. */
+    double meanNs() const { return meanNs_; }
+
+    /** Coefficient of variation of one task. */
+    double cv() const { return cv_; }
+
+    /**
+     * Sample the total base cost of k tasks.
+     * @return ticks, always >= 1 for k >= 1.
+     */
+    Tick sampleChunk(long k, Rng &rng) const;
+
+  private:
+    double meanNs_ = 1000.0;
+    double cv_ = 0.0;
+};
+
+/**
+ * Everything the device needs to execute one kernel invocation.
+ * Produced by the workload layer (optionally via the FLEP compiler's
+ * transformation) and consumed by GpuDevice.
+ */
+struct KernelLaunchDesc
+{
+    /** Kernel name, used in logs and runtime records. */
+    std::string name;
+
+    /** Total number of tasks (original-form CTA count). */
+    long totalTasks = 0;
+
+    /** Per-CTA hardware resource demand. */
+    CtaFootprint footprint;
+
+    /** Per-task base cost distribution. */
+    TaskCostModel cost;
+
+    /** Contention sensitivity (see gpu/contention.hh). */
+    double contentionBeta = 0.0;
+
+    /** Execution form. */
+    ExecMode mode = ExecMode::Original;
+
+    /**
+     * Amortizing factor L: tasks processed between preemption-flag
+     * polls (Persistent mode only).
+     */
+    int amortizeL = 1;
+
+    /** Owning host process, for accounting. */
+    ProcessId process = 0;
+
+    /**
+     * Optional functional co-simulation hook: invoked once per task,
+     * in claim order, when the chunk containing the task completes.
+     * Lets a caller execute real per-task work (e.g. interpreting the
+     * outlined mini-CUDA task function) under the simulated schedule,
+     * including preemption and resume.
+     */
+    std::function<void(long)> onTask;
+};
+
+} // namespace flep
+
+#endif // FLEP_GPU_KERNEL_HH

@@ -1,0 +1,46 @@
+#include "gpu/measure.hh"
+
+#include "common/logging.hh"
+#include "gpu/gpu_device.hh"
+#include "sim/simulation.hh"
+
+namespace flep
+{
+
+SoloResult
+soloRun(const GpuConfig &cfg, const KernelLaunchDesc &desc,
+        std::uint64_t seed)
+{
+    Simulation sim(seed);
+    GpuDevice gpu(sim, cfg);
+
+    auto exec = gpu.createExec(desc);
+    const Tick issued = sim.now();
+    gpu.launch(exec, cfg.kernelLaunchNs);
+    sim.run();
+
+    FLEP_ASSERT(exec->complete(), "solo run of ", desc.name,
+                " did not complete");
+
+    SoloResult res;
+    res.durationNs = exec->completionTick() - issued;
+    res.execNs = exec->completionTick() - exec->firstDispatchTick();
+    res.busySlotNs = exec->busySlotTime();
+    res.polls = exec->pollCount();
+    return res;
+}
+
+double
+soloMeanDurationNs(const GpuConfig &cfg, const KernelLaunchDesc &desc,
+                   std::uint64_t seed, int reps)
+{
+    FLEP_ASSERT(reps > 0, "need at least one repetition");
+    double acc = 0.0;
+    for (int i = 0; i < reps; ++i)
+        acc += static_cast<double>(
+            soloRun(cfg, desc, seed + static_cast<std::uint64_t>(i))
+                .durationNs);
+    return acc / static_cast<double>(reps);
+}
+
+} // namespace flep

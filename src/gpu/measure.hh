@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stand-alone kernel timing: run one kernel on a fresh device and
+ * report host-observed duration. Used for Table 1, performance-model
+ * training, amortizing-factor tuning and the Figure 17 overhead study.
+ */
+
+#ifndef FLEP_GPU_MEASURE_HH
+#define FLEP_GPU_MEASURE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel.hh"
+
+namespace flep
+{
+
+/** Result of one solo kernel run. */
+struct SoloResult
+{
+    /** Host-observed duration: launch API call to completion. */
+    Tick durationNs = 0;
+
+    /** Time from first CTA dispatch to completion. */
+    Tick execNs = 0;
+
+    /** Aggregate busy CTA-slot time. */
+    Tick busySlotNs = 0;
+
+    /** Preemption-flag polls executed (Persistent mode). */
+    long polls = 0;
+};
+
+/**
+ * Run `desc` alone on a device with config `cfg` and return its
+ * timing. The run is deterministic in `seed`.
+ */
+SoloResult soloRun(const GpuConfig &cfg, const KernelLaunchDesc &desc,
+                   std::uint64_t seed);
+
+/**
+ * Average host-observed solo duration over `reps` runs with seeds
+ * seed, seed+1, ...
+ */
+double soloMeanDurationNs(const GpuConfig &cfg,
+                          const KernelLaunchDesc &desc,
+                          std::uint64_t seed, int reps);
+
+} // namespace flep
+
+#endif // FLEP_GPU_MEASURE_HH

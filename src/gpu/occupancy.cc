@@ -1,0 +1,50 @@
+#include "gpu/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+int
+maxActiveCtasPerSm(const GpuConfig &cfg, const CtaFootprint &fp)
+{
+    FLEP_ASSERT(fp.threads > 0, "CTA must have at least one thread");
+    FLEP_ASSERT(fp.regsPerThread >= 0 && fp.smemBytes >= 0,
+                "negative resource demand");
+
+    const int by_threads = cfg.maxThreadsPerSm / fp.threads;
+    const long regs_per_cta =
+        static_cast<long>(fp.threads) * fp.regsPerThread;
+    const int by_regs = regs_per_cta > 0
+        ? static_cast<int>(cfg.regsPerSm / regs_per_cta)
+        : cfg.maxCtasPerSm;
+    const int by_smem = fp.smemBytes > 0
+        ? cfg.smemPerSm / fp.smemBytes
+        : cfg.maxCtasPerSm;
+
+    const int limit = std::min(std::min(by_threads, by_regs),
+                               std::min(by_smem, cfg.maxCtasPerSm));
+    return std::max(limit, 0);
+}
+
+int
+smsNeededFor(const GpuConfig &cfg, const CtaFootprint &fp, long total_ctas)
+{
+    if (total_ctas <= 0)
+        return 0;
+    const int per_sm = maxActiveCtasPerSm(cfg, fp);
+    if (per_sm == 0)
+        return cfg.numSms;
+    const long sms = (total_ctas + per_sm - 1) / per_sm;
+    return static_cast<int>(std::min<long>(sms, cfg.numSms));
+}
+
+long
+deviceCtaCapacity(const GpuConfig &cfg, const CtaFootprint &fp)
+{
+    return static_cast<long>(cfg.numSms) * maxActiveCtasPerSm(cfg, fp);
+}
+
+} // namespace flep

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CTA occupancy calculator.
+ *
+ * The FLEP compiler configures a persistent-thread kernel to launch
+ * exactly num_SMs * max_CTAs_per_SM CTAs (paper §4.1), where the per-SM
+ * maximum depends on the CTA's register, shared-memory and thread
+ * usage. The paper derives the usage "through a linear scan of the
+ * compiled kernel code"; this module is the calculator that turns that
+ * usage into the active-CTA bound.
+ */
+
+#ifndef FLEP_GPU_OCCUPANCY_HH
+#define FLEP_GPU_OCCUPANCY_HH
+
+#include "gpu/gpu_config.hh"
+
+namespace flep
+{
+
+/** Hardware resource demand of one CTA. */
+struct CtaFootprint
+{
+    /** Threads per CTA (the CUDA block size). */
+    int threads = 256;
+
+    /** Registers per thread. */
+    int regsPerThread = 32;
+
+    /** Static shared memory per CTA in bytes. */
+    int smemBytes = 0;
+
+    bool
+    operator==(const CtaFootprint &o) const
+    {
+        return threads == o.threads &&
+               regsPerThread == o.regsPerThread &&
+               smemBytes == o.smemBytes;
+    }
+};
+
+/**
+ * Maximum number of CTAs with this footprint that one SM can host
+ * simultaneously. Returns 0 when a single CTA does not fit at all.
+ */
+int maxActiveCtasPerSm(const GpuConfig &cfg, const CtaFootprint &fp);
+
+/**
+ * Number of SMs needed to host `total_ctas` CTAs of this footprint
+ * (the quantity FLEP's spatial preemption writes into spa_P).
+ * Result is clamped to cfg.numSms.
+ */
+int smsNeededFor(const GpuConfig &cfg, const CtaFootprint &fp,
+                 long total_ctas);
+
+/**
+ * Device-wide concurrent CTA capacity for this footprint
+ * (numSms * maxActiveCtasPerSm).
+ */
+long deviceCtaCapacity(const GpuConfig &cfg, const CtaFootprint &fp);
+
+} // namespace flep
+
+#endif // FLEP_GPU_OCCUPANCY_HH

@@ -1,0 +1,22 @@
+#include "gpu/pinned_flag.hh"
+
+namespace flep
+{
+
+void
+PinnedFlag::hostWrite(Tick now, int value)
+{
+    // Collapse the previous pending store if it has already landed.
+    if (now >= pendingSince_)
+        visibleValue_ = pendingValue_;
+    pendingValue_ = value;
+    pendingSince_ = now + visibleDelay_;
+}
+
+int
+PinnedFlag::deviceRead(Tick now) const
+{
+    return now >= pendingSince_ ? pendingValue_ : visibleValue_;
+}
+
+} // namespace flep

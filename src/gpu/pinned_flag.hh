@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The host/device shared preemption flag (temp_P / spa_P).
+ *
+ * FLEP allocates the flag in pinned (non-pageable) host memory so both
+ * the CPU and the GPU can access it (paper §4.1). A host store becomes
+ * visible on the device only after the PCIe posting delay; a device
+ * read costs a full PCIe round trip, which is why the transformed
+ * kernel amortizes the check over L tasks.
+ *
+ * The unified encoding follows the paper's spatial form: the flag
+ * holds an SM count v, and a CTA whose host SM id is < v must yield.
+ * Temporal preemption is v == numSms (yield everything); v == 0 means
+ * keep running.
+ */
+
+#ifndef FLEP_GPU_PINNED_FLAG_HH
+#define FLEP_GPU_PINNED_FLAG_HH
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+/**
+ * Host-pinned preemption flag with modelled visibility latency.
+ *
+ * At most one store is in flight: a store issued before the previous
+ * one became device-visible supersedes it, and the superseded value
+ * is never observed. (FLEP's runtime never writes faster than the
+ * posting delay, so this simplification is unobservable in practice.)
+ */
+class PinnedFlag
+{
+  public:
+    /** @param visible_delay host-store-to-device-visibility delay. */
+    explicit PinnedFlag(Tick visible_delay = 0)
+        : visibleDelay_(visible_delay)
+    {}
+
+    /**
+     * Host store executed at time `now`. The device observes the new
+     * value from now + visibleDelay onward.
+     */
+    void hostWrite(Tick now, int value);
+
+    /**
+     * Value a device read completing at time `now` observes.
+     * Reads that complete before the posting delay elapses still see
+     * the previous value.
+     */
+    int deviceRead(Tick now) const;
+
+    /** Value as seen from the host (immediately current). */
+    int hostValue() const { return pendingValue_; }
+
+  private:
+    Tick visibleDelay_;
+    int visibleValue_ = 0;   //!< value before the pending store lands
+    int pendingValue_ = 0;   //!< value after it lands
+    Tick pendingSince_ = 0;  //!< device-visibility time of the store
+};
+
+} // namespace flep
+
+#endif // FLEP_GPU_PINNED_FLAG_HH

@@ -1,0 +1,48 @@
+#include "gpu/sm.hh"
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+Sm::Sm(SmId id, const GpuConfig &cfg)
+    : id_(id),
+      maxThreads_(cfg.maxThreadsPerSm),
+      maxCtas_(cfg.maxCtasPerSm),
+      maxRegs_(cfg.regsPerSm),
+      maxSmem_(cfg.smemPerSm)
+{}
+
+bool
+Sm::fits(const CtaFootprint &fp) const
+{
+    const long regs = static_cast<long>(fp.threads) * fp.regsPerThread;
+    return usedCtas_ + 1 <= maxCtas_ &&
+           usedThreads_ + fp.threads <= maxThreads_ &&
+           usedRegs_ + regs <= maxRegs_ &&
+           usedSmem_ + fp.smemBytes <= maxSmem_;
+}
+
+void
+Sm::acquire(const CtaFootprint &fp)
+{
+    FLEP_ASSERT(fits(fp), "dispatch to SM without room (sm ", id_, ")");
+    usedCtas_ += 1;
+    usedThreads_ += fp.threads;
+    usedRegs_ += static_cast<long>(fp.threads) * fp.regsPerThread;
+    usedSmem_ += fp.smemBytes;
+}
+
+void
+Sm::release(const CtaFootprint &fp)
+{
+    usedCtas_ -= 1;
+    usedThreads_ -= fp.threads;
+    usedRegs_ -= static_cast<long>(fp.threads) * fp.regsPerThread;
+    usedSmem_ -= fp.smemBytes;
+    FLEP_ASSERT(usedCtas_ >= 0 && usedThreads_ >= 0 && usedRegs_ >= 0 &&
+                usedSmem_ >= 0,
+                "resource release underflow on sm ", id_);
+}
+
+} // namespace flep

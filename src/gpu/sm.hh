@@ -1,0 +1,63 @@
+/**
+ * @file
+ * One streaming multiprocessor: resource accounting for active CTAs.
+ */
+
+#ifndef FLEP_GPU_SM_HH
+#define FLEP_GPU_SM_HH
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/occupancy.hh"
+
+namespace flep
+{
+
+/**
+ * Tracks the threads, registers, shared memory and CTA slots in use on
+ * one SM. The hardware scheduler dispatches a CTA here only when the
+ * whole footprint fits.
+ */
+class Sm
+{
+  public:
+    /** @param id the value the %smid register reports on this SM. */
+    Sm(SmId id, const GpuConfig &cfg);
+
+    /** The %smid value. */
+    SmId id() const { return id_; }
+
+    /** True when one more CTA with this footprint fits. */
+    bool fits(const CtaFootprint &fp) const;
+
+    /** Reserve resources for one CTA. @pre fits(fp). */
+    void acquire(const CtaFootprint &fp);
+
+    /** Release the resources of one CTA. */
+    void release(const CtaFootprint &fp);
+
+    /** Number of CTAs currently resident. */
+    int residentCtas() const { return usedCtas_; }
+
+    /** Threads currently active. */
+    int usedThreads() const { return usedThreads_; }
+
+    /** True when nothing is resident. */
+    bool idle() const { return usedCtas_ == 0; }
+
+  private:
+    SmId id_;
+    int maxThreads_;
+    int maxCtas_;
+    long maxRegs_;
+    int maxSmem_;
+
+    int usedThreads_ = 0;
+    int usedCtas_ = 0;
+    long usedRegs_ = 0;
+    int usedSmem_ = 0;
+};
+
+} // namespace flep
+
+#endif // FLEP_GPU_SM_HH

@@ -1,0 +1,23 @@
+#include "perfmodel/features.hh"
+
+namespace flep
+{
+
+std::vector<double>
+KernelFeatures::toRow() const
+{
+    return {gridSize, ctaSize, inputSize, smemBytes};
+}
+
+KernelFeatures
+extractFeatures(const InputSpec &in)
+{
+    KernelFeatures f;
+    f.gridSize = static_cast<double>(in.totalTasks);
+    f.ctaSize = static_cast<double>(in.footprint.threads);
+    f.inputSize = in.inputSize;
+    f.smemBytes = static_cast<double>(in.footprint.smemBytes);
+    return f;
+}
+
+} // namespace flep

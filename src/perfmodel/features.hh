@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The paper's four performance-model features (§4.2): grid size, CTA
+ * size, input size, and shared-memory usage.
+ */
+
+#ifndef FLEP_PERFMODEL_FEATURES_HH
+#define FLEP_PERFMODEL_FEATURES_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace flep
+{
+
+/** Feature vector of one kernel invocation. */
+struct KernelFeatures
+{
+    double gridSize = 0.0;  //!< CTAs in the original launch
+    double ctaSize = 0.0;   //!< threads per CTA
+    double inputSize = 0.0; //!< elements processed
+    double smemBytes = 0.0; //!< shared memory per CTA
+
+    /** As the regression design-row layout. */
+    std::vector<double> toRow() const;
+};
+
+/** Extract the features of an input for a workload. */
+KernelFeatures extractFeatures(const InputSpec &in);
+
+} // namespace flep
+
+#endif // FLEP_PERFMODEL_FEATURES_HH

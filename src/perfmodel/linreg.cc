@@ -1,0 +1,164 @@
+#include "perfmodel/linreg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+double
+RidgeModel::predict(const std::vector<double> &x) const
+{
+    FLEP_ASSERT(fitted(), "predict() on an unfitted model");
+    FLEP_ASSERT(x.size() == scale_.size(), "feature width mismatch");
+    double acc = intercept_;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+        const double z = (x[j] - mean_[j]) / scale_[j];
+        acc += coef_[j] * z;
+    }
+    return acc;
+}
+
+RidgeModel
+RidgeModel::fromParameters(std::vector<double> coef,
+                           std::vector<double> mean,
+                           std::vector<double> scale,
+                           double intercept)
+{
+    if (coef.empty() || coef.size() != mean.size() ||
+        coef.size() != scale.size()) {
+        fatal("fromParameters: inconsistent parameter vectors");
+    }
+    for (double s : scale) {
+        if (s <= 0.0)
+            fatal("fromParameters: scales must be positive");
+    }
+    RidgeModel model;
+    model.coef_ = std::move(coef);
+    model.mean_ = std::move(mean);
+    model.scale_ = std::move(scale);
+    model.intercept_ = intercept;
+    return model;
+}
+
+std::vector<double>
+solveDense(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    FLEP_ASSERT(a.size() == n, "solveDense: non-square system");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        if (std::fabs(a[pivot][col]) < 1e-12)
+            fatal("solveDense: singular system");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double f = a[row][col] / a[col][col];
+            if (f == 0.0)
+                continue;
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= f * a[col][k];
+            b[row] -= f * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            acc -= a[i][k] * x[k];
+        x[i] = acc / a[i][i];
+    }
+    return x;
+}
+
+RidgeModel
+ridgeFit(const std::vector<std::vector<double>> &x,
+         const std::vector<double> &y, double lambda)
+{
+    FLEP_ASSERT(!x.empty() && x.size() == y.size(),
+                "ridgeFit: empty or mismatched data");
+    FLEP_ASSERT(lambda >= 0.0, "ridgeFit: negative penalty");
+    const std::size_t n = x.size();
+    const std::size_t d = x[0].size();
+    for (const auto &row : x)
+        FLEP_ASSERT(row.size() == d, "ridgeFit: ragged feature rows");
+
+    RidgeModel model;
+    model.mean_.assign(d, 0.0);
+    model.scale_.assign(d, 0.0);
+
+    for (std::size_t j = 0; j < d; ++j) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            sum += x[i][j];
+        model.mean_[j] = sum / static_cast<double>(n);
+        double var = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double dlt = x[i][j] - model.mean_[j];
+            var += dlt * dlt;
+        }
+        model.scale_[j] =
+            std::sqrt(var / static_cast<double>(n));
+        // Constant features carry no information; unit scale keeps
+        // their standardized value at exactly zero.
+        if (model.scale_[j] < 1e-12)
+            model.scale_[j] = 1.0;
+    }
+
+    double y_mean = 0.0;
+    for (double v : y)
+        y_mean += v;
+    y_mean /= static_cast<double>(n);
+
+    // Normal equations in standardized space: (Z'Z + lambda I) w = Z'r
+    std::vector<std::vector<double>> gram(
+        d, std::vector<double>(d, 0.0));
+    std::vector<double> rhs(d, 0.0);
+    std::vector<double> z(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < d; ++j)
+            z[j] = (x[i][j] - model.mean_[j]) / model.scale_[j];
+        const double r = y[i] - y_mean;
+        for (std::size_t j = 0; j < d; ++j) {
+            rhs[j] += z[j] * r;
+            for (std::size_t k = j; k < d; ++k)
+                gram[j][k] += z[j] * z[k];
+        }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+        for (std::size_t k = 0; k < j; ++k)
+            gram[j][k] = gram[k][j];
+        gram[j][j] += lambda;
+    }
+
+    model.coef_ = solveDense(std::move(gram), std::move(rhs));
+    model.intercept_ = y_mean;
+    return model;
+}
+
+double
+meanAbsolutePercentError(const RidgeModel &model,
+                         const std::vector<std::vector<double>> &x,
+                         const std::vector<double> &y)
+{
+    FLEP_ASSERT(x.size() == y.size() && !x.empty(),
+                "error evaluation on empty data");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double pred = model.predict(x[i]);
+        FLEP_ASSERT(y[i] != 0.0, "zero target in percent error");
+        acc += std::fabs(pred - y[i]) / std::fabs(y[i]);
+    }
+    return acc / static_cast<double>(x.size()) * 100.0;
+}
+
+} // namespace flep

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ridge (L2-penalised) linear regression.
+ *
+ * The paper builds lightweight kernel-specific duration models via
+ * linear regression with an L2-norm penalty on four features (§4.2).
+ * This is that model: features are standardized, the intercept is
+ * unpenalised, and the normal equations are solved directly — the
+ * problems are 4-dimensional, so nothing fancier is warranted.
+ */
+
+#ifndef FLEP_PERFMODEL_LINREG_HH
+#define FLEP_PERFMODEL_LINREG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace flep
+{
+
+/** A fitted ridge regression model. */
+class RidgeModel
+{
+  public:
+    RidgeModel() = default;
+
+    /** Number of input features the model was fitted on. */
+    std::size_t featureCount() const { return scale_.size(); }
+
+    /** True once fit() has produced a model. */
+    bool fitted() const { return !scale_.empty(); }
+
+    /** Predict the target for one feature vector. */
+    double predict(const std::vector<double> &x) const;
+
+    /** Fitted coefficients in standardized feature space. */
+    const std::vector<double> &coefficients() const { return coef_; }
+
+    /** Per-feature means used for standardization. */
+    const std::vector<double> &means() const { return mean_; }
+
+    /** Per-feature scales used for standardization. */
+    const std::vector<double> &scales() const { return scale_; }
+
+    /** Fitted intercept (in target units). */
+    double intercept() const { return intercept_; }
+
+    /**
+     * Reconstruct a model from stored parameters (artifact
+     * deserialization). All vectors must have equal, non-zero size
+     * and strictly positive scales.
+     */
+    static RidgeModel fromParameters(std::vector<double> coef,
+                                     std::vector<double> mean,
+                                     std::vector<double> scale,
+                                     double intercept);
+
+  private:
+    friend RidgeModel ridgeFit(const std::vector<std::vector<double>> &,
+                               const std::vector<double> &, double);
+
+    std::vector<double> coef_;   //!< per standardized feature
+    std::vector<double> mean_;   //!< feature means
+    std::vector<double> scale_;  //!< feature standard deviations
+    double intercept_ = 0.0;
+};
+
+/**
+ * Fit a ridge regression model.
+ *
+ * @param x rows of features (all rows the same width)
+ * @param y targets, same length as x
+ * @param lambda L2 penalty strength in standardized space (>= 0)
+ */
+RidgeModel ridgeFit(const std::vector<std::vector<double>> &x,
+                    const std::vector<double> &y, double lambda);
+
+/**
+ * Solve the dense linear system a * x = b in place (Gaussian
+ * elimination with partial pivoting). `a` is row-major n x n.
+ * Calls fatal() on singular systems.
+ */
+std::vector<double> solveDense(std::vector<std::vector<double>> a,
+                               std::vector<double> b);
+
+/** Mean absolute percentage error of a model over a data set. */
+double meanAbsolutePercentError(const RidgeModel &model,
+                                const std::vector<std::vector<double>> &x,
+                                const std::vector<double> &y);
+
+} // namespace flep
+
+#endif // FLEP_PERFMODEL_LINREG_HH

@@ -1,0 +1,88 @@
+#include "perfmodel/overhead_profiler.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+#include "gpu/gpu_device.hh"
+#include "gpu/measure.hh"
+#include "sim/simulation.hh"
+
+namespace flep
+{
+
+namespace
+{
+
+/**
+ * One profiling run: launch the transformed kernel, preempt it
+ * (temporal) at `preempt_at`, relaunch as soon as it drains, and
+ * return the host-observed completion time.
+ */
+Tick
+preemptedRunNs(const GpuConfig &cfg, const KernelLaunchDesc &desc,
+               std::uint64_t seed, Tick preempt_at)
+{
+    Simulation sim(seed);
+    GpuDevice gpu(sim, cfg);
+
+    auto exec = gpu.createExec(desc);
+    exec->onDrained = [&](KernelExec &e, Tick now) {
+        // Resume: clear the flag, then relaunch the persistent wave.
+        e.setFlag(now, 0);
+        gpu.launch(exec, cfg.kernelLaunchNs);
+    };
+    gpu.launch(exec, cfg.kernelLaunchNs);
+
+    sim.events().schedule(preempt_at, [&, exec]() {
+        if (!exec->complete())
+            exec->setFlag(sim.now(), cfg.numSms);
+    });
+
+    sim.run();
+    FLEP_ASSERT(exec->complete(), "profiling run of ", desc.name,
+                " did not complete");
+    return exec->completionTick();
+}
+
+} // namespace
+
+Tick
+profilePreemptionOverhead(const GpuConfig &cfg, const Workload &w,
+                          const ProfilerConfig &pcfg)
+{
+    FLEP_ASSERT(pcfg.runs > 0, "profiler needs at least one run");
+    Rng rng(pcfg.seed ^ std::hash<std::string>{}(w.name()));
+
+    double acc = 0.0;
+    for (int i = 0; i < pcfg.runs; ++i) {
+        const InputSpec in = w.randomInput(rng);
+        const auto desc =
+            w.makeLaunch(in, ExecMode::Persistent, w.paperAmortizeL(), 0);
+        const std::uint64_t run_seed = rng.next();
+
+        const Tick plain = soloRun(cfg, desc, run_seed).durationNs;
+        // Preempt somewhere in the middle 60% of the expected run.
+        const Tick at = static_cast<Tick>(
+            static_cast<double>(plain) * rng.uniform(0.2, 0.8));
+        const Tick with_preempt =
+            preemptedRunNs(cfg, desc, run_seed, at);
+
+        if (with_preempt > plain)
+            acc += static_cast<double>(with_preempt - plain);
+    }
+    return static_cast<Tick>(
+        std::max(acc / static_cast<double>(pcfg.runs), 1.0));
+}
+
+OverheadTable
+profileSuite(const GpuConfig &cfg, const BenchmarkSuite &suite,
+             const ProfilerConfig &pcfg)
+{
+    OverheadTable table;
+    for (const auto &w : suite.all())
+        table.emplace(w->name(), profilePreemptionOverhead(cfg, *w, pcfg));
+    return table;
+}
+
+} // namespace flep

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Preemption-overhead profiling (paper §4.2).
+ *
+ * Instead of modelling preemption cost analytically, FLEP profiles it:
+ * each kernel is preempted and resumed once in a number of solo runs
+ * with different inputs, and the average extra completion time is used
+ * as the online estimate O_i. HPF adds O_i when deciding whether a
+ * preemption pays off; FFS uses sum(O_i) to derive the minimum epoch
+ * length satisfying the overhead constraint.
+ */
+
+#ifndef FLEP_PERFMODEL_OVERHEAD_PROFILER_HH
+#define FLEP_PERFMODEL_OVERHEAD_PROFILER_HH
+
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+
+/** Profiling configuration. */
+struct ProfilerConfig
+{
+    int runs = 50; //!< paper: average of 50 runs with different inputs
+    std::uint64_t seed = 777;
+};
+
+/** Profiled per-kernel preemption overheads in ticks. */
+using OverheadTable = std::map<std::string, Tick>;
+
+/**
+ * Measure the average cost of one temporal preempt/resume cycle for a
+ * workload: the kernel runs solo in FLEP form, is preempted mid-run,
+ * immediately resumed, and its completion time is compared against an
+ * unpreempted run with the same seed.
+ */
+Tick profilePreemptionOverhead(const GpuConfig &cfg, const Workload &w,
+                               const ProfilerConfig &pcfg);
+
+/** Profile the whole suite. */
+OverheadTable profileSuite(const GpuConfig &cfg,
+                           const BenchmarkSuite &suite,
+                           const ProfilerConfig &pcfg);
+
+} // namespace flep
+
+#endif // FLEP_PERFMODEL_OVERHEAD_PROFILER_HH

@@ -1,0 +1,81 @@
+#include "perfmodel/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hh"
+#include "gpu/measure.hh"
+#include "workload/input_gen.hh"
+
+namespace flep
+{
+
+double
+KernelModel::predictNs(const InputSpec &in) const
+{
+    const double raw = model_.predict(extractFeatures(in).toRow());
+    // A regression can extrapolate below zero on tiny inputs; a
+    // duration prediction of at least one microsecond keeps the
+    // scheduler's arithmetic sane.
+    return std::max(raw, 1000.0);
+}
+
+ModelTrainer::ModelTrainer(GpuConfig cfg, TrainerConfig tcfg)
+    : cfg_(cfg), tcfg_(tcfg)
+{
+    FLEP_ASSERT(tcfg_.trainInputs >= 2, "need at least two samples");
+}
+
+double
+ModelTrainer::measureNs(const Workload &w, const InputSpec &in,
+                        std::uint64_t seed) const
+{
+    const auto desc =
+        w.makeLaunch(in, ExecMode::Persistent, w.paperAmortizeL(), 0);
+    return static_cast<double>(soloRun(cfg_, desc, seed).durationNs);
+}
+
+KernelModel
+ModelTrainer::train(const Workload &w) const
+{
+    Rng rng(tcfg_.seed ^ std::hash<std::string>{}(w.name()));
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    x.reserve(static_cast<std::size_t>(tcfg_.trainInputs));
+    y.reserve(static_cast<std::size_t>(tcfg_.trainInputs));
+
+    for (int i = 0; i < tcfg_.trainInputs; ++i) {
+        const InputSpec in = w.randomInput(rng);
+        x.push_back(extractFeatures(in).toRow());
+        y.push_back(measureNs(w, in, rng.next()));
+    }
+    return KernelModel(w.name(), ridgeFit(x, y, tcfg_.lambda));
+}
+
+std::map<std::string, KernelModel>
+ModelTrainer::trainSuite(const BenchmarkSuite &suite) const
+{
+    std::map<std::string, KernelModel> models;
+    for (const auto &w : suite.all())
+        models.emplace(w->name(), train(*w));
+    return models;
+}
+
+double
+ModelTrainer::testError(const Workload &w, const KernelModel &model,
+                        int test_count) const
+{
+    Rng rng(tcfg_.seed * 7919 + 13 +
+            std::hash<std::string>{}(w.name()));
+    double acc = 0.0;
+    for (int i = 0; i < test_count; ++i) {
+        const InputSpec in = w.randomInput(rng);
+        const double real = measureNs(w, in, rng.next());
+        const double pred = model.predictNs(in);
+        acc += std::fabs(pred - real) / real;
+    }
+    return acc / static_cast<double>(test_count) * 100.0;
+}
+
+} // namespace flep

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Offline training of the per-kernel duration models (paper §4.2).
+ *
+ * For each kernel, FLEP runs 100 randomly generated inputs, extracts
+ * the four features, and fits a ridge regression from features to the
+ * measured solo duration of the FLEP-transformed kernel.
+ */
+
+#ifndef FLEP_PERFMODEL_TRAINER_HH
+#define FLEP_PERFMODEL_TRAINER_HH
+
+#include <map>
+#include <string>
+
+#include "common/random.hh"
+#include "gpu/gpu_config.hh"
+#include "perfmodel/features.hh"
+#include "perfmodel/linreg.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+
+/** A fitted duration model for one kernel. */
+class KernelModel
+{
+  public:
+    KernelModel() = default;
+    KernelModel(std::string kernel_name, RidgeModel model)
+        : name_(std::move(kernel_name)), model_(std::move(model))
+    {}
+
+    /** The kernel the model belongs to. */
+    const std::string &kernelName() const { return name_; }
+
+    /** Predicted duration in ticks for an input; clamped positive. */
+    double predictNs(const InputSpec &in) const;
+
+    /** Underlying regression (tests and diagnostics). */
+    const RidgeModel &regression() const { return model_; }
+
+  private:
+    std::string name_;
+    RidgeModel model_;
+};
+
+/** Training configuration. */
+struct TrainerConfig
+{
+    int trainInputs = 100; //!< paper: 100 random inputs per kernel
+    double lambda = 1.0;   //!< L2 penalty strength
+    std::uint64_t seed = 12345;
+};
+
+/**
+ * Trains duration models by running each random input solo on a
+ * simulated device, exactly as the paper's offline phase does on the
+ * real one.
+ */
+class ModelTrainer
+{
+  public:
+    ModelTrainer(GpuConfig cfg, TrainerConfig tcfg);
+
+    /** Fit the model for one workload. */
+    KernelModel train(const Workload &w) const;
+
+    /** Fit models for every workload in the suite, keyed by name. */
+    std::map<std::string, KernelModel>
+    trainSuite(const BenchmarkSuite &suite) const;
+
+    /**
+     * Mean absolute percentage prediction error on `test_count`
+     * held-out random inputs (the Figure 7 metric).
+     */
+    double testError(const Workload &w, const KernelModel &model,
+                     int test_count) const;
+
+  private:
+    double measureNs(const Workload &w, const InputSpec &in,
+                     std::uint64_t seed) const;
+
+    GpuConfig cfg_;
+    TrainerConfig tcfg_;
+};
+
+} // namespace flep
+
+#endif // FLEP_PERFMODEL_TRAINER_HH

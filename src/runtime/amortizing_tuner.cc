@@ -1,0 +1,49 @@
+#include "runtime/amortizing_tuner.hh"
+
+#include "common/logging.hh"
+#include "gpu/measure.hh"
+
+namespace flep
+{
+
+double
+transformationOverhead(const GpuConfig &cfg, const Workload &w, int l,
+                       int reps, std::uint64_t seed)
+{
+    const InputSpec in = w.input(InputClass::Large);
+    const auto orig = w.makeLaunch(in, ExecMode::Original, 1, 0);
+    const auto pers = w.makeLaunch(in, ExecMode::Persistent, l, 0);
+    const double orig_ns = soloMeanDurationNs(cfg, orig, seed, reps);
+    const double pers_ns = soloMeanDurationNs(cfg, pers, seed, reps);
+    return (pers_ns - orig_ns) / orig_ns;
+}
+
+TunedAmortizing
+tuneAmortizingFactor(const GpuConfig &cfg, const Workload &w,
+                     const TunerConfig &tcfg)
+{
+    FLEP_ASSERT(!tcfg.candidates.empty(), "tuner needs candidates");
+    TunedAmortizing best;
+    best.amortizeL = tcfg.candidates.back();
+    best.overhead = 1e9;
+
+    for (int l : tcfg.candidates) {
+        const double ov =
+            transformationOverhead(cfg, w, l, tcfg.reps, tcfg.seed);
+        if (ov < best.overhead) {
+            best.overhead = ov;
+            best.amortizeL = l;
+        }
+        if (ov <= tcfg.threshold) {
+            // Smallest satisfying candidate wins: a smaller L means
+            // faster preemption response.
+            best.amortizeL = l;
+            best.overhead = ov;
+            best.satisfied = true;
+            break;
+        }
+    }
+    return best;
+}
+
+} // namespace flep

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Offline tuning of the amortizing factor L (paper §4.1).
+ *
+ * FLEP finds the smallest L such that the runtime overhead introduced
+ * by the persistent-thread transformation (flag polling + task
+ * pulling) stays below a threshold — 4% in the paper — by trying
+ * candidate values from small to large against untransformed runs.
+ */
+
+#ifndef FLEP_RUNTIME_AMORTIZING_TUNER_HH
+#define FLEP_RUNTIME_AMORTIZING_TUNER_HH
+
+#include <vector>
+
+#include "gpu/gpu_config.hh"
+#include "workload/workload.hh"
+
+namespace flep
+{
+
+/** Tuner settings. */
+struct TunerConfig
+{
+    /** Overhead threshold the tuned L must satisfy. */
+    double threshold = 0.04;
+
+    /** Candidate amortizing factors, tried small to large. */
+    std::vector<int> candidates{1, 2, 5, 10, 20, 50, 100, 150, 200,
+                                300, 500};
+
+    /** Measurement repetitions per candidate. */
+    int reps = 3;
+
+    std::uint64_t seed = 4242;
+};
+
+/** Result for one workload. */
+struct TunedAmortizing
+{
+    int amortizeL = 1;      //!< the chosen factor
+    double overhead = 0.0;  //!< measured overhead at that factor
+    bool satisfied = false; //!< threshold met (false = best effort)
+};
+
+/**
+ * Measure the transformation overhead of workload `w` at factor `l`:
+ * (persistent duration - original duration) / original duration on
+ * the large input.
+ */
+double transformationOverhead(const GpuConfig &cfg, const Workload &w,
+                              int l, int reps, std::uint64_t seed);
+
+/** Tune L for one workload. */
+TunedAmortizing tuneAmortizingFactor(const GpuConfig &cfg,
+                                     const Workload &w,
+                                     const TunerConfig &tcfg);
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_AMORTIZING_TUNER_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The kernel-dispatch interface between transformed host programs and
+ * a scheduling runtime.
+ *
+ * The FLEP compiler rewrites CPU-side launch statements so that every
+ * kernel invocation is reported to a runtime, which decides when (and
+ * in what form) the kernel actually reaches the GPU. The baselines
+ * (plain MPS, kernel reordering, kernel slicing) implement the same
+ * interface so the experiment harness can swap schedulers freely.
+ */
+
+#ifndef FLEP_RUNTIME_DISPATCHER_HH
+#define FLEP_RUNTIME_DISPATCHER_HH
+
+#include "common/types.hh"
+#include "gpu/kernel.hh"
+#include "workload/workload.hh"
+
+namespace flep
+{
+
+class HostProcess;
+
+/** Scheduling runtime as seen by a (transformed) host program. */
+class KernelDispatcher
+{
+  public:
+    virtual ~KernelDispatcher() = default;
+
+    /** Scheduler name for logs and reports. */
+    virtual const char *schedulerName() const = 0;
+
+    /**
+     * Execution form that host programs compiled for this dispatcher
+     * use: Persistent for FLEP, Original for the baselines.
+     */
+    virtual ExecMode execMode() const = 0;
+
+    /**
+     * Kernel-slicing granularity in tasks for the given workload;
+     * 0 means whole-kernel launches. Only the slicing baseline
+     * returns non-zero.
+     */
+    virtual long
+    sliceTasks(const Workload &w, int amortize_l) const
+    {
+        (void)w;
+        (void)amortize_l;
+        return 0;
+    }
+
+    /**
+     * One-way latency of a host-runtime message. Zero for schedulers
+     * that are not separate processes (plain MPS, in-process slicing).
+     */
+    virtual Tick ipcLatency() const { return 0; }
+
+    /**
+     * The host's CPU code reached a kernel invocation statement; the
+     * invocation details are in host.invocation(). The dispatcher must
+     * eventually call host.grantLaunch() (or grantSlice() for sliced
+     * hosts).
+     */
+    virtual void onInvoke(HostProcess &host) = 0;
+
+    /** The host observed its kernel invocation complete. */
+    virtual void onFinished(HostProcess &host) = 0;
+
+    /**
+     * The host's preempted kernel has fully drained off the GPU
+     * (temporal preemption finished).
+     */
+    virtual void onDrained(HostProcess &host) { (void)host; }
+
+    /**
+     * A sliced host finished one slice with tasks remaining; the
+     * dispatcher must grant the next slice (to this host or, after a
+     * preemption decision, to another).
+     */
+    virtual void onSliceBoundary(HostProcess &host) { (void)host; }
+};
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_DISPATCHER_HH

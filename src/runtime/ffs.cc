@@ -1,0 +1,235 @@
+#include "runtime/ffs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "runtime/host_process.hh"
+
+namespace flep
+{
+
+FfsPolicy::FfsPolicy()
+    : FfsPolicy(Config{})
+{}
+
+FfsPolicy::FfsPolicy(Config cfg)
+    : cfg_(cfg)
+{
+    FLEP_ASSERT(cfg_.maxOverhead > 0.0, "max_overhead must be > 0");
+}
+
+Tick
+FfsPolicy::weightOf(Priority priority)
+{
+    return static_cast<Tick>(std::max(priority, 1));
+}
+
+Tick
+FfsPolicy::epochBase(RuntimeContext &ctx) const
+{
+    (void)ctx;
+    double overhead_sum = 0.0;
+    double weight_sum = 0.0;
+    for (const auto &[pid, slot] : slots_) {
+        overhead_sum += static_cast<double>(slot.overheadNs);
+        weight_sum += static_cast<double>(weightOf(slot.priority));
+    }
+    if (weight_sum <= 0.0)
+        return cfg_.minEpochNs;
+    // Round up: truncating would leave the constraint marginally
+    // violated.
+    const double t = overhead_sum / (cfg_.maxOverhead * weight_sum);
+    return std::max(static_cast<Tick>(std::ceil(t)),
+                    cfg_.minEpochNs);
+}
+
+FfsPolicy::ProcessSlot &
+FfsPolicy::slotOf(RuntimeContext &ctx, KernelRecord &rec)
+{
+    const ProcessId pid = rec.process();
+    auto it = slots_.find(pid);
+    if (it == slots_.end()) {
+        it = slots_.emplace(pid, ProcessSlot{}).first;
+        it->second.priority = rec.priority();
+        roundOrder_.push_back(pid);
+    }
+    it->second.overheadNs = ctx.overheadOf(rec.kernel());
+    return it->second;
+}
+
+bool
+FfsPolicy::othersWaiting(ProcessId except) const
+{
+    for (const auto &[pid, slot] : slots_) {
+        if (pid != except && !slot.pending.empty())
+            return true;
+    }
+    return false;
+}
+
+int
+FfsPolicy::processesWithWork() const
+{
+    int n = 0;
+    for (const auto &[pid, slot] : slots_) {
+        (void)pid;
+        if (!slot.pending.empty())
+            ++n;
+    }
+    return n;
+}
+
+void
+FfsPolicy::maybeArmBoundary(RuntimeContext &ctx)
+{
+    const bool need = slotOwner_ >= 0 && othersWaiting(slotOwner_);
+    if (need) {
+        const Tick now = ctx.now();
+        const Tick delay = slotEnd_ > now ? slotEnd_ - now : 1;
+        ctx.armTimer(delay);
+        timerArmed_ = true;
+    } else if (timerArmed_) {
+        ctx.cancelTimer();
+        timerArmed_ = false;
+    }
+}
+
+void
+FfsPolicy::grantFrom(RuntimeContext &ctx, ProcessId pid)
+{
+    auto it = slots_.find(pid);
+    FLEP_ASSERT(it != slots_.end() && !it->second.pending.empty(),
+                "grantFrom on a process without pending kernels");
+    KernelRecord *rec = it->second.pending.front();
+    it->second.pending.pop_front();
+    it->second.everActive = true;
+    current_ = rec;
+    ctx.grant(*rec);
+}
+
+void
+FfsPolicy::rotate(RuntimeContext &ctx)
+{
+    FLEP_ASSERT(current_ == nullptr, "rotate with a kernel running");
+    if (roundOrder_.empty())
+        return;
+
+    // Next process after the current owner (round order) that has
+    // pending work.
+    std::size_t start = 0;
+    if (slotOwner_ >= 0) {
+        auto it = std::find(roundOrder_.begin(), roundOrder_.end(),
+                            slotOwner_);
+        if (it != roundOrder_.end())
+            start = static_cast<std::size_t>(
+                        std::distance(roundOrder_.begin(), it)) + 1;
+    }
+    for (std::size_t k = 0; k < roundOrder_.size(); ++k) {
+        const ProcessId pid =
+            roundOrder_[(start + k) % roundOrder_.size()];
+        auto &slot = slots_.at(pid);
+        if (slot.pending.empty())
+            continue;
+        slotOwner_ = pid;
+        slotEnd_ = ctx.now() + epochBase(ctx) * weightOf(slot.priority);
+        grantFrom(ctx, pid);
+        maybeArmBoundary(ctx);
+        return;
+    }
+    // No process has work: the next arrival opens a fresh slot.
+    slotOwner_ = -1;
+    maybeArmBoundary(ctx);
+}
+
+void
+FfsPolicy::onArrival(RuntimeContext &ctx, KernelRecord &rec)
+{
+    ProcessSlot &slot = slotOf(ctx, rec);
+    const ProcessId pid = rec.process();
+    slot.pending.push_back(&rec);
+
+    if (slotOwner_ < 0) {
+        slotOwner_ = pid;
+        slotEnd_ = ctx.now() + epochBase(ctx) * weightOf(slot.priority);
+        grantFrom(ctx, pid);
+        maybeArmBoundary(ctx);
+        return;
+    }
+    if (slotOwner_ == pid && current_ == nullptr &&
+        ctx.now() < slotEnd_) {
+        // The owner's slot continues with its next kernel.
+        grantFrom(ctx, pid);
+    }
+    maybeArmBoundary(ctx);
+}
+
+void
+FfsPolicy::onFinish(RuntimeContext &ctx, KernelRecord &rec)
+{
+    if (current_ == &rec)
+        current_ = nullptr;
+    if (current_ != nullptr)
+        return;
+
+    if (ctx.now() >= slotEnd_ && othersWaiting(slotOwner_)) {
+        rotate(ctx);
+        return;
+    }
+    if (slotOwner_ >= 0) {
+        auto &slot = slots_.at(slotOwner_);
+        if (!slot.pending.empty()) {
+            grantFrom(ctx, slotOwner_);
+            return;
+        }
+    }
+    // Owner has nothing queued right now (host think time). If anyone
+    // else is waiting and the slot has expired, move on; otherwise the
+    // boundary timer or the next arrival decides.
+    if (othersWaiting(slotOwner_) && ctx.now() >= slotEnd_)
+        rotate(ctx);
+    else
+        maybeArmBoundary(ctx);
+}
+
+void
+FfsPolicy::onPreempted(RuntimeContext &ctx, KernelRecord &rec)
+{
+    if (current_ == &rec)
+        current_ = nullptr;
+    // The preempted kernel resumes first when its process's next slot
+    // opens.
+    slots_.at(rec.process()).pending.push_front(&rec);
+    rotate(ctx);
+}
+
+void
+FfsPolicy::onTimer(RuntimeContext &ctx)
+{
+    timerArmed_ = false;
+    if (ctx.now() < slotEnd_) {
+        // The slot was extended since the timer was armed.
+        maybeArmBoundary(ctx);
+        return;
+    }
+    if (!othersWaiting(slotOwner_)) {
+        // No competitor: extend the owner's slot.
+        if (slotOwner_ >= 0) {
+            slotEnd_ = ctx.now() +
+                       epochBase(ctx) *
+                           weightOf(slots_.at(slotOwner_).priority);
+        }
+        maybeArmBoundary(ctx);
+        return;
+    }
+    if (current_ != nullptr) {
+        // Slot expired mid-kernel: this is where FFS pays preemption
+        // overhead.
+        ctx.preempt(*current_);
+        // onPreempted rotates once the kernel drains.
+        return;
+    }
+    rotate(ctx);
+}
+
+} // namespace flep

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * FFS: fairness-first scheduling under an overhead constraint
+ * (paper §5.2.2).
+ *
+ * FFS time-slices the GPU across processes with weighted round-robin:
+ * in each round, process i owns the GPU for a slot of length T * W_i,
+ * where W_i is the weight of its priority. Short kernels run back to
+ * back within their process's slot; a kernel that overruns the slot is
+ * preempted (that is where preemption overhead is paid). T is derived
+ * from the profiled preemption overheads so that the aggregate
+ * context-switch cost stays below a configurable max_overhead
+ * fraction:
+ *
+ *     sum_i(O_i) / (T * sum_i(W_i)) <= max_overhead
+ */
+
+#ifndef FLEP_RUNTIME_FFS_HH
+#define FLEP_RUNTIME_FFS_HH
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "runtime/policy.hh"
+
+namespace flep
+{
+
+/** The FFS policy. */
+class FfsPolicy : public SchedulingPolicy
+{
+  public:
+    /** FFS tunables. */
+    struct Config
+    {
+        /** Maximum performance degradation the user will trade for
+         *  fairness (paper experiments use 10 %). */
+        double maxOverhead = 0.10;
+
+        /** Lower bound on the epoch base T, guarding against a zero
+         *  overhead table. */
+        Tick minEpochNs = 100 * 1000;
+    };
+
+    FfsPolicy();
+    explicit FfsPolicy(Config cfg);
+
+    const char *name() const override { return "FFS"; }
+
+    void onArrival(RuntimeContext &ctx, KernelRecord &rec) override;
+    void onFinish(RuntimeContext &ctx, KernelRecord &rec) override;
+    void onPreempted(RuntimeContext &ctx, KernelRecord &rec) override;
+    void onTimer(RuntimeContext &ctx) override;
+
+    /** Weight of a priority: its value, floored at 1. */
+    static Tick weightOf(Priority priority);
+
+    /** Epoch base T satisfying the overhead constraint for the
+     *  currently known processes. Exposed for tests. */
+    Tick epochBase(RuntimeContext &ctx) const;
+
+  private:
+    /** Per-process slot bookkeeping. */
+    struct ProcessSlot
+    {
+        Priority priority = 0;
+        std::deque<KernelRecord *> pending;
+        /** Representative preemption overhead of this process's
+         *  kernels (last seen). */
+        Tick overheadNs = 0;
+        bool everActive = false;
+    };
+
+    ProcessSlot &slotOf(RuntimeContext &ctx, KernelRecord &rec);
+    void grantFrom(RuntimeContext &ctx, ProcessId pid);
+    void rotate(RuntimeContext &ctx);
+    bool othersWaiting(ProcessId except) const;
+    int processesWithWork() const;
+    void maybeArmBoundary(RuntimeContext &ctx);
+
+    Config cfg_;
+    std::map<ProcessId, ProcessSlot> slots_;
+    std::vector<ProcessId> roundOrder_;
+    ProcessId slotOwner_ = -1;
+    Tick slotEnd_ = 0;
+    KernelRecord *current_ = nullptr;
+    bool timerArmed_ = false;
+};
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_FFS_HH

@@ -1,0 +1,256 @@
+#include "runtime/host_process.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace flep
+{
+
+HostProcess::HostProcess(Simulation &sim, GpuDevice &gpu,
+                         KernelDispatcher &dispatcher, ProcessId pid,
+                         std::vector<ScriptEntry> script)
+    : SimObject(sim, format("host%d", pid)),
+      gpu_(gpu),
+      dispatcher_(dispatcher),
+      pid_(pid),
+      script_(std::move(script))
+{
+    FLEP_ASSERT(!script_.empty(), "host process needs a script");
+    for (const auto &entry : script_) {
+        FLEP_ASSERT(entry.workload != nullptr,
+                    "script entry without a workload");
+        FLEP_ASSERT(entry.amortizeL >= 1, "bad amortizing factor");
+    }
+}
+
+void
+HostProcess::start()
+{
+    scheduleNextInvocation();
+}
+
+HostProcess::Invocation &
+HostProcess::invocation()
+{
+    FLEP_ASSERT(inv_ != nullptr, name(), ": no invocation in flight");
+    return *inv_;
+}
+
+const HostProcess::Invocation &
+HostProcess::invocation() const
+{
+    FLEP_ASSERT(inv_ != nullptr, name(), ": no invocation in flight");
+    return *inv_;
+}
+
+void
+HostProcess::scheduleNextInvocation()
+{
+    if (stopRequested_ || entryIndex_ >= script_.size()) {
+        state_ = State::Done;
+        return;
+    }
+    state_ = State::CpuCode;
+    const Tick delay = script_[entryIndex_].delayBefore;
+    sim_.events().scheduleAfter(delay, [this]() { beginInvocation(); });
+}
+
+void
+HostProcess::beginInvocation()
+{
+    if (stopRequested_) {
+        state_ = State::Done;
+        return;
+    }
+    const ScriptEntry &entry = script_[entryIndex_];
+
+    inv_ = std::make_unique<Invocation>();
+    inv_->id = nextInvocationId_++;
+    inv_->workload = entry.workload;
+    inv_->input = entry.input;
+    inv_->priority = entry.priority;
+    inv_->amortizeL = entry.amortizeL;
+    inv_->invokeTick = sim_.now();
+
+    inv_->sliceSize =
+        dispatcher_.sliceTasks(*entry.workload, entry.amortizeL);
+    if (inv_->sliceSize > 0) {
+        inv_->sliceTasksLeft = entry.input.totalTasks;
+    } else {
+        const auto desc = entry.workload->makeLaunch(
+            entry.input, dispatcher_.execMode(), entry.amortizeL, pid_);
+        inv_->exec = gpu_.createExec(desc);
+        const KernelId id = inv_->id;
+        inv_->exec->onComplete = [this, id](KernelExec &, Tick now) {
+            if (inv_ && inv_->id == id)
+                handleComplete(now);
+        };
+        inv_->exec->onDrained = [this, id](KernelExec &, Tick now) {
+            if (inv_ && inv_->id == id)
+                handleDrained(now);
+        };
+    }
+
+    // S1 -> S2: report the invocation to the runtime instead of
+    // launching it.
+    state_ = State::WaitingGrant;
+    const KernelId id = inv_->id;
+    sim_.events().scheduleAfter(ipc(), [this, id]() {
+        if (inv_ && inv_->id == id)
+            dispatcher_.onInvoke(*this);
+    });
+}
+
+void
+HostProcess::grantLaunch()
+{
+    FLEP_ASSERT(inv_ && inv_->exec, name(),
+                ": grantLaunch without a whole-kernel invocation");
+    const KernelId id = inv_->id;
+    sim_.events().scheduleAfter(ipc(), [this, id]() {
+        if (!inv_ || inv_->id != id || inv_->exec->complete())
+            return;
+        state_ = State::WaitingGpu;
+        // Resuming a preempted kernel: clear the flag first so the
+        // relaunched wave does not immediately yield.
+        if (inv_->exec->flagHostValue() != 0)
+            inv_->exec->setFlag(sim_.now(), 0);
+        gpu_.launch(inv_->exec, gpu_.config().kernelLaunchNs);
+    });
+}
+
+void
+HostProcess::launchSlice(Tick extra_latency)
+{
+    FLEP_ASSERT(inv_ && inv_->sliceSize > 0, name(),
+                ": launchSlice without a sliced invocation");
+    const long tasks =
+        std::min(inv_->sliceSize, inv_->sliceTasksLeft);
+    FLEP_ASSERT(tasks > 0, name(), ": slice grant with no work left");
+    inv_->sliceTasksLeft -= tasks;
+
+    InputSpec slice_input = inv_->input;
+    slice_input.totalTasks = tasks;
+    auto desc = inv_->workload->makeLaunch(slice_input,
+                                           ExecMode::Original,
+                                           inv_->amortizeL, pid_);
+    desc.name = inv_->workload->name();
+    inv_->exec = gpu_.createExec(desc);
+
+    const KernelId id = inv_->id;
+    inv_->exec->onComplete = [this, id](KernelExec &e, Tick now) {
+        if (!inv_ || inv_->id != id)
+            return;
+        inv_->firstDispatch =
+            std::min(inv_->firstDispatch, e.firstDispatchTick());
+        if (inv_->sliceTasksLeft > 0) {
+            // Sub-kernel boundary: the slicing runtime may switch to
+            // a waiting higher-priority program here.
+            state_ = State::WaitingGrant;
+            dispatcher_.onSliceBoundary(*this);
+        } else {
+            handleComplete(now);
+        }
+    };
+
+    state_ = State::WaitingGpu;
+    // The first slice pays the full launch overhead; subsequent
+    // slices were queued asynchronously while their predecessor ran,
+    // so only the back-to-back stream gap remains on the critical
+    // path (cancelled and re-issued if the slicing runtime preempts
+    // at the boundary instead).
+    const Tick latency = inv_->firstSliceLaunched
+        ? gpu_.config().streamLaunchGapNs
+        : gpu_.config().kernelLaunchNs;
+    gpu_.launch(inv_->exec, latency + extra_latency);
+    inv_->firstSliceLaunched = true;
+}
+
+void
+HostProcess::grantSlice()
+{
+    FLEP_ASSERT(inv_ && inv_->sliceSize > 0, name(),
+                ": grantSlice without a sliced invocation");
+    launchSlice(0);
+}
+
+void
+HostProcess::signalPreempt(int sm_count)
+{
+    const KernelId id = inv_ ? inv_->id : 0;
+    sim_.events().scheduleAfter(ipc(), [this, id, sm_count]() {
+        if (!inv_ || inv_->id != id || !inv_->exec ||
+            inv_->exec->complete()) {
+            return;
+        }
+        inv_->exec->setFlag(sim_.now(), sm_count);
+    });
+}
+
+void
+HostProcess::signalRefill(int sm_count)
+{
+    const KernelId id = inv_ ? inv_->id : 0;
+    sim_.events().scheduleAfter(ipc(), [this, id, sm_count]() {
+        if (!inv_ || inv_->id != id || !inv_->exec ||
+            inv_->exec->complete()) {
+            return;
+        }
+        inv_->exec->setFlag(sim_.now(), 0);
+        const long wave =
+            static_cast<long>(sm_count) *
+            gpu_.maxActivePerSm(inv_->exec->desc().footprint);
+        gpu_.launchWave(inv_->exec, wave,
+                        gpu_.config().kernelLaunchNs);
+    });
+}
+
+void
+HostProcess::handleComplete(Tick now)
+{
+    InvocationResult res;
+    res.kernel = inv_->workload->name();
+    res.process = pid_;
+    res.priority = inv_->priority;
+    res.invokeTick = inv_->invokeTick;
+    res.finishTick = now;
+    res.preemptions = inv_->preemptions;
+    res.totalTasks = inv_->input.totalTasks;
+    const Tick first = std::min(
+        inv_->firstDispatch,
+        inv_->exec ? inv_->exec->firstDispatchTick() : maxTick);
+    res.execNs = first < now ? now - first : 0;
+    results_.push_back(res);
+    if (onResult)
+        onResult(results_.back());
+
+    sim_.events().scheduleAfter(ipc(),
+                                [this]() { dispatcher_.onFinished(*this); });
+    inv_.reset();
+
+    // Advance the script: repeat the entry or move on.
+    ++entryRepeatsDone_;
+    const int repeats = script_[entryIndex_].repeats;
+    if (repeats >= 0 && entryRepeatsDone_ >= repeats) {
+        ++entryIndex_;
+        entryRepeatsDone_ = 0;
+    }
+    scheduleNextInvocation();
+}
+
+void
+HostProcess::handleDrained(Tick now)
+{
+    (void)now;
+    inv_->preemptions += 1;
+    state_ = State::WaitingGrant;
+    const KernelId id = inv_->id;
+    sim_.events().scheduleAfter(ipc(), [this, id]() {
+        if (inv_ && inv_->id == id)
+            dispatcher_.onDrained(*this);
+    });
+}
+
+} // namespace flep

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * A simulated host (CPU) process running a FLEP-transformed program.
+ *
+ * Implements the state machine of the paper's Figure 5: S1 (CPU code
+ * execution), S2 (waiting for a scheduling decision), S3 (waiting for
+ * GPU execution). The process executes a script of kernel invocations;
+ * on each invocation it notifies its dispatcher instead of launching,
+ * launches when granted, writes the preemption flag when signalled,
+ * and reports completion/drain events back.
+ */
+
+#ifndef FLEP_RUNTIME_HOST_PROCESS_HH
+#define FLEP_RUNTIME_HOST_PROCESS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/gpu_device.hh"
+#include "runtime/dispatcher.hh"
+#include "sim/sim_object.hh"
+#include "workload/workload.hh"
+
+namespace flep
+{
+
+/** Completed-invocation measurement used by the experiment harness. */
+struct InvocationResult
+{
+    std::string kernel;
+    ProcessId process = 0;
+    Priority priority = 0;
+    Tick invokeTick = 0;  //!< CPU reached the launch statement
+    Tick finishTick = 0;  //!< host observed completion
+    int preemptions = 0;  //!< times the invocation was preempted
+    long totalTasks = 0;
+
+    /** GPU execution span: first CTA dispatch to completion. */
+    Tick execNs = 0;
+
+    /** Turnaround: waiting + execution (the paper's metric base). */
+    Tick turnaroundNs() const { return finishTick - invokeTick; }
+};
+
+/** One simulated host process. */
+class HostProcess : public SimObject
+{
+  public:
+    /** Figure 5 states. */
+    enum class State
+    {
+        CpuCode,       //!< S1
+        WaitingGrant,  //!< S2
+        WaitingGpu,    //!< S3
+        Done           //!< script exhausted
+    };
+
+    /** One scripted kernel invocation. */
+    struct ScriptEntry
+    {
+        const Workload *workload = nullptr;
+        InputSpec input;
+        Priority priority = 0;
+        /** Host think time before the invocation (from process start
+         *  or from the previous invocation's completion). */
+        Tick delayBefore = 0;
+        /** Invocations of this entry; negative = repeat forever. */
+        int repeats = 1;
+        /** Amortizing factor for the transformed kernel. */
+        int amortizeL = 1;
+    };
+
+    /** In-flight invocation state shared with the dispatcher. */
+    struct Invocation
+    {
+        KernelId id = 0;
+        const Workload *workload = nullptr;
+        InputSpec input;
+        Priority priority = 0;
+        int amortizeL = 1;
+        Tick invokeTick = 0;
+        int preemptions = 0;
+        /** Whole-kernel style: the device-side execution state. */
+        std::shared_ptr<KernelExec> exec;
+        /** Sliced style: tasks not yet covered by a slice. */
+        long sliceTasksLeft = 0;
+        long sliceSize = 0;
+        bool firstSliceLaunched = false;
+        /** Earliest CTA dispatch across launches/slices. */
+        Tick firstDispatch = maxTick;
+    };
+
+    HostProcess(Simulation &sim, GpuDevice &gpu,
+                KernelDispatcher &dispatcher, ProcessId pid,
+                std::vector<ScriptEntry> script);
+
+    /** Begin executing the script (schedules the first invocation). */
+    void start();
+
+    ProcessId pid() const { return pid_; }
+    State state() const { return state_; }
+
+    /** The in-flight invocation. @pre state is S2 or S3. */
+    Invocation &invocation();
+    const Invocation &invocation() const;
+
+    /** True while an invocation is in flight. */
+    bool hasInvocation() const { return inv_ != nullptr; }
+
+    /** Completed-invocation measurements, in completion order. */
+    const std::vector<InvocationResult> &results() const
+    {
+        return results_;
+    }
+
+    // --- Dispatcher-facing actions (each models one IPC delivery) ---
+
+    /**
+     * Grant: launch the (whole) kernel. Clears the preemption flag
+     * first when resuming a preempted invocation.
+     */
+    void grantLaunch();
+
+    /** Grant one slice (sliced hosts only). */
+    void grantSlice();
+
+    /**
+     * Deliver a preemption signal: the host writes `sm_count` into the
+     * kernel's pinned flag (numSms = temporal, less = spatial).
+     */
+    void signalPreempt(int sm_count);
+
+    /**
+     * Spatial resume: clear the flag and relaunch enough persistent
+     * CTAs to refill `sm_count` SMs.
+     */
+    void signalRefill(int sm_count);
+
+    /** Stop after the current invocation completes (harness use). */
+    void requestStop() { stopRequested_ = true; }
+
+    /** Optional hook fired after each completed invocation. */
+    std::function<void(const InvocationResult &)> onResult;
+
+  private:
+    void scheduleNextInvocation();
+    void beginInvocation();
+    void handleComplete(Tick now);
+    void handleDrained(Tick now);
+    void launchSlice(Tick extra_latency);
+    Tick ipc() const { return dispatcher_.ipcLatency(); }
+
+    GpuDevice &gpu_;
+    KernelDispatcher &dispatcher_;
+    ProcessId pid_;
+    std::vector<ScriptEntry> script_;
+    std::size_t entryIndex_ = 0;
+    int entryRepeatsDone_ = 0;
+    State state_ = State::CpuCode;
+    std::unique_ptr<Invocation> inv_;
+    std::vector<InvocationResult> results_;
+    KernelId nextInvocationId_ = 1;
+    bool stopRequested_ = false;
+};
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_HOST_PROCESS_HH

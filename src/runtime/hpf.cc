@@ -1,0 +1,140 @@
+#include "runtime/hpf.hh"
+
+#include "common/logging.hh"
+#include "runtime/host_process.hh"
+#include "runtime/preemption.hh"
+
+namespace flep
+{
+
+HpfPolicy::HpfPolicy()
+    : HpfPolicy(Config{})
+{}
+
+HpfPolicy::HpfPolicy(Config cfg)
+    : cfg_(cfg)
+{}
+
+void
+HpfPolicy::preemptAndSchedule(RuntimeContext &ctx,
+                              KernelRecord &incoming,
+                              KernelRecord &victim)
+{
+    PreemptionPlan plan;
+    if (cfg_.enableSpatial && ctx.guest() == nullptr) {
+        plan = planPreemption(ctx.gpuConfig(),
+                              incoming.host().invocation().input,
+                              true, cfg_.forcedSpatialSms);
+    } else {
+        plan.smCount = ctx.gpuConfig().numSms;
+        plan.spatial = false;
+    }
+    if (plan.spatial) {
+        ctx.grantSpatial(incoming, victim, plan.smCount);
+    } else {
+        // Temporal: the victim yields everything; the incoming
+        // kernel's CTAs fill SMs as the victim's chunks drain.
+        ctx.preempt(victim);
+        ctx.grant(incoming);
+    }
+}
+
+void
+HpfPolicy::onArrival(RuntimeContext &ctx, KernelRecord &kn)
+{
+    KernelRecord *kr = ctx.running();
+    if (kr != nullptr) {
+        if (kr->priority() < kn.priority()) {
+            if (ctx.guest() != nullptr) {
+                // A spatial guest is already co-resident; defer the
+                // new arrival to the next scheduling point.
+                ctx.queues().enqueue(kn);
+                return;
+            }
+            preemptAndSchedule(ctx, kn, *kr);
+        } else if (kr->priority() > kn.priority()) {
+            ctx.queues().enqueue(kn);
+        } else {
+            ctx.queues().enqueue(kn);
+            scheduleForQueue(ctx, kn.priority());
+        }
+        return;
+    }
+
+    ctx.queues().enqueue(kn);
+    bool found = false;
+    const Priority hp = ctx.queues().highestNonEmpty(found);
+    if (found)
+        scheduleForQueue(ctx, hp);
+}
+
+void
+HpfPolicy::reschedule(RuntimeContext &ctx)
+{
+    bool found = false;
+    const Priority hp = ctx.queues().highestNonEmpty(found);
+    if (!found)
+        return;
+
+    KernelRecord *kr = ctx.running();
+    if (kr == nullptr) {
+        scheduleForQueue(ctx, hp);
+        return;
+    }
+    if (hp > kr->priority()) {
+        if (ctx.guest() != nullptr)
+            return; // wait for the guest to finish
+        KernelRecord *ks = ctx.queues().popFront(hp);
+        preemptAndSchedule(ctx, *ks, *kr);
+    } else if (hp == kr->priority()) {
+        scheduleForQueue(ctx, hp);
+    }
+    // hp < running priority: the running kernel keeps the GPU.
+}
+
+void
+HpfPolicy::onFinish(RuntimeContext &ctx, KernelRecord &rec)
+{
+    (void)rec;
+    reschedule(ctx);
+}
+
+void
+HpfPolicy::onPreempted(RuntimeContext &ctx, KernelRecord &rec)
+{
+    ctx.queues().enqueue(rec);
+    // Normally the preemptor was granted at preemption time. If the
+    // GPU is idle by now (e.g. the preemptor already finished), make a
+    // fresh decision.
+    if (ctx.running() == nullptr && ctx.guest() == nullptr)
+        reschedule(ctx);
+}
+
+void
+HpfPolicy::scheduleForQueue(RuntimeContext &ctx, Priority p)
+{
+    KernelRecord *ks = ctx.queues().front(p);
+    if (ks == nullptr)
+        return;
+
+    KernelRecord *kr = ctx.running();
+    if (kr == nullptr) {
+        ctx.queues().popFront(p);
+        ctx.grant(*ks);
+        return;
+    }
+    FLEP_ASSERT(kr->priority() == p,
+                "Schedule_for_queue on a non-running priority level");
+
+    // Preempt only when the running kernel's remaining time exceeds
+    // the candidate's remaining time plus the preemption overhead,
+    // which all other kernels' waiting times would absorb.
+    kr->refresh(ctx.now());
+    if (kr->tr() > ks->tr() + ctx.overheadOf(kr->kernel())) {
+        ctx.preempt(*kr);
+        ctx.queues().popFront(p);
+        ctx.grant(*ks);
+    }
+}
+
+} // namespace flep

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * HPF: highest-priority-first scheduling with performance-degradation
+ * minimization (paper §5.2.1, Figure 6).
+ *
+ * Higher-priority kernels always preempt lower-priority ones. Within a
+ * priority level, HPF runs shortest-remaining-time-first (2-competitive
+ * for average stretch per Muthukrishnan et al.), preempting the
+ * running kernel only when its predicted remaining time exceeds the
+ * candidate's remaining time plus the profiled preemption overhead.
+ * When spatial preemption is enabled and the incoming kernel needs
+ * fewer SMs than the device has, only that many SMs are yielded.
+ */
+
+#ifndef FLEP_RUNTIME_HPF_HH
+#define FLEP_RUNTIME_HPF_HH
+
+#include "runtime/policy.hh"
+
+namespace flep
+{
+
+/** The HPF policy. */
+class HpfPolicy : public SchedulingPolicy
+{
+  public:
+    /** HPF tunables. */
+    struct Config
+    {
+        /** Yield only the SMs the preemptor needs, when fewer than
+         *  the whole device (paper §6.4). */
+        bool enableSpatial = false;
+
+        /** Figure 16 sweep: yield exactly this many SMs for spatial
+         *  preemptions (0 = size automatically). */
+        int forcedSpatialSms = 0;
+    };
+
+    HpfPolicy();
+    explicit HpfPolicy(Config cfg);
+
+    const char *name() const override { return "HPF"; }
+
+    void onArrival(RuntimeContext &ctx, KernelRecord &rec) override;
+    void onFinish(RuntimeContext &ctx, KernelRecord &rec) override;
+    void onPreempted(RuntimeContext &ctx, KernelRecord &rec) override;
+
+  private:
+    /** Figure 6's Schedule_for_queue for priority level p. */
+    void scheduleForQueue(RuntimeContext &ctx, Priority p);
+
+    /** Dispatch decision after the GPU's occupant set changed. */
+    void reschedule(RuntimeContext &ctx);
+
+    /** Preempt `victim` (shape per config) and schedule `incoming`. */
+    void preemptAndSchedule(RuntimeContext &ctx, KernelRecord &incoming,
+                            KernelRecord &victim);
+
+    Config cfg_;
+};
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_HPF_HH

@@ -1,0 +1,68 @@
+#include "runtime/kernel_record.hh"
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+KernelRecord::KernelRecord(HostProcess *host, ProcessId process,
+                           std::string kernel, Priority priority,
+                           Tick predicted_ns, Tick now)
+    : host_(host),
+      process_(process),
+      kernel_(std::move(kernel)),
+      priority_(priority),
+      te_(predicted_ns),
+      tr_(predicted_ns),
+      lastTouch_(now),
+      arrival_(now)
+{}
+
+HostProcess &
+KernelRecord::host()
+{
+    FLEP_ASSERT(host_ != nullptr, "record ", kernel_,
+                " has no host process");
+    return *host_;
+}
+
+bool
+KernelRecord::onGpu(State s)
+{
+    return s == State::Running || s == State::Draining ||
+           s == State::Guest;
+}
+
+void
+KernelRecord::touch(Tick now, State next)
+{
+    FLEP_ASSERT(now >= lastTouch_, "record touched out of order");
+    const Tick elapsed = now - lastTouch_;
+    if (state_ == State::Waiting) {
+        tw_ += elapsed;
+    } else if (onGpu(state_)) {
+        tr_ = tr_ > elapsed ? tr_ - elapsed : 0;
+    }
+    lastTouch_ = now;
+    state_ = next;
+}
+
+const char *
+recordStateName(KernelRecord::State s)
+{
+    switch (s) {
+      case KernelRecord::State::Waiting:
+        return "waiting";
+      case KernelRecord::State::Running:
+        return "running";
+      case KernelRecord::State::Draining:
+        return "draining";
+      case KernelRecord::State::Guest:
+        return "guest";
+      case KernelRecord::State::Finished:
+        return "finished";
+    }
+    return "unknown";
+}
+
+} // namespace flep

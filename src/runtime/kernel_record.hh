@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-invocation bookkeeping of the FLEP runtime (paper §5.1).
+ *
+ * When a kernel is invoked, the runtime creates a triplet: predicted
+ * duration T_e, waiting time T_w, and predicted remaining execution
+ * time T_r. T_w accumulates whenever the kernel is active but not on
+ * the GPU; T_r decreases while it runs; T_e never changes after
+ * initialization. Updates happen at the three paper-defined events:
+ * kernel arrival, kernel preemption, and kernel completion.
+ */
+
+#ifndef FLEP_RUNTIME_KERNEL_RECORD_HH
+#define FLEP_RUNTIME_KERNEL_RECORD_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+class HostProcess;
+
+/** Execution status of one tracked kernel invocation. */
+class KernelRecord
+{
+  public:
+    /** Lifecycle states seen by the runtime. */
+    enum class State
+    {
+        Waiting,  //!< active but not on the GPU (T_w accumulating)
+        Running,  //!< on the GPU (T_r decreasing)
+        Draining, //!< preempt signalled, CTAs finishing their chunks
+        Guest,    //!< running on spatially yielded SMs
+        Finished  //!< completed
+    };
+
+    /**
+     * @param host owning host process (may be null in unit tests that
+     *        exercise pure policy logic)
+     * @param process owning process id
+     * @param kernel kernel name
+     * @param priority scheduling priority (higher wins)
+     * @param predicted_ns model-predicted duration T_e
+     * @param now arrival time
+     */
+    KernelRecord(HostProcess *host, ProcessId process,
+                 std::string kernel, Priority priority,
+                 Tick predicted_ns, Tick now);
+
+    /** Owning host process. @pre constructed with a host. */
+    HostProcess &host();
+
+    /** Owning process id. */
+    ProcessId process() const { return process_; }
+    const std::string &kernel() const { return kernel_; }
+    Priority priority() const { return priority_; }
+
+    /** Predicted duration; fixed at arrival. */
+    Tick te() const { return te_; }
+
+    /** Accumulated waiting time (as of the last touch). */
+    Tick tw() const { return tw_; }
+
+    /** Predicted remaining execution time (as of the last touch). */
+    Tick tr() const { return tr_; }
+
+    State state() const { return state_; }
+    Tick arrivalTick() const { return arrival_; }
+
+    /**
+     * Fold the elapsed interval since the last touch into T_w or T_r
+     * according to the current state, then transition to `next`.
+     * This is the single mutation point of the triplet.
+     */
+    void touch(Tick now, State next);
+
+    /** touch() without a state change. */
+    void refresh(Tick now) { touch(now, state_); }
+
+    /** Number of times this invocation was preempted off the GPU. */
+    int preemptions() const { return preemptions_; }
+
+    /** Count one completed preemption (called at drain). */
+    void countPreemption() { ++preemptions_; }
+
+  private:
+    static bool onGpu(State s);
+
+    HostProcess *host_;
+    ProcessId process_;
+    std::string kernel_;
+    Priority priority_;
+    Tick te_;
+    Tick tw_ = 0;
+    Tick tr_;
+    State state_ = State::Waiting;
+    Tick lastTouch_;
+    Tick arrival_;
+    int preemptions_ = 0;
+};
+
+/** Human-readable state name. */
+const char *recordStateName(KernelRecord::State s);
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_KERNEL_RECORD_HH

@@ -1,0 +1,8 @@
+#include "runtime/policy.hh"
+
+namespace flep
+{
+
+SchedulingPolicy::~SchedulingPolicy() = default;
+
+} // namespace flep

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Scheduling-policy interface of the FLEP runtime (paper §5.2).
+ *
+ * The runtime mechanism (interception, record keeping, preemption
+ * signalling) is policy-agnostic; HPF and FFS plug in through this
+ * interface, and new policies can be added the same way.
+ */
+
+#ifndef FLEP_RUNTIME_POLICY_HH
+#define FLEP_RUNTIME_POLICY_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "runtime/kernel_record.hh"
+#include "runtime/wait_queue.hh"
+
+namespace flep
+{
+
+/** Runtime services available to a scheduling policy. */
+class RuntimeContext
+{
+  public:
+    virtual ~RuntimeContext() = default;
+
+    /** Current simulated time. */
+    virtual Tick now() const = 0;
+
+    /** Device configuration. */
+    virtual const GpuConfig &gpuConfig() const = 0;
+
+    /** The kernel occupying the GPU (nullptr when idle). A kernel
+     *  being drained by a temporal preemption no longer counts. */
+    virtual KernelRecord *running() = 0;
+
+    /** The spatially co-scheduled high-priority kernel, if any. */
+    virtual KernelRecord *guest() = 0;
+
+    /** The per-priority wait queues. */
+    virtual WaitQueueSet &queues() = 0;
+
+    /** Profiled preemption overhead O for a kernel (ticks). */
+    virtual Tick overheadOf(const std::string &kernel) const = 0;
+
+    /** Signal the owning host to launch `rec`'s kernel. */
+    virtual void grant(KernelRecord &rec) = 0;
+
+    /**
+     * Spatial path: tell the victim to yield `sm_count` SMs and the
+     * incoming record's host to launch onto them.
+     */
+    virtual void grantSpatial(KernelRecord &incoming,
+                              KernelRecord &victim, int sm_count) = 0;
+
+    /** Temporal preemption: the victim yields the whole GPU and will
+     *  re-enter the wait queues once drained. */
+    virtual void preempt(KernelRecord &victim) = 0;
+
+    /** Arm the policy timer (FFS epochs); replaces any pending one. */
+    virtual void armTimer(Tick delay) = 0;
+
+    /** Cancel the pending policy timer, if any. */
+    virtual void cancelTimer() = 0;
+};
+
+/** A pluggable scheduling policy. */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy();
+
+    /** Policy name for logs and reports. */
+    virtual const char *name() const = 0;
+
+    /** A new kernel invocation arrived (record is not yet queued). */
+    virtual void onArrival(RuntimeContext &ctx, KernelRecord &rec) = 0;
+
+    /** A kernel finished (record already detached). */
+    virtual void onFinish(RuntimeContext &ctx, KernelRecord &rec) = 0;
+
+    /** A temporally preempted kernel fully drained off the GPU
+     *  (record is not yet re-queued). */
+    virtual void onPreempted(RuntimeContext &ctx, KernelRecord &rec) = 0;
+
+    /** The policy timer armed via armTimer() fired. */
+    virtual void onTimer(RuntimeContext &ctx) { (void)ctx; }
+};
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_POLICY_HH

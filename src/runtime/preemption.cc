@@ -1,0 +1,36 @@
+#include "runtime/preemption.hh"
+
+#include <algorithm>
+
+#include "gpu/occupancy.hh"
+
+namespace flep
+{
+
+int
+smsNeededForInput(const GpuConfig &cfg, const InputSpec &in)
+{
+    const long capacity = deviceCtaCapacity(cfg, in.footprint);
+    const long wave = std::min<long>(capacity, in.totalTasks);
+    return smsNeededFor(cfg, in.footprint, wave);
+}
+
+PreemptionPlan
+planPreemption(const GpuConfig &cfg, const InputSpec &incoming,
+               bool spatial_enabled, int forced_sms)
+{
+    PreemptionPlan plan;
+    if (!spatial_enabled) {
+        plan.smCount = cfg.numSms;
+        plan.spatial = false;
+        return plan;
+    }
+    int sms = forced_sms > 0 ? forced_sms
+                             : smsNeededForInput(cfg, incoming);
+    sms = std::min(sms, cfg.numSms);
+    plan.smCount = sms;
+    plan.spatial = sms < cfg.numSms;
+    return plan;
+}
+
+} // namespace flep

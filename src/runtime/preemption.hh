@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Preemption-shape decisions: temporal vs spatial, and sizing.
+ */
+
+#ifndef FLEP_RUNTIME_PREEMPTION_HH
+#define FLEP_RUNTIME_PREEMPTION_HH
+
+#include "gpu/gpu_config.hh"
+#include "workload/workload.hh"
+
+namespace flep
+{
+
+/** How a preemption should be carried out. */
+struct PreemptionPlan
+{
+    /**
+     * Value to write into the victim's flag: CTAs on SMs with id less
+     * than this yield. Equal to numSms for temporal preemption.
+     */
+    int smCount = 0;
+
+    /** True when only part of the device is yielded. */
+    bool spatial = false;
+};
+
+/**
+ * Number of SMs the waiting kernel's persistent wave needs: the CTA
+ * count of its wave divided by its per-SM occupancy, rounded up and
+ * clamped to the device size.
+ */
+int smsNeededForInput(const GpuConfig &cfg, const InputSpec &in);
+
+/**
+ * Decide the preemption shape for scheduling `incoming` over a running
+ * victim. Spatial preemption is chosen when it is enabled and the
+ * incoming kernel needs strictly fewer SMs than the device has;
+ * `forced_sms` > 0 overrides the SM count (the Figure 16 sweep).
+ */
+PreemptionPlan planPreemption(const GpuConfig &cfg,
+                              const InputSpec &incoming,
+                              bool spatial_enabled, int forced_sms);
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_PREEMPTION_HH

@@ -1,0 +1,169 @@
+#include "runtime/runtime.hh"
+
+#include "common/logging.hh"
+#include "runtime/host_process.hh"
+
+namespace flep
+{
+
+FlepRuntime::FlepRuntime(Simulation &sim, GpuDevice &gpu,
+                         std::unique_ptr<SchedulingPolicy> policy,
+                         FlepRuntimeConfig cfg)
+    : SimObject(sim, "flep-runtime"),
+      gpu_(gpu),
+      policy_(std::move(policy)),
+      cfg_(std::move(cfg))
+{
+    FLEP_ASSERT(policy_ != nullptr, "runtime needs a policy");
+}
+
+FlepRuntime::~FlepRuntime() = default;
+
+Tick
+FlepRuntime::predictNs(const std::string &kernel,
+                       const InputSpec &in) const
+{
+    auto it = cfg_.models.find(kernel);
+    if (it == cfg_.models.end())
+        return cfg_.fallbackPredictNs;
+    return static_cast<Tick>(it->second.predictNs(in));
+}
+
+Tick
+FlepRuntime::overheadOf(const std::string &kernel) const
+{
+    auto it = cfg_.overheads.find(kernel);
+    if (it == cfg_.overheads.end())
+        return cfg_.defaultOverheadNs;
+    return it->second;
+}
+
+KernelRecord *
+FlepRuntime::find(HostProcess &host)
+{
+    auto it = records_.find(&host);
+    return it == records_.end() ? nullptr : it->second.get();
+}
+
+void
+FlepRuntime::onInvoke(HostProcess &host)
+{
+    FLEP_ASSERT(find(host) == nullptr,
+                "host already has a tracked invocation");
+    const auto &inv = host.invocation();
+    const Tick te = predictNs(inv.workload->name(), inv.input);
+    auto rec = std::make_unique<KernelRecord>(
+        &host, host.pid(), inv.workload->name(), inv.priority, te,
+        sim_.now());
+    KernelRecord *raw = rec.get();
+    records_.emplace(&host, std::move(rec));
+    policy_->onArrival(*this, *raw);
+}
+
+void
+FlepRuntime::detach(KernelRecord &rec)
+{
+    if (running_ == &rec)
+        running_ = nullptr;
+    if (guest_ == &rec)
+        guest_ = nullptr;
+    queues_.remove(rec);
+}
+
+void
+FlepRuntime::onFinished(HostProcess &host)
+{
+    KernelRecord *rec = find(host);
+    FLEP_ASSERT(rec != nullptr, "finish from an untracked host");
+    rec->touch(sim_.now(), KernelRecord::State::Finished);
+
+    const bool was_guest = guest_ == rec;
+    detach(*rec);
+
+    if (was_guest && running_ != nullptr &&
+        running_->state() == KernelRecord::State::Running) {
+        // Spatial resume: the victim refills its yielded SMs.
+        running_->host().signalRefill(guestSms_);
+    }
+
+    policy_->onFinish(*this, *rec);
+    // The kernel may have finished between the preempt signal and the
+    // drain; drop any stale latency bookkeeping.
+    preemptSignalTick_.erase(rec);
+    records_.erase(&host);
+}
+
+void
+FlepRuntime::onDrained(HostProcess &host)
+{
+    KernelRecord *rec = find(host);
+    FLEP_ASSERT(rec != nullptr, "drain from an untracked host");
+    rec->touch(sim_.now(), KernelRecord::State::Waiting);
+    rec->countPreemption();
+    auto sig = preemptSignalTick_.find(rec);
+    if (sig != preemptSignalTick_.end()) {
+        preemptLatency_.add(
+            static_cast<double>(sim_.now() - sig->second));
+        preemptSignalTick_.erase(sig);
+    }
+    if (running_ == rec)
+        running_ = nullptr;
+    policy_->onPreempted(*this, *rec);
+}
+
+void
+FlepRuntime::grant(KernelRecord &rec)
+{
+    FLEP_ASSERT(running_ == nullptr || running_ == &rec,
+                "grant while ", running_->kernel(), " is running");
+    rec.touch(sim_.now(), KernelRecord::State::Running);
+    running_ = &rec;
+    rec.host().grantLaunch();
+}
+
+void
+FlepRuntime::grantSpatial(KernelRecord &incoming, KernelRecord &victim,
+                          int sm_count)
+{
+    FLEP_ASSERT(guest_ == nullptr, "only one spatial guest at a time");
+    FLEP_ASSERT(running_ == &victim, "spatial victim must be running");
+    ++preemptsSignalled_;
+    victim.host().signalPreempt(sm_count);
+    guest_ = &incoming;
+    guestSms_ = sm_count;
+    incoming.touch(sim_.now(), KernelRecord::State::Guest);
+    incoming.host().grantLaunch();
+}
+
+void
+FlepRuntime::preempt(KernelRecord &victim)
+{
+    ++preemptsSignalled_;
+    preemptSignalTick_[&victim] = sim_.now();
+    victim.touch(sim_.now(), KernelRecord::State::Draining);
+    if (running_ == &victim)
+        running_ = nullptr;
+    victim.host().signalPreempt(gpu_.config().numSms);
+}
+
+void
+FlepRuntime::armTimer(Tick delay)
+{
+    cancelTimer();
+    timer_ = sim_.events().scheduleAfter(delay, [this]() {
+        timerArmed_ = false;
+        policy_->onTimer(*this);
+    });
+    timerArmed_ = true;
+}
+
+void
+FlepRuntime::cancelTimer()
+{
+    if (timerArmed_) {
+        sim_.events().deschedule(timer_);
+        timerArmed_ = false;
+    }
+}
+
+} // namespace flep

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The FLEP runtime engine (paper §5): intercepts every kernel
+ * invocation, predicts durations with per-kernel models, tracks
+ * execution status, and enforces the decisions of a pluggable
+ * scheduling policy via temporal or spatial preemption.
+ */
+
+#ifndef FLEP_RUNTIME_RUNTIME_HH
+#define FLEP_RUNTIME_RUNTIME_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/stats.hh"
+
+#include "gpu/gpu_device.hh"
+#include "perfmodel/overhead_profiler.hh"
+#include "perfmodel/trainer.hh"
+#include "runtime/dispatcher.hh"
+#include "runtime/kernel_record.hh"
+#include "runtime/policy.hh"
+#include "runtime/wait_queue.hh"
+#include "sim/sim_object.hh"
+
+namespace flep
+{
+
+/** Static configuration of the runtime engine. */
+struct FlepRuntimeConfig
+{
+    /** Per-kernel duration models from the offline phase. Missing
+     *  kernels fall back to fallbackPredictNs. */
+    std::map<std::string, KernelModel> models;
+
+    /** Profiled per-kernel preemption overheads O_i. */
+    OverheadTable overheads;
+
+    /** O_i for kernels missing from the table. */
+    Tick defaultOverheadNs = 300 * 1000;
+
+    /** T_e for kernels without a duration model. */
+    Tick fallbackPredictNs = 5 * 1000 * 1000;
+};
+
+/** The online engine: dispatcher for hosts, context for policies. */
+class FlepRuntime : public SimObject,
+                    public KernelDispatcher,
+                    public RuntimeContext
+{
+  public:
+    FlepRuntime(Simulation &sim, GpuDevice &gpu,
+                std::unique_ptr<SchedulingPolicy> policy,
+                FlepRuntimeConfig cfg);
+    ~FlepRuntime() override;
+
+    // --- KernelDispatcher ---
+    const char *schedulerName() const override { return "FLEP"; }
+    ExecMode execMode() const override { return ExecMode::Persistent; }
+    Tick ipcLatency() const override { return gpu_.config().ipcNs; }
+    void onInvoke(HostProcess &host) override;
+    void onFinished(HostProcess &host) override;
+    void onDrained(HostProcess &host) override;
+
+    // --- RuntimeContext ---
+    Tick now() const override { return sim_.now(); }
+    const GpuConfig &gpuConfig() const override
+    {
+        return gpu_.config();
+    }
+    KernelRecord *running() override { return running_; }
+    KernelRecord *guest() override { return guest_; }
+    WaitQueueSet &queues() override { return queues_; }
+    Tick overheadOf(const std::string &kernel) const override;
+    void grant(KernelRecord &rec) override;
+    void grantSpatial(KernelRecord &incoming, KernelRecord &victim,
+                      int sm_count) override;
+    void preempt(KernelRecord &victim) override;
+    void armTimer(Tick delay) override;
+    void cancelTimer() override;
+
+    /** The installed policy. */
+    const SchedulingPolicy &policy() const { return *policy_; }
+
+    /** Predicted duration the runtime would assign to an input. */
+    Tick predictNs(const std::string &kernel,
+                   const InputSpec &in) const;
+
+    /** Number of invocations currently tracked. */
+    std::size_t trackedCount() const { return records_.size(); }
+
+    /** Total preemptions the runtime has signalled. */
+    long preemptionsSignalled() const { return preemptsSignalled_; }
+
+    /**
+     * Observed temporal preemption latencies (preempt signal to
+     * drained), in ticks. The paper's amortizing factor directly
+     * bounds this distribution.
+     */
+    const SampleStats &preemptionLatency() const
+    {
+        return preemptLatency_;
+    }
+
+  private:
+    KernelRecord *find(HostProcess &host);
+    void detach(KernelRecord &rec);
+
+    GpuDevice &gpu_;
+    std::unique_ptr<SchedulingPolicy> policy_;
+    FlepRuntimeConfig cfg_;
+
+    std::unordered_map<HostProcess *, std::unique_ptr<KernelRecord>>
+        records_;
+    WaitQueueSet queues_;
+    KernelRecord *running_ = nullptr;
+    KernelRecord *guest_ = nullptr;
+    int guestSms_ = 0;
+    EventId timer_ = 0;
+    bool timerArmed_ = false;
+    long preemptsSignalled_ = 0;
+    SampleStats preemptLatency_;
+    std::unordered_map<const KernelRecord *, Tick> preemptSignalTick_;
+};
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_RUNTIME_HH

@@ -1,0 +1,88 @@
+#include "runtime/wait_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+void
+WaitQueueSet::enqueue(KernelRecord &rec)
+{
+    auto &q = queues_[rec.priority()];
+    auto pos = std::find_if(q.begin(), q.end(),
+                            [&](const KernelRecord *r) {
+                                return r->tr() > rec.tr();
+                            });
+    q.insert(pos, &rec);
+}
+
+KernelRecord *
+WaitQueueSet::front(Priority p)
+{
+    auto it = queues_.find(p);
+    if (it == queues_.end() || it->second.empty())
+        return nullptr;
+    return it->second.front();
+}
+
+KernelRecord *
+WaitQueueSet::popFront(Priority p)
+{
+    auto it = queues_.find(p);
+    if (it == queues_.end() || it->second.empty())
+        return nullptr;
+    KernelRecord *rec = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty())
+        queues_.erase(it);
+    return rec;
+}
+
+bool
+WaitQueueSet::remove(const KernelRecord &rec)
+{
+    auto it = queues_.find(rec.priority());
+    if (it == queues_.end())
+        return false;
+    auto &q = it->second;
+    auto pos = std::find(q.begin(), q.end(), &rec);
+    if (pos == q.end())
+        return false;
+    q.erase(pos);
+    if (q.empty())
+        queues_.erase(it);
+    return true;
+}
+
+Priority
+WaitQueueSet::highestNonEmpty(bool &found) const
+{
+    for (const auto &[prio, q] : queues_) {
+        if (!q.empty()) {
+            found = true;
+            return prio;
+        }
+    }
+    found = false;
+    return 0;
+}
+
+std::size_t
+WaitQueueSet::size() const
+{
+    std::size_t total = 0;
+    for (const auto &[prio, q] : queues_)
+        total += q.size();
+    return total;
+}
+
+std::size_t
+WaitQueueSet::sizeAt(Priority p) const
+{
+    auto it = queues_.find(p);
+    return it == queues_.end() ? 0 : it->second.size();
+}
+
+} // namespace flep

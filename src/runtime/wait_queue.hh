@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The runtime's per-priority wait queues (paper §3, §5.2).
+ *
+ * FLEP buffers waiting kernels in one queue per distinct priority.
+ * Within a queue, kernels are kept ordered by predicted remaining
+ * execution time T_r, so the shortest-remaining-time pick is always
+ * the queue head.
+ */
+
+#ifndef FLEP_RUNTIME_WAIT_QUEUE_HH
+#define FLEP_RUNTIME_WAIT_QUEUE_HH
+
+#include <deque>
+#include <map>
+
+#include "common/types.hh"
+#include "runtime/kernel_record.hh"
+
+namespace flep
+{
+
+/** Set of priority queues, each ordered by ascending T_r. */
+class WaitQueueSet
+{
+  public:
+    /** Insert a waiting kernel, keeping T_r order within its queue. */
+    void enqueue(KernelRecord &rec);
+
+    /** Head (shortest T_r) of the queue at `p`; nullptr when empty. */
+    KernelRecord *front(Priority p);
+
+    /** Remove and return the head of the queue at `p`. */
+    KernelRecord *popFront(Priority p);
+
+    /** Remove a specific record wherever it is; false if absent. */
+    bool remove(const KernelRecord &rec);
+
+    /**
+     * Highest priority that has waiting kernels.
+     * @param found set to false when all queues are empty.
+     */
+    Priority highestNonEmpty(bool &found) const;
+
+    /** Total waiting kernels across all priorities. */
+    std::size_t size() const;
+
+    /** True when no kernel is waiting anywhere. */
+    bool empty() const { return size() == 0; }
+
+    /** Waiting kernels at one priority. */
+    std::size_t sizeAt(Priority p) const;
+
+  private:
+    // Highest priority first.
+    std::map<Priority, std::deque<KernelRecord *>, std::greater<>>
+        queues_;
+};
+
+} // namespace flep
+
+#endif // FLEP_RUNTIME_WAIT_QUEUE_HH

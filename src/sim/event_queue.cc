@@ -1,0 +1,96 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    FLEP_ASSERT(when >= now_, "cannot schedule into the past: when=",
+                when, " now=", now_);
+    const EventId id = nextId_++;
+    queue_.push(Entry{when, nextSeq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    ++live_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    return schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    auto it = callbacks_.find(id);
+    if (it == callbacks_.end())
+        return false;
+    callbacks_.erase(it);
+    --live_;
+    return true;
+}
+
+bool
+EventQueue::popNext(Callback &cb)
+{
+    while (!queue_.empty()) {
+        const Entry top = queue_.top();
+        auto it = callbacks_.find(top.id);
+        if (it == callbacks_.end()) {
+            // Cancelled event: discard the stale heap entry.
+            queue_.pop();
+            continue;
+        }
+        now_ = top.when;
+        cb = std::move(it->second);
+        callbacks_.erase(it);
+        queue_.pop();
+        --live_;
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::step()
+{
+    Callback cb;
+    if (!popNext(cb))
+        return false;
+    ++executed_;
+    cb();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!queue_.empty()) {
+        // Skip stale entries to find the true next event time.
+        const Entry top = queue_.top();
+        if (!callbacks_.count(top.id)) {
+            queue_.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        step();
+    }
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace flep

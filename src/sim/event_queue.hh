@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the GPU execution simulator.
+ */
+
+#ifndef FLEP_SIM_EVENT_QUEUE_HH
+#define FLEP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Time-ordered queue of callbacks. Events scheduled for the same tick
+ * fire in scheduling order (FIFO), which keeps co-run experiments
+ * deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule `cb` to run at absolute time `when`.
+     * @pre when >= now()
+     * @return a handle usable with deschedule().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule `cb` to run `delay` ticks from now. */
+    EventId scheduleAfter(Tick delay, Callback cb);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * id is a no-op and returns false.
+     */
+    bool deschedule(EventId id);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** True when no events are pending. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingCount() const { return live_; }
+
+    /**
+     * Pop and run the earliest event. @return false when the queue
+     * is empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. @return final time. */
+    Tick run();
+
+    /**
+     * Run events with time <= limit; leaves later events pending and
+     * advances now() to min(limit, next event time).
+     */
+    Tick runUntil(Tick limit);
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    bool popNext(Callback &cb);
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    // Callbacks stored separately so cancellation is O(1); cancelled
+    // ids are simply absent when their heap entry surfaces.
+    std::unordered_map<EventId, Callback> callbacks_;
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::size_t live_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace flep
+
+#endif // FLEP_SIM_EVENT_QUEUE_HH

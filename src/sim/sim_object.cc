@@ -1,0 +1,12 @@
+#include "sim/sim_object.hh"
+
+namespace flep
+{
+
+SimObject::SimObject(Simulation &sim, std::string name)
+    : sim_(sim), name_(std::move(name))
+{}
+
+SimObject::~SimObject() = default;
+
+} // namespace flep

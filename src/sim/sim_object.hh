@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Named simulation object base class.
+ */
+
+#ifndef FLEP_SIM_SIM_OBJECT_HH
+#define FLEP_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+namespace flep
+{
+
+class Simulation;
+
+/**
+ * Base class for every component that lives inside a Simulation.
+ * Provides the owning simulation handle and a hierarchical name used
+ * in log messages.
+ */
+class SimObject
+{
+  public:
+    /** @param sim owning simulation; must outlive this object.
+     *  @param name hierarchical name, e.g. "gpu.sm3". */
+    SimObject(Simulation &sim, std::string name);
+    virtual ~SimObject();
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name. */
+    const std::string &name() const { return name_; }
+
+    /** Owning simulation. */
+    Simulation &sim() { return sim_; }
+    const Simulation &sim() const { return sim_; }
+
+  protected:
+    Simulation &sim_;
+
+  private:
+    std::string name_;
+};
+
+} // namespace flep
+
+#endif // FLEP_SIM_SIM_OBJECT_HH

@@ -1,0 +1,10 @@
+#include "sim/simulation.hh"
+
+namespace flep
+{
+
+Simulation::Simulation(std::uint64_t seed)
+    : rootRng_(seed)
+{}
+
+} // namespace flep

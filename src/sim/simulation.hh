@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Top-level simulation context: owns the event queue and a seed-derived
+ * random stream, so one Simulation object is one reproducible run.
+ */
+
+#ifndef FLEP_SIM_SIMULATION_HH
+#define FLEP_SIM_SIMULATION_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace flep
+{
+
+/**
+ * One simulated run. All components of a run (GPU device, host
+ * processes, the FLEP runtime) share the Simulation's event queue and
+ * derive their randomness from its root RNG.
+ */
+class Simulation
+{
+  public:
+    /** @param seed root seed; equal seeds replay the run exactly. */
+    explicit Simulation(std::uint64_t seed = 1);
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Shared event queue. */
+    EventQueue &events() { return events_; }
+
+    /** Current simulated time. */
+    Tick now() const { return events_.now(); }
+
+    /** Derive an independent random stream for a component. */
+    Rng forkRng() { return rootRng_.fork(); }
+
+    /** Run until the event queue drains. @return final time. */
+    Tick run() { return events_.run(); }
+
+    /** Run events up to `limit` ticks. */
+    Tick runUntil(Tick limit) { return events_.runUntil(limit); }
+
+  private:
+    EventQueue events_;
+    Rng rootRng_;
+};
+
+} // namespace flep
+
+#endif // FLEP_SIM_SIMULATION_HH

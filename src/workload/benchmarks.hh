@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Factories for the eight Table 1 benchmarks.
+ *
+ * All eight use 256-thread CTAs with 32 registers per thread, which on
+ * the K40 preset yields 8 active CTAs per SM and 120 concurrent CTAs
+ * device-wide — matching the paper's "120 active CTAs of size 256".
+ */
+
+#ifndef FLEP_WORKLOAD_BENCHMARKS_HH
+#define FLEP_WORKLOAD_BENCHMARKS_HH
+
+#include "workload/workload.hh"
+
+namespace flep
+{
+
+WorkloadPtr makeCfd();  //!< Rodinia: finite volume solver
+WorkloadPtr makeNn();   //!< Rodinia: nearest neighbor
+WorkloadPtr makePf();   //!< Rodinia: pathfinder (dynamic programming)
+WorkloadPtr makePl();   //!< Rodinia: particle filter (Bayesian)
+WorkloadPtr makeMd();   //!< SHOC: molecular dynamics
+WorkloadPtr makeSpmv(); //!< SHOC: sparse matrix-vector multiply
+WorkloadPtr makeMm();   //!< CUDA SDK: dense matrix multiply
+WorkloadPtr makeVa();   //!< CUDA SDK: vector addition
+
+} // namespace flep
+
+#endif // FLEP_WORKLOAD_BENCHMARKS_HH

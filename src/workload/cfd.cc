@@ -1,0 +1,39 @@
+#include "workload/benchmarks.hh"
+
+namespace flep
+{
+
+/**
+ * CFD (Rodinia): an unstructured-grid finite volume solver for
+ * compressible flow. Heavy 130-line kernel: each task (one original
+ * CTA) integrates fluxes for a block of cells, so tasks are expensive
+ * and the amortizing factor can be 1. Flux computation is moderately
+ * irregular (per-cell neighbour lists), giving medium task dispersion
+ * and a medium hidden input effect.
+ */
+WorkloadPtr
+makeCfd()
+{
+    Workload::Params p;
+    p.name = "CFD";
+    p.source = "Rodinia";
+    p.description = "finite volume solver";
+    p.kernelLoc = 130;
+    p.paperAmortizeL = 1;
+    p.contentionBeta = 0.05;
+    p.footprint = CtaFootprint{256, 32, 3072};
+
+    p.largeTasks = 7052;
+    p.largeTaskNs = 138413.2;
+    p.smallTasks = 331;
+    p.smallTaskNs = 116591.1;
+    p.trivialCtas = 24;
+    p.trivialTaskNs = 62666.0;
+
+    p.taskCv = 0.06;
+    p.hiddenCv = 0.09;
+    p.sizeExponent = 0.03;
+    return std::make_unique<Workload>(p);
+}
+
+} // namespace flep

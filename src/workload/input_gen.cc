@@ -1,0 +1,26 @@
+#include "workload/input_gen.hh"
+
+namespace flep
+{
+
+std::vector<InputSpec>
+generateInputs(const Workload &w, int count, Rng &rng)
+{
+    std::vector<InputSpec> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        out.push_back(w.randomInput(rng));
+    return out;
+}
+
+InputSplit
+generateSplit(const Workload &w, int train_count, int test_count,
+              Rng &rng)
+{
+    InputSplit split;
+    split.train = generateInputs(w, train_count, rng);
+    split.test = generateInputs(w, test_count, rng);
+    return split;
+}
+
+} // namespace flep

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Training/test input generation for the performance models.
+ *
+ * The paper trains each kernel's regression model on 100 randomly
+ * generated data inputs (§4.2). This module produces those inputs and
+ * matching held-out test sets.
+ */
+
+#ifndef FLEP_WORKLOAD_INPUT_GEN_HH
+#define FLEP_WORKLOAD_INPUT_GEN_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/workload.hh"
+
+namespace flep
+{
+
+/** A batch of random inputs for one workload. */
+std::vector<InputSpec> generateInputs(const Workload &w, int count,
+                                      Rng &rng);
+
+/**
+ * Train/test split: `train_count` inputs for fitting and
+ * `test_count` independent inputs for error evaluation.
+ */
+struct InputSplit
+{
+    std::vector<InputSpec> train;
+    std::vector<InputSpec> test;
+};
+
+/** Generate a train/test split for one workload. */
+InputSplit generateSplit(const Workload &w, int train_count,
+                         int test_count, Rng &rng);
+
+} // namespace flep
+
+#endif // FLEP_WORKLOAD_INPUT_GEN_HH

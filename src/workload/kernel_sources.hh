@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Mini-CUDA kernel sources for the Table 1 benchmarks.
+ *
+ * These are simplified but structurally faithful renditions of the
+ * eight benchmarks' GPU kernels, written in the mini-CUDA subset the
+ * FLEP compiler accepts. They tie the compilation engine to the
+ * workload suite: every benchmark kernel parses, passes the resource
+ * scan, and transforms into the Figure 4 forms (see
+ * tests/compiler and tests/workload).
+ */
+
+#ifndef FLEP_WORKLOAD_KERNEL_SOURCES_HH
+#define FLEP_WORKLOAD_KERNEL_SOURCES_HH
+
+#include <string>
+#include <vector>
+
+namespace flep
+{
+
+/** Source bundle of one benchmark kernel. */
+struct KernelSource
+{
+    std::string benchmark;  //!< suite name (CFD, NN, ...)
+    std::string kernelName; //!< __global__ function name
+    std::string source;     //!< mini-CUDA translation unit
+};
+
+/**
+ * The kernel source of one benchmark.
+ * @throws FatalError for unknown benchmark names.
+ */
+const KernelSource &benchmarkKernelSource(const std::string &name);
+
+/** All eight kernel sources in paper order. */
+const std::vector<KernelSource> &allKernelSources();
+
+} // namespace flep
+
+#endif // FLEP_WORKLOAD_KERNEL_SOURCES_HH

@@ -1,0 +1,38 @@
+#include "workload/benchmarks.hh"
+
+namespace flep
+{
+
+/**
+ * MD (SHOC): Lennard-Jones force computation among a large number of
+ * atoms. Each task processes an atom block against its neighbour
+ * lists; tasks are expensive (L = 1) and the memory access pattern is
+ * determined by the simulated atoms' neighbourhood relations, so the
+ * hidden input effect is strong (paper §6.2 singles MD out for this).
+ */
+WorkloadPtr
+makeMd()
+{
+    Workload::Params p;
+    p.name = "MD";
+    p.source = "SHOC";
+    p.description = "molecular dynamics";
+    p.kernelLoc = 61;
+    p.paperAmortizeL = 1;
+    p.contentionBeta = 0.08;
+    p.footprint = CtaFootprint{256, 32, 2048};
+
+    p.largeTasks = 9411;
+    p.largeTaskNs = 128986.6;
+    p.smallTasks = 555;
+    p.smallTaskNs = 116942.1;
+    p.trivialCtas = 16;
+    p.trivialTaskNs = 72027.6;
+
+    p.taskCv = 0.05;
+    p.hiddenCv = 0.12;
+    p.sizeExponent = 0.04;
+    return std::make_unique<Workload>(p);
+}
+
+} // namespace flep

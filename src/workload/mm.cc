@@ -1,0 +1,37 @@
+#include "workload/benchmarks.hh"
+
+namespace flep
+{
+
+/**
+ * MM (CUDA SDK): tiled dense matrix multiplication. Each task computes
+ * one output tile using shared-memory staging. Compute-bound (low
+ * contention beta), extremely regular, and therefore one of the most
+ * predictable kernels in Figure 7.
+ */
+WorkloadPtr
+makeMm()
+{
+    Workload::Params p;
+    p.name = "MM";
+    p.source = "CUDA SDK";
+    p.description = "dense matrix multiplication";
+    p.kernelLoc = 74;
+    p.paperAmortizeL = 2;
+    p.contentionBeta = 0.03;
+    p.footprint = CtaFootprint{256, 32, 4096};
+
+    p.largeTasks = 13100;
+    p.largeTaskNs = 19294.0;
+    p.smallTasks = 7613;
+    p.smallTaskNs = 19180.0;
+    p.trivialCtas = 32;
+    p.trivialTaskNs = 60676.7;
+
+    p.taskCv = 0.03;
+    p.hiddenCv = 0.05;
+    p.sizeExponent = 0.02;
+    return std::make_unique<Workload>(p);
+}
+
+} // namespace flep

@@ -1,0 +1,40 @@
+#include "workload/benchmarks.hh"
+
+namespace flep
+{
+
+/**
+ * NN (Rodinia): 10-nearest-neighbour search. A tiny 10-line kernel
+ * with perfectly regular parallelism: each task computes distances for
+ * a small record block. Tasks are cheap (~1 us), so the paper needs a
+ * large amortizing factor (100). Regular access makes the duration
+ * highly predictable (low hidden dispersion) but the kernel is
+ * memory-bandwidth-bound, so intra-SM contention is strong — NN is the
+ * benchmark with the largest Figure 16 spread-out speedup.
+ */
+WorkloadPtr
+makeNn()
+{
+    Workload::Params p;
+    p.name = "NN";
+    p.source = "Rodinia";
+    p.description = "nearest neighbor";
+    p.kernelLoc = 10;
+    p.paperAmortizeL = 100;
+    p.contentionBeta = 0.18;
+    p.footprint = CtaFootprint{256, 32, 0};
+
+    p.largeTasks = 745000;
+    p.largeTaskNs = 1113.9;
+    p.smallTasks = 34270;
+    p.smallTaskNs = 1095.6;
+    p.trivialCtas = 16;
+    p.trivialTaskNs = 41122.4;
+
+    p.taskCv = 0.02;
+    p.hiddenCv = 0.04;
+    p.sizeExponent = 0.01;
+    return std::make_unique<Workload>(p);
+}
+
+} // namespace flep

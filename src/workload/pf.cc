@@ -1,0 +1,37 @@
+#include "workload/benchmarks.hh"
+
+namespace flep
+{
+
+/**
+ * PF (Rodinia pathfinder): dynamic programming over a 2-D grid. Each
+ * task relaxes one row block; tasks are cheap and fairly uniform, so
+ * the paper's amortizing factor is 150. Wavefront dependencies make
+ * the cost mildly input-sensitive.
+ */
+WorkloadPtr
+makePf()
+{
+    Workload::Params p;
+    p.name = "PF";
+    p.source = "Rodinia";
+    p.description = "dynamic programming";
+    p.kernelLoc = 81;
+    p.paperAmortizeL = 150;
+    p.contentionBeta = 0.04;
+    p.footprint = CtaFootprint{256, 32, 2048};
+
+    p.largeTasks = 642000;
+    p.largeTaskNs = 1070.0;
+    p.smallTasks = 69300;
+    p.smallTaskNs = 1044.0;
+    p.trivialCtas = 32;
+    p.trivialTaskNs = 45346.2;
+
+    p.taskCv = 0.03;
+    p.hiddenCv = 0.08;
+    p.sizeExponent = 0.02;
+    return std::make_unique<Workload>(p);
+}
+
+} // namespace flep

@@ -1,0 +1,37 @@
+#include "workload/benchmarks.hh"
+
+namespace flep
+{
+
+/**
+ * PL (Rodinia particle filter): Bayesian target-location estimation.
+ * Tasks resample and weigh particle blocks; per-task cost depends on
+ * the sampled particle distribution, so the hidden input effect is
+ * noticeable.
+ */
+WorkloadPtr
+makePl()
+{
+    Workload::Params p;
+    p.name = "PL";
+    p.source = "Rodinia";
+    p.description = "Bayesian framework";
+    p.kernelLoc = 24;
+    p.paperAmortizeL = 100;
+    p.contentionBeta = 0.06;
+    p.footprint = CtaFootprint{256, 32, 1024};
+
+    p.largeTasks = 407000;
+    p.largeTaskNs = 1118.0;
+    p.smallTasks = 71500;
+    p.smallTaskNs = 1100.0;
+    p.trivialCtas = 24;
+    p.trivialTaskNs = 68928.2;
+
+    p.taskCv = 0.04;
+    p.hiddenCv = 0.10;
+    p.sizeExponent = 0.03;
+    return std::make_unique<Workload>(p);
+}
+
+} // namespace flep

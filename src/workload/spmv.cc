@@ -1,0 +1,39 @@
+#include "workload/benchmarks.hh"
+
+namespace flep
+{
+
+/**
+ * SPMV (SHOC): sparse matrix-vector multiply. Each task handles a row
+ * block; cost is driven by the non-zero distribution, which neither
+ * the grid size nor the input size feature captures. SPMV therefore
+ * has the largest task dispersion and the largest hidden input effect
+ * — it is the hardest benchmark to predict in Figure 7 (12.2 % error)
+ * and strongly memory-bound (high contention beta).
+ */
+WorkloadPtr
+makeSpmv()
+{
+    Workload::Params p;
+    p.name = "SPMV";
+    p.source = "SHOC";
+    p.description = "sparse matrix vector multi.";
+    p.kernelLoc = 23;
+    p.paperAmortizeL = 2;
+    p.contentionBeta = 0.12;
+    p.footprint = CtaFootprint{256, 32, 1024};
+
+    p.largeTasks = 19500;
+    p.largeTaskNs = 19240.0;
+    p.smallTasks = 1617;
+    p.smallTaskNs = 17150.0;
+    p.trivialCtas = 40;
+    p.trivialTaskNs = 42143.2;
+
+    p.taskCv = 0.08;
+    p.hiddenCv = 0.16;
+    p.sizeExponent = 0.05;
+    return std::make_unique<Workload>(p);
+}
+
+} // namespace flep

@@ -1,0 +1,58 @@
+#include "workload/suite.hh"
+
+#include "common/logging.hh"
+#include "workload/benchmarks.hh"
+
+namespace flep
+{
+
+BenchmarkSuite::BenchmarkSuite()
+{
+    workloads_.push_back(makeCfd());
+    workloads_.push_back(makeNn());
+    workloads_.push_back(makePf());
+    workloads_.push_back(makePl());
+    workloads_.push_back(makeMd());
+    workloads_.push_back(makeSpmv());
+    workloads_.push_back(makeMm());
+    workloads_.push_back(makeVa());
+}
+
+const Workload &
+BenchmarkSuite::at(std::size_t i) const
+{
+    FLEP_ASSERT(i < workloads_.size(), "suite index out of range");
+    return *workloads_[i];
+}
+
+const Workload &
+BenchmarkSuite::byName(const std::string &name) const
+{
+    for (const auto &w : workloads_) {
+        if (w->name() == name)
+            return *w;
+    }
+    fatal("unknown benchmark: ", name);
+}
+
+bool
+BenchmarkSuite::has(const std::string &name) const
+{
+    for (const auto &w : workloads_) {
+        if (w->name() == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+BenchmarkSuite::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(workloads_.size());
+    for (const auto &w : workloads_)
+        out.push_back(w->name());
+    return out;
+}
+
+} // namespace flep

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Registry of the benchmark suite.
+ */
+
+#ifndef FLEP_WORKLOAD_SUITE_HH
+#define FLEP_WORKLOAD_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace flep
+{
+
+/**
+ * The eight Table 1 benchmarks, in paper order, owned by the suite.
+ */
+class BenchmarkSuite
+{
+  public:
+    /** Construct with all eight benchmarks instantiated. */
+    BenchmarkSuite();
+
+    /** All workloads in paper order. */
+    const std::vector<WorkloadPtr> &all() const { return workloads_; }
+
+    /** Number of benchmarks. */
+    std::size_t size() const { return workloads_.size(); }
+
+    /** Workload by index (paper order). */
+    const Workload &at(std::size_t i) const;
+
+    /** Lookup by name; calls fatal() on unknown names. */
+    const Workload &byName(const std::string &name) const;
+
+    /** True when a benchmark with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** The names, in paper order. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::vector<WorkloadPtr> workloads_;
+};
+
+} // namespace flep
+
+#endif // FLEP_WORKLOAD_SUITE_HH

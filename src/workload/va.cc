@@ -1,0 +1,41 @@
+#include "workload/benchmarks.hh"
+
+namespace flep
+{
+
+/**
+ * VA (CUDA SDK): vector addition. The 6-line kernel with no loop
+ * structure — each task is a few hundred element additions with
+ * perfect spatial locality and coalescing, so duration is almost
+ * perfectly predictable. Tasks are so cheap that FLEP needs its
+ * largest amortizing factor (200) to keep the pinned-memory poll
+ * amortized below the 4 % tuning threshold; it is also the benchmark
+ * where kernel slicing beats FLEP in Figure 17. Streams nothing but
+ * bandwidth, hence the highest contention beta of the suite.
+ */
+WorkloadPtr
+makeVa()
+{
+    Workload::Params p;
+    p.name = "VA";
+    p.source = "CUDA SDK";
+    p.description = "vector addition";
+    p.kernelLoc = 6;
+    p.paperAmortizeL = 200;
+    p.contentionBeta = 0.15;
+    p.footprint = CtaFootprint{256, 32, 0};
+
+    p.largeTasks = 1900000;
+    p.largeTaskNs = 936.0;
+    p.smallTasks = 44650;
+    p.smallTaskNs = 917.0;
+    p.trivialCtas = 40;
+    p.trivialTaskNs = 32967.3;
+
+    p.taskCv = 0.015;
+    p.hiddenCv = 0.03;
+    p.sizeExponent = 0.0;
+    return std::make_unique<Workload>(p);
+}
+
+} // namespace flep

@@ -1,0 +1,113 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+const char *
+inputClassName(InputClass c)
+{
+    switch (c) {
+      case InputClass::Large:
+        return "large";
+      case InputClass::Small:
+        return "small";
+      case InputClass::Trivial:
+        return "trivial";
+    }
+    return "unknown";
+}
+
+Workload::Workload(Params params)
+    : params_(std::move(params))
+{
+    FLEP_ASSERT(params_.largeTasks > 0 && params_.smallTasks > 0 &&
+                params_.trivialCtas > 0,
+                "workload ", params_.name, ": task counts must be > 0");
+    FLEP_ASSERT(params_.largeTaskNs > 0.0 && params_.smallTaskNs > 0.0 &&
+                params_.trivialTaskNs > 0.0,
+                "workload ", params_.name, ": task costs must be > 0");
+}
+
+Workload::~Workload() = default;
+
+InputSpec
+Workload::input(InputClass c) const
+{
+    InputSpec in;
+    in.footprint = params_.footprint;
+    in.taskCv = params_.taskCv;
+    in.hiddenFactor = 1.0;
+    switch (c) {
+      case InputClass::Large:
+        in.totalTasks = params_.largeTasks;
+        in.taskMeanNs = params_.largeTaskNs;
+        break;
+      case InputClass::Small:
+        in.totalTasks = params_.smallTasks;
+        in.taskMeanNs = params_.smallTaskNs;
+        break;
+      case InputClass::Trivial:
+        in.totalTasks = params_.trivialCtas;
+        in.taskMeanNs = params_.trivialTaskNs;
+        break;
+    }
+    in.inputSize = static_cast<double>(in.totalTasks) *
+                   static_cast<double>(in.footprint.threads);
+    return in;
+}
+
+double
+Workload::taskMeanForScale(double scale) const
+{
+    // Task cost drifts mildly with input size (cache behaviour);
+    // exponent 0 keeps it constant.
+    return params_.largeTaskNs * std::pow(scale, params_.sizeExponent);
+}
+
+InputSpec
+Workload::randomInput(Rng &rng) const
+{
+    // Log-uniform task-count scale spanning small-to-large workloads.
+    const double lo = std::max(
+        0.02, static_cast<double>(params_.smallTasks) /
+                  static_cast<double>(params_.largeTasks) * 0.5);
+    const double hi = 1.2;
+    const double scale =
+        std::exp(rng.uniform(std::log(lo), std::log(hi)));
+
+    InputSpec in;
+    in.footprint = params_.footprint;
+    in.taskCv = params_.taskCv;
+    in.totalTasks = std::max<long>(
+        130, static_cast<long>(
+                 static_cast<double>(params_.largeTasks) * scale));
+    in.hiddenFactor = rng.lognormalUnitMean(params_.hiddenCv);
+    in.taskMeanNs = taskMeanForScale(scale) * in.hiddenFactor;
+    in.inputSize = static_cast<double>(in.totalTasks) *
+                   static_cast<double>(in.footprint.threads);
+    return in;
+}
+
+KernelLaunchDesc
+Workload::makeLaunch(const InputSpec &in, ExecMode mode, int amortize_l,
+                     ProcessId process) const
+{
+    FLEP_ASSERT(amortize_l >= 1, "amortizing factor must be >= 1");
+    KernelLaunchDesc desc;
+    desc.name = params_.name;
+    desc.totalTasks = in.totalTasks;
+    desc.footprint = in.footprint;
+    desc.cost = TaskCostModel(in.taskMeanNs, in.taskCv);
+    desc.contentionBeta = params_.contentionBeta;
+    desc.mode = mode;
+    desc.amortizeL = amortize_l;
+    desc.process = process;
+    return desc;
+}
+
+} // namespace flep

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Benchmark workload models.
+ *
+ * The paper evaluates FLEP on eight CUDA benchmarks (Table 1). A real
+ * GPU is unavailable here, so each benchmark is modelled at the task
+ * level: its launch geometry, per-CTA hardware footprint, and a
+ * stochastic per-task cost calibrated so that solo execution times on
+ * the three canonical inputs land near Table 1. Input *content*
+ * effects that the paper's regression features cannot see (SPMV's
+ * non-zero distribution, MD's neighbour lists) are modelled as a
+ * hidden per-input cost factor, which is what makes the Figure 7
+ * prediction errors non-trivial.
+ */
+
+#ifndef FLEP_WORKLOAD_WORKLOAD_HH
+#define FLEP_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.hh"
+#include "gpu/kernel.hh"
+
+namespace flep
+{
+
+/** The three canonical input sizes of Table 1. */
+enum class InputClass
+{
+    Large,  //!< long-running, fills the whole GPU
+    Small,  //!< short-running, still fills the whole GPU
+    Trivial //!< a handful of CTAs, needs only a few SMs
+};
+
+/** Human-readable class name. */
+const char *inputClassName(InputClass c);
+
+/**
+ * One concrete input for one benchmark: everything needed to build a
+ * kernel launch plus the features the performance model may use.
+ */
+struct InputSpec
+{
+    /** Task count = original-form grid size (CTA count). */
+    long totalTasks = 0;
+
+    /** Per-CTA resource demand. */
+    CtaFootprint footprint;
+
+    /** Mean base cost of one task, hidden factor already applied. */
+    double taskMeanNs = 1000.0;
+
+    /** Per-task cost dispersion. */
+    double taskCv = 0.0;
+
+    /**
+     * Input size feature (notionally elements processed); visible to
+     * the performance model.
+     */
+    double inputSize = 0.0;
+
+    /**
+     * Cost multiplier from input content, invisible to the model
+     * features. 1.0 for the canonical inputs.
+     */
+    double hiddenFactor = 1.0;
+};
+
+/**
+ * A benchmark workload: metadata from Table 1 plus the cost model.
+ * Concrete benchmarks (workload/cfd.hh etc.) supply the parameters.
+ */
+class Workload
+{
+  public:
+    /** Everything that defines one benchmark's model. */
+    struct Params
+    {
+        std::string name;
+        std::string source;      //!< benchmark suite of origin
+        std::string description; //!< Table 1 description column
+        int kernelLoc = 0;       //!< lines of code in the kernel
+        int paperAmortizeL = 1;  //!< Table 1 amortizing factor
+        double contentionBeta = 0.05;
+        CtaFootprint footprint;
+
+        long largeTasks = 1000;
+        double largeTaskNs = 1000.0;
+        long smallTasks = 100;
+        double smallTaskNs = 1000.0;
+        long trivialCtas = 32;
+        double trivialTaskNs = 50000.0;
+
+        double taskCv = 0.1;   //!< per-task cost dispersion
+        double hiddenCv = 0.05; //!< per-input hidden factor dispersion
+        double sizeExponent = 0.0; //!< task cost ~ size^exponent drift
+    };
+
+    explicit Workload(Params params);
+    virtual ~Workload();
+
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+
+    const std::string &name() const { return params_.name; }
+    const std::string &source() const { return params_.source; }
+    const std::string &description() const { return params_.description; }
+    int kernelLoc() const { return params_.kernelLoc; }
+    int paperAmortizeL() const { return params_.paperAmortizeL; }
+    double contentionBeta() const { return params_.contentionBeta; }
+    const CtaFootprint &footprint() const { return params_.footprint; }
+    const Params &params() const { return params_; }
+
+    /** Canonical input of the given class (hidden factor = 1). */
+    InputSpec input(InputClass c) const;
+
+    /**
+     * Random input for performance-model training/testing: task count
+     * log-uniform between roughly the trivial and 1.2x the large
+     * scale, with a sampled hidden cost factor.
+     */
+    InputSpec randomInput(Rng &rng) const;
+
+    /**
+     * Build a launch descriptor for this benchmark on an input.
+     * @param mode Original (untransformed) or Persistent (FLEP form)
+     * @param amortize_l the amortizing factor L for Persistent mode
+     * @param process owning host process id
+     */
+    KernelLaunchDesc makeLaunch(const InputSpec &in, ExecMode mode,
+                                int amortize_l, ProcessId process) const;
+
+  private:
+    double taskMeanForScale(double scale) const;
+
+    Params params_;
+};
+
+/** Owning pointer alias used by the suite registry. */
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+} // namespace flep
+
+#endif // FLEP_WORKLOAD_WORKLOAD_HH

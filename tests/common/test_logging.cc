@@ -1,0 +1,54 @@
+/** @file Tests for the logging/error facilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", 42), FatalError);
+}
+
+TEST(Logging, FatalMessageIsPreserved)
+{
+    try {
+        fatal("value was ", 7, " not ", 8);
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value was 7 not 8");
+    }
+}
+
+TEST(Logging, LogLevelRoundTrips)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(old);
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    FLEP_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, AssertAbortsOnFalseCondition)
+{
+    EXPECT_DEATH(FLEP_ASSERT(false, "must not hold"), "assertion");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(FLEP_PANIC("internal bug ", 1), "internal bug 1");
+}
+
+} // namespace
+} // namespace flep

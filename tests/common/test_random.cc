@@ -1,0 +1,138 @@
+/** @file Tests for the deterministic RNG and its distributions. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(5.0, 9.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng rng(13);
+    bool seen_lo = false;
+    bool seen_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformInt(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        seen_lo = seen_lo || v == 3;
+        seen_hi = seen_hi || v == 6;
+    }
+    EXPECT_TRUE(seen_lo);
+    EXPECT_TRUE(seen_hi);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(10.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalUnitMeanHasUnitMean)
+{
+    Rng rng(19);
+    const double cv = 0.4;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.lognormalUnitMean(cv);
+    EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalZeroCvIsDegenerate)
+{
+    Rng rng(23);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(rng.lognormalUnitMean(0.0), 1.0);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(31);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(37);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+} // namespace
+} // namespace flep

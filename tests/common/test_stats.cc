@@ -1,0 +1,103 @@
+/** @file Tests for the statistics accumulators. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(SampleStats, EmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SampleStats, MeanAndSum)
+{
+    SampleStats s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(SampleStats, StddevMatchesFormula)
+{
+    SampleStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    // Sample (n-1) standard deviation of this classic set.
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(SampleStats, PercentileInterpolates)
+{
+    SampleStats s;
+    for (double x : {10.0, 20.0, 30.0, 40.0, 50.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+}
+
+TEST(SampleStats, PercentileUnaffectedByInsertionOrder)
+{
+    SampleStats a;
+    SampleStats b;
+    for (double x : {5.0, 1.0, 3.0})
+        a.add(x);
+    for (double x : {1.0, 3.0, 5.0})
+        b.add(x);
+    EXPECT_DOUBLE_EQ(a.percentile(50), b.percentile(50));
+}
+
+TEST(SampleStats, CvIsRelativeDispersion)
+{
+    SampleStats s;
+    s.add(90.0);
+    s.add(110.0);
+    EXPECT_NEAR(s.cv(), 14.142 / 100.0, 0.001);
+}
+
+TEST(SampleStats, ClearResets)
+{
+    SampleStats s;
+    s.add(5.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(GeoMean, EmptyIsOne)
+{
+    GeoMean g;
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(GeoMean, KnownValue)
+{
+    GeoMean g;
+    g.add(2.0);
+    g.add(8.0);
+    EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(GeoMeanDeath, RejectsNonPositive)
+{
+    GeoMean g;
+    EXPECT_DEATH(g.add(0.0), "positive");
+}
+
+} // namespace
+} // namespace flep

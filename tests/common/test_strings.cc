@@ -1,0 +1,72 @@
+/** @file Tests for string helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(Strings, SplitBasic)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    const auto parts = split(",x,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, TrimStripsWhitespace)
+{
+    EXPECT_EQ(trim("  hello\t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("bench_fig08", "bench_"));
+    EXPECT_FALSE(startsWith("fig08", "bench_"));
+    EXPECT_TRUE(endsWith("kernel.cc", ".cc"));
+    EXPECT_FALSE(endsWith("kernel.hh", ".cc"));
+    EXPECT_FALSE(startsWith("a", "ab"));
+}
+
+TEST(Strings, JoinWithSeparator)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, FormatPrintfStyle)
+{
+    EXPECT_EQ(format("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+}
+
+TEST(Strings, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Strings, ReplaceAll)
+{
+    EXPECT_EQ(replaceAll("aaa", "a", "bb"), "bbbbbb");
+    EXPECT_EQ(replaceAll("none", "x", "y"), "none");
+    EXPECT_EQ(replaceAll("abc", "", "y"), "abc");
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,61 @@
+/** @file Tests for the ASCII table printer. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 1);
+    t.row().cell("beta").cell(static_cast<long long>(42));
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t("align");
+    t.setHeader({"k", "v"});
+    t.row().cell("long-name-here").cell(1.0, 2);
+    t.row().cell("x").cell(100.0, 2);
+
+    std::ostringstream os;
+    t.print(os);
+    // Every data line has the same width.
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] != '|')
+            continue;
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(TableDeath, RowWidthMustMatchHeader)
+{
+    Table t("bad");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,156 @@
+/** @file Fuzz property: randomly generated expression trees survive
+ *  print -> parse -> print as a fixed point, and randomly generated
+ *  kernels survive transform -> print -> parse. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "compiler/parser.hh"
+#include "compiler/printer.hh"
+#include "compiler/transform.hh"
+
+namespace flep::minicuda
+{
+namespace
+{
+
+/** Random expression generator over a fixed identifier pool. */
+class ExprGen
+{
+  public:
+    explicit ExprGen(Rng &rng) : rng_(rng) {}
+
+    ExprPtr
+    gen(int depth)
+    {
+        if (depth <= 0)
+            return leaf();
+        switch (rng_.uniformInt(0, 7)) {
+          case 0:
+            return leaf();
+          case 1:
+            return makeBinary(binOp(), gen(depth - 1),
+                              gen(depth - 1));
+          case 2:
+            return makeUnary(Tok::Minus, gen(depth - 1));
+          case 3:
+            return makeUnary(Tok::Not, gen(depth - 1));
+          case 4: { // index
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Index;
+            e->base = makeIdent(pick(arrays_));
+            e->index = gen(depth - 1);
+            return e;
+          }
+          case 5: { // call
+            std::vector<ExprPtr> args;
+            const auto n = rng_.uniformInt(1, 2);
+            for (int i = 0; i < n; ++i)
+                args.push_back(gen(depth - 1));
+            return makeCall(rng_.uniform() < 0.5 ? "min" : "max",
+                            std::move(args));
+          }
+          case 6: { // ternary
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Ternary;
+            e->base = gen(depth - 1);
+            e->lhs = gen(depth - 1);
+            e->rhs = gen(depth - 1);
+            return e;
+          }
+          default: // member builtin
+            return makeMember(
+                makeIdent(pick(builtins_)), "x");
+        }
+    }
+
+  private:
+    ExprPtr
+    leaf()
+    {
+        switch (rng_.uniformInt(0, 2)) {
+          case 0:
+            return makeInt(rng_.uniformInt(0, 999));
+          case 1: {
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::FloatLit;
+            e->floatValue =
+                static_cast<double>(rng_.uniformInt(0, 99)) / 4.0;
+            return e;
+          }
+          default:
+            return makeIdent(pick(scalars_));
+        }
+    }
+
+    Tok
+    binOp()
+    {
+        static const Tok ops[] = {Tok::Plus, Tok::Minus, Tok::Star,
+                                  Tok::Slash, Tok::Lt, Tok::Gt,
+                                  Tok::Le, Tok::Ge, Tok::EqEq,
+                                  Tok::NotEq, Tok::AmpAmp,
+                                  Tok::PipePipe};
+        return ops[rng_.uniformInt(0, 11)];
+    }
+
+    template <std::size_t N>
+    const char *
+    pick(const char *const (&pool)[N])
+    {
+        return pool[static_cast<std::size_t>(
+            rng_.uniformInt(0, static_cast<int>(N) - 1))];
+    }
+
+    Rng &rng_;
+    static constexpr const char *scalars_[] = {"a", "b", "n", "x"};
+    static constexpr const char *arrays_[] = {"buf", "out"};
+    static constexpr const char *builtins_[] = {"threadIdx",
+                                                "blockDim"};
+};
+
+TEST(FuzzRoundTrip, RandomExpressionsPrintParsePrintFixedPoint)
+{
+    Rng rng(20260704);
+    ExprGen gen(rng);
+    for (int i = 0; i < 300; ++i) {
+        const ExprPtr e = gen.gen(4);
+        const std::string once = printExpr(*e);
+        ExprPtr reparsed;
+        ASSERT_NO_THROW(reparsed = parseExpression(once)) << once;
+        EXPECT_EQ(printExpr(*reparsed), once) << "iteration " << i;
+    }
+}
+
+TEST(FuzzRoundTrip, RandomKernelsTransformAndReparse)
+{
+    Rng rng(777);
+    ExprGen gen(rng);
+    for (int i = 0; i < 60; ++i) {
+        // Wrap three random expressions into a kernel body.
+        std::string body;
+        body += "    int t = blockIdx.x * blockDim.x + threadIdx.x;\n";
+        for (int s = 0; s < 3; ++s) {
+            const ExprPtr e = gen.gen(3);
+            body += "    out[t % 64] = " + printExpr(*e) + ";\n";
+        }
+        const std::string src =
+            "__global__ void fuzzed(const float *buf, float *out, "
+            "int n, float a, float b, int x)\n{\n" +
+            body + "}\n";
+        Program prog;
+        ASSERT_NO_THROW(prog = parse(src)) << src;
+        TransformOptions opts;
+        Program out;
+        ASSERT_NO_THROW(out = transformProgram(prog, opts)) << src;
+        const std::string printed = printProgram(out);
+        EXPECT_NO_THROW(parse(printed)) << printed;
+        // blockIdx must be gone from the task function.
+        EXPECT_EQ(printFunction(*out.find("fuzzed_task"))
+                      .find("blockIdx"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace flep::minicuda

@@ -1,0 +1,323 @@
+/** @file Tests for the mini-CUDA interpreter. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/interpreter.hh"
+#include "compiler/parser.hh"
+
+namespace flep::minicuda
+{
+namespace
+{
+
+TEST(Interpreter, VectorAddComputes)
+{
+    const Program prog = parse(R"(
+__global__ void vecAdd(const float *a, const float *b, float *c, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n)
+        c[i] = a[i] + b[i];
+}
+)");
+    Interpreter in(prog);
+    const int n = 300;
+    std::vector<double> a(n), b(n);
+    for (int i = 0; i < n; ++i) {
+        a[i] = i;
+        b[i] = 2 * i;
+    }
+    const int ba = in.allocFloatBuffer(a);
+    const int bb = in.allocFloatBuffer(b);
+    const int bc = in.allocBuffer(BaseType::Float, n);
+    in.launch("vecAdd", 3, 128,
+              {in.ptr(ba), in.ptr(bb), in.ptr(bc), Value::intVal(n)});
+    const auto c = in.readBuffer(bc);
+    for (int i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(c[static_cast<std::size_t>(i)], 3.0 * i);
+}
+
+TEST(Interpreter, GuardPreventsOutOfRange)
+{
+    // The i < n guard must suppress threads beyond n; removing it
+    // would throw InterpError (buffer index out of range).
+    const Program prog = parse(R"(
+__global__ void bad(float *c, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    c[i] = 1.0f;
+}
+)");
+    Interpreter in(prog);
+    const int bc = in.allocBuffer(BaseType::Float, 100);
+    EXPECT_THROW(
+        in.launch("bad", 1, 128, {in.ptr(bc), Value::intVal(100)}),
+        InterpError);
+}
+
+TEST(Interpreter, IntegerArithmeticSemantics)
+{
+    const Program prog = parse(R"(
+__global__ void k(int *out)
+{
+    out[0] = 7 / 2;
+    out[1] = 7 % 3;
+    out[2] = -5 / 2;
+    out[3] = 3 < 4;
+    out[4] = 3 == 4;
+}
+)");
+    Interpreter in(prog);
+    const int b = in.allocBuffer(BaseType::Int, 5);
+    in.launch("k", 1, 1, {in.ptr(b)});
+    const auto out = in.readBuffer(b);
+    EXPECT_EQ(out[0], 3);
+    EXPECT_EQ(out[1], 1);
+    EXPECT_EQ(out[2], -2);
+    EXPECT_EQ(out[3], 1);
+    EXPECT_EQ(out[4], 0);
+}
+
+TEST(Interpreter, FloatPromotion)
+{
+    const Program prog = parse(R"(
+__global__ void k(float *out)
+{
+    out[0] = 7 / 2.0f;
+    out[1] = sqrtf(16.0f);
+    out[2] = fabsf(-2.5f);
+    out[3] = min(3.0f, 4);
+    out[4] = max(3, 4);
+}
+)");
+    Interpreter in(prog);
+    const int b = in.allocBuffer(BaseType::Float, 5);
+    in.launch("k", 1, 1, {in.ptr(b)});
+    const auto out = in.readBuffer(b);
+    EXPECT_DOUBLE_EQ(out[0], 3.5);
+    EXPECT_DOUBLE_EQ(out[1], 4.0);
+    EXPECT_DOUBLE_EQ(out[2], 2.5);
+    EXPECT_DOUBLE_EQ(out[3], 3.0);
+    EXPECT_DOUBLE_EQ(out[4], 4.0);
+}
+
+TEST(Interpreter, MathBuiltins)
+{
+    const Program prog = parse(R"(
+__global__ void k(float *out)
+{
+    out[0] = logf(expf(2.0f));
+    out[1] = floorf(3.7f);
+    out[2] = fminf(1.0f, -2.0f);
+    out[3] = fmaxf(1.0f, -2.0f);
+    out[4] = rsqrtf(4.0f);
+}
+)");
+    Interpreter in(prog);
+    const int b = in.allocBuffer(BaseType::Float, 5);
+    in.launch("k", 1, 1, {in.ptr(b)});
+    const auto out = in.readBuffer(b);
+    EXPECT_NEAR(out[0], 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(out[1], 3.0);
+    EXPECT_DOUBLE_EQ(out[2], -2.0);
+    EXPECT_DOUBLE_EQ(out[3], 1.0);
+    EXPECT_DOUBLE_EQ(out[4], 0.5);
+}
+
+TEST(Interpreter, LoopsAndCompoundAssign)
+{
+    const Program prog = parse(R"(
+__global__ void k(float *out, int n)
+{
+    float acc = 0.0f;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0)
+            continue;
+        acc += i;
+        if (acc > 100.0f)
+            break;
+    }
+    out[threadIdx.x] = acc;
+}
+)");
+    Interpreter in(prog);
+    const int b = in.allocBuffer(BaseType::Float, 1);
+    in.launch("k", 1, 1, {in.ptr(b), Value::intVal(50)});
+    // 1+3+5+...: stops after exceeding 100 -> 1+3+..+19 = 100, then
+    // +21 = 121 breaks.
+    EXPECT_DOUBLE_EQ(in.readBuffer(b)[0], 121.0);
+}
+
+TEST(Interpreter, TernarySelectsAndShortCircuits)
+{
+    const Program prog = parse(R"(
+__global__ void k(int *out, const int *denom)
+{
+    out[0] = 1 < 2 ? 10 : 20;
+    out[1] = 1 > 2 ? 10 : 20;
+    // The untaken branch must not evaluate: division by zero guarded.
+    out[2] = denom[0] != 0 ? 100 / denom[0] : -1;
+    out[3] = fabsf(-3.0f) > 2.0f ? 7 : 8;
+}
+)");
+    Interpreter in(prog);
+    const int b = in.allocBuffer(BaseType::Int, 4);
+    const int d = in.allocIntBuffer({0});
+    in.launch("k", 1, 1, {in.ptr(b), in.ptr(d)});
+    const auto out = in.readBuffer(b);
+    EXPECT_EQ(out[0], 10);
+    EXPECT_EQ(out[1], 20);
+    EXPECT_EQ(out[2], -1);
+    EXPECT_EQ(out[3], 7);
+}
+
+TEST(Interpreter, AtomicAddReturnsOldValue)
+{
+    const Program prog = parse(R"(
+__global__ void k(int *counter, int *seen)
+{
+    int old = atomicAdd(counter, 1);
+    seen[old] = threadIdx.x + 1;
+}
+)");
+    Interpreter in(prog);
+    const int counter = in.allocBuffer(BaseType::Int, 1);
+    const int seen = in.allocBuffer(BaseType::Int, 64);
+    in.launch("k", 2, 32, {in.ptr(counter), in.ptr(seen)});
+    EXPECT_EQ(in.readBuffer(counter)[0], 64);
+    // Every slot claimed exactly once.
+    const auto s = in.readBuffer(seen);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_GT(s[static_cast<std::size_t>(i)], 0.0);
+}
+
+TEST(Interpreter, AtomicAddViaAddressOf)
+{
+    const Program prog = parse(R"(
+__global__ void k(int *hist, const int *keys, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n)
+        atomicAdd(&hist[keys[i]], 1);
+}
+)");
+    Interpreter in(prog);
+    const int hist = in.allocBuffer(BaseType::Int, 4);
+    const int keys =
+        in.allocIntBuffer({0, 1, 1, 2, 2, 2, 3, 3, 3, 3});
+    in.launch("k", 1, 16,
+              {in.ptr(hist), in.ptr(keys), Value::intVal(10)});
+    const auto h = in.readBuffer(hist);
+    EXPECT_EQ(h[0], 1);
+    EXPECT_EQ(h[1], 2);
+    EXPECT_EQ(h[2], 3);
+    EXPECT_EQ(h[3], 4);
+}
+
+TEST(Interpreter, SharedScalarLeaderPattern)
+{
+    // The transform's pattern: thread 0 writes, everyone reads.
+    const Program prog = parse(R"(
+__global__ void k(int *out)
+{
+    __shared__ int lead;
+    if (threadIdx.x == 0)
+        lead = 99;
+    __syncthreads();
+    out[threadIdx.x] = lead;
+}
+)");
+    Interpreter in(prog);
+    const int b = in.allocBuffer(BaseType::Int, 8);
+    in.launch("k", 1, 8, {in.ptr(b)});
+    for (double v : in.readBuffer(b))
+        EXPECT_EQ(v, 99);
+}
+
+TEST(Interpreter, TwoDimensionalSharedArray)
+{
+    const Program prog = parse(R"(
+__global__ void k(float *out)
+{
+    __shared__ float t[4][8];
+    t[threadIdx.x / 8][threadIdx.x % 8] = threadIdx.x;
+    out[threadIdx.x] = t[threadIdx.x / 8][threadIdx.x % 8];
+}
+)");
+    Interpreter in(prog);
+    const int b = in.allocBuffer(BaseType::Float, 32);
+    in.launch("k", 1, 32, {in.ptr(b)});
+    const auto out = in.readBuffer(b);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Interpreter, DeviceFunctionCall)
+{
+    const Program prog = parse(R"(
+__device__ void scale(float *a, int i, float f)
+{
+    a[i] = a[i] * f;
+}
+
+__global__ void k(float *a, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n)
+        scale(a, i, 2.0f);
+}
+)");
+    Interpreter in(prog);
+    const int b = in.allocFloatBuffer({1, 2, 3, 4});
+    in.launch("k", 1, 8, {in.ptr(b), Value::intVal(4)});
+    const auto out = in.readBuffer(b);
+    EXPECT_DOUBLE_EQ(out[3], 8.0);
+}
+
+TEST(Interpreter, PointerArithmetic)
+{
+    const Program prog = parse(R"(
+__global__ void k(float *a)
+{
+    float *p = a + 2;
+    p[0] = 5.0f;
+    *p = *p + 1.0f;
+}
+)");
+    Interpreter in(prog);
+    const int b = in.allocBuffer(BaseType::Float, 4);
+    in.launch("k", 1, 1, {in.ptr(b)});
+    EXPECT_DOUBLE_EQ(in.readBuffer(b)[2], 6.0);
+}
+
+TEST(Interpreter, StepLimitGuardsRunawayLoops)
+{
+    const Program prog = parse(R"(
+__global__ void spin(int *a)
+{
+    while (true)
+        a[0] = a[0] + 1;
+}
+)");
+    Interpreter in(prog);
+    in.setStepLimit(10000);
+    const int b = in.allocBuffer(BaseType::Int, 1);
+    EXPECT_THROW(in.launch("spin", 1, 1, {in.ptr(b)}), InterpError);
+}
+
+TEST(Interpreter, UnknownKernelThrows)
+{
+    const Program prog = parse("__global__ void k(int *a) { }");
+    Interpreter in(prog);
+    EXPECT_THROW(in.launch("nope", 1, 1, {}), InterpError);
+}
+
+TEST(Interpreter, ArityMismatchThrows)
+{
+    const Program prog = parse("__global__ void k(int *a) { }");
+    Interpreter in(prog);
+    EXPECT_THROW(in.launch("k", 1, 1, {}), InterpError);
+}
+
+} // namespace
+} // namespace flep::minicuda

@@ -1,0 +1,108 @@
+/** @file Tests for the mini-CUDA lexer. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/lexer.hh"
+
+namespace flep::minicuda
+{
+namespace
+{
+
+std::vector<Tok>
+kinds(const std::string &src)
+{
+    std::vector<Tok> out;
+    for (const auto &t : lex(src))
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers)
+{
+    const auto toks = lex("__global__ void foo(int n)");
+    ASSERT_EQ(toks.size(), 8u); // incl. End
+    EXPECT_EQ(toks[0].kind, Tok::KwGlobal);
+    EXPECT_EQ(toks[1].kind, Tok::KwVoid);
+    EXPECT_EQ(toks[2].kind, Tok::Identifier);
+    EXPECT_EQ(toks[2].text, "foo");
+    EXPECT_EQ(toks[4].kind, Tok::KwInt);
+    EXPECT_EQ(toks[5].text, "n");
+}
+
+TEST(Lexer, IntAndFloatLiterals)
+{
+    const auto toks = lex("42 3.5 1e3 2.5f 7f");
+    EXPECT_EQ(toks[0].kind, Tok::IntLiteral);
+    EXPECT_EQ(toks[0].intValue, 42);
+    EXPECT_EQ(toks[1].kind, Tok::FloatLiteral);
+    EXPECT_DOUBLE_EQ(toks[1].floatValue, 3.5);
+    EXPECT_EQ(toks[2].kind, Tok::FloatLiteral);
+    EXPECT_DOUBLE_EQ(toks[2].floatValue, 1000.0);
+    EXPECT_EQ(toks[3].kind, Tok::FloatLiteral);
+    EXPECT_DOUBLE_EQ(toks[3].floatValue, 2.5);
+    EXPECT_EQ(toks[4].kind, Tok::FloatLiteral);
+    EXPECT_DOUBLE_EQ(toks[4].floatValue, 7.0);
+}
+
+TEST(Lexer, LaunchBracketsAreSingleTokens)
+{
+    const auto k = kinds("k<<<g, b>>>()");
+    EXPECT_EQ(k[1], Tok::LaunchOpen);
+    EXPECT_EQ(k[5], Tok::LaunchClose);
+}
+
+TEST(Lexer, NestedComparisonsStillLex)
+{
+    // a < b, b > c must not merge into launch brackets.
+    const auto k = kinds("a < b > c");
+    EXPECT_EQ(k[1], Tok::Lt);
+    EXPECT_EQ(k[3], Tok::Gt);
+}
+
+TEST(Lexer, TwoCharOperators)
+{
+    const auto k = kinds("a += b; c <= d; e == f; g && h; i++;");
+    EXPECT_EQ(k[1], Tok::PlusAssign);
+    EXPECT_EQ(k[5], Tok::Le);
+    EXPECT_EQ(k[9], Tok::EqEq);
+    EXPECT_EQ(k[13], Tok::AmpAmp);
+    EXPECT_EQ(k[17], Tok::PlusPlus);
+}
+
+TEST(Lexer, CommentsAreSkipped)
+{
+    const auto toks = lex("a // line comment\n/* block\n comment */ b");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    const auto toks = lex("a\nb\n  c");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 3);
+    EXPECT_EQ(toks[2].column, 3);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows)
+{
+    EXPECT_THROW(lex("a /* never closed"), ParseError);
+}
+
+TEST(Lexer, InvalidCharacterThrows)
+{
+    EXPECT_THROW(lex("a @ b"), ParseError);
+}
+
+TEST(Lexer, EmptySourceYieldsEnd)
+{
+    const auto toks = lex("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::End);
+}
+
+} // namespace
+} // namespace flep::minicuda

@@ -1,0 +1,220 @@
+/** @file Tests for the mini-CUDA parser. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/parser.hh"
+#include "compiler/printer.hh"
+
+namespace flep::minicuda
+{
+namespace
+{
+
+TEST(Parser, FunctionKindsAndParams)
+{
+    const Program prog = parse(R"(
+__global__ void k(const float *a, int n) { }
+__device__ float helper(float x) { return x; }
+void host(int m) { }
+)");
+    ASSERT_EQ(prog.functions.size(), 3u);
+    EXPECT_EQ(prog.functions[0].kind, FuncKind::Global);
+    EXPECT_EQ(prog.functions[1].kind, FuncKind::Device);
+    EXPECT_EQ(prog.functions[2].kind, FuncKind::Host);
+
+    const Function &k = prog.functions[0];
+    ASSERT_EQ(k.params.size(), 2u);
+    EXPECT_TRUE(k.params[0].type.isPointer);
+    EXPECT_TRUE(k.params[0].type.isConst);
+    EXPECT_EQ(k.params[0].type.base, BaseType::Float);
+    EXPECT_EQ(k.params[1].type.base, BaseType::Int);
+    EXPECT_EQ(prog.kernels().size(), 1u);
+}
+
+TEST(Parser, PrecedenceMulOverAdd)
+{
+    const auto e = parseExpression("a + b * c");
+    ASSERT_EQ(e->kind, ExprKind::Binary);
+    EXPECT_EQ(e->op, Tok::Plus);
+    EXPECT_EQ(e->rhs->op, Tok::Star);
+}
+
+TEST(Parser, PrecedenceComparisonOverLogic)
+{
+    const auto e = parseExpression("a < b && c >= d");
+    EXPECT_EQ(e->op, Tok::AmpAmp);
+    EXPECT_EQ(e->lhs->op, Tok::Lt);
+    EXPECT_EQ(e->rhs->op, Tok::Ge);
+}
+
+TEST(Parser, AssignmentIsRightAssociative)
+{
+    const auto e = parseExpression("a = b = c");
+    ASSERT_EQ(e->kind, ExprKind::Assign);
+    EXPECT_EQ(e->rhs->kind, ExprKind::Assign);
+}
+
+TEST(Parser, MemberAndIndexChains)
+{
+    const auto e = parseExpression("m[threadIdx.x][j]");
+    ASSERT_EQ(e->kind, ExprKind::Index);
+    EXPECT_EQ(e->base->kind, ExprKind::Index);
+    EXPECT_EQ(e->base->index->kind, ExprKind::Member);
+    EXPECT_EQ(e->base->index->name, "x");
+}
+
+TEST(Parser, CallWithArgs)
+{
+    const auto e = parseExpression("atomicAdd(p, 1)");
+    ASSERT_EQ(e->kind, ExprKind::Call);
+    EXPECT_EQ(e->name, "atomicAdd");
+    ASSERT_EQ(e->args.size(), 2u);
+}
+
+TEST(Parser, TernaryOperator)
+{
+    const auto e = parseExpression("a < b ? x + 1 : y * 2");
+    ASSERT_EQ(e->kind, ExprKind::Ternary);
+    EXPECT_EQ(e->base->op, Tok::Lt);
+    EXPECT_EQ(e->lhs->op, Tok::Plus);
+    EXPECT_EQ(e->rhs->op, Tok::Star);
+}
+
+TEST(Parser, TernaryIsRightAssociative)
+{
+    const auto e = parseExpression("a ? b : c ? d : e");
+    ASSERT_EQ(e->kind, ExprKind::Ternary);
+    EXPECT_EQ(e->rhs->kind, ExprKind::Ternary);
+}
+
+TEST(Parser, TernaryBindsLooserThanOr)
+{
+    const auto e = parseExpression("a || b ? c : d");
+    ASSERT_EQ(e->kind, ExprKind::Ternary);
+    EXPECT_EQ(e->base->op, Tok::PipePipe);
+}
+
+TEST(Parser, PostfixIncrement)
+{
+    const auto e = parseExpression("i++");
+    ASSERT_EQ(e->kind, ExprKind::Unary);
+    EXPECT_TRUE(e->postfix);
+    EXPECT_EQ(e->op, Tok::PlusPlus);
+}
+
+TEST(Parser, ControlFlowStatements)
+{
+    const Program prog = parse(R"(
+__global__ void k(int *a, int n)
+{
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0)
+            a[i] = i;
+        else
+            a[i] = -i;
+    }
+    while (n > 0) {
+        n = n - 1;
+        if (n == 3)
+            break;
+        continue;
+    }
+    return;
+}
+)");
+    const Function &k = prog.functions[0];
+    ASSERT_EQ(k.body->stmts.size(), 3u);
+    EXPECT_EQ(k.body->stmts[0]->kind, StmtKind::For);
+    EXPECT_EQ(k.body->stmts[1]->kind, StmtKind::While);
+    EXPECT_EQ(k.body->stmts[2]->kind, StmtKind::Return);
+}
+
+TEST(Parser, SharedArrayDecl)
+{
+    const Program prog = parse(R"(
+__global__ void k(float *a)
+{
+    __shared__ float tile[16][16];
+    tile[threadIdx.x][0] = a[threadIdx.x];
+}
+)");
+    const Stmt &decl = *prog.functions[0].body->stmts[0];
+    EXPECT_EQ(decl.kind, StmtKind::Decl);
+    EXPECT_TRUE(decl.isShared);
+    ASSERT_EQ(decl.arrayDims.size(), 2u);
+    EXPECT_EQ(decl.arrayDims[0], 16);
+    EXPECT_EQ(decl.arrayDims[1], 16);
+}
+
+TEST(Parser, LaunchStatement)
+{
+    const Program prog = parse(R"(
+void host(float *a, int n)
+{
+    myKernel<<<n / 256, 256>>>(a, n);
+}
+)");
+    const Stmt &launch = *prog.functions[0].body->stmts[0];
+    ASSERT_EQ(launch.kind, StmtKind::Launch);
+    EXPECT_EQ(launch.callee, "myKernel");
+    ASSERT_EQ(launch.args.size(), 2u);
+    EXPECT_EQ(launch.grid->kind, ExprKind::Binary);
+}
+
+TEST(Parser, UnsignedIntType)
+{
+    const Program prog = parse("void f(unsigned int n, unsigned m) { }");
+    EXPECT_EQ(prog.functions[0].params[0].type.base,
+              BaseType::Unsigned);
+    EXPECT_EQ(prog.functions[0].params[1].type.base,
+              BaseType::Unsigned);
+}
+
+TEST(Parser, VolatilePointerParam)
+{
+    const Program prog =
+        parse("void f(volatile unsigned int *p) { }");
+    const Type &t = prog.functions[0].params[0].type;
+    EXPECT_TRUE(t.isVolatile);
+    EXPECT_TRUE(t.isPointer);
+}
+
+TEST(Parser, ErrorsCarryLocation)
+{
+    try {
+        parse("__global__ void k( { }");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 1);
+        EXPECT_GT(e.column(), 1);
+    }
+}
+
+TEST(Parser, RejectsGarbage)
+{
+    EXPECT_THROW(parse("42"), ParseError);
+    EXPECT_THROW(parse("void f() { return }"), ParseError);
+    EXPECT_THROW(parse("void f() { a ==== b; }"), ParseError);
+}
+
+TEST(Parser, RoundTripThroughPrinter)
+{
+    const char *src = R"(
+__global__ void saxpy(float *y, const float *x, float a, int n)
+{
+    int i = (blockIdx.x * blockDim.x) + threadIdx.x;
+    if (i < n)
+    {
+        y[i] = (a * x[i]) + y[i];
+    }
+}
+)";
+    const Program once = parse(src);
+    const std::string printed = printProgram(once);
+    const Program twice = parse(printed);
+    // Printing the reparsed program must be a fixed point.
+    EXPECT_EQ(printProgram(twice), printed);
+}
+
+} // namespace
+} // namespace flep::minicuda

@@ -1,0 +1,121 @@
+/** @file Tests for the AST pretty-printer. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/parser.hh"
+#include "compiler/printer.hh"
+
+namespace flep::minicuda
+{
+namespace
+{
+
+TEST(Printer, ExpressionsParenthesizeCompounds)
+{
+    const auto e = parseExpression("a + b * c");
+    EXPECT_EQ(printExpr(*e), "a + (b * c)");
+}
+
+TEST(Printer, LiteralsKeepTypes)
+{
+    EXPECT_EQ(printExpr(*parseExpression("42")), "42");
+    EXPECT_EQ(printExpr(*parseExpression("1.5f")), "1.5f");
+    EXPECT_EQ(printExpr(*parseExpression("true")), "true");
+    // Whole-valued floats keep a decimal point (stay float-typed).
+    EXPECT_EQ(printExpr(*parseExpression("2.0f")), "2.0f");
+}
+
+TEST(Printer, UnaryAndPostfix)
+{
+    EXPECT_EQ(printExpr(*parseExpression("-x")), "-x");
+    EXPECT_EQ(printExpr(*parseExpression("i++")), "i++");
+    EXPECT_EQ(printExpr(*parseExpression("!done")), "!done");
+    EXPECT_EQ(printExpr(*parseExpression("*p")), "*p");
+}
+
+TEST(Printer, MemberIndexCall)
+{
+    EXPECT_EQ(printExpr(*parseExpression("threadIdx.x")),
+              "threadIdx.x");
+    EXPECT_EQ(printExpr(*parseExpression("a[i]")), "a[i]");
+    EXPECT_EQ(printExpr(*parseExpression("f(x, 1)")), "f(x, 1)");
+}
+
+TEST(Printer, TernaryRoundTrips)
+{
+    EXPECT_EQ(printExpr(*parseExpression("a ? b : c")),
+              "a ? b : c");
+    EXPECT_EQ(printExpr(*parseExpression("x < 0 ? -x : x")),
+              "(x < 0) ? (-x) : x");
+}
+
+TEST(Printer, StatementsIndent)
+{
+    const Program prog = parse(R"(
+void f(int n)
+{
+    if (n > 0)
+    {
+        n = n - 1;
+    }
+}
+)");
+    const std::string out = printFunction(prog.functions[0]);
+    EXPECT_NE(out.find("void f(int n)\n{\n"), std::string::npos);
+    EXPECT_NE(out.find("    if (n > 0)\n"), std::string::npos);
+    EXPECT_NE(out.find("        n = n - 1;\n"), std::string::npos);
+}
+
+TEST(Printer, SharedArrayDecl)
+{
+    const Program prog = parse(
+        "__global__ void k(float *a) { __shared__ float t[8][4]; }");
+    const std::string out = printProgram(prog);
+    EXPECT_NE(out.find("__shared__ float t[8][4];"),
+              std::string::npos);
+}
+
+TEST(Printer, LaunchStatement)
+{
+    const Program prog =
+        parse("void h(float *a) { k<<<10, 256>>>(a); }");
+    const std::string out = printProgram(prog);
+    EXPECT_NE(out.find("k<<<10, 256>>>(a);"), std::string::npos);
+}
+
+TEST(Printer, PointerTypesSpelled)
+{
+    const Program prog =
+        parse("void f(volatile unsigned int *p, const float *x) { }");
+    const std::string out = printProgram(prog);
+    EXPECT_NE(out.find("volatile unsigned int *p"), std::string::npos);
+    EXPECT_NE(out.find("const float *x"), std::string::npos);
+}
+
+/** Print -> parse -> print is a fixed point for assorted programs. */
+class PrinterRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PrinterRoundTrip, FixedPoint)
+{
+    const Program once = parse(GetParam());
+    const std::string printed = printProgram(once);
+    EXPECT_EQ(printProgram(parse(printed)), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, PrinterRoundTrip,
+    ::testing::Values(
+        "__global__ void k(int *a) { a[blockIdx.x] = 1; }",
+        "void h() { for (int i = 0; i < 10; i++) { h(); } }",
+        "__device__ void d(float x) { while (x > 0.0f) { x = x - 1.0f; } }",
+        "__global__ void k(float *a, int n) {\n"
+        "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+        "  if (i < n && a[i] >= 0.0f) a[i] = sqrtf(a[i]);\n"
+        "  else a[i] = 0.0f;\n"
+        "}",
+        "void h(float *a, int g) { k<<<g, 128>>>(a, g * 128); }"));
+
+} // namespace
+} // namespace flep::minicuda

@@ -1,0 +1,100 @@
+/** @file Tests for the kernel resource scan. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/parser.hh"
+#include "compiler/resource_scan.hh"
+#include "gpu/occupancy.hh"
+
+namespace flep::minicuda
+{
+namespace
+{
+
+TEST(ResourceScan, SharedMemoryBytesSummed)
+{
+    const Program prog = parse(R"(
+__global__ void k(float *a)
+{
+    __shared__ float tile[16][16];
+    __shared__ int counts[32];
+    a[threadIdx.x] = tile[0][0] + counts[0];
+}
+)");
+    const auto res = scanKernelResources(prog.functions[0]);
+    EXPECT_EQ(res.smemBytesPerCta, 16 * 16 * 4 + 32 * 4);
+    EXPECT_EQ(res.sharedDecls, 2);
+}
+
+TEST(ResourceScan, LocalsCounted)
+{
+    const Program prog = parse(R"(
+__global__ void k(const float *a, float *b, int n)
+{
+    int i = blockIdx.x;
+    float acc = 0.0f;
+    float tmp = a[i];
+    b[i] = acc + tmp + n;
+}
+)");
+    const auto res = scanKernelResources(prog.functions[0]);
+    EXPECT_EQ(res.localDecls, 3);
+    EXPECT_EQ(res.smemBytesPerCta, 0);
+    // base 10 + 2 ptr params x2 + 1 int param + 3 locals + depth.
+    EXPECT_GE(res.regsPerThread, 18);
+    EXPECT_LE(res.regsPerThread, 32);
+}
+
+TEST(ResourceScan, MoreLocalsMoreRegisters)
+{
+    const Program small = parse(
+        "__global__ void k(float *a) { a[0] = 1.0f; }");
+    const Program big = parse(R"(
+__global__ void k(float *a)
+{
+    float r0 = 0.0f; float r1 = 1.0f; float r2 = 2.0f;
+    float r3 = 3.0f; float r4 = 4.0f; float r5 = 5.0f;
+    a[0] = r0 + r1 + r2 + r3 + r4 + r5;
+}
+)");
+    EXPECT_GT(scanKernelResources(big.functions[0]).regsPerThread,
+              scanKernelResources(small.functions[0]).regsPerThread);
+}
+
+TEST(ResourceScan, RegistersClampedToHardwareRange)
+{
+    const Program prog =
+        parse("__global__ void k(int *a) { a[0] = 0; }");
+    const auto res = scanKernelResources(prog.functions[0]);
+    EXPECT_GE(res.regsPerThread, 10);
+    EXPECT_LE(res.regsPerThread, 255);
+}
+
+TEST(ResourceScan, FeedsOccupancyCalculator)
+{
+    // The paper's workflow: scan resources, then derive the active
+    // CTA limit from them.
+    const Program prog = parse(R"(
+__global__ void k(float *a)
+{
+    __shared__ float tile[48][64];
+    a[threadIdx.x] = tile[threadIdx.x][0];
+}
+)");
+    const auto res = scanKernelResources(prog.functions[0]);
+    EXPECT_EQ(res.smemBytesPerCta, 48 * 64 * 4); // 12 KiB
+    CtaFootprint fp{256, res.regsPerThread, res.smemBytesPerCta};
+    // 49152 / 12288 = 4 CTAs per SM by shared memory.
+    EXPECT_EQ(maxActiveCtasPerSm(GpuConfig::keplerK40(), fp), 4);
+}
+
+TEST(ResourceScan, ScalarSizes)
+{
+    EXPECT_EQ(scalarSizeBytes(BaseType::Float), 4);
+    EXPECT_EQ(scalarSizeBytes(BaseType::Int), 4);
+    EXPECT_EQ(scalarSizeBytes(BaseType::Bool), 1);
+    EXPECT_EQ(scalarSizeBytes(BaseType::Void), 0);
+}
+
+} // namespace
+} // namespace flep::minicuda

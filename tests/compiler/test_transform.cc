@@ -1,0 +1,219 @@
+/** @file Structural tests for the FLEP transformation (Figure 4/5). */
+
+#include <gtest/gtest.h>
+
+#include "compiler/parser.hh"
+#include "compiler/printer.hh"
+#include "compiler/transform.hh"
+
+namespace flep::minicuda
+{
+namespace
+{
+
+const char *vecAddSrc = R"(
+__global__ void vecAdd(const float *a, const float *b, float *c, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+
+void hostMain(float *a, float *b, float *c, int n, int grid, int block)
+{
+    vecAdd<<<grid, block>>>(a, b, c, n);
+}
+)";
+
+Program
+transformed(TransformKind kind)
+{
+    TransformOptions opts;
+    opts.kind = kind;
+    return transformProgram(parse(vecAddSrc), opts);
+}
+
+TEST(Transform, ProducesTaskAndPersistentFunctions)
+{
+    const Program out = transformed(TransformKind::TemporalAmortized);
+    ASSERT_NE(out.find("vecAdd_task"), nullptr);
+    ASSERT_NE(out.find("vecAdd_flep"), nullptr);
+    EXPECT_EQ(out.find("vecAdd_task")->kind, FuncKind::Device);
+    EXPECT_EQ(out.find("vecAdd_flep")->kind, FuncKind::Global);
+    // The original kernel is gone.
+    EXPECT_EQ(out.find("vecAdd"), nullptr);
+}
+
+TEST(Transform, TaskFunctionRewritesBlockIdx)
+{
+    const Program out = transformed(TransformKind::TemporalAmortized);
+    const std::string task = printFunction(*out.find("vecAdd_task"));
+    EXPECT_EQ(task.find("blockIdx"), std::string::npos);
+    EXPECT_NE(task.find("flep_task_id"), std::string::npos);
+    // threadIdx/blockDim survive: they are intra-CTA.
+    EXPECT_NE(task.find("threadIdx.x"), std::string::npos);
+    EXPECT_NE(task.find("blockDim.x"), std::string::npos);
+}
+
+TEST(Transform, TemporalNaiveShapeMatchesFigure4a)
+{
+    const Program out = transformed(TransformKind::TemporalNaive);
+    const std::string k = printFunction(*out.find("vecAdd_flep"));
+    EXPECT_NE(k.find("volatile unsigned int *flep_temp_p"),
+              std::string::npos);
+    EXPECT_NE(k.find("while (true)"), std::string::npos);
+    EXPECT_NE(k.find("flep_stop != 0"), std::string::npos);
+    // Naive form has no amortizing loop.
+    EXPECT_EQ(k.find("flep_l"), std::string::npos);
+    EXPECT_EQ(k.find("for ("), std::string::npos);
+}
+
+TEST(Transform, TemporalAmortizedShapeMatchesFigure4b)
+{
+    const Program out = transformed(TransformKind::TemporalAmortized);
+    const std::string k = printFunction(*out.find("vecAdd_flep"));
+    EXPECT_NE(k.find("unsigned int flep_l"), std::string::npos);
+    EXPECT_NE(k.find("flep_i < flep_l"), std::string::npos);
+    EXPECT_NE(k.find("atomicAdd(flep_next_task, 1)"),
+              std::string::npos);
+    EXPECT_NE(k.find("__syncthreads()"), std::string::npos);
+}
+
+TEST(Transform, SpatialShapeMatchesFigure4c)
+{
+    const Program out = transformed(TransformKind::Spatial);
+    const std::string k = printFunction(*out.find("vecAdd_flep"));
+    EXPECT_NE(k.find("flep_spa_p"), std::string::npos);
+    EXPECT_NE(k.find("flep_get_smid()"), std::string::npos);
+    EXPECT_NE(k.find("flep_smid < flep_stop"), std::string::npos);
+}
+
+TEST(Transform, LeaderThreadPollsAndPulls)
+{
+    // Paper §4.1 optimization: only thread 0 touches the pinned flag
+    // and the task counter; the value is shared via shared memory.
+    const Program out = transformed(TransformKind::TemporalAmortized);
+    const std::string k = printFunction(*out.find("vecAdd_flep"));
+    EXPECT_NE(k.find("threadIdx.x == 0"), std::string::npos);
+    EXPECT_NE(k.find("__shared__ unsigned int flep_stop"),
+              std::string::npos);
+    EXPECT_NE(k.find("__shared__ int flep_task"), std::string::npos);
+}
+
+TEST(Transform, HostLaunchRewrittenToProtocol)
+{
+    const Program out = transformed(TransformKind::TemporalAmortized);
+    const std::string host = printFunction(*out.find("hostMain"));
+    EXPECT_EQ(host.find("vecAdd<<<"), std::string::npos);
+    EXPECT_NE(host.find("flep_intercept(vecAdd, grid, block)"),
+              std::string::npos);
+    EXPECT_NE(host.find("flep_wait_grant(flep_hnd)"),
+              std::string::npos);
+    EXPECT_NE(host.find("vecAdd_flep<<<flep_wave_ctas(flep_hnd)"),
+              std::string::npos);
+    EXPECT_NE(host.find("flep_wait_complete(flep_hnd)"),
+              std::string::npos);
+    // The original grid becomes the task count argument.
+    EXPECT_NE(host.find("flep_task_counter(flep_hnd), grid)"),
+              std::string::npos);
+}
+
+TEST(Transform, TransformedProgramReparses)
+{
+    for (auto kind : {TransformKind::TemporalNaive,
+                      TransformKind::TemporalAmortized,
+                      TransformKind::Spatial}) {
+        const std::string printed =
+            printProgram(transformed(kind));
+        EXPECT_NO_THROW(parse(printed)) << printed;
+    }
+}
+
+TEST(Transform, EarlyReturnsStayTaskLocal)
+{
+    // A return in the original kernel must not terminate the
+    // persistent worker; outlining guarantees it.
+    const Program prog = parse(R"(
+__global__ void guard(float *a, int n)
+{
+    int i = blockIdx.x;
+    if (i >= n)
+        return;
+    a[i] = 1.0f;
+}
+)");
+    TransformOptions opts;
+    const Program out = transformProgram(prog, opts);
+    const std::string task = printFunction(*out.find("guard_task"));
+    EXPECT_NE(task.find("return;"), std::string::npos);
+    const std::string worker = printFunction(*out.find("guard_flep"));
+    // The worker calls the task function instead of inlining the body.
+    EXPECT_NE(worker.find("guard_task("), std::string::npos);
+}
+
+TEST(Transform, TernaryWithGridRefsRewritten)
+{
+    const Program prog = parse(R"(
+__global__ void clampK(float *a, int n)
+{
+    int i = blockIdx.x;
+    a[i] = i < n ? a[i] : 0.0f;
+}
+)");
+    TransformOptions opts;
+    const Program out = transformProgram(prog, opts);
+    const std::string task = printFunction(*out.find("clampK_task"));
+    EXPECT_EQ(task.find("blockIdx"), std::string::npos);
+    EXPECT_NE(task.find("?"), std::string::npos);
+}
+
+TEST(Transform, RejectsMultiDimensionalGrids)
+{
+    const Program prog = parse(R"(
+__global__ void k2d(float *a)
+{
+    a[blockIdx.y] = 0.0f;
+}
+)");
+    TransformOptions opts;
+    EXPECT_THROW(transformProgram(prog, opts), TransformError);
+}
+
+TEST(Transform, GridDimBecomesTaskCount)
+{
+    const Program prog = parse(R"(
+__global__ void stride(float *a, int n)
+{
+    int i = blockIdx.x;
+    while (i < n) {
+        a[i] = 1.0f;
+        i = i + gridDim.x;
+    }
+}
+)");
+    TransformOptions opts;
+    const Program out = transformProgram(prog, opts);
+    const std::string task = printFunction(*out.find("stride_task"));
+    EXPECT_EQ(task.find("gridDim"), std::string::npos);
+    EXPECT_NE(task.find("flep_num_tasks"), std::string::npos);
+}
+
+TEST(Transform, MultipleKernelsAllTransformed)
+{
+    const Program prog = parse(R"(
+__global__ void k1(float *a) { a[blockIdx.x] = 1.0f; }
+__global__ void k2(float *a) { a[blockIdx.x] = 2.0f; }
+void host(float *a) { k1<<<4, 64>>>(a); k2<<<4, 64>>>(a); }
+)");
+    TransformOptions opts;
+    const Program out = transformProgram(prog, opts);
+    EXPECT_NE(out.find("k1_flep"), nullptr);
+    EXPECT_NE(out.find("k2_flep"), nullptr);
+    const std::string host = printFunction(*out.find("host"));
+    EXPECT_NE(host.find("k1_flep<<<"), std::string::npos);
+    EXPECT_NE(host.find("k2_flep<<<"), std::string::npos);
+}
+
+} // namespace
+} // namespace flep::minicuda

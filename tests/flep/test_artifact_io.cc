@@ -1,0 +1,124 @@
+/** @file Tests for offline-artifact persistence. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "flep/artifact_io.hh"
+
+namespace flep
+{
+namespace
+{
+
+OfflineArtifacts
+smallArtifacts()
+{
+    static BenchmarkSuite suite;
+    static OfflineArtifacts art =
+        runOfflinePhase(suite, GpuConfig::keplerK40(), 15, 3);
+    return art;
+}
+
+TEST(ArtifactIo, RoundTripPreservesPredictions)
+{
+    const auto art = smallArtifacts();
+    std::stringstream ss;
+    saveArtifacts(art, ss);
+    const auto loaded = loadArtifacts(ss);
+    ASSERT_TRUE(loaded.has_value());
+
+    BenchmarkSuite suite;
+    for (const auto &w : suite.all()) {
+        for (auto c : {InputClass::Large, InputClass::Small}) {
+            const auto in = w->input(c);
+            EXPECT_DOUBLE_EQ(
+                art.models.at(w->name()).predictNs(in),
+                loaded->models.at(w->name()).predictNs(in))
+                << w->name();
+        }
+        EXPECT_EQ(art.overheads.at(w->name()),
+                  loaded->overheads.at(w->name()));
+        EXPECT_EQ(art.amortizeL.at(w->name()),
+                  loaded->amortizeL.at(w->name()));
+    }
+}
+
+TEST(ArtifactIo, FileRoundTrip)
+{
+    const auto art = smallArtifacts();
+    const std::string path = "/tmp/flep_artifact_io_test.txt";
+    saveArtifactsFile(art, path);
+    const auto loaded = loadArtifactsFile(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->models.size(), art.models.size());
+    std::remove(path.c_str());
+}
+
+TEST(ArtifactIo, MissingFileIsNullopt)
+{
+    EXPECT_FALSE(loadArtifactsFile("/nonexistent/path.txt")
+                     .has_value());
+}
+
+TEST(ArtifactIo, RejectsWrongMagic)
+{
+    std::stringstream ss("not an artifact file\nmodel X 1 0 1 0 1\n");
+    EXPECT_FALSE(loadArtifacts(ss).has_value());
+}
+
+TEST(ArtifactIo, RejectsTruncatedModel)
+{
+    std::stringstream ss("flep-artifacts v1\nmodel NN 4 100.0 1 2\n");
+    EXPECT_FALSE(loadArtifacts(ss).has_value());
+}
+
+TEST(ArtifactIo, RejectsNonPositiveScale)
+{
+    std::stringstream ss(
+        "flep-artifacts v1\n"
+        "model NN 1 100.0 2.0 5.0 0.0\n");
+    EXPECT_FALSE(loadArtifacts(ss).has_value());
+}
+
+TEST(ArtifactIo, RejectsUnknownRecordKind)
+{
+    std::stringstream ss("flep-artifacts v1\nbogus NN 1\n");
+    EXPECT_FALSE(loadArtifacts(ss).has_value());
+}
+
+TEST(ArtifactIo, CommentsAndBlankLinesIgnored)
+{
+    const auto art = smallArtifacts();
+    std::stringstream ss;
+    saveArtifacts(art, ss);
+    std::string text = ss.str();
+    text += "\n# trailing comment\n\n";
+    std::stringstream ss2(text);
+    EXPECT_TRUE(loadArtifacts(ss2).has_value());
+}
+
+TEST(ArtifactIo, LoadedArtifactsDriveACoRun)
+{
+    const auto art = smallArtifacts();
+    std::stringstream ss;
+    saveArtifacts(art, ss);
+    const auto loaded = loadArtifacts(ss);
+    ASSERT_TRUE(loaded.has_value());
+
+    BenchmarkSuite suite;
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepHpf;
+    cfg.kernels = {{"NN", InputClass::Large, 0, 0, 1},
+                   {"SPMV", InputClass::Small, 5, 50000, 1}};
+    const auto a = runCoRun(suite, art, cfg);
+    const auto b = runCoRun(suite, *loaded, cfg);
+    ASSERT_EQ(a.invocations.size(), b.invocations.size());
+    for (std::size_t i = 0; i < a.invocations.size(); ++i)
+        EXPECT_EQ(a.invocations[i].finishTick,
+                  b.invocations[i].finishTick);
+}
+
+} // namespace
+} // namespace flep

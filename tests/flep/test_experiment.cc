@@ -1,0 +1,177 @@
+/** @file Integration tests for the co-run experiment harness. */
+
+#include <gtest/gtest.h>
+
+#include "flep/experiment.hh"
+
+namespace flep
+{
+namespace
+{
+
+/** Shared fixtures: train once for the whole file. */
+class ExperimentTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        // Reduced offline effort keeps the test fast; accuracy is
+        // covered by the perfmodel tests.
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 30, 8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+        artifacts_ = nullptr;
+        suite_ = nullptr;
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *ExperimentTest::suite_ = nullptr;
+OfflineArtifacts *ExperimentTest::artifacts_ = nullptr;
+
+TEST_F(ExperimentTest, MpsPairShowsPriorityInversion)
+{
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::Mps;
+    cfg.kernels = {{"NN", InputClass::Large, 0, 0, 1},
+                   {"SPMV", InputClass::Small, 5, 50000, 1}};
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    ASSERT_EQ(res.invocations.size(), 2u);
+    const auto spmv = res.turnaroundsOf(1);
+    // SPMV waits behind essentially all of NN (15.8ms).
+    EXPECT_GT(ticksToUs(spmv[0]), 14000.0);
+    EXPECT_EQ(res.preemptions, 0);
+}
+
+TEST_F(ExperimentTest, HpfRescuesHighPriorityKernel)
+{
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepHpf;
+    cfg.kernels = {{"NN", InputClass::Large, 0, 0, 1},
+                   {"SPMV", InputClass::Small, 5, 50000, 1}};
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    const auto spmv = res.turnaroundsOf(1);
+    EXPECT_LT(ticksToUs(spmv[0]), 1200.0);
+    EXPECT_GE(res.preemptions, 1);
+    // Speedup over the paper-reported range sanity: > 10x here.
+    EXPECT_GT(14000.0 / ticksToUs(spmv[0]), 10.0);
+}
+
+TEST_F(ExperimentTest, EqualPrioritySrtImprovesAntt)
+{
+    auto run = [&](SchedulerKind kind) {
+        CoRunConfig cfg;
+        cfg.scheduler = kind;
+        cfg.kernels = {{"VA", InputClass::Large, 0, 0, 1},
+                       {"SPMV", InputClass::Small, 0, 50000, 1}};
+        return runCoRun(*suite_, *artifacts_, cfg);
+    };
+    const auto mps = run(SchedulerKind::Mps);
+    const auto flep = run(SchedulerKind::FlepHpf);
+
+    auto antt_of = [&](const CoRunResult &r) {
+        std::vector<TurnaroundPair> pairs;
+        pairs.push_back(
+            {static_cast<double>(r.turnaroundsOf(0)[0]),
+             soloTurnaroundNs(*suite_, GpuConfig::keplerK40(), "VA",
+                              InputClass::Large)});
+        pairs.push_back(
+            {static_cast<double>(r.turnaroundsOf(1)[0]),
+             soloTurnaroundNs(*suite_, GpuConfig::keplerK40(), "SPMV",
+                              InputClass::Small)});
+        return antt(pairs);
+    };
+    EXPECT_GT(antt_of(mps) / antt_of(flep), 5.0);
+}
+
+TEST_F(ExperimentTest, SpatialBeatsTemporalForTrivialPreemptor)
+{
+    auto makespan = [&](bool spatial) {
+        CoRunConfig cfg;
+        cfg.scheduler = SchedulerKind::FlepHpf;
+        cfg.hpf.enableSpatial = spatial;
+        cfg.kernels = {{"NN", InputClass::Large, 0, 0, 1},
+                       {"MD", InputClass::Trivial, 5, 500000, 1}};
+        return runCoRun(*suite_, *artifacts_, cfg).makespanNs;
+    };
+    EXPECT_LT(makespan(true), makespan(false));
+}
+
+TEST_F(ExperimentTest, FfsSharesFollowWeights)
+{
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepFfs;
+    cfg.kernels = {{"NN", InputClass::Small, 2, 10000, -1},
+                   {"PF", InputClass::Small, 1, 10000, -1}};
+    cfg.horizonNs = 150 * ticksPerMs;
+    cfg.shareWindowNs = 10 * ticksPerMs;
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    EXPECT_NEAR(res.overallShare.at(0), 2.0 / 3.0, 0.07);
+    EXPECT_NEAR(res.overallShare.at(1), 1.0 / 3.0, 0.07);
+    EXPECT_FALSE(res.shareSeries.at(0).empty());
+}
+
+TEST_F(ExperimentTest, ReorderDoesNotPreempt)
+{
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::Reorder;
+    cfg.kernels = {{"NN", InputClass::Large, 0, 0, 1},
+                   {"SPMV", InputClass::Small, 0, 50000, 1}};
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    // The long kernel launched first still blocks the short one.
+    EXPECT_GT(ticksToUs(res.turnaroundsOf(1)[0]), 14000.0);
+}
+
+TEST_F(ExperimentTest, PairListsMatchPaperCounts)
+{
+    EXPECT_EQ(priorityPairs().size(), 28u);
+    EXPECT_EQ(equalPriorityPairs().size(), 28u);
+    const auto triplets = randomTriplets();
+    EXPECT_EQ(triplets.size(), 28u);
+    // All names valid and distinct within each tuple.
+    for (const auto &t : triplets) {
+        EXPECT_TRUE(suite_->has(t[0]));
+        EXPECT_NE(t[0], t[1]);
+        EXPECT_NE(t[1], t[2]);
+        EXPECT_NE(t[0], t[2]);
+    }
+    // Paper's highlighted triplet present.
+    EXPECT_EQ(triplets[0][0], "VA");
+    EXPECT_EQ(triplets[0][1], "SPMV");
+    EXPECT_EQ(triplets[0][2], "MM");
+}
+
+TEST_F(ExperimentTest, ResultsDeterministicInSeed)
+{
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepHpf;
+    cfg.kernels = {{"PL", InputClass::Large, 0, 0, 1},
+                   {"MM", InputClass::Small, 5, 100000, 1}};
+    cfg.seed = 77;
+    const auto a = runCoRun(*suite_, *artifacts_, cfg);
+    const auto b = runCoRun(*suite_, *artifacts_, cfg);
+    ASSERT_EQ(a.invocations.size(), b.invocations.size());
+    for (std::size_t i = 0; i < a.invocations.size(); ++i)
+        EXPECT_EQ(a.invocations[i].finishTick,
+                  b.invocations[i].finishTick);
+}
+
+TEST_F(ExperimentTest, SoloTurnaroundMatchesTable1)
+{
+    const double va = soloTurnaroundNs(
+        *suite_, GpuConfig::keplerK40(), "VA", InputClass::Large);
+    EXPECT_NEAR(va / 1000.0, 30634.0, 30634.0 * 0.10);
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,85 @@
+/** @file Tests for the FlepSystem facade (public API). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "flep/flep.hh"
+
+namespace flep
+{
+namespace
+{
+
+FlepSystem::Options
+fastOptions()
+{
+    FlepSystem::Options opts;
+    opts.trainInputs = 15;
+    opts.profileRuns = 3;
+    return opts;
+}
+
+TEST(FlepSystem, OfflinePhaseProducesArtifacts)
+{
+    FlepSystem sys(fastOptions());
+    EXPECT_EQ(sys.artifacts().models.size(), 8u);
+    EXPECT_EQ(sys.artifacts().overheads.size(), 8u);
+    EXPECT_EQ(sys.artifacts().amortizeL.at("VA"), 200);
+    EXPECT_EQ(sys.suite().size(), 8u);
+}
+
+TEST(FlepSystem, TwoProcessPriorityScenario)
+{
+    FlepSystem sys(fastOptions());
+    auto &batch = sys.addProcess(
+        {sys.kernel("NN", InputClass::Large, 0)});
+    auto &query = sys.addProcess(
+        {sys.kernel("SPMV", InputClass::Small, 5, 50000)});
+    sys.run();
+    ASSERT_EQ(batch.results().size(), 1u);
+    ASSERT_EQ(query.results().size(), 1u);
+    EXPECT_LT(ticksToUs(query.results()[0].turnaroundNs()), 1500.0);
+    EXPECT_GE(batch.results()[0].preemptions, 1);
+}
+
+TEST(FlepSystem, KernelBuilderFillsEntry)
+{
+    FlepSystem sys(fastOptions());
+    const auto e = sys.kernel("MM", InputClass::Small, 3, 42, 7);
+    EXPECT_EQ(e.workload->name(), "MM");
+    EXPECT_EQ(e.priority, 3);
+    EXPECT_EQ(e.delayBefore, 42u);
+    EXPECT_EQ(e.repeats, 7);
+    EXPECT_EQ(e.amortizeL, 2);
+    EXPECT_THROW(sys.kernel("NOPE", InputClass::Small, 0),
+                 FatalError);
+}
+
+TEST(FlepSystem, RunForBoundsInfiniteWorkloads)
+{
+    FlepSystem::Options opts = fastOptions();
+    opts.policy = FlepSystem::Policy::Ffs;
+    FlepSystem sys(opts);
+    auto &a = sys.addProcess(
+        {sys.kernel("MM", InputClass::Trivial, 2, 1000, -1)});
+    auto &b = sys.addProcess(
+        {sys.kernel("VA", InputClass::Trivial, 1, 1000, -1)});
+    const Tick end = sys.runFor(20 * ticksPerMs);
+    EXPECT_GE(end, 20 * ticksPerMs);
+    EXPECT_GT(a.results().size(), 10u);
+    EXPECT_GT(b.results().size(), 5u);
+}
+
+TEST(FlepSystem, PredictNsUsesTrainedModels)
+{
+    FlepSystem sys(fastOptions());
+    const auto &w = sys.suite().byName("NN");
+    const Tick large =
+        sys.runtime().predictNs("NN", w.input(InputClass::Large));
+    const Tick small =
+        sys.runtime().predictNs("NN", w.input(InputClass::Small));
+    EXPECT_GT(large, small);
+}
+
+} // namespace
+} // namespace flep

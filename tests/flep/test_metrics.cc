@@ -1,0 +1,99 @@
+/** @file Tests for ANTT/STP and the GPU-share tracker. */
+
+#include <gtest/gtest.h>
+
+#include "flep/metrics.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(Metrics, AnttOfUnslowedProgramsIsOne)
+{
+    const std::vector<TurnaroundPair> pairs{{100, 100}, {50, 50}};
+    EXPECT_DOUBLE_EQ(antt(pairs), 1.0);
+}
+
+TEST(Metrics, AnttAveragesSlowdowns)
+{
+    const std::vector<TurnaroundPair> pairs{{300, 100}, {50, 50}};
+    EXPECT_DOUBLE_EQ(antt(pairs), 2.0); // (3 + 1) / 2
+}
+
+TEST(Metrics, StpSumsNormalizedProgress)
+{
+    const std::vector<TurnaroundPair> pairs{{200, 100}, {100, 100}};
+    EXPECT_DOUBLE_EQ(stp(pairs), 1.5); // 0.5 + 1.0
+}
+
+TEST(Metrics, StpUpperBoundIsProgramCount)
+{
+    const std::vector<TurnaroundPair> pairs{{100, 100},
+                                            {100, 100},
+                                            {100, 100}};
+    EXPECT_DOUBLE_EQ(stp(pairs), 3.0);
+}
+
+TEST(ShareTracker, SplitsIntervalsAcrossWindows)
+{
+    ShareTracker t(1000);
+    t.trackBusy(0, 500, 2500); // spans windows 0, 1, 2
+    EXPECT_EQ(t.windowCount(), 3u);
+    EXPECT_DOUBLE_EQ(t.share(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(t.share(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(t.share(0, 2), 1.0);
+}
+
+TEST(ShareTracker, SharesAreRelative)
+{
+    ShareTracker t(1000);
+    t.trackBusy(0, 0, 600);
+    t.trackBusy(1, 0, 300);
+    EXPECT_NEAR(t.share(0, 0), 600.0 / 900.0, 1e-12);
+    EXPECT_NEAR(t.share(1, 0), 300.0 / 900.0, 1e-12);
+    EXPECT_NEAR(t.overallShare(0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ShareTracker, IdleWindowHasZeroShares)
+{
+    ShareTracker t(100);
+    t.trackBusy(0, 0, 50);
+    t.trackBusy(0, 250, 300); // window 1 empty
+    EXPECT_DOUBLE_EQ(t.share(0, 1), 0.0);
+    EXPECT_EQ(t.windowCount(), 3u);
+}
+
+TEST(ShareTracker, SeriesMatchesPerWindowQueries)
+{
+    ShareTracker t(100);
+    t.trackBusy(0, 0, 150);
+    t.trackBusy(1, 100, 200);
+    const auto series = t.shareSeries(0);
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_DOUBLE_EQ(series[0], t.share(0, 0));
+    EXPECT_DOUBLE_EQ(series[1], t.share(0, 1));
+    EXPECT_DOUBLE_EQ(series[0], 1.0);
+    // Window 1: process 0 busy 50, process 1 busy 100.
+    EXPECT_NEAR(series[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(ShareTracker, ProcessesListed)
+{
+    ShareTracker t(100);
+    t.trackBusy(3, 0, 10);
+    t.trackBusy(7, 0, 10);
+    const auto procs = t.processes();
+    ASSERT_EQ(procs.size(), 2u);
+    EXPECT_EQ(procs[0], 3);
+    EXPECT_EQ(procs[1], 7);
+}
+
+TEST(MetricsDeath, EmptySetsRejected)
+{
+    EXPECT_DEATH(antt({}), "empty");
+    EXPECT_DEATH(stp({}), "empty");
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,131 @@
+/** @file Tests for open-loop arrival-trace generation. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "flep/trace.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(Trace, PeriodicArrivalsAreExact)
+{
+    ArrivalProcess proc;
+    proc.workload = "MM";
+    proc.periodNs = 1000000; // 1 ms
+    Rng rng(1);
+    const auto times =
+        generateArrivalTimes(proc, 10 * ticksPerMs, rng);
+    ASSERT_EQ(times.size(), 9u); // 1..9 ms
+    for (std::size_t i = 0; i < times.size(); ++i)
+        EXPECT_EQ(times[i], (i + 1) * 1000000);
+}
+
+TEST(Trace, PoissonCountNearRateTimesHorizon)
+{
+    ArrivalProcess proc;
+    proc.workload = "VA";
+    proc.ratePerMs = 2.0;
+    Rng rng(2);
+    const Tick horizon = 500 * ticksPerMs;
+    const auto times = generateArrivalTimes(proc, horizon, rng);
+    // Expect ~1000 arrivals; allow 4 sigma (~sqrt(1000) = 32).
+    EXPECT_NEAR(static_cast<double>(times.size()), 1000.0, 130.0);
+    // Sorted, inside the horizon.
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_GE(times[i], times[i - 1]);
+    EXPECT_LT(times.back(), horizon);
+}
+
+TEST(Trace, PoissonGapsAreExponential)
+{
+    ArrivalProcess proc;
+    proc.workload = "VA";
+    proc.ratePerMs = 1.0; // mean gap 1 ms
+    Rng rng(3);
+    const auto times =
+        generateArrivalTimes(proc, 2000 * ticksPerMs, rng);
+    SampleStats gaps;
+    for (std::size_t i = 1; i < times.size(); ++i)
+        gaps.add(static_cast<double>(times[i] - times[i - 1]));
+    // Exponential: mean == stddev (within sampling error).
+    EXPECT_NEAR(gaps.mean(), 1e6, 1e5);
+    EXPECT_NEAR(gaps.stddev() / gaps.mean(), 1.0, 0.15);
+}
+
+TEST(Trace, GenerateTraceExpandsAllClasses)
+{
+    std::vector<ArrivalProcess> procs(2);
+    procs[0].workload = "MM";
+    procs[0].priority = 5;
+    procs[0].periodNs = 2 * ticksPerMs;
+    procs[1].workload = "VA";
+    procs[1].priority = 0;
+    procs[1].periodNs = 5 * ticksPerMs;
+    Rng rng(4);
+    const auto specs = generateTrace(procs, 20 * ticksPerMs, rng);
+    std::size_t mm = 0;
+    std::size_t va = 0;
+    for (const auto &spec : specs) {
+        if (spec.workload == "MM") {
+            ++mm;
+            EXPECT_EQ(spec.priority, 5);
+        } else {
+            ++va;
+            EXPECT_EQ(spec.priority, 0);
+        }
+        EXPECT_EQ(spec.repeats, 1);
+    }
+    EXPECT_EQ(mm, 9u);
+    EXPECT_EQ(va, 3u);
+}
+
+TEST(Trace, EndToEndQueryLatencyImprovesUnderFlep)
+{
+    BenchmarkSuite suite;
+    const auto art = runOfflinePhase(suite, GpuConfig::keplerK40(),
+                                     20, 6);
+
+    std::vector<ArrivalProcess> procs(2);
+    // A heavy batch kernel arriving every 20 ms.
+    procs[0].workload = "VA";
+    procs[0].input = InputClass::Large;
+    procs[0].priority = 0;
+    procs[0].periodNs = 35 * ticksPerMs;
+    // Interactive queries every ~4 ms.
+    procs[1].workload = "MM";
+    procs[1].input = InputClass::Small;
+    procs[1].priority = 5;
+    procs[1].ratePerMs = 0.25;
+
+    Rng rng(5);
+    const auto specs = generateTrace(procs, 100 * ticksPerMs, rng);
+
+    auto run = [&](SchedulerKind kind) {
+        CoRunConfig cfg;
+        cfg.scheduler = kind;
+        cfg.kernels = specs;
+        cfg.horizonNs = 300 * ticksPerMs;
+        return summarizeLatency(runCoRun(suite, art, cfg), 5);
+    };
+    const auto mps = run(SchedulerKind::Mps);
+    const auto flep = run(SchedulerKind::FlepHpf);
+    ASSERT_GT(mps.completed, 5u);
+    ASSERT_GT(flep.completed, 5u);
+    // Preemption cuts tail latency by a large factor.
+    EXPECT_LT(flep.p95Us * 3.0, mps.p95Us);
+}
+
+TEST(TraceDeath, RejectsBadParameters)
+{
+    ArrivalProcess proc;
+    proc.workload = "VA";
+    proc.ratePerMs = 0.0;
+    Rng rng(6);
+    EXPECT_DEATH(generateArrivalTimes(proc, 1000, rng), "rate");
+}
+
+} // namespace
+} // namespace flep

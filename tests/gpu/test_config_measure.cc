@@ -1,0 +1,95 @@
+/** @file Tests for device presets, validation, contention, and the
+ *  solo-run measurement helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpu/contention.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/measure.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(GpuConfig, K40PresetMatchesPaperTestbed)
+{
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    EXPECT_EQ(cfg.numSms, 15); // "an Nvidia K40 GPU with 15 SMs"
+    EXPECT_EQ(cfg.maxThreadsPerSm, 2048);
+    EXPECT_EQ(cfg.totalSlots(8), 120); // "120 active CTAs of size 256"
+}
+
+TEST(GpuConfig, PascalPresetIsLargerAndFaster)
+{
+    const GpuConfig k40 = GpuConfig::keplerK40();
+    const GpuConfig p100 = GpuConfig::pascalP100();
+    EXPECT_GT(p100.numSms, k40.numSms);
+    EXPECT_LT(p100.pinnedReadNs, k40.pinnedReadNs);
+}
+
+TEST(GpuConfig, ValidateAcceptsPresets)
+{
+    EXPECT_NO_THROW(GpuConfig::keplerK40().validate());
+    EXPECT_NO_THROW(GpuConfig::pascalP100().validate());
+    EXPECT_NO_THROW(GpuConfig::tiny().validate());
+}
+
+TEST(GpuConfig, ValidateRejectsNonsense)
+{
+    GpuConfig cfg = GpuConfig::keplerK40();
+    cfg.numSms = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = GpuConfig::keplerK40();
+    cfg.maxThreadsPerSm = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Contention, LinearInResidency)
+{
+    EXPECT_DOUBLE_EQ(contentionFactor(0.1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(contentionFactor(0.1, 8), 1.7);
+    EXPECT_DOUBLE_EQ(contentionFactor(0.0, 16), 1.0);
+}
+
+TEST(ContentionDeath, RejectsInvalidInputs)
+{
+    EXPECT_DEATH(contentionFactor(0.1, 0), "resident");
+    EXPECT_DEATH(contentionFactor(-0.1, 2), "negative");
+}
+
+TEST(Measure, SoloResultFieldsConsistent)
+{
+    BenchmarkSuite suite;
+    const Workload &w = suite.byName("MM");
+    const auto desc = w.makeLaunch(w.input(InputClass::Small),
+                                   ExecMode::Persistent, 2, 0);
+    const auto res = soloRun(GpuConfig::keplerK40(), desc, 77);
+    EXPECT_GT(res.durationNs, res.execNs); // launch overhead counted
+    EXPECT_GT(res.polls, 0);
+    // Busy slot-time cannot exceed duration x slots.
+    EXPECT_LE(res.busySlotNs, res.durationNs * 120);
+    // ...and must at least cover the serial work once.
+    EXPECT_GT(res.busySlotNs, res.durationNs);
+}
+
+TEST(Measure, MeanAveragesAcrossSeeds)
+{
+    BenchmarkSuite suite;
+    const Workload &w = suite.byName("SPMV");
+    const auto desc = w.makeLaunch(w.input(InputClass::Small),
+                                   ExecMode::Original, 1, 0);
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    const double mean = soloMeanDurationNs(cfg, desc, 5, 4);
+    double acc = 0.0;
+    for (int i = 0; i < 4; ++i)
+        acc += static_cast<double>(
+            soloRun(cfg, desc, 5 + static_cast<std::uint64_t>(i))
+                .durationNs);
+    EXPECT_DOUBLE_EQ(mean, acc / 4.0);
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,168 @@
+/** @file Tests for kernel execution on the simulated device. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpu/gpu_device.hh"
+#include "gpu/measure.hh"
+#include "sim/simulation.hh"
+
+namespace flep
+{
+namespace
+{
+
+KernelLaunchDesc
+desc(long tasks, double task_ns, ExecMode mode, int l = 1,
+     double beta = 0.0, double cv = 0.0)
+{
+    KernelLaunchDesc d;
+    d.name = "k";
+    d.totalTasks = tasks;
+    d.footprint = CtaFootprint{256, 32, 0};
+    d.cost = TaskCostModel(task_ns, cv);
+    d.contentionBeta = beta;
+    d.mode = mode;
+    d.amortizeL = l;
+    return d;
+}
+
+TEST(GpuDevice, OriginalKernelDurationMatchesAnalyticModel)
+{
+    // 1200 tasks of 10us over 120 slots = 10 waves of 10us.
+    const auto r = soloRun(GpuConfig::keplerK40(),
+                           desc(1200, 10000.0, ExecMode::Original), 1);
+    const double us = ticksToUs(r.durationNs);
+    EXPECT_NEAR(us, 100.0, 8.0); // + launch/dispatch overhead
+}
+
+TEST(GpuDevice, PersistentCompletesAllTasksExactlyOnce)
+{
+    const auto r = soloRun(
+        GpuConfig::keplerK40(),
+        desc(54321, 500.0, ExecMode::Persistent, 50), 2);
+    EXPECT_GT(r.durationNs, 0u);
+    // soloRun asserts completion; tasksCompleted == totalTasks is
+    // checked through the exec in the preemption-safety tests.
+}
+
+TEST(GpuDevice, PersistentOverheadGrowsAsLShrinks)
+{
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    const double orig = soloMeanDurationNs(
+        cfg, desc(100000, 1000.0, ExecMode::Original), 3, 3);
+    const double l1 = soloMeanDurationNs(
+        cfg, desc(100000, 1000.0, ExecMode::Persistent, 1), 3, 3);
+    const double l100 = soloMeanDurationNs(
+        cfg, desc(100000, 1000.0, ExecMode::Persistent, 100), 3, 3);
+    EXPECT_GT(l1, l100);   // more polls -> slower
+    EXPECT_GT(l100, orig * 0.99); // transformation never speeds up
+    // With L=1 every 1us task pays a 1.5us poll: > 2x slowdown.
+    EXPECT_GT(l1 / orig, 1.8);
+    // With L=100 the poll is amortized: small overhead. The bound
+    // includes ~6% chunk-granularity tail on this short run.
+    EXPECT_LT(l100 / orig, 1.13);
+}
+
+TEST(GpuDevice, ContentionSlowsPackedCtas)
+{
+    // Same work, one CTA per task: 8 CTAs pack onto 1-2 SMs when
+    // beta is high... contention applies per resident CTA. Compare a
+    // high-beta run against a zero-beta run with full occupancy.
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    const double no_beta = soloMeanDurationNs(
+        cfg, desc(1200, 10000.0, ExecMode::Original, 1, 0.0), 5, 3);
+    const double with_beta = soloMeanDurationNs(
+        cfg, desc(1200, 10000.0, ExecMode::Original, 1, 0.15), 5, 3);
+    // Full occupancy: 8 resident per SM -> factor 1 + 7*0.15 = 2.05.
+    EXPECT_NEAR(with_beta / no_beta, 2.05, 0.15);
+}
+
+TEST(GpuDevice, BusySlotTimeAccountedToProcess)
+{
+    Simulation sim(3);
+    GpuDevice gpu(sim, GpuConfig::keplerK40());
+    Tick tracked = 0;
+    gpu.onSlotBusy = [&](ProcessId pid, Tick b, Tick e) {
+        EXPECT_EQ(pid, 9);
+        tracked += e - b;
+    };
+    auto d = desc(240, 5000.0, ExecMode::Original);
+    d.process = 9;
+    auto exec = gpu.createExec(d);
+    gpu.launch(exec, 0);
+    sim.run();
+    EXPECT_EQ(tracked, exec->busySlotTime());
+    // 240 tasks x 5us each of pure busy time.
+    EXPECT_NEAR(ticksToUs(tracked), 1200.0, 1.0);
+}
+
+TEST(GpuDevice, PerSmBusyTimeSumsToExecTotal)
+{
+    Simulation sim(4);
+    GpuDevice gpu(sim, GpuConfig::keplerK40());
+    auto exec = gpu.createExec(desc(1200, 5000.0, ExecMode::Original));
+    Tick detailed = 0;
+    gpu.onSlotBusyDetailed = [&](const KernelExec &, SmId, Tick b,
+                                 Tick e) { detailed += e - b; };
+    gpu.launch(exec, 0);
+    sim.run();
+    Tick per_sm = 0;
+    for (SmId s = 0; s < gpu.config().numSms; ++s)
+        per_sm += gpu.smBusyNs(s);
+    EXPECT_EQ(per_sm, exec->busySlotTime());
+    EXPECT_EQ(detailed, exec->busySlotTime());
+    // Balanced work: every SM within 25% of the mean.
+    const Tick mean = per_sm / static_cast<Tick>(gpu.config().numSms);
+    for (SmId s = 0; s < gpu.config().numSms; ++s) {
+        EXPECT_NEAR(static_cast<double>(gpu.smBusyNs(s)),
+                    static_cast<double>(mean), 0.25 * mean);
+    }
+}
+
+TEST(GpuDevice, SoloRunDeterministicInSeed)
+{
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    const auto a = soloRun(
+        cfg, desc(5000, 2000.0, ExecMode::Persistent, 10, 0.1, 0.2), 7);
+    const auto b = soloRun(
+        cfg, desc(5000, 2000.0, ExecMode::Persistent, 10, 0.1, 0.2), 7);
+    const auto c = soloRun(
+        cfg, desc(5000, 2000.0, ExecMode::Persistent, 10, 0.1, 0.2), 8);
+    EXPECT_EQ(a.durationNs, b.durationNs);
+    EXPECT_NE(a.durationNs, c.durationNs);
+}
+
+TEST(GpuDevice, PollCountMatchesAmortizing)
+{
+    // Each chunk of up to L tasks does one poll, plus one exit poll
+    // per CTA. Chunks shrink toward the tail (fair-share claiming),
+    // so the count sits between tasks/L and twice that.
+    const auto r = soloRun(
+        GpuConfig::keplerK40(),
+        desc(12000, 1000.0, ExecMode::Persistent, 10), 5);
+    const long chunks = 12000 / 10;
+    EXPECT_GE(r.polls, chunks);
+    EXPECT_LE(r.polls, 2 * chunks);
+}
+
+TEST(GpuDeviceDeath, RejectsImpossibleFootprint)
+{
+    Simulation sim(1);
+    GpuDevice gpu(sim, GpuConfig::keplerK40());
+    auto d = desc(10, 1000.0, ExecMode::Original);
+    d.footprint.smemBytes = 1 << 20; // 1 MiB never fits
+    EXPECT_THROW(gpu.createExec(d), FatalError);
+}
+
+TEST(GpuDevice, TinyConfigStillRuns)
+{
+    GpuConfig cfg = GpuConfig::tiny();
+    auto d = desc(64, 3000.0, ExecMode::Persistent, 4);
+    d.footprint = CtaFootprint{128, 16, 0};
+    const auto r = soloRun(cfg, d, 11);
+    EXPECT_GT(r.durationNs, 0u);
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,138 @@
+/** @file Tests for the occupancy calculator, incl. a brute-force
+ *  property check. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "gpu/occupancy.hh"
+
+namespace flep
+{
+namespace
+{
+
+GpuConfig
+k40()
+{
+    return GpuConfig::keplerK40();
+}
+
+TEST(Occupancy, PaperConfiguration)
+{
+    // 256-thread CTAs with 32 regs/thread: 8 active CTAs per SM and
+    // 120 device-wide — the paper's "120 active CTAs of size 256".
+    const CtaFootprint fp{256, 32, 0};
+    EXPECT_EQ(maxActiveCtasPerSm(k40(), fp), 8);
+    EXPECT_EQ(deviceCtaCapacity(k40(), fp), 120);
+}
+
+TEST(Occupancy, ThreadLimited)
+{
+    const CtaFootprint fp{1024, 16, 0};
+    EXPECT_EQ(maxActiveCtasPerSm(k40(), fp), 2); // 2048/1024
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    const CtaFootprint fp{128, 128, 0};
+    // regs/CTA = 16384; 65536/16384 = 4 < 2048/128 = 16.
+    EXPECT_EQ(maxActiveCtasPerSm(k40(), fp), 4);
+}
+
+TEST(Occupancy, SharedMemoryLimited)
+{
+    const CtaFootprint fp{64, 16, 16384};
+    // smem allows 3; threads would allow 32 (capped at 16).
+    EXPECT_EQ(maxActiveCtasPerSm(k40(), fp), 3);
+}
+
+TEST(Occupancy, HardCtaCap)
+{
+    const CtaFootprint fp{32, 8, 0};
+    EXPECT_EQ(maxActiveCtasPerSm(k40(), fp), 16); // cfg.maxCtasPerSm
+}
+
+TEST(Occupancy, OversizedCtaDoesNotFit)
+{
+    const CtaFootprint fp{256, 32, 65536};
+    EXPECT_EQ(maxActiveCtasPerSm(k40(), fp), 0);
+}
+
+TEST(Occupancy, SmsNeededRoundsUp)
+{
+    const CtaFootprint fp{256, 32, 0}; // 8 per SM
+    EXPECT_EQ(smsNeededFor(k40(), fp, 0), 0);
+    EXPECT_EQ(smsNeededFor(k40(), fp, 1), 1);
+    EXPECT_EQ(smsNeededFor(k40(), fp, 8), 1);
+    EXPECT_EQ(smsNeededFor(k40(), fp, 9), 2);
+    EXPECT_EQ(smsNeededFor(k40(), fp, 16), 2);
+    EXPECT_EQ(smsNeededFor(k40(), fp, 40), 5); // the paper's example
+}
+
+TEST(Occupancy, SmsNeededClampsToDevice)
+{
+    const CtaFootprint fp{256, 32, 0};
+    EXPECT_EQ(smsNeededFor(k40(), fp, 1000000), 15);
+}
+
+/** Brute-force reference: largest n satisfying every constraint. */
+int
+bruteForce(const GpuConfig &cfg, const CtaFootprint &fp)
+{
+    int best = 0;
+    for (int n = 1; n <= cfg.maxCtasPerSm; ++n) {
+        const long regs =
+            static_cast<long>(n) * fp.threads * fp.regsPerThread;
+        if (n * fp.threads <= cfg.maxThreadsPerSm &&
+            regs <= cfg.regsPerSm &&
+            n * fp.smemBytes <= cfg.smemPerSm) {
+            best = n;
+        }
+    }
+    return best;
+}
+
+struct OccCase
+{
+    int threads;
+    int regs;
+    int smem;
+};
+
+class OccupancyProperty : public ::testing::TestWithParam<OccCase>
+{
+};
+
+TEST_P(OccupancyProperty, MatchesBruteForce)
+{
+    const OccCase c = GetParam();
+    const CtaFootprint fp{c.threads, c.regs, c.smem};
+    EXPECT_EQ(maxActiveCtasPerSm(k40(), fp), bruteForce(k40(), fp))
+        << "threads=" << c.threads << " regs=" << c.regs
+        << " smem=" << c.smem;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OccupancyProperty,
+    ::testing::Values(OccCase{32, 16, 0}, OccCase{64, 32, 1024},
+                      OccCase{128, 64, 2048}, OccCase{192, 40, 4096},
+                      OccCase{256, 32, 3072}, OccCase{256, 48, 0},
+                      OccCase{512, 32, 8192}, OccCase{512, 64, 0},
+                      OccCase{1024, 24, 12288}, OccCase{2048, 32, 0},
+                      OccCase{96, 200, 0}, OccCase{64, 16, 49152}));
+
+TEST(Occupancy, RandomizedAgainstBruteForce)
+{
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        CtaFootprint fp;
+        fp.threads = static_cast<int>(rng.uniformInt(1, 64)) * 32;
+        fp.regsPerThread = static_cast<int>(rng.uniformInt(8, 255));
+        fp.smemBytes = static_cast<int>(rng.uniformInt(0, 48)) * 1024;
+        EXPECT_EQ(maxActiveCtasPerSm(k40(), fp),
+                  bruteForce(k40(), fp));
+    }
+}
+
+} // namespace
+} // namespace flep

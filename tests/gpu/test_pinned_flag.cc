@@ -1,0 +1,66 @@
+/** @file Tests for the pinned-memory preemption flag. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/pinned_flag.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(PinnedFlag, InitiallyZero)
+{
+    PinnedFlag flag(500);
+    EXPECT_EQ(flag.deviceRead(0), 0);
+    EXPECT_EQ(flag.hostValue(), 0);
+}
+
+TEST(PinnedFlag, WriteVisibleAfterDelay)
+{
+    PinnedFlag flag(500);
+    flag.hostWrite(1000, 15);
+    EXPECT_EQ(flag.deviceRead(1000), 0);
+    EXPECT_EQ(flag.deviceRead(1499), 0);
+    EXPECT_EQ(flag.deviceRead(1500), 15);
+    EXPECT_EQ(flag.deviceRead(999999), 15);
+}
+
+TEST(PinnedFlag, HostSeesOwnWriteImmediately)
+{
+    PinnedFlag flag(500);
+    flag.hostWrite(100, 7);
+    EXPECT_EQ(flag.hostValue(), 7);
+}
+
+TEST(PinnedFlag, ZeroDelayIsImmediate)
+{
+    PinnedFlag flag(0);
+    flag.hostWrite(100, 3);
+    EXPECT_EQ(flag.deviceRead(100), 3);
+}
+
+TEST(PinnedFlag, OverlappingWriteSupersedesPendingOne)
+{
+    // A store issued before the previous one became visible replaces
+    // it: the superseded value is never observed by the device.
+    PinnedFlag flag(500);
+    flag.hostWrite(1000, 15);
+    flag.hostWrite(1100, 0); // cleared before the first landed
+    EXPECT_EQ(flag.deviceRead(1200), 0); // neither landed: old value
+    EXPECT_EQ(flag.deviceRead(1700), 0); // the clear wins
+    EXPECT_EQ(flag.hostValue(), 0);
+}
+
+TEST(PinnedFlag, SequentialWritesObserveInOrder)
+{
+    PinnedFlag flag(100);
+    flag.hostWrite(0, 5);
+    EXPECT_EQ(flag.deviceRead(150), 5);
+    flag.hostWrite(200, 9);
+    EXPECT_EQ(flag.deviceRead(250), 5);
+    EXPECT_EQ(flag.deviceRead(300), 9);
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,175 @@
+/** @file Property tests: preemption never loses or duplicates work.
+ *
+ * The persistent-thread transformation's core safety property is that
+ * the global task counter survives preemption: however often a kernel
+ * is preempted and resumed, every task executes exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_device.hh"
+#include "sim/simulation.hh"
+
+namespace flep
+{
+namespace
+{
+
+KernelLaunchDesc
+persistentDesc(long tasks, double task_ns, int l)
+{
+    KernelLaunchDesc d;
+    d.name = "victim";
+    d.totalTasks = tasks;
+    d.footprint = CtaFootprint{256, 32, 0};
+    d.cost = TaskCostModel(task_ns, 0.1);
+    d.contentionBeta = 0.05;
+    d.mode = ExecMode::Persistent;
+    d.amortizeL = l;
+    return d;
+}
+
+/** Preempt/resume `cycles` times, then check completion invariants. */
+void
+runPreemptResumeCycles(int cycles, long tasks, double task_ns, int l,
+                       std::uint64_t seed)
+{
+    Simulation sim(seed);
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    GpuDevice gpu(sim, cfg);
+    auto exec = gpu.createExec(persistentDesc(tasks, task_ns, l));
+
+    int drains = 0;
+    exec->onDrained = [&](KernelExec &e, Tick now) {
+        ++drains;
+        // Resume 20us later.
+        sim.events().scheduleAfter(20000, [&, now]() {
+            (void)now;
+            e.setFlag(sim.now(), 0);
+            gpu.launch(exec, cfg.kernelLaunchNs);
+        });
+    };
+    gpu.launch(exec, cfg.kernelLaunchNs);
+
+    // Fire preemptions periodically until `cycles` achieved.
+    std::function<void()> preempter = [&]() {
+        if (exec->complete() || drains >= cycles)
+            return;
+        if (exec->activeCtas() > 0 && exec->flagHostValue() == 0)
+            exec->setFlag(sim.now(), cfg.numSms);
+        sim.events().scheduleAfter(100000, preempter);
+    };
+    sim.events().scheduleAfter(20000, preempter);
+
+    sim.run();
+
+    ASSERT_TRUE(exec->complete());
+    EXPECT_EQ(exec->tasksCompleted(), tasks);
+    EXPECT_EQ(exec->tasksUnclaimed(), 0);
+    EXPECT_EQ(exec->activeCtas(), 0);
+    EXPECT_GE(drains, 1) << "scenario never actually preempted";
+}
+
+TEST(PreemptionSafety, SinglePreemptResume)
+{
+    runPreemptResumeCycles(1, 20000, 1000.0, 20, 42);
+}
+
+TEST(PreemptionSafety, ManyPreemptResumeCycles)
+{
+    runPreemptResumeCycles(8, 60000, 500.0, 50, 43);
+}
+
+TEST(PreemptionSafety, HeavyTasksSmallL)
+{
+    runPreemptResumeCycles(3, 3000, 50000.0, 1, 44);
+}
+
+class PreemptionSweep
+    : public ::testing::TestWithParam<std::tuple<long, int>>
+{
+};
+
+TEST_P(PreemptionSweep, NoTaskLostOrDuplicated)
+{
+    const auto [tasks, l] = GetParam();
+    runPreemptResumeCycles(3, tasks, 800.0, l,
+                           static_cast<std::uint64_t>(tasks + l));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PreemptionSweep,
+    ::testing::Combine(::testing::Values(30000L, 80000L, 200000L),
+                       ::testing::Values(1, 10, 50, 100)));
+
+TEST(PreemptionSafety, SpatialYieldFreesExactlyRequestedSms)
+{
+    Simulation sim(7);
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    GpuDevice gpu(sim, cfg);
+    auto exec = gpu.createExec(persistentDesc(500000, 1000.0, 20));
+    gpu.launch(exec, 0);
+    sim.runUntil(200000);
+    ASSERT_EQ(gpu.residentCtas(), 120);
+
+    exec->setFlag(sim.now(), 4); // yield SMs 0..3
+    // Give the drain plenty of time (one chunk + slack).
+    sim.runUntil(sim.now() + 400000);
+    for (SmId s = 0; s < 4; ++s)
+        EXPECT_EQ(gpu.sm(s).residentCtas(), 0) << "sm " << s;
+    for (SmId s = 4; s < cfg.numSms; ++s)
+        EXPECT_EQ(gpu.sm(s).residentCtas(), 8) << "sm " << s;
+
+    // The rest of the kernel still completes on the remaining SMs.
+    sim.run();
+    EXPECT_TRUE(exec->complete());
+    EXPECT_EQ(exec->tasksCompleted(), 500000);
+}
+
+TEST(PreemptionSafety, TemporalFlagEqualsSpatialWithAllSms)
+{
+    // Paper: spatial preemption with spa_P >= numSms is temporal.
+    Simulation sim(9);
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    GpuDevice gpu(sim, cfg);
+    auto exec = gpu.createExec(persistentDesc(500000, 1000.0, 20));
+    bool drained = false;
+    exec->onDrained = [&](KernelExec &, Tick) { drained = true; };
+    gpu.launch(exec, 0);
+    sim.runUntil(200000);
+    exec->setFlag(sim.now(), cfg.numSms);
+    sim.runUntil(sim.now() + 500000);
+    EXPECT_TRUE(drained);
+    EXPECT_EQ(gpu.residentCtas(), 0);
+    EXPECT_FALSE(exec->complete());
+    EXPECT_GT(exec->tasksCompleted(), 0);
+    EXPECT_GT(exec->tasksUnclaimed(), 0);
+}
+
+TEST(PreemptionSafety, PreemptionLatencyBoundedByChunk)
+{
+    // After the flag lands, every CTA exits within one chunk plus one
+    // poll: latency <= L * (task * maxContention + atomic) + slack.
+    Simulation sim(21);
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    GpuDevice gpu(sim, cfg);
+    const int l = 50;
+    const double task_ns = 2000.0;
+    auto exec = gpu.createExec(persistentDesc(500000, task_ns, l));
+    Tick drain_tick = 0;
+    exec->onDrained = [&](KernelExec &, Tick now) { drain_tick = now; };
+    gpu.launch(exec, 0);
+    sim.runUntil(300000);
+    const Tick flag_at = sim.now();
+    exec->setFlag(flag_at, cfg.numSms);
+    sim.run();
+    ASSERT_GT(drain_tick, flag_at);
+    const double contention = 1.0 + 0.05 * 7;
+    const Tick bound = static_cast<Tick>(
+        2.0 * l * (task_ns * contention + cfg.atomicNs) +
+        10 * cfg.pinnedReadNs + cfg.pinnedWriteVisibleNs);
+    EXPECT_LE(drain_tick - flag_at, bound);
+}
+
+} // namespace
+} // namespace flep

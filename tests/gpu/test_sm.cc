@@ -1,0 +1,72 @@
+/** @file Tests for SM resource accounting. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/sm.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(Sm, AcquireReleaseRoundTrip)
+{
+    Sm sm(3, GpuConfig::keplerK40());
+    const CtaFootprint fp{256, 32, 1024};
+    EXPECT_TRUE(sm.idle());
+    sm.acquire(fp);
+    EXPECT_EQ(sm.residentCtas(), 1);
+    EXPECT_EQ(sm.usedThreads(), 256);
+    sm.release(fp);
+    EXPECT_TRUE(sm.idle());
+    EXPECT_EQ(sm.id(), 3);
+}
+
+TEST(Sm, FitsUpToOccupancyLimit)
+{
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    Sm sm(0, cfg);
+    const CtaFootprint fp{256, 32, 0};
+    const int limit = maxActiveCtasPerSm(cfg, fp);
+    for (int i = 0; i < limit; ++i) {
+        ASSERT_TRUE(sm.fits(fp)) << "iteration " << i;
+        sm.acquire(fp);
+    }
+    EXPECT_FALSE(sm.fits(fp));
+    EXPECT_EQ(sm.residentCtas(), limit);
+}
+
+TEST(Sm, MixedFootprintsShareResources)
+{
+    Sm sm(0, GpuConfig::keplerK40());
+    const CtaFootprint big{1024, 32, 16384};
+    const CtaFootprint small{256, 32, 1024};
+    sm.acquire(big); // 1024 threads, 32768 regs, 16 KiB smem
+    EXPECT_TRUE(sm.fits(small));
+    sm.acquire(small);
+    sm.acquire(small);
+    sm.acquire(small);
+    // threads: 1024 + 3*256 = 1792; one more small fits by threads
+    // (2048) and regs (57344+8192 = 65536 exactly).
+    EXPECT_TRUE(sm.fits(small));
+    sm.acquire(small);
+    EXPECT_FALSE(sm.fits(small)); // regs exhausted
+}
+
+TEST(SmDeath, OverAcquirePanics)
+{
+    Sm sm(0, GpuConfig::tiny());
+    const CtaFootprint fp{1024, 32, 0};
+    sm.acquire(fp);
+    EXPECT_DEATH(sm.acquire(fp), "without room");
+}
+
+TEST(SmDeath, OverReleasePanics)
+{
+    Sm sm(0, GpuConfig::keplerK40());
+    const CtaFootprint fp{256, 32, 0};
+    EXPECT_DEATH(sm.release(fp), "underflow");
+}
+
+} // namespace
+} // namespace flep

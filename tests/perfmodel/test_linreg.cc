@@ -1,0 +1,122 @@
+/** @file Tests for ridge regression and the dense solver. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "perfmodel/linreg.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(SolveDense, KnownSystem)
+{
+    // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+    const auto x = solveDense({{2, 1}, {1, -1}}, {5, 1});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveDense, NeedsPivoting)
+{
+    // Leading zero forces a row swap.
+    const auto x = solveDense({{0, 1}, {1, 0}}, {3, 7});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveDense, SingularThrows)
+{
+    EXPECT_THROW(solveDense({{1, 2}, {2, 4}}, {1, 2}), FatalError);
+}
+
+TEST(RidgeFit, RecoversPlantedLinearModel)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 400; ++i) {
+        const double a = rng.uniform(0, 100);
+        const double b = rng.uniform(-50, 50);
+        const double c = rng.uniform(0, 10);
+        x.push_back({a, b, c});
+        y.push_back(3.0 * a - 2.0 * b + 0.5 * c + 7.0);
+    }
+    const RidgeModel model = ridgeFit(x, y, 1e-6);
+    for (int i = 0; i < 50; ++i) {
+        const double a = rng.uniform(0, 100);
+        const double b = rng.uniform(-50, 50);
+        const double c = rng.uniform(0, 10);
+        const double expect = 3.0 * a - 2.0 * b + 0.5 * c + 7.0;
+        EXPECT_NEAR(model.predict({a, b, c}), expect,
+                    1e-6 * std::abs(expect) + 1e-6);
+    }
+}
+
+TEST(RidgeFit, ToleratesNoise)
+{
+    Rng rng(6);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 1000; ++i) {
+        const double a = rng.uniform(1, 100);
+        x.push_back({a});
+        y.push_back(10.0 * a * (1.0 + rng.normal(0.0, 0.05)));
+    }
+    const RidgeModel model = ridgeFit(x, y, 1.0);
+    EXPECT_NEAR(model.predict({50.0}), 500.0, 15.0);
+    const double err = meanAbsolutePercentError(model, x, y);
+    EXPECT_LT(err, 8.0); // ~0.8 * cv * 100
+    EXPECT_GT(err, 1.0);
+}
+
+TEST(RidgeFit, ConstantFeatureIsHarmless)
+{
+    // A feature with zero variance (e.g. fixed smem) must not break
+    // the fit or shift predictions.
+    Rng rng(7);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 100; ++i) {
+        const double a = rng.uniform(1, 100);
+        x.push_back({a, 4096.0});
+        y.push_back(2.0 * a + 5.0);
+    }
+    const RidgeModel model = ridgeFit(x, y, 1e-6);
+    EXPECT_NEAR(model.predict({30.0, 4096.0}), 65.0, 1e-6);
+}
+
+TEST(RidgeFit, PenaltyShrinksCoefficients)
+{
+    Rng rng(8);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 100; ++i) {
+        const double a = rng.uniform(-1, 1);
+        x.push_back({a});
+        y.push_back(10.0 * a);
+    }
+    const RidgeModel loose = ridgeFit(x, y, 1e-9);
+    const RidgeModel tight = ridgeFit(x, y, 1e6);
+    EXPECT_GT(std::abs(loose.coefficients()[0]),
+              std::abs(tight.coefficients()[0]) * 100);
+}
+
+TEST(RidgeFit, PredictBeforeFitDies)
+{
+    RidgeModel model;
+    EXPECT_FALSE(model.fitted());
+    EXPECT_DEATH(model.predict({1.0}), "unfitted");
+}
+
+TEST(RidgeFitDeath, RaggedRowsRejected)
+{
+    EXPECT_DEATH(ridgeFit({{1.0, 2.0}, {1.0}}, {1.0, 2.0}, 0.1),
+                 "ragged");
+}
+
+} // namespace
+} // namespace flep

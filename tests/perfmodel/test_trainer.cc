@@ -1,0 +1,118 @@
+/** @file Tests for duration-model training and overhead profiling. */
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/features.hh"
+#include "perfmodel/overhead_profiler.hh"
+#include "perfmodel/trainer.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(Features, ExtractedFromInput)
+{
+    BenchmarkSuite suite;
+    const auto in = suite.byName("MM").input(InputClass::Large);
+    const auto f = extractFeatures(in);
+    EXPECT_EQ(f.gridSize, static_cast<double>(in.totalTasks));
+    EXPECT_EQ(f.ctaSize, 256.0);
+    EXPECT_EQ(f.smemBytes, 4096.0);
+    EXPECT_EQ(f.inputSize, in.inputSize);
+    EXPECT_EQ(f.toRow().size(), 4u);
+}
+
+TEST(Trainer, PredictableKernelHasLowError)
+{
+    BenchmarkSuite suite;
+    TrainerConfig tcfg;
+    tcfg.trainInputs = 60;
+    const ModelTrainer trainer(GpuConfig::keplerK40(), tcfg);
+    const auto model = trainer.train(suite.byName("VA"));
+    const double err = trainer.testError(suite.byName("VA"), model, 20);
+    EXPECT_LT(err, 8.0); // VA is nearly perfectly predictable
+}
+
+TEST(Trainer, IrregularKernelHasHigherError)
+{
+    BenchmarkSuite suite;
+    TrainerConfig tcfg;
+    tcfg.trainInputs = 60;
+    const ModelTrainer trainer(GpuConfig::keplerK40(), tcfg);
+    const auto va = trainer.train(suite.byName("VA"));
+    const auto spmv = trainer.train(suite.byName("SPMV"));
+    const double va_err =
+        trainer.testError(suite.byName("VA"), va, 20);
+    const double spmv_err =
+        trainer.testError(suite.byName("SPMV"), spmv, 20);
+    // SPMV's hidden input sensitivity makes it harder to predict.
+    EXPECT_GT(spmv_err, va_err);
+    EXPECT_LT(spmv_err, 35.0);
+}
+
+TEST(Trainer, PredictionScalesWithInputSize)
+{
+    BenchmarkSuite suite;
+    TrainerConfig tcfg;
+    tcfg.trainInputs = 60;
+    const ModelTrainer trainer(GpuConfig::keplerK40(), tcfg);
+    const Workload &w = suite.byName("NN");
+    const auto model = trainer.train(w);
+    const double large = model.predictNs(w.input(InputClass::Large));
+    const double small = model.predictNs(w.input(InputClass::Small));
+    EXPECT_GT(large, small * 5.0);
+    // Large prediction within 25% of the Table 1 value.
+    EXPECT_NEAR(large / 1000.0, 15775.0, 15775.0 * 0.25);
+}
+
+TEST(Trainer, PredictionClampedPositive)
+{
+    // A model fitted on negative targets would extrapolate below
+    // zero; predictNs() clamps to one microsecond.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 1; i <= 10; ++i) {
+        x.push_back({i * 100.0, 256.0, i * 25600.0, 0.0});
+        y.push_back(-1000.0 * i);
+    }
+    const KernelModel model("x", ridgeFit(x, y, 0.01));
+    InputSpec in;
+    in.totalTasks = 1000;
+    in.footprint = CtaFootprint{256, 32, 0};
+    in.inputSize = 256000;
+    EXPECT_GE(model.predictNs(in), 1000.0);
+}
+
+TEST(OverheadProfiler, PositiveAndKernelDependent)
+{
+    BenchmarkSuite suite;
+    ProfilerConfig pcfg;
+    pcfg.runs = 8;
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    const Tick nn =
+        profilePreemptionOverhead(cfg, suite.byName("NN"), pcfg);
+    const Tick mm =
+        profilePreemptionOverhead(cfg, suite.byName("MM"), pcfg);
+    EXPECT_GT(nn, 0u);
+    EXPECT_GT(mm, 0u);
+    // All overheads are well below one millisecond on this model.
+    EXPECT_LT(nn, 1000u * 1000u);
+    EXPECT_NE(nn, mm);
+}
+
+TEST(OverheadProfiler, SuiteCoversAllKernels)
+{
+    BenchmarkSuite suite;
+    ProfilerConfig pcfg;
+    pcfg.runs = 3;
+    const auto table =
+        profileSuite(GpuConfig::keplerK40(), suite, pcfg);
+    EXPECT_EQ(table.size(), 8u);
+    for (const auto &name : suite.names())
+        EXPECT_TRUE(table.count(name)) << name;
+}
+
+} // namespace
+} // namespace flep

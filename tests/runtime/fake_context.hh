@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A fake RuntimeContext for unit-testing scheduling policies without
+ * a GPU device or host processes.
+ */
+
+#ifndef FLEP_TESTS_RUNTIME_FAKE_CONTEXT_HH
+#define FLEP_TESTS_RUNTIME_FAKE_CONTEXT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/policy.hh"
+
+namespace flep::testing
+{
+
+/** Records every decision a policy makes. */
+class FakeContext : public RuntimeContext
+{
+  public:
+    Tick currentTick = 0;
+    GpuConfig cfg = GpuConfig::keplerK40();
+    KernelRecord *runningRec = nullptr;
+    KernelRecord *guestRec = nullptr;
+    WaitQueueSet queueSet;
+    Tick overhead = 100 * 1000;
+    std::vector<std::string> log;
+    Tick timerDelay = 0;
+    bool timerArmed = false;
+
+    Tick now() const override { return currentTick; }
+    const GpuConfig &gpuConfig() const override { return cfg; }
+    KernelRecord *running() override { return runningRec; }
+    KernelRecord *guest() override { return guestRec; }
+    WaitQueueSet &queues() override { return queueSet; }
+
+    Tick
+    overheadOf(const std::string &kernel) const override
+    {
+        (void)kernel;
+        return overhead;
+    }
+
+    void
+    grant(KernelRecord &rec) override
+    {
+        log.push_back("grant:" + rec.kernel());
+        rec.touch(currentTick, KernelRecord::State::Running);
+        runningRec = &rec;
+    }
+
+    void
+    grantSpatial(KernelRecord &incoming, KernelRecord &victim,
+                 int sm_count) override
+    {
+        log.push_back("spatial:" + incoming.kernel() + ":over:" +
+                      victim.kernel() + ":" +
+                      std::to_string(sm_count));
+        incoming.touch(currentTick, KernelRecord::State::Guest);
+        guestRec = &incoming;
+    }
+
+    void
+    preempt(KernelRecord &victim) override
+    {
+        log.push_back("preempt:" + victim.kernel());
+        victim.touch(currentTick, KernelRecord::State::Draining);
+        if (runningRec == &victim)
+            runningRec = nullptr;
+    }
+
+    void
+    armTimer(Tick delay) override
+    {
+        timerDelay = delay;
+        timerArmed = true;
+    }
+
+    void cancelTimer() override { timerArmed = false; }
+
+    /** Simulate the drain completing for a preempted record. */
+    void
+    completeDrain(SchedulingPolicy &policy, KernelRecord &rec)
+    {
+        rec.touch(currentTick, KernelRecord::State::Waiting);
+        rec.countPreemption();
+        policy.onPreempted(*this, rec);
+    }
+
+    /** Simulate a running/guest record finishing. */
+    void
+    finish(SchedulingPolicy &policy, KernelRecord &rec)
+    {
+        rec.touch(currentTick, KernelRecord::State::Finished);
+        if (runningRec == &rec)
+            runningRec = nullptr;
+        if (guestRec == &rec)
+            guestRec = nullptr;
+        queueSet.remove(rec);
+        policy.onFinish(*this, rec);
+    }
+};
+
+/** Build a test record with no backing host process. */
+inline std::unique_ptr<KernelRecord>
+makeRecord(ProcessId pid, const std::string &kernel, Priority prio,
+           Tick te, Tick now = 0)
+{
+    return std::make_unique<KernelRecord>(nullptr, pid, kernel, prio,
+                                          te, now);
+}
+
+} // namespace flep::testing
+
+#endif // FLEP_TESTS_RUNTIME_FAKE_CONTEXT_HH

@@ -1,0 +1,85 @@
+/** @file Tests for offline amortizing-factor tuning (§4.1). */
+
+#include <gtest/gtest.h>
+
+#include "runtime/amortizing_tuner.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(AmortizingTuner, OverheadDecreasesWithL)
+{
+    BenchmarkSuite suite;
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    const Workload &nn = suite.byName("NN");
+    const double at1 = transformationOverhead(cfg, nn, 1, 2, 9);
+    const double at100 = transformationOverhead(cfg, nn, 100, 2, 9);
+    EXPECT_GT(at1, at100);
+    EXPECT_GT(at1, 0.5); // polling every 1us task is very costly
+    EXPECT_LT(at100, 0.05);
+}
+
+/**
+ * The tuner must reproduce the *shape* of Table 1's amortizing
+ * factors: heavy-task kernels (CFD, MD) need no amortization, the
+ * medium-task kernels (SPMV, MM) very little, while cheap-task
+ * kernels (NN, PF, PL, VA) need a large L to hide the pinned-memory
+ * poll. Exact values depend on the host-device latency profile, so
+ * the test constrains ranges rather than single numbers (the paper's
+ * own values come from K40 hardware).
+ */
+struct TunerCase
+{
+    const char *name;
+    int minL;
+    int maxL;
+};
+
+class TunerMatchesPaper : public ::testing::TestWithParam<TunerCase>
+{
+};
+
+TEST_P(TunerMatchesPaper, TunedLInPaperShapeRange)
+{
+    BenchmarkSuite suite;
+    TunerConfig tcfg;
+    tcfg.reps = 2;
+    const auto tuned = tuneAmortizingFactor(
+        GpuConfig::keplerK40(), suite.byName(GetParam().name), tcfg);
+    EXPECT_TRUE(tuned.satisfied) << GetParam().name;
+    EXPECT_GE(tuned.amortizeL, GetParam().minL) << GetParam().name;
+    EXPECT_LE(tuned.amortizeL, GetParam().maxL) << GetParam().name;
+    EXPECT_LT(tuned.overhead, tcfg.threshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TunerMatchesPaper,
+    ::testing::Values(TunerCase{"CFD", 1, 1}, TunerCase{"NN", 20, 200},
+                      TunerCase{"PF", 20, 300},
+                      TunerCase{"PL", 20, 300},
+                      TunerCase{"MD", 1, 1}, TunerCase{"SPMV", 1, 5},
+                      TunerCase{"MM", 1, 5},
+                      TunerCase{"VA", 20, 300}));
+
+TEST(AmortizingTuner, ThresholdControlsChoice)
+{
+    // A looser threshold admits a smaller (more responsive) L.
+    BenchmarkSuite suite;
+    TunerConfig strict;
+    strict.threshold = 0.04;
+    strict.reps = 2;
+    TunerConfig loose;
+    loose.threshold = 0.50;
+    loose.reps = 2;
+    const auto a = tuneAmortizingFactor(GpuConfig::keplerK40(),
+                                        suite.byName("VA"), strict);
+    const auto b = tuneAmortizingFactor(GpuConfig::keplerK40(),
+                                        suite.byName("VA"), loose);
+    EXPECT_LT(b.amortizeL, a.amortizeL);
+}
+
+} // namespace
+} // namespace flep

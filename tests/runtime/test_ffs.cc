@@ -1,0 +1,177 @@
+/** @file Unit tests for the FFS weighted round-robin policy. */
+
+#include <gtest/gtest.h>
+
+#include "fake_context.hh"
+#include "runtime/ffs.hh"
+
+namespace flep
+{
+namespace
+{
+
+using testing::FakeContext;
+using testing::makeRecord;
+
+TEST(Ffs, WeightFloorsAtOne)
+{
+    EXPECT_EQ(FfsPolicy::weightOf(0), 1u);
+    EXPECT_EQ(FfsPolicy::weightOf(-3), 1u);
+    EXPECT_EQ(FfsPolicy::weightOf(2), 2u);
+}
+
+TEST(Ffs, EpochBaseSatisfiesConstraint)
+{
+    // sum(O) / (T * sum(W)) <= max_overhead with O = 100us each,
+    // weights 2 and 1: T >= 200us / (0.1 * 3) = 666.7us.
+    FakeContext ctx;
+    ctx.overhead = 100000;
+    FfsPolicy::Config cfg;
+    cfg.maxOverhead = 0.10;
+    cfg.minEpochNs = 1;
+    FfsPolicy ffs(cfg);
+    auto a = makeRecord(0, "A", 2, 1000000);
+    auto b = makeRecord(1, "B", 1, 1000000);
+    ffs.onArrival(ctx, *a);
+    ffs.onArrival(ctx, *b);
+    const Tick t = ffs.epochBase(ctx);
+    EXPECT_GE(t, 666666u);
+    EXPECT_LE(t, 666668u);
+    const double lhs = 200000.0 / (static_cast<double>(t) * 3.0);
+    EXPECT_LE(lhs, 0.10 + 1e-9);
+}
+
+TEST(Ffs, FirstArrivalGrantsWithoutTimer)
+{
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a = makeRecord(0, "A", 1, 1000);
+    ffs.onArrival(ctx, *a);
+    EXPECT_EQ(ctx.log.back(), "grant:A");
+    EXPECT_FALSE(ctx.timerArmed); // alone: no boundary needed
+}
+
+TEST(Ffs, SecondProcessArmsBoundaryTimer)
+{
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a = makeRecord(0, "A", 2, 1000000);
+    auto b = makeRecord(1, "B", 1, 1000000);
+    ffs.onArrival(ctx, *a);
+    ffs.onArrival(ctx, *b);
+    EXPECT_TRUE(ctx.timerArmed);
+    EXPECT_EQ(ctx.runningRec, a.get());
+}
+
+TEST(Ffs, SlotExpiryPreemptsRunningKernel)
+{
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a = makeRecord(0, "A", 1, 100000000);
+    auto b = makeRecord(1, "B", 1, 100000000);
+    ffs.onArrival(ctx, *a);
+    ffs.onArrival(ctx, *b);
+    ctx.currentTick = ctx.timerDelay + 1;
+    ffs.onTimer(ctx);
+    EXPECT_EQ(ctx.log.back(), "preempt:A");
+    // Drain completes -> B takes over.
+    ctx.completeDrain(ffs, *a);
+    EXPECT_EQ(ctx.log.back(), "grant:B");
+    // A resumes when its slot comes around again.
+    ctx.currentTick += ctx.timerDelay + 1;
+    ffs.onTimer(ctx);
+    ctx.completeDrain(ffs, *b);
+    EXPECT_EQ(ctx.log.back(), "grant:A");
+}
+
+TEST(Ffs, SameProcessKernelsShareOneSlot)
+{
+    // Back-to-back kernels of the slot owner run without rotation.
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a1 = makeRecord(0, "A1", 2, 1000);
+    auto b1 = makeRecord(1, "B1", 1, 1000);
+    ffs.onArrival(ctx, *a1);
+    ffs.onArrival(ctx, *b1);
+    // A1 finishes quickly, well inside process 0's slot.
+    ctx.currentTick = 1000;
+    ctx.finish(ffs, *a1);
+    auto a2 = makeRecord(0, "A2", 2, 1000);
+    ffs.onArrival(ctx, *a2);
+    EXPECT_EQ(ctx.log.back(), "grant:A2");
+}
+
+TEST(Ffs, RotationAtExpiredSlotOnFinish)
+{
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a = makeRecord(0, "A", 1, 1000);
+    auto b = makeRecord(1, "B", 1, 1000);
+    ffs.onArrival(ctx, *a);
+    ffs.onArrival(ctx, *b);
+    // A finishes after its slot expired: B must get the GPU.
+    ctx.currentTick = ctx.timerDelay + 5000;
+    ctx.finish(ffs, *a);
+    EXPECT_EQ(ctx.log.back(), "grant:B");
+}
+
+TEST(Ffs, LoneProcessExtendsWithoutPreemption)
+{
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a = makeRecord(0, "A", 1, 100000000);
+    ffs.onArrival(ctx, *a);
+    EXPECT_FALSE(ctx.timerArmed);
+    // Even a manual timer tick must not preempt a lone kernel.
+    ctx.currentTick = 100000000;
+    ffs.onTimer(ctx);
+    for (const auto &entry : ctx.log)
+        EXPECT_EQ(entry.find("preempt"), std::string::npos);
+}
+
+TEST(Ffs, PreemptedKernelResumesAtFrontOfItsSlot)
+{
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a1 = makeRecord(0, "A1", 1, 100000000);
+    auto b1 = makeRecord(1, "B1", 1, 100000000);
+    ffs.onArrival(ctx, *a1);
+    ffs.onArrival(ctx, *b1);
+    // Expire A's slot; A1 drains; B runs.
+    ctx.currentTick = ctx.timerDelay + 1;
+    ffs.onTimer(ctx);
+    ctx.completeDrain(ffs, *a1);
+    ASSERT_EQ(ctx.log.back(), "grant:B1");
+    // Meanwhile another kernel of process 0 arrives; when the round
+    // returns to process 0, the *preempted* kernel resumes first.
+    auto a2 = makeRecord(0, "A2", 1, 1000);
+    ffs.onArrival(ctx, *a2);
+    ctx.currentTick += ctx.timerDelay + 1;
+    ffs.onTimer(ctx);
+    ctx.completeDrain(ffs, *b1);
+    EXPECT_EQ(ctx.log.back(), "grant:A1");
+}
+
+TEST(Ffs, HigherWeightGetsLongerSlot)
+{
+    FakeContext ctx;
+    ctx.overhead = 90000;
+    FfsPolicy ffs;
+    auto a = makeRecord(0, "A", 2, 100000000);
+    auto b = makeRecord(1, "B", 1, 100000000);
+    ffs.onArrival(ctx, *a); // slot for A: T * 2
+    const Tick base = ffs.epochBase(ctx);
+    ffs.onArrival(ctx, *b);
+    // Timer armed for the remainder of A's 2-weight slot.
+    EXPECT_LE(ctx.timerDelay, 2 * ffs.epochBase(ctx));
+    // Rotate to B: slot length T * 1.
+    ctx.currentTick = 2 * base + 1;
+    ffs.onTimer(ctx);
+    ctx.completeDrain(ffs, *a);
+    EXPECT_EQ(ctx.log.back(), "grant:B");
+    EXPECT_TRUE(ctx.timerArmed);
+    EXPECT_LE(ctx.timerDelay, ffs.epochBase(ctx) + 1);
+}
+
+} // namespace
+} // namespace flep

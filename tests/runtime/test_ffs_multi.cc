@@ -1,0 +1,84 @@
+/** @file Three-kernel FFS co-runs — the paper elides these results
+ *  (§6.3.3) because "they are similar to those of the two-kernel
+ *  co-runs"; here we verify exactly that similarity. */
+
+#include <gtest/gtest.h>
+
+#include "flep/experiment.hh"
+
+namespace flep
+{
+namespace
+{
+
+class FfsMulti : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 20, 6));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+    }
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *FfsMulti::suite_ = nullptr;
+OfflineArtifacts *FfsMulti::artifacts_ = nullptr;
+
+TEST_F(FfsMulti, ThreeProcessSharesFollowWeights)
+{
+    // Weights 3:2:1 over three infinite loops.
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepFfs;
+    cfg.kernels = {{"NN", InputClass::Small, 3, 10000, -1},
+                   {"PF", InputClass::Small, 2, 10000, -1},
+                   {"PL", InputClass::Small, 1, 10000, -1}};
+    cfg.horizonNs = 200 * ticksPerMs;
+    cfg.shareWindowNs = 20 * ticksPerMs;
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    EXPECT_NEAR(res.overallShare.at(0), 3.0 / 6.0, 0.08);
+    EXPECT_NEAR(res.overallShare.at(1), 2.0 / 6.0, 0.08);
+    EXPECT_NEAR(res.overallShare.at(2), 1.0 / 6.0, 0.08);
+}
+
+TEST_F(FfsMulti, EveryProcessMakesProgress)
+{
+    // No starvation even with a weight-8 heavyweight present.
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepFfs;
+    cfg.kernels = {{"VA", InputClass::Small, 8, 10000, -1},
+                   {"MM", InputClass::Small, 1, 10000, -1},
+                   {"SPMV", InputClass::Small, 1, 10000, -1}};
+    cfg.horizonNs = 150 * ticksPerMs;
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    EXPECT_GT(res.completedOf(0), 20u);
+    EXPECT_GE(res.completedOf(1), 2u);
+    EXPECT_GE(res.completedOf(2), 2u);
+}
+
+TEST_F(FfsMulti, EqualWeightsEqualShares)
+{
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepFfs;
+    cfg.kernels = {{"NN", InputClass::Small, 1, 10000, -1},
+                   {"VA", InputClass::Small, 1, 10000, -1},
+                   {"MD", InputClass::Small, 1, 10000, -1}};
+    cfg.horizonNs = 200 * ticksPerMs;
+    cfg.shareWindowNs = 20 * ticksPerMs;
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    for (ProcessId pid = 0; pid < 3; ++pid)
+        EXPECT_NEAR(res.overallShare.at(pid), 1.0 / 3.0, 0.09)
+            << "process " << pid;
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,160 @@
+/** @file Tests for the host-process state machine (Figure 5). */
+
+#include <gtest/gtest.h>
+
+#include "baselines/mps_baseline.hh"
+#include "gpu/gpu_device.hh"
+#include "runtime/host_process.hh"
+#include "runtime/hpf.hh"
+#include "runtime/runtime.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+namespace
+{
+
+struct Harness
+{
+    Simulation sim{1};
+    GpuConfig cfg = GpuConfig::keplerK40();
+    GpuDevice gpu{sim, cfg};
+    BenchmarkSuite suite;
+
+    HostProcess::ScriptEntry
+    entry(const std::string &name, InputClass input, Priority prio,
+          Tick delay = 0, int repeats = 1)
+    {
+        const Workload &w = suite.byName(name);
+        HostProcess::ScriptEntry e;
+        e.workload = &w;
+        e.input = w.input(input);
+        e.priority = prio;
+        e.delayBefore = delay;
+        e.repeats = repeats;
+        e.amortizeL = w.paperAmortizeL();
+        return e;
+    }
+};
+
+TEST(HostProcess, MpsDirectLaunchCompletesScript)
+{
+    Harness h;
+    MpsDispatcher mps;
+    HostProcess host(h.sim, h.gpu, mps, 0,
+                     {h.entry("MM", InputClass::Trivial, 0)});
+    EXPECT_EQ(host.state(), HostProcess::State::CpuCode);
+    host.start();
+    h.sim.run();
+    EXPECT_EQ(host.state(), HostProcess::State::Done);
+    ASSERT_EQ(host.results().size(), 1u);
+    const auto &res = host.results()[0];
+    EXPECT_EQ(res.kernel, "MM");
+    EXPECT_EQ(res.preemptions, 0);
+    EXPECT_GT(res.turnaroundNs(), 0u);
+}
+
+TEST(HostProcess, RepeatsRunTheEntryAgain)
+{
+    Harness h;
+    MpsDispatcher mps;
+    HostProcess host(h.sim, h.gpu, mps, 0,
+                     {h.entry("VA", InputClass::Trivial, 0, 1000, 3)});
+    host.start();
+    h.sim.run();
+    EXPECT_EQ(host.results().size(), 3u);
+    // Invocations are serialized: finishes strictly increase.
+    EXPECT_LT(host.results()[0].finishTick,
+              host.results()[1].finishTick);
+    EXPECT_LT(host.results()[1].finishTick,
+              host.results()[2].finishTick);
+}
+
+TEST(HostProcess, MultiEntryScriptRunsInOrder)
+{
+    Harness h;
+    MpsDispatcher mps;
+    HostProcess host(h.sim, h.gpu, mps, 0,
+                     {h.entry("MM", InputClass::Trivial, 0),
+                      h.entry("VA", InputClass::Trivial, 0, 500)});
+    host.start();
+    h.sim.run();
+    ASSERT_EQ(host.results().size(), 2u);
+    EXPECT_EQ(host.results()[0].kernel, "MM");
+    EXPECT_EQ(host.results()[1].kernel, "VA");
+}
+
+TEST(HostProcess, OnResultHookFires)
+{
+    Harness h;
+    MpsDispatcher mps;
+    HostProcess host(h.sim, h.gpu, mps, 0,
+                     {h.entry("SPMV", InputClass::Trivial, 0)});
+    int hooks = 0;
+    host.onResult = [&](const InvocationResult &r) {
+        ++hooks;
+        EXPECT_EQ(r.kernel, "SPMV");
+    };
+    host.start();
+    h.sim.run();
+    EXPECT_EQ(hooks, 1);
+}
+
+TEST(HostProcess, RequestStopEndsInfiniteScript)
+{
+    Harness h;
+    MpsDispatcher mps;
+    HostProcess host(h.sim, h.gpu, mps, 0,
+                     {h.entry("VA", InputClass::Trivial, 0, 100, -1)});
+    host.start();
+    h.sim.events().schedule(400000,
+                            [&]() { host.requestStop(); });
+    h.sim.run(); // would never terminate without the stop
+    EXPECT_EQ(host.state(), HostProcess::State::Done);
+    EXPECT_GE(host.results().size(), 2u);
+}
+
+TEST(HostProcess, FlepFlowReportsDrainAndResumes)
+{
+    // Under the FLEP runtime, a preempted invocation reports its
+    // preemption count in the result.
+    Harness h;
+    FlepRuntimeConfig rcfg; // no models: fallback predictions
+    FlepRuntime runtime(h.sim, h.gpu, std::make_unique<HpfPolicy>(),
+                        std::move(rcfg));
+    HostProcess low(h.sim, h.gpu, runtime, 0,
+                    {h.entry("NN", InputClass::Large, 0)});
+    HostProcess high(h.sim, h.gpu, runtime, 1,
+                     {h.entry("MM", InputClass::Small, 5, 500000)});
+    low.start();
+    high.start();
+    h.sim.run();
+    ASSERT_EQ(low.results().size(), 1u);
+    ASSERT_EQ(high.results().size(), 1u);
+    EXPECT_GE(low.results()[0].preemptions, 1);
+    EXPECT_EQ(high.results()[0].preemptions, 0);
+    // The high-priority kernel finished long before the preempted one.
+    EXPECT_LT(high.results()[0].finishTick,
+              low.results()[0].finishTick);
+    EXPECT_EQ(runtime.trackedCount(), 0u);
+}
+
+TEST(HostProcessDeath, EmptyScriptRejected)
+{
+    Harness h;
+    MpsDispatcher mps;
+    EXPECT_DEATH(HostProcess(h.sim, h.gpu, mps, 0, {}), "script");
+}
+
+TEST(HostProcess, InvocationAccessorGuarded)
+{
+    Harness h;
+    MpsDispatcher mps;
+    HostProcess host(h.sim, h.gpu, mps, 0,
+                     {h.entry("MM", InputClass::Trivial, 0)});
+    EXPECT_FALSE(host.hasInvocation());
+    EXPECT_DEATH(host.invocation(), "no invocation");
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,205 @@
+/** @file Unit tests for the HPF policy (Figure 6 algorithm). */
+
+#include <gtest/gtest.h>
+
+#include "fake_context.hh"
+#include "runtime/hpf.hh"
+
+namespace flep
+{
+namespace
+{
+
+using testing::FakeContext;
+using testing::makeRecord;
+
+TEST(Hpf, IdleGpuGrantsImmediately)
+{
+    FakeContext ctx;
+    HpfPolicy hpf;
+    auto k = makeRecord(0, "K", 1, 1000);
+    hpf.onArrival(ctx, *k);
+    ASSERT_EQ(ctx.log.size(), 1u);
+    EXPECT_EQ(ctx.log[0], "grant:K");
+    EXPECT_EQ(ctx.runningRec, k.get());
+    EXPECT_TRUE(ctx.queueSet.empty());
+}
+
+TEST(Hpf, HigherPriorityPreemptsImmediately)
+{
+    FakeContext ctx;
+    HpfPolicy hpf;
+    auto low = makeRecord(0, "LOW", 1, 100000);
+    auto high = makeRecord(1, "HIGH", 5, 1000);
+    hpf.onArrival(ctx, *low);
+    ctx.currentTick = 500;
+    hpf.onArrival(ctx, *high);
+    ASSERT_EQ(ctx.log.size(), 3u);
+    EXPECT_EQ(ctx.log[1], "preempt:LOW");
+    EXPECT_EQ(ctx.log[2], "grant:HIGH");
+}
+
+TEST(Hpf, LowerPriorityWaits)
+{
+    FakeContext ctx;
+    HpfPolicy hpf;
+    auto high = makeRecord(0, "HIGH", 5, 100000);
+    auto low = makeRecord(1, "LOW", 1, 1000);
+    hpf.onArrival(ctx, *high);
+    hpf.onArrival(ctx, *low);
+    EXPECT_EQ(ctx.log.size(), 1u); // only the first grant
+    EXPECT_EQ(ctx.queueSet.sizeAt(1), 1u);
+}
+
+TEST(Hpf, EqualPrioritySrtPreemptsLongRemaining)
+{
+    FakeContext ctx;
+    ctx.overhead = 100000;
+    HpfPolicy hpf;
+    auto long_k = makeRecord(0, "LONG", 1, 10000000);
+    auto short_k = makeRecord(1, "SHORT", 1, 500000);
+    hpf.onArrival(ctx, *long_k);
+    ctx.currentTick = 1000000; // LONG has 9ms remaining
+    hpf.onArrival(ctx, *short_k);
+    // 9ms > 0.5ms + 0.1ms overhead: preempt.
+    ASSERT_EQ(ctx.log.size(), 3u);
+    EXPECT_EQ(ctx.log[1], "preempt:LONG");
+    EXPECT_EQ(ctx.log[2], "grant:SHORT");
+}
+
+TEST(Hpf, EqualPriorityKeepsRunningWhenPreemptionDoesNotPay)
+{
+    FakeContext ctx;
+    ctx.overhead = 100000;
+    HpfPolicy hpf;
+    auto running = makeRecord(0, "RUN", 1, 1000000);
+    auto arriving = makeRecord(1, "NEW", 1, 950000);
+    hpf.onArrival(ctx, *running);
+    ctx.currentTick = 0;
+    // RUN remaining 1.0ms vs NEW 0.95ms + 0.1ms overhead = 1.05ms:
+    // not worth preempting.
+    hpf.onArrival(ctx, *arriving);
+    EXPECT_EQ(ctx.log.size(), 1u);
+    EXPECT_EQ(ctx.queueSet.sizeAt(1), 1u);
+}
+
+TEST(Hpf, FinishSchedulesShortestWaiting)
+{
+    FakeContext ctx;
+    HpfPolicy hpf;
+    auto run = makeRecord(0, "RUN", 1, 1000000);
+    auto w1 = makeRecord(1, "W1", 1, 900000);
+    auto w2 = makeRecord(2, "W2", 1, 200000);
+    hpf.onArrival(ctx, *run);
+    // Late arrivals: RUN has little remaining, so neither preempts.
+    ctx.currentTick = 900000;
+    hpf.onArrival(ctx, *w1);
+    hpf.onArrival(ctx, *w2);
+    EXPECT_EQ(ctx.queueSet.sizeAt(1), 2u);
+    ctx.currentTick = 1000000;
+    ctx.finish(hpf, *run);
+    // Shortest remaining (W2) goes first.
+    EXPECT_EQ(ctx.log.back(), "grant:W2");
+}
+
+TEST(Hpf, FinishPrefersHighestPriorityQueue)
+{
+    FakeContext ctx;
+    HpfPolicy hpf;
+    auto run = makeRecord(0, "RUN", 9, 1000);
+    auto lo = makeRecord(1, "LO", 1, 10);
+    auto hi = makeRecord(2, "HI", 5, 999999);
+    hpf.onArrival(ctx, *run);
+    hpf.onArrival(ctx, *lo);
+    hpf.onArrival(ctx, *hi);
+    ctx.currentTick = 2000;
+    ctx.finish(hpf, *run);
+    // Priority beats remaining time across queues.
+    EXPECT_EQ(ctx.log.back(), "grant:HI");
+}
+
+TEST(Hpf, PreemptedKernelReenqueuedWithUpdatedTr)
+{
+    FakeContext ctx;
+    HpfPolicy hpf;
+    auto victim = makeRecord(0, "VIC", 1, 10000000);
+    auto high = makeRecord(1, "HIGH", 5, 1000000);
+    hpf.onArrival(ctx, *victim);
+    ctx.currentTick = 4000000;
+    hpf.onArrival(ctx, *high); // preempts victim
+    ctx.currentTick = 4200000;
+    ctx.completeDrain(hpf, *victim);
+    EXPECT_EQ(ctx.queueSet.sizeAt(1), 1u);
+    // Ran 4.2ms of 10ms: remaining 5.8ms.
+    EXPECT_EQ(victim->tr(), 5800000u);
+    // When HIGH finishes, the victim resumes.
+    ctx.currentTick = 5000000;
+    ctx.finish(hpf, *high);
+    EXPECT_EQ(ctx.log.back(), "grant:VIC");
+}
+
+TEST(Hpf, SpatialPreemptionWhenEnabledAndSmall)
+{
+    // Spatial path needs host invocation data, so it is covered by
+    // the integration tests; here we verify the temporal fallback
+    // fires when spatial is disabled.
+    FakeContext ctx;
+    HpfPolicy hpf{HpfPolicy::Config{false, 0}};
+    auto low = makeRecord(0, "LOW", 1, 100000);
+    auto high = makeRecord(1, "HIGH", 5, 1000);
+    hpf.onArrival(ctx, *low);
+    hpf.onArrival(ctx, *high);
+    EXPECT_EQ(ctx.log[1], "preempt:LOW");
+    EXPECT_EQ(ctx.guestRec, nullptr);
+}
+
+TEST(Hpf, ArrivalDuringGuestWindowIsDeferred)
+{
+    FakeContext ctx;
+    HpfPolicy hpf;
+    auto victim = makeRecord(0, "VIC", 1, 1000000);
+    hpf.onArrival(ctx, *victim);
+    auto guest = makeRecord(1, "GUEST", 5, 1000);
+    guest->touch(0, KernelRecord::State::Guest);
+    ctx.guestRec = guest.get();
+
+    auto high = makeRecord(2, "HIGH2", 9, 1000);
+    hpf.onArrival(ctx, *high);
+    // Not granted: waits for the next scheduling point.
+    EXPECT_EQ(ctx.queueSet.sizeAt(9), 1u);
+    ASSERT_EQ(ctx.log.size(), 1u);
+}
+
+TEST(Hpf, GapThenNewArrivalGrants)
+{
+    FakeContext ctx;
+    HpfPolicy hpf;
+    auto a = makeRecord(0, "A", 1, 1000);
+    hpf.onArrival(ctx, *a);
+    ctx.currentTick = 5000;
+    ctx.finish(hpf, *a);
+    auto b = makeRecord(1, "B", 1, 1000);
+    hpf.onArrival(ctx, *b);
+    EXPECT_EQ(ctx.log.back(), "grant:B");
+}
+
+TEST(Hpf, PreemptedWhileGpuIdleReschedules)
+{
+    // If the preemptor finished before the victim drained, the drain
+    // event must hand the GPU back.
+    FakeContext ctx;
+    HpfPolicy hpf;
+    auto victim = makeRecord(0, "VIC", 1, 10000000);
+    auto high = makeRecord(1, "HIGH", 5, 1000);
+    hpf.onArrival(ctx, *victim);
+    ctx.currentTick = 1000;
+    hpf.onArrival(ctx, *high); // preempt + grant
+    ctx.currentTick = 2000;
+    ctx.finish(hpf, *high); // GPU idle; victim still draining
+    ctx.currentTick = 3000;
+    ctx.completeDrain(hpf, *victim);
+    EXPECT_EQ(ctx.log.back(), "grant:VIC");
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,124 @@
+/** @file Tests for the T_e/T_w/T_r triplet bookkeeping (§5.1). */
+
+#include <gtest/gtest.h>
+
+#include "runtime/kernel_record.hh"
+
+namespace flep
+{
+namespace
+{
+
+using State = KernelRecord::State;
+
+KernelRecord
+rec(Tick te, Tick now = 0)
+{
+    return KernelRecord(nullptr, 0, "K", 1, te, now);
+}
+
+TEST(KernelRecord, InitialTriplet)
+{
+    const auto r = rec(5000, 100);
+    EXPECT_EQ(r.te(), 5000u);
+    EXPECT_EQ(r.tr(), 5000u);
+    EXPECT_EQ(r.tw(), 0u);
+    EXPECT_EQ(r.state(), State::Waiting);
+    EXPECT_EQ(r.arrivalTick(), 100u);
+}
+
+TEST(KernelRecord, WaitingAccumulatesTw)
+{
+    auto r = rec(5000, 0);
+    r.touch(1200, State::Running);
+    EXPECT_EQ(r.tw(), 1200u);
+    EXPECT_EQ(r.tr(), 5000u); // untouched while waiting
+}
+
+TEST(KernelRecord, RunningDecreasesTr)
+{
+    auto r = rec(5000, 0);
+    r.touch(0, State::Running);
+    r.touch(3000, State::Finished);
+    EXPECT_EQ(r.tr(), 2000u);
+    EXPECT_EQ(r.tw(), 0u);
+}
+
+TEST(KernelRecord, TrClampsAtZero)
+{
+    auto r = rec(5000, 0);
+    r.touch(0, State::Running);
+    r.touch(9000, State::Finished);
+    EXPECT_EQ(r.tr(), 0u);
+}
+
+TEST(KernelRecord, TeNeverChanges)
+{
+    auto r = rec(5000, 0);
+    r.touch(1000, State::Running);
+    r.touch(3000, State::Waiting);
+    r.touch(4000, State::Running);
+    EXPECT_EQ(r.te(), 5000u);
+}
+
+TEST(KernelRecord, PreemptionCycleUpdatesBothCounters)
+{
+    // Wait 1ms, run 2ms, drain 0.5ms, wait 1ms, run to completion.
+    auto r = rec(5000000, 0);
+    r.touch(1000000, State::Running);  // waited 1ms
+    r.touch(3000000, State::Draining); // ran 2ms
+    r.touch(3500000, State::Waiting);  // drained 0.5ms (still on GPU)
+    r.touch(4500000, State::Running);  // waited 1ms more
+    EXPECT_EQ(r.tw(), 2000000u);
+    EXPECT_EQ(r.tr(), 5000000u - 2500000u);
+}
+
+TEST(KernelRecord, GuestStateCountsAsRunning)
+{
+    auto r = rec(1000, 0);
+    r.touch(0, State::Guest);
+    r.touch(400, State::Finished);
+    EXPECT_EQ(r.tr(), 600u);
+}
+
+TEST(KernelRecord, RefreshKeepsState)
+{
+    auto r = rec(1000, 0);
+    r.touch(0, State::Running);
+    r.refresh(250);
+    EXPECT_EQ(r.state(), State::Running);
+    EXPECT_EQ(r.tr(), 750u);
+}
+
+TEST(KernelRecord, PreemptionCounter)
+{
+    auto r = rec(1000, 0);
+    EXPECT_EQ(r.preemptions(), 0);
+    r.countPreemption();
+    r.countPreemption();
+    EXPECT_EQ(r.preemptions(), 2);
+}
+
+TEST(KernelRecordDeath, OutOfOrderTouchPanics)
+{
+    auto r = rec(1000, 500);
+    EXPECT_DEATH(r.touch(100, State::Running), "out of order");
+}
+
+TEST(KernelRecordDeath, HostlessRecordHasNoHost)
+{
+    auto r = rec(1000, 0);
+    EXPECT_DEATH(r.host(), "no host");
+}
+
+TEST(KernelRecord, StateNames)
+{
+    EXPECT_STREQ(recordStateName(State::Waiting), "waiting");
+    EXPECT_STREQ(recordStateName(State::Running), "running");
+    EXPECT_STREQ(recordStateName(State::Draining), "draining");
+    EXPECT_STREQ(recordStateName(State::Guest), "guest");
+    EXPECT_STREQ(recordStateName(State::Finished), "finished");
+}
+
+} // namespace
+} // namespace flep

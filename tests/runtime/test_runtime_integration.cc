@@ -1,0 +1,242 @@
+/** @file End-to-end runtime scenarios through real hosts + device. */
+
+#include <gtest/gtest.h>
+
+#include "flep/experiment.hh"
+#include "gpu/gpu_device.hh"
+#include "runtime/host_process.hh"
+#include "runtime/hpf.hh"
+#include "runtime/runtime.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+namespace
+{
+
+struct Rig
+{
+    Simulation sim{11};
+    GpuConfig cfg = GpuConfig::keplerK40();
+    GpuDevice gpu{sim, cfg};
+    BenchmarkSuite suite;
+    std::unique_ptr<FlepRuntime> runtime;
+    std::vector<std::unique_ptr<HostProcess>> hosts;
+
+    explicit Rig(HpfPolicy::Config hpf = {})
+    {
+        FlepRuntimeConfig rcfg; // fallback predictions suffice
+        runtime = std::make_unique<FlepRuntime>(
+            sim, gpu, std::make_unique<HpfPolicy>(hpf),
+            std::move(rcfg));
+    }
+
+    HostProcess &
+    add(const std::string &name, InputClass input, Priority prio,
+        Tick delay, int repeats = 1)
+    {
+        const Workload &w = suite.byName(name);
+        HostProcess::ScriptEntry e;
+        e.workload = &w;
+        e.input = w.input(input);
+        e.priority = prio;
+        e.delayBefore = delay;
+        e.repeats = repeats;
+        e.amortizeL = w.paperAmortizeL();
+        hosts.push_back(std::make_unique<HostProcess>(
+            sim, gpu, *runtime, static_cast<ProcessId>(hosts.size()),
+            std::vector<HostProcess::ScriptEntry>{e}));
+        return *hosts.back();
+    }
+
+    void
+    runAll()
+    {
+        for (auto &h : hosts)
+            h->start();
+        sim.run();
+    }
+};
+
+TEST(RuntimeIntegration, SpatialVictimCompletesAllWork)
+{
+    // Spatial preemption + refill must not lose victim tasks.
+    HpfPolicy::Config hpf;
+    hpf.enableSpatial = true;
+    Rig rig(hpf);
+    auto &victim = rig.add("NN", InputClass::Large, 0, 0);
+    auto &guest = rig.add("MD", InputClass::Trivial, 5, 500000);
+    rig.runAll();
+    ASSERT_EQ(victim.results().size(), 1u);
+    ASSERT_EQ(guest.results().size(), 1u);
+    EXPECT_EQ(victim.results()[0].totalTasks,
+              rig.suite.byName("NN").input(InputClass::Large)
+                  .totalTasks);
+    // The guest finished while the victim was still running.
+    EXPECT_LT(guest.results()[0].finishTick,
+              victim.results()[0].finishTick);
+    // Spatial: the victim was never fully drained off the GPU.
+    EXPECT_EQ(victim.results()[0].preemptions, 0);
+    EXPECT_EQ(rig.runtime->preemptionsSignalled(), 1);
+}
+
+TEST(RuntimeIntegration, SpatialVictimBarelySlowed)
+{
+    HpfPolicy::Config spatial_cfg;
+    spatial_cfg.enableSpatial = true;
+
+    auto makespan = [&](HpfPolicy::Config hpf) {
+        Rig rig(hpf);
+        rig.add("NN", InputClass::Large, 0, 0);
+        rig.add("MD", InputClass::Trivial, 5, 500000);
+        rig.runAll();
+        return rig.hosts[0]->results()[0].finishTick;
+    };
+    const Tick spatial = makespan(spatial_cfg);
+    const Tick temporal = makespan(HpfPolicy::Config{});
+    EXPECT_LT(spatial, temporal);
+}
+
+TEST(RuntimeIntegration, BadPredictionsStillCorrect)
+{
+    // Garbage duration models can hurt scheduling quality but must
+    // never break execution correctness.
+    Simulation sim(13);
+    GpuDevice gpu(sim, GpuConfig::keplerK40());
+    BenchmarkSuite suite;
+
+    FlepRuntimeConfig rcfg;
+    rcfg.fallbackPredictNs = 1; // absurdly wrong predictions
+    FlepRuntime runtime(sim, gpu, std::make_unique<HpfPolicy>(),
+                        std::move(rcfg));
+
+    std::vector<std::unique_ptr<HostProcess>> hosts;
+    const char *names[] = {"MM", "SPMV", "VA"};
+    for (int i = 0; i < 3; ++i) {
+        const Workload &w = suite.byName(names[i]);
+        HostProcess::ScriptEntry e;
+        e.workload = &w;
+        e.input = w.input(InputClass::Small);
+        e.priority = 0;
+        e.delayBefore = static_cast<Tick>(i) * 20000;
+        e.amortizeL = w.paperAmortizeL();
+        hosts.push_back(std::make_unique<HostProcess>(
+            sim, gpu, runtime, i,
+            std::vector<HostProcess::ScriptEntry>{e}));
+    }
+    for (auto &h : hosts)
+        h->start();
+    sim.run();
+    for (auto &h : hosts) {
+        ASSERT_EQ(h->results().size(), 1u);
+        EXPECT_GT(h->results()[0].turnaroundNs(), 0u);
+    }
+    EXPECT_EQ(runtime.trackedCount(), 0u);
+}
+
+TEST(RuntimeIntegration, PreemptionLatencyObservedAndBounded)
+{
+    Rig rig;
+    rig.add("NN", InputClass::Large, 0, 0);
+    rig.add("SPMV", InputClass::Small, 5, 400000);
+    rig.runAll();
+    const auto &lat = rig.runtime->preemptionLatency();
+    ASSERT_EQ(lat.count(), 1u);
+    // Bounded by ~2 chunks of NN work (L=100, ~1.1us tasks at 2.26x
+    // contention) plus signalling slack.
+    EXPECT_GT(lat.mean(), 10000.0);
+    EXPECT_LT(lat.mean(), 800000.0);
+}
+
+TEST(RuntimeIntegration, ChainOfPriorities)
+{
+    // p0 running; p5 preempts it; p9 preempts p5; unwinding resumes
+    // in priority order.
+    Rig rig;
+    auto &low = rig.add("NN", InputClass::Large, 0, 0);
+    auto &mid = rig.add("PF", InputClass::Small, 5, 300000);
+    auto &high = rig.add("SPMV", InputClass::Small, 9, 600000);
+    rig.runAll();
+    ASSERT_EQ(low.results().size(), 1u);
+    ASSERT_EQ(mid.results().size(), 1u);
+    ASSERT_EQ(high.results().size(), 1u);
+    EXPECT_LT(high.results()[0].finishTick,
+              mid.results()[0].finishTick);
+    EXPECT_LT(mid.results()[0].finishTick,
+              low.results()[0].finishTick);
+    EXPECT_GE(low.results()[0].preemptions, 1);
+    EXPECT_GE(mid.results()[0].preemptions, 1);
+}
+
+TEST(RuntimeIntegration, ManyProcessesDrainCompletely)
+{
+    // Eight equal-priority processes, one per benchmark, arriving in
+    // a burst: everything must complete exactly once, and the
+    // runtime's bookkeeping must end empty.
+    Rig rig;
+    BenchmarkSuite suite;
+    int i = 0;
+    for (const auto &name : suite.names())
+        rig.add(name, InputClass::Small, 1,
+                static_cast<Tick>(i++) * 10000);
+    rig.runAll();
+    for (auto &h : rig.hosts)
+        EXPECT_EQ(h->results().size(), 1u);
+    EXPECT_EQ(rig.runtime->trackedCount(), 0u);
+    EXPECT_EQ(rig.gpu.residentCtas(), 0);
+    EXPECT_EQ(rig.gpu.scheduler().totalUndispatched(), 0);
+}
+
+TEST(RuntimeIntegration, RepeatedInvocationsFromOneProcess)
+{
+    Rig rig;
+    const Workload &w = rig.suite.byName("MM");
+    HostProcess::ScriptEntry e;
+    e.workload = &w;
+    e.input = w.input(InputClass::Trivial);
+    e.priority = 0;
+    e.delayBefore = 5000;
+    e.repeats = 10;
+    e.amortizeL = w.paperAmortizeL();
+    rig.hosts.push_back(std::make_unique<HostProcess>(
+        rig.sim, rig.gpu, *rig.runtime, 0,
+        std::vector<HostProcess::ScriptEntry>{e}));
+    rig.runAll();
+    EXPECT_EQ(rig.hosts[0]->results().size(), 10u);
+    EXPECT_EQ(rig.runtime->trackedCount(), 0u);
+}
+
+TEST(RuntimeIntegration, EqualArrivalsServedShortestFirst)
+{
+    // Three equal-priority kernels arrive while a long one runs; at
+    // its completion the shortest-predicted goes first. Uses real
+    // trained models for the predictions.
+    BenchmarkSuite suite;
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    const auto art = runOfflinePhase(suite, cfg, 25, 5);
+
+    CoRunConfig cc;
+    cc.scheduler = SchedulerKind::FlepHpf;
+    cc.kernels = {{"NN", InputClass::Large, 0, 0, 1},
+                  {"MM", InputClass::Small, 0, 100000, 1},
+                  {"SPMV", InputClass::Small, 0, 150000, 1},
+                  {"CFD", InputClass::Small, 0, 200000, 1}};
+    const auto res = runCoRun(suite, art, cc);
+    // SPMV (~480us) < CFD (~520us) < MM (~1500us).
+    Tick spmv = 0;
+    Tick cfd = 0;
+    Tick mm = 0;
+    for (const auto &inv : res.invocations) {
+        if (inv.kernel == "SPMV")
+            spmv = inv.finishTick;
+        if (inv.kernel == "CFD")
+            cfd = inv.finishTick;
+        if (inv.kernel == "MM")
+            mm = inv.finishTick;
+    }
+    EXPECT_LT(spmv, mm);
+    EXPECT_LT(cfd, mm);
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,106 @@
+/** @file Tests for the per-priority wait queues. */
+
+#include <gtest/gtest.h>
+
+#include "fake_context.hh"
+#include "runtime/wait_queue.hh"
+
+namespace flep
+{
+namespace
+{
+
+using testing::makeRecord;
+
+TEST(WaitQueue, EmptyBehaviour)
+{
+    WaitQueueSet q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.front(3), nullptr);
+    EXPECT_EQ(q.popFront(3), nullptr);
+    bool found = true;
+    q.highestNonEmpty(found);
+    EXPECT_FALSE(found);
+}
+
+TEST(WaitQueue, OrderedByTrWithinPriority)
+{
+    WaitQueueSet q;
+    auto slow = makeRecord(0, "slow", 1, 9000);
+    auto fast = makeRecord(1, "fast", 1, 1000);
+    auto mid = makeRecord(2, "mid", 1, 5000);
+    q.enqueue(*slow);
+    q.enqueue(*fast);
+    q.enqueue(*mid);
+    EXPECT_EQ(q.popFront(1)->kernel(), "fast");
+    EXPECT_EQ(q.popFront(1)->kernel(), "mid");
+    EXPECT_EQ(q.popFront(1)->kernel(), "slow");
+}
+
+TEST(WaitQueue, FifoAmongEqualTr)
+{
+    WaitQueueSet q;
+    auto a = makeRecord(0, "a", 1, 1000);
+    auto b = makeRecord(1, "b", 1, 1000);
+    q.enqueue(*a);
+    q.enqueue(*b);
+    EXPECT_EQ(q.popFront(1)->kernel(), "a");
+    EXPECT_EQ(q.popFront(1)->kernel(), "b");
+}
+
+TEST(WaitQueue, HighestNonEmptyPriority)
+{
+    WaitQueueSet q;
+    auto low = makeRecord(0, "low", 1, 100);
+    auto high = makeRecord(1, "high", 7, 100);
+    q.enqueue(*low);
+    q.enqueue(*high);
+    bool found = false;
+    EXPECT_EQ(q.highestNonEmpty(found), 7);
+    EXPECT_TRUE(found);
+    q.popFront(7);
+    EXPECT_EQ(q.highestNonEmpty(found), 1);
+}
+
+TEST(WaitQueue, SizeCounts)
+{
+    WaitQueueSet q;
+    auto a = makeRecord(0, "a", 1, 100);
+    auto b = makeRecord(1, "b", 2, 100);
+    auto c = makeRecord(2, "c", 2, 100);
+    q.enqueue(*a);
+    q.enqueue(*b);
+    q.enqueue(*c);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.sizeAt(2), 2u);
+    EXPECT_EQ(q.sizeAt(1), 1u);
+    EXPECT_EQ(q.sizeAt(9), 0u);
+}
+
+TEST(WaitQueue, RemoveSpecificRecord)
+{
+    WaitQueueSet q;
+    auto a = makeRecord(0, "a", 1, 100);
+    auto b = makeRecord(1, "b", 1, 200);
+    q.enqueue(*a);
+    q.enqueue(*b);
+    EXPECT_TRUE(q.remove(*a));
+    EXPECT_FALSE(q.remove(*a));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.front(1)->kernel(), "b");
+}
+
+TEST(WaitQueue, SeparateQueuesPerPriority)
+{
+    WaitQueueSet q;
+    auto a = makeRecord(0, "a", 1, 5000);
+    auto b = makeRecord(1, "b", 2, 100);
+    q.enqueue(*a);
+    q.enqueue(*b);
+    // Popping priority 2 leaves priority 1 untouched.
+    EXPECT_EQ(q.popFront(2)->kernel(), "b");
+    EXPECT_EQ(q.front(1)->kernel(), "a");
+}
+
+} // namespace
+} // namespace flep

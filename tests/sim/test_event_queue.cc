@@ -1,0 +1,155 @@
+/** @file Tests for the discrete-event queue. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i]() { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&]() {
+        q.scheduleAfter(50, [&]() { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.schedule(10, [&]() { ran = true; });
+    EXPECT_TRUE(q.deschedule(id));
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DescheduleUnknownIdIsNoop)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.deschedule(9999));
+}
+
+TEST(EventQueue, DescheduleFiredEventReturnsFalse)
+{
+    EventQueue q;
+    const EventId id = q.schedule(1, []() {});
+    q.run();
+    EXPECT_FALSE(q.deschedule(id));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&]() { ++count; });
+    q.schedule(20, [&]() { ++count; });
+    q.schedule(30, [&]() { ++count; });
+    q.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    q.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 100)
+            q.scheduleAfter(1, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(q.now(), 99u);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue q;
+    const EventId a = q.schedule(5, []() {});
+    q.schedule(6, []() {});
+    EXPECT_EQ(q.pendingCount(), 2u);
+    q.deschedule(a);
+    EXPECT_EQ(q.pendingCount(), 1u);
+}
+
+TEST(EventQueueDeath, NoSchedulingIntoThePast)
+{
+    EventQueue q;
+    q.schedule(100, []() {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50, []() {}), "past");
+}
+
+TEST(Simulation, SameSeedForksSameRngs)
+{
+    Simulation a(9);
+    Simulation b(9);
+    Rng ra = a.forkRng();
+    Rng rb = b.forkRng();
+    EXPECT_EQ(ra.next(), rb.next());
+}
+
+TEST(EventQueue, StressManyEventsStayOrdered)
+{
+    EventQueue q;
+    Rng rng(123);
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 20000; ++i) {
+        const Tick when = static_cast<Tick>(rng.uniformInt(0, 100000));
+        q.schedule(when, [&q, &last, &monotone]() {
+            monotone = monotone && q.now() >= last;
+            last = q.now();
+        });
+    }
+    q.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(q.executedCount(), 20000u);
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,123 @@
+/** @file The benchmark kernels, as mini-CUDA source, go through the
+ *  whole compilation engine. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "compiler/parser.hh"
+#include "compiler/printer.hh"
+#include "compiler/resource_scan.hh"
+#include "compiler/transform.hh"
+#include "gpu/occupancy.hh"
+#include "workload/kernel_sources.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+namespace
+{
+
+using minicuda::FuncKind;
+using minicuda::Program;
+using minicuda::TransformKind;
+using minicuda::TransformOptions;
+
+class KernelSourceTest
+    : public ::testing::TestWithParam<KernelSource>
+{
+};
+
+TEST_P(KernelSourceTest, ParsesWithExpectedKernel)
+{
+    const auto &src = GetParam();
+    const Program prog = minicuda::parse(src.source);
+    const auto *kernel = prog.find(src.kernelName);
+    ASSERT_NE(kernel, nullptr) << src.benchmark;
+    EXPECT_EQ(kernel->kind, FuncKind::Global);
+    // Each bundle also carries a host launcher that launches it.
+    bool has_launch = false;
+    for (const auto &fn : prog.functions) {
+        if (fn.kind == FuncKind::Host)
+            has_launch = true;
+    }
+    EXPECT_TRUE(has_launch) << src.benchmark;
+}
+
+TEST_P(KernelSourceTest, ResourceScanFitsOnTheK40)
+{
+    const auto &src = GetParam();
+    const Program prog = minicuda::parse(src.source);
+    const auto res = minicuda::scanKernelResources(
+        *prog.find(src.kernelName));
+    // Every benchmark kernel must be schedulable with 256 threads.
+    const CtaFootprint fp{256, res.regsPerThread,
+                          res.smemBytesPerCta};
+    EXPECT_GE(maxActiveCtasPerSm(GpuConfig::keplerK40(), fp), 1)
+        << src.benchmark;
+}
+
+TEST_P(KernelSourceTest, TransformsIntoAllThreeForms)
+{
+    const auto &src = GetParam();
+    const Program prog = minicuda::parse(src.source);
+    for (auto kind : {TransformKind::TemporalNaive,
+                      TransformKind::TemporalAmortized,
+                      TransformKind::Spatial}) {
+        TransformOptions opts;
+        opts.kind = kind;
+        const Program out = minicuda::transformProgram(prog, opts);
+        EXPECT_NE(out.find(src.kernelName + "_flep"), nullptr)
+            << src.benchmark;
+        EXPECT_NE(out.find(src.kernelName + "_task"), nullptr)
+            << src.benchmark;
+        // The transformed output is valid mini-CUDA again.
+        EXPECT_NO_THROW(minicuda::parse(minicuda::printProgram(out)))
+            << src.benchmark;
+    }
+}
+
+TEST_P(KernelSourceTest, HostLaunchIntercepted)
+{
+    const auto &src = GetParam();
+    TransformOptions opts;
+    const Program out = minicuda::transformProgram(
+        minicuda::parse(src.source), opts);
+    const std::string printed = minicuda::printProgram(out);
+    EXPECT_NE(printed.find("flep_intercept("), std::string::npos)
+        << src.benchmark;
+    EXPECT_NE(printed.find("flep_wait_complete(flep_hnd)"),
+              std::string::npos)
+        << src.benchmark;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, KernelSourceTest,
+                         ::testing::ValuesIn(allKernelSources()),
+                         [](const auto &info) {
+                             return info.param.benchmark;
+                         });
+
+TEST(KernelSources, CoversTheWholeSuite)
+{
+    BenchmarkSuite suite;
+    EXPECT_EQ(allKernelSources().size(), suite.size());
+    for (const auto &name : suite.names())
+        EXPECT_NO_THROW(benchmarkKernelSource(name)) << name;
+    EXPECT_THROW(benchmarkKernelSource("NOPE"), FatalError);
+}
+
+TEST(KernelSources, LinesTrackTable1Sizes)
+{
+    // VA must stay tiny and CFD the largest, mirroring Table 1's
+    // lines-of-code column.
+    auto lines = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), '\n');
+    };
+    const auto va = lines(benchmarkKernelSource("VA").source);
+    const auto cfd = lines(benchmarkKernelSource("CFD").source);
+    const auto nn = lines(benchmarkKernelSource("NN").source);
+    EXPECT_LT(va, nn + 5);
+    EXPECT_GT(cfd, va * 2);
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,176 @@
+/** @file Tests for the benchmark workload models (Table 1). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpu/measure.hh"
+#include "workload/input_gen.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(Suite, HasAllEightPaperBenchmarks)
+{
+    BenchmarkSuite suite;
+    ASSERT_EQ(suite.size(), 8u);
+    const std::vector<std::string> expected{"CFD", "NN",   "PF", "PL",
+                                            "MD",  "SPMV", "MM", "VA"};
+    EXPECT_EQ(suite.names(), expected);
+    for (const auto &name : expected)
+        EXPECT_TRUE(suite.has(name));
+    EXPECT_FALSE(suite.has("NOPE"));
+    EXPECT_THROW(suite.byName("NOPE"), FatalError);
+}
+
+TEST(Suite, Table1Metadata)
+{
+    BenchmarkSuite suite;
+    EXPECT_EQ(suite.byName("CFD").kernelLoc(), 130);
+    EXPECT_EQ(suite.byName("VA").kernelLoc(), 6);
+    EXPECT_EQ(suite.byName("CFD").paperAmortizeL(), 1);
+    EXPECT_EQ(suite.byName("NN").paperAmortizeL(), 100);
+    EXPECT_EQ(suite.byName("PF").paperAmortizeL(), 150);
+    EXPECT_EQ(suite.byName("VA").paperAmortizeL(), 200);
+    EXPECT_EQ(suite.byName("MD").source(), "SHOC");
+    EXPECT_EQ(suite.byName("MM").source(), "CUDA SDK");
+}
+
+TEST(Workload, CanonicalInputsAreOrdered)
+{
+    BenchmarkSuite suite;
+    for (const auto &w : suite.all()) {
+        const auto large = w->input(InputClass::Large);
+        const auto small = w->input(InputClass::Small);
+        const auto trivial = w->input(InputClass::Trivial);
+        EXPECT_GT(large.totalTasks, small.totalTasks) << w->name();
+        EXPECT_GT(small.totalTasks, trivial.totalTasks) << w->name();
+        EXPECT_EQ(large.hiddenFactor, 1.0);
+        // Large and small must fill the device (> 120 CTAs).
+        EXPECT_GT(small.totalTasks, 120) << w->name();
+        // Trivial must need only part of the SMs (< 120 CTAs).
+        EXPECT_LT(trivial.totalTasks, 120) << w->name();
+    }
+}
+
+/** Solo exec times must land near Table 1 for all 24 cells. */
+struct Table1Case
+{
+    const char *name;
+    InputClass input;
+    double paperUs;
+};
+
+class Table1Calibration : public ::testing::TestWithParam<Table1Case>
+{
+};
+
+TEST_P(Table1Calibration, SoloDurationNearPaper)
+{
+    const auto c = GetParam();
+    BenchmarkSuite suite;
+    const Workload &w = suite.byName(c.name);
+    const auto d =
+        w.makeLaunch(w.input(c.input), ExecMode::Original, 1, 0);
+    const double us = soloMeanDurationNs(GpuConfig::keplerK40(), d,
+                                         1234, 3) /
+                      1000.0;
+    // Within 12% of the paper's Table 1 value.
+    EXPECT_NEAR(us, c.paperUs, c.paperUs * 0.12)
+        << c.name << " " << inputClassName(c.input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, Table1Calibration,
+    ::testing::Values(
+        Table1Case{"CFD", InputClass::Large, 11106},
+        Table1Case{"CFD", InputClass::Small, 521},
+        Table1Case{"CFD", InputClass::Trivial, 81},
+        Table1Case{"NN", InputClass::Large, 15775},
+        Table1Case{"NN", InputClass::Small, 728},
+        Table1Case{"NN", InputClass::Trivial, 55},
+        Table1Case{"PF", InputClass::Large, 7364},
+        Table1Case{"PF", InputClass::Small, 811},
+        Table1Case{"PF", InputClass::Trivial, 57},
+        Table1Case{"PL", InputClass::Large, 5419},
+        Table1Case{"PL", InputClass::Small, 952},
+        Table1Case{"PL", InputClass::Trivial, 83},
+        Table1Case{"MD", InputClass::Large, 15905},
+        Table1Case{"MD", InputClass::Small, 938},
+        Table1Case{"MD", InputClass::Trivial, 90},
+        Table1Case{"SPMV", InputClass::Large, 5840},
+        Table1Case{"SPMV", InputClass::Small, 484},
+        Table1Case{"SPMV", InputClass::Trivial, 68},
+        Table1Case{"MM", InputClass::Large, 2579},
+        Table1Case{"MM", InputClass::Small, 1499},
+        Table1Case{"MM", InputClass::Trivial, 73},
+        Table1Case{"VA", InputClass::Large, 30634},
+        Table1Case{"VA", InputClass::Small, 720},
+        Table1Case{"VA", InputClass::Trivial, 49}));
+
+TEST(Workload, RandomInputsVaryAndStayInRange)
+{
+    BenchmarkSuite suite;
+    Rng rng(5);
+    const Workload &w = suite.byName("SPMV");
+    long min_tasks = 1L << 60;
+    long max_tasks = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto in = w.randomInput(rng);
+        min_tasks = std::min(min_tasks, in.totalTasks);
+        max_tasks = std::max(max_tasks, in.totalTasks);
+        EXPECT_GE(in.totalTasks, 130);
+        EXPECT_LE(in.totalTasks,
+                  static_cast<long>(1.3 * w.params().largeTasks));
+        EXPECT_GT(in.taskMeanNs, 0.0);
+        EXPECT_GT(in.hiddenFactor, 0.0);
+    }
+    EXPECT_LT(min_tasks, w.params().largeTasks / 4);
+    EXPECT_GT(max_tasks, w.params().largeTasks / 2);
+}
+
+TEST(Workload, HiddenFactorInvisibleInFeatures)
+{
+    // Two inputs with the same task count must produce identical
+    // features even when their hidden factors differ.
+    BenchmarkSuite suite;
+    const Workload &w = suite.byName("MD");
+    auto a = w.input(InputClass::Large);
+    auto b = w.input(InputClass::Large);
+    b.hiddenFactor = 2.0;
+    b.taskMeanNs *= 2.0;
+    EXPECT_EQ(a.totalTasks, b.totalTasks);
+    EXPECT_EQ(a.inputSize, b.inputSize);
+    EXPECT_NE(a.taskMeanNs, b.taskMeanNs);
+}
+
+TEST(Workload, MakeLaunchCopiesGeometryAndMode)
+{
+    BenchmarkSuite suite;
+    const Workload &w = suite.byName("MM");
+    const auto in = w.input(InputClass::Small);
+    const auto d = w.makeLaunch(in, ExecMode::Persistent, 2, 3);
+    EXPECT_EQ(d.totalTasks, in.totalTasks);
+    EXPECT_EQ(d.mode, ExecMode::Persistent);
+    EXPECT_EQ(d.amortizeL, 2);
+    EXPECT_EQ(d.process, 3);
+    EXPECT_EQ(d.name, "MM");
+    EXPECT_EQ(d.footprint.threads, 256);
+}
+
+TEST(InputGen, SplitSizesAndIndependence)
+{
+    BenchmarkSuite suite;
+    Rng rng(77);
+    const auto split =
+        generateSplit(suite.byName("NN"), 100, 30, rng);
+    EXPECT_EQ(split.train.size(), 100u);
+    EXPECT_EQ(split.test.size(), 30u);
+    // Train and test inputs should not be identical sequences.
+    EXPECT_NE(split.train[0].totalTasks, split.test[0].totalTasks);
+}
+
+} // namespace
+} // namespace flep

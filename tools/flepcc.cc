@@ -1,0 +1,202 @@
+/**
+ * @file
+ * flepcc — the FLEP source-to-source compiler driver.
+ *
+ * Reads a mini-CUDA translation unit, applies the FLEP transformation
+ * (kernel outlining + persistent-thread worker in one of the Figure 4
+ * shapes + host-side interception), and writes the transformed source.
+ *
+ * Usage:
+ *   flepcc [options] <input.cu | ->
+ *   flepcc --benchmark NN [options]
+ *
+ * Options:
+ *   --mode=naive|amortized|spatial   transformation shape
+ *                                    (default: spatial)
+ *   --resources                      print the per-kernel resource
+ *                                    scan instead of transforming
+ *   --list-benchmarks                list built-in benchmark sources
+ *   -o <file>                        output file (default: stdout)
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "compiler/parser.hh"
+#include "compiler/printer.hh"
+#include "compiler/resource_scan.hh"
+#include "compiler/transform.hh"
+#include "gpu/occupancy.hh"
+#include "workload/kernel_sources.hh"
+
+namespace
+{
+
+using namespace flep;
+using namespace flep::minicuda;
+
+struct Options
+{
+    TransformKind kind = TransformKind::Spatial;
+    bool resources = false;
+    bool list = false;
+    std::string benchmark;
+    std::string input;
+    std::string output;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cerr
+        << "usage: flepcc [options] <input.cu | ->\n"
+           "       flepcc --benchmark <NAME> [options]\n"
+           "options:\n"
+           "  --mode=naive|amortized|spatial  Figure 4 shape "
+           "(default spatial)\n"
+           "  --resources                     print the resource scan\n"
+           "  --list-benchmarks               list built-in sources\n"
+           "  -o <file>                       output file\n";
+    std::exit(code);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (startsWith(arg, "--mode=")) {
+            const std::string mode = arg.substr(7);
+            if (mode == "naive")
+                opts.kind = TransformKind::TemporalNaive;
+            else if (mode == "amortized")
+                opts.kind = TransformKind::TemporalAmortized;
+            else if (mode == "spatial")
+                opts.kind = TransformKind::Spatial;
+            else
+                usage(2);
+        } else if (arg == "--resources") {
+            opts.resources = true;
+        } else if (arg == "--list-benchmarks") {
+            opts.list = true;
+        } else if (arg == "--benchmark") {
+            if (++i >= argc)
+                usage(2);
+            opts.benchmark = argv[i];
+        } else if (arg == "-o") {
+            if (++i >= argc)
+                usage(2);
+            opts.output = argv[i];
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            usage(2);
+        } else {
+            if (!opts.input.empty())
+                usage(2);
+            opts.input = arg;
+        }
+    }
+    return opts;
+}
+
+std::string
+readInput(const Options &opts)
+{
+    if (!opts.benchmark.empty())
+        return benchmarkKernelSource(opts.benchmark).source;
+    if (opts.input.empty())
+        usage(2);
+    if (opts.input == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        return ss.str();
+    }
+    std::ifstream in(opts.input);
+    if (!in) {
+        std::cerr << "flepcc: cannot open " << opts.input << "\n";
+        std::exit(1);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeOutput(const Options &opts, const std::string &text)
+{
+    if (opts.output.empty()) {
+        std::cout << text;
+        return;
+    }
+    std::ofstream out(opts.output);
+    if (!out) {
+        std::cerr << "flepcc: cannot write " << opts.output << "\n";
+        std::exit(1);
+    }
+    out << text;
+}
+
+std::string
+resourceReport(const Program &prog)
+{
+    const GpuConfig gpu = GpuConfig::keplerK40();
+    std::string out;
+    for (const auto *kernel : prog.kernels()) {
+        const auto res = scanKernelResources(*kernel);
+        const CtaFootprint fp{256, res.regsPerThread,
+                              res.smemBytesPerCta};
+        out += format(
+            "%s: ~%d regs/thread, %d B smem/CTA, %d locals, "
+            "%d active CTAs/SM @256 threads, wave %ld CTAs\n",
+            kernel->name.c_str(), res.regsPerThread,
+            res.smemBytesPerCta, res.localDecls,
+            maxActiveCtasPerSm(gpu, fp), deviceCtaCapacity(gpu, fp));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+
+    if (opts.list) {
+        for (const auto &src : allKernelSources()) {
+            std::cout << src.benchmark << " (kernel "
+                      << src.kernelName << ")\n";
+        }
+        return 0;
+    }
+
+    try {
+        const std::string source = readInput(opts);
+        const Program prog = parse(source);
+        if (opts.resources) {
+            writeOutput(opts, resourceReport(prog));
+            return 0;
+        }
+        TransformOptions topts;
+        topts.kind = opts.kind;
+        const Program out = transformProgram(prog, topts);
+        writeOutput(opts,
+                    "// generated by flepcc\n" + printProgram(out));
+        return 0;
+    } catch (const ParseError &e) {
+        std::cerr << "flepcc: parse error: " << e.what() << "\n";
+        return 1;
+    } catch (const TransformError &e) {
+        std::cerr << "flepcc: transform error: " << e.what() << "\n";
+        return 1;
+    } catch (const FatalError &e) {
+        std::cerr << "flepcc: " << e.what() << "\n";
+        return 1;
+    }
+}
