@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/bench_util.hh"
 
@@ -25,19 +26,29 @@ main()
     Table table("Speedup of the high-priority kernel");
     table.setHeader({"pair A_B", "MPS (us)", "FLEP (us)", "speedup"});
 
+    // Submit the whole 28-pair × {MPS, FLEP} sweep as one batch so
+    // the cells run across the worker pool.
+    const auto pairs = priorityPairs();
+    std::vector<CoRunConfig> cells;
+    for (const auto &[low_large, high_small] : pairs) {
+        CoRunConfig cfg;
+        cfg.kernels = {{low_large, InputClass::Large, 0, 0, 1},
+                       {high_small, InputClass::Small, 5, 50000, 1}};
+        cfg.scheduler = SchedulerKind::Mps;
+        cells.push_back(cfg);
+        cfg.scheduler = SchedulerKind::FlepHpf;
+        cells.push_back(cfg);
+    }
+    const auto results = env.sweep(cells);
+
     double sum = 0.0;
     double best = 0.0;
     double worst = 1e18;
     std::string best_pair;
-    for (const auto &[low_large, high_small] : priorityPairs()) {
-        CoRunConfig cfg;
-        cfg.kernels = {{low_large, InputClass::Large, 0, 0, 1},
-                       {high_small, InputClass::Small, 5, 50000, 1}};
-
-        cfg.scheduler = SchedulerKind::Mps;
-        const double mps = env.meanTurnaroundUs(cfg, 1);
-        cfg.scheduler = SchedulerKind::FlepHpf;
-        const double flep = env.meanTurnaroundUs(cfg, 1);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &[low_large, high_small] = pairs[i];
+        const double mps = results[2 * i].meanTurnaroundUs(1);
+        const double flep = results[2 * i + 1].meanTurnaroundUs(1);
         const double speedup = mps / flep;
         sum += speedup;
         worst = std::min(worst, speedup);

@@ -6,6 +6,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/bench_util.hh"
 
@@ -15,18 +16,25 @@ using namespace flep::benchutil;
 namespace
 {
 
-double
-anttOf(BenchEnv &env, SchedulerKind kind, const std::string &large,
-       const std::string &small)
+CoRunConfig
+pairConfig(SchedulerKind kind, const std::string &large,
+           const std::string &small)
 {
     CoRunConfig cfg;
     cfg.scheduler = kind;
     cfg.kernels = {{large, InputClass::Large, 0, 0, 1},
                    {small, InputClass::Small, 0, 50000, 1}};
+    return cfg;
+}
+
+double
+anttOf(BenchEnv &env, const CellResult &cell, const std::string &large,
+       const std::string &small)
+{
     const double large_solo = env.soloUs(large, InputClass::Large);
     const double small_solo = env.soloUs(small, InputClass::Small);
-    const double large_co = env.meanTurnaroundUs(cfg, 0);
-    const double small_co = env.meanTurnaroundUs(cfg, 1);
+    const double large_co = cell.meanTurnaroundUs(0);
+    const double small_co = cell.meanTurnaroundUs(1);
     return antt({{large_co, large_solo}, {small_co, small_solo}});
 }
 
@@ -39,15 +47,26 @@ main()
     printHeader("Figure 10",
                 "ANTT improvement, equal-priority two-kernel co-runs");
 
+    // All 28 pairs × {MPS, FLEP} as one parallel batch.
+    const auto pairs = equalPriorityPairs();
+    std::vector<CoRunConfig> cells;
+    for (const auto &[large, small] : pairs) {
+        cells.push_back(pairConfig(SchedulerKind::Mps, large, small));
+        cells.push_back(
+            pairConfig(SchedulerKind::FlepHpf, large, small));
+    }
+    const auto results = env.sweep(cells);
+
     Table table("ANTT improvement of FLEP (HPF/SRT) over MPS");
     table.setHeader({"pair small_large", "ANTT MPS", "ANTT FLEP",
                      "improvement"});
     double sum = 0.0;
-    for (const auto &[large, small] : equalPriorityPairs()) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &[large, small] = pairs[i];
         const double mps =
-            anttOf(env, SchedulerKind::Mps, large, small);
+            anttOf(env, results[2 * i], large, small);
         const double flep =
-            anttOf(env, SchedulerKind::FlepHpf, large, small);
+            anttOf(env, results[2 * i + 1], large, small);
         const double improvement = mps / flep;
         sum += improvement;
         table.row()

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "common/bench_util.hh"
 #include "common/stats.hh"
@@ -30,15 +31,25 @@ main()
     Table table("Throughput degradation of FLEP (HPF/SRT) vs MPS");
     table.setHeader({"pair small_large", "MPS makespan (us)",
                      "FLEP makespan (us)", "degradation (%)"});
-    SampleStats stats;
-    for (const auto &[large, small] : equalPriorityPairs()) {
+    // Whole sweep in one parallel batch: 28 pairs × {MPS, FLEP}.
+    const auto pairs = equalPriorityPairs();
+    std::vector<CoRunConfig> cells;
+    for (const auto &[large, small] : pairs) {
         CoRunConfig cfg;
         cfg.kernels = {{large, InputClass::Large, 0, 0, 1},
                        {small, InputClass::Small, 0, 50000, 1}};
         cfg.scheduler = SchedulerKind::Mps;
-        const double mps = env.meanMakespanUs(cfg);
+        cells.push_back(cfg);
         cfg.scheduler = SchedulerKind::FlepHpf;
-        const double flep = env.meanMakespanUs(cfg);
+        cells.push_back(cfg);
+    }
+    const auto results = env.sweep(cells);
+
+    SampleStats stats;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &[large, small] = pairs[i];
+        const double mps = results[2 * i].meanMakespanUs();
+        const double flep = results[2 * i + 1].meanMakespanUs();
         // Equal total work, so throughput loss == makespan growth.
         const double degradation = (flep - mps) / mps * 100.0;
         stats.add(degradation);

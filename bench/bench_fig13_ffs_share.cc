@@ -7,6 +7,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/bench_util.hh"
 #include "common/stats.hh"
@@ -33,6 +34,8 @@ main()
     SampleStats overall_high;
 
     // Small-input loops from the priority pairs keep runtime sane.
+    // All 28 co-runs go out as one parallel batch.
+    std::vector<CoRunConfig> cells;
     for (const auto &[low_name, high_name] : priorityPairs()) {
         CoRunConfig cfg;
         cfg.scheduler = SchedulerKind::FlepFfs;
@@ -40,8 +43,9 @@ main()
                        {low_name, InputClass::Small, 1, 10000, -1}};
         cfg.horizonNs = horizon;
         cfg.shareWindowNs = window;
-        BenchmarkSuite suite;
-        const auto res = runCoRun(env.suite(), env.artifacts(), cfg);
+        cells.push_back(cfg);
+    }
+    for (const auto &res : env.runBatch(cells)) {
         for (std::size_t w = 0;
              w < windows && w < res.shareSeries.at(0).size(); ++w) {
             high[w].add(res.shareSeries.at(0)[w]);

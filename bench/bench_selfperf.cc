@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Self-performance benchmark: how fast is the reproduction itself?
+ *
+ * Two measurements, written to BENCH_selfperf.json (override the path
+ * with FLEP_SELFPERF_OUT) so successive PRs have a perf trajectory to
+ * compare against:
+ *
+ *  1. event-queue throughput — schedule/run cycles of randomly timed
+ *     events, reported as events per second (best of several passes);
+ *  2. a representative fig08-style pair sweep run serially
+ *     (1 thread) and through the parallel batch runner, reported as
+ *     wall milliseconds plus the resulting speedup.
+ *
+ * JSON schema (all numbers):
+ *   schema_version        1
+ *   events_per_sec        event-queue micro throughput
+ *   sweep_cells           configs in the sweep (pairs x schedulers)
+ *   sweep_reps            repetitions per config (FLEP_REPS)
+ *   sweep_serial_ms       wall time, 1 thread
+ *   sweep_parallel_ms     wall time, `threads` workers
+ *   threads               parallel worker count (FLEP_THREADS or
+ *                         hardware concurrency)
+ *   parallel_speedup      sweep_serial_ms / sweep_parallel_ms
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/event_queue.hh"
+
+using namespace flep;
+using namespace flep::benchutil;
+
+namespace
+{
+
+double
+wallMs(const std::chrono::steady_clock::time_point &t0)
+{
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+/** Best-of-passes event-queue throughput in events/sec. */
+double
+eventsPerSec()
+{
+    constexpr std::size_t events = 200000;
+    constexpr int passes = 5;
+    Rng rng(7);
+    std::vector<Tick> times(events);
+    for (auto &t : times)
+        t = static_cast<Tick>(rng.uniformInt(0, 100000000));
+
+    double best = 0.0;
+    for (int p = 0; p < passes; ++p) {
+        EventQueue q;
+        long long acc = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (Tick t : times)
+            q.schedule(t, [&acc]() { ++acc; });
+        q.run();
+        const double ms = wallMs(t0);
+        if (acc != static_cast<long long>(events))
+            fatal("event-queue self-check failed");
+        best = std::max(best,
+                        static_cast<double>(events) / (ms / 1000.0));
+    }
+    return best;
+}
+
+/** Eight representative fig08-style cells (pair x {MPS, HPF}). */
+std::vector<CoRunConfig>
+sweepCells()
+{
+    std::vector<CoRunConfig> cells;
+    const auto pairs = priorityPairs();
+    for (std::size_t i = 0; i < pairs.size() && cells.size() < 8;
+         i += 7) {
+        const auto &[low_large, high_small] = pairs[i];
+        CoRunConfig cfg;
+        cfg.kernels = {{low_large, InputClass::Large, 0, 0, 1},
+                       {high_small, InputClass::Small, 5, 50000, 1}};
+        cfg.scheduler = SchedulerKind::Mps;
+        cells.push_back(cfg);
+        cfg.scheduler = SchedulerKind::FlepHpf;
+        cells.push_back(cfg);
+    }
+    return cells;
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchEnv env;
+    printHeader("Self-perf", "simulator throughput and sweep scaling");
+
+    const double ev_per_sec = eventsPerSec();
+    std::printf("event queue: %.0f events/sec\n", ev_per_sec);
+
+    // Expand cells the same way BenchEnv::sweep does, then time the
+    // identical batch serially and across the pool.
+    const auto cells = sweepCells();
+    std::vector<CoRunConfig> runs;
+    for (const auto &cell : cells) {
+        for (int r = 0; r < env.reps(); ++r) {
+            CoRunConfig run = cell;
+            run.seed = cell.seed +
+                       static_cast<std::uint64_t>(r) * 7919;
+            runs.push_back(run);
+        }
+    }
+
+    const auto t_serial = std::chrono::steady_clock::now();
+    const auto serial =
+        runCoRunBatch(env.suite(), env.artifacts(), runs, 1);
+    const double serial_ms = wallMs(t_serial);
+
+    const auto t_par = std::chrono::steady_clock::now();
+    const auto parallel =
+        runCoRunBatch(env.suite(), env.artifacts(), runs,
+                      env.threads());
+    const double parallel_ms = wallMs(t_par);
+
+    // Bit-identical results regardless of thread count.
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        if (serial[i].makespanNs != parallel[i].makespanNs)
+            fatal("parallel batch diverged from serial at run ", i);
+    }
+
+    const double speedup = serial_ms / parallel_ms;
+    std::printf("sweep (%zu sims): serial %.0f ms, %d-thread %.0f ms, "
+                "speedup %.2fx\n",
+                runs.size(), serial_ms, env.threads(), parallel_ms,
+                speedup);
+
+    const char *out = std::getenv("FLEP_SELFPERF_OUT");
+    const char *path = out != nullptr ? out : "BENCH_selfperf.json";
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        warn("cannot write ", path);
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema_version\": 1,\n"
+                 "  \"events_per_sec\": %.0f,\n"
+                 "  \"sweep_cells\": %zu,\n"
+                 "  \"sweep_reps\": %d,\n"
+                 "  \"sweep_serial_ms\": %.1f,\n"
+                 "  \"sweep_parallel_ms\": %.1f,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"parallel_speedup\": %.3f\n"
+                 "}\n",
+                 ev_per_sec, cells.size(), env.reps(), serial_ms,
+                 parallel_ms, env.threads(), speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "common/bench_util.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,25 +11,43 @@
 namespace flep::benchutil
 {
 
+long
+envLong(const char *name, long fallback, long lo, long hi)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    bool ok = end != env && errno != ERANGE && v >= lo && v <= hi;
+    // Trailing whitespace is harmless; anything else is junk.
+    for (const char *p = end; ok && *p != '\0'; ++p) {
+        if (!std::isspace(static_cast<unsigned char>(*p)))
+            ok = false;
+    }
+    if (!ok) {
+        warn("ignoring invalid ", name, "='", env, "'");
+        return fallback;
+    }
+    return v;
+}
+
 namespace
 {
 
 int
 repsFromEnv()
 {
-    if (const char *env = std::getenv("FLEP_REPS")) {
-        const int reps = std::atoi(env);
-        if (reps >= 1)
-            return reps;
-        warn("ignoring invalid FLEP_REPS='", env, "'");
-    }
-    return 3;
+    return static_cast<int>(envLong("FLEP_REPS", 3, 1, 1000000));
 }
 
-} // namespace
-
-namespace
+int
+threadsFromEnv()
 {
+    // 0 = "pick hardware concurrency" (ThreadPool's convention).
+    return static_cast<int>(envLong("FLEP_THREADS", 0, 1, 4096));
+}
 
 OfflineArtifacts
 artifactsFromEnv(const BenchmarkSuite &suite, const GpuConfig &gpu)
@@ -45,50 +65,49 @@ artifactsFromEnv(const BenchmarkSuite &suite, const GpuConfig &gpu)
     return art;
 }
 
+/** Clone `cfg` with the r-th repetition seed (the historical policy:
+ *  every mean helper has always stepped seeds by 7919). */
+CoRunConfig
+repConfig(const CoRunConfig &cfg, int r)
+{
+    CoRunConfig run = cfg;
+    run.seed = cfg.seed + static_cast<std::uint64_t>(r) * 7919;
+    return run;
+}
+
 } // namespace
 
-BenchEnv::BenchEnv()
-    : gpu_(GpuConfig::keplerK40()),
-      artifacts_(artifactsFromEnv(suite_, gpu_)),
-      reps_(repsFromEnv())
+CellResult::CellResult(std::vector<CoRunResult> reps)
+    : reps_(std::move(reps))
 {}
 
 double
-BenchEnv::meanTurnaroundUs(const CoRunConfig &cfg, ProcessId pid)
+CellResult::meanTurnaroundUs(ProcessId pid) const
 {
     double acc = 0.0;
-    for (int r = 0; r < reps_; ++r) {
-        CoRunConfig run = cfg;
-        run.seed = cfg.seed + static_cast<std::uint64_t>(r) * 7919;
-        const auto res = runCoRun(suite_, artifacts_, run);
+    for (const auto &res : reps_) {
         const auto turnarounds = res.turnaroundsOf(pid);
         FLEP_ASSERT(!turnarounds.empty(),
                     "process produced no completed invocation");
         acc += ticksToUs(turnarounds.front());
     }
-    return acc / reps_;
+    return acc / static_cast<double>(reps_.size());
 }
 
 double
-BenchEnv::meanMakespanUs(const CoRunConfig &cfg)
+CellResult::meanMakespanUs() const
 {
     double acc = 0.0;
-    for (int r = 0; r < reps_; ++r) {
-        CoRunConfig run = cfg;
-        run.seed = cfg.seed + static_cast<std::uint64_t>(r) * 7919;
-        acc += ticksToUs(runCoRun(suite_, artifacts_, run).makespanNs);
-    }
-    return acc / reps_;
+    for (const auto &res : reps_)
+        acc += ticksToUs(res.makespanNs);
+    return acc / static_cast<double>(reps_.size());
 }
 
 double
-BenchEnv::meanExecUs(const CoRunConfig &cfg, ProcessId pid)
+CellResult::meanExecUs(ProcessId pid) const
 {
     double acc = 0.0;
-    for (int r = 0; r < reps_; ++r) {
-        CoRunConfig run = cfg;
-        run.seed = cfg.seed + static_cast<std::uint64_t>(r) * 7919;
-        const auto res = runCoRun(suite_, artifacts_, run);
+    for (const auto &res : reps_) {
         double exec_us = 0.0;
         for (const auto &inv : res.invocations) {
             if (inv.process == pid) {
@@ -99,7 +118,62 @@ BenchEnv::meanExecUs(const CoRunConfig &cfg, ProcessId pid)
         FLEP_ASSERT(exec_us > 0.0, "no execution span recorded");
         acc += exec_us;
     }
-    return acc / reps_;
+    return acc / static_cast<double>(reps_.size());
+}
+
+BenchEnv::BenchEnv()
+    : gpu_(GpuConfig::keplerK40()),
+      artifacts_(artifactsFromEnv(suite_, gpu_)),
+      reps_(repsFromEnv()),
+      pool_(threadsFromEnv())
+{}
+
+std::vector<CoRunResult>
+BenchEnv::runBatch(const std::vector<CoRunConfig> &cfgs)
+{
+    return runCoRunBatch(suite_, artifacts_, cfgs, pool_);
+}
+
+std::vector<CellResult>
+BenchEnv::sweep(const std::vector<CoRunConfig> &cells)
+{
+    std::vector<CoRunConfig> runs;
+    runs.reserve(cells.size() * static_cast<std::size_t>(reps_));
+    for (const auto &cell : cells) {
+        for (int r = 0; r < reps_; ++r)
+            runs.push_back(repConfig(cell, r));
+    }
+    std::vector<CoRunResult> results = runBatch(runs);
+
+    std::vector<CellResult> out;
+    out.reserve(cells.size());
+    auto it = results.begin();
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::vector<CoRunResult> reps(
+            std::make_move_iterator(it),
+            std::make_move_iterator(it + reps_));
+        it += reps_;
+        out.emplace_back(std::move(reps));
+    }
+    return out;
+}
+
+double
+BenchEnv::meanTurnaroundUs(const CoRunConfig &cfg, ProcessId pid)
+{
+    return sweep({cfg}).front().meanTurnaroundUs(pid);
+}
+
+double
+BenchEnv::meanMakespanUs(const CoRunConfig &cfg)
+{
+    return sweep({cfg}).front().meanMakespanUs();
+}
+
+double
+BenchEnv::meanExecUs(const CoRunConfig &cfg, ProcessId pid)
+{
+    return sweep({cfg}).front().meanExecUs(pid);
 }
 
 double

@@ -8,20 +8,59 @@
  * measured-vs-paper comparisons are self-contained.
  *
  * Environment knobs:
- *   FLEP_REPS  repetitions per data point (default 3; the paper
- *              averages 10 — set FLEP_REPS=10 to match).
+ *   FLEP_REPS     repetitions per data point (default 3; the paper
+ *                 averages 10 — set FLEP_REPS=10 to match).
+ *   FLEP_THREADS  worker threads for fanning independent simulations
+ *                 out (default: hardware concurrency; 1 reproduces
+ *                 the serial execution exactly).
+ *
+ * Results are independent of FLEP_THREADS: every simulation derives
+ * its randomness from its own seed, so a parallel sweep is
+ * bit-identical to the serial loop it replaces.
  */
 
 #ifndef FLEP_BENCH_COMMON_BENCH_UTIL_HH
 #define FLEP_BENCH_COMMON_BENCH_UTIL_HH
 
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "flep/experiment.hh"
 
 namespace flep::benchutil
 {
+
+/**
+ * Strictly parse an integer environment variable. Rejects trailing
+ * junk ("3abc"), out-of-range values and empty strings with a
+ * warning, falling back to `fallback`. Accepted values are clamped
+ * to [lo, hi] by rejection, not saturation.
+ */
+long envLong(const char *name, long fallback, long lo, long hi);
+
+/** One sweep cell: the reps() co-runs of one configuration. */
+class CellResult
+{
+  public:
+    explicit CellResult(std::vector<CoRunResult> reps);
+
+    /** The individual repetition results, in seed order. */
+    const std::vector<CoRunResult> &reps() const { return reps_; }
+
+    /** Mean turnaround of process `pid`'s first invocation, us. */
+    double meanTurnaroundUs(ProcessId pid) const;
+
+    /** Mean makespan, us. */
+    double meanMakespanUs() const;
+
+    /** Mean GPU execution span of `pid`'s first invocation, us. */
+    double meanExecUs(ProcessId pid) const;
+
+  private:
+    std::vector<CoRunResult> reps_;
+};
 
 /** Shared per-binary environment (suite, device, offline artifacts). */
 class BenchEnv
@@ -33,6 +72,23 @@ class BenchEnv
     const GpuConfig &gpu() const { return gpu_; }
     const OfflineArtifacts &artifacts() const { return artifacts_; }
     int reps() const { return reps_; }
+    int threads() const { return pool_.size(); }
+
+    /**
+     * Run every config in one parallel batch; results come back in
+     * input order. The workhorse for figure sweeps that manage their
+     * own repetitions (or none, e.g. the FFS share curves).
+     */
+    std::vector<CoRunResult> runBatch(
+        const std::vector<CoRunConfig> &cfgs);
+
+    /**
+     * Expand each cell into reps() seed-derived runs (seed + r*7919,
+     * as the serial helpers always did), execute the whole sweep as
+     * one batch across the pool, and regroup per cell.
+     */
+    std::vector<CellResult> sweep(
+        const std::vector<CoRunConfig> &cells);
 
     /** Mean co-run turnaround of process `pid`'s first invocation
      *  over reps() seeds, in microseconds. */
@@ -53,6 +109,7 @@ class BenchEnv
     GpuConfig gpu_;
     OfflineArtifacts artifacts_;
     int reps_;
+    ThreadPool pool_;
 };
 
 /** Print a standard header naming the figure being regenerated. */

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,20 +10,22 @@ namespace flep
 namespace
 {
 
-LogLevel globalLevel = LogLevel::Normal;
+// Atomic so worker threads of a parallel batch can consult the level
+// while the main thread (re)configures it.
+std::atomic<LogLevel> globalLevel{LogLevel::Normal};
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 namespace detail

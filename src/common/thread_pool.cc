@@ -1,0 +1,55 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace flep
+{
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    size_ = threads <= 0 ? hardwareThreads() : threads;
+    if (size_ <= 1)
+        return; // inline mode: submit() executes in the caller.
+    workers_.reserve(static_cast<std::size_t>(size_));
+    for (int i = 0; i < size_; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this]() { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stopping and drained
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        // packaged_task routes any exception into the future.
+        task();
+    }
+}
+
+} // namespace flep

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for fanning out independent
+ * simulations (parameter sweeps, repetition batches).
+ *
+ * The pool is deliberately minimal: tasks are opaque callables, there
+ * is no work stealing or priority, and results flow back through
+ * std::future. parallelMap() is the intended entry point — it maps an
+ * index range through a callable and returns the results in input
+ * order, so callers get deterministic output regardless of how the
+ * workers interleave.
+ *
+ * A pool resolved to a single thread executes everything inline in the
+ * calling thread, which reproduces serial behaviour exactly (same
+ * thread, same order, including any logging interleavings).
+ */
+
+#ifndef FLEP_COMMON_THREAD_POOL_HH
+#define FLEP_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace flep
+{
+
+/**
+ * Fixed-size worker pool. Construction spawns the workers; the
+ * destructor drains the queue and joins them.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; <= 0 picks hardwareThreads().
+     * A resolved count of 1 spawns no workers: tasks run inline in
+     * the submitting thread (exact serial semantics).
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Resolved thread count (>= 1 even when running inline). */
+    int size() const { return size_; }
+
+    /** Detected hardware concurrency, always >= 1. */
+    static int hardwareThreads();
+
+    /**
+     * Queue one task; the future carries its result or exception.
+     * With size() == 1 the task runs before submit() returns.
+     */
+    template <typename Fn, typename R = std::invoke_result_t<Fn &>>
+    std::future<R>
+    submit(Fn fn)
+    {
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> fut = task->get_future();
+        if (workers_.empty()) {
+            (*task)();
+            return fut;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.push([task]() { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /**
+     * Evaluate fn(0) .. fn(n-1) across the pool and return the results
+     * in index order. All tasks are run to completion even when some
+     * throw; the exception of the lowest-index failure is rethrown
+     * (matching what a serial loop would surface first).
+     */
+    template <typename Fn>
+    auto
+    parallelMap(std::size_t n, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        using R = std::invoke_result_t<Fn &, std::size_t>;
+        std::vector<R> out;
+        out.reserve(n);
+        if (workers_.empty() || n <= 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                out.push_back(fn(i));
+            return out;
+        }
+        std::vector<std::future<R>> futures;
+        futures.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            futures.push_back(submit([&fn, i]() { return fn(i); }));
+        std::exception_ptr first_error;
+        for (auto &f : futures) {
+            try {
+                out.push_back(f.get());
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return out;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    int size_ = 1;
+};
+
+} // namespace flep
+
+#endif // FLEP_COMMON_THREAD_POOL_HH

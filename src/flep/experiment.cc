@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <memory>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "gpu/measure.hh"
@@ -54,9 +55,14 @@ const OfflineArtifacts &
 defaultArtifacts(const BenchmarkSuite &suite, const GpuConfig &cfg)
 {
     // The K40 preset is the only configuration benches use; training
-    // takes about a second, so one lazy shared copy suffices.
-    static OfflineArtifacts cached = runOfflinePhase(
-        suite, cfg, 100, 50, 999);
+    // takes about a second, so one lazy shared copy suffices. Trained
+    // under call_once so concurrent first callers (a parallel batch)
+    // block until the single training run finishes.
+    static std::once_flag once;
+    static OfflineArtifacts cached;
+    std::call_once(once, [&]() {
+        cached = runOfflinePhase(suite, cfg, 100, 50, 999);
+    });
     return cached;
 }
 
@@ -185,23 +191,53 @@ runCoRun(const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
     return result;
 }
 
+std::vector<CoRunResult>
+runCoRunBatch(const BenchmarkSuite &suite,
+              const OfflineArtifacts &artifacts,
+              const std::vector<CoRunConfig> &cfgs, ThreadPool &pool)
+{
+    return pool.parallelMap(cfgs.size(), [&](std::size_t i) {
+        return runCoRun(suite, artifacts, cfgs[i]);
+    });
+}
+
+std::vector<CoRunResult>
+runCoRunBatch(const BenchmarkSuite &suite,
+              const OfflineArtifacts &artifacts,
+              const std::vector<CoRunConfig> &cfgs, int threads)
+{
+    ThreadPool pool(threads);
+    return runCoRunBatch(suite, artifacts, cfgs, pool);
+}
+
 double
 soloTurnaroundNs(const BenchmarkSuite &suite, const GpuConfig &cfg,
                  const std::string &workload, InputClass input, int reps)
 {
-    // Cached per (workload, input class): the benches ask for the
-    // same references hundreds of times.
+    // Cached because the benches ask for the same references hundreds
+    // of times. Keyed by the full GPU config (two devices must not
+    // share timings — the device-size ablation runs both) plus reps,
+    // and mutex-guarded for parallel batch callers.
+    static std::mutex mutex;
     static std::map<std::string, double> cache;
-    const std::string key =
-        workload + "/" + inputClassName(input);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    const std::string key = cfg.cacheKey() + "|" + workload + "/" +
+                            inputClassName(input) + "/" +
+                            std::to_string(reps);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
 
+    // Measure outside the lock: the run is deterministic, so a rare
+    // duplicate computation is wasted work, not wrong results.
     const Workload &w = suite.byName(workload);
     const auto desc =
         w.makeLaunch(w.input(input), ExecMode::Original, 1, 0);
     const double ns = soloMeanDurationNs(cfg, desc, 555, reps);
+
+    std::lock_guard<std::mutex> lock(mutex);
     cache.emplace(key, ns);
     return ns;
 }

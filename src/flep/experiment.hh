@@ -17,6 +17,7 @@
 #include "baselines/mps_baseline.hh"
 #include "baselines/reorder.hh"
 #include "baselines/slicing.hh"
+#include "common/thread_pool.hh"
 #include "flep/metrics.hh"
 #include "perfmodel/overhead_profiler.hh"
 #include "perfmodel/trainer.hh"
@@ -129,8 +130,30 @@ CoRunResult runCoRun(const BenchmarkSuite &suite,
                      const CoRunConfig &cfg);
 
 /**
+ * Run a batch of independent co-run experiments, fanned out across a
+ * worker pool, and return the results in input order.
+ *
+ * Each simulation derives all of its randomness from its own config's
+ * seed and shares no mutable state with its siblings, so results are
+ * bit-identical to running the same configs through a serial
+ * runCoRun() loop, for any thread count and any interleaving.
+ *
+ * @param threads pool width; <= 0 picks hardware concurrency, 1 runs
+ *                serially in the calling thread.
+ */
+std::vector<CoRunResult> runCoRunBatch(
+    const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
+    const std::vector<CoRunConfig> &cfgs, int threads = 0);
+
+/** As above, reusing an existing pool (e.g. one per bench binary). */
+std::vector<CoRunResult> runCoRunBatch(
+    const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
+    const std::vector<CoRunConfig> &cfgs, ThreadPool &pool);
+
+/**
  * Mean solo turnaround of a benchmark input in Original (baseline)
- * form, for metric normalization. Cached per (workload, class).
+ * form, for metric normalization. Cached per (gpu config, workload,
+ * class, reps); the cache is thread-safe.
  */
 double soloTurnaroundNs(const BenchmarkSuite &suite, const GpuConfig &cfg,
                         const std::string &workload, InputClass input,

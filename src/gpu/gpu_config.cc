@@ -1,9 +1,24 @@
 #include "gpu/gpu_config.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace flep
 {
+
+std::string
+GpuConfig::cacheKey() const
+{
+    std::ostringstream os;
+    os << numSms << '/' << maxThreadsPerSm << '/' << maxCtasPerSm
+       << '/' << regsPerSm << '/' << smemPerSm << '/' << warpSize
+       << '/' << pinnedReadNs << '/' << pinnedWriteVisibleNs << '/'
+       << atomicNs << '/' << kernelLaunchNs << '/' << streamLaunchGapNs
+       << '/' << ctaDispatchNs << '/' << ipcNs << '/'
+       << coldRestartFactor << '/' << contentionQuantumNs;
+    return os.str();
+}
 
 GpuConfig
 GpuConfig::keplerK40()

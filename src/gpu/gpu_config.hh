@@ -10,6 +10,8 @@
 #ifndef FLEP_GPU_GPU_CONFIG_HH
 #define FLEP_GPU_GPU_CONFIG_HH
 
+#include <string>
+
 #include "common/types.hh"
 
 namespace flep
@@ -95,6 +97,12 @@ struct GpuConfig
     {
         return numSms * ctas_per_sm;
     }
+
+    /**
+     * Compact string covering every field, usable as a cache key:
+     * configs with equal keys simulate identically.
+     */
+    std::string cacheKey() const;
 
     /** The K40 preset used throughout the evaluation. */
     static GpuConfig keplerK40();

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace flep
@@ -11,8 +13,9 @@ EventQueue::schedule(Tick when, Callback cb)
     FLEP_ASSERT(when >= now_, "cannot schedule into the past: when=",
                 when, " now=", now_);
     const EventId id = nextId_++;
-    queue_.push(Entry{when, nextSeq_++, id});
-    callbacks_.emplace(id, std::move(cb));
+    heap_.push_back(Entry{when, id, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    state_.push_back(State::Pending);
     ++live_;
     return id;
 }
@@ -26,30 +29,52 @@ EventQueue::scheduleAfter(Tick delay, Callback cb)
 bool
 EventQueue::deschedule(EventId id)
 {
-    auto it = callbacks_.find(id);
-    if (it == callbacks_.end())
+    if (id == 0 || id >= nextId_)
         return false;
-    callbacks_.erase(it);
+    State &s = stateOf(id);
+    if (s != State::Pending)
+        return false;
+    s = State::Cancelled;
     --live_;
     return true;
+}
+
+void
+EventQueue::dropTop()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
 }
 
 bool
 EventQueue::popNext(Callback &cb)
 {
-    while (!queue_.empty()) {
-        const Entry top = queue_.top();
-        auto it = callbacks_.find(top.id);
-        if (it == callbacks_.end()) {
-            // Cancelled event: discard the stale heap entry.
-            queue_.pop();
+    while (!heap_.empty()) {
+        if (stateOf(heap_.front().id) == State::Cancelled) {
+            // Tombstoned: discard the stale heap entry.
+            dropTop();
             continue;
         }
-        now_ = top.when;
-        cb = std::move(it->second);
-        callbacks_.erase(it);
-        queue_.pop();
+        now_ = heap_.front().when;
+        stateOf(heap_.front().id) = State::Fired;
+        std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+        cb = std::move(heap_.back().cb);
+        heap_.pop_back();
         --live_;
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::peekNextTime(Tick &when)
+{
+    while (!heap_.empty()) {
+        if (stateOf(heap_.front().id) == State::Cancelled) {
+            dropTop();
+            continue;
+        }
+        when = heap_.front().when;
         return true;
     }
     return false;
@@ -77,17 +102,9 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!queue_.empty()) {
-        // Skip stale entries to find the true next event time.
-        const Entry top = queue_.top();
-        if (!callbacks_.count(top.id)) {
-            queue_.pop();
-            continue;
-        }
-        if (top.when > limit)
-            break;
+    Tick next = 0;
+    while (peekNextTime(next) && next <= limit)
         step();
-    }
     if (now_ < limit)
         now_ = limit;
     return now_;

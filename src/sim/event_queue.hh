@@ -8,8 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -24,6 +22,13 @@ using EventId = std::uint64_t;
  * Time-ordered queue of callbacks. Events scheduled for the same tick
  * fire in scheduling order (FIFO), which keeps co-run experiments
  * deterministic.
+ *
+ * Hot-path layout: each heap entry carries its callback inline, so
+ * scheduling and firing an event touches only the heap vector (and the
+ * callback's own small-object buffer) — no per-event hash-map insert
+ * or erase. Cancellation, which is rare, marks a tombstone in a flat
+ * per-id state table; the stale heap entry is discarded lazily when it
+ * surfaces at the top.
  */
 class EventQueue
 {
@@ -45,8 +50,8 @@ class EventQueue
     EventId scheduleAfter(Tick delay, Callback cb);
 
     /**
-     * Cancel a pending event. Cancelling an already-fired or unknown
-     * id is a no-op and returns false.
+     * Cancel a pending event. Cancelling an already-fired, cancelled
+     * or unknown id is a no-op and returns false.
      */
     bool deschedule(EventId id);
 
@@ -78,30 +83,57 @@ class EventQueue
     std::uint64_t executedCount() const { return executed_; }
 
   private:
+    /** Lifecycle of an id in the state table. */
+    enum class State : std::uint8_t
+    {
+        Pending,
+        Fired,
+        Cancelled // tombstone: heap entry pruned lazily
+    };
+
     struct Entry
     {
         Tick when;
-        std::uint64_t seq;
-        EventId id;
+        EventId id; // ids are issued in schedule order → FIFO tiebreak
+        Callback cb;
 
         bool
-        operator>(const Entry &o) const
+        after(const Entry &o) const
         {
             if (when != o.when)
                 return when > o.when;
-            return seq > o.seq;
+            return id > o.id;
+        }
+    };
+
+    struct EntryAfter
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a.after(b);
         }
     };
 
     bool popNext(Callback &cb);
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-    // Callbacks stored separately so cancellation is O(1); cancelled
-    // ids are simply absent when their heap entry surfaces.
-    std::unordered_map<EventId, Callback> callbacks_;
+    /** Prune cancelled tops; @return the earliest live entry time, or
+     *  false when none remain. */
+    bool peekNextTime(Tick &when);
+
+    /** Drop the top heap entry (its state already accounts for it). */
+    void dropTop();
+
+    State &stateOf(EventId id) { return state_[id - 1]; }
+
+    // Min-heap on (when, id) kept with std::push_heap/std::pop_heap so
+    // the top entry's callback can be moved out before removal.
+    std::vector<Entry> heap_;
+    // One byte per issued id: Pending / Fired / Cancelled. Indexed by
+    // id - 1; direct indexing replaces the former unordered_map.
+    std::vector<State> state_;
 
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;
     std::size_t live_ = 0;
     std::uint64_t executed_ = 0;

@@ -1,0 +1,140 @@
+/** @file Tests for the worker thread pool. */
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, DefaultSizeIsHardwareConcurrency)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+    ThreadPool clamped(-5);
+    EXPECT_EQ(clamped.size(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder)
+{
+    ThreadPool pool(4);
+    const auto out = pool.parallelMap(
+        100, [](std::size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInCaller)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen;
+    const auto order = pool.parallelMap(10, [&](std::size_t i) {
+        seen.push_back(std::this_thread::get_id());
+        return i;
+    });
+    // Degenerate case: exact serial semantics — caller's thread,
+    // submission order.
+    for (const auto &id : seen)
+        EXPECT_EQ(id, caller);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SubmitDeliversResultThroughFuture)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit([]() { return 40 + 2; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromParallelMap)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelMap(50,
+                                  [](std::size_t i) {
+                                      if (i == 37) {
+                                          throw std::runtime_error(
+                                              "task 37 failed");
+                                      }
+                                      return i;
+                                  }),
+                 std::runtime_error);
+    // The pool survives a failed map and stays usable.
+    const auto ok =
+        pool.parallelMap(8, [](std::size_t i) { return i + 1; });
+    EXPECT_EQ(ok.back(), 8u);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelMap(20, [](std::size_t i) {
+            if (i == 5)
+                throw std::runtime_error("five");
+            if (i == 15)
+                throw std::runtime_error("fifteen");
+            return i;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "five");
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesInline)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelMap(3,
+                                  [](std::size_t) -> int {
+                                      throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllExecuteExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    const auto out = pool.parallelMap(500, [&](std::size_t i) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        return i;
+    });
+    EXPECT_EQ(calls.load(), 500);
+    EXPECT_EQ(out.size(), 500u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        std::vector<std::future<int>> futs;
+        for (int i = 0; i < 32; ++i) {
+            futs.push_back(pool.submit([&done]() {
+                return done.fetch_add(1, std::memory_order_relaxed);
+            }));
+        }
+        for (auto &f : futs)
+            f.get();
+    }
+    EXPECT_EQ(done.load(), 32);
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,181 @@
+/** @file Parallel batch runner vs. serial loop: bit-identical results. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flep/experiment.hh"
+
+namespace flep
+{
+namespace
+{
+
+/** Shared fixtures: train once for the whole file. */
+class ParallelCoRunTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        // Reduced offline effort keeps the test fast; accuracy is
+        // covered by the perfmodel tests.
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 30, 8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+        artifacts_ = nullptr;
+        suite_ = nullptr;
+    }
+
+    /** A batch touching every scheduler kind and several seeds. */
+    static std::vector<CoRunConfig>
+    mixedBatch()
+    {
+        const std::vector<SchedulerKind> kinds = {
+            SchedulerKind::Mps, SchedulerKind::FlepHpf,
+            SchedulerKind::FlepFfs};
+        std::vector<CoRunConfig> cfgs;
+        for (SchedulerKind kind : kinds) {
+            for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+                CoRunConfig cfg;
+                cfg.scheduler = kind;
+                cfg.seed = seed * 101;
+                cfg.kernels = {
+                    {"NN", InputClass::Small, 0, 0, 1},
+                    {"SPMV", InputClass::Small, 5, 20000, 1}};
+                cfgs.push_back(cfg);
+            }
+        }
+        return cfgs;
+    }
+
+    static void
+    expectIdentical(const CoRunResult &a, const CoRunResult &b)
+    {
+        ASSERT_EQ(a.invocations.size(), b.invocations.size());
+        for (std::size_t i = 0; i < a.invocations.size(); ++i) {
+            EXPECT_EQ(a.invocations[i].process,
+                      b.invocations[i].process);
+            EXPECT_EQ(a.invocations[i].finishTick,
+                      b.invocations[i].finishTick);
+            EXPECT_EQ(a.invocations[i].turnaroundNs(),
+                      b.invocations[i].turnaroundNs());
+        }
+        EXPECT_EQ(a.makespanNs, b.makespanNs);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_EQ(a.overallShare, b.overallShare);
+        EXPECT_EQ(a.shareSeries, b.shareSeries);
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *ParallelCoRunTest::suite_ = nullptr;
+OfflineArtifacts *ParallelCoRunTest::artifacts_ = nullptr;
+
+TEST_F(ParallelCoRunTest, BatchMatchesSerialLoopAcrossSchedulers)
+{
+    const auto cfgs = mixedBatch();
+
+    std::vector<CoRunResult> serial;
+    for (const auto &cfg : cfgs)
+        serial.push_back(runCoRun(*suite_, *artifacts_, cfg));
+
+    const auto batch = runCoRunBatch(*suite_, *artifacts_, cfgs, 4);
+
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], batch[i]);
+}
+
+TEST_F(ParallelCoRunTest, OneThreadBatchMatchesSerialLoop)
+{
+    const auto cfgs = mixedBatch();
+    std::vector<CoRunResult> serial;
+    for (const auto &cfg : cfgs)
+        serial.push_back(runCoRun(*suite_, *artifacts_, cfg));
+    const auto batch = runCoRunBatch(*suite_, *artifacts_, cfgs, 1);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], batch[i]);
+}
+
+TEST_F(ParallelCoRunTest, RepeatedParallelRunsAgree)
+{
+    // Thread interleavings must not leak into results: two parallel
+    // executions of the same batch are bit-identical.
+    const auto cfgs = mixedBatch();
+    const auto a = runCoRunBatch(*suite_, *artifacts_, cfgs, 4);
+    const auto b = runCoRunBatch(*suite_, *artifacts_, cfgs, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdentical(a[i], b[i]);
+}
+
+TEST_F(ParallelCoRunTest, ShareTrackingSurvivesParallelExecution)
+{
+    std::vector<CoRunConfig> cfgs;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        CoRunConfig cfg;
+        cfg.scheduler = SchedulerKind::FlepFfs;
+        cfg.seed = seed;
+        cfg.kernels = {{"NN", InputClass::Small, 2, 10000, -1},
+                       {"PF", InputClass::Small, 1, 10000, -1}};
+        cfg.horizonNs = 30 * ticksPerMs;
+        cfg.shareWindowNs = 10 * ticksPerMs;
+        cfgs.push_back(cfg);
+    }
+    std::vector<CoRunResult> serial;
+    for (const auto &cfg : cfgs)
+        serial.push_back(runCoRun(*suite_, *artifacts_, cfg));
+    const auto batch = runCoRunBatch(*suite_, *artifacts_, cfgs, 4);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], batch[i]);
+}
+
+TEST_F(ParallelCoRunTest, EmptyBatchIsEmpty)
+{
+    const auto out =
+        runCoRunBatch(*suite_, *artifacts_, {}, 4);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(ParallelCoRunTest, SoloCacheKeyedByGpuConfig)
+{
+    // Two devices must not share cached solo timings (the device-size
+    // ablation runs both presets in one process).
+    const double k40 = soloTurnaroundNs(
+        *suite_, GpuConfig::keplerK40(), "VA", InputClass::Small);
+    const double tiny = soloTurnaroundNs(
+        *suite_, GpuConfig::tiny(), "VA", InputClass::Small);
+    EXPECT_NE(k40, tiny);
+    // Repeat lookups hit the cache and stay stable.
+    EXPECT_EQ(k40, soloTurnaroundNs(*suite_, GpuConfig::keplerK40(),
+                                    "VA", InputClass::Small));
+    EXPECT_EQ(tiny, soloTurnaroundNs(*suite_, GpuConfig::tiny(), "VA",
+                                     InputClass::Small));
+}
+
+TEST_F(ParallelCoRunTest, ConcurrentSoloLookupsAreSafe)
+{
+    ThreadPool pool(4);
+    const auto vals = pool.parallelMap(8, [&](std::size_t i) {
+        const InputClass input =
+            i % 2 == 0 ? InputClass::Small : InputClass::Trivial;
+        return soloTurnaroundNs(*suite_, GpuConfig::keplerK40(), "MM",
+                                input);
+    });
+    for (std::size_t i = 2; i < vals.size(); ++i)
+        EXPECT_EQ(vals[i], vals[i - 2]);
+}
+
+} // namespace
+} // namespace flep

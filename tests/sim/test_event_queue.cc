@@ -133,6 +133,110 @@ TEST(Simulation, SameSeedForksSameRngs)
     EXPECT_EQ(ra.next(), rb.next());
 }
 
+TEST(EventQueue, DescheduleTwiceReturnsFalseSecondTime)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, []() {});
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_FALSE(q.deschedule(id));
+    EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueue, DescheduleEarliestThenRunUntilSkipsTombstone)
+{
+    EventQueue q;
+    std::vector<int> order;
+    const EventId first = q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.deschedule(first);
+    // runUntil must prune the cancelled head and stop on the true
+    // next event time, not the tombstone's.
+    q.runUntil(25);
+    EXPECT_EQ(order, (std::vector<int>{2}));
+    EXPECT_EQ(q.now(), 25u);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(EventQueue, RunUntilAdvancesPastCancelledOnlyQueue)
+{
+    EventQueue q;
+    const EventId a = q.schedule(10, []() {});
+    const EventId b = q.schedule(20, []() {});
+    q.deschedule(a);
+    q.deschedule(b);
+    EXPECT_TRUE(q.empty());
+    q.runUntil(100);
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_EQ(q.executedCount(), 0u);
+}
+
+TEST(EventQueue, CancelledEventsAreNotCountedAsExecuted)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i) {
+        const EventId id =
+            q.schedule(static_cast<Tick>(i), [&]() { ++fired; });
+        if (i % 2 == 1)
+            q.deschedule(id);
+    }
+    q.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.executedCount(), 5u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SchedulingAfterCancelKeepsFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&]() { order.push_back(0); });
+    const EventId cancel = q.schedule(5, [&]() { order.push_back(1); });
+    q.schedule(5, [&]() { order.push_back(2); });
+    q.deschedule(cancel);
+    q.schedule(5, [&]() { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(EventQueue, CallbackCanCancelLaterEvent)
+{
+    EventQueue q;
+    bool late_ran = false;
+    EventId late = 0;
+    late = q.schedule(50, [&]() { late_ran = true; });
+    q.schedule(10, [&]() { EXPECT_TRUE(q.deschedule(late)); });
+    q.run();
+    EXPECT_FALSE(late_ran);
+    EXPECT_EQ(q.executedCount(), 1u);
+}
+
+TEST(EventQueue, StressRandomCancellations)
+{
+    EventQueue q;
+    Rng rng(99);
+    std::vector<EventId> ids;
+    int fired = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const Tick when = static_cast<Tick>(rng.uniformInt(0, 50000));
+        ids.push_back(q.schedule(when, [&fired]() { ++fired; }));
+    }
+    std::size_t cancelled = 0;
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+        if (q.deschedule(ids[i]))
+            ++cancelled;
+    }
+    EXPECT_EQ(q.pendingCount(), 5000u - cancelled);
+    q.run();
+    EXPECT_EQ(static_cast<std::size_t>(fired), 5000u - cancelled);
+    // Every cancelled id stays cancelled: deschedule after run is
+    // false for fired and cancelled alike.
+    for (EventId id : ids)
+        EXPECT_FALSE(q.deschedule(id));
+}
+
 TEST(EventQueue, StressManyEventsStayOrdered)
 {
     EventQueue q;
