@@ -13,7 +13,7 @@
  *     wall milliseconds plus the resulting speedup.
  *
  * JSON schema (all numbers):
- *   schema_version        1
+ *   schema_version        2
  *   events_per_sec        event-queue micro throughput
  *   sweep_cells           configs in the sweep (pairs x schedulers)
  *   sweep_reps            repetitions per config (FLEP_REPS)
@@ -22,15 +22,24 @@
  *   threads               parallel worker count (FLEP_THREADS or
  *                         hardware concurrency)
  *   parallel_speedup      sweep_serial_ms / sweep_parallel_ms
+ *   trace_off_ms          serial sweep, tracing disabled
+ *                         (= sweep_serial_ms)
+ *   trace_on_ms           the same serial sweep recording into
+ *                         in-memory trace recorders
+ *   trace_overhead_pct    100 * (trace_on / trace_off - 1)
+ *   trace_events          events recorded across the traced sweep
+ *   trace_events_per_sec  trace_events / trace_on seconds
  */
 
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <vector>
 
 #include "common/bench_util.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "obs/trace_recorder.hh"
 #include "sim/event_queue.hh"
 
 using namespace flep;
@@ -141,6 +150,36 @@ main()
                 runs.size(), serial_ms, env.threads(), parallel_ms,
                 speedup);
 
+    // Tracing overhead: the identical serial sweep, each run recording
+    // into its own in-memory recorder (the tracing-off reference is
+    // the serial pass above). This is the number the "tracing must be
+    // cheap when off, affordable when on" goal is judged by.
+    std::vector<CoRunConfig> traced(runs);
+    std::deque<TraceRecorder> recorders;
+    for (auto &run : traced) {
+        recorders.emplace_back();
+        run.tracer = &recorders.back();
+    }
+    const auto t_traced = std::chrono::steady_clock::now();
+    const auto traced_res =
+        runCoRunBatch(env.suite(), env.artifacts(), traced, 1);
+    const double traced_ms = wallMs(t_traced);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        if (serial[i].makespanNs != traced_res[i].makespanNs)
+            fatal("traced batch diverged from serial at run ", i);
+    }
+    std::size_t trace_events = 0;
+    for (const auto &tr : recorders)
+        trace_events += tr.eventCount();
+    const double trace_overhead_pct =
+        (traced_ms / serial_ms - 1.0) * 100.0;
+    const double trace_events_per_sec =
+        static_cast<double>(trace_events) / (traced_ms / 1000.0);
+    std::printf("tracing: off %.0f ms, on %.0f ms (%+.1f%%), "
+                "%zu events\n",
+                serial_ms, traced_ms, trace_overhead_pct,
+                trace_events);
+
     const char *out = std::getenv("FLEP_SELFPERF_OUT");
     const char *path = out != nullptr ? out : "BENCH_selfperf.json";
     std::FILE *f = std::fopen(path, "w");
@@ -150,17 +189,24 @@ main()
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 1,\n"
+                 "  \"schema_version\": 2,\n"
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"sweep_cells\": %zu,\n"
                  "  \"sweep_reps\": %d,\n"
                  "  \"sweep_serial_ms\": %.1f,\n"
                  "  \"sweep_parallel_ms\": %.1f,\n"
                  "  \"threads\": %d,\n"
-                 "  \"parallel_speedup\": %.3f\n"
+                 "  \"parallel_speedup\": %.3f,\n"
+                 "  \"trace_off_ms\": %.1f,\n"
+                 "  \"trace_on_ms\": %.1f,\n"
+                 "  \"trace_overhead_pct\": %.2f,\n"
+                 "  \"trace_events\": %zu,\n"
+                 "  \"trace_events_per_sec\": %.0f\n"
                  "}\n",
                  ev_per_sec, cells.size(), env.reps(), serial_ms,
-                 parallel_ms, env.threads(), speedup);
+                 parallel_ms, env.threads(), speedup, serial_ms,
+                 traced_ms, trace_overhead_pct, trace_events,
+                 trace_events_per_sec);
     std::fclose(f);
     std::printf("wrote %s\n", path);
     return 0;

@@ -75,6 +75,34 @@ repConfig(const CoRunConfig &cfg, int r)
     return run;
 }
 
+/**
+ * FLEP_TRACE=<path>: record one co-run of this bench process — the
+ * first FLEP (HPF/FFS) config of the first batch, because those
+ * exercise the preemption path, falling back to the first config —
+ * and write its Chrome trace-event JSON to <path>.
+ */
+void
+attachTraceFromEnv(std::vector<CoRunConfig> &cfgs)
+{
+    static bool consumed = false;
+    const char *path = std::getenv("FLEP_TRACE");
+    if (path == nullptr || *path == '\0' || consumed || cfgs.empty())
+        return;
+    consumed = true;
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        if (cfgs[i].scheduler == SchedulerKind::FlepHpf ||
+            cfgs[i].scheduler == SchedulerKind::FlepFfs) {
+            pick = i;
+            break;
+        }
+    }
+    cfgs[pick].tracePath = path;
+    inform("FLEP_TRACE: tracing ",
+           schedulerKindName(cfgs[pick].scheduler), " co-run to ",
+           path);
+}
+
 } // namespace
 
 CellResult::CellResult(std::vector<CoRunResult> reps)
@@ -131,7 +159,9 @@ BenchEnv::BenchEnv()
 std::vector<CoRunResult>
 BenchEnv::runBatch(const std::vector<CoRunConfig> &cfgs)
 {
-    return runCoRunBatch(suite_, artifacts_, cfgs, pool_);
+    std::vector<CoRunConfig> runs(cfgs);
+    attachTraceFromEnv(runs);
+    return runCoRunBatch(suite_, artifacts_, runs, pool_);
 }
 
 std::vector<CellResult>

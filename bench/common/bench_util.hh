@@ -13,6 +13,11 @@
  *   FLEP_THREADS  worker threads for fanning independent simulations
  *                 out (default: hardware concurrency; 1 reproduces
  *                 the serial execution exactly).
+ *   FLEP_TRACE    when set to a path, record one co-run of the first
+ *                 batch (preferring a FLEP-scheduled config, whose
+ *                 trace shows the preemption path) and write it as
+ *                 Chrome trace-event JSON, loadable in Perfetto or
+ *                 chrome://tracing.
  *
  * Results are independent of FLEP_THREADS: every simulation derives
  * its randomness from its own seed, so a parallel sweep is

@@ -19,6 +19,7 @@ SampleStats::add(double x)
         max_ = std::max(max_, x);
     }
     samples_.push_back(x);
+    sortedValid_ = false;
     sum_ += x;
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(samples_.size());
@@ -38,18 +39,23 @@ SampleStats::percentile(double p) const
 {
     if (samples_.empty())
         return 0.0;
-    std::vector<double> sorted(samples_);
-    std::sort(sorted.begin(), sorted.end());
+    if (!sortedValid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
+        ++sortPasses_;
+    }
     if (p <= 0.0)
-        return sorted.front();
+        return sorted_.front();
     if (p >= 100.0)
-        return sorted.back();
-    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+        return sorted_.back();
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted_.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= sorted.size())
-        return sorted.back();
-    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+    if (lo + 1 >= sorted_.size())
+        return sorted_.back();
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
 }
 
 double
@@ -65,6 +71,8 @@ void
 SampleStats::clear()
 {
     samples_.clear();
+    sorted_.clear();
+    sortedValid_ = false;
     mean_ = 0.0;
     m2_ = 0.0;
     sum_ = 0.0;

@@ -44,10 +44,14 @@ class SampleStats
 
     /**
      * Linear-interpolated percentile, p in [0, 100].
-     * Sorts a copy of the samples; intended for reporting, not for
-     * inner loops.
+     * The sorted order is cached and invalidated by add()/clear(), so
+     * repeated percentile queries between mutations sort only once.
      */
     double percentile(double p) const;
+
+    /** Number of sort passes performed by percentile() so far.
+     *  Observable so tests can pin the caching behaviour. */
+    std::size_t sortPasses() const { return sortPasses_; }
 
     /** Coefficient of variation (stddev / mean); 0 when mean is 0. */
     double cv() const;
@@ -60,6 +64,10 @@ class SampleStats
 
   private:
     std::vector<double> samples_;
+    /** Cached ascending copy of samples_; valid iff sortedValid_. */
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+    mutable std::size_t sortPasses_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
     double sum_ = 0.0;

@@ -6,7 +6,9 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 #include "gpu/measure.hh"
+#include "obs/trace_recorder.hh"
 
 namespace flep
 {
@@ -95,6 +97,23 @@ runCoRun(const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
     FLEP_ASSERT(!cfg.kernels.empty(), "co-run needs kernels");
 
     Simulation sim(cfg.seed);
+
+    // Tracing: the recorder must be installed before the GPU device is
+    // built so the device can attach its per-SM counter tracks.
+    std::unique_ptr<TraceRecorder> owned_tracer;
+    TraceRecorder *tracer = cfg.tracer;
+    if (tracer == nullptr && !cfg.tracePath.empty()) {
+        owned_tracer = std::make_unique<TraceRecorder>();
+        tracer = owned_tracer.get();
+    }
+    if (tracer != nullptr) {
+        tracer->bindClock(sim.events());
+        sim.setTracer(tracer);
+        tracer->setProcessName(
+            TraceRecorder::pidRuntime,
+            format("runtime (%s)", schedulerKindName(cfg.scheduler)));
+    }
+
     GpuDevice gpu(sim, cfg.gpu);
 
     // Build the scheduler under test.
@@ -159,6 +178,14 @@ runCoRun(const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
         hosts.push_back(std::make_unique<HostProcess>(
             sim, gpu, *dispatcher, static_cast<ProcessId>(i),
             std::vector<HostProcess::ScriptEntry>{entry}));
+        if (tracer != nullptr) {
+            const int hp =
+                TraceRecorder::hostPid(static_cast<ProcessId>(i));
+            tracer->setProcessName(
+                hp, format("host%zu (%s, prio %d)", i,
+                           spec.workload.c_str(), spec.priority));
+            tracer->setThreadName(hp, 0, "kernel lifecycle");
+        }
     }
     for (auto &host : hosts)
         host->start();
@@ -188,6 +215,15 @@ runCoRun(const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
     }
     if (flep_runtime != nullptr)
         result.preemptions = flep_runtime->preemptionsSignalled();
+
+    if (tracer != nullptr && !cfg.tracePath.empty()) {
+        if (!tracer->writeJsonFile(cfg.tracePath)) {
+            warn("could not write trace to ", cfg.tracePath);
+        } else {
+            inform("wrote ", tracer->eventCount(), " trace events to ",
+                   cfg.tracePath);
+        }
+    }
     return result;
 }
 

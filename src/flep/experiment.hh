@@ -94,6 +94,21 @@ struct CoRunConfig
     std::uint64_t seed = 1;
     /** When > 0, track per-process GPU shares in windows this wide. */
     Tick shareWindowNs = 0;
+
+    /**
+     * When non-empty, record a full event trace of this co-run and
+     * write it as Chrome trace-event JSON (chrome://tracing /
+     * Perfetto) to this path.
+     */
+    std::string tracePath;
+
+    /**
+     * When non-null, record into this caller-owned recorder instead
+     * of (or in addition to) tracePath; the recorder's clock is
+     * rebound to this run's simulation. Tests use this to inspect
+     * events in memory.
+     */
+    TraceRecorder *tracer = nullptr;
 };
 
 /** Measurements of one co-run. */

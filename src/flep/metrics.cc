@@ -41,6 +41,11 @@ void
 ShareTracker::trackBusy(ProcessId pid, Tick begin, Tick end)
 {
     FLEP_ASSERT(end >= begin, "negative busy interval");
+    // A zero-length interval carries no busy time; registering the
+    // process anyway would create ghost entries with an all-zero
+    // share series (and a spurious 0.0 in fairness metrics).
+    if (begin == end)
+        return;
     auto &bins = busy_[pid];
     Tick t = begin;
     while (t < end) {

@@ -13,7 +13,11 @@ generateArrivalTimes(const ArrivalProcess &proc, Tick horizon,
     FLEP_ASSERT(horizon > 0, "trace horizon must be positive");
     std::vector<Tick> times;
     if (proc.periodNs > 0) {
-        for (Tick t = proc.periodNs; t < horizon; t += proc.periodNs)
+        // The first periodic arrival is at t = 0: a process that fires
+        // every periodNs has fired by the time the window opens.
+        // Starting at t = periodNs instead would drop one arrival per
+        // horizon and, when periodNs >= horizon, produce none at all.
+        for (Tick t = 0; t < horizon; t += proc.periodNs)
             times.push_back(t);
         return times;
     }

@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 #include "gpu/contention.hh"
+#include "obs/trace_recorder.hh"
 
 namespace flep
 {
@@ -42,6 +44,19 @@ GpuDevice::GpuDevice(Simulation &sim, GpuConfig cfg)
         sms_.emplace_back(id, cfg_);
     smResidents_.resize(static_cast<std::size_t>(cfg_.numSms));
     smBusyNs_.assign(static_cast<std::size_t>(cfg_.numSms), 0);
+
+    // Attach one occupancy counter track per SM when the simulation
+    // is being traced (the recorder must be installed before the
+    // device is constructed).
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->setProcessName(TraceRecorder::pidGpu, "GPU");
+        for (auto &sm : sms_) {
+            tr->setThreadName(TraceRecorder::pidGpu, sm.id(),
+                              format("SM%02d", sm.id()));
+            sm.attachTracer(
+                tr, tr->intern(format("occupancy.sm%02d", sm.id())));
+        }
+    }
 }
 
 bool

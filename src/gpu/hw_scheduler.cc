@@ -1,7 +1,9 @@
 #include "gpu/hw_scheduler.hh"
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 #include "gpu/gpu_device.hh"
+#include "obs/trace_recorder.hh"
 
 namespace flep
 {
@@ -15,6 +17,11 @@ HwScheduler::enqueue(std::shared_ptr<KernelExec> exec, long ctas)
 {
     FLEP_ASSERT(ctas > 0, "empty launch batch for ", exec->name());
     fifo_.push_back(Batch{std::move(exec), ctas});
+    if (TraceRecorder *tr = dev_.sim().tracer()) {
+        tr->instant(TraceRecorder::pidGpu, 0, "hw-enqueue",
+                    format("\"kernel\":\"%s\",\"ctas\":%ld",
+                           fifo_.back().exec->name().c_str(), ctas));
+    }
     tryDispatch();
 }
 
@@ -43,6 +50,11 @@ HwScheduler::tryDispatch()
     }
 
     dispatching_ = false;
+
+    if (TraceRecorder *tr = dev_.sim().tracer()) {
+        tr->counter(TraceRecorder::pidGpu, 0, "hw-fifo-undispatched",
+                    static_cast<double>(totalUndispatched()));
+    }
 }
 
 long

@@ -1,6 +1,7 @@
 #include "gpu/sm.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_recorder.hh"
 
 namespace flep
 {
@@ -12,6 +13,13 @@ Sm::Sm(SmId id, const GpuConfig &cfg)
       maxRegs_(cfg.regsPerSm),
       maxSmem_(cfg.smemPerSm)
 {}
+
+void
+Sm::attachTracer(TraceRecorder *tracer, const char *counter_name)
+{
+    tracer_ = tracer;
+    tracerCounterName_ = counter_name;
+}
 
 bool
 Sm::fits(const CtaFootprint &fp) const
@@ -31,6 +39,10 @@ Sm::acquire(const CtaFootprint &fp)
     usedThreads_ += fp.threads;
     usedRegs_ += static_cast<long>(fp.threads) * fp.regsPerThread;
     usedSmem_ += fp.smemBytes;
+    if (tracer_ != nullptr) {
+        tracer_->counter(TraceRecorder::pidGpu, id_,
+                         tracerCounterName_, usedCtas_);
+    }
 }
 
 void
@@ -43,6 +55,10 @@ Sm::release(const CtaFootprint &fp)
     FLEP_ASSERT(usedCtas_ >= 0 && usedThreads_ >= 0 && usedRegs_ >= 0 &&
                 usedSmem_ >= 0,
                 "resource release underflow on sm ", id_);
+    if (tracer_ != nullptr) {
+        tracer_->counter(TraceRecorder::pidGpu, id_,
+                         tracerCounterName_, usedCtas_);
+    }
 }
 
 } // namespace flep

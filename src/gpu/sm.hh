@@ -13,6 +13,8 @@
 namespace flep
 {
 
+class TraceRecorder;
+
 /**
  * Tracks the threads, registers, shared memory and CTA slots in use on
  * one SM. The hardware scheduler dispatches a CTA here only when the
@@ -23,6 +25,13 @@ class Sm
   public:
     /** @param id the value the %smid register reports on this SM. */
     Sm(SmId id, const GpuConfig &cfg);
+
+    /**
+     * Attach an occupancy counter track: every acquire/release emits
+     * the resident-CTA count under `counter_name` (an interned or
+     * static string). Pass nullptr to detach.
+     */
+    void attachTracer(TraceRecorder *tracer, const char *counter_name);
 
     /** The %smid value. */
     SmId id() const { return id_; }
@@ -56,6 +65,9 @@ class Sm
     int usedCtas_ = 0;
     long usedRegs_ = 0;
     int usedSmem_ = 0;
+
+    TraceRecorder *tracer_ = nullptr;
+    const char *tracerCounterName_ = nullptr;
 };
 
 } // namespace flep

@@ -1,0 +1,197 @@
+#include "obs/trace_recorder.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/event_queue.hh"
+
+namespace flep
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+TraceRecorder::TraceRecorder()
+{
+    events_.reserve(4096);
+}
+
+TraceRecorder::TraceRecorder(const EventQueue &clock)
+    : clock_(&clock)
+{
+    events_.reserve(4096);
+}
+
+Tick
+TraceRecorder::nowTick() const
+{
+    return clock_ != nullptr ? clock_->now() : 0;
+}
+
+TraceEvent &
+TraceRecorder::append(char ph, int pid, int tid, const char *name)
+{
+    events_.emplace_back();
+    TraceEvent &ev = events_.back();
+    ev.ts = nowTick();
+    ev.ph = ph;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.name = name;
+    return ev;
+}
+
+void
+TraceRecorder::begin(int pid, int tid, const char *name,
+                     std::string args)
+{
+    append('B', pid, tid, name).args = std::move(args);
+}
+
+void
+TraceRecorder::end(int pid, int tid, const char *name, std::string args)
+{
+    append('E', pid, tid, name).args = std::move(args);
+}
+
+void
+TraceRecorder::instant(int pid, int tid, const char *name,
+                       std::string args)
+{
+    append('i', pid, tid, name).args = std::move(args);
+}
+
+void
+TraceRecorder::counter(int pid, int tid, const char *name, double value)
+{
+    append('C', pid, tid, name).value = value;
+}
+
+const char *
+TraceRecorder::intern(const std::string &name)
+{
+    auto it = interned_.find(name);
+    if (it != interned_.end())
+        return it->second;
+    internPool_.push_back(name);
+    const char *ptr = internPool_.back().c_str();
+    interned_.emplace(name, ptr);
+    return ptr;
+}
+
+void
+TraceRecorder::setProcessName(int pid, std::string name)
+{
+    processNames_[pid] = std::move(name);
+}
+
+void
+TraceRecorder::setThreadName(int pid, int tid, std::string name)
+{
+    threadNames_[{pid, tid}] = std::move(name);
+}
+
+namespace
+{
+
+/** Chrome timestamps are microseconds; ticks are nanoseconds. */
+std::string
+tsField(Tick ts)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                  static_cast<unsigned long long>(ts / 1000),
+                  static_cast<unsigned>(ts % 1000));
+    return buf;
+}
+
+} // namespace
+
+void
+TraceRecorder::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    for (const auto &[pid, name] : processNames_) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,"
+           << "\"pid\":" << pid << ",\"tid\":0,\"args\":{\"name\":\""
+           << jsonEscape(name) << "\"}}";
+    }
+    for (const auto &[key, name] : threadNames_) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,"
+           << "\"pid\":" << key.first << ",\"tid\":" << key.second
+           << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
+    }
+
+    for (const auto &ev : events_) {
+        sep();
+        os << "{\"name\":\"" << jsonEscape(ev.name) << "\",\"ph\":\""
+           << ev.ph << "\",\"ts\":" << tsField(ev.ts)
+           << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+        if (ev.ph == 'i') {
+            // Thread-scoped instant: renders as a tick on its track.
+            os << ",\"s\":\"t\"";
+        }
+        if (ev.ph == 'C') {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%.17g", ev.value);
+            os << ",\"args\":{\"value\":" << buf << "}";
+        } else if (!ev.args.empty()) {
+            os << ",\"args\":{" << ev.args << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+TraceRecorder::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+} // namespace flep

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Simulation-wide event tracing and counters (the observability
+ * subsystem).
+ *
+ * A TraceRecorder collects timeline events — kernel launches and
+ * finishes, preemption signals, flag writes, drains, spatial yields
+ * and resumes, scheduler decisions, queue depths, per-SM occupancy
+ * counters — and exports them as Chrome trace-event JSON, loadable in
+ * Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+ *
+ * Design constraints:
+ *  - The disabled path must stay at zero allocations: components hold
+ *    a nullable TraceRecorder pointer (via Simulation::tracer()) and
+ *    guard every emission with a single pointer test. All argument
+ *    formatting happens inside the guard.
+ *  - One simulation owns at most one recorder and runs on one thread,
+ *    so the recorder itself needs no locking; parallel sweeps give
+ *    each traced simulation its own recorder (or none).
+ *  - Event names are `const char *` so the common no-argument emission
+ *    appends one POD-ish record; dynamic names are interned once.
+ *
+ * Track model (Chrome pid/tid):
+ *  - pid 1 "GPU": one thread track per SM, plus per-SM occupancy
+ *    counter tracks (`occupancy.smNN`) and the hardware FIFO depth.
+ *  - pid 2 "runtime": scheduler decisions and wait-queue counters.
+ *  - pid 10+k "host k": the k-th host process's invocation lifecycle
+ *    (launch / preempt-signal / drain / resume / finish spans).
+ */
+
+#ifndef FLEP_OBS_TRACE_RECORDER_HH
+#define FLEP_OBS_TRACE_RECORDER_HH
+
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+class EventQueue;
+
+/** One recorded trace event (a subset of the Chrome event model). */
+struct TraceEvent
+{
+    Tick ts = 0;          //!< simulated time, ns
+    double value = 0.0;   //!< counter value (ph == 'C')
+    std::string args;     //!< extra JSON object body, may be empty
+    const char *name = "";//!< static or interned string
+    char ph = 'i';        //!< 'B', 'E', 'i' or 'C'
+    int pid = 0;          //!< track group (see header comment)
+    int tid = 0;          //!< track within the group
+};
+
+/** Collects timeline events of one simulation. */
+class TraceRecorder
+{
+  public:
+    /// Track group of the GPU device (SM tracks + counters).
+    static constexpr int pidGpu = 1;
+    /// Track group of the scheduling runtime.
+    static constexpr int pidRuntime = 2;
+    /// Track group of host process k is pidHostBase + k.
+    static constexpr int pidHostBase = 10;
+
+    /** Track group id of host process `pid`. */
+    static constexpr int
+    hostPid(ProcessId pid)
+    {
+        return pidHostBase + pid;
+    }
+
+    /** A recorder with no clock yet; events stamp ts = 0 until
+     *  bindClock() is called (the co-run harness rebinds a
+     *  caller-owned recorder to the simulation it builds). */
+    TraceRecorder();
+
+    /** @param clock source of timestamps; must outlive the recorder. */
+    explicit TraceRecorder(const EventQueue &clock);
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Rebind the timestamp source. */
+    void bindClock(const EventQueue &clock) { clock_ = &clock; }
+
+    /** Open a duration span on (pid, tid). Spans on one track must
+     *  nest; the simulator's tracks are all sequential. */
+    void begin(int pid, int tid, const char *name,
+               std::string args = {});
+
+    /** Close the innermost span on (pid, tid). */
+    void end(int pid, int tid, const char *name, std::string args = {});
+
+    /** A point-in-time event. */
+    void instant(int pid, int tid, const char *name,
+                 std::string args = {});
+
+    /** Sample a counter track. Counter tracks are identified by
+     *  (pid, name); `tid` is recorded but ignored by viewers. */
+    void counter(int pid, int tid, const char *name, double value);
+
+    /**
+     * Intern a dynamically built name, returning a pointer that stays
+     * valid for the recorder's lifetime. Repeated calls with the same
+     * string return the same pointer.
+     */
+    const char *intern(const std::string &name);
+
+    /** Name a track group (Chrome process_name metadata). */
+    void setProcessName(int pid, std::string name);
+
+    /** Name one track (Chrome thread_name metadata). */
+    void setThreadName(int pid, int tid, std::string name);
+
+    /** All events recorded so far, in emission (= time) order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Number of events recorded so far. */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Drop all recorded events (metadata names are kept). */
+    void clear() { events_.clear(); }
+
+    /** Write the Chrome trace-event JSON document. */
+    void writeJson(std::ostream &os) const;
+
+    /** Write the JSON document to a file. @return false on I/O error. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    Tick nowTick() const;
+    TraceEvent &append(char ph, int pid, int tid, const char *name);
+
+    const EventQueue *clock_ = nullptr;
+    std::vector<TraceEvent> events_;
+    std::map<std::string, const char *> interned_;
+    std::deque<std::string> internPool_;
+    std::map<int, std::string> processNames_;
+    std::map<std::pair<int, int>, std::string> threadNames_;
+};
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace flep
+
+#endif // FLEP_OBS_TRACE_RECORDER_HH

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/trace_recorder.hh"
 #include "runtime/host_process.hh"
 
 namespace flep
@@ -17,12 +19,20 @@ FfsPolicy::FfsPolicy(Config cfg)
     : cfg_(cfg)
 {
     FLEP_ASSERT(cfg_.maxOverhead > 0.0, "max_overhead must be > 0");
+    FLEP_ASSERT(cfg_.zeroPriorityWeight >= 1,
+                "zero_priority_weight must be >= 1");
+    FLEP_ASSERT(cfg_.maxPriority >= 1, "max_priority must be >= 1");
 }
 
 Tick
-FfsPolicy::weightOf(Priority priority)
+FfsPolicy::weightOf(Priority priority) const
 {
-    return static_cast<Tick>(std::max(priority, 1));
+    FLEP_ASSERT(priority >= 0 && priority <= cfg_.maxPriority,
+                "FFS priority ", priority, " out of range [0, ",
+                cfg_.maxPriority, "]");
+    if (priority == 0)
+        return cfg_.zeroPriorityWeight;
+    return static_cast<Tick>(priority);
 }
 
 Tick
@@ -133,6 +143,13 @@ FfsPolicy::rotate(RuntimeContext &ctx)
             continue;
         slotOwner_ = pid;
         slotEnd_ = ctx.now() + epochBase(ctx) * weightOf(slot.priority);
+        if (TraceRecorder *tr = ctx.tracer()) {
+            tr->instant(TraceRecorder::pidRuntime, 0, "ffs:rotate",
+                        format("\"owner\":%d,\"slot_ns\":%llu",
+                               pid,
+                               static_cast<unsigned long long>(
+                                   slotEnd_ - ctx.now())));
+        }
         grantFrom(ctx, pid);
         maybeArmBoundary(ctx);
         return;
@@ -225,6 +242,13 @@ FfsPolicy::onTimer(RuntimeContext &ctx)
     if (current_ != nullptr) {
         // Slot expired mid-kernel: this is where FFS pays preemption
         // overhead.
+        if (TraceRecorder *tr = ctx.tracer()) {
+            tr->instant(TraceRecorder::pidRuntime, 0,
+                        "ffs:slot-expire",
+                        format("\"owner\":%d,\"kernel\":\"%s\"",
+                               slotOwner_,
+                               current_->kernel().c_str()));
+        }
         ctx.preempt(*current_);
         // onPreempted rotates once the kernel drains.
         return;

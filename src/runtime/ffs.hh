@@ -41,6 +41,19 @@ class FfsPolicy : public SchedulingPolicy
         /** Lower bound on the epoch base T, guarding against a zero
          *  overhead table. */
         Tick minEpochNs = 100 * 1000;
+
+        /**
+         * Weight W_i assigned to priority 0. The mapping is explicit:
+         * W(p) = p for p >= 1 and W(0) = zeroPriorityWeight, so a
+         * zero-priority process still makes progress instead of being
+         * silently promoted to weight 1 alongside priority-1 peers.
+         * Must be >= 1.
+         */
+        Tick zeroPriorityWeight = 1;
+
+        /** Upper bound on accepted priorities; weightOf() asserts on
+         *  anything negative or above this. */
+        Priority maxPriority = 1 << 20;
     };
 
     FfsPolicy();
@@ -53,8 +66,13 @@ class FfsPolicy : public SchedulingPolicy
     void onPreempted(RuntimeContext &ctx, KernelRecord &rec) override;
     void onTimer(RuntimeContext &ctx) override;
 
-    /** Weight of a priority: its value, floored at 1. */
-    static Tick weightOf(Priority priority);
+    /**
+     * Weight of a priority under the configured mapping: the priority
+     * itself for p >= 1, Config::zeroPriorityWeight for p == 0.
+     * Asserts on negative or out-of-range priorities instead of
+     * silently clamping them.
+     */
+    Tick weightOf(Priority priority) const;
 
     /** Epoch base T satisfying the overhead constraint for the
      *  currently known processes. Exposed for tests. */

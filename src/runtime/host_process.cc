@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "obs/trace_recorder.hh"
 
 namespace flep
 {
@@ -29,6 +30,36 @@ void
 HostProcess::start()
 {
     scheduleNextInvocation();
+}
+
+void
+HostProcess::traceInstant(const char *name, std::string args)
+{
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::hostPid(pid_), 0, name,
+                    std::move(args));
+    }
+}
+
+void
+HostProcess::traceBeginSpan()
+{
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->begin(TraceRecorder::hostPid(pid_), 0, "on-gpu",
+                  format("\"kernel\":\"%s\"",
+                         inv_->workload->name().c_str()));
+        inv_->traceSpanOpen = true;
+    }
+}
+
+void
+HostProcess::traceEndSpan()
+{
+    if (inv_ && inv_->traceSpanOpen) {
+        if (TraceRecorder *tr = sim_.tracer())
+            tr->end(TraceRecorder::hostPid(pid_), 0, "on-gpu");
+        inv_->traceSpanOpen = false;
+    }
 }
 
 HostProcess::Invocation &
@@ -117,6 +148,10 @@ HostProcess::grantLaunch()
         // relaunched wave does not immediately yield.
         if (inv_->exec->flagHostValue() != 0)
             inv_->exec->setFlag(sim_.now(), 0);
+        traceInstant(inv_->preemptions > 0 ? "resume" : "launch",
+                     format("\"kernel\":\"%s\"",
+                            inv_->workload->name().c_str()));
+        traceBeginSpan();
         gpu_.launch(inv_->exec, gpu_.config().kernelLaunchNs);
     });
 }
@@ -145,6 +180,7 @@ HostProcess::launchSlice(Tick extra_latency)
             return;
         inv_->firstDispatch =
             std::min(inv_->firstDispatch, e.firstDispatchTick());
+        traceEndSpan();
         if (inv_->sliceTasksLeft > 0) {
             // Sub-kernel boundary: the slicing runtime may switch to
             // a waiting higher-priority program here.
@@ -156,6 +192,10 @@ HostProcess::launchSlice(Tick extra_latency)
     };
 
     state_ = State::WaitingGpu;
+    traceInstant("launch",
+                 format("\"kernel\":\"%s\",\"slice_tasks\":%ld",
+                        inv_->workload->name().c_str(), tasks));
+    traceBeginSpan();
     // The first slice pays the full launch overhead; subsequent
     // slices were queued asynchronously while their predecessor ran,
     // so only the back-to-back stream gap remains on the critical
@@ -186,6 +226,8 @@ HostProcess::signalPreempt(int sm_count)
             return;
         }
         inv_->exec->setFlag(sim_.now(), sm_count);
+        traceInstant("preempt-signal",
+                     format("\"flag\":%d", sm_count));
     });
 }
 
@@ -199,6 +241,7 @@ HostProcess::signalRefill(int sm_count)
             return;
         }
         inv_->exec->setFlag(sim_.now(), 0);
+        traceInstant("resume", format("\"refill_sms\":%d", sm_count));
         const long wave =
             static_cast<long>(sm_count) *
             gpu_.maxActivePerSm(inv_->exec->desc().footprint);
@@ -210,6 +253,11 @@ HostProcess::signalRefill(int sm_count)
 void
 HostProcess::handleComplete(Tick now)
 {
+    traceEndSpan();
+    traceInstant("finish",
+                 format("\"kernel\":\"%s\",\"preemptions\":%d",
+                        inv_->workload->name().c_str(),
+                        inv_->preemptions));
     InvocationResult res;
     res.kernel = inv_->workload->name();
     res.process = pid_;
@@ -244,7 +292,12 @@ void
 HostProcess::handleDrained(Tick now)
 {
     (void)now;
+    traceEndSpan();
     inv_->preemptions += 1;
+    traceInstant("drain",
+                 format("\"kernel\":\"%s\",\"preemptions\":%d",
+                        inv_->workload->name().c_str(),
+                        inv_->preemptions));
     state_ = State::WaitingGrant;
     const KernelId id = inv_->id;
     sim_.events().scheduleAfter(ipc(), [this, id]() {

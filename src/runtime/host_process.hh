@@ -91,6 +91,8 @@ class HostProcess : public SimObject
         bool firstSliceLaunched = false;
         /** Earliest CTA dispatch across launches/slices. */
         Tick firstDispatch = maxTick;
+        /** An on-GPU trace span ('B') is open on the host track. */
+        bool traceSpanOpen = false;
     };
 
     HostProcess(Simulation &sim, GpuDevice &gpu,
@@ -152,6 +154,12 @@ class HostProcess : public SimObject
     void handleDrained(Tick now);
     void launchSlice(Tick extra_latency);
     Tick ipc() const { return dispatcher_.ipcLatency(); }
+
+    // Lifecycle events on this host's trace track (no-ops when the
+    // simulation is not being traced).
+    void traceInstant(const char *name, std::string args = {});
+    void traceBeginSpan();
+    void traceEndSpan();
 
     GpuDevice &gpu_;
     KernelDispatcher &dispatcher_;

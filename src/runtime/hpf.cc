@@ -1,6 +1,8 @@
 #include "runtime/hpf.hh"
 
 #include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/trace_recorder.hh"
 #include "runtime/host_process.hh"
 #include "runtime/preemption.hh"
 
@@ -28,6 +30,14 @@ HpfPolicy::preemptAndSchedule(RuntimeContext &ctx,
     } else {
         plan.smCount = ctx.gpuConfig().numSms;
         plan.spatial = false;
+    }
+    if (TraceRecorder *tr = ctx.tracer()) {
+        tr->instant(TraceRecorder::pidRuntime, 0, "hpf:decision",
+                    format("\"kind\":\"%s\",\"incoming\":\"%s\","
+                           "\"victim\":\"%s\",\"sms\":%d",
+                           preemptionKindName(plan),
+                           incoming.kernel().c_str(),
+                           victim.kernel().c_str(), plan.smCount));
     }
     if (plan.spatial) {
         ctx.grantSpatial(incoming, victim, plan.smCount);
@@ -131,6 +141,12 @@ HpfPolicy::scheduleForQueue(RuntimeContext &ctx, Priority p)
     // which all other kernels' waiting times would absorb.
     kr->refresh(ctx.now());
     if (kr->tr() > ks->tr() + ctx.overheadOf(kr->kernel())) {
+        if (TraceRecorder *tr = ctx.tracer()) {
+            tr->instant(
+                TraceRecorder::pidRuntime, 0, "hpf:srt-preempt",
+                format("\"victim\":\"%s\",\"next\":\"%s\"",
+                       kr->kernel().c_str(), ks->kernel().c_str()));
+        }
         ctx.preempt(*kr);
         ctx.queues().popFront(p);
         ctx.grant(*ks);

@@ -20,11 +20,20 @@
 namespace flep
 {
 
+class TraceRecorder;
+
 /** Runtime services available to a scheduling policy. */
 class RuntimeContext
 {
   public:
     virtual ~RuntimeContext() = default;
+
+    /**
+     * The simulation's trace recorder, or nullptr when tracing is
+     * off. Policies emit decision events through this, guarded by a
+     * null test.
+     */
+    virtual TraceRecorder *tracer() { return nullptr; }
 
     /** Current simulated time. */
     virtual Tick now() const = 0;

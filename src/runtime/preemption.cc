@@ -33,4 +33,10 @@ planPreemption(const GpuConfig &cfg, const InputSpec &incoming,
     return plan;
 }
 
+const char *
+preemptionKindName(const PreemptionPlan &plan)
+{
+    return plan.spatial ? "spatial" : "temporal";
+}
+
 } // namespace flep

@@ -42,6 +42,9 @@ PreemptionPlan planPreemption(const GpuConfig &cfg,
                               const InputSpec &incoming,
                               bool spatial_enabled, int forced_sms);
 
+/** Human-readable kind of a plan: "spatial" or "temporal". */
+const char *preemptionKindName(const PreemptionPlan &plan);
+
 } // namespace flep
 
 #endif // FLEP_RUNTIME_PREEMPTION_HH

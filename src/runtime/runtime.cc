@@ -1,6 +1,8 @@
 #include "runtime/runtime.hh"
 
 #include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/trace_recorder.hh"
 #include "runtime/host_process.hh"
 
 namespace flep
@@ -18,6 +20,23 @@ FlepRuntime::FlepRuntime(Simulation &sim, GpuDevice &gpu,
 }
 
 FlepRuntime::~FlepRuntime() = default;
+
+TraceRecorder *
+FlepRuntime::tracer()
+{
+    return sim_.tracer();
+}
+
+void
+FlepRuntime::traceQueueDepth()
+{
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->counter(TraceRecorder::pidRuntime, 0, "wait-queue-depth",
+                    static_cast<double>(queues_.size()));
+        tr->counter(TraceRecorder::pidRuntime, 0, "tracked-invocations",
+                    static_cast<double>(records_.size()));
+    }
+}
 
 Tick
 FlepRuntime::predictNs(const std::string &kernel,
@@ -57,7 +76,15 @@ FlepRuntime::onInvoke(HostProcess &host)
         sim_.now());
     KernelRecord *raw = rec.get();
     records_.emplace(&host, std::move(rec));
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::hostPid(host.pid()), 0, "invoke",
+                    format("\"kernel\":\"%s\",\"priority\":%d,"
+                           "\"predicted_ns\":%llu",
+                           raw->kernel().c_str(), raw->priority(),
+                           static_cast<unsigned long long>(raw->te())));
+    }
     policy_->onArrival(*this, *raw);
+    traceQueueDepth();
 }
 
 void
@@ -86,11 +113,20 @@ FlepRuntime::onFinished(HostProcess &host)
         running_->host().signalRefill(guestSms_);
     }
 
+    if (was_guest && running_ != nullptr) {
+        if (TraceRecorder *tr = sim_.tracer()) {
+            tr->instant(TraceRecorder::pidRuntime, 0, "spatial-resume",
+                        format("\"victim\":\"%s\",\"sms\":%d",
+                               running_->kernel().c_str(), guestSms_));
+        }
+    }
+
     policy_->onFinish(*this, *rec);
     // The kernel may have finished between the preempt signal and the
     // drain; drop any stale latency bookkeeping.
     preemptSignalTick_.erase(rec);
     records_.erase(&host);
+    traceQueueDepth();
 }
 
 void
@@ -108,7 +144,13 @@ FlepRuntime::onDrained(HostProcess &host)
     }
     if (running_ == rec)
         running_ = nullptr;
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidRuntime, 0, "drained",
+                    format("\"kernel\":\"%s\",\"preemptions\":%d",
+                           rec->kernel().c_str(), rec->preemptions()));
+    }
     policy_->onPreempted(*this, *rec);
+    traceQueueDepth();
 }
 
 void
@@ -118,6 +160,11 @@ FlepRuntime::grant(KernelRecord &rec)
                 "grant while ", running_->kernel(), " is running");
     rec.touch(sim_.now(), KernelRecord::State::Running);
     running_ = &rec;
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidRuntime, 0, "grant",
+                    format("\"kernel\":\"%s\",\"pid\":%d",
+                           rec.kernel().c_str(), rec.process()));
+    }
     rec.host().grantLaunch();
 }
 
@@ -128,6 +175,13 @@ FlepRuntime::grantSpatial(KernelRecord &incoming, KernelRecord &victim,
     FLEP_ASSERT(guest_ == nullptr, "only one spatial guest at a time");
     FLEP_ASSERT(running_ == &victim, "spatial victim must be running");
     ++preemptsSignalled_;
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidRuntime, 0, "spatial-yield",
+                    format("\"incoming\":\"%s\",\"victim\":\"%s\","
+                           "\"sms\":%d",
+                           incoming.kernel().c_str(),
+                           victim.kernel().c_str(), sm_count));
+    }
     victim.host().signalPreempt(sm_count);
     guest_ = &incoming;
     guestSms_ = sm_count;
@@ -140,6 +194,11 @@ FlepRuntime::preempt(KernelRecord &victim)
 {
     ++preemptsSignalled_;
     preemptSignalTick_[&victim] = sim_.now();
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidRuntime, 0, "preempt-signal",
+                    format("\"victim\":\"%s\",\"pid\":%d",
+                           victim.kernel().c_str(), victim.process()));
+    }
     victim.touch(sim_.now(), KernelRecord::State::Draining);
     if (running_ == &victim)
         running_ = nullptr;

@@ -65,6 +65,7 @@ class FlepRuntime : public SimObject,
     void onDrained(HostProcess &host) override;
 
     // --- RuntimeContext ---
+    TraceRecorder *tracer() override;
     Tick now() const override { return sim_.now(); }
     const GpuConfig &gpuConfig() const override
     {
@@ -107,6 +108,7 @@ class FlepRuntime : public SimObject,
   private:
     KernelRecord *find(HostProcess &host);
     void detach(KernelRecord &rec);
+    void traceQueueDepth();
 
     GpuDevice &gpu_;
     std::unique_ptr<SchedulingPolicy> policy_;

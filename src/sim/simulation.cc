@@ -1,10 +1,18 @@
 #include "sim/simulation.hh"
 
+#include "obs/trace_recorder.hh"
+
 namespace flep
 {
 
 Simulation::Simulation(std::uint64_t seed)
     : rootRng_(seed)
 {}
+
+void
+Simulation::setTracer(TraceRecorder *tracer)
+{
+    tracer_ = tracer;
+}
 
 } // namespace flep

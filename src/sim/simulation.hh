@@ -16,6 +16,8 @@
 namespace flep
 {
 
+class TraceRecorder;
+
 /**
  * One simulated run. All components of a run (GPU device, host
  * processes, the FLEP runtime) share the Simulation's event queue and
@@ -45,9 +47,21 @@ class Simulation
     /** Run events up to `limit` ticks. */
     Tick runUntil(Tick limit) { return events_.runUntil(limit); }
 
+    /**
+     * The attached trace recorder, or nullptr when tracing is off.
+     * Components emit through this pointer, guarded by a null test,
+     * so the disabled path costs one branch and zero allocations.
+     */
+    TraceRecorder *tracer() const { return tracer_; }
+
+    /** Attach (or detach, with nullptr) a trace recorder. The
+     *  recorder must outlive every component that emits into it. */
+    void setTracer(TraceRecorder *tracer);
+
   private:
     EventQueue events_;
     Rng rootRng_;
+    TraceRecorder *tracer_ = nullptr;
 };
 
 } // namespace flep

@@ -60,6 +60,46 @@ TEST(SampleStats, PercentileUnaffectedByInsertionOrder)
     EXPECT_DOUBLE_EQ(a.percentile(50), b.percentile(50));
 }
 
+TEST(SampleStats, InterleavedAddAndPercentileStaysCorrect)
+{
+    // Regression for the sorted-order cache: adds between percentile
+    // queries must invalidate it, or stale orders leak out.
+    SampleStats s;
+    s.add(30.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+    s.add(50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+    s.add(20.0);
+    s.add(40.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+}
+
+TEST(SampleStats, PercentileSortsOncePerMutation)
+{
+    // The pre-fix code re-sorted on every percentile() call; the
+    // cached order must make repeated queries free.
+    SampleStats s;
+    for (double x : {5.0, 1.0, 4.0, 2.0, 3.0})
+        s.add(x);
+    EXPECT_EQ(s.sortPasses(), 0u);
+    s.percentile(50);
+    s.percentile(95);
+    s.percentile(5);
+    EXPECT_EQ(s.sortPasses(), 1u);
+    s.add(6.0);
+    s.percentile(50);
+    s.percentile(99);
+    EXPECT_EQ(s.sortPasses(), 2u);
+    s.clear();
+    s.add(1.0);
+    s.percentile(50);
+    EXPECT_EQ(s.sortPasses(), 3u);
+}
+
 TEST(SampleStats, CvIsRelativeDispersion)
 {
     SampleStats s;

@@ -78,6 +78,20 @@ TEST(ShareTracker, SeriesMatchesPerWindowQueries)
     EXPECT_NEAR(series[1], 1.0 / 3.0, 1e-12);
 }
 
+TEST(ShareTracker, ZeroLengthIntervalDoesNotRegisterProcess)
+{
+    // Regression: a zero-length busy interval used to create a ghost
+    // busy_[pid] entry, so the process showed up with an all-zero
+    // share series.
+    ShareTracker t(100);
+    t.trackBusy(0, 0, 50);
+    t.trackBusy(5, 30, 30); // no busy time at all
+    const auto procs = t.processes();
+    ASSERT_EQ(procs.size(), 1u);
+    EXPECT_EQ(procs[0], 0);
+    EXPECT_DOUBLE_EQ(t.overallShare(0), 1.0);
+}
+
 TEST(ShareTracker, ProcessesListed)
 {
     ShareTracker t(100);

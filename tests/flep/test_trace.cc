@@ -18,9 +18,35 @@ TEST(Trace, PeriodicArrivalsAreExact)
     Rng rng(1);
     const auto times =
         generateArrivalTimes(proc, 10 * ticksPerMs, rng);
-    ASSERT_EQ(times.size(), 9u); // 1..9 ms
+    ASSERT_EQ(times.size(), 10u); // 0..9 ms
     for (std::size_t i = 0; i < times.size(); ++i)
-        EXPECT_EQ(times[i], (i + 1) * 1000000);
+        EXPECT_EQ(times[i], i * 1000000);
+}
+
+TEST(Trace, PeriodicFirstArrivalAtZero)
+{
+    ArrivalProcess proc;
+    proc.workload = "MM";
+    proc.periodNs = 3 * ticksPerMs;
+    Rng rng(1);
+    const auto times =
+        generateArrivalTimes(proc, 10 * ticksPerMs, rng);
+    ASSERT_FALSE(times.empty());
+    EXPECT_EQ(times.front(), 0u);
+}
+
+TEST(Trace, PeriodEqualToHorizonYieldsOneArrival)
+{
+    // Regression: when periodNs >= horizon the old loop (starting at
+    // t = periodNs) generated no arrivals at all.
+    ArrivalProcess proc;
+    proc.workload = "MM";
+    proc.periodNs = 10 * ticksPerMs;
+    Rng rng(1);
+    const auto times =
+        generateArrivalTimes(proc, 10 * ticksPerMs, rng);
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_EQ(times.front(), 0u);
 }
 
 TEST(Trace, PoissonCountNearRateTimesHorizon)
@@ -78,8 +104,8 @@ TEST(Trace, GenerateTraceExpandsAllClasses)
         }
         EXPECT_EQ(spec.repeats, 1);
     }
-    EXPECT_EQ(mm, 9u);
-    EXPECT_EQ(va, 3u);
+    EXPECT_EQ(mm, 10u); // 0, 2, ..., 18 ms
+    EXPECT_EQ(va, 4u);  // 0, 5, 10, 15 ms
 }
 
 TEST(Trace, EndToEndQueryLatencyImprovesUnderFlep)

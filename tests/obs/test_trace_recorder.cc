@@ -1,0 +1,132 @@
+/** @file Unit tests for the event-tracing recorder. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/trace_recorder.hh"
+#include "sim/event_queue.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(TraceRecorder, EventsStampTheClock)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    tr.instant(1, 0, "first");
+    q.schedule(2500, []() {});
+    q.run();
+    tr.instant(1, 0, "second");
+    ASSERT_EQ(tr.eventCount(), 2u);
+    EXPECT_EQ(tr.events()[0].ts, 0u);
+    EXPECT_EQ(tr.events()[1].ts, 2500u);
+}
+
+TEST(TraceRecorder, UnboundClockStampsZero)
+{
+    TraceRecorder tr;
+    tr.instant(1, 0, "pre");
+    EventQueue q;
+    q.schedule(77, []() {});
+    q.run();
+    tr.bindClock(q);
+    tr.instant(1, 0, "post");
+    EXPECT_EQ(tr.events()[0].ts, 0u);
+    EXPECT_EQ(tr.events()[1].ts, 77u);
+}
+
+TEST(TraceRecorder, InternReturnsStablePointers)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    const char *a = tr.intern("occupancy.sm03");
+    // Force pool churn.
+    for (int i = 0; i < 100; ++i)
+        tr.intern("name" + std::to_string(i));
+    const char *b = tr.intern("occupancy.sm03");
+    EXPECT_EQ(a, b);
+    EXPECT_STREQ(a, "occupancy.sm03");
+}
+
+TEST(TraceRecorder, EventKindsRecordTheirFields)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    tr.begin(3, 1, "span", "\"k\":1");
+    tr.end(3, 1, "span");
+    tr.instant(2, 0, "tick");
+    tr.counter(1, 4, "depth", 2.5);
+    ASSERT_EQ(tr.eventCount(), 4u);
+    EXPECT_EQ(tr.events()[0].ph, 'B');
+    EXPECT_EQ(tr.events()[0].args, "\"k\":1");
+    EXPECT_EQ(tr.events()[1].ph, 'E');
+    EXPECT_EQ(tr.events()[2].ph, 'i');
+    EXPECT_EQ(tr.events()[3].ph, 'C');
+    EXPECT_DOUBLE_EQ(tr.events()[3].value, 2.5);
+    EXPECT_EQ(tr.events()[3].pid, 1);
+    EXPECT_EQ(tr.events()[3].tid, 4);
+}
+
+TEST(TraceRecorder, JsonHasMetadataAndEvents)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    tr.setProcessName(1, "GPU");
+    tr.setThreadName(1, 0, "SM00");
+    tr.instant(1, 0, "launch", "\"kernel\":\"MM\"");
+    tr.counter(1, 0, "occupancy.sm00", 3.0);
+
+    std::ostringstream os;
+    tr.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"SM00\""), std::string::npos);
+    EXPECT_NE(json.find("\"launch\""), std::string::npos);
+    EXPECT_NE(json.find("\"kernel\":\"MM\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+    // Instants carry thread scope so viewers draw them on the track.
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(TraceRecorder, JsonTimestampsAreMicrosecondsWithNsDecimals)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    q.schedule(1234567, []() {});
+    q.run();
+    tr.instant(1, 0, "ev");
+    std::ostringstream os;
+    tr.writeJson(os);
+    EXPECT_NE(os.str().find("\"ts\":1234.567"), std::string::npos);
+}
+
+TEST(TraceRecorder, ClearDropsEventsKeepsNames)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    tr.setProcessName(1, "GPU");
+    tr.instant(1, 0, "ev");
+    tr.clear();
+    EXPECT_EQ(tr.eventCount(), 0u);
+    std::ostringstream os;
+    tr.writeJson(os);
+    EXPECT_NE(os.str().find("\"GPU\""), std::string::npos);
+}
+
+TEST(TraceRecorder, JsonEscapeHandlesSpecials)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+}
+
+} // namespace
+} // namespace flep

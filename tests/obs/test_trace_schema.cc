@@ -1,0 +1,194 @@
+/** @file Event-ordering invariants of traced co-runs.
+ *
+ * Runs small HPF and FFS co-runs with the recorder enabled and checks
+ * that the emitted timeline is well-formed: the lifecycle events are
+ * all present, timestamps are monotone, no kernel resumes before it
+ * drained, spans balance, and occupancy counters stay within the
+ * device limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "flep/experiment.hh"
+#include "obs/trace_recorder.hh"
+
+namespace flep
+{
+namespace
+{
+
+class TraceSchema : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 20, 6));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+    }
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *TraceSchema::suite_ = nullptr;
+OfflineArtifacts *TraceSchema::artifacts_ = nullptr;
+
+std::set<std::string>
+eventNames(const TraceRecorder &tr)
+{
+    std::set<std::string> names;
+    for (const auto &ev : tr.events())
+        names.insert(ev.name);
+    return names;
+}
+
+void
+checkCommonInvariants(const TraceRecorder &tr, const GpuConfig &gpu)
+{
+    // Emission order is time order: the recorder stamps the event
+    // queue's clock, which never goes backwards.
+    Tick last = 0;
+    for (const auto &ev : tr.events()) {
+        EXPECT_GE(ev.ts, last) << "timestamps must be monotone";
+        last = ev.ts;
+    }
+
+    // Occupancy counters stay within the device limits and only on
+    // real SM tracks.
+    for (const auto &ev : tr.events()) {
+        if (ev.ph != 'C' ||
+            std::string(ev.name).rfind("occupancy.sm", 0) != 0) {
+            continue;
+        }
+        EXPECT_EQ(ev.pid, TraceRecorder::pidGpu);
+        EXPECT_GE(ev.tid, 0);
+        EXPECT_LT(ev.tid, gpu.numSms);
+        EXPECT_GE(ev.value, 0.0);
+        EXPECT_LE(ev.value, static_cast<double>(gpu.maxCtasPerSm));
+    }
+}
+
+TEST_F(TraceSchema, HpfTemporalCoRunEmitsFullLifecycle)
+{
+    TraceRecorder tr;
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepHpf;
+    // A long low-priority kernel, preempted temporally by a delayed
+    // high-priority arrival (spatial is off by default).
+    cfg.kernels = {{"VA", InputClass::Large, 0, 0, 1},
+                   {"MM", InputClass::Small, 5, 1 * ticksPerMs, 1}};
+    cfg.tracer = &tr;
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    ASSERT_GE(res.preemptions, 1);
+    ASSERT_GT(tr.eventCount(), 0u);
+
+    const auto names = eventNames(tr);
+    for (const char *required :
+         {"invoke", "launch", "grant", "preempt-signal", "drain",
+          "resume", "finish", "hw-enqueue", "hpf:decision"}) {
+        EXPECT_TRUE(names.count(required))
+            << "missing event: " << required;
+    }
+
+    checkCommonInvariants(tr, cfg.gpu);
+
+    // Per host track: a kernel can only resume after it drained, and
+    // every opened on-GPU span closes (the co-run ran to completion).
+    std::map<int, int> drains;
+    std::map<int, int> resumes;
+    std::map<int, int> spanDepth;
+    for (const auto &ev : tr.events()) {
+        if (ev.pid < TraceRecorder::pidHostBase)
+            continue;
+        const std::string name = ev.name;
+        if (name == "drain")
+            drains[ev.pid] += 1;
+        if (name == "resume") {
+            resumes[ev.pid] += 1;
+            EXPECT_LE(resumes[ev.pid], drains[ev.pid])
+                << "resume before drain on pid " << ev.pid;
+        }
+        if (ev.ph == 'B')
+            spanDepth[ev.pid] += 1;
+        if (ev.ph == 'E') {
+            spanDepth[ev.pid] -= 1;
+            EXPECT_GE(spanDepth[ev.pid], 0)
+                << "span close without open on pid " << ev.pid;
+        }
+    }
+    for (const auto &[pid, depth] : spanDepth)
+        EXPECT_EQ(depth, 0) << "unbalanced spans on pid " << pid;
+    EXPECT_GE(drains[TraceRecorder::hostPid(0)], 1);
+
+    // The wait-queue counter is sampled and never negative.
+    bool saw_queue_counter = false;
+    for (const auto &ev : tr.events()) {
+        if (ev.ph == 'C' &&
+            std::string(ev.name) == "wait-queue-depth") {
+            saw_queue_counter = true;
+            EXPECT_GE(ev.value, 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_queue_counter);
+
+    // The JSON document renders and mentions the key events.
+    std::ostringstream os;
+    tr.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"preempt-signal\""), std::string::npos);
+    EXPECT_NE(json.find("\"occupancy.sm00\""), std::string::npos);
+}
+
+TEST_F(TraceSchema, FfsCoRunEmitsRotations)
+{
+    TraceRecorder tr;
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepFfs;
+    cfg.kernels = {{"NN", InputClass::Small, 2, 10000, -1},
+                   {"PL", InputClass::Small, 1, 10000, -1}};
+    cfg.horizonNs = 50 * ticksPerMs;
+    cfg.tracer = &tr;
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    ASSERT_GT(res.invocations.size(), 0u);
+
+    const auto names = eventNames(tr);
+    for (const char *required :
+         {"invoke", "launch", "grant", "finish", "ffs:rotate"}) {
+        EXPECT_TRUE(names.count(required))
+            << "missing event: " << required;
+    }
+    checkCommonInvariants(tr, cfg.gpu);
+}
+
+TEST_F(TraceSchema, UntracedRunRecordsNothing)
+{
+    // The disabled path must not leak events into a recorder that is
+    // not installed: same run, no tracer, then a traced run reusing
+    // the recorder accumulates only its own events.
+    TraceRecorder tr;
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepHpf;
+    cfg.kernels = {{"MM", InputClass::Small, 0, 0, 1}};
+    runCoRun(*suite_, *artifacts_, cfg);
+    EXPECT_EQ(tr.eventCount(), 0u);
+
+    cfg.tracer = &tr;
+    runCoRun(*suite_, *artifacts_, cfg);
+    const std::size_t once = tr.eventCount();
+    EXPECT_GT(once, 0u);
+}
+
+} // namespace
+} // namespace flep

@@ -13,11 +13,41 @@ namespace
 using testing::FakeContext;
 using testing::makeRecord;
 
-TEST(Ffs, WeightFloorsAtOne)
+TEST(Ffs, WeightMappingIsExplicit)
 {
-    EXPECT_EQ(FfsPolicy::weightOf(0), 1u);
-    EXPECT_EQ(FfsPolicy::weightOf(-3), 1u);
-    EXPECT_EQ(FfsPolicy::weightOf(2), 2u);
+    FfsPolicy ffs;
+    EXPECT_EQ(ffs.weightOf(1), 1u);
+    EXPECT_EQ(ffs.weightOf(2), 2u);
+    EXPECT_EQ(ffs.weightOf(7), 7u);
+    // Priority 0 maps to Config::zeroPriorityWeight (default 1), not
+    // to an implicit clamp.
+    EXPECT_EQ(ffs.weightOf(0), 1u);
+}
+
+TEST(Ffs, ZeroPriorityWeightIsConfigurable)
+{
+    FfsPolicy::Config cfg;
+    cfg.zeroPriorityWeight = 3;
+    FfsPolicy ffs(cfg);
+    EXPECT_EQ(ffs.weightOf(0), 3u);
+    EXPECT_EQ(ffs.weightOf(1), 1u);
+    EXPECT_EQ(ffs.weightOf(2), 2u);
+}
+
+TEST(FfsDeathTest, NegativePriorityAsserts)
+{
+    // Out-of-range priorities are a caller bug; the old code silently
+    // clamped them to weight 1.
+    FfsPolicy ffs;
+    EXPECT_DEATH((void)ffs.weightOf(-3), "out of range");
+}
+
+TEST(FfsDeathTest, PriorityAboveMaxAsserts)
+{
+    FfsPolicy::Config cfg;
+    cfg.maxPriority = 10;
+    FfsPolicy ffs(cfg);
+    EXPECT_DEATH((void)ffs.weightOf(11), "out of range");
 }
 
 TEST(Ffs, EpochBaseSatisfiesConstraint)

@@ -65,6 +65,25 @@ TEST_F(FfsMulti, EveryProcessMakesProgress)
     EXPECT_GE(res.completedOf(2), 2u);
 }
 
+TEST_F(FfsMulti, MixedPrioritiesWithZeroPriorityWeight)
+{
+    // Priorities {0, 2, 1} with the zero-priority process configured
+    // at weight 3: shares follow the explicit mapping 3:2:1. The old
+    // implicit clamp would have given process 0 weight 1 (1:2:1).
+    CoRunConfig cfg;
+    cfg.scheduler = SchedulerKind::FlepFfs;
+    cfg.ffs.zeroPriorityWeight = 3;
+    cfg.kernels = {{"NN", InputClass::Small, 0, 10000, -1},
+                   {"PF", InputClass::Small, 2, 10000, -1},
+                   {"PL", InputClass::Small, 1, 10000, -1}};
+    cfg.horizonNs = 200 * ticksPerMs;
+    cfg.shareWindowNs = 20 * ticksPerMs;
+    const auto res = runCoRun(*suite_, *artifacts_, cfg);
+    EXPECT_NEAR(res.overallShare.at(0), 3.0 / 6.0, 0.08);
+    EXPECT_NEAR(res.overallShare.at(1), 2.0 / 6.0, 0.08);
+    EXPECT_NEAR(res.overallShare.at(2), 1.0 / 6.0, 0.08);
+}
+
 TEST_F(FfsMulti, EqualWeightsEqualShares)
 {
     CoRunConfig cfg;

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * fleptrace — replay a co-run under the event recorder and dump its
+ * timeline.
+ *
+ * Builds a CoRunConfig from the command line, runs it once with a
+ * TraceRecorder attached, prints a human-readable timeline plus a
+ * summary, and writes the full Chrome trace-event JSON for Perfetto /
+ * chrome://tracing.
+ *
+ * Usage:
+ *   fleptrace [options] [KERNEL...]
+ *
+ * Each KERNEL is NAME[:input[:priority[:delay-us[:repeats]]]], e.g.
+ *   VA:large:0            a low-priority VA on the large input
+ *   MM:small:5:1000       high-priority MM arriving after 1 ms
+ *   NN:small:2:0:-1       NN re-invoked forever (needs --horizon-ms)
+ *
+ * Options:
+ *   --scheduler=hpf|ffs|mps|reorder|slicing   (default hpf)
+ *   --spatial            enable HPF's spatial preemption path
+ *   --horizon-ms=<N>     stop time for infinite workloads
+ *   --seed=<N>           simulation seed (default 1)
+ *   --out=<file>         trace JSON path (default fleptrace.json)
+ *   --counters           include counter samples in the text timeline
+ *   --max-lines=<N>      cap on printed timeline lines (default 200)
+ *   --list-workloads     list the benchmark suite and exit
+ *
+ * With no KERNEL arguments a demo pair is replayed: a long
+ * low-priority VA preempted by a high-priority MM arriving at 1 ms.
+ */
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "flep/experiment.hh"
+#include "obs/trace_recorder.hh"
+
+namespace
+{
+
+using namespace flep;
+
+struct Options
+{
+    CoRunConfig cfg;
+    std::string out = "fleptrace.json";
+    bool counters = false;
+    bool list = false;
+    long max_lines = 200;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: fleptrace [options] [KERNEL...]\n"
+        "  KERNEL = NAME[:input[:priority[:delay-us[:repeats]]]]\n"
+        "           input: large|small|trivial (default large)\n"
+        "           repeats: -1 repeats forever (needs --horizon-ms)\n"
+        "options:\n"
+        "  --scheduler=hpf|ffs|mps|reorder|slicing  (default hpf)\n"
+        "  --spatial            enable HPF spatial preemption\n"
+        "  --horizon-ms=<N>     stop time for infinite workloads\n"
+        "  --seed=<N>           simulation seed (default 1)\n"
+        "  --out=<file>         trace JSON path (fleptrace.json)\n"
+        "  --counters           include counters in the timeline\n"
+        "  --max-lines=<N>      printed timeline cap (default 200)\n"
+        "  --list-workloads     list the benchmark suite\n"
+        "default kernels: VA:large:0 MM:small:5:1000\n");
+    std::exit(code);
+}
+
+long
+parseLong(const std::string &text, const char *what)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "fleptrace: bad %s '%s'\n", what,
+                     text.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+InputClass
+parseInput(std::string text)
+{
+    for (auto &c : text)
+        c = static_cast<char>(std::tolower(c));
+    if (text == "large")
+        return InputClass::Large;
+    if (text == "small")
+        return InputClass::Small;
+    if (text == "trivial")
+        return InputClass::Trivial;
+    std::fprintf(stderr, "fleptrace: bad input class '%s'\n",
+                 text.c_str());
+    std::exit(2);
+}
+
+SchedulerKind
+parseScheduler(const std::string &text)
+{
+    if (text == "hpf")
+        return SchedulerKind::FlepHpf;
+    if (text == "ffs")
+        return SchedulerKind::FlepFfs;
+    if (text == "mps")
+        return SchedulerKind::Mps;
+    if (text == "reorder")
+        return SchedulerKind::Reorder;
+    if (text == "slicing")
+        return SchedulerKind::Slicing;
+    std::fprintf(stderr, "fleptrace: unknown scheduler '%s'\n",
+                 text.c_str());
+    std::exit(2);
+}
+
+KernelSpec
+parseKernel(const std::string &arg)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t colon = arg.find(':', start);
+        parts.push_back(arg.substr(start, colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    if (parts.empty() || parts.front().empty() || parts.size() > 5)
+        usage(2);
+    KernelSpec spec;
+    spec.workload = parts[0];
+    if (parts.size() > 1)
+        spec.input = parseInput(parts[1]);
+    if (parts.size() > 2)
+        spec.priority =
+            static_cast<Priority>(parseLong(parts[2], "priority"));
+    if (parts.size() > 3) {
+        spec.invokeDelayNs = static_cast<Tick>(
+            parseLong(parts[3], "delay-us") * ticksPerUs);
+    }
+    if (parts.size() > 4)
+        spec.repeats = static_cast<int>(parseLong(parts[4], "repeats"));
+    return spec;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    opts.cfg.scheduler = SchedulerKind::FlepHpf;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (startsWith(arg, "--scheduler=")) {
+            opts.cfg.scheduler = parseScheduler(arg.substr(12));
+        } else if (arg == "--spatial") {
+            opts.cfg.hpf.enableSpatial = true;
+        } else if (startsWith(arg, "--horizon-ms=")) {
+            opts.cfg.horizonNs = static_cast<Tick>(
+                parseLong(arg.substr(13), "horizon") * ticksPerMs);
+        } else if (startsWith(arg, "--seed=")) {
+            opts.cfg.seed = static_cast<std::uint64_t>(
+                parseLong(arg.substr(7), "seed"));
+        } else if (startsWith(arg, "--out=")) {
+            opts.out = arg.substr(6);
+        } else if (arg == "--counters") {
+            opts.counters = true;
+        } else if (startsWith(arg, "--max-lines=")) {
+            opts.max_lines = parseLong(arg.substr(12), "max-lines");
+        } else if (arg == "--list-workloads") {
+            opts.list = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(2);
+        } else {
+            opts.cfg.kernels.push_back(parseKernel(arg));
+        }
+    }
+    if (opts.cfg.kernels.empty()) {
+        opts.cfg.kernels = {
+            {"VA", InputClass::Large, 0, 0, 1},
+            {"MM", InputClass::Small, 5, 1000 * ticksPerUs, 1}};
+    }
+    return opts;
+}
+
+/** Human-readable track label for an event's (pid, tid). */
+std::string
+trackName(const TraceEvent &ev)
+{
+    if (ev.pid == TraceRecorder::pidGpu)
+        return format("gpu/sm%02d", ev.tid);
+    if (ev.pid == TraceRecorder::pidRuntime)
+        return "runtime";
+    if (ev.pid >= TraceRecorder::pidHostBase)
+        return format("host%d", ev.pid - TraceRecorder::pidHostBase);
+    return format("pid%d", ev.pid);
+}
+
+void
+printTimeline(const TraceRecorder &tr, const Options &opts)
+{
+    std::printf("%12s  %-10s %-3s %s\n", "time(us)", "track", "ph",
+                "event");
+    long printed = 0;
+    long skipped = 0;
+    for (const auto &ev : tr.events()) {
+        if (ev.ph == 'C' && !opts.counters)
+            continue;
+        if (printed >= opts.max_lines) {
+            ++skipped;
+            continue;
+        }
+        ++printed;
+        std::string detail = ev.name;
+        if (ev.ph == 'C')
+            detail += format(" = %g", ev.value);
+        else if (!ev.args.empty())
+            detail += " {" + ev.args + "}";
+        std::printf("%12.3f  %-10s %-3c %s\n", ticksToUs(ev.ts),
+                    trackName(ev).c_str(), ev.ph, detail.c_str());
+    }
+    if (skipped > 0) {
+        std::printf("... %ld more lines (raise --max-lines or open "
+                    "the JSON in Perfetto)\n",
+                    skipped);
+    }
+}
+
+void
+printSummary(const CoRunConfig &cfg, const CoRunResult &res,
+             const TraceRecorder &tr)
+{
+    std::printf("\nscheduler %s, seed %llu: %zu invocations, "
+                "makespan %.1f us, %ld preemptions, %zu trace events\n",
+                schedulerKindName(cfg.scheduler),
+                static_cast<unsigned long long>(cfg.seed),
+                res.invocations.size(), ticksToUs(res.makespanNs),
+                res.preemptions, tr.eventCount());
+    for (std::size_t i = 0; i < cfg.kernels.size(); ++i) {
+        const auto pid = static_cast<ProcessId>(i);
+        const auto turnarounds = res.turnaroundsOf(pid);
+        double mean_us = 0.0;
+        for (Tick t : turnarounds)
+            mean_us += ticksToUs(t);
+        if (!turnarounds.empty())
+            mean_us /= static_cast<double>(turnarounds.size());
+        std::printf("  host%zu %s(%s, prio %d): %zu done, mean "
+                    "turnaround %.1f us\n",
+                    i, cfg.kernels[i].workload.c_str(),
+                    inputClassName(cfg.kernels[i].input),
+                    cfg.kernels[i].priority, turnarounds.size(),
+                    mean_us);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+
+    try {
+        BenchmarkSuite suite;
+        if (opts.list) {
+            for (const auto &name : suite.names())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
+        for (const auto &spec : opts.cfg.kernels) {
+            if (!suite.has(spec.workload)) {
+                std::fprintf(stderr,
+                             "fleptrace: unknown workload '%s' "
+                             "(--list-workloads)\n",
+                             spec.workload.c_str());
+                return 2;
+            }
+            if (spec.repeats < 0 && opts.cfg.horizonNs == 0) {
+                std::fprintf(stderr,
+                             "fleptrace: infinite repeats need "
+                             "--horizon-ms\n");
+                return 2;
+            }
+        }
+
+        inform("training offline artifacts (cached per process)");
+        const OfflineArtifacts &artifacts =
+            defaultArtifacts(suite, opts.cfg.gpu);
+
+        TraceRecorder tr;
+        CoRunConfig cfg = opts.cfg;
+        cfg.tracer = &tr;
+        const CoRunResult res = runCoRun(suite, artifacts, cfg);
+
+        printTimeline(tr, opts);
+        printSummary(cfg, res, tr);
+
+        if (!tr.writeJsonFile(opts.out)) {
+            std::fprintf(stderr, "fleptrace: cannot write %s\n",
+                         opts.out.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (load in https://ui.perfetto.dev or "
+                    "chrome://tracing)\n",
+                    opts.out.c_str());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fleptrace: %s\n", e.what());
+        return 1;
+    }
+}
