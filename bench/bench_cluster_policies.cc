@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Cluster placement-policy sweep: SLO attainment under load.
+ *
+ * Sweeps placement policy x device count {1, 2, 4} x offered load
+ * {0.5, 0.9, 1.2} over an open-loop two-class job mix (low-priority
+ * batch jobs plus high-priority interactive jobs with a turnaround
+ * SLO) and reports, per cell, high-priority SLO attainment, queueing
+ * delay percentiles, device utilization and the preemption cost.
+ * Results go to stdout and BENCH_cluster.json (override the path
+ * with FLEP_CLUSTER_OUT).
+ *
+ * The experiment extends the paper's motivation (§2.2: GPUs serving
+ * "a large number of short queries from user-facing interactive
+ * applications") from one device to a fleet: cheap device-level
+ * preemption is what makes preemption-aware *placement* pay off,
+ * and at overload the preemptive-priority policy keeps interactive
+ * SLOs where first-fit lets them starve behind batch work.
+ *
+ * Environment knobs (see bench/common/bench_util.hh for the shared
+ * ones): FLEP_REPS, FLEP_THREADS, FLEP_TRACE, plus
+ *   FLEP_CLUSTER_JOBS  target jobs per cell (default 40).
+ *
+ * The sweep is deterministic: every run derives its randomness from
+ * its own seed, so BENCH_cluster.json is bit-identical at any
+ * FLEP_THREADS setting.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/arrival_gen.hh"
+#include "cluster/cluster.hh"
+#include "cluster/cluster_metrics.hh"
+#include "common/bench_util.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+
+namespace flep
+{
+namespace
+{
+
+using benchutil::BenchEnv;
+using benchutil::envLong;
+
+constexpr Priority kBatchPrio = 0;
+constexpr Priority kInteractivePrio = 5;
+
+struct Cell
+{
+    PlacementKind placement;
+    int devices;
+    double load;
+};
+
+struct CellStats
+{
+    double sloHigh = 0.0;   //!< high-priority SLO attainment
+    double sloAll = 0.0;    //!< overall SLO attainment
+    double p50QueueUs = 0.0;
+    double p99QueueUs = 0.0;
+    double meanTurnUs = 0.0;
+    double utilization = 0.0; //!< mean over devices
+    double devicePreemptions = 0.0;
+    double preemptivePlacements = 0.0;
+    std::size_t jobs = 0;
+};
+
+/** The workload mix and its predicted service demand. */
+struct Mix
+{
+    ArrivalClassSpec batch;
+    ArrivalClassSpec interactive;
+    double meanServiceNs = 0.0; //!< per arrival, rate-weighted
+};
+
+Mix
+buildMix(const BenchEnv &env)
+{
+    Mix mix;
+    mix.batch.workload = "VA";
+    mix.batch.input = InputClass::Large;
+    mix.batch.priority = kBatchPrio;
+    mix.batch.sloNs = 0;
+
+    mix.interactive.workload = "NN";
+    mix.interactive.input = InputClass::Small;
+    mix.interactive.priority = kInteractivePrio;
+
+    const auto predict = [&](const ArrivalClassSpec &cls) {
+        const InputSpec in =
+            env.suite().byName(cls.workload).input(cls.input);
+        return env.artifacts().models.at(cls.workload).predictNs(in);
+    };
+    const double svc_batch = predict(mix.batch);
+    const double svc_inter = predict(mix.interactive);
+
+    // Interactive jobs must beat their solo latency with modest
+    // headroom; the headroom is far below one batch service time, so
+    // attainment hinges on not waiting behind batch work.
+    mix.interactive.sloNs = static_cast<Tick>(4.0 * svc_inter);
+
+    // 60 % batch, 40 % interactive arrivals (rates set per cell).
+    mix.meanServiceNs = 0.6 * svc_batch + 0.4 * svc_inter;
+    return mix;
+}
+
+ClusterConfig
+cellConfig(const BenchEnv &env, const Mix &mix, const Cell &cell,
+           long target_jobs, std::uint64_t seed)
+{
+    // Offered load = arrival rate x mean service / devices; solve for
+    // the rate that hits the cell's load, then size the arrival
+    // window so the expected job count matches target_jobs.
+    const double svc_ms = mix.meanServiceNs / 1e6;
+    const double rate_per_ms =
+        cell.load * static_cast<double>(cell.devices) / svc_ms;
+
+    ClusterArrivalConfig acfg;
+    acfg.pattern = ArrivalPattern::Poisson;
+    acfg.horizonNs = static_cast<Tick>(
+        static_cast<double>(target_jobs) / rate_per_ms * 1e6);
+    acfg.seed = seed;
+    acfg.classes = {mix.batch, mix.interactive};
+    acfg.classes[0].ratePerMs = 0.6 * rate_per_ms;
+    acfg.classes[1].ratePerMs = 0.4 * rate_per_ms;
+
+    ClusterConfig cfg;
+    cfg.gpu = env.gpu();
+    cfg.devices = cell.devices;
+    cfg.placement = cell.placement;
+    cfg.deviceScheduler = SchedulerKind::FlepHpf;
+    cfg.deviceCapacity = 1;
+    cfg.jobs = generateClusterJobs(acfg);
+    cfg.horizonNs = 0; // run to completion: misses come from lateness
+    cfg.seed = seed;
+    return cfg;
+}
+
+CellStats
+aggregate(const std::vector<ClusterResult> &reps)
+{
+    CellStats s;
+    for (const auto &res : reps) {
+        const ClusterMetrics m = computeClusterMetrics(res);
+        auto high = m.sloAttainmentByPriority.find(kInteractivePrio);
+        s.sloHigh +=
+            high == m.sloAttainmentByPriority.end() ? 1.0 : high->second;
+        s.sloAll += m.sloAttainment;
+        s.p50QueueUs += m.p50QueueDelayUs;
+        s.p99QueueUs += m.p99QueueDelayUs;
+        s.meanTurnUs += m.meanTurnaroundUs;
+        double util = 0.0;
+        for (double u : m.deviceUtilization)
+            util += u;
+        s.utilization += m.deviceUtilization.empty()
+            ? 0.0
+            : util / static_cast<double>(m.deviceUtilization.size());
+        s.devicePreemptions +=
+            static_cast<double>(m.devicePreemptions);
+        s.preemptivePlacements +=
+            static_cast<double>(m.preemptivePlacements);
+        s.jobs += m.jobs;
+    }
+    const auto n = static_cast<double>(reps.size());
+    s.sloHigh /= n;
+    s.sloAll /= n;
+    s.p50QueueUs /= n;
+    s.p99QueueUs /= n;
+    s.meanTurnUs /= n;
+    s.utilization /= n;
+    s.devicePreemptions /= n;
+    s.preemptivePlacements /= n;
+    return s;
+}
+
+int
+run()
+{
+    benchutil::printHeader(
+        "cluster-policies",
+        "placement policy x devices x load: SLO attainment");
+
+    BenchEnv env;
+    const long target_jobs = envLong("FLEP_CLUSTER_JOBS", 40, 4, 4000);
+    const Mix mix = buildMix(env);
+
+    const std::vector<int> device_counts = {1, 2, 4};
+    const std::vector<double> loads = {0.5, 0.9, 1.2};
+
+    std::vector<Cell> cells;
+    for (PlacementKind placement : allPlacementKinds()) {
+        for (int devices : device_counts) {
+            for (double load : loads)
+                cells.push_back({placement, devices, load});
+        }
+    }
+
+    // One flat batch over cells x reps, regrouped afterwards, so the
+    // pool sees every run at once.
+    std::vector<ClusterConfig> runs;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        for (int r = 0; r < env.reps(); ++r) {
+            const std::uint64_t seed =
+                42 + static_cast<std::uint64_t>(c) * 101 +
+                static_cast<std::uint64_t>(r) * 7919;
+            runs.push_back(cellConfig(env, mix, cells[c], target_jobs,
+                                      seed));
+        }
+    }
+    const std::vector<ClusterResult> results =
+        env.runClusterBatch(runs);
+
+    std::vector<CellStats> stats;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::vector<ClusterResult> reps(
+            results.begin() +
+                static_cast<long>(c * static_cast<std::size_t>(
+                                          env.reps())),
+            results.begin() +
+                static_cast<long>((c + 1) * static_cast<std::size_t>(
+                                                env.reps())));
+        stats.push_back(aggregate(reps));
+    }
+
+    Table table("cluster placement sweep");
+    table.setHeader({"policy", "devices", "load", "slo-high",
+                     "slo-all", "p99-queue-us", "util",
+                     "preemptions"});
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const Cell &cell = cells[c];
+        const CellStats &s = stats[c];
+        table.addRow({placementKindName(cell.placement),
+                      std::to_string(cell.devices),
+                      format("%.1f", cell.load),
+                      format("%.3f", s.sloHigh),
+                      format("%.3f", s.sloAll),
+                      format("%.1f", s.p99QueueUs),
+                      format("%.3f", s.utilization),
+                      format("%.1f", s.devicePreemptions)});
+    }
+    table.print();
+    benchutil::printPaperNote(
+        "no paper counterpart: FLEP (ASPLOS'17) is single-GPU; this "
+        "sweep shows its preemption enabling SLURM-style "
+        "preemptive cluster placement");
+
+    const char *out = std::getenv("FLEP_CLUSTER_OUT");
+    const char *path = out != nullptr ? out : "BENCH_cluster.json";
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        warn("cannot write ", path);
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema_version\": 1,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"target_jobs\": %ld,\n"
+                 "  \"interactive_slo_ns\": %llu,\n"
+                 "  \"cells\": [\n",
+                 env.reps(), target_jobs,
+                 static_cast<unsigned long long>(
+                     mix.interactive.sloNs));
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const Cell &cell = cells[c];
+        const CellStats &s = stats[c];
+        std::fprintf(
+            f,
+            "    {\"policy\": \"%s\", \"devices\": %d, "
+            "\"load\": %.2f, \"jobs\": %zu, "
+            "\"slo_attainment_high\": %.6f, "
+            "\"slo_attainment\": %.6f, "
+            "\"p50_queue_us\": %.3f, \"p99_queue_us\": %.3f, "
+            "\"mean_turnaround_us\": %.3f, "
+            "\"utilization\": %.6f, "
+            "\"device_preemptions\": %.2f, "
+            "\"preemptive_placements\": %.2f}%s\n",
+            placementKindName(cell.placement), cell.devices, cell.load,
+            s.jobs, s.sloHigh, s.sloAll, s.p50QueueUs, s.p99QueueUs,
+            s.meanTurnUs, s.utilization, s.devicePreemptions,
+            s.preemptivePlacements,
+            c + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    inform("wrote ", path);
+    return 0;
+}
+
+} // namespace
+} // namespace flep
+
+int
+main()
+{
+    return flep::run();
+}

@@ -164,6 +164,27 @@ BenchEnv::runBatch(const std::vector<CoRunConfig> &cfgs)
     return runCoRunBatch(suite_, artifacts_, runs, pool_);
 }
 
+std::vector<ClusterResult>
+BenchEnv::runClusterBatch(const std::vector<ClusterConfig> &cfgs)
+{
+    std::vector<ClusterConfig> runs(cfgs);
+    // Same consume-once FLEP_TRACE contract as the co-run batches:
+    // trace the first config of the first batch only. Every cluster
+    // config runs a preemptive FLEP scheduler, so the first one
+    // already shows the interesting path.
+    static bool consumed = false;
+    const char *path = std::getenv("FLEP_TRACE");
+    if (path != nullptr && *path != '\0' && !consumed &&
+        !runs.empty()) {
+        consumed = true;
+        runs[0].tracePath = path;
+        inform("FLEP_TRACE: tracing ",
+               placementKindName(runs[0].placement), " cluster run to ",
+               path);
+    }
+    return flep::runClusterBatch(suite_, artifacts_, runs, pool_);
+}
+
 std::vector<CellResult>
 BenchEnv::sweep(const std::vector<CoRunConfig> &cells)
 {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "flep/experiment.hh"
@@ -86,6 +87,15 @@ class BenchEnv
      */
     std::vector<CoRunResult> runBatch(
         const std::vector<CoRunConfig> &cfgs);
+
+    /**
+     * Cluster flavor of runBatch(): same pool, same determinism
+     * contract, and the same FLEP_TRACE hookup (the first cluster
+     * config of the first batch gets traced — cluster runs always
+     * exercise the preemption path).
+     */
+    std::vector<ClusterResult> runClusterBatch(
+        const std::vector<ClusterConfig> &cfgs);
 
     /**
      * Expand each cell into reps() seed-derived runs (seed + r*7919,

@@ -1,0 +1,127 @@
+#include "cluster/arrival_gen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace flep
+{
+
+namespace
+{
+
+/**
+ * Arrival times of a constant-rate Poisson stream over [begin, end).
+ * Appends to `out`. Thanks to memorylessness, restarting the
+ * exponential clock at `begin` is exact, which is what makes the
+ * piecewise (bursty) construction below correct.
+ */
+void
+poissonSegment(double rate_per_ms, Tick begin, Tick end, Rng &rng,
+               std::vector<Tick> &out)
+{
+    if (rate_per_ms <= 0.0)
+        return;
+    const double mean_gap_ns = 1e6 / rate_per_ms;
+    double t = static_cast<double>(begin) + rng.exponential(mean_gap_ns);
+    while (t < static_cast<double>(end)) {
+        out.push_back(static_cast<Tick>(t));
+        t += rng.exponential(mean_gap_ns);
+    }
+}
+
+std::vector<Tick>
+classArrivals(const ArrivalClassSpec &cls,
+              const ClusterArrivalConfig &cfg, Rng &rng)
+{
+    std::vector<Tick> times;
+    if (cls.ratePerMs <= 0.0 || cfg.horizonNs == 0)
+        return times;
+
+    if (cfg.pattern == ArrivalPattern::Poisson) {
+        poissonSegment(cls.ratePerMs, 0, cfg.horizonNs, rng, times);
+        return times;
+    }
+
+    // Bursty: piecewise-constant rate. Each cycle runs `duty` of its
+    // length at factor x the mean rate and the rest at the quiet
+    // rate that preserves the mean:
+    //   duty * factor + (1 - duty) * quiet_scale = 1
+    FLEP_ASSERT(cfg.burstPeriodNs > 0, "burst period must be positive");
+    FLEP_ASSERT(cfg.burstDuty > 0.0 && cfg.burstDuty < 1.0,
+                "burst duty must be in (0, 1)");
+    double factor = cfg.burstFactor;
+    const double max_factor = 1.0 / cfg.burstDuty;
+    if (factor > max_factor) {
+        warn("burst factor ", factor, " exceeds 1/duty = ", max_factor,
+             "; clamping (quiet phase becomes fully silent)");
+        factor = max_factor;
+    }
+    FLEP_ASSERT(factor >= 1.0, "burst factor must be >= 1");
+    const double burst_rate = cls.ratePerMs * factor;
+    const double quiet_rate = cls.ratePerMs *
+        (1.0 - cfg.burstDuty * factor) / (1.0 - cfg.burstDuty);
+
+    for (Tick cycle = 0; cycle < cfg.horizonNs;
+         cycle += cfg.burstPeriodNs) {
+        const Tick burst_end = std::min(
+            cfg.horizonNs,
+            cycle + static_cast<Tick>(
+                        cfg.burstDuty *
+                        static_cast<double>(cfg.burstPeriodNs)));
+        const Tick cycle_end =
+            std::min(cfg.horizonNs, cycle + cfg.burstPeriodNs);
+        poissonSegment(burst_rate, cycle, burst_end, rng, times);
+        poissonSegment(quiet_rate, burst_end, cycle_end, rng, times);
+    }
+    return times;
+}
+
+} // namespace
+
+std::vector<ClusterJob>
+generateClusterJobs(const ClusterArrivalConfig &cfg)
+{
+    FLEP_ASSERT(cfg.horizonNs > 0, "arrival horizon must be positive");
+
+    // Each class forks its own stream in class order, so adding or
+    // reordering classes changes only the affected streams and the
+    // whole trace is a pure function of the config.
+    Rng root(cfg.seed);
+    std::vector<ClusterJob> jobs;
+    std::size_t cls_index = 0;
+    for (const auto &cls : cfg.classes) {
+        FLEP_ASSERT(cls.repeats >= 1,
+                    "cluster jobs need at least one invocation");
+        Rng rng = root.fork();
+        for (Tick at : classArrivals(cls, cfg, rng)) {
+            ClusterJob job;
+            job.workload = cls.workload;
+            job.input = cls.input;
+            job.priority = cls.priority;
+            job.arrivalNs = at;
+            job.sloNs = cls.sloNs;
+            job.repeats = cls.repeats;
+            // Remember generation order for the stable tiebreak.
+            job.id = static_cast<int>(cls_index);
+            jobs.push_back(job);
+        }
+        ++cls_index;
+    }
+
+    // Merge into one stream: arrival time, then class order (stashed
+    // in `id` above), then original position keep the sort stable and
+    // deterministic.
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const ClusterJob &a, const ClusterJob &b) {
+                         if (a.arrivalNs != b.arrivalNs)
+                             return a.arrivalNs < b.arrivalNs;
+                         return a.id < b.id;
+                     });
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        jobs[i].id = static_cast<int>(i);
+    return jobs;
+}
+
+} // namespace flep

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Open-loop job arrival generation for cluster experiments.
+ *
+ * Extends the single-device arrival traces of flep/trace.hh to whole
+ * jobs: each arrival is a ClusterJob with a priority and an SLO, and
+ * arrivals may be Poisson or bursty (a piecewise-constant-rate
+ * Poisson process that alternates between a burst rate and a quiet
+ * rate while preserving the configured mean).
+ *
+ * Generation is pure and seeded: the same config always yields the
+ * same job list, byte for byte, independent of thread count — the
+ * cluster benches rely on this for reproducible sweeps.
+ */
+
+#ifndef FLEP_CLUSTER_ARRIVAL_GEN_HH
+#define FLEP_CLUSTER_ARRIVAL_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/job.hh"
+#include "common/types.hh"
+
+namespace flep
+{
+
+/** Shape of the arrival process. */
+enum class ArrivalPattern
+{
+    Poisson, //!< memoryless arrivals at a constant rate
+    Bursty   //!< alternating burst / quiet phases, same mean rate
+};
+
+/** One class of arriving jobs (a row of the workload mix). */
+struct ArrivalClassSpec
+{
+    std::string workload;
+    InputClass input = InputClass::Small;
+    Priority priority = 0;
+
+    /** Mean arrivals per simulated millisecond. 0 disables the
+     *  class (it generates no jobs). */
+    double ratePerMs = 1.0;
+
+    /** Turnaround SLO assigned to every job of this class; 0 = none. */
+    Tick sloNs = 0;
+
+    /** Kernel invocations per job (>= 1). */
+    int repeats = 1;
+};
+
+/** Full description of one arrival trace. */
+struct ClusterArrivalConfig
+{
+    std::vector<ArrivalClassSpec> classes;
+
+    /** Arrivals are generated over [0, horizonNs). */
+    Tick horizonNs = 0;
+
+    std::uint64_t seed = 1;
+
+    ArrivalPattern pattern = ArrivalPattern::Poisson;
+
+    /**
+     * Bursty shape: each burstPeriodNs-long cycle spends burstDuty of
+     * its length at burstFactor x the class mean rate, and the rest
+     * at whatever lower rate preserves the mean. burstFactor may not
+     * exceed 1/burstDuty (the quiet rate would go negative); larger
+     * values are clamped with a warning.
+     */
+    Tick burstPeriodNs = 50 * 1000 * 1000;
+    double burstDuty = 0.2;
+    double burstFactor = 4.0;
+};
+
+/**
+ * Generate the job list: every class's arrivals over the horizon,
+ * merged into one stream sorted by arrival time (class order, then
+ * generation order, break ties) with ids assigned 0..n-1 in stream
+ * order. Deterministic in cfg alone — each class forks its own RNG
+ * stream from cfg.seed in class order.
+ */
+std::vector<ClusterJob> generateClusterJobs(
+    const ClusterArrivalConfig &cfg);
+
+} // namespace flep
+
+#endif // FLEP_CLUSTER_ARRIVAL_GEN_HH

@@ -1,0 +1,411 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "gpu/gpu_device.hh"
+#include "obs/trace_recorder.hh"
+#include "runtime/host_process.hh"
+#include "runtime/runtime.hh"
+
+namespace flep
+{
+
+/** One device: a GPU, its FLEP runtime, and cluster bookkeeping. */
+struct ClusterScheduler::Device
+{
+    std::unique_ptr<GpuDevice> gpu;
+    std::unique_ptr<FlepRuntime> runtime;
+
+    /** Placed-and-unfinished job ids (cluster slots in use). */
+    std::vector<int> residentJobs;
+
+    /** Jobs ever placed here. */
+    long jobCount = 0;
+
+    /**
+     * Approximate union of busy CTA-slot intervals: intervals are
+     * reported in end-time order, so tracking the furthest end seen
+     * collapses overlaps. Exact when intervals overlap contiguously
+     * (the common case); slightly over-counts only when an interval
+     * is fully disjoint inside an earlier one, which end-ordered
+     * reporting precludes.
+     */
+    Tick busyNs = 0;
+    Tick busyMaxEnd = 0;
+
+    void
+    accountBusy(Tick begin, Tick end)
+    {
+        if (begin >= busyMaxEnd)
+            busyNs += end - begin;
+        else if (end > busyMaxEnd)
+            busyNs += end - busyMaxEnd;
+        busyMaxEnd = std::max(busyMaxEnd, end);
+    }
+};
+
+ClusterScheduler::ClusterScheduler(Simulation &sim,
+                                   const BenchmarkSuite &suite,
+                                   const OfflineArtifacts &artifacts,
+                                   const ClusterConfig &cfg)
+    : SimObject(sim, "cluster"),
+      suite_(suite),
+      artifacts_(artifacts),
+      cfg_(cfg),
+      policy_(makePlacementPolicy(cfg.placement))
+{
+    if (cfg_.devices < 1)
+        fatal("cluster needs at least one device, got ", cfg_.devices);
+    if (cfg_.deviceCapacity < 1)
+        fatal("device capacity must be >= 1, got ",
+              cfg_.deviceCapacity);
+    if (cfg_.deviceScheduler != SchedulerKind::FlepHpf &&
+        cfg_.deviceScheduler != SchedulerKind::FlepFfs) {
+        fatal("cluster devices need a preemptive FLEP scheduler "
+              "(FLEP-HPF or FLEP-FFS), got ",
+              schedulerKindName(cfg_.deviceScheduler));
+    }
+
+    // Job ids index outcomes_ and remainingInvocations_ directly.
+    outcomes_.resize(cfg_.jobs.size());
+    remainingInvocations_.assign(cfg_.jobs.size(), 0);
+    std::vector<bool> seen(cfg_.jobs.size(), false);
+    for (const auto &job : cfg_.jobs) {
+        FLEP_ASSERT(job.id >= 0 &&
+                        static_cast<std::size_t>(job.id) <
+                            cfg_.jobs.size() &&
+                        !seen[static_cast<std::size_t>(job.id)],
+                    "job ids must be unique and dense in [0, n)");
+        seen[static_cast<std::size_t>(job.id)] = true;
+        FLEP_ASSERT(job.repeats >= 1,
+                    "cluster jobs need at least one invocation");
+        outcomes_[static_cast<std::size_t>(job.id)].job = job;
+    }
+
+    TraceRecorder *tr = sim.tracer();
+    if (tr != nullptr) {
+        tr->setProcessName(TraceRecorder::pidCluster,
+                           format("cluster (%s)", policy_->name()));
+        tr->setThreadName(TraceRecorder::pidCluster, 0, "scheduler");
+    }
+
+    FlepRuntimeConfig rcfg;
+    rcfg.models = artifacts.models;
+    rcfg.overheads = artifacts.overheads;
+    for (int d = 0; d < cfg_.devices; ++d) {
+        auto dev = std::make_unique<Device>();
+        dev->gpu = std::make_unique<GpuDevice>(sim, cfg_.gpu, d);
+        std::unique_ptr<SchedulingPolicy> policy;
+        if (cfg_.deviceScheduler == SchedulerKind::FlepHpf)
+            policy = std::make_unique<HpfPolicy>(cfg_.hpf);
+        else
+            policy = std::make_unique<FfsPolicy>(cfg_.ffs);
+        dev->runtime = std::make_unique<FlepRuntime>(
+            sim, *dev->gpu, std::move(policy), rcfg);
+        Device *raw = dev.get();
+        dev->gpu->onSlotBusy = [raw](ProcessId, Tick b, Tick e) {
+            raw->accountBusy(b, e);
+        };
+        if (tr != nullptr) {
+            tr->setProcessName(
+                TraceRecorder::runtimePid(d),
+                format("runtime%d (%s)", d,
+                       schedulerKindName(cfg_.deviceScheduler)));
+        }
+        devices_.push_back(std::move(dev));
+    }
+}
+
+ClusterScheduler::~ClusterScheduler() = default;
+
+void
+ClusterScheduler::start()
+{
+    FLEP_ASSERT(sim_.now() == 0, "start the cluster before the run");
+    for (const auto &job : cfg_.jobs) {
+        sim_.events().scheduleAfter(job.arrivalNs, [this, job]() {
+            submit(job);
+        });
+    }
+}
+
+int
+ClusterScheduler::residentOn(int device) const
+{
+    FLEP_ASSERT(device >= 0 &&
+                    static_cast<std::size_t>(device) < devices_.size(),
+                "bad device index");
+    return static_cast<int>(
+        devices_[static_cast<std::size_t>(device)]->residentJobs
+            .size());
+}
+
+void
+ClusterScheduler::traceQueueDepth()
+{
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->counter(TraceRecorder::pidCluster, 0, "cluster-queue-depth",
+                    static_cast<double>(queue_.size()));
+    }
+}
+
+void
+ClusterScheduler::submit(const ClusterJob &job)
+{
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidCluster, 0, "cluster:submit",
+                    format("\"job\":%d,\"workload\":\"%s\","
+                           "\"priority\":%d,\"slo_ns\":%llu",
+                           job.id, job.workload.c_str(), job.priority,
+                           static_cast<unsigned long long>(job.sloNs)));
+    }
+    queue_.push(job);
+    traceQueueDepth();
+    tryDispatch();
+}
+
+std::vector<DeviceLoad>
+ClusterScheduler::snapshotLoads()
+{
+    std::vector<DeviceLoad> loads;
+    loads.reserve(devices_.size());
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        Device &dev = *devices_[d];
+        DeviceLoad load;
+        load.device = static_cast<int>(d);
+        load.residentJobs = static_cast<int>(dev.residentJobs.size());
+        load.capacity = cfg_.deviceCapacity;
+        load.predictedBacklogNs = dev.runtime->predictedRemainingNs();
+        if (!dev.residentJobs.empty()) {
+            Priority lowest = outcomes_[static_cast<std::size_t>(
+                                            dev.residentJobs.front())]
+                                  .job.priority;
+            for (int id : dev.residentJobs)
+                lowest = std::min(
+                    lowest,
+                    outcomes_[static_cast<std::size_t>(id)]
+                        .job.priority);
+            load.lowestResidentPriority = lowest;
+        }
+        loads.push_back(load);
+    }
+    return loads;
+}
+
+void
+ClusterScheduler::tryDispatch()
+{
+    // Head-of-line dispatch: place the highest-priority pending job
+    // or nothing. Skipping the head for a later job would let low
+    // priorities starve the very jobs the queue order protects, and
+    // all three policies offer the head a superset of the devices
+    // they would offer any lower-priority job, so stopping at the
+    // first failure is exact, not just conservative.
+    while (!queue_.empty()) {
+        const PlacementDecision dec =
+            policy_->place(queue_.front(), snapshotLoads());
+        if (!dec.placed())
+            break;
+        place(queue_.popFront(), dec);
+    }
+}
+
+void
+ClusterScheduler::place(const ClusterJob &job,
+                        const PlacementDecision &dec)
+{
+    FLEP_ASSERT(dec.device >= 0 &&
+                    static_cast<std::size_t>(dec.device) <
+                        devices_.size(),
+                "policy chose a nonexistent device");
+    Device &dev = *devices_[static_cast<std::size_t>(dec.device)];
+    JobOutcome &out = outcomes_[static_cast<std::size_t>(job.id)];
+    out.placed = true;
+    out.device = dec.device;
+    out.placeTick = sim_.now();
+    out.displacedVictim = dec.preempts;
+
+    ++placements_;
+    if (dec.preempts)
+        ++preemptivePlacements_;
+    dev.residentJobs.push_back(job.id);
+    ++dev.jobCount;
+    remainingInvocations_[static_cast<std::size_t>(job.id)] =
+        job.repeats;
+
+    TraceRecorder *tr = sim_.tracer();
+    if (tr != nullptr) {
+        tr->instant(TraceRecorder::pidCluster, 0, "cluster:place",
+                    format("\"job\":%d,\"device\":%d,\"preempts\":%s,"
+                           "\"queue_ns\":%llu",
+                           job.id, dec.device,
+                           dec.preempts ? "true" : "false",
+                           static_cast<unsigned long long>(
+                               out.queueDelayNs())));
+        if (dec.preempts) {
+            tr->instant(
+                TraceRecorder::pidCluster, 0, "cluster:preempt",
+                format("\"job\":%d,\"device\":%d,\"priority\":%d",
+                       job.id, dec.device, job.priority));
+        }
+    }
+
+    // The job becomes an ordinary FLEP host process on its device.
+    // If the placement displaces a resident, no extra mechanism is
+    // needed: the device's HPF policy preempts the running lower-
+    // priority kernel the moment this job's kernel arrives.
+    const Workload &w = suite_.byName(job.workload);
+    auto l_it = artifacts_.amortizeL.find(job.workload);
+    const int amortize_l = l_it == artifacts_.amortizeL.end()
+        ? w.paperAmortizeL()
+        : l_it->second;
+
+    HostProcess::ScriptEntry entry;
+    entry.workload = &w;
+    entry.input = w.input(job.input);
+    entry.priority = job.priority;
+    entry.delayBefore = 0;
+    entry.repeats = job.repeats;
+    entry.amortizeL = amortize_l;
+
+    auto host = std::make_unique<HostProcess>(
+        sim_, *dev.gpu, *dev.runtime,
+        static_cast<ProcessId>(job.id),
+        std::vector<HostProcess::ScriptEntry>{entry});
+    if (tr != nullptr) {
+        const int hp =
+            TraceRecorder::hostPid(static_cast<ProcessId>(job.id));
+        tr->setProcessName(hp,
+                           format("job%d (%s, prio %d, dev%d)", job.id,
+                                  job.workload.c_str(), job.priority,
+                                  dec.device));
+        tr->setThreadName(hp, 0, "kernel lifecycle");
+    }
+    const int job_id = job.id;
+    host->onResult = [this, job_id](const InvocationResult &res) {
+        JobOutcome &o = outcomes_[static_cast<std::size_t>(job_id)];
+        o.preemptions += res.preemptions;
+        o.execNs += res.execNs;
+        if (--remainingInvocations_[static_cast<std::size_t>(
+                job_id)] == 0)
+            jobFinished(job_id, res.finishTick);
+    };
+    host->start();
+    hosts_.push_back(std::move(host));
+    traceQueueDepth();
+}
+
+void
+ClusterScheduler::jobFinished(int job_id, Tick now)
+{
+    JobOutcome &out = outcomes_[static_cast<std::size_t>(job_id)];
+    out.completed = true;
+    out.finishTick = now;
+    Device &dev = *devices_[static_cast<std::size_t>(out.device)];
+    auto pos = std::find(dev.residentJobs.begin(),
+                         dev.residentJobs.end(), job_id);
+    FLEP_ASSERT(pos != dev.residentJobs.end(),
+                "finished job not resident on its device");
+    dev.residentJobs.erase(pos);
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidCluster, 0, "cluster:finish",
+                    format("\"job\":%d,\"device\":%d,"
+                           "\"turnaround_ns\":%llu",
+                           job_id, out.device,
+                           static_cast<unsigned long long>(
+                               out.turnaroundNs())));
+    }
+    // A slot just freed; the queue head may fit now.
+    tryDispatch();
+}
+
+ClusterResult
+ClusterScheduler::collect() const
+{
+    ClusterResult result;
+    result.outcomes = outcomes_;
+    result.placements = placements_;
+    result.preemptivePlacements = preemptivePlacements_;
+    for (const auto &out : outcomes_) {
+        if (out.completed)
+            result.makespanNs =
+                std::max(result.makespanNs, out.finishTick);
+    }
+    // Busy fraction over the whole run (sim_.now() is the last event
+    // time: the makespan plus IPC tails, or the horizon).
+    const Tick run_ns = sim_.now();
+    for (const auto &dev : devices_) {
+        result.devicePreemptions.push_back(
+            dev->runtime->preemptionsSignalled());
+        result.deviceUtilization.push_back(
+            run_ns == 0 ? 0.0
+                        : static_cast<double>(dev->busyNs) /
+                              static_cast<double>(run_ns));
+        result.deviceJobCounts.push_back(dev->jobCount);
+    }
+    return result;
+}
+
+ClusterResult
+runCluster(const BenchmarkSuite &suite,
+           const OfflineArtifacts &artifacts, const ClusterConfig &cfg)
+{
+    Simulation sim(cfg.seed);
+
+    // As in runCoRun: the recorder must be installed before devices
+    // are built so they can attach their counter tracks.
+    std::unique_ptr<TraceRecorder> owned_tracer;
+    TraceRecorder *tracer = cfg.tracer;
+    if (tracer == nullptr && !cfg.tracePath.empty()) {
+        owned_tracer = std::make_unique<TraceRecorder>();
+        tracer = owned_tracer.get();
+    }
+    if (tracer != nullptr) {
+        tracer->bindClock(sim.events());
+        sim.setTracer(tracer);
+    }
+
+    ClusterScheduler cluster(sim, suite, artifacts, cfg);
+    cluster.start();
+
+    if (cfg.horizonNs > 0)
+        sim.runUntil(cfg.horizonNs);
+    else
+        sim.run();
+
+    ClusterResult result = cluster.collect();
+
+    if (tracer != nullptr && !cfg.tracePath.empty()) {
+        if (!tracer->writeJsonFile(cfg.tracePath)) {
+            warn("could not write trace to ", cfg.tracePath);
+        } else {
+            inform("wrote ", tracer->eventCount(), " trace events to ",
+                   cfg.tracePath);
+        }
+    }
+    return result;
+}
+
+std::vector<ClusterResult>
+runClusterBatch(const BenchmarkSuite &suite,
+                const OfflineArtifacts &artifacts,
+                const std::vector<ClusterConfig> &cfgs,
+                ThreadPool &pool)
+{
+    return pool.parallelMap(cfgs.size(), [&](std::size_t i) {
+        return runCluster(suite, artifacts, cfgs[i]);
+    });
+}
+
+std::vector<ClusterResult>
+runClusterBatch(const BenchmarkSuite &suite,
+                const OfflineArtifacts &artifacts,
+                const std::vector<ClusterConfig> &cfgs, int threads)
+{
+    ThreadPool pool(threads);
+    return runClusterBatch(suite, artifacts, cfgs, pool);
+}
+
+} // namespace flep

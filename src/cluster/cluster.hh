@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The multi-GPU cluster scheduling layer.
+ *
+ * A ClusterScheduler owns N simulated GPUs, each wrapped in its own
+ * FLEP runtime (its own policy instance, wait queues and performance
+ * models), and a cluster-wide priority-FIFO job queue. Jobs arrive
+ * open-loop; a pluggable placement policy assigns each to a device,
+ * where it becomes an ordinary FLEP host process. The layering
+ * mirrors real clusters: SLURM/Borg pick the node, the node-local
+ * runtime (here: FLEP, paper §5) schedules the kernels — and
+ * preemption-aware placement only works because FLEP makes device-
+ * level preemption cheap (paper §2: "flexible and efficient
+ * preemption").
+ *
+ * Determinism: one cluster run is one Simulation; all randomness
+ * derives from the run's seed and ties at equal ticks resolve FIFO,
+ * so a config maps to exactly one result at any host thread count.
+ */
+
+#ifndef FLEP_CLUSTER_CLUSTER_HH
+#define FLEP_CLUSTER_CLUSTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/job.hh"
+#include "cluster/job_queue.hh"
+#include "cluster/placement.hh"
+#include "common/thread_pool.hh"
+#include "flep/experiment.hh"
+#include "gpu/gpu_config.hh"
+#include "runtime/ffs.hh"
+#include "runtime/hpf.hh"
+#include "sim/sim_object.hh"
+
+namespace flep
+{
+
+class GpuDevice;
+class FlepRuntime;
+class HostProcess;
+class TraceRecorder;
+
+/** Full description of one cluster experiment. */
+struct ClusterConfig
+{
+    /** Per-device hardware model (all devices identical). */
+    GpuConfig gpu = GpuConfig::keplerK40();
+
+    /** Number of GPUs in the cluster. */
+    int devices = 2;
+
+    /** How jobs are assigned to devices. */
+    PlacementKind placement = PlacementKind::FirstFit;
+
+    /**
+     * Per-device FLEP policy. Only the preemptive FLEP schedulers
+     * make sense under a cluster (placement relies on device-level
+     * preemption); FlepHpf and FlepFfs are accepted.
+     */
+    SchedulerKind deviceScheduler = SchedulerKind::FlepHpf;
+    HpfPolicy::Config hpf;
+    FfsPolicy::Config ffs;
+
+    /**
+     * Cluster-level job slots per device: how many placed jobs may
+     * be resident on one device at a time (the device's FLEP runtime
+     * multiplexes their kernels). Placement never exceeds this,
+     * except for PreemptivePriority displacements which share the
+     * slot with their victim until it finishes.
+     */
+    int deviceCapacity = 1;
+
+    /** The submitted jobs (see cluster/arrival_gen.hh). Ids must be
+     *  unique; arrival order need not be sorted. */
+    std::vector<ClusterJob> jobs;
+
+    /** Stop time; 0 runs until every job finishes. Jobs unfinished
+     *  at the horizon count as incomplete (and as SLO misses). */
+    Tick horizonNs = 0;
+
+    std::uint64_t seed = 1;
+
+    /** When non-empty, write a Chrome trace of the run here. */
+    std::string tracePath;
+
+    /** When non-null, record into this caller-owned recorder. */
+    TraceRecorder *tracer = nullptr;
+};
+
+/** What happened to one job. */
+struct JobOutcome
+{
+    ClusterJob job;
+
+    /** Device the job ran on; -1 when never placed. */
+    int device = -1;
+
+    bool placed = false;
+    bool completed = false;
+
+    /** True when the placement displaced lower-priority residents. */
+    bool displacedVictim = false;
+
+    Tick placeTick = 0;
+    Tick finishTick = 0;
+
+    /** Device-level preemptions suffered across all invocations. */
+    int preemptions = 0;
+
+    /** Summed GPU execution span across invocations. */
+    Tick execNs = 0;
+
+    /** Submission-to-placement delay. @pre placed. */
+    Tick queueDelayNs() const { return placeTick - job.arrivalNs; }
+
+    /** Submission-to-completion turnaround. @pre completed. */
+    Tick turnaroundNs() const { return finishTick - job.arrivalNs; }
+
+    /** SLO verdict: met only if completed within job.sloNs of
+     *  arrival. Jobs without an SLO (sloNs == 0) report true. */
+    bool
+    sloMet() const
+    {
+        if (job.sloNs == 0)
+            return true;
+        return completed && turnaroundNs() <= job.sloNs;
+    }
+};
+
+/** Measurements of one cluster run. */
+struct ClusterResult
+{
+    /** One outcome per submitted job, indexed by job id. */
+    std::vector<JobOutcome> outcomes;
+
+    /** Latest job completion (0 when nothing completed). */
+    Tick makespanNs = 0;
+
+    /** Total placements performed. */
+    long placements = 0;
+
+    /** Placements that displaced a lower-priority resident. */
+    long preemptivePlacements = 0;
+
+    /** Per-device preemptions signalled by the FLEP runtimes. */
+    std::vector<long> devicePreemptions;
+
+    /** Per-device busy fraction over the run (approximate union of
+     *  busy CTA-slot intervals over the makespan). */
+    std::vector<double> deviceUtilization;
+
+    /** Jobs each device ran. */
+    std::vector<long> deviceJobCounts;
+};
+
+/**
+ * The cluster scheduler: submits jobs at their arrival times, places
+ * them with the configured policy, and tracks outcomes. Built and
+ * driven by runCluster(); exposed for tests that need to poke at
+ * intermediate state.
+ */
+class ClusterScheduler : public SimObject
+{
+  public:
+    ClusterScheduler(Simulation &sim, const BenchmarkSuite &suite,
+                     const OfflineArtifacts &artifacts,
+                     const ClusterConfig &cfg);
+    ~ClusterScheduler() override;
+
+    /** Schedule every job's submission event. Call once, before the
+     *  simulation runs. */
+    void start();
+
+    /** Pending (submitted, unplaced) jobs right now. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Jobs resident on one device right now. */
+    int residentOn(int device) const;
+
+    /** Harvest results. Call after the simulation has run. */
+    ClusterResult collect() const;
+
+  private:
+    struct Device;
+
+    void submit(const ClusterJob &job);
+    void tryDispatch();
+    void place(const ClusterJob &job, const PlacementDecision &dec);
+    void jobFinished(int job_id, Tick now);
+    std::vector<DeviceLoad> snapshotLoads();
+    void traceQueueDepth();
+
+    const BenchmarkSuite &suite_;
+    const OfflineArtifacts &artifacts_;
+    const ClusterConfig &cfg_;
+
+    std::unique_ptr<PlacementPolicy> policy_;
+    std::vector<std::unique_ptr<Device>> devices_;
+    JobQueue queue_;
+    std::vector<JobOutcome> outcomes_;
+    std::vector<std::unique_ptr<HostProcess>> hosts_;
+    /** Invocations still owed per active job id. */
+    std::vector<int> remainingInvocations_;
+    long placements_ = 0;
+    long preemptivePlacements_ = 0;
+};
+
+/** Run one cluster experiment. */
+ClusterResult runCluster(const BenchmarkSuite &suite,
+                         const OfflineArtifacts &artifacts,
+                         const ClusterConfig &cfg);
+
+/**
+ * Run independent cluster experiments across a worker pool, results
+ * in input order. Each run derives all randomness from its own seed,
+ * so the batch is bit-identical to a serial loop at any thread count.
+ */
+std::vector<ClusterResult> runClusterBatch(
+    const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
+    const std::vector<ClusterConfig> &cfgs, ThreadPool &pool);
+
+/** As above with a transient pool. @param threads <= 0 picks
+ *  hardware concurrency; 1 runs serially. */
+std::vector<ClusterResult> runClusterBatch(
+    const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
+    const std::vector<ClusterConfig> &cfgs, int threads = 0);
+
+} // namespace flep
+
+#endif // FLEP_CLUSTER_CLUSTER_HH

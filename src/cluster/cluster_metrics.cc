@@ -1,0 +1,59 @@
+#include "cluster/cluster_metrics.hh"
+
+#include "common/stats.hh"
+
+namespace flep
+{
+
+ClusterMetrics
+computeClusterMetrics(const ClusterResult &result)
+{
+    ClusterMetrics m;
+    m.jobs = result.outcomes.size();
+    m.deviceUtilization = result.deviceUtilization;
+    m.preemptivePlacements = result.preemptivePlacements;
+    for (long p : result.devicePreemptions)
+        m.devicePreemptions += p;
+
+    SampleStats queue_delay;
+    SampleStats turnaround;
+    std::map<Priority, std::pair<std::size_t, std::size_t>> by_prio;
+    for (const auto &out : result.outcomes) {
+        if (out.placed)
+            queue_delay.add(ticksToUs(out.queueDelayNs()));
+        if (out.completed) {
+            ++m.completed;
+            turnaround.add(ticksToUs(out.turnaroundNs()));
+        }
+        if (out.job.sloNs > 0) {
+            ++m.sloJobs;
+            auto &[slo_jobs, slo_met] = by_prio[out.job.priority];
+            ++slo_jobs;
+            // Unfinished (never placed, or cut off by the horizon)
+            // SLO jobs count as misses: the user did not get their
+            // answer in time.
+            if (out.sloMet()) {
+                ++m.sloMet;
+                ++slo_met;
+            }
+        }
+    }
+    m.sloAttainment = m.sloJobs == 0
+        ? 1.0
+        : static_cast<double>(m.sloMet) /
+            static_cast<double>(m.sloJobs);
+    for (const auto &[prio, counts] : by_prio) {
+        m.sloAttainmentByPriority[prio] =
+            static_cast<double>(counts.second) /
+            static_cast<double>(counts.first);
+    }
+    if (queue_delay.count() > 0) {
+        m.p50QueueDelayUs = queue_delay.percentile(50);
+        m.p99QueueDelayUs = queue_delay.percentile(99);
+    }
+    if (turnaround.count() > 0)
+        m.meanTurnaroundUs = turnaround.mean();
+    return m;
+}
+
+} // namespace flep

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Service-level metrics of one cluster run.
+ *
+ * The cluster layer's figure of merit is not raw throughput but how
+ * well the fleet honors its service-level objectives under load:
+ * SLO attainment (overall and per priority), queueing-delay
+ * percentiles, per-device utilization and the preemption cost paid
+ * to get there.
+ */
+
+#ifndef FLEP_CLUSTER_CLUSTER_METRICS_HH
+#define FLEP_CLUSTER_CLUSTER_METRICS_HH
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "common/types.hh"
+
+namespace flep
+{
+
+/** Aggregated service metrics of one ClusterResult. */
+struct ClusterMetrics
+{
+    std::size_t jobs = 0;
+    std::size_t completed = 0;
+
+    /** Jobs carrying an SLO (sloNs > 0). */
+    std::size_t sloJobs = 0;
+
+    /** SLO jobs that completed within their bound. */
+    std::size_t sloMet = 0;
+
+    /** sloMet / sloJobs; 1.0 when no job carries an SLO. */
+    double sloAttainment = 1.0;
+
+    /** Attainment restricted to each priority level that has SLO
+     *  jobs. */
+    std::map<Priority, double> sloAttainmentByPriority;
+
+    /** Queueing delay (submission to placement) percentiles over the
+     *  placed jobs, in microseconds. */
+    double p50QueueDelayUs = 0.0;
+    double p99QueueDelayUs = 0.0;
+
+    /** Mean turnaround of the completed jobs, microseconds. */
+    double meanTurnaroundUs = 0.0;
+
+    /** Copied from the result: busy fraction per device. */
+    std::vector<double> deviceUtilization;
+
+    /** Device-level preemptions summed over all runtimes. */
+    long devicePreemptions = 0;
+
+    /** Placements that displaced a lower-priority resident. */
+    long preemptivePlacements = 0;
+};
+
+/** Reduce a run's outcomes to service metrics. */
+ClusterMetrics computeClusterMetrics(const ClusterResult &result);
+
+} // namespace flep
+
+#endif // FLEP_CLUSTER_CLUSTER_METRICS_HH

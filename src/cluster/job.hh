@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The unit of work the cluster scheduler places: one job, one GPU
+ * program instance.
+ *
+ * FLEP itself manages kernels within one GPU (paper §5); the cluster
+ * layer sits above it, in the role SLURM or Borg plays above node-local
+ * schedulers. A ClusterJob is what a user submits: a benchmark-suite
+ * program with a priority, an arrival time and an optional turnaround
+ * SLO. Placement turns a job into a host process bound to one device's
+ * FLEP runtime.
+ */
+
+#ifndef FLEP_CLUSTER_JOB_HH
+#define FLEP_CLUSTER_JOB_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "workload/input_gen.hh"
+
+namespace flep
+{
+
+/** One submitted job: a program instance awaiting a device. */
+struct ClusterJob
+{
+    /** Unique id; doubles as the job's host-process / trace pid. */
+    int id = 0;
+
+    /** Benchmark-suite workload name (e.g. "VA", "MM"). */
+    std::string workload;
+
+    /** Input class of every invocation of this job. */
+    InputClass input = InputClass::Large;
+
+    /**
+     * Cluster priority, also used as the device-level FLEP priority
+     * once placed — a high-priority job preempts low-priority kernels
+     * on its device through the normal HPF path.
+     */
+    Priority priority = 0;
+
+    /** Submission time (simulated ns). */
+    Tick arrivalNs = 0;
+
+    /**
+     * Turnaround SLO: the job should finish within this many ns of
+     * arrival (queueing + execution). 0 means no SLO. Jobs still
+     * unfinished at the horizon count as SLO misses.
+     */
+    Tick sloNs = 0;
+
+    /** Kernel invocations per job; must be >= 1 (no infinite jobs —
+     *  a cluster job has to be able to finish and free its slot). */
+    int repeats = 1;
+};
+
+} // namespace flep
+
+#endif // FLEP_CLUSTER_JOB_HH

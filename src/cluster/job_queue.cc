@@ -1,0 +1,63 @@
+#include "cluster/job_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+namespace
+{
+
+/** True when `a` should dispatch before `b`. */
+bool
+before(const ClusterJob &a, const ClusterJob &b)
+{
+    if (a.priority != b.priority)
+        return a.priority > b.priority;
+    if (a.arrivalNs != b.arrivalNs)
+        return a.arrivalNs < b.arrivalNs;
+    return a.id < b.id;
+}
+
+} // namespace
+
+void
+JobQueue::push(const ClusterJob &job)
+{
+    auto pos = std::find_if(jobs_.begin(), jobs_.end(),
+                            [&](const ClusterJob &other) {
+                                return before(job, other);
+                            });
+    jobs_.insert(pos, job);
+}
+
+const ClusterJob &
+JobQueue::front() const
+{
+    FLEP_ASSERT(!jobs_.empty(), "front() of an empty job queue");
+    return jobs_.front();
+}
+
+ClusterJob
+JobQueue::popFront()
+{
+    FLEP_ASSERT(!jobs_.empty(), "popFront() of an empty job queue");
+    ClusterJob job = jobs_.front();
+    jobs_.pop_front();
+    return job;
+}
+
+std::size_t
+JobQueue::sizeAt(Priority p) const
+{
+    std::size_t n = 0;
+    for (const auto &job : jobs_) {
+        if (job.priority == p)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace flep

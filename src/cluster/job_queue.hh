@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The cluster-wide pending-job queue.
+ *
+ * Jobs wait here between submission and placement, ordered by
+ * descending priority and FIFO within a priority (arrival time, then
+ * submission id as the deterministic tiebreak). The head is therefore
+ * always the job every placement policy considers next, which keeps
+ * head-of-line dispatch well-defined: if the head cannot be placed,
+ * no lower-priority job may jump it (no backfilling — see
+ * docs/cluster.md for the SLURM analogy).
+ */
+
+#ifndef FLEP_CLUSTER_JOB_QUEUE_HH
+#define FLEP_CLUSTER_JOB_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "cluster/job.hh"
+
+namespace flep
+{
+
+/** Priority-FIFO queue of pending cluster jobs. */
+class JobQueue
+{
+  public:
+    /** Insert a job in (priority desc, arrival asc, id asc) order. */
+    void push(const ClusterJob &job);
+
+    /** The job every policy considers next. @pre !empty(). */
+    const ClusterJob &front() const;
+
+    /** Remove and return the head. @pre !empty(). */
+    ClusterJob popFront();
+
+    bool empty() const { return jobs_.empty(); }
+    std::size_t size() const { return jobs_.size(); }
+
+    /** Pending jobs at one priority (diagnostics and tests). */
+    std::size_t sizeAt(Priority p) const;
+
+  private:
+    // Kept sorted; cluster queues are short (tens of jobs), so the
+    // O(n) ordered insert beats a heap's constant factors and keeps
+    // iteration (sizeAt, future inspection) trivial.
+    std::deque<ClusterJob> jobs_;
+};
+
+} // namespace flep
+
+#endif // FLEP_CLUSTER_JOB_QUEUE_HH

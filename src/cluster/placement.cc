@@ -1,0 +1,189 @@
+#include "cluster/placement.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace flep
+{
+
+const char *
+placementKindName(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::FirstFit:
+        return "first-fit";
+      case PlacementKind::LeastLoaded:
+        return "least-loaded";
+      case PlacementKind::PreemptivePriority:
+        return "preemptive-priority";
+    }
+    return "unknown";
+}
+
+const std::vector<PlacementKind> &
+allPlacementKinds()
+{
+    static const std::vector<PlacementKind> kinds = {
+        PlacementKind::FirstFit,
+        PlacementKind::LeastLoaded,
+        PlacementKind::PreemptivePriority,
+    };
+    return kinds;
+}
+
+bool
+parsePlacementKind(const std::string &name, PlacementKind &out)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    for (PlacementKind kind : allPlacementKinds()) {
+        if (lower == placementKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    // Underscore spellings, for shell-friendliness.
+    if (lower == "first_fit") {
+        out = PlacementKind::FirstFit;
+        return true;
+    }
+    if (lower == "least_loaded") {
+        out = PlacementKind::LeastLoaded;
+        return true;
+    }
+    if (lower == "preemptive_priority" || lower == "preemptive") {
+        out = PlacementKind::PreemptivePriority;
+        return true;
+    }
+    return false;
+}
+
+PlacementPolicy::~PlacementPolicy() = default;
+
+namespace
+{
+
+/**
+ * Free device with the least predicted backlog; -1 when none is
+ * free. Ties break toward the lower device index, keeping decisions
+ * deterministic.
+ */
+int
+leastLoadedFree(const std::vector<DeviceLoad> &loads)
+{
+    int best = -1;
+    for (const auto &load : loads) {
+        if (!load.hasFreeSlot())
+            continue;
+        if (best < 0 ||
+            load.predictedBacklogNs <
+                loads[static_cast<std::size_t>(best)].predictedBacklogNs)
+            best = load.device;
+    }
+    return best;
+}
+
+class FirstFitPolicy final : public PlacementPolicy
+{
+  public:
+    PlacementKind kind() const override
+    {
+        return PlacementKind::FirstFit;
+    }
+
+    PlacementDecision
+    place(const ClusterJob &job,
+          const std::vector<DeviceLoad> &loads) const override
+    {
+        (void)job;
+        PlacementDecision d;
+        for (const auto &load : loads) {
+            if (load.hasFreeSlot()) {
+                d.device = load.device;
+                break;
+            }
+        }
+        return d;
+    }
+};
+
+class LeastLoadedPolicy final : public PlacementPolicy
+{
+  public:
+    PlacementKind kind() const override
+    {
+        return PlacementKind::LeastLoaded;
+    }
+
+    PlacementDecision
+    place(const ClusterJob &job,
+          const std::vector<DeviceLoad> &loads) const override
+    {
+        (void)job;
+        PlacementDecision d;
+        d.device = leastLoadedFree(loads);
+        return d;
+    }
+};
+
+class PreemptivePriorityPolicy final : public PlacementPolicy
+{
+  public:
+    PlacementKind kind() const override
+    {
+        return PlacementKind::PreemptivePriority;
+    }
+
+    PlacementDecision
+    place(const ClusterJob &job,
+          const std::vector<DeviceLoad> &loads) const override
+    {
+        PlacementDecision d;
+        // While slots are free, behave like LeastLoaded — preempting
+        // when idle capacity exists would only add overhead.
+        d.device = leastLoadedFree(loads);
+        if (d.device >= 0)
+            return d;
+        // Full cluster: displace the device whose *best-protected*
+        // resident is weakest, i.e. the one with the lowest resident
+        // priority, and only if that priority is strictly below the
+        // incoming job's. The device's own HPF policy then preempts
+        // the running kernel as soon as the job's kernel arrives.
+        Priority victim_prio = 0;
+        for (const auto &load : loads) {
+            if (load.residentJobs <= 0)
+                continue;
+            if (load.lowestResidentPriority >= job.priority)
+                continue;
+            if (d.device < 0 ||
+                load.lowestResidentPriority < victim_prio) {
+                d.device = load.device;
+                victim_prio = load.lowestResidentPriority;
+            }
+        }
+        d.preempts = d.device >= 0;
+        return d;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<PlacementPolicy>
+makePlacementPolicy(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::FirstFit:
+        return std::make_unique<FirstFitPolicy>();
+      case PlacementKind::LeastLoaded:
+        return std::make_unique<LeastLoadedPolicy>();
+      case PlacementKind::PreemptivePriority:
+        return std::make_unique<PreemptivePriorityPolicy>();
+    }
+    FLEP_PANIC("unknown placement kind");
+}
+
+} // namespace flep

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Pluggable cluster placement policies.
+ *
+ * Placement decides *which device* a pending job runs on; FLEP's
+ * per-device runtime decides *when its kernels run* once it is there.
+ * The three policies map onto classic cluster-scheduler behaviors
+ * (docs/cluster.md relates them to SLURM's preemption modes):
+ *
+ *  - FirstFit:           lowest-index device with a free slot.
+ *  - LeastLoaded:        free device with the smallest predicted
+ *                        remaining work, using the FLEP performance
+ *                        model's T_r estimates as the load signal.
+ *  - PreemptivePriority: like LeastLoaded while slots are free; when
+ *                        the cluster is full, a job may be placed on
+ *                        a device whose resident jobs all have lower
+ *                        priority, letting the device's HPF policy
+ *                        preempt the running kernel immediately.
+ */
+
+#ifndef FLEP_CLUSTER_PLACEMENT_HH
+#define FLEP_CLUSTER_PLACEMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/job.hh"
+#include "common/types.hh"
+
+namespace flep
+{
+
+/** Which placement policy a cluster runs. */
+enum class PlacementKind
+{
+    FirstFit,           //!< first device with a free job slot
+    LeastLoaded,        //!< free device with least predicted backlog
+    PreemptivePriority  //!< may displace lower-priority residents
+};
+
+/** Human-readable policy name (also the bench/CLI spelling). */
+const char *placementKindName(PlacementKind kind);
+
+/** Every PlacementKind value, in declaration order. */
+const std::vector<PlacementKind> &allPlacementKinds();
+
+/**
+ * Parse a policy name back into its kind — the inverse of
+ * placementKindName(), case-insensitive. @return false on unknown
+ * names, leaving `out` untouched.
+ */
+bool parsePlacementKind(const std::string &name, PlacementKind &out);
+
+/** Snapshot of one device's load, rebuilt before every decision. */
+struct DeviceLoad
+{
+    int device = 0;
+
+    /** Jobs placed on the device and not yet finished. */
+    int residentJobs = 0;
+
+    /** Cluster-level job slots (ClusterConfig::deviceCapacity). */
+    int capacity = 1;
+
+    /**
+     * Sum of the device runtime's predicted remaining execution
+     * times T_r (FlepRuntime::predictedRemainingNs()): the model's
+     * estimate of how much work is still queued or running there.
+     */
+    Tick predictedBacklogNs = 0;
+
+    /** Lowest priority among resident jobs; meaningful only when
+     *  residentJobs > 0. */
+    Priority lowestResidentPriority = 0;
+
+    bool hasFreeSlot() const { return residentJobs < capacity; }
+};
+
+/** The outcome of one placement query. */
+struct PlacementDecision
+{
+    /** Chosen device, or -1 when the job must keep waiting. */
+    int device = -1;
+
+    /** True when the placement displaces lower-priority residents
+     *  (the device's own FLEP policy performs the preemption). */
+    bool preempts = false;
+
+    bool placed() const { return device >= 0; }
+};
+
+/** Interface every placement policy implements. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy();
+
+    /** The policy's kind. */
+    virtual PlacementKind kind() const = 0;
+
+    /** Human-readable name (== placementKindName(kind())). */
+    const char *name() const { return placementKindName(kind()); }
+
+    /**
+     * Choose a device for `job` given the current per-device loads
+     * (indexed by device). Must be a pure function of its arguments
+     * so cluster runs stay deterministic.
+     */
+    virtual PlacementDecision place(
+        const ClusterJob &job,
+        const std::vector<DeviceLoad> &loads) const = 0;
+};
+
+/** Build a policy instance of the given kind. */
+std::unique_ptr<PlacementPolicy> makePlacementPolicy(PlacementKind kind);
+
+} // namespace flep
+
+#endif // FLEP_CLUSTER_PLACEMENT_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
 #include <memory>
 #include <mutex>
 
@@ -29,6 +30,49 @@ schedulerKindName(SchedulerKind kind)
         return "slicing";
     }
     return "unknown";
+}
+
+const std::vector<SchedulerKind> &
+allSchedulerKinds()
+{
+    static const std::vector<SchedulerKind> kinds = {
+        SchedulerKind::Mps,     SchedulerKind::FlepHpf,
+        SchedulerKind::FlepFfs, SchedulerKind::Reorder,
+        SchedulerKind::Slicing,
+    };
+    return kinds;
+}
+
+bool
+parseSchedulerKind(const std::string &name, SchedulerKind &out)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+
+    // Canonical names first, so the parser stays the exact inverse of
+    // schedulerKindName() even if aliases overlap someday.
+    for (SchedulerKind kind : allSchedulerKinds()) {
+        std::string canon = schedulerKindName(kind);
+        for (char &c : canon)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (lower == canon) {
+            out = kind;
+            return true;
+        }
+    }
+    if (lower == "hpf" || lower == "flep" || lower == "flep_hpf") {
+        out = SchedulerKind::FlepHpf;
+        return true;
+    }
+    if (lower == "ffs" || lower == "flep_ffs") {
+        out = SchedulerKind::FlepFfs;
+        return true;
+    }
+    return false;
 }
 
 OfflineArtifacts

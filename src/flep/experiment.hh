@@ -43,6 +43,20 @@ enum class SchedulerKind
 /** Human-readable scheduler name. */
 const char *schedulerKindName(SchedulerKind kind);
 
+/** Every SchedulerKind value, in declaration order. */
+const std::vector<SchedulerKind> &allSchedulerKinds();
+
+/**
+ * Parse a scheduler name back into its kind — the inverse of
+ * schedulerKindName(). Matching is case-insensitive and accepts both
+ * the canonical names ("MPS", "FLEP-HPF", ...) and the short aliases
+ * "hpf" and "ffs".
+ *
+ * @param out receives the kind on success.
+ * @return false when the name matches no scheduler; `out` untouched.
+ */
+bool parseSchedulerKind(const std::string &name, SchedulerKind &out);
+
 /** Products of FLEP's offline phase, shared across experiments. */
 struct OfflineArtifacts
 {

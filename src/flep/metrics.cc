@@ -7,27 +7,47 @@
 namespace flep
 {
 
+namespace
+{
+
+// Turnarounds come from simulated ticks and are occasionally zero in
+// degenerate configs (zero-length scripts, horizon truncation). A
+// zero denominator would turn the whole metric into NaN/inf, so clamp
+// to the smallest meaningful duration and warn once per call site.
+double
+clampPositiveNs(double ns, const char *what)
+{
+    if (ns > 0.0)
+        return ns;
+    warn(what, " turnaround ", ns, " ns is not positive; clamping to 1 ns");
+    return 1.0;
+}
+
+} // namespace
+
 double
 antt(const std::vector<TurnaroundPair> &pairs)
 {
-    FLEP_ASSERT(!pairs.empty(), "ANTT of an empty set");
+    // ANTT of zero programs: no program is slowed down, so report the
+    // identity 1.0 rather than 0/0.
+    if (pairs.empty())
+        return 1.0;
     double acc = 0.0;
-    for (const auto &p : pairs) {
-        FLEP_ASSERT(p.soloNs > 0.0, "solo turnaround must be positive");
-        acc += p.coRunNs / p.soloNs;
-    }
+    for (const auto &p : pairs)
+        acc += p.coRunNs / clampPositiveNs(p.soloNs, "solo");
     return acc / static_cast<double>(pairs.size());
 }
 
 double
 stp(const std::vector<TurnaroundPair> &pairs)
 {
-    FLEP_ASSERT(!pairs.empty(), "STP of an empty set");
+    // STP of zero programs: nothing ran, so throughput is 0.0 (STP
+    // equals the program count under zero interference).
+    if (pairs.empty())
+        return 0.0;
     double acc = 0.0;
-    for (const auto &p : pairs) {
-        FLEP_ASSERT(p.coRunNs > 0.0, "co-run turnaround must be positive");
-        acc += p.soloNs / p.coRunNs;
-    }
+    for (const auto &p : pairs)
+        acc += p.soloNs / clampPositiveNs(p.coRunNs, "co-run");
     return acc;
 }
 

@@ -25,12 +25,20 @@ struct TurnaroundPair
 /**
  * Average Normalized Turnaround Time: mean of co-run turnaround over
  * solo turnaround. Lower is better; 1.0 is no slowdown.
+ *
+ * Degenerate inputs stay finite: zero programs yield the identity
+ * 1.0, and non-positive solo turnarounds are clamped to 1 ns (with a
+ * warning) instead of producing NaN/inf.
  */
 double antt(const std::vector<TurnaroundPair> &pairs);
 
 /**
  * System Throughput: sum of solo/co-run turnaround ratios. Higher is
  * better; equals the program count with zero interference.
+ *
+ * Degenerate inputs stay finite: zero programs yield 0.0, and
+ * non-positive co-run turnarounds are clamped to 1 ns (with a
+ * warning) instead of producing NaN/inf.
  */
 double stp(const std::vector<TurnaroundPair> &pairs);
 

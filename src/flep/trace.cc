@@ -21,8 +21,12 @@ generateArrivalTimes(const ArrivalProcess &proc, Tick horizon,
             times.push_back(t);
         return times;
     }
-    FLEP_ASSERT(proc.ratePerMs > 0.0,
-                "Poisson arrivals need a positive rate");
+    FLEP_ASSERT(proc.ratePerMs >= 0.0,
+                "Poisson arrival rate cannot be negative");
+    // A zero-rate class is a valid way to disable one arrival stream
+    // in a sweep: it simply never fires.
+    if (proc.ratePerMs == 0.0)
+        return times;
     const double mean_gap_ns = 1e6 / proc.ratePerMs;
     double t = rng.exponential(mean_gap_ns);
     while (t < static_cast<double>(horizon)) {

@@ -37,7 +37,10 @@ struct ArrivalProcess
 
 /**
  * Generate the arrival times of one process class over [0, horizon).
- * Poisson by default; periodic when periodNs is set.
+ * Poisson by default; periodic when periodNs is set. A zero Poisson
+ * rate yields no arrivals (useful to disable a class in sweeps);
+ * periodic classes always fire at t = 0, even when periodNs exceeds
+ * the horizon.
  */
 std::vector<Tick> generateArrivalTimes(const ArrivalProcess &proc,
                                        Tick horizon, Rng &rng);

@@ -32,12 +32,17 @@ KernelExec::setFlag(Tick now, int value)
     flag_.hostWrite(now, value);
 }
 
-GpuDevice::GpuDevice(Simulation &sim, GpuConfig cfg)
-    : SimObject(sim, "gpu"),
+GpuDevice::GpuDevice(Simulation &sim, GpuConfig cfg, int device_index)
+    : SimObject(sim, device_index == 0
+                    ? std::string("gpu")
+                    : format("gpu%d", device_index)),
       cfg_(cfg),
+      deviceIndex_(device_index),
+      tracePid_(TraceRecorder::gpuPid(device_index)),
       scheduler_(*this),
       rng_(sim.forkRng())
 {
+    FLEP_ASSERT(device_index >= 0, "negative device index");
     cfg_.validate();
     sms_.reserve(static_cast<std::size_t>(cfg_.numSms));
     for (SmId id = 0; id < cfg_.numSms; ++id)
@@ -49,12 +54,16 @@ GpuDevice::GpuDevice(Simulation &sim, GpuConfig cfg)
     // is being traced (the recorder must be installed before the
     // device is constructed).
     if (TraceRecorder *tr = sim_.tracer()) {
-        tr->setProcessName(TraceRecorder::pidGpu, "GPU");
+        tr->setProcessName(tracePid_, deviceIndex_ == 0
+                                          ? std::string("GPU")
+                                          : format("GPU%d",
+                                                   deviceIndex_));
         for (auto &sm : sms_) {
-            tr->setThreadName(TraceRecorder::pidGpu, sm.id(),
+            tr->setThreadName(tracePid_, sm.id(),
                               format("SM%02d", sm.id()));
             sm.attachTracer(
-                tr, tr->intern(format("occupancy.sm%02d", sm.id())));
+                tr, tracePid_,
+                tr->intern(format("occupancy.sm%02d", sm.id())));
         }
     }
 }

@@ -134,10 +134,21 @@ class KernelExec
 class GpuDevice : public SimObject
 {
   public:
-    GpuDevice(Simulation &sim, GpuConfig cfg);
+    /**
+     * @param device_index position of this device in a multi-GPU
+     *        cluster; device 0 (the default) keeps the legacy trace
+     *        track ids, so single-device simulations are unchanged.
+     */
+    GpuDevice(Simulation &sim, GpuConfig cfg, int device_index = 0);
 
     /** Device parameters. */
     const GpuConfig &config() const { return cfg_; }
+
+    /** Position of this device in a multi-GPU cluster (0 solo). */
+    int deviceIndex() const { return deviceIndex_; }
+
+    /** Trace track group (Chrome pid) of this device's SM tracks. */
+    int tracePid() const { return tracePid_; }
 
     /**
      * Create the execution state for one logical kernel invocation.
@@ -239,6 +250,8 @@ class GpuDevice : public SimObject
     static void runTaskHook(KernelExec &exec, long first, long count);
 
     GpuConfig cfg_;
+    int deviceIndex_;
+    int tracePid_;
     std::vector<Sm> sms_;
     HwScheduler scheduler_;
     Rng rng_;

@@ -18,7 +18,7 @@ HwScheduler::enqueue(std::shared_ptr<KernelExec> exec, long ctas)
     FLEP_ASSERT(ctas > 0, "empty launch batch for ", exec->name());
     fifo_.push_back(Batch{std::move(exec), ctas});
     if (TraceRecorder *tr = dev_.sim().tracer()) {
-        tr->instant(TraceRecorder::pidGpu, 0, "hw-enqueue",
+        tr->instant(dev_.tracePid(), 0, "hw-enqueue",
                     format("\"kernel\":\"%s\",\"ctas\":%ld",
                            fifo_.back().exec->name().c_str(), ctas));
     }
@@ -52,7 +52,7 @@ HwScheduler::tryDispatch()
     dispatching_ = false;
 
     if (TraceRecorder *tr = dev_.sim().tracer()) {
-        tr->counter(TraceRecorder::pidGpu, 0, "hw-fifo-undispatched",
+        tr->counter(dev_.tracePid(), 0, "hw-fifo-undispatched",
                     static_cast<double>(totalUndispatched()));
     }
 }

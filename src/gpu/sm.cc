@@ -15,9 +15,11 @@ Sm::Sm(SmId id, const GpuConfig &cfg)
 {}
 
 void
-Sm::attachTracer(TraceRecorder *tracer, const char *counter_name)
+Sm::attachTracer(TraceRecorder *tracer, int pid,
+                 const char *counter_name)
 {
     tracer_ = tracer;
+    tracerPid_ = pid;
     tracerCounterName_ = counter_name;
 }
 
@@ -40,8 +42,8 @@ Sm::acquire(const CtaFootprint &fp)
     usedRegs_ += static_cast<long>(fp.threads) * fp.regsPerThread;
     usedSmem_ += fp.smemBytes;
     if (tracer_ != nullptr) {
-        tracer_->counter(TraceRecorder::pidGpu, id_,
-                         tracerCounterName_, usedCtas_);
+        tracer_->counter(tracerPid_, id_, tracerCounterName_,
+                         usedCtas_);
     }
 }
 
@@ -56,8 +58,8 @@ Sm::release(const CtaFootprint &fp)
                 usedSmem_ >= 0,
                 "resource release underflow on sm ", id_);
     if (tracer_ != nullptr) {
-        tracer_->counter(TraceRecorder::pidGpu, id_,
-                         tracerCounterName_, usedCtas_);
+        tracer_->counter(tracerPid_, id_, tracerCounterName_,
+                         usedCtas_);
     }
 }
 

@@ -29,9 +29,11 @@ class Sm
     /**
      * Attach an occupancy counter track: every acquire/release emits
      * the resident-CTA count under `counter_name` (an interned or
-     * static string). Pass nullptr to detach.
+     * static string) on track group `pid` (the owning device's trace
+     * pid). Pass nullptr to detach.
      */
-    void attachTracer(TraceRecorder *tracer, const char *counter_name);
+    void attachTracer(TraceRecorder *tracer, int pid,
+                      const char *counter_name);
 
     /** The %smid value. */
     SmId id() const { return id_; }
@@ -67,6 +69,7 @@ class Sm
     int usedSmem_ = 0;
 
     TraceRecorder *tracer_ = nullptr;
+    int tracerPid_ = 0;
     const char *tracerCounterName_ = nullptr;
 };
 

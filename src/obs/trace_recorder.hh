@@ -24,8 +24,14 @@
  *  - pid 1 "GPU": one thread track per SM, plus per-SM occupancy
  *    counter tracks (`occupancy.smNN`) and the hardware FIFO depth.
  *  - pid 2 "runtime": scheduler decisions and wait-queue counters.
+ *  - pid 3 "cluster": the cluster scheduler's submit/place/preempt
+ *    instants and the cluster queue-depth counter.
  *  - pid 10+k "host k": the k-th host process's invocation lifecycle
  *    (launch / preempt-signal / drain / resume / finish spans).
+ *  - Multi-device (cluster) simulations keep device 0 on the legacy
+ *    pids above; device d > 0 gets its own GPU/runtime track groups at
+ *    pidDeviceBase + 2*d (see gpuPid()/runtimePid()), far above any
+ *    realistic host-process pid.
  */
 
 #ifndef FLEP_OBS_TRACE_RECORDER_HH
@@ -65,14 +71,32 @@ class TraceRecorder
     static constexpr int pidGpu = 1;
     /// Track group of the scheduling runtime.
     static constexpr int pidRuntime = 2;
+    /// Track group of the cluster scheduler.
+    static constexpr int pidCluster = 3;
     /// Track group of host process k is pidHostBase + k.
     static constexpr int pidHostBase = 10;
+    /// Track groups of devices beyond the first start here.
+    static constexpr int pidDeviceBase = 1000000;
 
     /** Track group id of host process `pid`. */
     static constexpr int
     hostPid(ProcessId pid)
     {
         return pidHostBase + pid;
+    }
+
+    /** GPU track group of cluster device `device` (0 = legacy pid). */
+    static constexpr int
+    gpuPid(int device)
+    {
+        return device == 0 ? pidGpu : pidDeviceBase + 2 * device;
+    }
+
+    /** Runtime track group of cluster device `device`. */
+    static constexpr int
+    runtimePid(int device)
+    {
+        return device == 0 ? pidRuntime : pidDeviceBase + 2 * device + 1;
     }
 
     /** A recorder with no clock yet; events stamp ts = 0 until

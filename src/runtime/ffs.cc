@@ -144,7 +144,7 @@ FfsPolicy::rotate(RuntimeContext &ctx)
         slotOwner_ = pid;
         slotEnd_ = ctx.now() + epochBase(ctx) * weightOf(slot.priority);
         if (TraceRecorder *tr = ctx.tracer()) {
-            tr->instant(TraceRecorder::pidRuntime, 0, "ffs:rotate",
+            tr->instant(ctx.runtimeTracePid(), 0, "ffs:rotate",
                         format("\"owner\":%d,\"slot_ns\":%llu",
                                pid,
                                static_cast<unsigned long long>(
@@ -243,7 +243,7 @@ FfsPolicy::onTimer(RuntimeContext &ctx)
         // Slot expired mid-kernel: this is where FFS pays preemption
         // overhead.
         if (TraceRecorder *tr = ctx.tracer()) {
-            tr->instant(TraceRecorder::pidRuntime, 0,
+            tr->instant(ctx.runtimeTracePid(), 0,
                         "ffs:slot-expire",
                         format("\"owner\":%d,\"kernel\":\"%s\"",
                                slotOwner_,

@@ -32,7 +32,7 @@ HpfPolicy::preemptAndSchedule(RuntimeContext &ctx,
         plan.spatial = false;
     }
     if (TraceRecorder *tr = ctx.tracer()) {
-        tr->instant(TraceRecorder::pidRuntime, 0, "hpf:decision",
+        tr->instant(ctx.runtimeTracePid(), 0, "hpf:decision",
                     format("\"kind\":\"%s\",\"incoming\":\"%s\","
                            "\"victim\":\"%s\",\"sms\":%d",
                            preemptionKindName(plan),
@@ -143,7 +143,7 @@ HpfPolicy::scheduleForQueue(RuntimeContext &ctx, Priority p)
     if (kr->tr() > ks->tr() + ctx.overheadOf(kr->kernel())) {
         if (TraceRecorder *tr = ctx.tracer()) {
             tr->instant(
-                TraceRecorder::pidRuntime, 0, "hpf:srt-preempt",
+                ctx.runtimeTracePid(), 0, "hpf:srt-preempt",
                 format("\"victim\":\"%s\",\"next\":\"%s\"",
                        kr->kernel().c_str(), ks->kernel().c_str()));
         }

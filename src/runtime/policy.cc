@@ -1,7 +1,15 @@
 #include "runtime/policy.hh"
 
+#include "obs/trace_recorder.hh"
+
 namespace flep
 {
+
+int
+RuntimeContext::runtimeTracePid() const
+{
+    return TraceRecorder::pidRuntime;
+}
 
 SchedulingPolicy::~SchedulingPolicy() = default;
 

@@ -35,6 +35,13 @@ class RuntimeContext
      */
     virtual TraceRecorder *tracer() { return nullptr; }
 
+    /**
+     * Trace track group (Chrome pid) for runtime/policy events. The
+     * default is the legacy single-device runtime track; a clustered
+     * runtime overrides this with its device's own track group.
+     */
+    virtual int runtimeTracePid() const;
+
     /** Current simulated time. */
     virtual Tick now() const = 0;
 

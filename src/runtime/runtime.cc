@@ -27,13 +27,35 @@ FlepRuntime::tracer()
     return sim_.tracer();
 }
 
+int
+FlepRuntime::runtimeTracePid() const
+{
+    return TraceRecorder::runtimePid(gpu_.deviceIndex());
+}
+
+Tick
+FlepRuntime::predictedRemainingNs()
+{
+    Tick total = 0;
+    for (auto &[host, rec] : records_) {
+        (void)host;
+        // Fold the elapsed interval into T_r/T_w first so a
+        // long-running kernel does not report a stale estimate. The
+        // fold is linear over intervals, so refreshing here changes
+        // nothing about later accounting.
+        rec->refresh(sim_.now());
+        total += rec->tr();
+    }
+    return total;
+}
+
 void
 FlepRuntime::traceQueueDepth()
 {
     if (TraceRecorder *tr = sim_.tracer()) {
-        tr->counter(TraceRecorder::pidRuntime, 0, "wait-queue-depth",
+        tr->counter(runtimeTracePid(), 0, "wait-queue-depth",
                     static_cast<double>(queues_.size()));
-        tr->counter(TraceRecorder::pidRuntime, 0, "tracked-invocations",
+        tr->counter(runtimeTracePid(), 0, "tracked-invocations",
                     static_cast<double>(records_.size()));
     }
 }
@@ -115,7 +137,7 @@ FlepRuntime::onFinished(HostProcess &host)
 
     if (was_guest && running_ != nullptr) {
         if (TraceRecorder *tr = sim_.tracer()) {
-            tr->instant(TraceRecorder::pidRuntime, 0, "spatial-resume",
+            tr->instant(runtimeTracePid(), 0, "spatial-resume",
                         format("\"victim\":\"%s\",\"sms\":%d",
                                running_->kernel().c_str(), guestSms_));
         }
@@ -145,7 +167,7 @@ FlepRuntime::onDrained(HostProcess &host)
     if (running_ == rec)
         running_ = nullptr;
     if (TraceRecorder *tr = sim_.tracer()) {
-        tr->instant(TraceRecorder::pidRuntime, 0, "drained",
+        tr->instant(runtimeTracePid(), 0, "drained",
                     format("\"kernel\":\"%s\",\"preemptions\":%d",
                            rec->kernel().c_str(), rec->preemptions()));
     }
@@ -161,7 +183,7 @@ FlepRuntime::grant(KernelRecord &rec)
     rec.touch(sim_.now(), KernelRecord::State::Running);
     running_ = &rec;
     if (TraceRecorder *tr = sim_.tracer()) {
-        tr->instant(TraceRecorder::pidRuntime, 0, "grant",
+        tr->instant(runtimeTracePid(), 0, "grant",
                     format("\"kernel\":\"%s\",\"pid\":%d",
                            rec.kernel().c_str(), rec.process()));
     }
@@ -176,7 +198,7 @@ FlepRuntime::grantSpatial(KernelRecord &incoming, KernelRecord &victim,
     FLEP_ASSERT(running_ == &victim, "spatial victim must be running");
     ++preemptsSignalled_;
     if (TraceRecorder *tr = sim_.tracer()) {
-        tr->instant(TraceRecorder::pidRuntime, 0, "spatial-yield",
+        tr->instant(runtimeTracePid(), 0, "spatial-yield",
                     format("\"incoming\":\"%s\",\"victim\":\"%s\","
                            "\"sms\":%d",
                            incoming.kernel().c_str(),
@@ -195,7 +217,7 @@ FlepRuntime::preempt(KernelRecord &victim)
     ++preemptsSignalled_;
     preemptSignalTick_[&victim] = sim_.now();
     if (TraceRecorder *tr = sim_.tracer()) {
-        tr->instant(TraceRecorder::pidRuntime, 0, "preempt-signal",
+        tr->instant(runtimeTracePid(), 0, "preempt-signal",
                     format("\"victim\":\"%s\",\"pid\":%d",
                            victim.kernel().c_str(), victim.process()));
     }

@@ -66,6 +66,7 @@ class FlepRuntime : public SimObject,
 
     // --- RuntimeContext ---
     TraceRecorder *tracer() override;
+    int runtimeTracePid() const override;
     Tick now() const override { return sim_.now(); }
     const GpuConfig &gpuConfig() const override
     {
@@ -91,6 +92,17 @@ class FlepRuntime : public SimObject,
 
     /** Number of invocations currently tracked. */
     std::size_t trackedCount() const { return records_.size(); }
+
+    /** The GPU device this runtime schedules. */
+    const GpuDevice &gpu() const { return gpu_; }
+
+    /**
+     * Sum of the predicted remaining execution times T_r over every
+     * tracked invocation, refreshed to the current tick. The cluster
+     * layer's LeastLoaded placement uses this as the device's
+     * predicted backlog.
+     */
+    Tick predictedRemainingNs();
 
     /** Total preemptions the runtime has signalled. */
     long preemptionsSignalled() const { return preemptsSignalled_; }

@@ -43,11 +43,20 @@ WaitQueueSet::popFront(Priority p)
 bool
 WaitQueueSet::remove(const KernelRecord &rec)
 {
+    // Scan only the record's own priority queue: the record knows its
+    // priority and enqueue() never files it anywhere else. The probe
+    // counters make this observable so a regression back to a
+    // full-set scan fails the wait-queue tests.
+    lastRemoveProbes_ = 0;
     auto it = queues_.find(rec.priority());
     if (it == queues_.end())
         return false;
     auto &q = it->second;
-    auto pos = std::find(q.begin(), q.end(), &rec);
+    auto pos = std::find_if(q.begin(), q.end(), [&](KernelRecord *r) {
+        ++lastRemoveProbes_;
+        return r == &rec;
+    });
+    totalRemoveProbes_ += lastRemoveProbes_;
     if (pos == q.end())
         return false;
     q.erase(pos);

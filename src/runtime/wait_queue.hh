@@ -33,7 +33,11 @@ class WaitQueueSet
     /** Remove and return the head of the queue at `p`. */
     KernelRecord *popFront(Priority p);
 
-    /** Remove a specific record wherever it is; false if absent. */
+    /**
+     * Remove a specific record; false if absent. The record knows its
+     * own priority, so only the queue at rec.priority() is scanned —
+     * never the other priority levels (see lastRemoveProbes()).
+     */
     bool remove(const KernelRecord &rec);
 
     /**
@@ -51,10 +55,22 @@ class WaitQueueSet
     /** Waiting kernels at one priority. */
     std::size_t sizeAt(Priority p) const;
 
+    /**
+     * Records compared during the most recent remove() call (probe
+     * instrumentation). Bounded by sizeAt(rec.priority()) at call
+     * time: records queued at other priorities are never probed.
+     */
+    std::size_t lastRemoveProbes() const { return lastRemoveProbes_; }
+
+    /** Cumulative record comparisons across all remove() calls. */
+    std::size_t totalRemoveProbes() const { return totalRemoveProbes_; }
+
   private:
     // Highest priority first.
     std::map<Priority, std::deque<KernelRecord *>, std::greater<>>
         queues_;
+    std::size_t lastRemoveProbes_ = 0;
+    std::size_t totalRemoveProbes_ = 0;
 };
 
 } // namespace flep

@@ -1,0 +1,172 @@
+/** @file Tests for cluster job arrival generation. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/arrival_gen.hh"
+#include "common/types.hh"
+
+namespace flep
+{
+namespace
+{
+
+ClusterArrivalConfig
+twoClassConfig()
+{
+    ClusterArrivalConfig cfg;
+    cfg.horizonNs = 20 * ticksPerMs;
+    cfg.seed = 7;
+
+    ArrivalClassSpec batch;
+    batch.workload = "VA";
+    batch.input = InputClass::Large;
+    batch.priority = 0;
+    batch.ratePerMs = 2.0;
+
+    ArrivalClassSpec interactive;
+    interactive.workload = "NN";
+    interactive.input = InputClass::Small;
+    interactive.priority = 5;
+    interactive.ratePerMs = 1.0;
+    interactive.sloNs = 3 * ticksPerMs;
+
+    cfg.classes = {batch, interactive};
+    return cfg;
+}
+
+TEST(ArrivalGen, DeterministicForSameSeed)
+{
+    const auto cfg = twoClassConfig();
+    const auto a = generateClusterJobs(cfg);
+    const auto b = generateClusterJobs(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].arrivalNs, b[i].arrivalNs);
+        EXPECT_EQ(a[i].priority, b[i].priority);
+        EXPECT_EQ(a[i].sloNs, b[i].sloNs);
+    }
+}
+
+TEST(ArrivalGen, DifferentSeedsDiffer)
+{
+    auto cfg = twoClassConfig();
+    const auto a = generateClusterJobs(cfg);
+    cfg.seed = 8;
+    const auto b = generateClusterJobs(cfg);
+    bool differ = a.size() != b.size();
+    for (std::size_t i = 0; !differ && i < a.size(); ++i)
+        differ = a[i].arrivalNs != b[i].arrivalNs;
+    EXPECT_TRUE(differ);
+}
+
+TEST(ArrivalGen, SortedWithDenseIds)
+{
+    const auto jobs = generateClusterJobs(twoClassConfig());
+    ASSERT_FALSE(jobs.empty());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].id, static_cast<int>(i));
+        EXPECT_LT(jobs[i].arrivalNs, 20 * ticksPerMs);
+        if (i > 0) {
+            EXPECT_GE(jobs[i].arrivalNs, jobs[i - 1].arrivalNs);
+        }
+    }
+}
+
+TEST(ArrivalGen, ClassAttributesCarryThrough)
+{
+    const auto jobs = generateClusterJobs(twoClassConfig());
+    std::size_t batch = 0;
+    std::size_t interactive = 0;
+    for (const auto &job : jobs) {
+        if (job.workload == "VA") {
+            ++batch;
+            EXPECT_EQ(job.priority, 0);
+            EXPECT_EQ(job.sloNs, 0u);
+        } else {
+            ASSERT_EQ(job.workload, "NN");
+            ++interactive;
+            EXPECT_EQ(job.priority, 5);
+            EXPECT_EQ(job.sloNs, Tick{3 * ticksPerMs});
+        }
+    }
+    // 20 ms at 2/ms and 1/ms: both classes clearly populated.
+    EXPECT_GT(batch, 10u);
+    EXPECT_GT(interactive, 5u);
+}
+
+TEST(ArrivalGen, ZeroRateClassIsDisabled)
+{
+    auto cfg = twoClassConfig();
+    cfg.classes[0].ratePerMs = 0.0;
+    const auto jobs = generateClusterJobs(cfg);
+    ASSERT_FALSE(jobs.empty());
+    for (const auto &job : jobs)
+        EXPECT_EQ(job.workload, "NN");
+}
+
+TEST(ArrivalGen, BurstyPreservesDeterminismAndHorizon)
+{
+    auto cfg = twoClassConfig();
+    cfg.pattern = ArrivalPattern::Bursty;
+    cfg.burstPeriodNs = 5 * ticksPerMs;
+    cfg.burstDuty = 0.25;
+    cfg.burstFactor = 3.0;
+    const auto a = generateClusterJobs(cfg);
+    const auto b = generateClusterJobs(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].arrivalNs, b[i].arrivalNs);
+    for (const auto &job : a)
+        EXPECT_LT(job.arrivalNs, cfg.horizonNs);
+}
+
+TEST(ArrivalGen, BurstyConcentratesArrivalsInBursts)
+{
+    ClusterArrivalConfig cfg;
+    cfg.horizonNs = 200 * ticksPerMs;
+    cfg.seed = 11;
+    cfg.pattern = ArrivalPattern::Bursty;
+    cfg.burstPeriodNs = 10 * ticksPerMs;
+    cfg.burstDuty = 0.2;
+    cfg.burstFactor = 4.0;
+
+    ArrivalClassSpec cls;
+    cls.workload = "VA";
+    cls.ratePerMs = 2.0;
+    cfg.classes = {cls};
+
+    const auto jobs = generateClusterJobs(cfg);
+    ASSERT_GT(jobs.size(), 50u);
+    std::size_t in_burst = 0;
+    for (const auto &job : jobs) {
+        const Tick phase = job.arrivalNs % cfg.burstPeriodNs;
+        if (phase < static_cast<Tick>(cfg.burstDuty *
+                                      static_cast<double>(
+                                          cfg.burstPeriodNs)))
+            ++in_burst;
+    }
+    // duty * factor = 0.8 of the arrivals should land in the burst
+    // window (which covers only 0.2 of the time). Well above the
+    // uniform 0.2 even with sampling noise.
+    EXPECT_GT(static_cast<double>(in_burst) /
+                  static_cast<double>(jobs.size()),
+              0.6);
+}
+
+TEST(ArrivalGenDeath, RejectsBadConfigs)
+{
+    auto cfg = twoClassConfig();
+    cfg.horizonNs = 0;
+    EXPECT_DEATH(generateClusterJobs(cfg), "horizon");
+
+    cfg = twoClassConfig();
+    cfg.classes[0].repeats = 0;
+    EXPECT_DEATH(generateClusterJobs(cfg), "invocation");
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,116 @@
+/** @file Tests for cluster SLO / queueing metrics. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_metrics.hh"
+#include "common/types.hh"
+
+namespace flep
+{
+namespace
+{
+
+JobOutcome
+outcome(int id, Priority priority, Tick arrival, Tick place,
+        Tick finish, Tick slo, bool completed = true)
+{
+    JobOutcome out;
+    out.job.id = id;
+    out.job.priority = priority;
+    out.job.arrivalNs = arrival;
+    out.job.sloNs = slo;
+    out.device = 0;
+    out.placed = true;
+    out.completed = completed;
+    out.placeTick = place;
+    out.finishTick = finish;
+    return out;
+}
+
+TEST(ClusterMetrics, EmptyResultYieldsIdentity)
+{
+    const auto m = computeClusterMetrics(ClusterResult{});
+    EXPECT_EQ(m.jobs, 0u);
+    EXPECT_EQ(m.sloJobs, 0u);
+    EXPECT_DOUBLE_EQ(m.sloAttainment, 1.0);
+    EXPECT_DOUBLE_EQ(m.p50QueueDelayUs, 0.0);
+    EXPECT_DOUBLE_EQ(m.meanTurnaroundUs, 0.0);
+}
+
+TEST(ClusterMetrics, CountsSloAttainment)
+{
+    ClusterResult res;
+    // Two SLO jobs: one met (turnaround 1000 <= 2000), one missed.
+    res.outcomes = {
+        outcome(0, 5, 0, 0, 1000, 2000),
+        outcome(1, 5, 0, 0, 5000, 2000),
+        outcome(2, 0, 0, 0, 9000, 0), // no SLO: excluded
+    };
+    const auto m = computeClusterMetrics(res);
+    EXPECT_EQ(m.jobs, 3u);
+    EXPECT_EQ(m.completed, 3u);
+    EXPECT_EQ(m.sloJobs, 2u);
+    EXPECT_EQ(m.sloMet, 1u);
+    EXPECT_DOUBLE_EQ(m.sloAttainment, 0.5);
+}
+
+TEST(ClusterMetrics, UnfinishedSloJobCountsAsMiss)
+{
+    ClusterResult res;
+    res.outcomes = {
+        outcome(0, 5, 0, 0, 1000, 2000),
+        outcome(1, 5, 0, 0, 0, 2000, /*completed=*/false),
+    };
+    const auto m = computeClusterMetrics(res);
+    EXPECT_EQ(m.completed, 1u);
+    EXPECT_EQ(m.sloJobs, 2u);
+    EXPECT_EQ(m.sloMet, 1u);
+    EXPECT_DOUBLE_EQ(m.sloAttainment, 0.5);
+}
+
+TEST(ClusterMetrics, SplitsAttainmentByPriority)
+{
+    ClusterResult res;
+    res.outcomes = {
+        outcome(0, 5, 0, 0, 1000, 2000),  // prio 5: met
+        outcome(1, 5, 0, 0, 9000, 2000),  // prio 5: miss
+        outcome(2, 0, 0, 0, 1000, 2000),  // prio 0: met
+    };
+    const auto m = computeClusterMetrics(res);
+    ASSERT_EQ(m.sloAttainmentByPriority.size(), 2u);
+    EXPECT_DOUBLE_EQ(m.sloAttainmentByPriority.at(5), 0.5);
+    EXPECT_DOUBLE_EQ(m.sloAttainmentByPriority.at(0), 1.0);
+}
+
+TEST(ClusterMetrics, QueueDelayPercentilesAndTurnaround)
+{
+    ClusterResult res;
+    // Queue delays 0, 1000, 2000 ns; turnarounds all 10000 ns.
+    res.outcomes = {
+        outcome(0, 0, 0, 0, 10000, 0),
+        outcome(1, 0, 0, 1000, 10000, 0),
+        outcome(2, 0, 0, 2000, 10000, 0),
+    };
+    const auto m = computeClusterMetrics(res);
+    EXPECT_DOUBLE_EQ(m.p50QueueDelayUs, 1.0);
+    EXPECT_GE(m.p99QueueDelayUs, m.p50QueueDelayUs);
+    EXPECT_LE(m.p99QueueDelayUs, 2.0);
+    EXPECT_DOUBLE_EQ(m.meanTurnaroundUs, 10.0);
+}
+
+TEST(ClusterMetrics, CopiesDeviceCounters)
+{
+    ClusterResult res;
+    res.outcomes = {outcome(0, 0, 0, 0, 1000, 0)};
+    res.deviceUtilization = {0.5, 0.25};
+    res.devicePreemptions = {3, 4};
+    res.preemptivePlacements = 2;
+    const auto m = computeClusterMetrics(res);
+    ASSERT_EQ(m.deviceUtilization.size(), 2u);
+    EXPECT_DOUBLE_EQ(m.deviceUtilization[1], 0.25);
+    EXPECT_EQ(m.devicePreemptions, 7);
+    EXPECT_EQ(m.preemptivePlacements, 2);
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,227 @@
+/** @file Integration tests for the cluster scheduling layer. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "cluster/cluster_metrics.hh"
+#include "common/logging.hh"
+
+namespace flep
+{
+namespace
+{
+
+class ClusterTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        // Reduced offline effort keeps the test fast; model accuracy
+        // is covered by the perfmodel tests.
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 30, 8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+        artifacts_ = nullptr;
+        suite_ = nullptr;
+    }
+
+    static ClusterJob
+    job(int id, const char *workload, InputClass input,
+        Priority priority, Tick arrival, Tick slo = 0)
+    {
+        ClusterJob j;
+        j.id = id;
+        j.workload = workload;
+        j.input = input;
+        j.priority = priority;
+        j.arrivalNs = arrival;
+        j.sloNs = slo;
+        return j;
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *ClusterTest::suite_ = nullptr;
+OfflineArtifacts *ClusterTest::artifacts_ = nullptr;
+
+TEST_F(ClusterTest, SingleJobRunsToCompletion)
+{
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0)};
+    const auto res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    const JobOutcome &out = res.outcomes[0];
+    EXPECT_TRUE(out.placed);
+    EXPECT_TRUE(out.completed);
+    EXPECT_EQ(out.device, 0);
+    EXPECT_EQ(out.queueDelayNs(), 0u);
+    EXPECT_GT(out.turnaroundNs(), 0u);
+    EXPECT_EQ(res.placements, 1);
+    EXPECT_EQ(res.preemptivePlacements, 0);
+    ASSERT_EQ(res.deviceUtilization.size(), 1u);
+    EXPECT_GT(res.deviceUtilization[0], 0.0);
+    EXPECT_LE(res.deviceUtilization[0], 1.0);
+    EXPECT_EQ(res.deviceJobCounts[0], 1);
+    EXPECT_EQ(res.makespanNs, out.finishTick);
+}
+
+TEST_F(ClusterTest, CapacityDefersSecondJob)
+{
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.deviceCapacity = 1;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0),
+                job(1, "VA", InputClass::Small, 0, 0)};
+    const auto res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 2u);
+    EXPECT_TRUE(res.outcomes[0].completed);
+    EXPECT_TRUE(res.outcomes[1].completed);
+    // The second job holds in the cluster queue until the first
+    // finishes: its placement coincides with job 0's completion.
+    EXPECT_EQ(res.outcomes[0].queueDelayNs(), 0u);
+    EXPECT_EQ(res.outcomes[1].placeTick, res.outcomes[0].finishTick);
+}
+
+TEST_F(ClusterTest, HigherPriorityJobDispatchesFirst)
+{
+    // Both jobs pend while job 0 occupies the device; the later,
+    // higher-priority arrival must win the freed slot.
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.deviceCapacity = 1;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0),
+                job(1, "VA", InputClass::Small, 0, 1000),
+                job(2, "NN", InputClass::Small, 5, 2000)};
+    const auto res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 3u);
+    EXPECT_LT(res.outcomes[2].placeTick, res.outcomes[1].placeTick);
+}
+
+TEST_F(ClusterTest, PreemptivePlacementBeatsFirstFitForHighPriority)
+{
+    // A long batch job holds the only device when a high-priority
+    // interactive job arrives. FirstFit makes the high-priority job
+    // wait out the batch job; PreemptivePriority displaces it via
+    // the device's HPF preemption.
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.deviceCapacity = 1;
+    cfg.jobs = {job(0, "VA", InputClass::Large, 0, 0),
+                job(1, "NN", InputClass::Small, 5, 500 * 1000)};
+
+    cfg.placement = PlacementKind::FirstFit;
+    const auto ff = runCluster(*suite_, *artifacts_, cfg);
+    cfg.placement = PlacementKind::PreemptivePriority;
+    const auto pp = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_TRUE(ff.outcomes[1].completed);
+    ASSERT_TRUE(pp.outcomes[1].completed);
+
+    // Under FirstFit the interactive job queues behind the batch job.
+    EXPECT_EQ(ff.preemptivePlacements, 0);
+    EXPECT_GT(ff.outcomes[1].queueDelayNs(), 0u);
+
+    // Preemptive placement starts it immediately and preempts.
+    EXPECT_EQ(pp.preemptivePlacements, 1);
+    EXPECT_TRUE(pp.outcomes[1].displacedVictim);
+    EXPECT_EQ(pp.outcomes[1].queueDelayNs(), 0u);
+    EXPECT_GE(pp.devicePreemptions[0], 1);
+    EXPECT_LT(pp.outcomes[1].turnaroundNs(),
+              ff.outcomes[1].turnaroundNs());
+
+    // The displaced batch job still finishes (FLEP preemption drains
+    // and resumes it; no work is lost).
+    EXPECT_TRUE(pp.outcomes[0].completed);
+}
+
+TEST_F(ClusterTest, LeastLoadedSpreadsAcrossDevices)
+{
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.placement = PlacementKind::LeastLoaded;
+    cfg.deviceCapacity = 2;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0),
+                job(1, "VA", InputClass::Small, 0, 0),
+                job(2, "VA", InputClass::Small, 0, 0),
+                job(3, "VA", InputClass::Small, 0, 0)};
+    const auto res = runCluster(*suite_, *artifacts_, cfg);
+
+    EXPECT_GT(res.deviceJobCounts[0], 0);
+    EXPECT_GT(res.deviceJobCounts[1], 0);
+    for (const auto &out : res.outcomes)
+        EXPECT_TRUE(out.completed);
+}
+
+TEST_F(ClusterTest, BatchIsDeterministicAcrossThreadCounts)
+{
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.placement = PlacementKind::PreemptivePriority;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0),
+                job(1, "NN", InputClass::Small, 5, 100 * 1000),
+                job(2, "MM", InputClass::Small, 2, 200 * 1000)};
+    std::vector<ClusterConfig> cfgs(3, cfg);
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        cfgs[i].seed = 10 + i;
+
+    const auto serial =
+        runClusterBatch(*suite_, *artifacts_, cfgs, 1);
+    const auto parallel =
+        runClusterBatch(*suite_, *artifacts_, cfgs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].outcomes.size(),
+                  parallel[i].outcomes.size());
+        for (std::size_t j = 0; j < serial[i].outcomes.size(); ++j) {
+            EXPECT_EQ(serial[i].outcomes[j].placeTick,
+                      parallel[i].outcomes[j].placeTick);
+            EXPECT_EQ(serial[i].outcomes[j].finishTick,
+                      parallel[i].outcomes[j].finishTick);
+            EXPECT_EQ(serial[i].outcomes[j].device,
+                      parallel[i].outcomes[j].device);
+        }
+    }
+}
+
+TEST_F(ClusterTest, HorizonCutsOffUnfinishedJobs)
+{
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.jobs = {job(0, "VA", InputClass::Large, 0, 0, 1000)};
+    cfg.horizonNs = 10 * 1000; // far too short for a large VA
+    const auto res = runCluster(*suite_, *artifacts_, cfg);
+
+    const JobOutcome &out = res.outcomes[0];
+    EXPECT_TRUE(out.placed);
+    EXPECT_FALSE(out.completed);
+    EXPECT_FALSE(out.sloMet());
+    const auto m = computeClusterMetrics(res);
+    EXPECT_EQ(m.completed, 0u);
+    EXPECT_DOUBLE_EQ(m.sloAttainment, 0.0);
+}
+
+TEST_F(ClusterTest, RejectsNonPreemptiveDeviceScheduler)
+{
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.deviceScheduler = SchedulerKind::Mps;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0)};
+    EXPECT_THROW(runCluster(*suite_, *artifacts_, cfg), FatalError);
+}
+
+} // namespace
+} // namespace flep

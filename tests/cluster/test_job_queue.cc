@@ -1,0 +1,71 @@
+/** @file Tests for the cluster-wide job queue ordering. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/job_queue.hh"
+
+namespace flep
+{
+namespace
+{
+
+ClusterJob
+job(int id, Priority priority, Tick arrival)
+{
+    ClusterJob j;
+    j.id = id;
+    j.workload = "VA";
+    j.priority = priority;
+    j.arrivalNs = arrival;
+    return j;
+}
+
+TEST(JobQueue, EmptyBehaviour)
+{
+    JobQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.sizeAt(0), 0u);
+}
+
+TEST(JobQueue, HigherPriorityFirst)
+{
+    JobQueue q;
+    q.push(job(0, 0, 0));
+    q.push(job(1, 5, 100));
+    q.push(job(2, 2, 50));
+    EXPECT_EQ(q.front().id, 1);
+    q.popFront();
+    EXPECT_EQ(q.front().id, 2);
+    q.popFront();
+    EXPECT_EQ(q.front().id, 0);
+}
+
+TEST(JobQueue, FifoWithinPriority)
+{
+    JobQueue q;
+    q.push(job(3, 1, 200));
+    q.push(job(1, 1, 100));
+    q.push(job(2, 1, 100));
+    // Earlier arrival first; id breaks the tie at equal arrival.
+    EXPECT_EQ(q.front().id, 1);
+    q.popFront();
+    EXPECT_EQ(q.front().id, 2);
+    q.popFront();
+    EXPECT_EQ(q.front().id, 3);
+}
+
+TEST(JobQueue, SizeAtCountsPerPriority)
+{
+    JobQueue q;
+    q.push(job(0, 0, 0));
+    q.push(job(1, 0, 10));
+    q.push(job(2, 5, 20));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.sizeAt(0), 2u);
+    EXPECT_EQ(q.sizeAt(5), 1u);
+    EXPECT_EQ(q.sizeAt(3), 0u);
+}
+
+} // namespace
+} // namespace flep

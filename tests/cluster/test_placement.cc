@@ -1,0 +1,122 @@
+/** @file Tests for the cluster placement policies. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/placement.hh"
+
+namespace flep
+{
+namespace
+{
+
+ClusterJob
+job(Priority priority)
+{
+    ClusterJob j;
+    j.id = 99;
+    j.workload = "VA";
+    j.priority = priority;
+    return j;
+}
+
+DeviceLoad
+load(int device, int resident, int capacity, Tick backlog,
+     Priority lowest = 0)
+{
+    DeviceLoad l;
+    l.device = device;
+    l.residentJobs = resident;
+    l.capacity = capacity;
+    l.predictedBacklogNs = backlog;
+    l.lowestResidentPriority = lowest;
+    return l;
+}
+
+TEST(PlacementNames, RoundTripAllKinds)
+{
+    for (PlacementKind kind : allPlacementKinds()) {
+        PlacementKind parsed;
+        ASSERT_TRUE(parsePlacementKind(placementKindName(kind), parsed))
+            << placementKindName(kind);
+        EXPECT_EQ(parsed, kind);
+    }
+    PlacementKind parsed;
+    EXPECT_TRUE(parsePlacementKind("First-Fit", parsed));
+    EXPECT_EQ(parsed, PlacementKind::FirstFit);
+    EXPECT_TRUE(parsePlacementKind("preemptive", parsed));
+    EXPECT_EQ(parsed, PlacementKind::PreemptivePriority);
+    EXPECT_FALSE(parsePlacementKind("round-robin", parsed));
+}
+
+TEST(FirstFit, PicksLowestIndexFreeDevice)
+{
+    const auto policy = makePlacementPolicy(PlacementKind::FirstFit);
+    const auto d = policy->place(
+        job(0), {load(0, 1, 1, 100), load(1, 0, 1, 0),
+                 load(2, 0, 1, 0)});
+    EXPECT_EQ(d.device, 1);
+    EXPECT_FALSE(d.preempts);
+}
+
+TEST(FirstFit, FullClusterPlacesNothing)
+{
+    const auto policy = makePlacementPolicy(PlacementKind::FirstFit);
+    const auto d = policy->place(
+        job(9), {load(0, 1, 1, 100, 0), load(1, 1, 1, 50, 0)});
+    EXPECT_FALSE(d.placed());
+}
+
+TEST(LeastLoaded, PicksSmallestPredictedBacklog)
+{
+    const auto policy = makePlacementPolicy(PlacementKind::LeastLoaded);
+    const auto d = policy->place(
+        job(0), {load(0, 1, 2, 900), load(1, 1, 2, 200),
+                 load(2, 1, 2, 500)});
+    EXPECT_EQ(d.device, 1);
+}
+
+TEST(LeastLoaded, IgnoresFullDevicesAndBreaksTiesLow)
+{
+    const auto policy = makePlacementPolicy(PlacementKind::LeastLoaded);
+    // Device 1 has the least backlog but no free slot.
+    const auto d = policy->place(
+        job(0), {load(0, 0, 1, 300), load(1, 1, 1, 0),
+                 load(2, 0, 1, 300)});
+    EXPECT_EQ(d.device, 0);
+}
+
+TEST(PreemptivePriority, PrefersFreeSlotOverPreemption)
+{
+    const auto policy =
+        makePlacementPolicy(PlacementKind::PreemptivePriority);
+    const auto d = policy->place(
+        job(9), {load(0, 1, 1, 100, 0), load(1, 0, 1, 0)});
+    EXPECT_EQ(d.device, 1);
+    EXPECT_FALSE(d.preempts);
+}
+
+TEST(PreemptivePriority, DisplacesLowestPriorityResident)
+{
+    const auto policy =
+        makePlacementPolicy(PlacementKind::PreemptivePriority);
+    const auto d = policy->place(
+        job(9), {load(0, 1, 1, 100, 3), load(1, 1, 1, 100, 1)});
+    EXPECT_EQ(d.device, 1);
+    EXPECT_TRUE(d.preempts);
+}
+
+TEST(PreemptivePriority, NeverDisplacesEqualOrHigherPriority)
+{
+    const auto policy =
+        makePlacementPolicy(PlacementKind::PreemptivePriority);
+    const auto equal = policy->place(
+        job(3), {load(0, 1, 1, 100, 3), load(1, 1, 1, 100, 5)});
+    EXPECT_FALSE(equal.placed());
+
+    const auto lower = policy->place(
+        job(0), {load(0, 1, 1, 100, 3)});
+    EXPECT_FALSE(lower.placed());
+}
+
+} // namespace
+} // namespace flep

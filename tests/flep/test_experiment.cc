@@ -173,5 +173,32 @@ TEST_F(ExperimentTest, SoloTurnaroundMatchesTable1)
     EXPECT_NEAR(va / 1000.0, 30634.0, 30634.0 * 0.10);
 }
 
+TEST(SchedulerKinds, ParseIsInverseOfName)
+{
+    const auto &kinds = allSchedulerKinds();
+    ASSERT_EQ(kinds.size(), 5u);
+    for (SchedulerKind kind : kinds) {
+        SchedulerKind parsed;
+        ASSERT_TRUE(parseSchedulerKind(schedulerKindName(kind), parsed))
+            << schedulerKindName(kind);
+        EXPECT_EQ(parsed, kind) << schedulerKindName(kind);
+    }
+}
+
+TEST(SchedulerKinds, ParseAcceptsAliasesAndRejectsUnknown)
+{
+    SchedulerKind parsed;
+    EXPECT_TRUE(parseSchedulerKind("hpf", parsed));
+    EXPECT_EQ(parsed, SchedulerKind::FlepHpf);
+    EXPECT_TRUE(parseSchedulerKind("FFS", parsed));
+    EXPECT_EQ(parsed, SchedulerKind::FlepFfs);
+
+    parsed = SchedulerKind::Mps;
+    EXPECT_FALSE(parseSchedulerKind("round-robin", parsed));
+    EXPECT_FALSE(parseSchedulerKind("", parsed));
+    // A failed parse leaves the output untouched.
+    EXPECT_EQ(parsed, SchedulerKind::Mps);
+}
+
 } // namespace
 } // namespace flep

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "flep/metrics.hh"
 
 namespace flep
@@ -103,10 +105,32 @@ TEST(ShareTracker, ProcessesListed)
     EXPECT_EQ(procs[1], 7);
 }
 
-TEST(MetricsDeath, EmptySetsRejected)
+TEST(Metrics, EmptySetsYieldIdentity)
 {
-    EXPECT_DEATH(antt({}), "empty");
-    EXPECT_DEATH(stp({}), "empty");
+    // Zero programs: nothing is slowed down (ANTT's identity is 1.0)
+    // and nothing is accomplished (STP equals the program count, 0).
+    EXPECT_DOUBLE_EQ(antt({}), 1.0);
+    EXPECT_DOUBLE_EQ(stp({}), 0.0);
+}
+
+TEST(Metrics, NonPositiveTurnaroundsStayFinite)
+{
+    // Degenerate pairs must never poison the metric with NaN/inf;
+    // zero denominators are clamped to 1 ns.
+    const std::vector<TurnaroundPair> zero_solo = {{500.0, 0.0}};
+    EXPECT_TRUE(std::isfinite(antt(zero_solo)));
+    EXPECT_DOUBLE_EQ(antt(zero_solo), 500.0);
+
+    const std::vector<TurnaroundPair> zero_corun = {{0.0, 500.0}};
+    EXPECT_TRUE(std::isfinite(stp(zero_corun)));
+    EXPECT_DOUBLE_EQ(stp(zero_corun), 500.0);
+
+    // A healthy pair alongside a degenerate one still contributes its
+    // exact ratio.
+    const std::vector<TurnaroundPair> mixed = {{200.0, 100.0},
+                                               {500.0, 0.0}};
+    EXPECT_TRUE(std::isfinite(antt(mixed)));
+    EXPECT_DOUBLE_EQ(antt(mixed), (2.0 + 500.0) / 2.0);
 }
 
 } // namespace

@@ -144,11 +144,21 @@ TEST(Trace, EndToEndQueryLatencyImprovesUnderFlep)
     EXPECT_LT(flep.p95Us * 3.0, mps.p95Us);
 }
 
-TEST(TraceDeath, RejectsBadParameters)
+TEST(Trace, ZeroRateYieldsNoArrivals)
 {
+    // A zero-rate class is a disabled arrival stream, not an error.
     ArrivalProcess proc;
     proc.workload = "VA";
     proc.ratePerMs = 0.0;
+    Rng rng(6);
+    EXPECT_TRUE(generateArrivalTimes(proc, 1000, rng).empty());
+}
+
+TEST(TraceDeath, RejectsNegativeRate)
+{
+    ArrivalProcess proc;
+    proc.workload = "VA";
+    proc.ratePerMs = -1.0;
     Rng rng(6);
     EXPECT_DEATH(generateArrivalTimes(proc, 1000, rng), "rate");
 }

@@ -1,0 +1,145 @@
+/** @file Trace-schema invariants of cluster runs.
+ *
+ * Runs a small two-device cluster with the recorder enabled and
+ * checks the cluster lifecycle instants, the queue-depth counter, the
+ * per-device track layout (device 0 keeps the legacy pids, device 1
+ * gets its own track group) and the common ordering invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "cluster/cluster.hh"
+#include "obs/trace_recorder.hh"
+
+namespace flep
+{
+namespace
+{
+
+class ClusterTrace : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 20, 6));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+    }
+
+    static ClusterJob
+    job(int id, const char *workload, InputClass input,
+        Priority priority, Tick arrival, Tick slo = 0)
+    {
+        ClusterJob j;
+        j.id = id;
+        j.workload = workload;
+        j.input = input;
+        j.priority = priority;
+        j.arrivalNs = arrival;
+        j.sloNs = slo;
+        return j;
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *ClusterTrace::suite_ = nullptr;
+OfflineArtifacts *ClusterTrace::artifacts_ = nullptr;
+
+TEST_F(ClusterTrace, EmitsClusterLifecycleOnDedicatedTrack)
+{
+    TraceRecorder tr;
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.placement = PlacementKind::PreemptivePriority;
+    cfg.deviceCapacity = 1;
+    // Two batch jobs fill both devices; the high-priority arrival
+    // must displace one, so a cluster:preempt instant appears.
+    cfg.jobs = {job(0, "VA", InputClass::Large, 0, 0),
+                job(1, "VA", InputClass::Large, 0, 0),
+                job(2, "NN", InputClass::Small, 5, 500 * 1000)};
+    cfg.tracer = &tr;
+    const auto res = runCluster(*suite_, *artifacts_, cfg);
+    ASSERT_EQ(res.preemptivePlacements, 1);
+    ASSERT_GT(tr.eventCount(), 0u);
+
+    // Every cluster lifecycle instant lives on the cluster track.
+    std::map<std::string, int> instants;
+    for (const auto &ev : tr.events()) {
+        const std::string name = ev.name;
+        if (name.rfind("cluster:", 0) != 0)
+            continue;
+        EXPECT_EQ(ev.pid, TraceRecorder::pidCluster) << name;
+        instants[name] += 1;
+    }
+    EXPECT_EQ(instants["cluster:submit"], 3);
+    EXPECT_EQ(instants["cluster:place"], 3);
+    EXPECT_EQ(instants["cluster:preempt"], 1);
+    EXPECT_EQ(instants["cluster:finish"], 3);
+
+    // The queue-depth counter is sampled and never negative.
+    bool saw_depth = false;
+    for (const auto &ev : tr.events()) {
+        if (ev.ph == 'C' &&
+            std::string(ev.name) == "cluster-queue-depth") {
+            saw_depth = true;
+            EXPECT_EQ(ev.pid, TraceRecorder::pidCluster);
+            EXPECT_GE(ev.value, 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_depth);
+
+    // Timestamps are monotone (recorder stamps the event queue's
+    // clock).
+    Tick last = 0;
+    for (const auto &ev : tr.events()) {
+        EXPECT_GE(ev.ts, last);
+        last = ev.ts;
+    }
+}
+
+TEST_F(ClusterTrace, SecondDeviceGetsOwnTrackGroup)
+{
+    TraceRecorder tr;
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.placement = PlacementKind::LeastLoaded;
+    // Simultaneous arrivals spread across both devices.
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0),
+                job(1, "MM", InputClass::Small, 0, 0)};
+    cfg.tracer = &tr;
+    const auto res = runCluster(*suite_, *artifacts_, cfg);
+    ASSERT_GT(res.deviceJobCounts[0], 0);
+    ASSERT_GT(res.deviceJobCounts[1], 0);
+
+    std::set<int> pids;
+    for (const auto &ev : tr.events())
+        pids.insert(ev.pid);
+
+    // Device 0 keeps the legacy single-GPU pids; device 1 runs on
+    // its own track group above pidDeviceBase.
+    EXPECT_TRUE(pids.count(TraceRecorder::pidGpu));
+    EXPECT_TRUE(pids.count(TraceRecorder::pidRuntime));
+    EXPECT_TRUE(pids.count(TraceRecorder::gpuPid(1)));
+    EXPECT_TRUE(pids.count(TraceRecorder::runtimePid(1)));
+    EXPECT_GE(TraceRecorder::gpuPid(1), TraceRecorder::pidDeviceBase);
+
+    // Host tracks use the job ids.
+    EXPECT_TRUE(pids.count(TraceRecorder::hostPid(0)));
+    EXPECT_TRUE(pids.count(TraceRecorder::hostPid(1)));
+}
+
+} // namespace
+} // namespace flep

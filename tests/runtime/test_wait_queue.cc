@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "fake_context.hh"
 #include "runtime/wait_queue.hh"
 
@@ -100,6 +103,47 @@ TEST(WaitQueue, SeparateQueuesPerPriority)
     // Popping priority 2 leaves priority 1 untouched.
     EXPECT_EQ(q.popFront(2)->kernel(), "b");
     EXPECT_EQ(q.front(1)->kernel(), "a");
+}
+
+TEST(WaitQueue, RemoveOnlyProbesOwnPriorityQueue)
+{
+    // Regression: remove() must scan only the record's own priority
+    // queue, not every queue in the set. Crowd the other priorities
+    // and check the probe counter stays bounded by the target
+    // queue's occupancy.
+    WaitQueueSet q;
+    std::vector<std::unique_ptr<KernelRecord>> crowd;
+    for (int i = 0; i < 16; ++i) {
+        crowd.push_back(makeRecord(i, "crowd", /*priority=*/1, 100));
+        q.enqueue(*crowd.back());
+    }
+    auto target = makeRecord(99, "target", /*priority=*/5, 100);
+    q.enqueue(*target);
+
+    EXPECT_TRUE(q.remove(*target));
+    EXPECT_LE(q.lastRemoveProbes(), 1u)
+        << "remove scanned past its own priority queue";
+    EXPECT_EQ(q.size(), crowd.size());
+}
+
+TEST(WaitQueue, RemoveProbesBoundedByQueueOccupancy)
+{
+    WaitQueueSet q;
+    std::vector<std::unique_ptr<KernelRecord>> same;
+    for (int i = 0; i < 8; ++i) {
+        same.push_back(
+            makeRecord(i, "same", /*priority=*/3, 100 * (i + 1)));
+        q.enqueue(*same.back());
+    }
+    const std::size_t occupancy = q.sizeAt(3);
+    EXPECT_TRUE(q.remove(*same.back()));
+    EXPECT_LE(q.lastRemoveProbes(), occupancy);
+    EXPECT_GT(q.totalRemoveProbes(), 0u);
+
+    // A miss on an empty priority probes nothing.
+    auto ghost = makeRecord(50, "ghost", /*priority=*/9, 100);
+    EXPECT_FALSE(q.remove(*ghost));
+    EXPECT_EQ(q.lastRemoveProbes(), 0u);
 }
 
 } // namespace

@@ -1,0 +1,59 @@
+/** @file Edge-case tests for open-loop arrival-time generation. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "flep/trace.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(ArrivalTimes, PeriodLongerThanHorizonStillFiresAtZero)
+{
+    ArrivalProcess proc;
+    proc.workload = "VA";
+    proc.periodNs = 10 * ticksPerMs;
+    Rng rng(1);
+    const auto times =
+        generateArrivalTimes(proc, /*horizon=*/1 * ticksPerMs, rng);
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_EQ(times[0], 0u);
+}
+
+TEST(ArrivalTimes, ZeroPoissonRateYieldsEmpty)
+{
+    ArrivalProcess proc;
+    proc.workload = "VA";
+    proc.ratePerMs = 0.0;
+    Rng rng(1);
+    const auto times =
+        generateArrivalTimes(proc, 100 * ticksPerMs, rng);
+    EXPECT_TRUE(times.empty());
+}
+
+TEST(ArrivalTimes, PoissonIsDeterministicPerSeed)
+{
+    ArrivalProcess proc;
+    proc.workload = "VA";
+    proc.ratePerMs = 2.0;
+    Rng a(42);
+    Rng b(42);
+    const auto ta = generateArrivalTimes(proc, 50 * ticksPerMs, a);
+    const auto tb = generateArrivalTimes(proc, 50 * ticksPerMs, b);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i)
+        EXPECT_EQ(ta[i], tb[i]);
+    ASSERT_FALSE(ta.empty());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_LT(ta[i], Tick{50 * ticksPerMs});
+        if (i > 0) {
+            EXPECT_GE(ta[i], ta[i - 1]);
+        }
+    }
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * flepclusterd: run one cluster scheduling scenario and print the
+ * per-device timeline.
+ *
+ * Generates an open-loop job arrival trace (or replays the built-in
+ * two-class mix), schedules it on a simulated multi-GPU cluster with
+ * the chosen placement policy, and prints each device's job timeline
+ * plus the cluster service metrics.
+ *
+ *   flepclusterd [options]
+ *
+ * Options:
+ *   --devices=<N>        GPUs in the cluster (default 2)
+ *   --placement=<name>   first-fit|least-loaded|preemptive-priority
+ *   --load=<F>           offered load per device (default 0.9)
+ *   --jobs=<N>           target job count (default 24)
+ *   --capacity=<N>       cluster job slots per device (default 1)
+ *   --bursty             bursty arrivals instead of Poisson
+ *   --seed=<N>           trace + simulation seed (default 1)
+ *   --horizon-ms=<N>     cut the run off (default: run to completion)
+ *   --trace=<file>       write a Chrome trace of the run
+ *   --ffs                FLEP-FFS device scheduler instead of HPF
+ *
+ * Example:
+ *   flepclusterd --devices=2 --placement=preemptive-priority \
+ *                --load=1.2 --jobs=30
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/arrival_gen.hh"
+#include "cluster/cluster.hh"
+#include "cluster/cluster_metrics.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "flep/experiment.hh"
+
+namespace
+{
+
+using namespace flep;
+
+struct Options
+{
+    int devices = 2;
+    PlacementKind placement = PlacementKind::FirstFit;
+    double load = 0.9;
+    long jobs = 24;
+    int capacity = 1;
+    bool bursty = false;
+    std::uint64_t seed = 1;
+    Tick horizonNs = 0;
+    std::string tracePath;
+    SchedulerKind deviceScheduler = SchedulerKind::FlepHpf;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: flepclusterd [options]\n"
+        "  --devices=<N>        GPUs in the cluster (default 2)\n"
+        "  --placement=<name>   first-fit|least-loaded|"
+        "preemptive-priority\n"
+        "  --load=<F>           offered load per device (default "
+        "0.9)\n"
+        "  --jobs=<N>           target job count (default 24)\n"
+        "  --capacity=<N>       job slots per device (default 1)\n"
+        "  --bursty             bursty arrivals instead of Poisson\n"
+        "  --seed=<N>           trace + simulation seed (default 1)\n"
+        "  --horizon-ms=<N>     cut the run off after N ms\n"
+        "  --trace=<file>       write a Chrome trace of the run\n"
+        "  --ffs                FLEP-FFS device scheduler\n");
+    std::exit(code);
+}
+
+long
+parseLong(const std::string &text, const char *what)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "flepclusterd: bad %s '%s'\n", what,
+                     text.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+parseDouble(const std::string &text, const char *what)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "flepclusterd: bad %s '%s'\n", what,
+                     text.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (startsWith(arg, "--devices=")) {
+            opts.devices =
+                static_cast<int>(parseLong(arg.substr(10), "devices"));
+        } else if (startsWith(arg, "--placement=")) {
+            const std::string name = arg.substr(12);
+            if (!parsePlacementKind(name, opts.placement)) {
+                std::string valid;
+                for (PlacementKind k : allPlacementKinds()) {
+                    if (!valid.empty())
+                        valid += ", ";
+                    valid += placementKindName(k);
+                }
+                std::fprintf(stderr,
+                             "flepclusterd: unknown placement '%s' "
+                             "(valid: %s)\n",
+                             name.c_str(), valid.c_str());
+                std::exit(2);
+            }
+        } else if (startsWith(arg, "--load=")) {
+            opts.load = parseDouble(arg.substr(7), "load");
+        } else if (startsWith(arg, "--jobs=")) {
+            opts.jobs = parseLong(arg.substr(7), "jobs");
+        } else if (startsWith(arg, "--capacity=")) {
+            opts.capacity = static_cast<int>(
+                parseLong(arg.substr(11), "capacity"));
+        } else if (arg == "--bursty") {
+            opts.bursty = true;
+        } else if (startsWith(arg, "--seed=")) {
+            opts.seed = static_cast<std::uint64_t>(
+                parseLong(arg.substr(7), "seed"));
+        } else if (startsWith(arg, "--horizon-ms=")) {
+            opts.horizonNs = static_cast<Tick>(
+                parseLong(arg.substr(13), "horizon") * ticksPerMs);
+        } else if (startsWith(arg, "--trace=")) {
+            opts.tracePath = arg.substr(8);
+        } else if (arg == "--ffs") {
+            opts.deviceScheduler = SchedulerKind::FlepFfs;
+        } else {
+            std::fprintf(stderr, "flepclusterd: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (opts.devices < 1 || opts.jobs < 1 || opts.capacity < 1 ||
+        opts.load <= 0.0) {
+        std::fprintf(stderr, "flepclusterd: bad parameters\n");
+        std::exit(2);
+    }
+    return opts;
+}
+
+int
+runTool(const Options &opts)
+{
+    const BenchmarkSuite suite;
+    const GpuConfig gpu = GpuConfig::keplerK40();
+    const OfflineArtifacts &artifacts = defaultArtifacts(suite, gpu);
+
+    // The built-in two-class mix: low-priority batch VA jobs and
+    // high-priority interactive NN jobs with a turnaround SLO.
+    ArrivalClassSpec batch;
+    batch.workload = "VA";
+    batch.input = InputClass::Large;
+    batch.priority = 0;
+
+    ArrivalClassSpec interactive;
+    interactive.workload = "NN";
+    interactive.input = InputClass::Small;
+    interactive.priority = 5;
+
+    const double svc_batch = artifacts.models.at("VA").predictNs(
+        suite.byName("VA").input(InputClass::Large));
+    const double svc_inter = artifacts.models.at("NN").predictNs(
+        suite.byName("NN").input(InputClass::Small));
+    interactive.sloNs = static_cast<Tick>(4.0 * svc_inter);
+
+    const double svc_ms = (0.6 * svc_batch + 0.4 * svc_inter) / 1e6;
+    const double rate_per_ms =
+        opts.load * static_cast<double>(opts.devices) / svc_ms;
+
+    ClusterArrivalConfig acfg;
+    acfg.pattern = opts.bursty ? ArrivalPattern::Bursty
+                               : ArrivalPattern::Poisson;
+    acfg.horizonNs = static_cast<Tick>(
+        static_cast<double>(opts.jobs) / rate_per_ms * 1e6);
+    acfg.seed = opts.seed;
+    acfg.classes = {batch, interactive};
+    acfg.classes[0].ratePerMs = 0.6 * rate_per_ms;
+    acfg.classes[1].ratePerMs = 0.4 * rate_per_ms;
+
+    ClusterConfig cfg;
+    cfg.gpu = gpu;
+    cfg.devices = opts.devices;
+    cfg.placement = opts.placement;
+    cfg.deviceScheduler = opts.deviceScheduler;
+    cfg.deviceCapacity = opts.capacity;
+    cfg.jobs = generateClusterJobs(acfg);
+    cfg.horizonNs = opts.horizonNs;
+    cfg.seed = opts.seed;
+    cfg.tracePath = opts.tracePath;
+
+    std::printf("cluster: %d x %d-SM GPU, %s placement, %s, "
+                "load %.2f, %zu jobs, seed %llu\n",
+                cfg.devices, cfg.gpu.numSms,
+                placementKindName(cfg.placement),
+                schedulerKindName(cfg.deviceScheduler), opts.load,
+                cfg.jobs.size(),
+                static_cast<unsigned long long>(cfg.seed));
+
+    const ClusterResult res = runCluster(suite, artifacts, cfg);
+
+    // Per-device timeline: jobs in placement order.
+    for (int d = 0; d < cfg.devices; ++d) {
+        std::printf("\ndevice %d  (util %.3f, %ld preemptions, "
+                    "%ld jobs)\n",
+                    d, res.deviceUtilization[static_cast<size_t>(d)],
+                    res.devicePreemptions[static_cast<size_t>(d)],
+                    res.deviceJobCounts[static_cast<size_t>(d)]);
+        std::vector<const JobOutcome *> placed;
+        for (const auto &out : res.outcomes) {
+            if (out.placed && out.device == d)
+                placed.push_back(&out);
+        }
+        std::sort(placed.begin(), placed.end(),
+                  [](const JobOutcome *a, const JobOutcome *b) {
+                      return a->placeTick < b->placeTick;
+                  });
+        for (const JobOutcome *out : placed) {
+            const std::string finish = out->completed
+                ? format("%10.1f", ticksToUs(out->finishTick))
+                : std::string("   (cut)  ");
+            std::printf(
+                "  [%8.1f .. %s us] job%-3d %-4s prio %d  "
+                "queued %8.1f us%s%s\n",
+                ticksToUs(out->placeTick), finish.c_str(),
+                out->job.id, out->job.workload.c_str(),
+                out->job.priority, ticksToUs(out->queueDelayNs()),
+                out->displacedVictim ? "  [displaced victim]" : "",
+                out->job.sloNs > 0
+                    ? (out->sloMet() ? "  SLO met" : "  SLO MISS")
+                    : "");
+        }
+    }
+
+    const ClusterMetrics m = computeClusterMetrics(res);
+    std::printf("\n%zu jobs, %zu completed; SLO attainment %.3f "
+                "(%zu/%zu)",
+                m.jobs, m.completed, m.sloAttainment, m.sloMet,
+                m.sloJobs);
+    auto high = m.sloAttainmentByPriority.find(5);
+    if (high != m.sloAttainmentByPriority.end())
+        std::printf(", high-priority %.3f", high->second);
+    std::printf("\nqueueing delay p50 %.1f us, p99 %.1f us; mean "
+                "turnaround %.1f us\n",
+                m.p50QueueDelayUs, m.p99QueueDelayUs,
+                m.meanTurnaroundUs);
+    std::printf("placements: %ld (%ld preemptive); device "
+                "preemptions: %ld\n",
+                res.placements, res.preemptivePlacements,
+                m.devicePreemptions);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runTool(parseArgs(argc, argv));
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "flepclusterd: %s\n", err.what());
+        return 1;
+    }
+}

@@ -111,18 +111,19 @@ parseInput(std::string text)
 SchedulerKind
 parseScheduler(const std::string &text)
 {
-    if (text == "hpf")
-        return SchedulerKind::FlepHpf;
-    if (text == "ffs")
-        return SchedulerKind::FlepFfs;
-    if (text == "mps")
-        return SchedulerKind::Mps;
-    if (text == "reorder")
-        return SchedulerKind::Reorder;
-    if (text == "slicing")
-        return SchedulerKind::Slicing;
-    std::fprintf(stderr, "fleptrace: unknown scheduler '%s'\n",
-                 text.c_str());
+    SchedulerKind kind;
+    if (parseSchedulerKind(text, kind))
+        return kind;
+    std::string valid;
+    for (SchedulerKind k : allSchedulerKinds()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += schedulerKindName(k);
+    }
+    std::fprintf(stderr,
+                 "fleptrace: unknown scheduler '%s' (valid: %s; "
+                 "aliases hpf, ffs)\n",
+                 text.c_str(), valid.c_str());
     std::exit(2);
 }
 
