@@ -13,7 +13,7 @@
  *     wall milliseconds plus the resulting speedup.
  *
  * JSON schema (all numbers):
- *   schema_version        2
+ *   schema_version        3
  *   events_per_sec        event-queue micro throughput
  *   sweep_cells           configs in the sweep (pairs x schedulers)
  *   sweep_reps            repetitions per config (FLEP_REPS)
@@ -29,18 +29,42 @@
  *   trace_overhead_pct    100 * (trace_on / trace_off - 1)
  *   trace_events          events recorded across the traced sweep
  *   trace_events_per_sec  trace_events / trace_on seconds
+ *
+ * Added in schema 3 — macro-stepped persistent execution, measured on
+ * a solo persistent kernel run with the fast path off and on (results
+ * are checked bit-identical before anything is reported). The primary
+ * workload uses a uniform task cost (cv = 0, PF-like kernels): every
+ * run simulates the identical chunk sequence, so the ratio isolates
+ * what macro-stepping actually removes — per-chunk event scheduling.
+ * A stochastic variant (cv = 0.2) is recorded alongside; its ratio is
+ * intrinsically smaller because both paths must draw the same
+ * per-chunk RNG samples, and that shared work bounds the speedup:
+ *   solo_macro_off_ms         wall time, macroStepMaxChunks = 0
+ *   solo_macro_on_ms          wall time, default chunk budget
+ *   solo_macro_speedup        off_ms / on_ms
+ *   solo_sim_events_off       events executed by the slow-path run
+ *   solo_sim_events_on        events executed by the fast-path run
+ *   solo_chunks_per_sec_off   task chunks simulated per wall second
+ *   solo_chunks_per_sec_on    same, fast path (the headline number)
+ *   solo_stoch_off_ms         stochastic-cost variant, fast path off
+ *   solo_stoch_on_ms          stochastic-cost variant, fast path on
+ *   solo_stoch_speedup        off_ms / on_ms (RNG-bound)
+ *   macro_hit_rate            fast chunks / all chunks, fast-path run
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <vector>
 
 #include "common/bench_util.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "gpu/gpu_device.hh"
 #include "obs/trace_recorder.hh"
 #include "sim/event_queue.hh"
+#include "sim/simulation.hh"
 
 using namespace flep;
 using namespace flep::benchutil;
@@ -83,6 +107,72 @@ eventsPerSec()
     return best;
 }
 
+/** One solo persistent macro-stepping measurement. */
+struct SoloPerf
+{
+    double ms = 0.0;
+    std::uint64_t simEvents = 0;
+    std::uint64_t chunks = 0;
+    double hitRate = 0.0;
+    Tick completionTick = 0;
+    Tick busySlotNs = 0;
+    long polls = 0;
+};
+
+/**
+ * Run a large solo persistent kernel — the macro-stepping fast path's
+ * best case — with the given chunk budget; best wall time of `passes`.
+ */
+SoloPerf
+soloPersistentPerf(long budget, int passes, double cv)
+{
+    SoloPerf best;
+    for (int p = 0; p < passes; ++p) {
+        Simulation sim(101);
+        GpuConfig cfg = GpuConfig::keplerK40();
+        cfg.macroStepMaxChunks = budget;
+        GpuDevice gpu(sim, cfg);
+        KernelLaunchDesc d;
+        d.name = "solo";
+        d.totalTasks = 5000000;
+        d.footprint = CtaFootprint{256, 32, 0};
+        d.cost = TaskCostModel(1000.0, cv);
+        d.contentionBeta = 0.05;
+        d.mode = ExecMode::Persistent;
+        d.amortizeL = 50;
+        auto exec = gpu.createExec(d);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        gpu.launch(exec, cfg.kernelLaunchNs);
+        sim.run();
+        const double ms = wallMs(t0);
+
+        if (!exec->complete() ||
+            exec->tasksCompleted() != d.totalTasks)
+            fatal("solo macro bench self-check failed");
+
+        SoloPerf r;
+        r.ms = ms;
+        r.simEvents = sim.events().executedCount();
+        r.chunks = gpu.macroEngine().fastChunks() +
+                   gpu.macroEngine().slowChunks();
+        r.hitRate = r.chunks == 0
+            ? 0.0
+            : static_cast<double>(gpu.macroEngine().fastChunks()) /
+                  static_cast<double>(r.chunks);
+        r.completionTick = exec->completionTick();
+        r.busySlotNs = exec->busySlotTime();
+        r.polls = exec->pollCount();
+        // Deterministic run: every pass simulates identically, only
+        // wall time varies. Keep the best.
+        if (p == 0)
+            best = r;
+        else
+            best.ms = std::min(best.ms, r.ms);
+    }
+    return best;
+}
+
 /** Eight representative fig08-style cells (pair x {MPS, HPF}). */
 std::vector<CoRunConfig>
 sweepCells()
@@ -113,6 +203,41 @@ main()
 
     const double ev_per_sec = eventsPerSec();
     std::printf("event queue: %.0f events/sec\n", ev_per_sec);
+
+    // Macro-stepped persistent execution, off vs on. The env override
+    // exists to force the slow path globally; neutralize it here so
+    // the comparison always measures both paths.
+    ::unsetenv("FLEP_MACRO_MAX_CHUNKS");
+    const long budget_on = GpuConfig::keplerK40().macroStepMaxChunks;
+    const SoloPerf solo_off = soloPersistentPerf(0, 2, 0.0);
+    const SoloPerf solo_on = soloPersistentPerf(budget_on, 2, 0.0);
+    if (solo_on.completionTick != solo_off.completionTick ||
+        solo_on.busySlotNs != solo_off.busySlotNs ||
+        solo_on.polls != solo_off.polls)
+        fatal("macro-stepped run diverged from the slow path");
+    const SoloPerf stoch_off = soloPersistentPerf(0, 2, 0.2);
+    const SoloPerf stoch_on = soloPersistentPerf(budget_on, 2, 0.2);
+    if (stoch_on.completionTick != stoch_off.completionTick ||
+        stoch_on.busySlotNs != stoch_off.busySlotNs ||
+        stoch_on.polls != stoch_off.polls)
+        fatal("stochastic macro run diverged from the slow path");
+    const double solo_speedup = solo_off.ms / solo_on.ms;
+    const double stoch_speedup = stoch_off.ms / stoch_on.ms;
+    const double chunks_sec_off =
+        static_cast<double>(solo_off.chunks) / (solo_off.ms / 1000.0);
+    const double chunks_sec_on =
+        static_cast<double>(solo_on.chunks) / (solo_on.ms / 1000.0);
+    std::printf("macro-step solo (uniform cost): off %.0f ms "
+                "(%llu events), on %.0f ms (%llu events), "
+                "speedup %.2fx, hit rate %.3f\n",
+                solo_off.ms,
+                static_cast<unsigned long long>(solo_off.simEvents),
+                solo_on.ms,
+                static_cast<unsigned long long>(solo_on.simEvents),
+                solo_speedup, solo_on.hitRate);
+    std::printf("macro-step solo (stochastic cost): off %.0f ms, "
+                "on %.0f ms, speedup %.2fx\n",
+                stoch_off.ms, stoch_on.ms, stoch_speedup);
 
     // Expand cells the same way BenchEnv::sweep does, then time the
     // identical batch serially and across the pool.
@@ -189,7 +314,7 @@ main()
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 2,\n"
+                 "  \"schema_version\": 3,\n"
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"sweep_cells\": %zu,\n"
                  "  \"sweep_reps\": %d,\n"
@@ -201,12 +326,28 @@ main()
                  "  \"trace_on_ms\": %.1f,\n"
                  "  \"trace_overhead_pct\": %.2f,\n"
                  "  \"trace_events\": %zu,\n"
-                 "  \"trace_events_per_sec\": %.0f\n"
+                 "  \"trace_events_per_sec\": %.0f,\n"
+                 "  \"solo_macro_off_ms\": %.1f,\n"
+                 "  \"solo_macro_on_ms\": %.1f,\n"
+                 "  \"solo_macro_speedup\": %.2f,\n"
+                 "  \"solo_sim_events_off\": %llu,\n"
+                 "  \"solo_sim_events_on\": %llu,\n"
+                 "  \"solo_chunks_per_sec_off\": %.0f,\n"
+                 "  \"solo_chunks_per_sec_on\": %.0f,\n"
+                 "  \"solo_stoch_off_ms\": %.1f,\n"
+                 "  \"solo_stoch_on_ms\": %.1f,\n"
+                 "  \"solo_stoch_speedup\": %.2f,\n"
+                 "  \"macro_hit_rate\": %.4f\n"
                  "}\n",
                  ev_per_sec, cells.size(), env.reps(), serial_ms,
                  parallel_ms, env.threads(), speedup, serial_ms,
                  traced_ms, trace_overhead_pct, trace_events,
-                 trace_events_per_sec);
+                 trace_events_per_sec, solo_off.ms, solo_on.ms,
+                 solo_speedup,
+                 static_cast<unsigned long long>(solo_off.simEvents),
+                 static_cast<unsigned long long>(solo_on.simEvents),
+                 chunks_sec_off, chunks_sec_on, stoch_off.ms,
+                 stoch_on.ms, stoch_speedup, solo_on.hitRate);
     std::fclose(f);
     std::printf("wrote %s\n", path);
     return 0;

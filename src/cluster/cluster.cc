@@ -325,6 +325,11 @@ ClusterResult
 ClusterScheduler::collect() const
 {
     ClusterResult result;
+    // Horizon runs can stop with macro-step windows still open on some
+    // device; commit their elapsed prefixes so dev->busyNs includes
+    // every interval up to now.
+    for (const auto &dev : devices_)
+        dev->gpu->syncMacroState();
     result.outcomes = outcomes_;
     result.placements = placements_;
     result.preemptivePlacements = preemptivePlacements_;

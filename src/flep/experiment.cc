@@ -238,6 +238,10 @@ runCoRun(const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
         sim.runUntil(cfg.horizonNs);
     else
         sim.run();
+    // Horizon runs can stop with macro-step windows still open; commit
+    // their elapsed prefixes so the share tracker has every busy
+    // interval up to the stop time.
+    gpu.syncMacroState();
 
     // Collect results.
     CoRunResult result;

@@ -16,7 +16,8 @@ GpuConfig::cacheKey() const
        << '/' << pinnedReadNs << '/' << pinnedWriteVisibleNs << '/'
        << atomicNs << '/' << kernelLaunchNs << '/' << streamLaunchGapNs
        << '/' << ctaDispatchNs << '/' << ipcNs << '/'
-       << coldRestartFactor << '/' << contentionQuantumNs;
+       << coldRestartFactor << '/' << contentionQuantumNs << '/'
+       << origWaveTarget << '/' << macroStepMaxChunks;
     return os.str();
 }
 
@@ -59,6 +60,14 @@ GpuConfig::validate() const
     if (numSms <= 0 || maxThreadsPerSm <= 0 || maxCtasPerSm <= 0 ||
         regsPerSm <= 0 || smemPerSm < 0 || warpSize <= 0) {
         fatal("invalid GpuConfig: all capacities must be positive");
+    }
+    if (origWaveTarget <= 0) {
+        fatal("invalid GpuConfig: origWaveTarget must be > 0 (got ",
+              origWaveTarget, ")");
+    }
+    if (macroStepMaxChunks < 0) {
+        fatal("invalid GpuConfig: macroStepMaxChunks must be >= 0 "
+              "(got ", macroStepMaxChunks, ")");
     }
 }
 

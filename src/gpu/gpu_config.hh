@@ -91,6 +91,27 @@ struct GpuConfig
      */
     Tick contentionQuantumNs = 10000;
 
+    /**
+     * Original-mode launches are sliced so each CTA works through
+     * roughly this many batches per wave; larger values shrink the
+     * batch (finer-grained completion times, more dispatch events).
+     * Promoted from a hardcoded constant so device-size ablations can
+     * sweep the batching/accuracy tradeoff. Must be > 0.
+     */
+    long origWaveTarget = 200;
+
+    /**
+     * Upper bound on the chunks a macro-stepped window may coalesce
+     * into one event across all CTAs of an exec. The fast path only
+     * engages while residency is uniform, no preemption-flag write is
+     * pending and the HW scheduler queue is empty; results are
+     * bit-identical to the slow path either way. 0 disables
+     * macro-stepping (every chunk is its own event). The
+     * FLEP_MACRO_MAX_CHUNKS environment variable, when set, overrides
+     * this at GpuDevice construction.
+     */
+    long macroStepMaxChunks = 2048;
+
     /** Total CTA slots across the device for a given per-SM count. */
     int
     totalSlots(int ctas_per_sm) const

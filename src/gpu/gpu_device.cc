@@ -1,6 +1,7 @@
 #include "gpu/gpu_device.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
 #include "common/logging.hh"
@@ -11,18 +12,12 @@
 namespace flep
 {
 
-namespace
+void
+KernelExec::macroSync() const
 {
-
-/**
- * Target number of batched slot-events per CTA slot for Original-mode
- * kernels. Larger values reduce the tail quantization error of task
- * batching (bounded by ~1/origWaveTarget of the kernel duration) at
- * the cost of more simulation events.
- */
-constexpr long origWaveTarget = 200;
-
-} // namespace
+    if (macroWindow_ != nullptr && device_ != nullptr)
+        device_->macro_.sync(const_cast<KernelExec *>(this));
+}
 
 void
 KernelExec::setFlag(Tick now, int value)
@@ -40,10 +35,23 @@ GpuDevice::GpuDevice(Simulation &sim, GpuConfig cfg, int device_index)
       deviceIndex_(device_index),
       tracePid_(TraceRecorder::gpuPid(device_index)),
       scheduler_(*this),
+      macro_(*this),
       rng_(sim.forkRng())
 {
     FLEP_ASSERT(device_index >= 0, "negative device index");
     cfg_.validate();
+    // CI (and debugging sessions chasing a timing discrepancy) force
+    // the slow path globally without touching experiment code.
+    if (const char *env = std::getenv("FLEP_MACRO_MAX_CHUNKS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 0) {
+            fatal("FLEP_MACRO_MAX_CHUNKS must be a non-negative "
+                  "integer, got '", env, "'");
+        }
+        cfg_.macroStepMaxChunks = v;
+    }
+    macro_.setBudget(cfg_.macroStepMaxChunks);
     sms_.reserve(static_cast<std::size_t>(cfg_.numSms));
     for (SmId id = 0; id < cfg_.numSms; ++id)
         sms_.emplace_back(id, cfg_);
@@ -68,6 +76,19 @@ GpuDevice::GpuDevice(Simulation &sim, GpuConfig cfg, int device_index)
     }
 }
 
+GpuDevice::~GpuDevice()
+{
+    // Execs are user-owned and may outlive the device; sever the
+    // backpointers their getters and flag writes would follow.
+    for (auto &weak : allExecs_) {
+        if (auto exec = weak.lock()) {
+            exec->device_ = nullptr;
+            exec->macroWindow_ = nullptr;
+            exec->flag_.setWriteObserver({});
+        }
+    }
+}
+
 bool
 GpuDevice::mixedResidency(SmId sm) const
 {
@@ -87,8 +108,15 @@ GpuDevice::createExec(KernelLaunchDesc desc)
         std::move(desc), sim_.forkRng(), cfg_.pinnedWriteVisibleNs));
     const long capacity = capacityFor(exec->desc().footprint);
     exec->origBatch_ = std::max<long>(
-        1, exec->totalTasks() / (capacity * origWaveTarget));
+        1, exec->totalTasks() / (capacity * cfg_.origWaveTarget));
     exec->waveEstimate_ = std::min(capacity, exec->totalTasks());
+    exec->device_ = this;
+    // A host flag write (setFlag) changes what the elided per-chunk
+    // polls would observe, so it must tear down any open window.
+    KernelExec *raw = exec.get();
+    exec->flag_.setWriteObserver(
+        [this, raw](Tick, int) { macro_.invalidate(raw); });
+    allExecs_.push_back(exec);
     return exec;
 }
 
@@ -169,6 +197,9 @@ GpuDevice::pickSmFor(const CtaFootprint &fp) const
 void
 GpuDevice::dispatchCta(std::shared_ptr<KernelExec> exec, SmId sm)
 {
+    // Residency is about to change; defensive — enqueue() already
+    // invalidated before any dispatch could happen.
+    macro_.invalidateAll();
     sms_[static_cast<std::size_t>(sm)].acquire(exec->desc().footprint);
     smResidents_[static_cast<std::size_t>(sm)][exec.get()] += 1;
     exec->activeCtas_ += 1;
@@ -189,7 +220,10 @@ GpuDevice::dispatchCta(std::shared_ptr<KernelExec> exec, SmId sm)
 long
 GpuDevice::claimTasks(KernelExec &exec, long want, long &first)
 {
-    const long k = std::min(want, exec.tasksUnclaimed());
+    // Raw fields, not tasksUnclaimed(): the getter syncs an open
+    // macro window, and claims never race one.
+    const long k = std::min(
+        want, exec.desc_.totalTasks - exec.tasksClaimed_);
     first = exec.tasksClaimed_;
     exec.tasksClaimed_ += k;
     return k;
@@ -222,44 +256,66 @@ GpuDevice::runOriginalCta(std::shared_ptr<KernelExec> exec, SmId sm)
     });
 }
 
-void
+GpuDevice::BodyLaunch
 GpuDevice::runBodySegments(std::shared_ptr<KernelExec> exec, SmId sm,
                            Tick base_left, double extra_factor,
                            Tick lead_ns, std::function<void()> done)
 {
+    BodySeg st;
+    st.exec = std::move(exec);
+    st.done = std::move(done);
+    st.baseLeft = base_left;
+    st.extraFactor = extra_factor;
+    st.sm = sm;
+    return stepBodySegment(std::move(st), lead_ns);
+}
+
+GpuDevice::BodyLaunch
+GpuDevice::stepBodySegment(BodySeg st, Tick lead_ns)
+{
     // One event per chunk while the SM's residency is uniform; time
     // quanta while kernels overlap, so the contention factor tracks
-    // the changing CTA mix.
-    Tick base_step = base_left;
-    if (cfg_.contentionQuantumNs > 0 && mixedResidency(sm))
-        base_step = std::min(base_left, cfg_.contentionQuantumNs);
+    // the changing CTA mix. The whole chunk state moves through the
+    // segment events in `st`; nothing is re-wrapped per quantum.
+    Tick base_step = st.baseLeft;
+    if (cfg_.contentionQuantumNs > 0 && mixedResidency(st.sm))
+        base_step = std::min(st.baseLeft, cfg_.contentionQuantumNs);
 
-    const auto &sm_obj = sms_[static_cast<std::size_t>(sm)];
-    const double factor = contentionFactor(exec->desc().contentionBeta,
-                                           sm_obj.residentCtas()) *
-                          extra_factor;
+    const auto &sm_obj = sms_[static_cast<std::size_t>(st.sm)];
+    const double factor =
+        contentionFactor(st.exec->desc().contentionBeta,
+                         sm_obj.residentCtas()) *
+        st.extraFactor;
     const Tick wall = lead_ns + std::max<Tick>(
         static_cast<Tick>(static_cast<double>(base_step) * factor), 1);
     const Tick begin = sim_.now();
-    const Tick left = base_left - base_step;
-    sim_.events().scheduleAfter(
-        wall,
-        [this, exec, sm, left, extra_factor, begin,
-         done = std::move(done)]() mutable {
-            accountBusy(*exec, sm, begin, sim_.now());
-            if (left > 0) {
-                runBodySegments(exec, sm, left, extra_factor, 0,
-                                std::move(done));
-            } else {
-                done();
-            }
+    st.baseLeft -= base_step;
+
+    BodyLaunch launch;
+    launch.end = begin + wall;
+    launch.whole = st.baseLeft == 0;
+    launch.ev = sim_.events().scheduleAfter(
+        wall, [this, begin, st = std::move(st)]() mutable {
+            accountBusy(*st.exec, st.sm, begin, sim_.now());
+            if (st.baseLeft > 0)
+                stepBodySegment(std::move(st), 0);
+            else
+                st.done();
         });
+    return launch;
 }
 
 void
 GpuDevice::persistentIterate(std::shared_ptr<KernelExec> exec, SmId sm,
                              bool cold)
 {
+    // Fast path: while this exec runs alone on its SMs with no
+    // preemption request in sight, many iterations (across all its
+    // CTAs) can be coalesced into one event. Cold restarts keep the
+    // slow path so the one-off cost factor is applied per chunk.
+    if (!cold && macro_.tryOpenWindow(exec, sm))
+        return;
+
     // Figure 4 (b)/(c): poll the flag, then pull and process up to L
     // tasks. Polling is done by one thread and shared through block
     // synchronization; its PCIe cost is pinnedReadNs.
@@ -300,12 +356,27 @@ GpuDevice::persistentIterate(std::shared_ptr<KernelExec> exec, SmId sm,
     const Tick lead = cfg_.pinnedReadNs +
                       static_cast<Tick>(k) * cfg_.atomicNs;
     const double extra = cold ? cfg_.coldRestartFactor : 1.0;
-    runBodySegments(exec, sm, base, extra, lead,
-                    [this, exec, sm, k, first]() {
-        exec->tasksCompleted_ += k;
-        runTaskHook(*exec, first, k);
-        persistentIterate(exec, sm, false);
-    });
+    const BodyLaunch launch = runBodySegments(
+        exec, sm, base, extra, lead, [this, exec, sm, k, first]() {
+            macro_.unregisterFlight(exec.get(), first);
+            macro_.countSlowChunk();
+            exec->tasksCompleted_ += k;
+            runTaskHook(*exec, first, k);
+            persistentIterate(exec, sm, false);
+        });
+    if (launch.whole) {
+        // Single-segment chunk with a precomputed completion tick: a
+        // later macro window may absorb it.
+        ChunkFlight flight;
+        flight.sm = sm;
+        flight.ev = launch.ev;
+        flight.order = launch.ev;
+        flight.begin = sim_.now();
+        flight.end = launch.end;
+        flight.k = k;
+        flight.first = first;
+        macro_.registerFlight(exec.get(), flight);
+    }
 }
 
 void
@@ -323,6 +394,7 @@ GpuDevice::retireCta(std::shared_ptr<KernelExec> exec, SmId sm)
         if (exec->tasksCompleted_ == exec->totalTasks()) {
             exec->completed_ = true;
             exec->completionTick_ = sim_.now();
+            macro_.onExecComplete(exec.get());
             if (exec->onComplete)
                 exec->onComplete(*exec, sim_.now());
         } else if (scheduler_.undispatchedCtas(exec.get()) == 0) {

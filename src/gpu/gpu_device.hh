@@ -17,6 +17,7 @@
 #include "gpu/gpu_config.hh"
 #include "gpu/hw_scheduler.hh"
 #include "gpu/kernel.hh"
+#include "gpu/macro_step.hh"
 #include "gpu/pinned_flag.hh"
 #include "gpu/sm.hh"
 #include "sim/sim_object.hh"
@@ -46,10 +47,15 @@ class KernelExec
     const std::string &name() const { return desc_.name; }
 
     /** Tasks whose results are complete. */
-    long tasksCompleted() const { return tasksCompleted_; }
+    long tasksCompleted() const { macroSync(); return tasksCompleted_; }
 
     /** Tasks not yet claimed by any CTA. */
-    long tasksUnclaimed() const { return desc_.totalTasks - tasksClaimed_; }
+    long
+    tasksUnclaimed() const
+    {
+        macroSync();
+        return desc_.totalTasks - tasksClaimed_;
+    }
 
     /** Total tasks of the invocation. */
     long totalTasks() const { return desc_.totalTasks; }
@@ -67,10 +73,10 @@ class KernelExec
     Tick completionTick() const { return completionTick_; }
 
     /** Aggregate busy slot-time (ns summed over CTA slots). */
-    Tick busySlotTime() const { return busySlotNs_; }
+    Tick busySlotTime() const { macroSync(); return busySlotNs_; }
 
     /** Number of preemption-flag polls executed (overhead metric). */
-    long pollCount() const { return pollCount_; }
+    long pollCount() const { macroSync(); return pollCount_; }
 
     /** Times the host has raised the preemption flag. */
     int preemptGeneration() const { return preemptGeneration_; }
@@ -100,10 +106,20 @@ class KernelExec
 
   private:
     friend class GpuDevice;
+    friend class MacroStepEngine;
 
     KernelExec(KernelLaunchDesc desc, Rng rng, Tick flag_delay)
         : desc_(std::move(desc)), rng_(rng), flag_(flag_delay)
     {}
+
+    /**
+     * Counters read while a macro-step window is open reflect chunk
+     * boundaries the window has simulated but not yet committed;
+     * applying the log prefix with boundary ticks <= now first keeps
+     * every externally visible value identical to the slow path.
+     * Defined in gpu_device.cc (needs the GpuDevice definition).
+     */
+    void macroSync() const;
 
     KernelLaunchDesc desc_;
     Rng rng_;
@@ -125,6 +141,12 @@ class KernelExec
 
     /** Persistent wave size estimate (for fair chunk claiming). */
     long waveEstimate_ = 1;
+
+    /** Owning device; cleared when the device is destroyed first. */
+    GpuDevice *device_ = nullptr;
+
+    /** Open macro-step window, if any (owned by the engine). */
+    MacroWindow *macroWindow_ = nullptr;
 };
 
 /**
@@ -140,6 +162,8 @@ class GpuDevice : public SimObject
      *        track ids, so single-device simulations are unchanged.
      */
     GpuDevice(Simulation &sim, GpuConfig cfg, int device_index = 0);
+
+    ~GpuDevice() override;
 
     /** Device parameters. */
     const GpuConfig &config() const { return cfg_; }
@@ -210,8 +234,21 @@ class GpuDevice : public SimObject
         return smBusyNs_[static_cast<std::size_t>(id)];
     }
 
+    /** The macro-stepping engine (statistics and diagnostics). */
+    const MacroStepEngine &macroEngine() const { return macro_; }
+
+    /**
+     * Commit every open macro-step window's log prefix up to now.
+     * Experiment drivers call this after runUntil() so deferred
+     * busy-time accounting (e.g. the FFS share tracker) observes the
+     * same intervals the slow path would have reported by that time.
+     */
+    void syncMacroState() { macro_.syncAll(); }
+
   private:
     friend class HwScheduler;
+    friend class KernelExec;
+    friend class MacroStepEngine;
 
     /** Pick the least-loaded SM that fits `fp`; -1 when none. */
     SmId pickSmFor(const CtaFootprint &fp) const;
@@ -225,15 +262,48 @@ class GpuDevice : public SimObject
     void retireCta(std::shared_ptr<KernelExec> exec, SmId sm);
 
     /**
+     * What runBodySegments scheduled for its first segment: the
+     * completion event, its tick, and whether that one segment covers
+     * the entire chunk. Single-segment persistent chunks are exactly
+     * the ones the macro-stepping engine can absorb.
+     */
+    struct BodyLaunch
+    {
+        EventId ev = 0;
+        Tick end = 0;
+        bool whole = false;
+    };
+
+    /**
+     * Iterative segment state for runBodySegments: everything one
+     * in-progress chunk carries between time quanta. Travels by move
+     * through the segment events, so the `done` continuation is
+     * wrapped exactly once no matter how many quanta the chunk spans.
+     */
+    struct BodySeg
+    {
+        std::shared_ptr<KernelExec> exec;
+        std::function<void()> done;
+        Tick baseLeft = 0;
+        double extraFactor = 1.0;
+        SmId sm = -1;
+    };
+
+    /**
      * Execute `base_left` ticks of uncontended task-body work on
      * `sm`, inflating each time quantum by the contention factor of
      * the residency observed when the quantum starts, then invoke
      * `done`. `lead_ns` is fixed-cost overhead (flag poll, task-pull
      * atomics) prepended to the first quantum.
+     * @return the first segment's launch record.
      */
-    void runBodySegments(std::shared_ptr<KernelExec> exec, SmId sm,
-                         Tick base_left, double extra_factor,
-                         Tick lead_ns, std::function<void()> done);
+    BodyLaunch runBodySegments(std::shared_ptr<KernelExec> exec,
+                               SmId sm, Tick base_left,
+                               double extra_factor, Tick lead_ns,
+                               std::function<void()> done);
+
+    /** Schedule the next time quantum of `st`. */
+    BodyLaunch stepBodySegment(BodySeg st, Tick lead_ns);
 
     /** True when `sm` hosts CTAs of more than one execution. */
     bool mixedResidency(SmId sm) const;
@@ -254,7 +324,10 @@ class GpuDevice : public SimObject
     int tracePid_;
     std::vector<Sm> sms_;
     HwScheduler scheduler_;
+    MacroStepEngine macro_;
     Rng rng_;
+    /** Every exec created here; backpointers cleared on destruction. */
+    std::vector<std::weak_ptr<KernelExec>> allExecs_;
     /** Per-SM count of resident CTAs per execution. */
     std::vector<std::unordered_map<const KernelExec *, int>>
         smResidents_;

@@ -16,6 +16,9 @@ void
 HwScheduler::enqueue(std::shared_ptr<KernelExec> exec, long ctas)
 {
     FLEP_ASSERT(ctas > 0, "empty launch batch for ", exec->name());
+    // New CTAs may land on macro-stepped SMs and change their
+    // residency; every open window's assumptions are void.
+    dev_.macro_.invalidateAll();
     fifo_.push_back(Batch{std::move(exec), ctas});
     if (TraceRecorder *tr = dev_.sim().tracer()) {
         tr->instant(dev_.tracePid(), 0, "hw-enqueue",

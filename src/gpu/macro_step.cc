@@ -1,0 +1,561 @@
+#include "gpu/macro_step.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "gpu/contention.hh"
+#include "gpu/gpu_device.hh"
+#include "obs/trace_recorder.hh"
+
+namespace flep
+{
+
+namespace
+{
+
+/**
+ * Boundary key for the virtual event loop: (end tick, launch order) —
+ * exactly the (when, event id) order of the real queue. Each CTA has
+ * at most one chunk in flight, so the full ChunkFlight lives in a
+ * per-CTA slot and only this 24-byte key moves through the queue.
+ */
+struct BoundaryKey
+{
+    Tick end = 0;
+    std::uint64_t order = 0;
+    std::uint32_t slot = 0;
+};
+
+bool
+keyBefore(const BoundaryKey &a, const BoundaryKey &b)
+{
+    if (a.end != b.end)
+        return a.end < b.end;
+    return a.order < b.order;
+}
+
+/**
+ * The window's future boundaries, ascending (end, order): a sorted
+ * ring popped at the front, inserted near the back.
+ *
+ * A binary heap is the textbook structure here, but the workload is
+ * strongly in favour of a sorted array: a freshly launched chunk ends
+ * roughly one whole chunk after the *earliest* in-flight boundary, so
+ * its key is (nearly) the maximum — with uniform task costs the
+ * insert is exactly at the back, and with cv > 0 the relative spread
+ * of a k-task chunk is cv/sqrt(k), so only a handful of tail entries
+ * ever need shifting. That makes the common insert O(1) with a short
+ * memmove, against the heap's guaranteed log-n sift of the full
+ * depth. (A pathological cost model degrades to O(n) shifts, which
+ * for n = resident CTAs is still bounded and correct.)
+ */
+class BoundaryRing
+{
+  public:
+    void
+    reset(std::vector<BoundaryKey> keys)
+    {
+        ring_ = std::move(keys);
+        head_ = 0;
+        std::sort(ring_.begin(), ring_.end(), keyBefore);
+    }
+
+    bool empty() const { return head_ == ring_.size(); }
+
+    BoundaryKey
+    popFront()
+    {
+        FLEP_ASSERT(!empty(), "macro window ran out of flights");
+        return ring_[head_++];
+    }
+
+    void
+    insert(const BoundaryKey &key)
+    {
+        // Reclaim the popped prefix once it dominates the storage so
+        // the ring stays O(live) even over thousands of launches.
+        if (head_ >= 1024 && head_ * 2 >= ring_.size()) {
+            ring_.erase(ring_.begin(),
+                        ring_.begin() +
+                            static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+        std::size_t pos = ring_.size();
+        ring_.push_back(key);
+        while (pos > head_ && keyBefore(key, ring_[pos - 1])) {
+            ring_[pos] = ring_[pos - 1];
+            --pos;
+        }
+        ring_[pos] = key;
+    }
+
+    /** The not-yet-popped keys, in ascending (end, order). */
+    const BoundaryKey *liveBegin() const { return ring_.data() + head_; }
+    const BoundaryKey *liveEnd() const { return ring_.data() + ring_.size(); }
+
+  private:
+    std::vector<BoundaryKey> ring_;
+    std::size_t head_ = 0;
+};
+
+bool
+orderBefore(const ChunkFlight &a, const ChunkFlight &b)
+{
+    return a.order < b.order;
+}
+
+} // namespace
+
+MacroStepEngine::MacroStepEngine(GpuDevice &dev)
+    : dev_(dev)
+{}
+
+void
+MacroStepEngine::registerFlight(KernelExec *exec,
+                                const ChunkFlight &flight)
+{
+    const bool inserted =
+        stateFor(exec).flights.emplace(flight.first, flight).second;
+    FLEP_ASSERT(inserted, "duplicate chunk flight for task ",
+                flight.first);
+}
+
+void
+MacroStepEngine::unregisterFlight(KernelExec *exec, long first)
+{
+    auto it = execs_.find(exec);
+    if (it != execs_.end())
+        it->second.flights.erase(first);
+}
+
+void
+MacroStepEngine::onExecComplete(KernelExec *exec)
+{
+    auto it = execs_.find(exec);
+    if (it == execs_.end())
+        return;
+    FLEP_ASSERT(!it->second.window,
+                "exec completed with an open macro window");
+    FLEP_ASSERT(it->second.flights.empty() && it->second.seeds.empty(),
+                "exec completed with chunks in flight");
+    execs_.erase(it);
+}
+
+bool
+MacroStepEngine::tryOpenWindow(const std::shared_ptr<KernelExec> &exec,
+                               SmId sm)
+{
+    ExecState &st = stateFor(exec.get());
+    FLEP_ASSERT(!st.window, "persistent iteration inside an open "
+                            "macro window");
+    FLEP_ASSERT(st.flights.empty() || st.seeds.empty(),
+                "real and seed flights cannot coexist");
+
+    const Tick now = dev_.sim().now();
+    const KernelLaunchDesc &desc = exec->desc_;
+    const long total = desc.totalTasks;
+
+    // Eligibility: every per-chunk decision the window elides must be
+    // provably constant over its whole span — the flag polls all read
+    // zero, no CTA can arrive or leave, the contention factor of each
+    // involved SM is fixed, and every sibling CTA sits in a
+    // single-segment chunk whose completion tick is already known.
+    bool ok = budget_ > 0 && desc.mode == ExecMode::Persistent &&
+              !desc.onTask && exec->flag_.quiescentZeroAt(now) &&
+              dev_.scheduler_.pendingBatches() == 0 &&
+              total - exec->tasksClaimed_ > 0 &&
+              static_cast<long>(st.flights.size() + st.seeds.size()) ==
+                  static_cast<long>(exec->activeCtas_) - 1;
+    if (ok) {
+        // The in-flight chunks plus the entering CTA cover every CTA
+        // of the exec, so their SMs are exactly the hosting set:
+        // requiring each to host only this exec gives uniform
+        // residency everywhere the window touches.
+        auto uniform = [this, &exec](SmId s) {
+            const auto &res =
+                dev_.smResidents_[static_cast<std::size_t>(s)];
+            return res.size() == 1 && res.count(exec.get()) == 1;
+        };
+        ok = uniform(sm);
+        for (const auto &[first, f] : st.flights)
+            ok = ok && uniform(f.sm);
+        for (const auto &f : st.seeds)
+            ok = ok && uniform(f.sm);
+    }
+    if (!ok) {
+        if (!st.seeds.empty()) {
+            std::vector<ChunkFlight> seeds = std::move(st.seeds);
+            st.seeds.clear();
+            materialize(exec, std::move(seeds));
+        }
+        return false;
+    }
+    // Chunk sizes are bounded by amortizeL and the log narrows them
+    // to 32 bits; a window never opens for an exec that could overflow.
+    FLEP_ASSERT(desc.amortizeL <= 0x7fffffffL,
+                "amortizeL too large for the macro-step log");
+
+    // Absorb every sibling in-flight chunk: cancel the real events
+    // and renumber the flights into window-local launch order (their
+    // event ids, and the seeds' previous-window orders, both increase
+    // in launch order, so a stable renumbering preserves FIFO ties).
+    // Real flights come out of a hash map and need sorting; seeds are
+    // a previous window's remnant, stored already sorted — and the
+    // two never coexist (asserted above), so the common chained-
+    // window case skips the sort entirely.
+    std::vector<ChunkFlight> absorbed;
+    absorbed.reserve(st.flights.size() + st.seeds.size() + 1);
+    const bool from_flights = !st.flights.empty();
+    for (const auto &[first, f] : st.flights) {
+        const bool pending = dev_.sim().events().deschedule(f.ev);
+        FLEP_ASSERT(pending, "in-flight chunk without pending event");
+        absorbed.push_back(f);
+    }
+    st.flights.clear();
+    for (const auto &f : st.seeds)
+        absorbed.push_back(f);
+    st.seeds.clear();
+    if (from_flights) {
+        std::sort(absorbed.begin(), absorbed.end(), orderBefore);
+    } else {
+        FLEP_ASSERT(std::is_sorted(absorbed.begin(), absorbed.end(),
+                                   orderBefore),
+                    "seed flights arrived out of launch order");
+    }
+    std::uint64_t next_order = 0;
+    for (auto &f : absorbed) {
+        f.ev = 0;
+        f.order = next_order++;
+    }
+
+    auto window = std::make_unique<MacroWindow>();
+    window->exec = exec;
+    window->openTick = now;
+
+    // Per-SM inflation factors are constants of the window; record
+    // each SM's residency epoch so the commit can assert nothing
+    // changed underneath (the invalidation hooks make this
+    // unreachable — it is a safety net, not a code path). Indexed by
+    // SM id so the per-launch lookup is one load, not a scan.
+    std::vector<double> factor_by_sm(dev_.sms_.size(), -1.0);
+    auto factor_for = [this, &desc, &factor_by_sm, &window](SmId s) {
+        double &f = factor_by_sm[static_cast<std::size_t>(s)];
+        if (f < 0.0) {
+            const Sm &sm_obj = dev_.sms_[static_cast<std::size_t>(s)];
+            f = contentionFactor(desc.contentionBeta,
+                                 sm_obj.residentCtas());
+            window->smEpochs.emplace_back(s, sm_obj.residencyEpoch());
+        }
+        return f;
+    };
+
+    // The entering CTA's iteration happens for real, now: its poll,
+    // claim and RNG draw are due at this tick on the slow path too.
+    exec->pollCount_ += 1;
+    const long fair = std::max<long>(
+        1, (total - exec->tasksClaimed_) / exec->waveEstimate_);
+    long first = 0;
+    const long k = dev_.claimTasks(
+        *exec, std::min<long>(desc.amortizeL, fair), first);
+    FLEP_ASSERT(k > 0, "entering claim came up empty");
+    const Tick base = desc.cost.sampleChunk(k, exec->rng_);
+
+    window->rngAtOpen = exec->rng_;
+
+    ChunkFlight entering;
+    entering.sm = sm;
+    entering.order = next_order++;
+    entering.begin = now;
+    entering.k = k;
+    entering.first = first;
+    entering.end =
+        now + dev_.cfg_.pinnedReadNs +
+        static_cast<Tick>(k) * dev_.cfg_.atomicNs +
+        std::max<Tick>(static_cast<Tick>(static_cast<double>(base) *
+                                         factor_for(sm)), 1);
+
+    // Virtual event loop on copies of the shared state. Boundaries
+    // pop in (end, order) — the order the real queue would fire the
+    // completion events — so the claims and RNG draws of different
+    // CTAs interleave exactly as on the slow path. Each CTA slot
+    // holds its one in-flight chunk and is relaunched in place; the
+    // ring shuffles only the 24-byte keys.
+    std::vector<ChunkFlight> slots = std::move(absorbed);
+    slots.push_back(entering);
+    std::vector<BoundaryKey> keys;
+    keys.reserve(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        keys.push_back(BoundaryKey{slots[i].end, slots[i].order,
+                                   static_cast<std::uint32_t>(i)});
+    }
+    BoundaryRing ring;
+    ring.reset(std::move(keys));
+    long launches = 1;
+
+    long v_claimed = exec->tasksClaimed_;
+    Rng v_rng = exec->rng_;
+
+    // One log entry per boundary: at most budget_ launches plus the
+    // stop entry (capped so a huge budget cannot pre-commit memory).
+    window->log.reserve(static_cast<std::size_t>(
+                            std::min<long>(budget_, 8192)) +
+                        slots.size() + 1);
+
+    for (;;) {
+        const BoundaryKey top = ring.popFront();
+        ChunkFlight &f = slots[top.slot];
+        const Tick boundary = top.end;
+
+        MacroLogEntry entry;
+        entry.tick = boundary;
+        entry.begin = f.begin;
+        entry.first = f.first;
+        entry.order = f.order;
+        entry.sm = f.sm;
+        entry.k = static_cast<std::int32_t>(f.k);
+
+        const long unclaimed = total - v_claimed;
+        const bool launch = unclaimed > 0 && launches < budget_;
+        if (launch) {
+            // The CTA starts its next chunk at this boundary, exactly
+            // as the slow-path completion callback would; its slot is
+            // rewritten in place (the entry recorded the old chunk).
+            const long fair2 = std::max<long>(
+                1, unclaimed / exec->waveEstimate_);
+            const long k2 = std::min(
+                std::min<long>(desc.amortizeL, fair2), unclaimed);
+            f.order = next_order++;
+            f.begin = boundary;
+            f.k = k2;
+            f.first = v_claimed;
+            v_claimed += k2;
+            const Tick base2 = desc.cost.sampleChunk(k2, v_rng);
+            f.end =
+                boundary + dev_.cfg_.pinnedReadNs +
+                static_cast<Tick>(k2) * dev_.cfg_.atomicNs +
+                std::max<Tick>(
+                    static_cast<Tick>(static_cast<double>(base2) *
+                                      factor_for(f.sm)), 1);
+            ring.insert(BoundaryKey{f.end, f.order, top.slot});
+            launches += 1;
+            entry.launchedK = static_cast<std::int32_t>(k2);
+        }
+        window->log.push_back(entry);
+        if (!launch) {
+            // Task pool drained or budget spent: this CTA's next move
+            // (retire, or the next window) happens for real at the
+            // close boundary.
+            window->stopSm = f.sm;
+            window->closeTick = boundary;
+            break;
+        }
+    }
+    window->rngAtClose = v_rng;
+
+    // The live ring keys are the still-in-flight chunks; ascending
+    // (end, order) is not launch order, so the remnant still sorts.
+    window->remnant.reserve(
+        static_cast<std::size_t>(ring.liveEnd() - ring.liveBegin()));
+    for (const BoundaryKey *it = ring.liveBegin();
+         it != ring.liveEnd(); ++it)
+        window->remnant.push_back(slots[it->slot]);
+    std::sort(window->remnant.begin(), window->remnant.end(),
+              orderBefore);
+
+    KernelExec *raw = exec.get();
+    window->commitEv = dev_.sim().events().schedule(
+        window->closeTick, [this, raw]() { commit(raw); });
+    exec->macroWindow_ = window.get();
+    st.window = std::move(window);
+    ++windows_;
+    return true;
+}
+
+void
+MacroStepEngine::syncTo(ExecState &st, Tick now)
+{
+    MacroWindow *w = st.window.get();
+    if (w == nullptr)
+        return;
+    KernelExec *exec = w->exec.get();
+    // The cursor advances before the busy-time hooks run, so a hook
+    // that reads an exec getter (re-entering sync) sees each entry
+    // applied exactly once. Counter effects are pure increments; the
+    // RNG is settled only at commit/invalidation (nothing reads it
+    // while the window is open — all of the exec's CTAs are inside).
+    while (w->committed < w->log.size() &&
+           w->log[w->committed].tick <= now) {
+        const MacroLogEntry &e = w->log[w->committed];
+        ++w->committed;
+        exec->tasksCompleted_ += e.k;
+        if (e.launchedK >= 0) {
+            exec->tasksClaimed_ += e.launchedK;
+            exec->pollCount_ += 1;
+        }
+        ++fastChunks_;
+        dev_.accountBusy(*exec, e.sm, e.begin, e.tick);
+    }
+}
+
+void
+MacroStepEngine::sync(KernelExec *exec)
+{
+    auto it = execs_.find(exec);
+    if (it == execs_.end() || !it->second.window)
+        return;
+    syncTo(it->second, dev_.sim().now());
+}
+
+void
+MacroStepEngine::syncAll()
+{
+    for (auto &[exec, st] : execs_) {
+        if (st.window)
+            syncTo(st, dev_.sim().now());
+    }
+}
+
+void
+MacroStepEngine::invalidate(KernelExec *exec)
+{
+    auto it = execs_.find(exec);
+    if (it == execs_.end() || !it->second.window)
+        return;
+    invalidateState(exec, it->second);
+}
+
+void
+MacroStepEngine::invalidateAll()
+{
+    for (auto &[exec, st] : execs_) {
+        if (st.window)
+            invalidateState(exec, st);
+    }
+}
+
+void
+MacroStepEngine::invalidateState(KernelExec *exec, ExecState &st)
+{
+    MacroWindow &w = *st.window;
+    const Tick now = dev_.sim().now();
+    ++invalidations_;
+
+    const bool pending = dev_.sim().events().deschedule(w.commitEv);
+    FLEP_ASSERT(pending, "macro commit event fired with window open");
+
+    // Everything at or before the interruption tick has happened.
+    syncTo(st, now);
+
+    // Settle the exec RNG at the committed prefix by replaying the
+    // prefix's draws from the window-open snapshot (each draw's k is
+    // in the log); later virtual draws never happened.
+    {
+        const KernelLaunchDesc &desc = exec->desc_;
+        Rng r = w.rngAtOpen;
+        for (std::size_t i = 0; i < w.committed; ++i) {
+            if (w.log[i].launchedK >= 0)
+                (void)desc.cost.sampleChunk(w.log[i].launchedK, r);
+        }
+        exec->rng_ = r;
+    }
+
+    // Chunks launched at or before now that complete later are still
+    // in flight; later virtual launches never happened.
+    std::vector<ChunkFlight> inflight;
+    for (std::size_t i = w.committed; i < w.log.size(); ++i) {
+        if (w.log[i].begin <= now)
+            inflight.push_back(w.log[i].flight());
+    }
+    for (const auto &f : w.remnant) {
+        if (f.begin <= now)
+            inflight.push_back(f);
+    }
+
+    // Only the close boundary leaves its CTA without a next chunk; if
+    // it was committed (the invalidator shares its tick), give that
+    // CTA a real continuation event.
+    const bool stop_committed = w.committed == w.log.size();
+    std::shared_ptr<KernelExec> exec_shared = w.exec;
+    const SmId stop_sm = w.stopSm;
+
+    exec->macroWindow_ = nullptr;
+    st.window.reset();
+
+    materialize(exec_shared, std::move(inflight));
+    if (stop_committed) {
+        dev_.sim().events().schedule(
+            now, [this, exec_shared, stop_sm]() {
+                dev_.persistentIterate(exec_shared, stop_sm, false);
+            });
+    }
+}
+
+void
+MacroStepEngine::materialize(const std::shared_ptr<KernelExec> &exec,
+                             std::vector<ChunkFlight> flights)
+{
+    // Ascending launch order: completion events at equal ticks must
+    // fire in the order the slow path would have scheduled them.
+    std::sort(flights.begin(), flights.end(), orderBefore);
+    for (const ChunkFlight &f : flights) {
+        ChunkFlight real = f;
+        real.ev = dev_.sim().events().schedule(f.end, [this, exec,
+                                                       f]() {
+            // A fast-path-launched chunk completing on the slow path:
+            // mirror the persistent completion callback exactly.
+            unregisterFlight(exec.get(), f.first);
+            ++slowChunks_;
+            dev_.accountBusy(*exec, f.sm, f.begin, dev_.sim().now());
+            exec->tasksCompleted_ += f.k;
+            GpuDevice::runTaskHook(*exec, f.first, f.k);
+            dev_.persistentIterate(exec, f.sm, false);
+        });
+        real.order = real.ev;
+        registerFlight(exec.get(), real);
+    }
+}
+
+void
+MacroStepEngine::commit(KernelExec *exec)
+{
+    auto it = execs_.find(exec);
+    FLEP_ASSERT(it != execs_.end() && it->second.window,
+                "macro commit without an open window");
+    ExecState &st = it->second;
+    MacroWindow &w = *st.window;
+    FLEP_ASSERT(dev_.sim().now() == w.closeTick,
+                "macro commit fired off its close boundary");
+
+    syncTo(st, w.closeTick);
+    FLEP_ASSERT(w.committed == w.log.size(),
+                "macro log not fully committed at close");
+    exec->rng_ = w.rngAtClose;
+    for (const auto &[sm_id, epoch] : w.smEpochs) {
+        FLEP_ASSERT(dev_.sms_[static_cast<std::size_t>(sm_id)]
+                            .residencyEpoch() == epoch,
+                    "SM residency changed under an open macro window");
+    }
+
+    std::shared_ptr<KernelExec> exec_shared = w.exec;
+    const SmId stop_sm = w.stopSm;
+    st.seeds = std::move(w.remnant);
+    exec->macroWindow_ = nullptr;
+    st.window.reset();
+
+    if (TraceRecorder *tr = dev_.sim().tracer()) {
+        tr->counter(dev_.tracePid(), 0, "macro-fast-chunks",
+                    static_cast<double>(fastChunks_));
+        tr->counter(dev_.tracePid(), 0, "macro-slow-chunks",
+                    static_cast<double>(slowChunks_));
+    }
+
+    // Continue the stop CTA at the close boundary: it either chains
+    // straight into the next window (re-absorbing the remnant as
+    // seeds) or tryOpenWindow declines, materializes the seeds and
+    // the slow path takes over — including the k == 0 retire once
+    // the task pool has drained.
+    dev_.persistentIterate(exec_shared, stop_sm, false);
+}
+
+} // namespace flep

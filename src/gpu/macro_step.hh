@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Macro-stepped persistent-CTA execution: the event-coalescing fast
+ * path.
+ *
+ * A persistent kernel running alone on its SMs is analytically
+ * predictable: the contention factor is constant, the preemption flag
+ * is quiescently zero, and every iteration is poll -> claim -> chunk.
+ * The engine exploits this by simulating many chunk completions across
+ * *all* CTAs of an execution inside one real event (a "window"),
+ * drawing the same per-chunk RNG samples the slow path would draw, in
+ * the same global order, and deferring the state updates into a log
+ * that is committed when simulated time actually reaches each
+ * boundary.
+ *
+ * Bit-identicality hinges on replaying EventQueue semantics exactly:
+ * the slow path interleaves the chunks of different CTAs by
+ * (completion tick, event id), and the per-exec RNG is shared by all
+ * CTAs, so the window runs a miniature event loop ordered by
+ * (end tick, launch order) — the same total order the real queue
+ * would produce. Anything that could change the inputs (a preemption
+ * flag write, a new launch batch, a CTA dispatch) invalidates the
+ * window: the committed prefix up to the interruption tick is applied
+ * and the still-in-flight chunks are re-materialized as ordinary
+ * events, after which simulation proceeds on the slow path — from the
+ * precomputed per-chunk boundary, with identical state.
+ *
+ * See docs/perf.md for the invariants and the invalidation protocol.
+ */
+
+#ifndef FLEP_GPU_MACRO_STEP_HH
+#define FLEP_GPU_MACRO_STEP_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace flep
+{
+
+class GpuDevice;
+class KernelExec;
+
+/**
+ * One in-flight persistent chunk: a single-segment (uniform-residency)
+ * task chunk whose completion tick was fixed when it was launched.
+ * Real flights have a scheduled completion event; flights inside a
+ * window are virtual (ev == 0) and ordered by `order`, which mirrors
+ * the event ids the slow path would have issued.
+ */
+struct ChunkFlight
+{
+    SmId sm = -1;
+    EventId ev = 0;           //!< completion event; 0 while virtual
+    std::uint64_t order = 0;  //!< FIFO tie-break (launch order)
+    Tick begin = 0;           //!< launch tick (chunk start)
+    Tick end = 0;             //!< completion tick
+    long k = 0;               //!< tasks in the chunk
+    long first = 0;           //!< first task index (unique per chunk)
+};
+
+/**
+ * Deferred effects of one chunk boundary inside a window: the chunk
+ * that completed and, when its CTA immediately launched another, that
+ * next chunk's task count. Counter updates are pure increments
+ * (+flight.k completed; +launchedK claimed, +1 poll), so committing a
+ * prefix needs no state snapshots; the RNG is reconstructed lazily
+ * (see MacroWindow::rngAtOpen). Keeping this entry small matters: one
+ * is written and read back per coalesced chunk, and its size showed
+ * up directly in the fast path's per-chunk cost.
+ */
+struct MacroLogEntry
+{
+    Tick tick = 0;        //!< boundary tick (== the chunk's end)
+    Tick begin = 0;       //!< the chunk's launch tick
+    long first = 0;       //!< the chunk's first task index
+    std::uint64_t order = 0; //!< the chunk's launch order
+    SmId sm = -1;
+    std::int32_t k = 0;   //!< tasks in the completing chunk
+    std::int32_t launchedK = -1; //!< follow-up chunk tasks; -1 if none
+
+    /** The completing chunk, reconstructed (for materialization). */
+    ChunkFlight
+    flight() const
+    {
+        ChunkFlight f;
+        f.sm = sm;
+        f.order = order;
+        f.begin = begin;
+        f.end = tick;
+        f.k = k;
+        f.first = first;
+        return f;
+    }
+};
+
+/** An open coalescing window for one execution. */
+struct MacroWindow
+{
+    std::shared_ptr<KernelExec> exec;
+    Tick openTick = 0;
+    Tick closeTick = 0;
+    EventId commitEv = 0;       //!< the single real (cancellable) event
+    std::vector<MacroLogEntry> log;
+    std::size_t committed = 0;  //!< log prefix already applied
+    /** Chunks still in flight at closeTick, ascending `order`. */
+    std::vector<ChunkFlight> remnant;
+    SmId stopSm = -1;           //!< CTA that hit the stop condition
+    /** Residency epochs of the involved SMs at open (safety check). */
+    std::vector<std::pair<SmId, std::uint64_t>> smEpochs;
+    /**
+     * The exec RNG right after the entering CTA's live draw. The
+     * virtual draws of a committed prefix are replayed from here on
+     * invalidation (their chunk sizes are in the log), instead of
+     * snapshotting the RNG into every entry.
+     */
+    Rng rngAtOpen{0};
+    /** The exec RNG after every virtual draw; installed at commit. */
+    Rng rngAtClose{0};
+};
+
+/**
+ * Per-device engine owning the chunk-flight registry, the open
+ * windows, and the fast/slow statistics. GpuDevice drives it from
+ * persistentIterate (tryOpenWindow), the slow-path chunk bookkeeping
+ * (registerFlight / unregisterFlight / countSlowChunk), and the
+ * invalidation hooks (flag writes, scheduler enqueue, CTA dispatch).
+ */
+class MacroStepEngine
+{
+  public:
+    explicit MacroStepEngine(GpuDevice &dev);
+
+    /** Effective chunk budget per window (0 disables the fast path). */
+    long budget() const { return budget_; }
+    void setBudget(long budget) { budget_ = budget; }
+
+    /** Slow path launched a single-segment persistent chunk. */
+    void registerFlight(KernelExec *exec, const ChunkFlight &flight);
+
+    /** A chunk completed (or was absorbed); drop its registry entry. */
+    void unregisterFlight(KernelExec *exec, long first);
+
+    /**
+     * Attempt to coalesce: called at the top of a (warm) persistent
+     * iteration. When eligible, absorbs every sibling in-flight chunk,
+     * simulates up to budget() chunk launches virtually, schedules the
+     * commit event, and returns true — the caller must not run the
+     * slow-path iteration. Returns false when ineligible (after
+     * materializing any pending seed flights).
+     */
+    bool tryOpenWindow(const std::shared_ptr<KernelExec> &exec, SmId sm);
+
+    /**
+     * Commit the open window's prefix with boundary ticks <= now and
+     * convert the rest back into ordinary events. Called whenever the
+     * window's assumptions break (flag write, enqueue, dispatch).
+     */
+    void invalidate(KernelExec *exec);
+
+    /** Invalidate every open window on the device. */
+    void invalidateAll();
+
+    /**
+     * Apply the open window's log prefix with ticks <= now, keeping
+     * the window open. Used by the sync-on-read getters and by
+     * experiment drivers after runUntil() so externally observable
+     * state (counters, busy-time accounting) matches the slow path.
+     */
+    void sync(KernelExec *exec);
+
+    /** sync() every open window. */
+    void syncAll();
+
+    /** Slow-path chunk completed (statistics). */
+    void countSlowChunk() { ++slowChunks_; }
+
+    /** The exec finished; drop its (by now empty) engine state. */
+    void onExecComplete(KernelExec *exec);
+
+    /** Chunks whose completion was simulated inside a window. */
+    std::uint64_t fastChunks() const { return fastChunks_; }
+
+    /** Chunks completed by ordinary per-chunk events. */
+    std::uint64_t slowChunks() const { return slowChunks_; }
+
+    /** Windows opened. */
+    std::uint64_t windows() const { return windows_; }
+
+    /** Windows torn down before their commit event fired. */
+    std::uint64_t invalidations() const { return invalidations_; }
+
+  private:
+    struct ExecState
+    {
+        /** Real in-flight chunks, keyed by first task index. */
+        std::unordered_map<long, ChunkFlight> flights;
+        /** Virtual flights carried over from a just-committed window,
+         *  offered to the immediately following tryOpenWindow. */
+        std::vector<ChunkFlight> seeds;
+        std::unique_ptr<MacroWindow> window;
+    };
+
+    /** Apply log entries with tick <= now; reentrancy-safe. */
+    void syncTo(ExecState &st, Tick now);
+
+    /** Schedule real completion events for `flights` (ascending
+     *  order), registering each as a normal in-flight chunk. */
+    void materialize(const std::shared_ptr<KernelExec> &exec,
+                     std::vector<ChunkFlight> flights);
+
+    /** The commit event's body. */
+    void commit(KernelExec *exec);
+
+    void invalidateState(KernelExec *exec, ExecState &st);
+
+    ExecState &stateFor(KernelExec *exec) { return execs_[exec]; }
+
+    GpuDevice &dev_;
+    long budget_ = 0;
+    std::unordered_map<KernelExec *, ExecState> execs_;
+
+    std::uint64_t fastChunks_ = 0;
+    std::uint64_t slowChunks_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t invalidations_ = 0;
+};
+
+} // namespace flep
+
+#endif // FLEP_GPU_MACRO_STEP_HH

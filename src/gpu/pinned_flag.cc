@@ -11,6 +11,8 @@ PinnedFlag::hostWrite(Tick now, int value)
         visibleValue_ = pendingValue_;
     pendingValue_ = value;
     pendingSince_ = now + visibleDelay_;
+    if (writeObserver_)
+        writeObserver_(now, value);
 }
 
 int

@@ -17,6 +17,9 @@
 #ifndef FLEP_GPU_PINNED_FLAG_HH
 #define FLEP_GPU_PINNED_FLAG_HH
 
+#include <functional>
+#include <utility>
+
 #include "common/types.hh"
 
 namespace flep
@@ -54,11 +57,40 @@ class PinnedFlag
     /** Value as seen from the host (immediately current). */
     int hostValue() const { return pendingValue_; }
 
+    /**
+     * True when every device read at or after `now` is guaranteed to
+     * observe zero — i.e. no preemption request is visible now and
+     * none is still in flight. This is one of the macro-stepping
+     * entry conditions: a coalesced window elides per-chunk flag
+     * polls, which is only sound when those polls could not have
+     * returned nonzero.
+     */
+    bool
+    quiescentZeroAt(Tick now) const
+    {
+        if (pendingValue_ != 0)
+            return false;
+        return now >= pendingSince_ || visibleValue_ == 0;
+    }
+
+    /**
+     * Observer invoked on every hostWrite (after the flag state has
+     * been updated), used by the device to invalidate macro-stepped
+     * windows the moment a preemption request is issued. At most one
+     * observer; pass an empty function to detach.
+     */
+    void
+    setWriteObserver(std::function<void(Tick, int)> obs)
+    {
+        writeObserver_ = std::move(obs);
+    }
+
   private:
     Tick visibleDelay_;
     int visibleValue_ = 0;   //!< value before the pending store lands
     int pendingValue_ = 0;   //!< value after it lands
     Tick pendingSince_ = 0;  //!< device-visibility time of the store
+    std::function<void(Tick, int)> writeObserver_;
 };
 
 } // namespace flep

@@ -41,6 +41,7 @@ Sm::acquire(const CtaFootprint &fp)
     usedThreads_ += fp.threads;
     usedRegs_ += static_cast<long>(fp.threads) * fp.regsPerThread;
     usedSmem_ += fp.smemBytes;
+    ++residencyEpoch_;
     if (tracer_ != nullptr) {
         tracer_->counter(tracerPid_, id_, tracerCounterName_,
                          usedCtas_);
@@ -54,6 +55,7 @@ Sm::release(const CtaFootprint &fp)
     usedThreads_ -= fp.threads;
     usedRegs_ -= static_cast<long>(fp.threads) * fp.regsPerThread;
     usedSmem_ -= fp.smemBytes;
+    ++residencyEpoch_;
     FLEP_ASSERT(usedCtas_ >= 0 && usedThreads_ >= 0 && usedRegs_ >= 0 &&
                 usedSmem_ >= 0,
                 "resource release underflow on sm ", id_);

@@ -6,6 +6,8 @@
 #ifndef FLEP_GPU_SM_HH
 #define FLEP_GPU_SM_HH
 
+#include <cstdint>
+
 #include "common/types.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/occupancy.hh"
@@ -50,6 +52,15 @@ class Sm
     /** Number of CTAs currently resident. */
     int residentCtas() const { return usedCtas_; }
 
+    /**
+     * Monotonic counter bumped on every acquire/release. The
+     * macro-stepping fast path snapshots it when opening a coalesced
+     * window and re-validates on commit: a changed epoch means the
+     * residency (and therefore the contention factor) the window was
+     * computed under no longer holds.
+     */
+    std::uint64_t residencyEpoch() const { return residencyEpoch_; }
+
     /** Threads currently active. */
     int usedThreads() const { return usedThreads_; }
 
@@ -67,6 +78,7 @@ class Sm
     int usedCtas_ = 0;
     long usedRegs_ = 0;
     int usedSmem_ = 0;
+    std::uint64_t residencyEpoch_ = 0;
 
     TraceRecorder *tracer_ = nullptr;
     int tracerPid_ = 0;

@@ -36,12 +36,36 @@ EventQueue::deschedule(EventId id)
         return false;
     s = State::Cancelled;
     --live_;
+    ++tombstoned_;
+    // Every heap entry is either Pending or Cancelled, so once
+    // tombstones outnumber live entries over half the heap is dead
+    // weight. Rebuild, which also destroys the cancelled callbacks
+    // (and whatever their closures keep alive) eagerly. The floor
+    // keeps occasional cancellations on the cheap lazy path.
+    if (tombstoned_ > 64 && tombstoned_ > live_)
+        compact();
     return true;
+}
+
+void
+EventQueue::compact()
+{
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry &e) {
+                                   return stateOf(e.id) ==
+                                          State::Cancelled;
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    tombstoned_ = 0;
 }
 
 void
 EventQueue::dropTop()
 {
+    // Only cancelled entries are dropped this way (fired entries are
+    // popped inline by popNext), so the tombstone count shrinks.
+    --tombstoned_;
     std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
     heap_.pop_back();
 }

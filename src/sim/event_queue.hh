@@ -28,7 +28,10 @@ using EventId = std::uint64_t;
  * callback's own small-object buffer) — no per-event hash-map insert
  * or erase. Cancellation, which is rare, marks a tombstone in a flat
  * per-id state table; the stale heap entry is discarded lazily when it
- * surfaces at the top.
+ * surfaces at the top. Cancellation-heavy users (the macro-stepping
+ * fast path cancels and reschedules chunk events wholesale) are kept
+ * in check by compacting the heap once tombstones outnumber live
+ * entries, which also frees the cancelled callbacks' captures early.
  */
 class EventQueue
 {
@@ -82,6 +85,9 @@ class EventQueue
     /** Total number of events executed since construction. */
     std::uint64_t executedCount() const { return executed_; }
 
+    /** Cancelled entries still occupying heap slots (diagnostics). */
+    std::size_t tombstonesInHeap() const { return tombstoned_; }
+
   private:
     /** Lifecycle of an id in the state table. */
     enum class State : std::uint8_t
@@ -121,6 +127,9 @@ class EventQueue
      *  false when none remain. */
     bool peekNextTime(Tick &when);
 
+    /** Rebuild the heap without its tombstoned entries. */
+    void compact();
+
     /** Drop the top heap entry (its state already accounts for it). */
     void dropTop();
 
@@ -137,6 +146,7 @@ class EventQueue
     EventId nextId_ = 1;
     std::size_t live_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t tombstoned_ = 0; //!< cancelled entries still in heap_
 };
 
 } // namespace flep

@@ -1,0 +1,160 @@
+/** @file End-to-end macro-stepping equivalence on full co-runs.
+ *
+ * The macro-stepping fast path must be invisible in every experiment
+ * measurement: co-runs through the FLEP runtime (preemptions, share
+ * tracking, horizon stops) produce bit-identical results with the
+ * fast path enabled and disabled, for any batch thread count.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flep/experiment.hh"
+
+namespace flep
+{
+namespace
+{
+
+/** Neutralize the CI slow-path override for the comparison's sake. */
+class EnvGuard
+{
+  public:
+    EnvGuard()
+    {
+        const char *old = std::getenv(kVar);
+        had_ = old != nullptr;
+        if (had_)
+            saved_ = old;
+        ::unsetenv(kVar);
+    }
+
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(kVar, saved_.c_str(), 1);
+    }
+
+  private:
+    static constexpr const char *kVar = "FLEP_MACRO_MAX_CHUNKS";
+    bool had_ = false;
+    std::string saved_;
+};
+
+class MacroEquivalenceTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 30, 8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+        artifacts_ = nullptr;
+        suite_ = nullptr;
+    }
+
+    /**
+     * Figure 8-style pairs: a long low-priority kernel preempted by a
+     * short high-priority one, under both FLEP policies and several
+     * seeds; plus one horizon-limited FFS share-tracking co-run.
+     */
+    static std::vector<CoRunConfig>
+    figureEightBatch(long macro_budget)
+    {
+        std::vector<CoRunConfig> cfgs;
+        for (SchedulerKind kind :
+             {SchedulerKind::FlepHpf, SchedulerKind::FlepFfs}) {
+            for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+                CoRunConfig cfg;
+                cfg.gpu.macroStepMaxChunks = macro_budget;
+                cfg.scheduler = kind;
+                cfg.seed = seed * 31;
+                cfg.kernels = {
+                    {"PF", InputClass::Small, 0, 0, 1},
+                    {"VA", InputClass::Small, 5, 30000, 1}};
+                cfgs.push_back(cfg);
+            }
+        }
+        CoRunConfig ffs;
+        ffs.gpu.macroStepMaxChunks = macro_budget;
+        ffs.scheduler = SchedulerKind::FlepFfs;
+        ffs.seed = 77;
+        ffs.kernels = {{"NN", InputClass::Small, 2, 10000, -1},
+                       {"SPMV", InputClass::Small, 1, 10000, -1}};
+        ffs.horizonNs = 20 * ticksPerMs;
+        ffs.shareWindowNs = 5 * ticksPerMs;
+        cfgs.push_back(ffs);
+        return cfgs;
+    }
+
+    static void
+    expectIdentical(const CoRunResult &a, const CoRunResult &b)
+    {
+        ASSERT_EQ(a.invocations.size(), b.invocations.size());
+        for (std::size_t i = 0; i < a.invocations.size(); ++i) {
+            EXPECT_EQ(a.invocations[i].process,
+                      b.invocations[i].process);
+            EXPECT_EQ(a.invocations[i].finishTick,
+                      b.invocations[i].finishTick);
+            EXPECT_EQ(a.invocations[i].turnaroundNs(),
+                      b.invocations[i].turnaroundNs());
+        }
+        EXPECT_EQ(a.makespanNs, b.makespanNs);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_EQ(a.overallShare, b.overallShare);
+        EXPECT_EQ(a.shareSeries, b.shareSeries);
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *MacroEquivalenceTest::suite_ = nullptr;
+OfflineArtifacts *MacroEquivalenceTest::artifacts_ = nullptr;
+
+TEST_F(MacroEquivalenceTest, CoRunsBitIdenticalMacroOnVsOff)
+{
+    EnvGuard env;
+    for (int threads : {1, 4}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        const auto fast = runCoRunBatch(
+            *suite_, *artifacts_, figureEightBatch(256), threads);
+        const auto slow = runCoRunBatch(
+            *suite_, *artifacts_, figureEightBatch(0), threads);
+        ASSERT_EQ(fast.size(), slow.size());
+        for (std::size_t i = 0; i < fast.size(); ++i) {
+            SCOPED_TRACE("config " + std::to_string(i));
+            expectIdentical(fast[i], slow[i]);
+        }
+    }
+}
+
+TEST_F(MacroEquivalenceTest, SmallBudgetAlsoBitIdentical)
+{
+    // A budget of 1 opens and closes a window per chunk — maximal
+    // invalidation/chaining churn, same results.
+    EnvGuard env;
+    const auto tiny = runCoRunBatch(*suite_, *artifacts_,
+                                    figureEightBatch(1), 4);
+    const auto slow = runCoRunBatch(*suite_, *artifacts_,
+                                    figureEightBatch(0), 4);
+    ASSERT_EQ(tiny.size(), slow.size());
+    for (std::size_t i = 0; i < tiny.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        expectIdentical(tiny[i], slow[i]);
+    }
+}
+
+} // namespace
+} // namespace flep

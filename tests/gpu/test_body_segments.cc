@@ -1,0 +1,173 @@
+/** @file Mixed-residency time-quantum execution of task bodies.
+ *
+ * While an SM hosts CTAs of more than one kernel, chunks are simulated
+ * in contentionQuantumNs quanta so the contention factor can track the
+ * changing CTA mix. These tests pin down the accounting invariants of
+ * that path: per-exec busy intervals tile the chunk span contiguously
+ * (no gaps, no overlaps) and sum to exactly the reported busy slot
+ * time, whether the quantum is larger or smaller than a chunk.
+ */
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_device.hh"
+#include "sim/simulation.hh"
+
+namespace flep
+{
+namespace
+{
+
+KernelLaunchDesc
+halfSmDesc(const char *name, long tasks, double task_ns, int l)
+{
+    KernelLaunchDesc d;
+    d.name = name;
+    d.totalTasks = tasks;
+    // Half of tiny()'s 1024 threads per SM: exactly two CTAs fit, so
+    // one CTA of each kernel makes the residency mixed.
+    d.footprint = CtaFootprint{512, 32, 0};
+    d.cost = TaskCostModel(task_ns, 0.0);
+    d.contentionBeta = 0.1;
+    d.mode = ExecMode::Persistent;
+    d.amortizeL = l;
+    return d;
+}
+
+struct Interval
+{
+    Tick begin = 0;
+    Tick end = 0;
+};
+
+struct CoResidentRun
+{
+    std::vector<Interval> a, b;
+    Tick busyA = 0, busyB = 0;
+    long pollsA = 0, pollsB = 0;
+    Tick smBusy = 0;
+};
+
+/** Two one-CTA persistent kernels sharing tiny()'s single SM. */
+CoResidentRun
+runCoResident(double task_ns, Tick quantum_ns)
+{
+    Simulation sim(17);
+    GpuConfig cfg = GpuConfig::tiny();
+    cfg.numSms = 1;
+    cfg.contentionQuantumNs = quantum_ns;
+    // Keep the focus on the segment path itself; the macro engine has
+    // its own equivalence tests and never engages on mixed residency.
+    cfg.macroStepMaxChunks = 0;
+    GpuDevice gpu(sim, cfg);
+
+    auto ea = gpu.createExec(halfSmDesc("a", 64, task_ns, 4));
+    auto eb = gpu.createExec(halfSmDesc("b", 64, task_ns, 4));
+
+    CoResidentRun out;
+    gpu.onSlotBusyDetailed = [&](const KernelExec &e, SmId sm, Tick b,
+                                 Tick t) {
+        EXPECT_EQ(sm, 0);
+        (e.name() == "a" ? out.a : out.b).push_back(Interval{b, t});
+    };
+
+    gpu.launchWave(ea, 1, 0);
+    gpu.launchWave(eb, 1, 0);
+    sim.runUntil(1);
+    EXPECT_EQ(gpu.sm(0).residentCtas(), 2); // co-resident from the start
+    sim.run();
+
+    EXPECT_TRUE(ea->complete());
+    EXPECT_TRUE(eb->complete());
+    EXPECT_EQ(ea->tasksCompleted(), 64);
+    EXPECT_EQ(eb->tasksCompleted(), 64);
+    out.busyA = ea->busySlotTime();
+    out.busyB = eb->busySlotTime();
+    out.pollsA = ea->pollCount();
+    out.pollsB = eb->pollCount();
+    out.smBusy = gpu.smBusyNs(0);
+    return out;
+}
+
+/** Intervals must tile [first.begin, last.end] with no gap/overlap. */
+void
+expectContiguous(const std::vector<Interval> &iv, Tick total)
+{
+    ASSERT_FALSE(iv.empty());
+    Tick sum = 0;
+    for (std::size_t i = 0; i < iv.size(); ++i) {
+        EXPECT_LT(iv[i].begin, iv[i].end);
+        if (i > 0) {
+            EXPECT_EQ(iv[i].begin, iv[i - 1].end)
+                << "gap/overlap at interval " << i;
+        }
+        sum += iv[i].end - iv[i].begin;
+    }
+    EXPECT_EQ(sum, total);
+    EXPECT_EQ(iv.back().end - iv.front().begin, total);
+}
+
+TEST(BodySegments, QuantumLargerThanChunkIsOneEventPerChunk)
+{
+    // Chunk cost <= 4 * 500ns, far below the 10us quantum: even while
+    // mixed, every chunk is a single segment, so intervals == chunks
+    // (every poll but the final empty one launches a chunk).
+    const CoResidentRun r = runCoResident(500.0, 10000);
+    expectContiguous(r.a, r.busyA);
+    expectContiguous(r.b, r.busyB);
+    EXPECT_EQ(static_cast<long>(r.a.size()), r.pollsA - 1);
+    EXPECT_EQ(static_cast<long>(r.b.size()), r.pollsB - 1);
+    EXPECT_EQ(r.smBusy, r.busyA + r.busyB);
+}
+
+TEST(BodySegments, QuantumSmallerThanChunkSegmentsTheChunk)
+{
+    // Chunk cost ~4 * 20us against a 10us quantum: chunks split into
+    // multiple quanta while residency is mixed, yet the accounting
+    // still tiles exactly.
+    const CoResidentRun r = runCoResident(20000.0, 10000);
+    expectContiguous(r.a, r.busyA);
+    expectContiguous(r.b, r.busyB);
+    EXPECT_GT(static_cast<long>(r.a.size()), r.pollsA - 1);
+    EXPECT_GT(static_cast<long>(r.b.size()), r.pollsB - 1);
+    EXPECT_EQ(r.smBusy, r.busyA + r.busyB);
+}
+
+TEST(BodySegments, ZeroQuantumDisablesSegmentation)
+{
+    const CoResidentRun r = runCoResident(20000.0, 0);
+    expectContiguous(r.a, r.busyA);
+    expectContiguous(r.b, r.busyB);
+    EXPECT_EQ(static_cast<long>(r.a.size()), r.pollsA - 1);
+    EXPECT_EQ(static_cast<long>(r.b.size()), r.pollsB - 1);
+    EXPECT_EQ(r.smBusy, r.busyA + r.busyB);
+}
+
+TEST(BodySegments, SegmentedAndWholeChunkAccountingAgreeWhenUniform)
+{
+    // A solo kernel never segments (uniform residency), so the
+    // quantum setting must not change anything observable.
+    auto solo = [](Tick quantum) {
+        Simulation sim(23);
+        GpuConfig cfg = GpuConfig::tiny();
+        cfg.numSms = 1;
+        cfg.contentionQuantumNs = quantum;
+        cfg.macroStepMaxChunks = 0;
+        GpuDevice gpu(sim, cfg);
+        auto exec = gpu.createExec(halfSmDesc("s", 64, 20000.0, 4));
+        gpu.launch(exec, 0);
+        sim.run();
+        return std::make_tuple(exec->completionTick(),
+                               exec->busySlotTime(),
+                               exec->pollCount());
+    };
+    EXPECT_EQ(solo(10000), solo(0));
+    EXPECT_EQ(solo(1000), solo(0));
+}
+
+} // namespace
+} // namespace flep

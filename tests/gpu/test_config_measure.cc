@@ -45,6 +45,54 @@ TEST(GpuConfig, ValidateRejectsNonsense)
     cfg = GpuConfig::keplerK40();
     cfg.maxThreadsPerSm = -1;
     EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = GpuConfig::keplerK40();
+    cfg.origWaveTarget = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = GpuConfig::keplerK40();
+    cfg.macroStepMaxChunks = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(GpuConfig, CacheKeyCoversNewFields)
+{
+    const GpuConfig base = GpuConfig::keplerK40();
+    GpuConfig wave = base;
+    wave.origWaveTarget = 199;
+    GpuConfig macro = base;
+    macro.macroStepMaxChunks = 0;
+    EXPECT_NE(base.cacheKey(), wave.cacheKey());
+    EXPECT_NE(base.cacheKey(), macro.cacheKey());
+}
+
+TEST(GpuConfig, OrigWaveTargetDefaultReproducesLegacyTimings)
+{
+    // origWaveTarget was a hardcoded 200 before it became a config
+    // field; the default must reproduce the legacy Original-mode
+    // batching bit for bit, and other values must actually change it.
+    KernelLaunchDesc d;
+    d.name = "orig";
+    d.totalTasks = 60000; // > 120 slots * 200: batching kicks in
+    d.footprint = CtaFootprint{256, 32, 0};
+    d.cost = TaskCostModel(800.0, 0.1);
+    d.mode = ExecMode::Original;
+
+    const GpuConfig def = GpuConfig::keplerK40();
+    EXPECT_EQ(def.origWaveTarget, 200);
+    GpuConfig explicit200 = def;
+    explicit200.origWaveTarget = 200;
+    GpuConfig coarse = def;
+    coarse.origWaveTarget = 20;
+
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const auto a = soloRun(def, d, seed);
+        const auto b = soloRun(explicit200, d, seed);
+        EXPECT_EQ(a.durationNs, b.durationNs);
+        EXPECT_EQ(a.execNs, b.execNs);
+        EXPECT_EQ(a.busySlotNs, b.busySlotNs);
+        // A coarser wave target changes the CTA batching and with it
+        // the simulated timing.
+        EXPECT_NE(a.durationNs, soloRun(coarse, d, seed).durationNs);
+    }
 }
 
 TEST(Contention, LinearInResidency)

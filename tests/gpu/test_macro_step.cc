@@ -1,0 +1,380 @@
+/** @file Macro-stepped execution: fast path engages, and every
+ * observable is bit-identical to the per-chunk slow path.
+ *
+ * The macro-stepping engine coalesces persistent-CTA iterations into
+ * one event while an exec runs alone with no preemption pending. Its
+ * contract is strict: with any budget (including interruptions and
+ * mid-run reads), completion ticks, task counts, poll counts and
+ * busy-time accounting equal a run with the fast path disabled.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpu/gpu_device.hh"
+#include "sim/simulation.hh"
+
+namespace flep
+{
+namespace
+{
+
+/**
+ * Pin down the FLEP_MACRO_MAX_CHUNKS environment override for the
+ * duration of a test, so budgets set through GpuConfig take effect
+ * even when the suite runs under the CI slow-path job.
+ */
+class EnvGuard
+{
+  public:
+    explicit EnvGuard(const char *value = nullptr)
+    {
+        const char *old = std::getenv(kVar);
+        had_ = old != nullptr;
+        if (had_)
+            saved_ = old;
+        if (value == nullptr)
+            ::unsetenv(kVar);
+        else
+            ::setenv(kVar, value, 1);
+    }
+
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(kVar, saved_.c_str(), 1);
+        else
+            ::unsetenv(kVar);
+    }
+
+  private:
+    static constexpr const char *kVar = "FLEP_MACRO_MAX_CHUNKS";
+    bool had_ = false;
+    std::string saved_;
+};
+
+KernelLaunchDesc
+persistentDesc(long tasks, double task_ns, int l, double cv = 0.2,
+               double beta = 0.05)
+{
+    KernelLaunchDesc d;
+    d.name = "macro";
+    d.totalTasks = tasks;
+    d.footprint = CtaFootprint{256, 32, 0};
+    d.cost = TaskCostModel(task_ns, cv);
+    d.contentionBeta = beta;
+    d.mode = ExecMode::Persistent;
+    d.amortizeL = l;
+    return d;
+}
+
+/** Everything a solo run exposes, plus the engine statistics. */
+struct Observed
+{
+    Tick completionTick = 0;
+    long tasksCompleted = 0;
+    Tick busySlotNs = 0;
+    long polls = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t fastChunks = 0;
+    std::uint64_t slowChunks = 0;
+};
+
+Observed
+soloObserve(long budget, std::uint64_t seed, long tasks = 20000,
+            double task_ns = 1000.0, int l = 20, double cv = 0.2)
+{
+    Simulation sim(seed);
+    GpuConfig cfg = GpuConfig::keplerK40();
+    cfg.macroStepMaxChunks = budget;
+    GpuDevice gpu(sim, cfg);
+    auto exec = gpu.createExec(persistentDesc(tasks, task_ns, l, cv));
+    gpu.launch(exec, cfg.kernelLaunchNs);
+    sim.run();
+
+    Observed o;
+    o.completionTick = exec->completionTick();
+    o.tasksCompleted = exec->tasksCompleted();
+    o.busySlotNs = exec->busySlotTime();
+    o.polls = exec->pollCount();
+    o.eventsExecuted = sim.events().executedCount();
+    o.windows = gpu.macroEngine().windows();
+    o.fastChunks = gpu.macroEngine().fastChunks();
+    o.slowChunks = gpu.macroEngine().slowChunks();
+    return o;
+}
+
+void
+expectSameObservables(const Observed &a, const Observed &b)
+{
+    EXPECT_EQ(a.completionTick, b.completionTick);
+    EXPECT_EQ(a.tasksCompleted, b.tasksCompleted);
+    EXPECT_EQ(a.busySlotNs, b.busySlotNs);
+    EXPECT_EQ(a.polls, b.polls);
+}
+
+TEST(MacroStep, FastPathEngagesOnSoloPersistentRun)
+{
+    EnvGuard env;
+    const Observed o = soloObserve(256, 1);
+    EXPECT_GT(o.windows, 0u);
+    EXPECT_GT(o.fastChunks, 0u);
+    // A solo uniform run should coalesce the bulk of its chunks.
+    EXPECT_GT(o.fastChunks, o.slowChunks);
+}
+
+TEST(MacroStep, BudgetZeroKeepsEveryChunkOnTheSlowPath)
+{
+    EnvGuard env;
+    const Observed o = soloObserve(0, 1);
+    EXPECT_EQ(o.windows, 0u);
+    EXPECT_EQ(o.fastChunks, 0u);
+    EXPECT_GT(o.slowChunks, 0u);
+}
+
+TEST(MacroStep, SoloBitIdenticalAcrossBudgetsAndSeeds)
+{
+    EnvGuard env;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const Observed ref = soloObserve(0, seed);
+        for (long budget : {1L, 7L, 256L}) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + " budget " +
+                         std::to_string(budget));
+            expectSameObservables(soloObserve(budget, seed), ref);
+        }
+    }
+}
+
+TEST(MacroStep, UniformCostSoloBitIdentical)
+{
+    EnvGuard env;
+    // cv = 0 is bench_selfperf's primary coalescing workload: no RNG
+    // draws at all, so the virtual loop's boundary queue degenerates
+    // to pure FIFO appends. Equivalence must hold there too.
+    const Observed ref = soloObserve(0, 9, 20000, 1000.0, 20, 0.0);
+    for (long budget : {1L, 256L, 2048L}) {
+        SCOPED_TRACE("budget " + std::to_string(budget));
+        expectSameObservables(
+            soloObserve(budget, 9, 20000, 1000.0, 20, 0.0), ref);
+    }
+}
+
+TEST(MacroStep, CoalescingReducesEventCount)
+{
+    EnvGuard env;
+    const Observed slow = soloObserve(0, 5);
+    const Observed fast = soloObserve(256, 5);
+    expectSameObservables(fast, slow);
+    // The point of the exercise: far fewer events simulate the same
+    // run. The slow path fires one completion event per chunk.
+    EXPECT_LT(fast.eventsExecuted * 2, slow.eventsExecuted);
+}
+
+TEST(MacroStep, EnvOverrideForcesBudget)
+{
+    EnvGuard env("0");
+    const Observed o = soloObserve(256, 1, 4000);
+    EXPECT_EQ(o.windows, 0u);
+    EXPECT_EQ(o.fastChunks, 0u);
+}
+
+TEST(MacroStep, EnvOverrideRejectsGarbage)
+{
+    EnvGuard env("many");
+    Simulation sim(1);
+    EXPECT_THROW(GpuDevice(sim, GpuConfig::keplerK40()), FatalError);
+}
+
+/**
+ * Mirror of the preemption-safety harness, parameterized on the
+ * macro budget: preempt/resume `cycles` times and record everything
+ * observable at the end.
+ */
+Observed
+preemptResumeObserve(long budget, int cycles, long tasks,
+                     double task_ns, int l, std::uint64_t seed)
+{
+    Simulation sim(seed);
+    GpuConfig cfg = GpuConfig::keplerK40();
+    cfg.macroStepMaxChunks = budget;
+    GpuDevice gpu(sim, cfg);
+    auto d = persistentDesc(tasks, task_ns, l, 0.1);
+    auto exec = gpu.createExec(d);
+
+    int drains = 0;
+    exec->onDrained = [&](KernelExec &e, Tick) {
+        ++drains;
+        sim.events().scheduleAfter(20000, [&]() {
+            e.setFlag(sim.now(), 0);
+            gpu.launch(exec, cfg.kernelLaunchNs);
+        });
+    };
+    gpu.launch(exec, cfg.kernelLaunchNs);
+
+    std::function<void()> preempter = [&]() {
+        if (exec->complete() || drains >= cycles)
+            return;
+        if (exec->activeCtas() > 0 && exec->flagHostValue() == 0)
+            exec->setFlag(sim.now(), cfg.numSms);
+        sim.events().scheduleAfter(100000, preempter);
+    };
+    sim.events().scheduleAfter(20000, preempter);
+
+    sim.run();
+    EXPECT_TRUE(exec->complete());
+    EXPECT_GE(drains, 1);
+
+    Observed o;
+    o.completionTick = exec->completionTick();
+    o.tasksCompleted = exec->tasksCompleted();
+    o.busySlotNs = exec->busySlotTime();
+    o.polls = exec->pollCount();
+    o.windows = gpu.macroEngine().windows();
+    o.fastChunks = gpu.macroEngine().fastChunks();
+    return o;
+}
+
+TEST(MacroStep, PreemptResumeCyclesBitIdentical)
+{
+    EnvGuard env;
+    for (std::uint64_t seed : {42u, 43u, 44u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const Observed slow =
+            preemptResumeObserve(0, 3, 30000, 800.0, 20, seed);
+        const Observed fast =
+            preemptResumeObserve(256, 3, 30000, 800.0, 20, seed);
+        expectSameObservables(fast, slow);
+        // The flag writes interrupt windows mid-flight; the fast path
+        // must still engage between preemptions.
+        EXPECT_GT(fast.windows, 0u);
+    }
+}
+
+/** Spatial yield with mid-run state reads, budget-parameterized. */
+struct SpatialObserved
+{
+    std::vector<int> residentAfterYield;
+    long completedAfterYield = 0;
+    Tick busyAfterYield = 0;
+    Tick completionTick = 0;
+    long polls = 0;
+};
+
+SpatialObserved
+spatialYieldObserve(long budget, std::uint64_t seed)
+{
+    Simulation sim(seed);
+    GpuConfig cfg = GpuConfig::keplerK40();
+    cfg.macroStepMaxChunks = budget;
+    GpuDevice gpu(sim, cfg);
+    auto exec = gpu.createExec(persistentDesc(200000, 1000.0, 20, 0.1));
+    gpu.launch(exec, 0);
+    sim.runUntil(200000);
+
+    exec->setFlag(sim.now(), 4); // yield SMs 0..3
+    sim.runUntil(sim.now() + 400000);
+
+    SpatialObserved o;
+    for (SmId s = 0; s < cfg.numSms; ++s)
+        o.residentAfterYield.push_back(gpu.sm(s).residentCtas());
+    o.completedAfterYield = exec->tasksCompleted();
+    o.busyAfterYield = exec->busySlotTime();
+
+    sim.run();
+    EXPECT_TRUE(exec->complete());
+    o.completionTick = exec->completionTick();
+    o.polls = exec->pollCount();
+    return o;
+}
+
+TEST(MacroStep, SpatialYieldBitIdentical)
+{
+    EnvGuard env;
+    const SpatialObserved slow = spatialYieldObserve(0, 7);
+    const SpatialObserved fast = spatialYieldObserve(256, 7);
+    EXPECT_EQ(fast.residentAfterYield, slow.residentAfterYield);
+    EXPECT_EQ(fast.completedAfterYield, slow.completedAfterYield);
+    EXPECT_EQ(fast.busyAfterYield, slow.busyAfterYield);
+    EXPECT_EQ(fast.completionTick, slow.completionTick);
+    EXPECT_EQ(fast.polls, slow.polls);
+    for (SmId s = 0; s < 4; ++s)
+        EXPECT_EQ(slow.residentAfterYield[static_cast<std::size_t>(s)],
+                  0);
+}
+
+TEST(MacroStep, MidRunReadsMatchSlowPath)
+{
+    // runUntil() can stop inside an open window; sync-on-read getters
+    // must report exactly what the slow path would have by that tick.
+    EnvGuard env;
+    auto probe = [](long budget) {
+        Simulation sim(11);
+        GpuConfig cfg = GpuConfig::keplerK40();
+        cfg.macroStepMaxChunks = budget;
+        GpuDevice gpu(sim, cfg);
+        auto exec =
+            gpu.createExec(persistentDesc(40000, 1500.0, 25));
+        gpu.launch(exec, cfg.kernelLaunchNs);
+        std::vector<std::tuple<long, long, Tick, long>> samples;
+        for (Tick t = 50000; t <= 1000000; t += 50000) {
+            sim.runUntil(t);
+            samples.emplace_back(exec->tasksCompleted(),
+                                 exec->tasksUnclaimed(),
+                                 exec->busySlotTime(),
+                                 exec->pollCount());
+        }
+        sim.run();
+        samples.emplace_back(exec->tasksCompleted(), 0,
+                             exec->busySlotTime(), exec->pollCount());
+        return samples;
+    };
+    EXPECT_EQ(probe(256), probe(0));
+}
+
+TEST(MacroStep, BusyIntervalStreamIsIdentical)
+{
+    // Deferred accounting must deliver the exact interval sequence the
+    // slow path reports, not just matching totals.
+    EnvGuard env;
+    auto intervals = [](long budget) {
+        Simulation sim(13);
+        GpuConfig cfg = GpuConfig::keplerK40();
+        cfg.macroStepMaxChunks = budget;
+        GpuDevice gpu(sim, cfg);
+        std::vector<std::tuple<SmId, Tick, Tick>> out;
+        gpu.onSlotBusyDetailed = [&](const KernelExec &, SmId sm,
+                                     Tick b, Tick e) {
+            out.emplace_back(sm, b, e);
+        };
+        auto exec = gpu.createExec(persistentDesc(8000, 2000.0, 10));
+        gpu.launch(exec, cfg.kernelLaunchNs);
+        sim.run();
+        return out;
+    };
+    EXPECT_EQ(intervals(256), intervals(0));
+}
+
+TEST(MacroStep, TinyKernelsAndOddBudgetsStayIdentical)
+{
+    // Edge geometry: fewer tasks than CTA slots, L larger than the
+    // whole kernel, budget smaller than the wave.
+    EnvGuard env;
+    for (long tasks : {1L, 7L, 120L, 121L}) {
+        for (long budget : {1L, 3L, 256L}) {
+            SCOPED_TRACE("tasks " + std::to_string(tasks) +
+                         " budget " + std::to_string(budget));
+            const Observed ref = soloObserve(0, 31, tasks, 500.0, 50);
+            expectSameObservables(
+                soloObserve(budget, 31, tasks, 500.0, 50), ref);
+        }
+    }
+}
+
+} // namespace
+} // namespace flep

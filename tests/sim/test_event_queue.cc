@@ -237,6 +237,51 @@ TEST(EventQueue, StressRandomCancellations)
         EXPECT_FALSE(q.deschedule(id));
 }
 
+TEST(EventQueue, CompactionEvictsTombstoneBuildup)
+{
+    // Cancel-heavy workloads (macro-step window invalidation) must
+    // not accumulate tombstones: once cancelled entries both exceed
+    // 64 and outnumber live ones, the heap compacts.
+    EventQueue q;
+    std::vector<EventId> ids;
+    int fired = 0;
+    for (int i = 0; i < 200; ++i) {
+        ids.push_back(q.schedule(static_cast<Tick>(1000 + i),
+                                 [&fired]() { ++fired; }));
+    }
+    for (int i = 0; i < 150; ++i)
+        q.deschedule(ids[static_cast<std::size_t>(i)]);
+    EXPECT_LE(q.tombstonesInHeap(), 50u); // live == 50 after compaction
+    EXPECT_EQ(q.pendingCount(), 50u);
+    q.run();
+    EXPECT_EQ(fired, 50);
+    EXPECT_EQ(q.executedCount(), 50u);
+}
+
+TEST(EventQueue, CompactionPreservesFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> cancel;
+    // 100 same-tick events; cancel every other one (plus enough
+    // filler to trip the compaction threshold), and the survivors
+    // must still run in scheduling order.
+    for (int i = 0; i < 100; ++i) {
+        const EventId id =
+            q.schedule(10, [&order, i]() { order.push_back(i); });
+        if (i % 2 == 1)
+            cancel.push_back(id);
+    }
+    for (int i = 0; i < 80; ++i)
+        cancel.push_back(q.schedule(20, []() {}));
+    for (EventId id : cancel)
+        q.deschedule(id);
+    q.run();
+    ASSERT_EQ(order.size(), 50u);
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LT(order[i - 1], order[i]);
+}
+
 TEST(EventQueue, StressManyEventsStayOrdered)
 {
     EventQueue q;
