@@ -13,7 +13,7 @@
  *     wall milliseconds plus the resulting speedup.
  *
  * JSON schema (all numbers):
- *   schema_version        3
+ *   schema_version        4
  *   events_per_sec        event-queue micro throughput
  *   sweep_cells           configs in the sweep (pairs x schedulers)
  *   sweep_reps            repetitions per config (FLEP_REPS)
@@ -21,14 +21,29 @@
  *   sweep_parallel_ms     wall time, `threads` workers
  *   threads               parallel worker count (FLEP_THREADS or
  *                         hardware concurrency)
+ *   hardware_concurrency  std::thread::hardware_concurrency() on the
+ *                         machine that produced the numbers, so a
+ *                         parallel_speedup near 1 on a 1-core runner
+ *                         is legible as a machine limit
  *   parallel_speedup      sweep_serial_ms / sweep_parallel_ms
- *   trace_off_ms          serial sweep, tracing disabled
- *                         (= sweep_serial_ms)
+ *   trace_off_ms          serial sweep, tracing disabled (min over
+ *                         the timing passes, see below)
  *   trace_on_ms           the same serial sweep recording into
- *                         in-memory trace recorders
+ *                         in-memory binary-backend trace recorders
  *   trace_overhead_pct    100 * (trace_on / trace_off - 1)
  *   trace_events          events recorded across the traced sweep
  *   trace_events_per_sec  trace_events / trace_on seconds
+ *
+ * Added in schema 4 — the binary ring-buffer trace backend. The sweep
+ * is additionally traced through the record-time-formatting legacy
+ * backend; both backends must record the identical event count (they
+ * share one typed front end), and the two overhead numbers quantify
+ * what deferring the formatting buys:
+ *   trace_legacy_on_ms        traced serial sweep, legacy backend
+ *   trace_legacy_overhead_pct 100 * (legacy_on / trace_off - 1)
+ * The three tracing walls (off, binary, legacy) are each the minimum
+ * over five passes of the identical deterministic sweep, so a noise
+ * spike on one pass cannot masquerade as tracing overhead.
  *
  * Added in schema 3 — macro-stepped persistent execution, measured on
  * a solo persistent kernel run with the fast path off and on (results
@@ -56,6 +71,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <thread>
 #include <vector>
 
 #include "common/bench_util.hh"
@@ -276,34 +292,74 @@ main()
                 speedup);
 
     // Tracing overhead: the identical serial sweep, each run recording
-    // into its own in-memory recorder (the tracing-off reference is
-    // the serial pass above). This is the number the "tracing must be
-    // cheap when off, affordable when on" goal is judged by.
-    std::vector<CoRunConfig> traced(runs);
-    std::deque<TraceRecorder> recorders;
-    for (auto &run : traced) {
-        recorders.emplace_back();
-        run.tracer = &recorders.back();
+    // into its own in-memory recorder. This is the number the "tracing
+    // must be cheap when off, affordable when on" goal is judged by.
+    // The same sweep then runs through the legacy record-time-
+    // formatting backend: its overhead shows what the binary hot path
+    // saves, and its event counts must match exactly (shared typed
+    // front end). Every mode is timed as the min over kTracePasses
+    // passes — the sweeps are deterministic, so any pass-to-pass
+    // spread is scheduler noise and the minimum is the real cost
+    // (single-pass deltas on a busy 1-core runner swing tens of
+    // percent either way).
+    constexpr int kTracePasses = 5;
+    auto tracedSweep = [&](TraceBackend backend, double &ms,
+                           std::size_t &events) {
+        ms = 1e300;
+        for (int pass = 0; pass < kTracePasses; ++pass) {
+            std::vector<CoRunConfig> traced(runs);
+            std::deque<TraceRecorder> recorders;
+            for (auto &run : traced) {
+                recorders.emplace_back(backend);
+                run.tracer = &recorders.back();
+            }
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto res =
+                runCoRunBatch(env.suite(), env.artifacts(), traced, 1);
+            ms = std::min(ms, wallMs(t0));
+            for (std::size_t i = 0; i < serial.size(); ++i) {
+                if (serial[i].makespanNs != res[i].makespanNs)
+                    fatal("traced batch diverged from serial at run ",
+                          i);
+            }
+            events = 0;
+            for (const auto &tr : recorders)
+                events += tr.eventCount();
+        }
+    };
+
+    double trace_off_ms = serial_ms;
+    for (int pass = 1; pass < kTracePasses; ++pass) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res =
+            runCoRunBatch(env.suite(), env.artifacts(), runs, 1);
+        trace_off_ms = std::min(trace_off_ms, wallMs(t0));
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            if (serial[i].makespanNs != res[i].makespanNs)
+                fatal("untraced re-run diverged from serial at run ",
+                      i);
+        }
     }
-    const auto t_traced = std::chrono::steady_clock::now();
-    const auto traced_res =
-        runCoRunBatch(env.suite(), env.artifacts(), traced, 1);
-    const double traced_ms = wallMs(t_traced);
-    for (std::size_t i = 0; i < serial.size(); ++i) {
-        if (serial[i].makespanNs != traced_res[i].makespanNs)
-            fatal("traced batch diverged from serial at run ", i);
+
+    double traced_ms = 0.0, legacy_ms = 0.0;
+    std::size_t trace_events = 0, legacy_events = 0;
+    tracedSweep(TraceBackend::Binary, traced_ms, trace_events);
+    tracedSweep(TraceBackend::Legacy, legacy_ms, legacy_events);
+    if (trace_events != legacy_events) {
+        fatal("binary backend recorded ", trace_events,
+              " events but the legacy backend recorded ",
+              legacy_events);
     }
-    std::size_t trace_events = 0;
-    for (const auto &tr : recorders)
-        trace_events += tr.eventCount();
     const double trace_overhead_pct =
-        (traced_ms / serial_ms - 1.0) * 100.0;
+        (traced_ms / trace_off_ms - 1.0) * 100.0;
+    const double legacy_overhead_pct =
+        (legacy_ms / trace_off_ms - 1.0) * 100.0;
     const double trace_events_per_sec =
         static_cast<double>(trace_events) / (traced_ms / 1000.0);
-    std::printf("tracing: off %.0f ms, on %.0f ms (%+.1f%%), "
-                "%zu events\n",
-                serial_ms, traced_ms, trace_overhead_pct,
-                trace_events);
+    std::printf("tracing: off %.0f ms, binary %.0f ms (%+.1f%%), "
+                "legacy %.0f ms (%+.1f%%), %zu events\n",
+                trace_off_ms, traced_ms, trace_overhead_pct, legacy_ms,
+                legacy_overhead_pct, trace_events);
 
     const char *out = std::getenv("FLEP_SELFPERF_OUT");
     const char *path = out != nullptr ? out : "BENCH_selfperf.json";
@@ -314,17 +370,20 @@ main()
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 3,\n"
+                 "  \"schema_version\": 4,\n"
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"sweep_cells\": %zu,\n"
                  "  \"sweep_reps\": %d,\n"
                  "  \"sweep_serial_ms\": %.1f,\n"
                  "  \"sweep_parallel_ms\": %.1f,\n"
                  "  \"threads\": %d,\n"
+                 "  \"hardware_concurrency\": %u,\n"
                  "  \"parallel_speedup\": %.3f,\n"
                  "  \"trace_off_ms\": %.1f,\n"
                  "  \"trace_on_ms\": %.1f,\n"
                  "  \"trace_overhead_pct\": %.2f,\n"
+                 "  \"trace_legacy_on_ms\": %.1f,\n"
+                 "  \"trace_legacy_overhead_pct\": %.2f,\n"
                  "  \"trace_events\": %zu,\n"
                  "  \"trace_events_per_sec\": %.0f,\n"
                  "  \"solo_macro_off_ms\": %.1f,\n"
@@ -340,8 +399,10 @@ main()
                  "  \"macro_hit_rate\": %.4f\n"
                  "}\n",
                  ev_per_sec, cells.size(), env.reps(), serial_ms,
-                 parallel_ms, env.threads(), speedup, serial_ms,
-                 traced_ms, trace_overhead_pct, trace_events,
+                 parallel_ms, env.threads(),
+                 std::thread::hardware_concurrency(), speedup,
+                 trace_off_ms, traced_ms, trace_overhead_pct, legacy_ms,
+                 legacy_overhead_pct, trace_events,
                  trace_events_per_sec, solo_off.ms, solo_on.ms,
                  solo_speedup,
                  static_cast<unsigned long long>(solo_off.simEvents),

@@ -79,7 +79,8 @@ repConfig(const CoRunConfig &cfg, int r)
  * FLEP_TRACE=<path>: record one co-run of this bench process — the
  * first FLEP (HPF/FFS) config of the first batch, because those
  * exercise the preemption path, falling back to the first config —
- * and write its Chrome trace-event JSON to <path>.
+ * and write its trace to <path> (.flepbin selects the binary format,
+ * anything else Chrome trace-event JSON).
  */
 void
 attachTraceFromEnv(std::vector<CoRunConfig> &cfgs)

@@ -15,9 +15,11 @@
  *                 the serial execution exactly).
  *   FLEP_TRACE    when set to a path, record one co-run of the first
  *                 batch (preferring a FLEP-scheduled config, whose
- *                 trace shows the preemption path) and write it as
- *                 Chrome trace-event JSON, loadable in Perfetto or
- *                 chrome://tracing.
+ *                 trace shows the preemption path). A .flepbin suffix
+ *                 writes the compact binary format (convert with
+ *                 `fleptrace --to-json=<file>`, see docs/tracing.md);
+ *                 any other suffix writes Chrome trace-event JSON,
+ *                 loadable in Perfetto or chrome://tracing.
  *
  * Results are independent of FLEP_THREADS: every simulation derives
  * its randomness from its own seed, so a parallel sweep is

@@ -91,6 +91,17 @@ ClusterScheduler::ClusterScheduler(Simulation &sim,
         tr->setThreadName(TraceRecorder::pidCluster, 0, "scheduler");
     }
 
+    // Steady state keeps roughly one in-flight event per resident CTA
+    // slot per device, plus the job arrival timers; a single reserve
+    // here beats the per-device reserves (reserve never shrinks, so
+    // the largest request wins).
+    sim.events().reserve(
+        static_cast<std::size_t>(cfg_.devices) *
+            (static_cast<std::size_t>(cfg_.gpu.numSms) *
+                 static_cast<std::size_t>(cfg_.gpu.maxCtasPerSm) +
+             256) +
+        cfg_.jobs.size());
+
     FlepRuntimeConfig rcfg;
     rcfg.models = artifacts.models;
     rcfg.overheads = artifacts.overheads;
@@ -146,8 +157,12 @@ void
 ClusterScheduler::traceQueueDepth()
 {
     if (TraceRecorder *tr = sim_.tracer()) {
-        tr->counter(TraceRecorder::pidCluster, 0, "cluster-queue-depth",
-                    static_cast<double>(queue_.size()));
+        if (queueDepthCounter_ == TraceRecorder::invalidCounter) {
+            queueDepthCounter_ = tr->counterTrack(
+                TraceRecorder::pidCluster, 0, "cluster-queue-depth");
+        }
+        tr->counterSample(queueDepthCounter_,
+                          static_cast<double>(queue_.size()));
     }
 }
 
@@ -156,10 +171,11 @@ ClusterScheduler::submit(const ClusterJob &job)
 {
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(TraceRecorder::pidCluster, 0, "cluster:submit",
-                    format("\"job\":%d,\"workload\":\"%s\","
-                           "\"priority\":%d,\"slo_ns\":%llu",
-                           job.id, job.workload.c_str(), job.priority,
-                           static_cast<unsigned long long>(job.sloNs)));
+                    {{"job", job.id},
+                     {"workload", job.workload},
+                     {"priority", job.priority},
+                     {"slo_ns",
+                      static_cast<unsigned long long>(job.sloNs)}});
     }
     queue_.push(job);
     traceQueueDepth();
@@ -238,17 +254,17 @@ ClusterScheduler::place(const ClusterJob &job,
     TraceRecorder *tr = sim_.tracer();
     if (tr != nullptr) {
         tr->instant(TraceRecorder::pidCluster, 0, "cluster:place",
-                    format("\"job\":%d,\"device\":%d,\"preempts\":%s,"
-                           "\"queue_ns\":%llu",
-                           job.id, dec.device,
-                           dec.preempts ? "true" : "false",
-                           static_cast<unsigned long long>(
-                               out.queueDelayNs())));
+                    {{"job", job.id},
+                     {"device", dec.device},
+                     {"preempts", dec.preempts},
+                     {"queue_ns", static_cast<unsigned long long>(
+                                      out.queueDelayNs())}});
         if (dec.preempts) {
-            tr->instant(
-                TraceRecorder::pidCluster, 0, "cluster:preempt",
-                format("\"job\":%d,\"device\":%d,\"priority\":%d",
-                       job.id, dec.device, job.priority));
+            tr->instant(TraceRecorder::pidCluster, 0,
+                        "cluster:preempt",
+                        {{"job", job.id},
+                         {"device", dec.device},
+                         {"priority", job.priority}});
         }
     }
 
@@ -311,11 +327,10 @@ ClusterScheduler::jobFinished(int job_id, Tick now)
     dev.residentJobs.erase(pos);
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(TraceRecorder::pidCluster, 0, "cluster:finish",
-                    format("\"job\":%d,\"device\":%d,"
-                           "\"turnaround_ns\":%llu",
-                           job_id, out.device,
-                           static_cast<unsigned long long>(
-                               out.turnaroundNs())));
+                    {{"job", job_id},
+                     {"device", out.device},
+                     {"turnaround_ns", static_cast<unsigned long long>(
+                                           out.turnaroundNs())}});
     }
     // A slot just freed; the queue head may fit now.
     tryDispatch();
@@ -383,7 +398,7 @@ runCluster(const BenchmarkSuite &suite,
     ClusterResult result = cluster.collect();
 
     if (tracer != nullptr && !cfg.tracePath.empty()) {
-        if (!tracer->writeJsonFile(cfg.tracePath)) {
+        if (!writeTraceFile(*tracer, cfg.tracePath)) {
             warn("could not write trace to ", cfg.tracePath);
         } else {
             inform("wrote ", tracer->eventCount(), " trace events to ",

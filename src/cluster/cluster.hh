@@ -32,6 +32,7 @@
 #include "common/thread_pool.hh"
 #include "flep/experiment.hh"
 #include "gpu/gpu_config.hh"
+#include "obs/trace_recorder.hh"
 #include "runtime/ffs.hh"
 #include "runtime/hpf.hh"
 #include "sim/sim_object.hh"
@@ -207,6 +208,9 @@ class ClusterScheduler : public SimObject
     std::vector<int> remainingInvocations_;
     long placements_ = 0;
     long preemptivePlacements_ = 0;
+    /** Pre-resolved "cluster-queue-depth" counter track (lazy). */
+    TraceRecorder::CounterHandle queueDepthCounter_ =
+        TraceRecorder::invalidCounter;
 };
 
 /** Run one cluster experiment. */

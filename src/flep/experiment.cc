@@ -265,7 +265,7 @@ runCoRun(const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
         result.preemptions = flep_runtime->preemptionsSignalled();
 
     if (tracer != nullptr && !cfg.tracePath.empty()) {
-        if (!tracer->writeJsonFile(cfg.tracePath)) {
+        if (!writeTraceFile(*tracer, cfg.tracePath)) {
             warn("could not write trace to ", cfg.tracePath);
         } else {
             inform("wrote ", tracer->eventCount(), " trace events to ",

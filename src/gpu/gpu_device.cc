@@ -55,6 +55,13 @@ GpuDevice::GpuDevice(Simulation &sim, GpuConfig cfg, int device_index)
     sms_.reserve(static_cast<std::size_t>(cfg_.numSms));
     for (SmId id = 0; id < cfg_.numSms; ++id)
         sms_.emplace_back(id, cfg_);
+    // Steady state keeps roughly one in-flight event per resident CTA
+    // slot; pre-size the event heap so the first launch wave does not
+    // pay vector regrowth.
+    sim_.events().reserve(
+        static_cast<std::size_t>(cfg_.numSms) *
+            static_cast<std::size_t>(cfg_.maxCtasPerSm) +
+        256);
     smResidents_.resize(static_cast<std::size_t>(cfg_.numSms));
     smBusyNs_.assign(static_cast<std::size_t>(cfg_.numSms), 0);
 

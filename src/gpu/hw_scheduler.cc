@@ -22,8 +22,8 @@ HwScheduler::enqueue(std::shared_ptr<KernelExec> exec, long ctas)
     fifo_.push_back(Batch{std::move(exec), ctas});
     if (TraceRecorder *tr = dev_.sim().tracer()) {
         tr->instant(dev_.tracePid(), 0, "hw-enqueue",
-                    format("\"kernel\":\"%s\",\"ctas\":%ld",
-                           fifo_.back().exec->name().c_str(), ctas));
+                    {{"kernel", fifo_.back().exec->name()},
+                     {"ctas", ctas}});
     }
     tryDispatch();
 }
@@ -55,8 +55,12 @@ HwScheduler::tryDispatch()
     dispatching_ = false;
 
     if (TraceRecorder *tr = dev_.sim().tracer()) {
-        tr->counter(dev_.tracePid(), 0, "hw-fifo-undispatched",
-                    static_cast<double>(totalUndispatched()));
+        if (fifoCounter_ == TraceRecorder::invalidCounter) {
+            fifoCounter_ = tr->counterTrack(dev_.tracePid(), 0,
+                                            "hw-fifo-undispatched");
+        }
+        tr->counterSample(fifoCounter_,
+                          static_cast<double>(totalUndispatched()));
     }
 }
 

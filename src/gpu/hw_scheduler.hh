@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "common/types.hh"
+#include "obs/trace_recorder.hh"
 
 namespace flep
 {
@@ -64,6 +65,9 @@ class HwScheduler
     GpuDevice &dev_;
     std::deque<Batch> fifo_;
     bool dispatching_ = false;
+    /** Pre-resolved "hw-fifo-undispatched" depth track (lazy). */
+    TraceRecorder::CounterHandle fifoCounter_ =
+        TraceRecorder::invalidCounter;
 };
 
 } // namespace flep

@@ -19,8 +19,9 @@ Sm::attachTracer(TraceRecorder *tracer, int pid,
                  const char *counter_name)
 {
     tracer_ = tracer;
-    tracerPid_ = pid;
-    tracerCounterName_ = counter_name;
+    tracerCounter_ = tracer != nullptr
+        ? tracer->counterTrack(pid, id_, counter_name)
+        : TraceRecorder::invalidCounter;
 }
 
 bool
@@ -42,10 +43,8 @@ Sm::acquire(const CtaFootprint &fp)
     usedRegs_ += static_cast<long>(fp.threads) * fp.regsPerThread;
     usedSmem_ += fp.smemBytes;
     ++residencyEpoch_;
-    if (tracer_ != nullptr) {
-        tracer_->counter(tracerPid_, id_, tracerCounterName_,
-                         usedCtas_);
-    }
+    if (tracer_ != nullptr)
+        tracer_->counterSample(tracerCounter_, usedCtas_);
 }
 
 void
@@ -59,10 +58,8 @@ Sm::release(const CtaFootprint &fp)
     FLEP_ASSERT(usedCtas_ >= 0 && usedThreads_ >= 0 && usedRegs_ >= 0 &&
                 usedSmem_ >= 0,
                 "resource release underflow on sm ", id_);
-    if (tracer_ != nullptr) {
-        tracer_->counter(tracerPid_, id_, tracerCounterName_,
-                         usedCtas_);
-    }
+    if (tracer_ != nullptr)
+        tracer_->counterSample(tracerCounter_, usedCtas_);
 }
 
 } // namespace flep

@@ -11,11 +11,10 @@
 #include "common/types.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/occupancy.hh"
+#include "obs/trace_recorder.hh"
 
 namespace flep
 {
-
-class TraceRecorder;
 
 /**
  * Tracks the threads, registers, shared memory and CTA slots in use on
@@ -32,7 +31,8 @@ class Sm
      * Attach an occupancy counter track: every acquire/release emits
      * the resident-CTA count under `counter_name` (an interned or
      * static string) on track group `pid` (the owning device's trace
-     * pid). Pass nullptr to detach.
+     * pid). The track is resolved once here, so the per-CTA samples
+     * skip the name/track lookup entirely. Pass nullptr to detach.
      */
     void attachTracer(TraceRecorder *tracer, int pid,
                       const char *counter_name);
@@ -81,8 +81,8 @@ class Sm
     std::uint64_t residencyEpoch_ = 0;
 
     TraceRecorder *tracer_ = nullptr;
-    int tracerPid_ = 0;
-    const char *tracerCounterName_ = nullptr;
+    TraceRecorder::CounterHandle tracerCounter_ =
+        TraceRecorder::invalidCounter;
 };
 
 } // namespace flep

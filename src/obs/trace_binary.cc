@@ -1,0 +1,421 @@
+/**
+ * @file
+ * The versioned on-disk binary trace format (`.flepbin`).
+ *
+ * Layout (all integers little-endian; see docs/tracing.md for the
+ * full specification and the compatibility policy):
+ *
+ *   magic    8 bytes  "FLEPBIN\0"
+ *   version  u32      kFlepbinVersion
+ *   flags    u32      reserved, zero
+ *   string table      u64 count; per entry u32 len + bytes
+ *   track table       u64 count; per entry i32 pid, i32 tid,
+ *                     u16 nameId (0xffff for span/instant tracks),
+ *                     u8 isCounter, u8 pad
+ *   base cursors      u64 count; per entry u32 track, u64 tick
+ *                     (per-track tick state at the ring floor; empty
+ *                     unless ring eviction dropped records)
+ *   process names     u64 count; per entry i32 pid, u32 len + bytes
+ *   thread names      u64 count; per entry i32 pid, i32 tid,
+ *                     u32 len + bytes
+ *   args              u64 totalCount, u64 floor; then
+ *                     (totalCount - floor) entries of
+ *                     u64 bits, u16 key, u8 kind (11 bytes each)
+ *   records           u64 totalCount, u64 floor; then
+ *                     (totalCount - floor) entries of
+ *                     u64 tickDelta, u64 payload, u32 track,
+ *                     u16 name, u8 ph (23 bytes each)
+ *
+ * A record's payload word is the raw bits of the counter value for
+ * ph == 'C', else (argCount << 32) | argOffset. Arg/record indices in
+ * the file are absolute (pre-floor), so offsets decode unchanged.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/trace_recorder.hh"
+
+namespace flep
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'F', 'L', 'E', 'P', 'B', 'I', 'N', '\0'};
+constexpr std::uint32_t kFlepbinVersion = 1;
+
+// --- little-endian primitives over iostreams ------------------------
+
+void
+putBytes(std::ostream &os, const void *p, std::size_t n)
+{
+    os.write(static_cast<const char *>(p),
+             static_cast<std::streamsize>(n));
+}
+
+template <typename T>
+void
+putLe(std::ostream &os, T v)
+{
+    unsigned char buf[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        buf[i] = static_cast<unsigned char>(
+            static_cast<std::uint64_t>(v) >> (8 * i));
+    putBytes(os, buf, sizeof(T));
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    putLe<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+    putBytes(os, s.data(), s.size());
+}
+
+bool
+getBytes(std::istream &is, void *p, std::size_t n)
+{
+    is.read(static_cast<char *>(p), static_cast<std::streamsize>(n));
+    return static_cast<bool>(is);
+}
+
+template <typename T>
+bool
+getLe(std::istream &is, T &v)
+{
+    unsigned char buf[sizeof(T)];
+    if (!getBytes(is, buf, sizeof(T)))
+        return false;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        acc |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    v = static_cast<T>(acc);
+    return true;
+}
+
+bool
+getString(std::istream &is, std::string &s, std::uint32_t max_len)
+{
+    std::uint32_t len = 0;
+    if (!getLe(is, len) || len > max_len)
+        return false;
+    s.resize(len);
+    return len == 0 || getBytes(is, s.data(), len);
+}
+
+/** Sanity ceiling on per-string length: trace names are short. */
+constexpr std::uint32_t kMaxStringLen = 1u << 20;
+
+} // namespace
+
+bool
+TraceRecorder::writeBinFile(const std::string &path) const
+{
+    if (backend_ != TraceBackend::Binary) {
+        warn("writeBinFile: recorder uses the legacy backend; "
+             "no binary store to serialize");
+        return false;
+    }
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+
+    putBytes(os, kMagic, sizeof(kMagic));
+    putLe<std::uint32_t>(os, kFlepbinVersion);
+    putLe<std::uint32_t>(os, 0); // flags
+
+    putLe<std::uint64_t>(os, nameTable_.size());
+    for (const std::string &name : nameTable_)
+        putString(os, name);
+
+    putLe<std::uint64_t>(os, tracks_.size());
+    for (const Track &t : tracks_) {
+        putLe<std::int32_t>(os, t.pid);
+        putLe<std::int32_t>(os, t.tid);
+        putLe<std::uint16_t>(os, t.nameId);
+        putLe<std::uint8_t>(os, t.isCounter ? 1 : 0);
+        putLe<std::uint8_t>(os, 0);
+    }
+
+    putLe<std::uint64_t>(os, baseCursors_.size());
+    for (const auto &[track, tick] : baseCursors_) {
+        putLe<std::uint32_t>(os, track);
+        putLe<std::uint64_t>(os, tick);
+    }
+
+    putLe<std::uint64_t>(os, processNames_.size());
+    for (const auto &[pid, name] : processNames_) {
+        putLe<std::int32_t>(os, pid);
+        putString(os, name);
+    }
+
+    putLe<std::uint64_t>(os, threadNames_.size());
+    for (const auto &[key, name] : threadNames_) {
+        putLe<std::int32_t>(os, key.first);
+        putLe<std::int32_t>(os, key.second);
+        putString(os, name);
+    }
+
+    putLe<std::uint64_t>(os, argCount_);
+    putLe<std::uint64_t>(os, argFloor_);
+    for (std::uint64_t i = argFloor_; i < argCount_; ++i) {
+        const PackedTraceArg &a = argAt(i);
+        putLe<std::uint64_t>(os, a.bits);
+        putLe<std::uint16_t>(os, a.key);
+        putLe<std::uint8_t>(os, a.kind);
+    }
+
+    putLe<std::uint64_t>(os, recCount_);
+    putLe<std::uint64_t>(os, recFloor_);
+    for (std::uint64_t i = recFloor_; i < recCount_; ++i) {
+        const TraceRecord &r = recordAt(i);
+        putLe<std::uint64_t>(os, r.tickDelta);
+        const std::uint64_t payload = r.ph == 'C'
+            ? std::bit_cast<std::uint64_t>(r.payload.value)
+            : (static_cast<std::uint64_t>(r.payload.args.count)
+                   << 32) |
+                r.payload.args.off;
+        putLe<std::uint64_t>(os, payload);
+        putLe<std::uint32_t>(os, r.track);
+        putLe<std::uint16_t>(os, r.name);
+        putLe<std::uint8_t>(os, r.ph);
+    }
+
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+bool
+TraceRecorder::readBinFile(const std::string &path)
+{
+    if (backend_ != TraceBackend::Binary || recCount_ != 0 ||
+        !tracks_.empty() || !nameTable_.empty()) {
+        warn("readBinFile: needs a fresh binary-backend recorder");
+        return false;
+    }
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        warn("readBinFile: cannot open ", path);
+        return false;
+    }
+
+    char magic[sizeof(kMagic)];
+    if (!getBytes(is, magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        warn("readBinFile: ", path, " is not a .flepbin trace");
+        return false;
+    }
+    std::uint32_t version = 0, flags = 0;
+    if (!getLe(is, version) || !getLe(is, flags))
+        return false;
+    if (version != kFlepbinVersion) {
+        warn("readBinFile: ", path, " has format version ", version,
+             "; this build reads version ", kFlepbinVersion);
+        return false;
+    }
+
+    std::uint64_t name_count = 0;
+    if (!getLe(is, name_count) || name_count > 0xfffe)
+        return false;
+    for (std::uint64_t i = 0; i < name_count; ++i) {
+        std::string name;
+        if (!getString(is, name, kMaxStringLen))
+            return false;
+        nameTable_.push_back(std::move(name));
+    }
+
+    std::uint64_t track_count = 0;
+    if (!getLe(is, track_count) || track_count > 0xffffffffull)
+        return false;
+    for (std::uint64_t i = 0; i < track_count; ++i) {
+        Track t;
+        std::uint8_t is_counter = 0, pad = 0;
+        if (!getLe(is, t.pid) || !getLe(is, t.tid) ||
+            !getLe(is, t.nameId) || !getLe(is, is_counter) ||
+            !getLe(is, pad)) {
+            return false;
+        }
+        t.isCounter = is_counter != 0;
+        if (t.isCounter && t.nameId >= nameTable_.size())
+            return false;
+        tracks_.push_back(t);
+    }
+
+    std::uint64_t cursor_count = 0;
+    if (!getLe(is, cursor_count))
+        return false;
+    for (std::uint64_t i = 0; i < cursor_count; ++i) {
+        std::uint32_t track = 0;
+        Tick tick = 0;
+        if (!getLe(is, track) || !getLe(is, tick) ||
+            track >= tracks_.size()) {
+            return false;
+        }
+        baseCursors_[track] = tick;
+    }
+
+    std::uint64_t pname_count = 0;
+    if (!getLe(is, pname_count))
+        return false;
+    for (std::uint64_t i = 0; i < pname_count; ++i) {
+        std::int32_t pid = 0;
+        std::string name;
+        if (!getLe(is, pid) || !getString(is, name, kMaxStringLen))
+            return false;
+        processNames_[pid] = std::move(name);
+    }
+
+    std::uint64_t tname_count = 0;
+    if (!getLe(is, tname_count))
+        return false;
+    for (std::uint64_t i = 0; i < tname_count; ++i) {
+        std::int32_t pid = 0, tid = 0;
+        std::string name;
+        if (!getLe(is, pid) || !getLe(is, tid) ||
+            !getString(is, name, kMaxStringLen)) {
+            return false;
+        }
+        threadNames_[{pid, tid}] = std::move(name);
+    }
+
+    std::uint64_t arg_total = 0, arg_floor = 0;
+    if (!getLe(is, arg_total) || !getLe(is, arg_floor) ||
+        arg_floor > arg_total || arg_total > 0xffffffffull ||
+        arg_floor % kArgsPerChunk != 0) {
+        return false;
+    }
+    argCount_ = argFloor_ = arg_floor;
+    for (std::uint64_t i = arg_floor; i < arg_total; ++i) {
+        PackedTraceArg a;
+        if (!getLe(is, a.bits) || !getLe(is, a.key) ||
+            !getLe(is, a.kind)) {
+            return false;
+        }
+        if (a.key >= nameTable_.size() ||
+            (a.kind == static_cast<std::uint8_t>(TraceArg::Kind::Str) &&
+             a.bits >= nameTable_.size())) {
+            return false;
+        }
+        if (argLeft_ == 0) {
+            argChunks_.push_back(
+                std::make_unique<PackedTraceArg[]>(kArgsPerChunk));
+            argCur_ = argChunks_.back().get();
+            argLeft_ = kArgsPerChunk;
+        }
+        *argCur_++ = a;
+        --argLeft_;
+        ++argCount_;
+    }
+
+    std::uint64_t rec_total = 0, rec_floor = 0;
+    if (!getLe(is, rec_total) || !getLe(is, rec_floor) ||
+        rec_floor > rec_total || rec_floor % kRecordsPerChunk != 0) {
+        return false;
+    }
+    recCount_ = recFloor_ = rec_floor;
+    for (std::uint64_t i = rec_floor; i < rec_total; ++i) {
+        std::uint64_t delta = 0, payload = 0;
+        std::uint32_t track = 0;
+        std::uint16_t name = 0;
+        std::uint8_t ph = 0;
+        if (!getLe(is, delta) || !getLe(is, payload) ||
+            !getLe(is, track) || !getLe(is, name) || !getLe(is, ph)) {
+            return false;
+        }
+        if (track >= tracks_.size())
+            return false;
+        if (ph != 'C' && name >= nameTable_.size())
+            return false;
+        TraceRecord &r = allocRecord();
+        r.tickDelta = delta;
+        r.track = track;
+        r.name = name;
+        r.ph = ph;
+        r.flags = 0;
+        if (ph == 'C') {
+            r.payload.value = std::bit_cast<double>(payload);
+        } else {
+            r.payload.args.off =
+                static_cast<std::uint32_t>(payload & 0xffffffffull);
+            r.payload.args.count =
+                static_cast<std::uint32_t>(payload >> 32);
+            if (r.payload.args.off < argFloor_ ||
+                static_cast<std::uint64_t>(r.payload.args.off) +
+                        r.payload.args.count >
+                    argCount_) {
+                return false;
+            }
+        }
+    }
+
+    // allocRecord() stamped every chunk's argBase with the load-time
+    // arg count; recompute the true watermarks so a later ring
+    // eviction keeps exactly the args the retained records reference.
+    std::uint64_t water = argFloor_;
+    for (std::size_t c = 0; c < recChunks_.size(); ++c) {
+        recChunks_[c].argBase = water;
+        const std::uint64_t first = recFloor_ + c * kRecordsPerChunk;
+        const std::uint64_t last =
+            std::min(recCount_, first + kRecordsPerChunk);
+        for (std::uint64_t i = first; i < last; ++i) {
+            const TraceRecord &r = recordAt(i);
+            if (r.ph != 'C') {
+                water = std::max(
+                    water,
+                    static_cast<std::uint64_t>(r.payload.args.off) +
+                        r.payload.args.count);
+            }
+        }
+    }
+
+    rebuildDerivedState();
+    return true;
+}
+
+void
+TraceRecorder::rebuildDerivedState()
+{
+    // Recreate the lookup maps and per-track cursor/suppression state
+    // so recording can continue seamlessly after a load.
+    internIds_.clear();
+    pointerIds_.clear();
+    for (std::size_t i = 0; i < nameTable_.size(); ++i) {
+        internIds_.emplace(nameTable_[i],
+                           static_cast<std::uint16_t>(i));
+        pointerIds_.emplace(nameTable_[i].c_str(),
+                            static_cast<std::uint16_t>(i));
+    }
+    trackIndex_.clear();
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        const Track &t = tracks_[i];
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(t.pid))
+             << 32) |
+            (static_cast<std::uint32_t>(t.tid) << 16) |
+            (t.isCounter ? t.nameId : 0xffff);
+        trackIndex_.emplace(key, static_cast<std::uint32_t>(i));
+    }
+    for (Track &t : tracks_) {
+        auto it = baseCursors_.find(static_cast<std::uint32_t>(
+            &t - tracks_.data()));
+        t.cursor = it != baseCursors_.end() ? it->second : 0;
+        t.hasValue = false;
+        t.lastValue = 0.0;
+    }
+    for (std::uint64_t i = recFloor_; i < recCount_; ++i) {
+        const TraceRecord &r = recordAt(i);
+        Track &t = tracks_[r.track];
+        t.cursor += r.tickDelta;
+        if (r.ph == 'C') {
+            t.hasValue = true;
+            t.lastValue = r.payload.value;
+        }
+    }
+    cacheValid_ = false;
+}
+
+} // namespace flep

@@ -1,8 +1,11 @@
 #include "obs/trace_recorder.hh"
 
+#include <bit>
 #include <cstdio>
 #include <fstream>
 
+#include "common/logging.hh"
+#include "common/strings.hh"
 #include "sim/event_queue.hh"
 
 namespace flep
@@ -41,72 +44,363 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-TraceRecorder::TraceRecorder()
+TraceRecorder::TraceRecorder(TraceBackend backend)
+    : backend_(backend)
 {
-    events_.reserve(4096);
+    if (backend_ == TraceBackend::Legacy)
+        legacyEvents_.reserve(4096);
 }
 
-TraceRecorder::TraceRecorder(const EventQueue &clock)
-    : clock_(&clock)
+TraceRecorder::TraceRecorder(const EventQueue &clock,
+                             TraceBackend backend)
+    : TraceRecorder(backend)
 {
-    events_.reserve(4096);
+    clock_ = &clock;
 }
 
-Tick
-TraceRecorder::nowTick() const
-{
-    return clock_ != nullptr ? clock_->now() : 0;
-}
-
-TraceEvent &
-TraceRecorder::append(char ph, int pid, int tid, const char *name)
-{
-    events_.emplace_back();
-    TraceEvent &ev = events_.back();
-    ev.ts = nowTick();
-    ev.ph = ph;
-    ev.pid = pid;
-    ev.tid = tid;
-    ev.name = name;
-    return ev;
-}
+TraceRecorder::~TraceRecorder() = default;
 
 void
-TraceRecorder::begin(int pid, int tid, const char *name,
-                     std::string args)
+TraceRecorder::setRingCapacity(std::size_t max_records)
 {
-    append('B', pid, tid, name).args = std::move(args);
+    ringChunks_ = max_records == 0
+        ? 0
+        : (max_records + kRecordsPerChunk - 1) / kRecordsPerChunk;
 }
 
-void
-TraceRecorder::end(int pid, int tid, const char *name, std::string args)
+std::uint16_t
+TraceRecorder::internId(const std::string &name)
 {
-    append('E', pid, tid, name).args = std::move(args);
+    auto it = internIds_.find(name);
+    if (it != internIds_.end())
+        return it->second;
+    FLEP_ASSERT(nameTable_.size() < 0xfffe,
+                "trace intern table overflow (64k names)");
+    const auto id = static_cast<std::uint16_t>(nameTable_.size());
+    nameTable_.push_back(name);
+    internIds_.emplace(name, id);
+    pointerIds_.emplace(nameTable_.back().c_str(), id);
+    return id;
 }
 
-void
-TraceRecorder::instant(int pid, int tid, const char *name,
-                       std::string args)
+std::uint16_t
+TraceRecorder::internPtr(const char *name)
 {
-    append('i', pid, tid, name).args = std::move(args);
-}
-
-void
-TraceRecorder::counter(int pid, int tid, const char *name, double value)
-{
-    append('C', pid, tid, name).value = value;
+    // Fast path: this exact pointer was seen before (static literals,
+    // previously interned strings). Distinct pointers with equal
+    // content fall back to the canonical by-content map, then cache.
+    auto it = pointerIds_.find(name);
+    if (it != pointerIds_.end())
+        return it->second;
+    const std::uint16_t id = internId(name);
+    pointerIds_.emplace(name, id);
+    return id;
 }
 
 const char *
 TraceRecorder::intern(const std::string &name)
 {
-    auto it = interned_.find(name);
-    if (it != interned_.end())
+    return nameTable_[internId(name)].c_str();
+}
+
+std::uint32_t
+TraceRecorder::trackOf(int pid, int tid, std::uint16_t counter_name)
+{
+    FLEP_ASSERT(tid >= 0 && tid < 0xffff, "trace tid out of range: ",
+                tid);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
+         << 32) |
+        (static_cast<std::uint32_t>(tid) << 16) | counter_name;
+    auto it = trackIndex_.find(key);
+    if (it != trackIndex_.end())
         return it->second;
-    internPool_.push_back(name);
-    const char *ptr = internPool_.back().c_str();
-    interned_.emplace(name, ptr);
-    return ptr;
+    const auto idx = static_cast<std::uint32_t>(tracks_.size());
+    Track t;
+    t.pid = pid;
+    t.tid = tid;
+    t.nameId = counter_name;
+    t.isCounter = counter_name != 0xffff;
+    tracks_.push_back(t);
+    trackIndex_.emplace(key, idx);
+    return idx;
+}
+
+void
+TraceRecorder::growRecordChunk()
+{
+    if (ringChunks_ != 0 && recChunks_.size() >= ringChunks_) {
+        evictFrontChunk();
+    } else {
+        recChunks_.push_back(RecordChunk{
+            std::make_unique<TraceRecord[]>(kRecordsPerChunk),
+            argCount_});
+    }
+    recCur_ = recChunks_.back().recs.get();
+    recLeft_ = kRecordsPerChunk;
+}
+
+void
+TraceRecorder::evictFrontChunk()
+{
+    // Ring mode: recycle the oldest segment. Replay its records into
+    // the baseline cursor table first so the deltas of everything
+    // still retained keep decoding to the same absolute ticks.
+    RecordChunk front = std::move(recChunks_.front());
+    recChunks_.pop_front();
+    for (std::size_t i = 0; i < kRecordsPerChunk; ++i)
+        baseCursors_[front.recs[i].track] += front.recs[i].tickDelta;
+    recFloor_ += kRecordsPerChunk;
+
+    // Argument slots below the new front chunk's watermark are
+    // unreachable; drop whole arena segments that fell below it. A
+    // one-chunk ring has no remaining chunk: everything is dead.
+    const std::uint64_t live_floor =
+        recChunks_.empty() ? argCount_ : recChunks_.front().argBase;
+    while (argFloor_ + kArgsPerChunk <= live_floor) {
+        argChunks_.pop_front();
+        argFloor_ += kArgsPerChunk;
+    }
+
+    front.argBase = argCount_;
+    recChunks_.push_back(std::move(front));
+}
+
+const TraceRecord &
+TraceRecorder::recordAt(std::uint64_t i) const
+{
+    const std::uint64_t chunk =
+        i / kRecordsPerChunk - recFloor_ / kRecordsPerChunk;
+    return recChunks_[static_cast<std::size_t>(chunk)]
+        .recs[i % kRecordsPerChunk];
+}
+
+const PackedTraceArg &
+TraceRecorder::argAt(std::uint64_t i) const
+{
+    const std::uint64_t chunk =
+        i / kArgsPerChunk - argFloor_ / kArgsPerChunk;
+    return argChunks_[static_cast<std::size_t>(chunk)]
+        [i % kArgsPerChunk];
+}
+
+PackedTraceArg
+TraceRecorder::packArg(const TraceArg &arg)
+{
+    PackedTraceArg packed;
+    packed.key = internPtr(arg.key_);
+    packed.kind = static_cast<std::uint8_t>(arg.kind_);
+    switch (arg.kind_) {
+      case TraceArg::Kind::Int:
+        packed.bits = static_cast<std::uint64_t>(arg.i_);
+        break;
+      case TraceArg::Kind::Uint:
+        packed.bits = arg.u_;
+        break;
+      case TraceArg::Kind::Real:
+        packed.bits = std::bit_cast<std::uint64_t>(arg.d_);
+        break;
+      case TraceArg::Kind::Bool:
+        packed.bits = arg.b_ ? 1 : 0;
+        break;
+      case TraceArg::Kind::Str:
+        packed.bits = internId(*arg.s_);
+        packed.kind = static_cast<std::uint8_t>(TraceArg::Kind::Str);
+        break;
+      case TraceArg::Kind::CStr:
+        packed.bits = internPtr(arg.c_);
+        packed.kind = static_cast<std::uint8_t>(TraceArg::Kind::Str);
+        break;
+    }
+    return packed;
+}
+
+namespace
+{
+
+/** Append one `"key":value` argument to a JSON object body. Both
+ *  backends funnel through here, so their rendered args are
+ *  byte-identical by construction. */
+void
+appendArgJson(std::string &out, const std::string &key,
+              TraceArg::Kind kind, std::uint64_t bits,
+              const std::string *str_value)
+{
+    if (!out.empty())
+        out += ',';
+    out += '"';
+    out += jsonEscape(key);
+    out += "\":";
+    char buf[48];
+    switch (kind) {
+      case TraceArg::Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(bits));
+        out += buf;
+        break;
+      case TraceArg::Kind::Uint:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(bits));
+        out += buf;
+        break;
+      case TraceArg::Kind::Real:
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      std::bit_cast<double>(bits));
+        out += buf;
+        break;
+      case TraceArg::Kind::Bool:
+        out += bits != 0 ? "true" : "false";
+        break;
+      case TraceArg::Kind::Str:
+      case TraceArg::Kind::CStr:
+        out += '"';
+        out += jsonEscape(*str_value);
+        out += '"';
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+TraceRecorder::formatArgs(const PackedTraceArg *args,
+                          std::size_t count) const
+{
+    std::string out;
+    for (std::size_t i = 0; i < count; ++i) {
+        const PackedTraceArg &a = args[i];
+        const auto kind = static_cast<TraceArg::Kind>(a.kind);
+        const std::string *sval = kind == TraceArg::Kind::Str
+            ? &nameTable_[static_cast<std::size_t>(a.bits)]
+            : nullptr;
+        appendArgJson(out, nameTable_[a.key], kind, a.bits, sval);
+    }
+    return out;
+}
+
+void
+TraceRecorder::event(char ph, int pid, int tid, const char *name,
+                     TraceArgs args)
+{
+    const std::uint32_t track_idx = trackOf(pid, tid, 0xffff);
+    const Tick now = nowTick();
+    Track &t = tracks_[track_idx];
+
+    if (backend_ == TraceBackend::Binary) {
+        FLEP_ASSERT(argCount_ + args.size() <= 0xffffffffull,
+                    "trace argument arena overflow");
+        const std::uint32_t off = static_cast<std::uint32_t>(argCount_);
+        for (const TraceArg &arg : args) {
+            if (argLeft_ == 0) {
+                argChunks_.push_back(
+                    std::make_unique<PackedTraceArg[]>(kArgsPerChunk));
+                argCur_ = argChunks_.back().get();
+                argLeft_ = kArgsPerChunk;
+            }
+            *argCur_++ = packArg(arg);
+            --argLeft_;
+            ++argCount_;
+        }
+        TraceRecord &r = allocRecord();
+        r.tickDelta = now - t.cursor;
+        r.payload.args.off = off;
+        r.payload.args.count =
+            static_cast<std::uint32_t>(args.size());
+        r.track = track_idx;
+        r.name = internPtr(name);
+        r.ph = static_cast<std::uint8_t>(ph);
+        r.flags = 0;
+    } else {
+        // Legacy backend: format at record time, as the original
+        // string recorder did.
+        legacyEvents_.emplace_back();
+        TraceEvent &ev = legacyEvents_.back();
+        ev.ts = now;
+        ev.ph = ph;
+        ev.pid = pid;
+        ev.tid = tid;
+        ev.name = name;
+        std::string body;
+        for (const TraceArg &arg : args) {
+            const std::string *sval = nullptr;
+            std::string tmp;
+            std::uint64_t bits = 0;
+            switch (arg.kind_) {
+              case TraceArg::Kind::Int:
+                bits = static_cast<std::uint64_t>(arg.i_);
+                break;
+              case TraceArg::Kind::Uint:
+                bits = arg.u_;
+                break;
+              case TraceArg::Kind::Real:
+                bits = std::bit_cast<std::uint64_t>(arg.d_);
+                break;
+              case TraceArg::Kind::Bool:
+                bits = arg.b_ ? 1 : 0;
+                break;
+              case TraceArg::Kind::Str:
+                sval = arg.s_;
+                break;
+              case TraceArg::Kind::CStr:
+                tmp = arg.c_;
+                sval = &tmp;
+                break;
+            }
+            appendArgJson(body, arg.key_,
+                          arg.kind_ == TraceArg::Kind::CStr
+                              ? TraceArg::Kind::Str
+                              : arg.kind_,
+                          bits, sval);
+        }
+        ev.args = std::move(body);
+    }
+    // Both backends keep the cursor warm so switching semantics stay
+    // identical (the legacy store never reads it back).
+    t.cursor = now;
+}
+
+void
+TraceRecorder::begin(int pid, int tid, const char *name, TraceArgs args)
+{
+    event('B', pid, tid, name, args);
+}
+
+void
+TraceRecorder::end(int pid, int tid, const char *name, TraceArgs args)
+{
+    event('E', pid, tid, name, args);
+}
+
+void
+TraceRecorder::instant(int pid, int tid, const char *name,
+                       TraceArgs args)
+{
+    event('i', pid, tid, name, args);
+}
+
+TraceRecorder::CounterHandle
+TraceRecorder::counterTrack(int pid, int tid, const char *name)
+{
+    return trackOf(pid, tid, internPtr(name));
+}
+
+void
+TraceRecorder::counter(int pid, int tid, const char *name, double value)
+{
+    counterSample(counterTrack(pid, tid, name), value);
+}
+
+void
+TraceRecorder::appendLegacyCounter(const Track &t, double value)
+{
+    legacyEvents_.emplace_back();
+    TraceEvent &ev = legacyEvents_.back();
+    ev.ts = nowTick();
+    ev.ph = 'C';
+    ev.pid = t.pid;
+    ev.tid = t.tid;
+    ev.name = nameTable_[t.nameId].c_str();
+    ev.value = value;
 }
 
 void
@@ -121,6 +415,98 @@ TraceRecorder::setThreadName(int pid, int tid, std::string name)
     threadNames_[{pid, tid}] = std::move(name);
 }
 
+std::size_t
+TraceRecorder::eventCount() const
+{
+    return backend_ == TraceBackend::Binary
+        ? static_cast<std::size_t>(recCount_)
+        : legacyEvents_.size();
+}
+
+std::size_t
+TraceRecorder::liveEventCount() const
+{
+    return backend_ == TraceBackend::Binary
+        ? static_cast<std::size_t>(recCount_ - recFloor_)
+        : legacyEvents_.size();
+}
+
+void
+TraceRecorder::clear()
+{
+    legacyEvents_.clear();
+    recChunks_.clear();
+    argChunks_.clear();
+    recCur_ = nullptr;
+    recLeft_ = 0;
+    argCur_ = nullptr;
+    argLeft_ = 0;
+    recCount_ = recFloor_ = 0;
+    argCount_ = argFloor_ = 0;
+    baseCursors_.clear();
+    for (Track &t : tracks_) {
+        t.cursor = 0;
+        t.lastValue = 0.0;
+        t.hasValue = false;
+    }
+    cache_.clear();
+    cacheValid_ = false;
+}
+
+void
+TraceRecorder::materialize() const
+{
+    cache_.clear();
+    cache_.reserve(static_cast<std::size_t>(recCount_ - recFloor_));
+    // Replay the retained records in order, advancing a private copy
+    // of the per-track cursors from the eviction baseline.
+    std::unordered_map<std::uint32_t, Tick> cursors;
+    for (const auto &[track, tick] : baseCursors_)
+        cursors[track] = tick;
+    for (std::uint64_t i = recFloor_; i < recCount_; ++i) {
+        const TraceRecord &r = recordAt(i);
+        Tick &cursor = cursors[r.track];
+        cursor += r.tickDelta;
+        const Track &t = tracks_[r.track];
+        cache_.emplace_back();
+        TraceEvent &ev = cache_.back();
+        ev.ts = cursor;
+        ev.ph = static_cast<char>(r.ph);
+        ev.pid = t.pid;
+        ev.tid = t.tid;
+        ev.name = nameTable_[r.name].c_str();
+        if (ev.ph == 'C') {
+            ev.value = r.payload.value;
+        } else if (r.payload.args.count > 0) {
+            // Gather per index: an event's args may straddle an
+            // arena-segment boundary.
+            std::string body;
+            for (std::uint32_t a = 0; a < r.payload.args.count; ++a) {
+                const PackedTraceArg &pa =
+                    argAt(r.payload.args.off + a);
+                const auto kind = static_cast<TraceArg::Kind>(pa.kind);
+                const std::string *sval = kind == TraceArg::Kind::Str
+                    ? &nameTable_[static_cast<std::size_t>(pa.bits)]
+                    : nullptr;
+                appendArgJson(body, nameTable_[pa.key], kind, pa.bits,
+                              sval);
+            }
+            ev.args = std::move(body);
+        }
+    }
+    cacheValid_ = true;
+}
+
+const std::vector<TraceEvent> &
+TraceRecorder::events() const
+{
+    if (backend_ == TraceBackend::Legacy)
+        return legacyEvents_;
+    if (!cacheValid_)
+        materialize();
+    return cache_;
+}
+
 namespace
 {
 
@@ -133,6 +519,28 @@ tsField(Tick ts)
                   static_cast<unsigned long long>(ts / 1000),
                   static_cast<unsigned>(ts % 1000));
     return buf;
+}
+
+/** One event object; shared by both backends' flush passes. */
+void
+writeEventJson(std::ostream &os, Tick ts, char ph, int pid, int tid,
+               const char *name, double value, const std::string &args)
+{
+    os << "{\"name\":\"" << jsonEscape(name) << "\",\"ph\":\"" << ph
+       << "\",\"ts\":" << tsField(ts) << ",\"pid\":" << pid
+       << ",\"tid\":" << tid;
+    if (ph == 'i') {
+        // Thread-scoped instant: renders as a tick on its track.
+        os << ",\"s\":\"t\"";
+    }
+    if (ph == 'C') {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        os << ",\"args\":{\"value\":" << buf << "}";
+    } else if (!args.empty()) {
+        os << ",\"args\":{" << args << "}";
+    }
+    os << "}";
 }
 
 } // namespace
@@ -162,23 +570,55 @@ TraceRecorder::writeJson(std::ostream &os) const
            << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
     }
 
-    for (const auto &ev : events_) {
-        sep();
-        os << "{\"name\":\"" << jsonEscape(ev.name) << "\",\"ph\":\""
-           << ev.ph << "\",\"ts\":" << tsField(ev.ts)
-           << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
-        if (ev.ph == 'i') {
-            // Thread-scoped instant: renders as a tick on its track.
-            os << ",\"s\":\"t\"";
+    if (backend_ == TraceBackend::Legacy) {
+        for (const auto &ev : legacyEvents_) {
+            sep();
+            writeEventJson(os, ev.ts, ev.ph, ev.pid, ev.tid, ev.name,
+                           ev.value, ev.args);
         }
-        if (ev.ph == 'C') {
-            char buf[48];
-            std::snprintf(buf, sizeof(buf), "%.17g", ev.value);
-            os << ",\"args\":{\"value\":" << buf << "}";
-        } else if (!ev.args.empty()) {
-            os << ",\"args\":{" << ev.args << "}";
+    } else {
+        // Stream straight from the records — a multi-gigabyte trace
+        // never exists as one in-memory document or event vector.
+        static const std::string no_args;
+        std::unordered_map<std::uint32_t, Tick> cursors;
+        for (const auto &[track, tick] : baseCursors_)
+            cursors[track] = tick;
+        for (std::uint64_t i = recFloor_; i < recCount_; ++i) {
+            const TraceRecord &r = recordAt(i);
+            Tick &cursor = cursors[r.track];
+            cursor += r.tickDelta;
+            const Track &t = tracks_[r.track];
+            const char ph = static_cast<char>(r.ph);
+            sep();
+            if (ph == 'C') {
+                writeEventJson(os, cursor, ph, t.pid, t.tid,
+                               nameTable_[r.name].c_str(),
+                               r.payload.value, no_args);
+            } else {
+                const std::string body = r.payload.args.count == 0
+                    ? std::string()
+                    : [&] {
+                          std::string out;
+                          for (std::uint32_t a = 0;
+                               a < r.payload.args.count; ++a) {
+                              const PackedTraceArg &pa =
+                                  argAt(r.payload.args.off + a);
+                              const auto kind =
+                                  static_cast<TraceArg::Kind>(pa.kind);
+                              const std::string *sval =
+                                  kind == TraceArg::Kind::Str
+                                  ? &nameTable_[static_cast<
+                                        std::size_t>(pa.bits)]
+                                  : nullptr;
+                              appendArgJson(out, nameTable_[pa.key],
+                                            kind, pa.bits, sval);
+                          }
+                          return out;
+                      }();
+                writeEventJson(os, cursor, ph, t.pid, t.tid,
+                               nameTable_[r.name].c_str(), 0.0, body);
+            }
         }
-        os << "}";
     }
     os << "\n]}\n";
 }
@@ -192,6 +632,20 @@ TraceRecorder::writeJsonFile(const std::string &path) const
     writeJson(os);
     os.flush();
     return static_cast<bool>(os);
+}
+
+bool
+TraceRecorder::looksLikeBinPath(const std::string &path)
+{
+    return endsWith(path, ".flepbin");
+}
+
+bool
+writeTraceFile(const TraceRecorder &tr, const std::string &path)
+{
+    if (TraceRecorder::looksLikeBinPath(path))
+        return tr.writeBinFile(path);
+    return tr.writeJsonFile(path);
 }
 
 } // namespace flep

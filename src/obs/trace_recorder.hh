@@ -7,18 +7,33 @@
  * finishes, preemption signals, flag writes, drains, spatial yields
  * and resumes, scheduler decisions, queue depths, per-SM occupancy
  * counters — and exports them as Chrome trace-event JSON, loadable in
- * Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+ * Perfetto (https://ui.perfetto.dev) or chrome://tracing, or as the
+ * compact binary `.flepbin` format (see docs/tracing.md).
  *
  * Design constraints:
  *  - The disabled path must stay at zero allocations: components hold
  *    a nullable TraceRecorder pointer (via Simulation::tracer()) and
  *    guard every emission with a single pointer test. All argument
- *    formatting happens inside the guard.
+ *    capture happens inside the guard.
+ *  - The enabled hot path is binary: each event appends one fixed-size
+ *    24-byte POD record (interned name id, track id, type tag, tick
+ *    delta-encoded against a per-track cursor) to chunked,
+ *    growth-amortized ring segments. Event arguments are captured as
+ *    typed (key, value) pairs into a side arena; all string
+ *    formatting, metadata sorting and Chrome JSON emission are
+ *    deferred to a single flush pass (writeJson()/events()).
+ *  - Counter tracks get per-track last-value suppression: re-sampling
+ *    an unchanged queue-depth/occupancy value costs one branch and
+ *    records nothing.
  *  - One simulation owns at most one recorder and runs on one thread,
  *    so the recorder itself needs no locking; parallel sweeps give
  *    each traced simulation its own recorder (or none).
- *  - Event names are `const char *` so the common no-argument emission
- *    appends one POD-ish record; dynamic names are interned once.
+ *  - The pre-binary backend (record-time JSON-ish string formatting
+ *    into TraceEvent) is kept compiled and selectable via
+ *    TraceBackend::Legacy. Both backends share one typed front end, so
+ *    a run recorded through either must render byte-identical JSON —
+ *    the equivalence suite in tests/obs/test_trace_binary.cc holds the
+ *    binary path to that.
  *
  * Track model (Chrome pid/tid):
  *  - pid 1 "GPU": one thread track per SM, plus per-SM occupancy
@@ -37,21 +52,134 @@
 #ifndef FLEP_OBS_TRACE_RECORDER_HH
 #define FLEP_OBS_TRACE_RECORDER_HH
 
+#include <cstdint>
 #include <deque>
+#include <initializer_list>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/event_queue.hh"
 
 namespace flep
 {
 
-class EventQueue;
+/** Storage strategy of a TraceRecorder. */
+enum class TraceBackend
+{
+    /** 24-byte POD records in chunked ring segments; formatting is
+     *  deferred to the flush pass. The default. */
+    Binary,
+    /** Record-time string formatting into TraceEvent, as the original
+     *  recorder did. Kept for the binary<->JSON parity suite and as a
+     *  measurable overhead reference. */
+    Legacy,
+};
 
-/** One recorded trace event (a subset of the Chrome event model). */
+/**
+ * One typed event argument, e.g. {"kernel", rec.kernel()}. Built at
+ * the emission site inside the tracer-enabled guard; the recorder
+ * captures the value (interning strings) without formatting anything.
+ */
+class TraceArg
+{
+  public:
+    TraceArg(const char *key, const std::string &v)
+        : key_(key), kind_(Kind::Str) { s_ = &v; }
+    TraceArg(const char *key, const char *v)
+        : key_(key), kind_(Kind::CStr) { c_ = v; }
+    TraceArg(const char *key, int v)
+        : key_(key), kind_(Kind::Int) { i_ = v; }
+    TraceArg(const char *key, long v)
+        : key_(key), kind_(Kind::Int) { i_ = v; }
+    TraceArg(const char *key, long long v)
+        : key_(key), kind_(Kind::Int) { i_ = v; }
+    TraceArg(const char *key, unsigned v)
+        : key_(key), kind_(Kind::Uint) { u_ = v; }
+    TraceArg(const char *key, unsigned long v)
+        : key_(key), kind_(Kind::Uint) { u_ = v; }
+    TraceArg(const char *key, unsigned long long v)
+        : key_(key), kind_(Kind::Uint) { u_ = v; }
+    TraceArg(const char *key, double v)
+        : key_(key), kind_(Kind::Real) { d_ = v; }
+    TraceArg(const char *key, bool v)
+        : key_(key), kind_(Kind::Bool) { b_ = v; }
+
+    /** Wire type tag; stored verbatim in PackedTraceArg::kind. */
+    enum class Kind : std::uint8_t
+    {
+        Int = 0,
+        Uint = 1,
+        Real = 2,
+        Bool = 3,
+        Str = 4,  // const std::string &
+        CStr = 5, // const char * (both pack to an interned string id)
+    };
+
+  private:
+    friend class TraceRecorder;
+
+    const char *key_;
+    Kind kind_;
+    union {
+        long long i_;
+        unsigned long long u_;
+        double d_;
+        bool b_;
+        const std::string *s_;
+        const char *c_;
+    };
+};
+
+using TraceArgs = std::initializer_list<TraceArg>;
+
+/**
+ * The fixed-size binary hot-path record. One is appended per event;
+ * everything variable-length (names, argument values) lives in the
+ * intern table or the argument arena. Layout is frozen by the
+ * `.flepbin` format (docs/tracing.md).
+ */
+struct TraceRecord
+{
+    /** Ticks since the previous record on the same track. */
+    std::uint64_t tickDelta;
+    union {
+        double value; //!< ph == 'C'
+        struct
+        {
+            std::uint32_t off;   //!< first PackedTraceArg index
+            std::uint32_t count; //!< number of arguments
+        } args;                  //!< ph != 'C'
+    } payload;
+    std::uint32_t track; //!< index into the recorder's track table
+    std::uint16_t name;  //!< interned name id
+    std::uint8_t ph;     //!< 'B', 'E', 'i' or 'C'
+    std::uint8_t flags;  //!< reserved, zero
+};
+static_assert(sizeof(TraceRecord) == 24,
+              "the record hot path is sized for 24-byte appends");
+
+/** One captured event argument in the side arena. */
+struct PackedTraceArg
+{
+    std::uint64_t bits; //!< value bits; interned string id for Str
+    std::uint16_t key;  //!< interned key string id
+    std::uint8_t kind;  //!< TraceArg::Kind
+    std::uint8_t pad0 = 0;
+    std::uint32_t pad1 = 0;
+};
+static_assert(sizeof(PackedTraceArg) == 16, "arena slots are 16 bytes");
+
+/**
+ * One materialized trace event (a subset of the Chrome event model).
+ * The binary backend produces these only on demand (events()); the
+ * legacy backend stores them directly.
+ */
 struct TraceEvent
 {
     Tick ts = 0;          //!< simulated time, ns
@@ -78,6 +206,14 @@ class TraceRecorder
     /// Track groups of devices beyond the first start here.
     static constexpr int pidDeviceBase = 1000000;
 
+    /**
+     * Pre-resolved counter track. Sampling through a handle skips the
+     * per-call track lookup: suppression branch, delta, POD append.
+     * Handles stay valid for the recorder's lifetime (clear() included).
+     */
+    using CounterHandle = std::uint32_t;
+    static constexpr CounterHandle invalidCounter = ~0u;
+
     /** Track group id of host process `pid`. */
     static constexpr int
     hostPid(ProcessId pid)
@@ -102,10 +238,13 @@ class TraceRecorder
     /** A recorder with no clock yet; events stamp ts = 0 until
      *  bindClock() is called (the co-run harness rebinds a
      *  caller-owned recorder to the simulation it builds). */
-    TraceRecorder();
+    explicit TraceRecorder(TraceBackend backend = TraceBackend::Binary);
 
     /** @param clock source of timestamps; must outlive the recorder. */
-    explicit TraceRecorder(const EventQueue &clock);
+    explicit TraceRecorder(const EventQueue &clock,
+                           TraceBackend backend = TraceBackend::Binary);
+
+    ~TraceRecorder();
 
     TraceRecorder(const TraceRecorder &) = delete;
     TraceRecorder &operator=(const TraceRecorder &) = delete;
@@ -113,21 +252,53 @@ class TraceRecorder
     /** Rebind the timestamp source. */
     void bindClock(const EventQueue &clock) { clock_ = &clock; }
 
+    /** Storage strategy this recorder was built with. */
+    TraceBackend backend() const { return backend_; }
+
+    /**
+     * Bound the record store to roughly `max_records` (rounded up to
+     * whole ring segments): once full, the oldest segment is recycled
+     * and its events are dropped, keeping the most recent window —
+     * flight-recorder mode for horizon runs that would otherwise grow
+     * without bound. 0 (the default) keeps everything. Binary backend
+     * only; the legacy backend ignores the cap.
+     */
+    void setRingCapacity(std::size_t max_records);
+
     /** Open a duration span on (pid, tid). Spans on one track must
      *  nest; the simulator's tracks are all sequential. */
-    void begin(int pid, int tid, const char *name,
-               std::string args = {});
+    void begin(int pid, int tid, const char *name, TraceArgs args = {});
 
     /** Close the innermost span on (pid, tid). */
-    void end(int pid, int tid, const char *name, std::string args = {});
+    void end(int pid, int tid, const char *name, TraceArgs args = {});
 
     /** A point-in-time event. */
     void instant(int pid, int tid, const char *name,
-                 std::string args = {});
+                 TraceArgs args = {});
 
     /** Sample a counter track. Counter tracks are identified by
-     *  (pid, name); `tid` is recorded but ignored by viewers. */
+     *  (pid, tid, name); repeated samples of an unchanged value are
+     *  suppressed. */
     void counter(int pid, int tid, const char *name, double value);
+
+    /** Pre-resolve the counter track (pid, tid, name) for
+     *  counterSample(). `name` must be static or interned. */
+    CounterHandle counterTrack(int pid, int tid, const char *name);
+
+    /** Hot-path counter sample through a pre-resolved handle. */
+    void
+    counterSample(CounterHandle handle, double value)
+    {
+        Track &t = tracks_[handle];
+        if (t.hasValue && t.lastValue == value)
+            return; // last-value suppression: unchanged sample
+        t.hasValue = true;
+        t.lastValue = value;
+        if (backend_ == TraceBackend::Binary)
+            appendCounterRecord(handle, t, value);
+        else
+            appendLegacyCounter(t, value);
+    }
 
     /**
      * Intern a dynamically built name, returning a pointer that stays
@@ -142,14 +313,25 @@ class TraceRecorder
     /** Name one track (Chrome thread_name metadata). */
     void setThreadName(int pid, int tid, std::string name);
 
-    /** All events recorded so far, in emission (= time) order. */
-    const std::vector<TraceEvent> &events() const { return events_; }
+    /**
+     * All retained events in emission (= time) order, materialized on
+     * demand for the binary backend (formatting arguments and
+     * reconstructing absolute timestamps from the per-track deltas).
+     * The view is cached until the next append/clear. With a ring
+     * capacity set, evicted events are absent.
+     */
+    const std::vector<TraceEvent> &events() const;
 
-    /** Number of events recorded so far. */
-    std::size_t eventCount() const { return events_.size(); }
+    /** Number of events recorded so far (including any the ring has
+     *  since evicted). */
+    std::size_t eventCount() const;
 
-    /** Drop all recorded events (metadata names are kept). */
-    void clear() { events_.clear(); }
+    /** Number of events currently retained. */
+    std::size_t liveEventCount() const;
+
+    /** Drop all recorded events (metadata names, interned strings and
+     *  counter handles are kept). */
+    void clear();
 
     /** Write the Chrome trace-event JSON document. */
     void writeJson(std::ostream &os) const;
@@ -157,17 +339,147 @@ class TraceRecorder
     /** Write the JSON document to a file. @return false on I/O error. */
     bool writeJsonFile(const std::string &path) const;
 
-  private:
-    Tick nowTick() const;
-    TraceEvent &append(char ph, int pid, int tid, const char *name);
+    /**
+     * Write the versioned binary trace (`.flepbin`, see
+     * docs/tracing.md). Binary backend only.
+     * @return false on I/O error or legacy backend.
+     */
+    bool writeBinFile(const std::string &path) const;
 
+    /**
+     * Load a `.flepbin` file into this recorder, which must be empty
+     * (freshly constructed, binary backend). Recording may continue
+     * afterwards. @return false on I/O, format or version error.
+     */
+    bool readBinFile(const std::string &path);
+
+    /** True when `path` names the binary trace format. */
+    static bool looksLikeBinPath(const std::string &path);
+
+  private:
+    friend struct TraceBinIo; // serializer (trace_binary.cc)
+
+    /** Per-(pid, tid[, counter name]) stream state: the delta cursor
+     *  and, for counters, the last sampled value. */
+    struct Track
+    {
+        Tick cursor = 0;       //!< tick of the latest record
+        double lastValue = 0.0;//!< counter suppression state
+        int pid = 0;
+        int tid = 0;
+        std::uint16_t nameId = 0xffff; //!< counters only
+        bool isCounter = false;
+        bool hasValue = false;
+    };
+
+    /// Records per ring segment (96 KiB of 24-byte records).
+    static constexpr std::size_t kRecordsPerChunk = 4096;
+    /// Argument-arena slots per segment (16 KiB).
+    static constexpr std::size_t kArgsPerChunk = 1024;
+
+    struct RecordChunk
+    {
+        std::unique_ptr<TraceRecord[]> recs;
+        std::uint64_t argBase = 0; //!< argCount_ when the chunk opened
+    };
+
+    Tick
+    nowTick() const
+    {
+        return clock_ != nullptr ? clock_->now() : 0;
+    }
+
+    std::uint16_t internId(const std::string &name);
+    std::uint16_t internPtr(const char *name);
+    std::uint32_t trackOf(int pid, int tid, std::uint16_t counter_name);
+    void event(char ph, int pid, int tid, const char *name,
+               TraceArgs args);
+
+    /** Append one record slot. Inline bump-pointer fast path; the
+     *  chunk-boundary slow path (grow or ring-evict) is out of line. */
+    TraceRecord &
+    allocRecord()
+    {
+        if (recLeft_ == 0) [[unlikely]]
+            growRecordChunk();
+        --recLeft_;
+        ++recCount_;
+        cacheValid_ = false;
+        return *recCur_++;
+    }
+
+    void growRecordChunk();
+
+    /** The counterSample() record path: inline, so a suppressed-or-
+     *  recorded occupancy sample costs a handful of instructions. */
+    void
+    appendCounterRecord(std::uint32_t track_idx, Track &t,
+                        double value)
+    {
+        const Tick now = nowTick();
+        TraceRecord &r = allocRecord();
+        r.tickDelta = now - t.cursor;
+        r.payload.value = value;
+        r.track = track_idx;
+        r.name = t.nameId;
+        r.ph = static_cast<std::uint8_t>('C');
+        r.flags = 0;
+        t.cursor = now;
+    }
+
+    void appendLegacyCounter(const Track &t, double value);
+    PackedTraceArg packArg(const TraceArg &arg);
+    void evictFrontChunk();
+    const TraceRecord &recordAt(std::uint64_t i) const;
+    const PackedTraceArg &argAt(std::uint64_t i) const;
+    std::string formatArgs(const PackedTraceArg *args,
+                           std::size_t count) const;
+    void materialize() const;
+    void rebuildDerivedState();
+
+    TraceBackend backend_;
     const EventQueue *clock_ = nullptr;
-    std::vector<TraceEvent> events_;
-    std::map<std::string, const char *> interned_;
-    std::deque<std::string> internPool_;
+
+    // --- binary backend store ---------------------------------------
+    std::deque<RecordChunk> recChunks_;
+    std::deque<std::unique_ptr<PackedTraceArg[]>> argChunks_;
+    TraceRecord *recCur_ = nullptr;  //!< bump pointer into back chunk
+    std::size_t recLeft_ = 0;        //!< slots left in back chunk
+    PackedTraceArg *argCur_ = nullptr;
+    std::size_t argLeft_ = 0;
+    std::uint64_t recCount_ = 0;     //!< records appended ever
+    std::uint64_t recFloor_ = 0;     //!< evicted records (chunk-aligned)
+    std::uint64_t argCount_ = 0;
+    std::uint64_t argFloor_ = 0;
+    std::size_t ringChunks_ = 0;     //!< max segments; 0 = unbounded
+    /** Per-track cursor state at recFloor_, so deltas of retained
+     *  records stay decodable after eviction. */
+    std::map<std::uint32_t, Tick> baseCursors_;
+
+    // --- shared front-end state -------------------------------------
+    std::vector<Track> tracks_;
+    std::unordered_map<std::uint64_t, std::uint32_t> trackIndex_;
+    std::deque<std::string> nameTable_; //!< id -> content, c_str stable
+    std::map<std::string, std::uint16_t> internIds_;
+    std::unordered_map<const void *, std::uint16_t> pointerIds_;
     std::map<int, std::string> processNames_;
     std::map<std::pair<int, int>, std::string> threadNames_;
+
+    // --- legacy backend store ---------------------------------------
+    std::vector<TraceEvent> legacyEvents_;
+
+    // --- lazy materialization of the binary store -------------------
+    mutable std::vector<TraceEvent> cache_;
+    mutable bool cacheValid_ = false;
 };
+
+/**
+ * Write the trace in the format `path`'s extension names: `.flepbin`
+ * gets the binary format, anything else Chrome JSON. The single exit
+ * point for CoRunConfig::tracePath / ClusterConfig::tracePath /
+ * FLEP_TRACE. @return false on I/O error.
+ */
+bool writeTraceFile(const TraceRecorder &tr, const std::string &path);
 
 /** Escape a string for embedding in a JSON string literal. */
 std::string jsonEscape(const std::string &s);

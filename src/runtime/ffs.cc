@@ -145,10 +145,9 @@ FfsPolicy::rotate(RuntimeContext &ctx)
         slotEnd_ = ctx.now() + epochBase(ctx) * weightOf(slot.priority);
         if (TraceRecorder *tr = ctx.tracer()) {
             tr->instant(ctx.runtimeTracePid(), 0, "ffs:rotate",
-                        format("\"owner\":%d,\"slot_ns\":%llu",
-                               pid,
-                               static_cast<unsigned long long>(
-                                   slotEnd_ - ctx.now())));
+                        {{"owner", pid},
+                         {"slot_ns", static_cast<unsigned long long>(
+                                         slotEnd_ - ctx.now())}});
         }
         grantFrom(ctx, pid);
         maybeArmBoundary(ctx);
@@ -243,11 +242,9 @@ FfsPolicy::onTimer(RuntimeContext &ctx)
         // Slot expired mid-kernel: this is where FFS pays preemption
         // overhead.
         if (TraceRecorder *tr = ctx.tracer()) {
-            tr->instant(ctx.runtimeTracePid(), 0,
-                        "ffs:slot-expire",
-                        format("\"owner\":%d,\"kernel\":\"%s\"",
-                               slotOwner_,
-                               current_->kernel().c_str()));
+            tr->instant(ctx.runtimeTracePid(), 0, "ffs:slot-expire",
+                        {{"owner", slotOwner_},
+                         {"kernel", current_->kernel()}});
         }
         ctx.preempt(*current_);
         // onPreempted rotates once the kernel drains.

@@ -33,12 +33,10 @@ HostProcess::start()
 }
 
 void
-HostProcess::traceInstant(const char *name, std::string args)
+HostProcess::traceInstant(const char *name, TraceArgs args)
 {
-    if (TraceRecorder *tr = sim_.tracer()) {
-        tr->instant(TraceRecorder::hostPid(pid_), 0, name,
-                    std::move(args));
-    }
+    if (TraceRecorder *tr = sim_.tracer())
+        tr->instant(TraceRecorder::hostPid(pid_), 0, name, args);
 }
 
 void
@@ -46,8 +44,7 @@ HostProcess::traceBeginSpan()
 {
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->begin(TraceRecorder::hostPid(pid_), 0, "on-gpu",
-                  format("\"kernel\":\"%s\"",
-                         inv_->workload->name().c_str()));
+                  {{"kernel", inv_->workload->name()}});
         inv_->traceSpanOpen = true;
     }
 }
@@ -149,8 +146,7 @@ HostProcess::grantLaunch()
         if (inv_->exec->flagHostValue() != 0)
             inv_->exec->setFlag(sim_.now(), 0);
         traceInstant(inv_->preemptions > 0 ? "resume" : "launch",
-                     format("\"kernel\":\"%s\"",
-                            inv_->workload->name().c_str()));
+                     {{"kernel", inv_->workload->name()}});
         traceBeginSpan();
         gpu_.launch(inv_->exec, gpu_.config().kernelLaunchNs);
     });
@@ -192,9 +188,8 @@ HostProcess::launchSlice(Tick extra_latency)
     };
 
     state_ = State::WaitingGpu;
-    traceInstant("launch",
-                 format("\"kernel\":\"%s\",\"slice_tasks\":%ld",
-                        inv_->workload->name().c_str(), tasks));
+    traceInstant("launch", {{"kernel", inv_->workload->name()},
+                            {"slice_tasks", tasks}});
     traceBeginSpan();
     // The first slice pays the full launch overhead; subsequent
     // slices were queued asynchronously while their predecessor ran,
@@ -226,8 +221,7 @@ HostProcess::signalPreempt(int sm_count)
             return;
         }
         inv_->exec->setFlag(sim_.now(), sm_count);
-        traceInstant("preempt-signal",
-                     format("\"flag\":%d", sm_count));
+        traceInstant("preempt-signal", {{"flag", sm_count}});
     });
 }
 
@@ -241,7 +235,7 @@ HostProcess::signalRefill(int sm_count)
             return;
         }
         inv_->exec->setFlag(sim_.now(), 0);
-        traceInstant("resume", format("\"refill_sms\":%d", sm_count));
+        traceInstant("resume", {{"refill_sms", sm_count}});
         const long wave =
             static_cast<long>(sm_count) *
             gpu_.maxActivePerSm(inv_->exec->desc().footprint);
@@ -254,10 +248,8 @@ void
 HostProcess::handleComplete(Tick now)
 {
     traceEndSpan();
-    traceInstant("finish",
-                 format("\"kernel\":\"%s\",\"preemptions\":%d",
-                        inv_->workload->name().c_str(),
-                        inv_->preemptions));
+    traceInstant("finish", {{"kernel", inv_->workload->name()},
+                            {"preemptions", inv_->preemptions}});
     InvocationResult res;
     res.kernel = inv_->workload->name();
     res.process = pid_;
@@ -294,10 +286,8 @@ HostProcess::handleDrained(Tick now)
     (void)now;
     traceEndSpan();
     inv_->preemptions += 1;
-    traceInstant("drain",
-                 format("\"kernel\":\"%s\",\"preemptions\":%d",
-                        inv_->workload->name().c_str(),
-                        inv_->preemptions));
+    traceInstant("drain", {{"kernel", inv_->workload->name()},
+                           {"preemptions", inv_->preemptions}});
     state_ = State::WaitingGrant;
     const KernelId id = inv_->id;
     sim_.events().scheduleAfter(ipc(), [this, id]() {

@@ -20,6 +20,7 @@
 
 #include "common/types.hh"
 #include "gpu/gpu_device.hh"
+#include "obs/trace_recorder.hh"
 #include "runtime/dispatcher.hh"
 #include "sim/sim_object.hh"
 #include "workload/workload.hh"
@@ -157,7 +158,7 @@ class HostProcess : public SimObject
 
     // Lifecycle events on this host's trace track (no-ops when the
     // simulation is not being traced).
-    void traceInstant(const char *name, std::string args = {});
+    void traceInstant(const char *name, TraceArgs args = {});
     void traceBeginSpan();
     void traceEndSpan();
 

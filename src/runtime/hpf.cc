@@ -33,11 +33,10 @@ HpfPolicy::preemptAndSchedule(RuntimeContext &ctx,
     }
     if (TraceRecorder *tr = ctx.tracer()) {
         tr->instant(ctx.runtimeTracePid(), 0, "hpf:decision",
-                    format("\"kind\":\"%s\",\"incoming\":\"%s\","
-                           "\"victim\":\"%s\",\"sms\":%d",
-                           preemptionKindName(plan),
-                           incoming.kernel().c_str(),
-                           victim.kernel().c_str(), plan.smCount));
+                    {{"kind", preemptionKindName(plan)},
+                     {"incoming", incoming.kernel()},
+                     {"victim", victim.kernel()},
+                     {"sms", plan.smCount}});
     }
     if (plan.spatial) {
         ctx.grantSpatial(incoming, victim, plan.smCount);
@@ -142,10 +141,9 @@ HpfPolicy::scheduleForQueue(RuntimeContext &ctx, Priority p)
     kr->refresh(ctx.now());
     if (kr->tr() > ks->tr() + ctx.overheadOf(kr->kernel())) {
         if (TraceRecorder *tr = ctx.tracer()) {
-            tr->instant(
-                ctx.runtimeTracePid(), 0, "hpf:srt-preempt",
-                format("\"victim\":\"%s\",\"next\":\"%s\"",
-                       kr->kernel().c_str(), ks->kernel().c_str()));
+            tr->instant(ctx.runtimeTracePid(), 0, "hpf:srt-preempt",
+                        {{"victim", kr->kernel()},
+                         {"next", ks->kernel()}});
         }
         ctx.preempt(*kr);
         ctx.queues().popFront(p);

@@ -53,10 +53,16 @@ void
 FlepRuntime::traceQueueDepth()
 {
     if (TraceRecorder *tr = sim_.tracer()) {
-        tr->counter(runtimeTracePid(), 0, "wait-queue-depth",
-                    static_cast<double>(queues_.size()));
-        tr->counter(runtimeTracePid(), 0, "tracked-invocations",
-                    static_cast<double>(records_.size()));
+        if (queueDepthCounter_ == TraceRecorder::invalidCounter) {
+            queueDepthCounter_ = tr->counterTrack(
+                runtimeTracePid(), 0, "wait-queue-depth");
+            trackedCounter_ = tr->counterTrack(
+                runtimeTracePid(), 0, "tracked-invocations");
+        }
+        tr->counterSample(queueDepthCounter_,
+                          static_cast<double>(queues_.size()));
+        tr->counterSample(trackedCounter_,
+                          static_cast<double>(records_.size()));
     }
 }
 
@@ -100,10 +106,10 @@ FlepRuntime::onInvoke(HostProcess &host)
     records_.emplace(&host, std::move(rec));
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(TraceRecorder::hostPid(host.pid()), 0, "invoke",
-                    format("\"kernel\":\"%s\",\"priority\":%d,"
-                           "\"predicted_ns\":%llu",
-                           raw->kernel().c_str(), raw->priority(),
-                           static_cast<unsigned long long>(raw->te())));
+                    {{"kernel", raw->kernel()},
+                     {"priority", raw->priority()},
+                     {"predicted_ns",
+                      static_cast<unsigned long long>(raw->te())}});
     }
     policy_->onArrival(*this, *raw);
     traceQueueDepth();
@@ -138,8 +144,8 @@ FlepRuntime::onFinished(HostProcess &host)
     if (was_guest && running_ != nullptr) {
         if (TraceRecorder *tr = sim_.tracer()) {
             tr->instant(runtimeTracePid(), 0, "spatial-resume",
-                        format("\"victim\":\"%s\",\"sms\":%d",
-                               running_->kernel().c_str(), guestSms_));
+                        {{"victim", running_->kernel()},
+                         {"sms", guestSms_}});
         }
     }
 
@@ -168,8 +174,8 @@ FlepRuntime::onDrained(HostProcess &host)
         running_ = nullptr;
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(runtimeTracePid(), 0, "drained",
-                    format("\"kernel\":\"%s\",\"preemptions\":%d",
-                           rec->kernel().c_str(), rec->preemptions()));
+                    {{"kernel", rec->kernel()},
+                     {"preemptions", rec->preemptions()}});
     }
     policy_->onPreempted(*this, *rec);
     traceQueueDepth();
@@ -184,8 +190,7 @@ FlepRuntime::grant(KernelRecord &rec)
     running_ = &rec;
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(runtimeTracePid(), 0, "grant",
-                    format("\"kernel\":\"%s\",\"pid\":%d",
-                           rec.kernel().c_str(), rec.process()));
+                    {{"kernel", rec.kernel()}, {"pid", rec.process()}});
     }
     rec.host().grantLaunch();
 }
@@ -199,10 +204,9 @@ FlepRuntime::grantSpatial(KernelRecord &incoming, KernelRecord &victim,
     ++preemptsSignalled_;
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(runtimeTracePid(), 0, "spatial-yield",
-                    format("\"incoming\":\"%s\",\"victim\":\"%s\","
-                           "\"sms\":%d",
-                           incoming.kernel().c_str(),
-                           victim.kernel().c_str(), sm_count));
+                    {{"incoming", incoming.kernel()},
+                     {"victim", victim.kernel()},
+                     {"sms", sm_count}});
     }
     victim.host().signalPreempt(sm_count);
     guest_ = &incoming;
@@ -218,8 +222,8 @@ FlepRuntime::preempt(KernelRecord &victim)
     preemptSignalTick_[&victim] = sim_.now();
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(runtimeTracePid(), 0, "preempt-signal",
-                    format("\"victim\":\"%s\",\"pid\":%d",
-                           victim.kernel().c_str(), victim.process()));
+                    {{"victim", victim.kernel()},
+                     {"pid", victim.process()}});
     }
     victim.touch(sim_.now(), KernelRecord::State::Draining);
     if (running_ == &victim)

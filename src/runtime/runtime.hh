@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 
 #include "gpu/gpu_device.hh"
+#include "obs/trace_recorder.hh"
 #include "perfmodel/overhead_profiler.hh"
 #include "perfmodel/trainer.hh"
 #include "runtime/dispatcher.hh"
@@ -133,6 +134,11 @@ class FlepRuntime : public SimObject,
     KernelRecord *guest_ = nullptr;
     int guestSms_ = 0;
     EventId timer_ = 0;
+    /** Pre-resolved queue-depth counter tracks (lazy). */
+    TraceRecorder::CounterHandle queueDepthCounter_ =
+        TraceRecorder::invalidCounter;
+    TraceRecorder::CounterHandle trackedCounter_ =
+        TraceRecorder::invalidCounter;
     bool timerArmed_ = false;
     long preemptsSignalled_ = 0;
     SampleStats preemptLatency_;

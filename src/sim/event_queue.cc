@@ -26,6 +26,13 @@ EventQueue::scheduleAfter(Tick delay, Callback cb)
     return schedule(now_ + delay, std::move(cb));
 }
 
+void
+EventQueue::reserve(std::size_t n)
+{
+    heap_.reserve(n);
+    state_.reserve(n);
+}
+
 bool
 EventQueue::deschedule(EventId id)
 {

@@ -82,6 +82,13 @@ class EventQueue
      */
     Tick runUntil(Tick limit);
 
+    /**
+     * Pre-size the heap and id-state table for roughly `n` concurrently
+     * pending events, so warmup (device construction, the first launch
+     * wave) does not regrow either vector. Never shrinks.
+     */
+    void reserve(std::size_t n);
+
     /** Total number of events executed since construction. */
     std::uint64_t executedCount() const { return executed_; }
 

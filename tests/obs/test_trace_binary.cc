@@ -1,0 +1,325 @@
+/** @file Binary trace backend: parity, delta encoding, ring
+ * eviction, and the versioned .flepbin on-disk round trip.
+ *
+ * The headline guarantees under test:
+ *  - a co-run recorded through the binary backend renders Chrome JSON
+ *    byte-identical to the legacy record-time-formatting recorder
+ *    (both backends share one typed front end), and
+ *  - writeBinFile -> readBinFile -> writeJson reproduces that JSON
+ *    byte-for-byte, so `fleptrace --to-json` is lossless.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "flep/experiment.hh"
+#include "obs/trace_recorder.hh"
+#include "sim/event_queue.hh"
+
+namespace flep
+{
+namespace
+{
+
+std::string
+renderJson(const TraceRecorder &tr)
+{
+    std::ostringstream os;
+    tr.writeJson(os);
+    return os.str();
+}
+
+/** A temp-file path for one .flepbin round trip. */
+std::string
+tmpBinPath(const char *tag)
+{
+    return testing::TempDir() + "flep_test_" + tag + ".flepbin";
+}
+
+/** Record an identical mixed-kind event stream into `tr`. */
+void
+recordSampleStream(TraceRecorder &tr, EventQueue &q)
+{
+    tr.setProcessName(1, "GPU");
+    tr.setThreadName(1, 0, "SM00");
+    tr.instant(1, 0, "launch",
+               {{"kernel", std::string("MM")},
+                {"priority", 5},
+                {"predicted_ns", 123456789ull},
+                {"ratio", 0.375},
+                {"preempts", true},
+                {"kind", "temporal"}});
+    tr.begin(10, 0, "on-gpu", {{"kernel", std::string("MM")}});
+    q.schedule(1500, []() {});
+    q.run();
+    tr.counter(1, 0, "occupancy.sm00", 3.0);
+    tr.counter(1, 0, "occupancy.sm00", 3.0); // suppressed
+    tr.counter(1, 0, "occupancy.sm00", 2.0);
+    tr.end(10, 0, "on-gpu");
+    tr.instant(2, 0, "tick");
+}
+
+TEST(TraceBinary, BackendsRenderIdenticalJsonForTypedStream)
+{
+    EventQueue qb, ql;
+    TraceRecorder binary(qb, TraceBackend::Binary);
+    TraceRecorder legacy(ql, TraceBackend::Legacy);
+    recordSampleStream(binary, qb);
+    recordSampleStream(legacy, ql);
+    EXPECT_EQ(binary.eventCount(), legacy.eventCount());
+    EXPECT_EQ(renderJson(binary), renderJson(legacy));
+}
+
+TEST(TraceBinary, CounterSuppressionIsSharedByBothBackends)
+{
+    for (TraceBackend backend :
+         {TraceBackend::Binary, TraceBackend::Legacy}) {
+        EventQueue q;
+        TraceRecorder tr(q, backend);
+        tr.counter(1, 0, "depth", 1.0);
+        tr.counter(1, 0, "depth", 1.0);
+        tr.counter(1, 0, "depth", 1.0);
+        tr.counter(1, 0, "depth", 2.0);
+        tr.counter(1, 1, "depth", 2.0); // distinct track, not a rerun
+        EXPECT_EQ(tr.eventCount(), 3u);
+    }
+}
+
+TEST(TraceBinary, DeltaEncodingReconstructsAbsoluteTimestamps)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    tr.instant(1, 0, "a");
+    q.schedule(100, []() {});
+    q.run();
+    tr.instant(1, 0, "b");
+    tr.instant(2, 0, "c"); // fresh track: delta from 0
+    q.schedule(250, []() {});
+    q.run();
+    tr.instant(1, 0, "d");
+    const auto &evs = tr.events();
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs[0].ts, 0u);
+    EXPECT_EQ(evs[1].ts, 100u);
+    EXPECT_EQ(evs[2].ts, 100u);
+    EXPECT_EQ(evs[3].ts, 250u);
+}
+
+TEST(TraceBinary, CounterHandlesSurviveClear)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    const auto handle = tr.counterTrack(1, 3, "depth");
+    tr.counterSample(handle, 4.0);
+    tr.clear();
+    EXPECT_EQ(tr.eventCount(), 0u);
+    // Suppression state must reset too: the same value records again.
+    tr.counterSample(handle, 4.0);
+    ASSERT_EQ(tr.eventCount(), 1u);
+    EXPECT_EQ(tr.events()[0].pid, 1);
+    EXPECT_EQ(tr.events()[0].tid, 3);
+    EXPECT_DOUBLE_EQ(tr.events()[0].value, 4.0);
+}
+
+TEST(TraceBinary, RingEvictionKeepsRecentWindowDecodable)
+{
+    EventQueue q;
+    TraceRecorder bounded(q);
+    TraceRecorder unbounded(q);
+    // One segment of ring capacity; append a few segments' worth.
+    bounded.setRingCapacity(1);
+    constexpr int total = 3 * 4096 + 123;
+    for (int i = 0; i < total; ++i) {
+        q.schedule(q.now() + 10, []() {});
+        q.run();
+        bounded.instant(1, 0, "ev", {{"i", i}});
+        unbounded.instant(1, 0, "ev", {{"i", i}});
+    }
+    EXPECT_EQ(bounded.eventCount(), static_cast<std::size_t>(total));
+    EXPECT_LT(bounded.liveEventCount(), bounded.eventCount());
+
+    // The retained tail must decode to the same absolute timestamps
+    // and args as the corresponding tail of the unbounded recorder.
+    const auto &kept = bounded.events();
+    const auto &all = unbounded.events();
+    ASSERT_LE(kept.size(), all.size());
+    const std::size_t skip = all.size() - kept.size();
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        ASSERT_EQ(kept[i].ts, all[skip + i].ts);
+        ASSERT_EQ(kept[i].args, all[skip + i].args);
+    }
+}
+
+TEST(TraceBinary, BinFileRoundTripsByteIdenticalJson)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    recordSampleStream(tr, q);
+    const std::string path = tmpBinPath("roundtrip");
+    ASSERT_TRUE(tr.writeBinFile(path));
+
+    TraceRecorder loaded;
+    ASSERT_TRUE(loaded.readBinFile(path));
+    EXPECT_EQ(loaded.eventCount(), tr.eventCount());
+    EXPECT_EQ(renderJson(loaded), renderJson(tr));
+    std::remove(path.c_str());
+}
+
+TEST(TraceBinary, BinFileRoundTripsAfterRingEviction)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    tr.setRingCapacity(1);
+    for (int i = 0; i < 10000; ++i) {
+        q.schedule(q.now() + 7, []() {});
+        q.run();
+        tr.instant(1, 0, "ev", {{"i", i}});
+    }
+    ASSERT_LT(tr.liveEventCount(), tr.eventCount());
+    const std::string path = tmpBinPath("evicted");
+    ASSERT_TRUE(tr.writeBinFile(path));
+
+    TraceRecorder loaded;
+    ASSERT_TRUE(loaded.readBinFile(path));
+    EXPECT_EQ(loaded.eventCount(), tr.eventCount());
+    EXPECT_EQ(loaded.liveEventCount(), tr.liveEventCount());
+    EXPECT_EQ(renderJson(loaded), renderJson(tr));
+    std::remove(path.c_str());
+}
+
+TEST(TraceBinary, RecordingContinuesAfterLoad)
+{
+    const std::string path = tmpBinPath("continue");
+    {
+        EventQueue q;
+        TraceRecorder tr(q);
+        tr.instant(1, 0, "before", {{"k", 1}});
+        ASSERT_TRUE(tr.writeBinFile(path));
+    }
+    TraceRecorder loaded;
+    ASSERT_TRUE(loaded.readBinFile(path));
+    EventQueue q;
+    q.schedule(42, []() {});
+    q.run();
+    loaded.bindClock(q);
+    loaded.instant(1, 0, "after", {{"k", 2}});
+    const auto &evs = loaded.events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_STREQ(evs[0].name, "before");
+    EXPECT_STREQ(evs[1].name, "after");
+    EXPECT_EQ(evs[1].ts, 42u);
+    EXPECT_EQ(evs[1].args, "\"k\":2");
+    std::remove(path.c_str());
+}
+
+TEST(TraceBinary, ReadRejectsGarbageAndMissingFiles)
+{
+    TraceRecorder tr;
+    EXPECT_FALSE(tr.readBinFile(testing::TempDir() + "flep_no_such"));
+
+    const std::string path = tmpBinPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a flepbin trace", f);
+    std::fclose(f);
+    TraceRecorder tr2;
+    EXPECT_FALSE(tr2.readBinFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(TraceBinary, WriteTraceFileDispatchesOnExtension)
+{
+    EXPECT_TRUE(TraceRecorder::looksLikeBinPath("run.flepbin"));
+    EXPECT_FALSE(TraceRecorder::looksLikeBinPath("run.json"));
+    EXPECT_FALSE(TraceRecorder::looksLikeBinPath("flepbin"));
+
+    EventQueue q;
+    TraceRecorder tr(q);
+    tr.instant(1, 0, "ev");
+    const std::string bin = tmpBinPath("dispatch");
+    const std::string json = testing::TempDir() + "flep_dispatch.json";
+    ASSERT_TRUE(writeTraceFile(tr, bin));
+    ASSERT_TRUE(writeTraceFile(tr, json));
+    TraceRecorder loaded;
+    EXPECT_TRUE(loaded.readBinFile(bin));
+    EXPECT_FALSE(TraceRecorder().readBinFile(json));
+    std::remove(bin.c_str());
+    std::remove(json.c_str());
+}
+
+/** Full co-run equivalence: the acceptance-criteria suite. */
+class TraceBinaryCoRun : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 20, 6));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+    }
+
+    static CoRunConfig
+    preemptionCoRun()
+    {
+        CoRunConfig cfg;
+        cfg.scheduler = SchedulerKind::FlepHpf;
+        cfg.kernels = {{"VA", InputClass::Large, 0, 0, 1},
+                       {"MM", InputClass::Small, 5, 1 * ticksPerMs, 1}};
+        return cfg;
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *TraceBinaryCoRun::suite_ = nullptr;
+OfflineArtifacts *TraceBinaryCoRun::artifacts_ = nullptr;
+
+TEST_F(TraceBinaryCoRun, BinaryMatchesLegacyJsonEventForEvent)
+{
+    TraceRecorder binary(TraceBackend::Binary);
+    TraceRecorder legacy(TraceBackend::Legacy);
+
+    CoRunConfig cfg = preemptionCoRun();
+    cfg.tracer = &binary;
+    const auto res_b = runCoRun(*suite_, *artifacts_, cfg);
+    cfg.tracer = &legacy;
+    const auto res_l = runCoRun(*suite_, *artifacts_, cfg);
+
+    ASSERT_GE(res_b.preemptions, 1);
+    ASSERT_EQ(res_b.makespanNs, res_l.makespanNs);
+    ASSERT_GT(binary.eventCount(), 0u);
+    ASSERT_EQ(binary.eventCount(), legacy.eventCount());
+    EXPECT_EQ(renderJson(binary), renderJson(legacy));
+}
+
+TEST_F(TraceBinaryCoRun, CoRunBinFileConvertsToIdenticalJson)
+{
+    TraceRecorder tr;
+    CoRunConfig cfg = preemptionCoRun();
+    cfg.tracer = &tr;
+    runCoRun(*suite_, *artifacts_, cfg);
+    ASSERT_GT(tr.eventCount(), 0u);
+
+    // The fleptrace --to-json pipeline, in-process.
+    const std::string path = tmpBinPath("corun");
+    ASSERT_TRUE(tr.writeBinFile(path));
+    TraceRecorder loaded;
+    ASSERT_TRUE(loaded.readBinFile(path));
+    EXPECT_EQ(loaded.eventCount(), tr.eventCount());
+    EXPECT_EQ(renderJson(loaded), renderJson(tr));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace flep

@@ -55,7 +55,7 @@ TEST(TraceRecorder, EventKindsRecordTheirFields)
 {
     EventQueue q;
     TraceRecorder tr(q);
-    tr.begin(3, 1, "span", "\"k\":1");
+    tr.begin(3, 1, "span", {{"k", 1}});
     tr.end(3, 1, "span");
     tr.instant(2, 0, "tick");
     tr.counter(1, 4, "depth", 2.5);
@@ -76,7 +76,7 @@ TEST(TraceRecorder, JsonHasMetadataAndEvents)
     TraceRecorder tr(q);
     tr.setProcessName(1, "GPU");
     tr.setThreadName(1, 0, "SM00");
-    tr.instant(1, 0, "launch", "\"kernel\":\"MM\"");
+    tr.instant(1, 0, "launch", {{"kernel", "MM"}});
     tr.counter(1, 0, "occupancy.sm00", 3.0);
 
     std::ostringstream os;

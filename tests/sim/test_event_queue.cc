@@ -282,6 +282,25 @@ TEST(EventQueue, CompactionPreservesFifoOrder)
         EXPECT_LT(order[i - 1], order[i]);
 }
 
+TEST(EventQueue, ReservePreservesBehavior)
+{
+    // reserve() is a pure capacity hint: scheduling, cancellation and
+    // ordering are unchanged, with or without it, over the hint size.
+    EventQueue q;
+    q.reserve(16);
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        q.schedule(static_cast<Tick>(100 - i),
+                   [&order, i]() { order.push_back(i); });
+    const EventId extra = q.schedule(1000, []() {});
+    EXPECT_TRUE(q.deschedule(extra));
+    q.run();
+    ASSERT_EQ(order.size(), 100u);
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_GT(order[i - 1], order[i]);
+    EXPECT_EQ(q.executedCount(), 100u);
+}
+
 TEST(EventQueue, StressManyEventsStayOrdered)
 {
     EventQueue q;

@@ -21,7 +21,12 @@
  *   --spatial            enable HPF's spatial preemption path
  *   --horizon-ms=<N>     stop time for infinite workloads
  *   --seed=<N>           simulation seed (default 1)
- *   --out=<file>         trace JSON path (default fleptrace.json)
+ *   --out=<file>         trace path (default fleptrace.json; a
+ *                        .flepbin suffix selects the binary format)
+ *   --bin-out=<file>     additionally write the binary trace
+ *   --backend=binary|legacy   recorder backend (default binary)
+ *   --to-json=<in>       convert an existing .flepbin to Chrome JSON
+ *                        (written to --out) and exit; no replay
  *   --counters           include counter samples in the text timeline
  *   --max-lines=<N>      cap on printed timeline lines (default 200)
  *   --list-workloads     list the benchmark suite and exit
@@ -51,6 +56,9 @@ struct Options
 {
     CoRunConfig cfg;
     std::string out = "fleptrace.json";
+    std::string bin_out;
+    std::string to_json;
+    TraceBackend backend = TraceBackend::Binary;
     bool counters = false;
     bool list = false;
     long max_lines = 200;
@@ -70,7 +78,12 @@ usage(int code)
         "  --spatial            enable HPF spatial preemption\n"
         "  --horizon-ms=<N>     stop time for infinite workloads\n"
         "  --seed=<N>           simulation seed (default 1)\n"
-        "  --out=<file>         trace JSON path (fleptrace.json)\n"
+        "  --out=<file>         trace path (fleptrace.json; .flepbin\n"
+        "                       suffix selects the binary format)\n"
+        "  --bin-out=<file>     additionally write the binary trace\n"
+        "  --backend=binary|legacy  recorder backend (binary)\n"
+        "  --to-json=<in>       convert a .flepbin to Chrome JSON at\n"
+        "                       --out and exit\n"
         "  --counters           include counters in the timeline\n"
         "  --max-lines=<N>      printed timeline cap (default 200)\n"
         "  --list-workloads     list the benchmark suite\n"
@@ -178,6 +191,23 @@ parseArgs(int argc, char **argv)
                 parseLong(arg.substr(7), "seed"));
         } else if (startsWith(arg, "--out=")) {
             opts.out = arg.substr(6);
+        } else if (startsWith(arg, "--bin-out=")) {
+            opts.bin_out = arg.substr(10);
+        } else if (startsWith(arg, "--to-json=")) {
+            opts.to_json = arg.substr(10);
+        } else if (startsWith(arg, "--backend=")) {
+            const std::string kind = arg.substr(10);
+            if (kind == "binary") {
+                opts.backend = TraceBackend::Binary;
+            } else if (kind == "legacy") {
+                opts.backend = TraceBackend::Legacy;
+            } else {
+                std::fprintf(stderr,
+                             "fleptrace: unknown backend '%s' "
+                             "(binary, legacy)\n",
+                             kind.c_str());
+                std::exit(2);
+            }
         } else if (arg == "--counters") {
             opts.counters = true;
         } else if (startsWith(arg, "--max-lines=")) {
@@ -276,6 +306,25 @@ main(int argc, char **argv)
     const Options opts = parseArgs(argc, argv);
 
     try {
+        if (!opts.to_json.empty()) {
+            // Conversion mode: no replay, just decode and re-emit.
+            TraceRecorder tr;
+            if (!tr.readBinFile(opts.to_json)) {
+                std::fprintf(stderr, "fleptrace: cannot read %s\n",
+                             opts.to_json.c_str());
+                return 1;
+            }
+            if (!writeTraceFile(tr, opts.out)) {
+                std::fprintf(stderr, "fleptrace: cannot write %s\n",
+                             opts.out.c_str());
+                return 1;
+            }
+            std::printf("converted %s (%zu events) to %s\n",
+                        opts.to_json.c_str(), tr.eventCount(),
+                        opts.out.c_str());
+            return 0;
+        }
+
         BenchmarkSuite suite;
         if (opts.list) {
             for (const auto &name : suite.names())
@@ -302,7 +351,7 @@ main(int argc, char **argv)
         const OfflineArtifacts &artifacts =
             defaultArtifacts(suite, opts.cfg.gpu);
 
-        TraceRecorder tr;
+        TraceRecorder tr(opts.backend);
         CoRunConfig cfg = opts.cfg;
         cfg.tracer = &tr;
         const CoRunResult res = runCoRun(suite, artifacts, cfg);
@@ -310,9 +359,14 @@ main(int argc, char **argv)
         printTimeline(tr, opts);
         printSummary(cfg, res, tr);
 
-        if (!tr.writeJsonFile(opts.out)) {
+        if (!writeTraceFile(tr, opts.out)) {
             std::fprintf(stderr, "fleptrace: cannot write %s\n",
                          opts.out.c_str());
+            return 1;
+        }
+        if (!opts.bin_out.empty() && !tr.writeBinFile(opts.bin_out)) {
+            std::fprintf(stderr, "fleptrace: cannot write %s\n",
+                         opts.bin_out.c_str());
             return 1;
         }
         std::printf("wrote %s (load in https://ui.perfetto.dev or "
