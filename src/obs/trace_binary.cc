@@ -325,11 +325,15 @@ TraceRecorder::readBinFile(const std::string &path)
             !getLe(is, track) || !getLe(is, name) || !getLe(is, ph)) {
             return false;
         }
-        if (track >= tracks_.size())
+        // The writer always stores a valid interned name id — for
+        // counters too (Track::nameId) — and only these four phase
+        // bytes; anything else is corruption, and consumers index
+        // nameTable_[name] and embed ph in JSON unescaped.
+        if (track >= tracks_.size() || name >= nameTable_.size())
             return false;
-        if (ph != 'C' && name >= nameTable_.size())
+        if (ph != 'B' && ph != 'E' && ph != 'i' && ph != 'C')
             return false;
-        TraceRecord &r = allocRecord();
+        TraceRecord &r = allocRecord(argCount_);
         r.tickDelta = delta;
         r.track = track;
         r.name = name;

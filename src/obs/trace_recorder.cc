@@ -127,21 +127,21 @@ TraceRecorder::trackOf(int pid, int tid, std::uint16_t counter_name)
 }
 
 void
-TraceRecorder::growRecordChunk()
+TraceRecorder::growRecordChunk(std::uint64_t pending_arg_base)
 {
     if (ringChunks_ != 0 && recChunks_.size() >= ringChunks_) {
-        evictFrontChunk();
+        evictFrontChunk(pending_arg_base);
     } else {
         recChunks_.push_back(RecordChunk{
             std::make_unique<TraceRecord[]>(kRecordsPerChunk),
-            argCount_});
+            pending_arg_base});
     }
     recCur_ = recChunks_.back().recs.get();
     recLeft_ = kRecordsPerChunk;
 }
 
 void
-TraceRecorder::evictFrontChunk()
+TraceRecorder::evictFrontChunk(std::uint64_t pending_arg_base)
 {
     // Ring mode: recycle the oldest segment. Replay its records into
     // the baseline cursor table first so the deltas of everything
@@ -154,15 +154,17 @@ TraceRecorder::evictFrontChunk()
 
     // Argument slots below the new front chunk's watermark are
     // unreachable; drop whole arena segments that fell below it. A
-    // one-chunk ring has no remaining chunk: everything is dead.
-    const std::uint64_t live_floor =
-        recChunks_.empty() ? argCount_ : recChunks_.front().argBase;
+    // one-chunk ring has no remaining chunk: everything below the
+    // pending record's own (already packed) arguments is dead.
+    const std::uint64_t live_floor = recChunks_.empty()
+        ? pending_arg_base
+        : recChunks_.front().argBase;
     while (argFloor_ + kArgsPerChunk <= live_floor) {
         argChunks_.pop_front();
         argFloor_ += kArgsPerChunk;
     }
 
-    front.argBase = argCount_;
+    front.argBase = pending_arg_base;
     recChunks_.push_back(std::move(front));
 }
 
@@ -289,7 +291,8 @@ TraceRecorder::event(char ph, int pid, int tid, const char *name,
     if (backend_ == TraceBackend::Binary) {
         FLEP_ASSERT(argCount_ + args.size() <= 0xffffffffull,
                     "trace argument arena overflow");
-        const std::uint32_t off = static_cast<std::uint32_t>(argCount_);
+        const std::uint64_t arg_base = argCount_;
+        const std::uint32_t off = static_cast<std::uint32_t>(arg_base);
         for (const TraceArg &arg : args) {
             if (argLeft_ == 0) {
                 argChunks_.push_back(
@@ -301,7 +304,7 @@ TraceRecorder::event(char ph, int pid, int tid, const char *name,
             --argLeft_;
             ++argCount_;
         }
-        TraceRecord &r = allocRecord();
+        TraceRecord &r = allocRecord(arg_base);
         r.tickDelta = now - t.cursor;
         r.payload.args.off = off;
         r.payload.args.count =

@@ -109,6 +109,9 @@ class TraceArg
         : key_(key), kind_(Kind::Real) { d_ = v; }
     TraceArg(const char *key, bool v)
         : key_(key), kind_(Kind::Bool) { b_ = v; }
+    /** Any other object pointer would otherwise decay to the bool
+     *  overload and silently record true/false; refuse it. */
+    TraceArg(const char *key, const volatile void *) = delete;
 
     /** Wire type tag; stored verbatim in PackedTraceArg::kind. */
     enum class Kind : std::uint8_t
@@ -380,7 +383,10 @@ class TraceRecorder
     struct RecordChunk
     {
         std::unique_ptr<TraceRecord[]> recs;
-        std::uint64_t argBase = 0; //!< argCount_ when the chunk opened
+        /** Arena offset of the chunk's first record's first argument
+         *  (== the arena count at that point for argless records); the
+         *  ring-eviction watermark below which arg segments are dead. */
+        std::uint64_t argBase = 0;
     };
 
     Tick
@@ -396,19 +402,24 @@ class TraceRecorder
                TraceArgs args);
 
     /** Append one record slot. Inline bump-pointer fast path; the
-     *  chunk-boundary slow path (grow or ring-evict) is out of line. */
+     *  chunk-boundary slow path (grow or ring-evict) is out of line.
+     *  `pending_arg_base` is the arena offset of the pending record's
+     *  first argument — argCount_ *before* its args were packed, which
+     *  is argCount_ itself for argless records — and becomes the new
+     *  chunk's argBase on a roll, so eviction never drops arena
+     *  segments the record still references. */
     TraceRecord &
-    allocRecord()
+    allocRecord(std::uint64_t pending_arg_base)
     {
         if (recLeft_ == 0) [[unlikely]]
-            growRecordChunk();
+            growRecordChunk(pending_arg_base);
         --recLeft_;
         ++recCount_;
         cacheValid_ = false;
         return *recCur_++;
     }
 
-    void growRecordChunk();
+    void growRecordChunk(std::uint64_t pending_arg_base);
 
     /** The counterSample() record path: inline, so a suppressed-or-
      *  recorded occupancy sample costs a handful of instructions. */
@@ -417,7 +428,7 @@ class TraceRecorder
                         double value)
     {
         const Tick now = nowTick();
-        TraceRecord &r = allocRecord();
+        TraceRecord &r = allocRecord(argCount_);
         r.tickDelta = now - t.cursor;
         r.payload.value = value;
         r.track = track_idx;
@@ -429,7 +440,7 @@ class TraceRecorder
 
     void appendLegacyCounter(const Track &t, double value);
     PackedTraceArg packArg(const TraceArg &arg);
-    void evictFrontChunk();
+    void evictFrontChunk(std::uint64_t pending_arg_base);
     const TraceRecord &recordAt(std::uint64_t i) const;
     const PackedTraceArg &argAt(std::uint64_t i) const;
     std::string formatArgs(const PackedTraceArg *args,

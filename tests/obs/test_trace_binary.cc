@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <type_traits>
 
 #include "flep/experiment.hh"
 #include "obs/trace_recorder.hh"
@@ -23,6 +24,18 @@ namespace flep
 {
 namespace
 {
+
+// TraceArg captures typed values only: an object pointer must fail to
+// compile instead of silently coercing to the bool overload.
+static_assert(!std::is_constructible_v<TraceArg, const char *, int *>,
+              "object pointers must not record as bool");
+static_assert(!std::is_constructible_v<TraceArg, const char *, void *>,
+              "void pointers must not record as bool");
+static_assert(std::is_constructible_v<TraceArg, const char *,
+                                      const char *>,
+              "C strings stay recordable");
+static_assert(std::is_constructible_v<TraceArg, const char *, bool>,
+              "bool stays recordable");
 
 std::string
 renderJson(const TraceRecorder &tr)
@@ -153,6 +166,68 @@ TEST(TraceBinary, RingEvictionKeepsRecentWindowDecodable)
     }
 }
 
+TEST(TraceBinary, RingEvictionOnArgArenaBoundaryKeepsPendingArgs)
+{
+    // Regression: the record chunk that opens at an eviction point
+    // must take the evicting event's own argument offset as its
+    // argBase, not the post-pack arena count. One argless event among
+    // 1-arg events makes the roll-triggering event's argument the last
+    // slot of an arena segment (offset 4095 of 4 * 1024), so a stale
+    // watermark (4096) would free the very segment it lives in.
+    EventQueue q;
+    TraceRecorder tr(q);
+    tr.setRingCapacity(4096); // one record segment
+    for (int i = 0; i < 4095; ++i)
+        tr.instant(1, 0, "ev", {{"i", i}});
+    tr.instant(1, 0, "gap");                 // record 4095: no args
+    tr.instant(1, 0, "edge", {{"i", 4095}}); // record 4096: evicts
+    ASSERT_EQ(tr.liveEventCount(), 1u);
+    const auto &evs = tr.events();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_STREQ(evs[0].name, "edge");
+    EXPECT_EQ(evs[0].args, "\"i\":4095");
+
+    // The on-disk round trip must agree (a stale watermark also made
+    // writeBinFile emit arg offsets below the serialized floor, which
+    // readBinFile rejects).
+    const std::string path = tmpBinPath("argedge");
+    ASSERT_TRUE(tr.writeBinFile(path));
+    TraceRecorder loaded;
+    ASSERT_TRUE(loaded.readBinFile(path));
+    EXPECT_EQ(renderJson(loaded), renderJson(tr));
+    std::remove(path.c_str());
+}
+
+TEST(TraceBinary, RingChunkOpenedOnArgArenaBoundaryKeepsItsArgs)
+{
+    // Same boundary through the non-evicting grow branch: the chunk
+    // opened at record 4096 must carry that record's argument offset
+    // (4095), because the eviction at record 8192 uses the surviving
+    // front chunk's argBase as the live floor.
+    EventQueue q;
+    TraceRecorder bounded(q);
+    TraceRecorder unbounded(q);
+    bounded.setRingCapacity(2 * 4096);
+    const auto emit = [](TraceRecorder &tr) {
+        for (int i = 0; i < 4095; ++i)
+            tr.instant(1, 0, "ev", {{"i", i}});
+        tr.instant(1, 0, "gap"); // record 4095: no args
+        for (int i = 4096; i <= 8192; ++i)
+            tr.instant(1, 0, "ev", {{"i", i}}); // 8192 evicts
+    };
+    emit(bounded);
+    emit(unbounded);
+    const auto &kept = bounded.events();
+    const auto &all = unbounded.events();
+    ASSERT_EQ(kept.size(), 4097u);
+    EXPECT_EQ(kept.front().args, "\"i\":4096");
+    const std::size_t skip = all.size() - kept.size();
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        ASSERT_EQ(kept[i].ts, all[skip + i].ts);
+        ASSERT_EQ(kept[i].args, all[skip + i].args);
+    }
+}
+
 TEST(TraceBinary, BinFileRoundTripsByteIdenticalJson)
 {
     EventQueue q;
@@ -228,6 +303,72 @@ TEST(TraceBinary, ReadRejectsGarbageAndMissingFiles)
     TraceRecorder tr2;
     EXPECT_FALSE(tr2.readBinFile(path));
     std::remove(path.c_str());
+}
+
+/** Hand-build a minimal v1 .flepbin: one name ("ev"), one span track,
+ *  no args, and a single record with the given name id and phase. */
+std::string
+craftedBin(std::uint16_t rec_name, std::uint8_t rec_ph)
+{
+    std::string s;
+    const auto le = [&s](std::uint64_t v, int bytes) {
+        for (int i = 0; i < bytes; ++i)
+            s.push_back(static_cast<char>(v >> (8 * i)));
+    };
+    s.append("FLEPBIN", 7);
+    s.push_back('\0');
+    le(1, 4);      // version
+    le(0, 4);      // flags
+    le(1, 8);      // string table: 1 entry
+    le(2, 4);
+    s.append("ev");
+    le(1, 8);      // track table: 1 entry
+    le(1, 4);      // pid
+    le(0, 4);      // tid
+    le(0xffff, 2); // nameId (span track)
+    le(0, 1);      // isCounter
+    le(0, 1);      // pad
+    le(0, 8);      // base cursors
+    le(0, 8);      // process names
+    le(0, 8);      // thread names
+    le(0, 8);      // args: total
+    le(0, 8);      // args: floor
+    le(1, 8);      // records: total
+    le(0, 8);      // records: floor
+    le(0, 8);      // tickDelta
+    le(0, 8);      // payload
+    le(0, 4);      // track
+    le(rec_name, 2);
+    le(rec_ph, 1);
+    return s;
+}
+
+bool
+readsCrafted(const std::string &bytes, const char *tag)
+{
+    const std::string path = tmpBinPath(tag);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    TraceRecorder tr;
+    const bool ok = tr.readBinFile(path);
+    std::remove(path.c_str());
+    return ok;
+}
+
+TEST(TraceBinary, ReadValidatesRecordNameAndPhase)
+{
+    EXPECT_TRUE(readsCrafted(craftedBin(0, 'i'), "craft_ok"));
+    // Counter records index the name table too; an out-of-range id
+    // must be rejected here, not crash the flush pass later.
+    EXPECT_FALSE(readsCrafted(craftedBin(7, 'C'), "craft_cname"));
+    EXPECT_FALSE(readsCrafted(craftedBin(7, 'i'), "craft_iname"));
+    // Unknown phase bytes would be emitted raw inside a JSON string.
+    EXPECT_FALSE(readsCrafted(craftedBin(0, '"'), "craft_quote"));
+    EXPECT_FALSE(readsCrafted(craftedBin(0, 'Z'), "craft_phase"));
+    EXPECT_FALSE(readsCrafted(craftedBin(0, 0), "craft_nul"));
 }
 
 TEST(TraceBinary, WriteTraceFileDispatchesOnExtension)
