@@ -2,13 +2,23 @@
  * @file
  * Cluster placement-policy sweep: SLO attainment under load.
  *
- * Sweeps placement policy x device count {1, 2, 4} x offered load
- * {0.5, 0.9, 1.2} over an open-loop two-class job mix (low-priority
- * batch jobs plus high-priority interactive jobs with a turnaround
- * SLO) and reports, per cell, high-priority SLO attainment, queueing
- * delay percentiles, device utilization and the preemption cost.
- * Results go to stdout and BENCH_cluster.json (override the path
- * with FLEP_CLUSTER_OUT).
+ * Two sweeps over open-loop job mixes (low-priority batch jobs plus
+ * high-priority interactive jobs with turnaround SLOs):
+ *
+ *  1. Placement policy x device count {1, 2, 4} x offered load
+ *     {0.5, 0.9, 1.2} — which policy keeps interactive SLOs when the
+ *     fleet saturates.
+ *  2. Prediction source (heuristic | trained | oracle) x offered
+ *     load {0.9, 1.2} under the preemptive-priority policy — what
+ *     the trained perfmodel buys over flat queue-depth-style demand
+ *     estimates, bounded by a measured-solo-duration oracle. The mix
+ *     mixes short and long same-priority interactive classes, which
+ *     the flat heuristic cannot tell apart.
+ *
+ * Per cell: high-priority SLO attainment, queueing-delay percentiles,
+ * device utilization, preemption cost, and (sweep 2) the realized
+ * prediction error. Results go to stdout and BENCH_cluster.json
+ * (override the path with FLEP_CLUSTER_OUT).
  *
  * The experiment extends the paper's motivation (§2.2: GPUs serving
  * "a large number of short queries from user-facing interactive
@@ -22,7 +32,8 @@
  *   FLEP_CLUSTER_JOBS  target jobs per cell (default 40).
  *
  * The sweep is deterministic: every run derives its randomness from
- * its own seed, so BENCH_cluster.json is bit-identical at any
+ * its own seed (the oracle's solo measurements use fixed seeds of
+ * their own), so BENCH_cluster.json is bit-identical at any
  * FLEP_THREADS setting.
  */
 
@@ -57,6 +68,12 @@ struct Cell
     double load;
 };
 
+struct PredictionCell
+{
+    PredictionSource source;
+    double load;
+};
+
 struct CellStats
 {
     double sloHigh = 0.0;   //!< high-priority SLO attainment
@@ -67,72 +84,128 @@ struct CellStats
     double utilization = 0.0; //!< mean over devices
     double devicePreemptions = 0.0;
     double preemptivePlacements = 0.0;
+    double predictionErrPct = 0.0; //!< mean |predicted - actual| %
     std::size_t jobs = 0;
 };
 
-/** The workload mix and its predicted service demand. */
+/** A workload mix: arrival classes plus their rate weights. */
 struct Mix
 {
-    ArrivalClassSpec batch;
-    ArrivalClassSpec interactive;
-    double meanServiceNs = 0.0; //!< per arrival, rate-weighted
+    std::vector<ArrivalClassSpec> classes;
+    std::vector<double> weights;    //!< arrival-rate shares, sum 1
+    double meanServiceNs = 0.0;     //!< per arrival, rate-weighted
 };
 
+/** Trained-model whole-job demand of one arrival class. */
+double
+predictJobNs(const BenchEnv &env, const ArrivalClassSpec &cls)
+{
+    const InputSpec in =
+        env.suite().byName(cls.workload).input(cls.input);
+    return env.artifacts().models.at(cls.workload).predictNs(in) *
+           cls.repeats;
+}
+
+void
+finishMix(const BenchEnv &env, Mix &mix)
+{
+    mix.meanServiceNs = 0.0;
+    for (std::size_t i = 0; i < mix.classes.size(); ++i)
+        mix.meanServiceNs +=
+            mix.weights[i] * predictJobNs(env, mix.classes[i]);
+}
+
+/** The placement sweep's two-class mix (single-invocation jobs). */
 Mix
-buildMix(const BenchEnv &env)
+buildPlacementMix(const BenchEnv &env)
 {
     Mix mix;
-    mix.batch.workload = "VA";
-    mix.batch.input = InputClass::Large;
-    mix.batch.priority = kBatchPrio;
-    mix.batch.sloNs = 0;
+    mix.classes.resize(2);
+    ArrivalClassSpec &batch = mix.classes[0];
+    batch.workload = "VA";
+    batch.input = InputClass::Large;
+    batch.priority = kBatchPrio;
+    batch.sloNs = 0;
 
-    mix.interactive.workload = "NN";
-    mix.interactive.input = InputClass::Small;
-    mix.interactive.priority = kInteractivePrio;
-
-    const auto predict = [&](const ArrivalClassSpec &cls) {
-        const InputSpec in =
-            env.suite().byName(cls.workload).input(cls.input);
-        return env.artifacts().models.at(cls.workload).predictNs(in);
-    };
-    const double svc_batch = predict(mix.batch);
-    const double svc_inter = predict(mix.interactive);
-
+    ArrivalClassSpec &interactive = mix.classes[1];
+    interactive.workload = "NN";
+    interactive.input = InputClass::Small;
+    interactive.priority = kInteractivePrio;
     // Interactive jobs must beat their solo latency with modest
     // headroom; the headroom is far below one batch service time, so
     // attainment hinges on not waiting behind batch work.
-    mix.interactive.sloNs = static_cast<Tick>(4.0 * svc_inter);
+    interactive.sloNs =
+        static_cast<Tick>(4.0 * predictJobNs(env, interactive));
 
-    // 60 % batch, 40 % interactive arrivals (rates set per cell).
-    mix.meanServiceNs = 0.6 * svc_batch + 0.4 * svc_inter;
+    mix.weights = {0.6, 0.4};
+    finishMix(env, mix);
+    return mix;
+}
+
+/**
+ * The prediction sweep's three-class mix. Multi-invocation jobs give
+ * every job a queued tail only the fixed backlog accounting can see,
+ * and the two same-priority interactive classes invert invocation
+ * count against true demand: four short NN invocations are ~2x
+ * cheaper than one long SPMV invocation, so a flat per-invocation
+ * estimate ranks the devices backwards while the trained model (and
+ * the oracle above it) ranks them right.
+ */
+Mix
+buildPredictionMix(const BenchEnv &env)
+{
+    Mix mix;
+    mix.classes.resize(3);
+    ArrivalClassSpec &batch = mix.classes[0];
+    batch.workload = "VA";
+    batch.input = InputClass::Large;
+    batch.priority = kBatchPrio;
+    batch.sloNs = 0;
+    batch.repeats = 2;
+
+    ArrivalClassSpec &query = mix.classes[1];
+    query.workload = "NN";
+    query.input = InputClass::Small;
+    query.priority = kInteractivePrio;
+    query.repeats = 4;
+    query.sloNs = static_cast<Tick>(2.5 * predictJobNs(env, query));
+
+    ArrivalClassSpec &analytic = mix.classes[2];
+    analytic.workload = "SPMV";
+    analytic.input = InputClass::Large;
+    analytic.priority = kInteractivePrio;
+    analytic.repeats = 1;
+    analytic.sloNs =
+        static_cast<Tick>(2.5 * predictJobNs(env, analytic));
+
+    mix.weights = {0.15, 0.5, 0.35};
+    finishMix(env, mix);
     return mix;
 }
 
 ClusterConfig
-cellConfig(const BenchEnv &env, const Mix &mix, const Cell &cell,
-           long target_jobs, std::uint64_t seed)
+mixConfig(const BenchEnv &env, const Mix &mix, int devices,
+          double load, long target_jobs, std::uint64_t seed)
 {
     // Offered load = arrival rate x mean service / devices; solve for
     // the rate that hits the cell's load, then size the arrival
     // window so the expected job count matches target_jobs.
     const double svc_ms = mix.meanServiceNs / 1e6;
     const double rate_per_ms =
-        cell.load * static_cast<double>(cell.devices) / svc_ms;
+        load * static_cast<double>(devices) / svc_ms;
 
     ClusterArrivalConfig acfg;
     acfg.pattern = ArrivalPattern::Poisson;
     acfg.horizonNs = static_cast<Tick>(
         static_cast<double>(target_jobs) / rate_per_ms * 1e6);
     acfg.seed = seed;
-    acfg.classes = {mix.batch, mix.interactive};
-    acfg.classes[0].ratePerMs = 0.6 * rate_per_ms;
-    acfg.classes[1].ratePerMs = 0.4 * rate_per_ms;
+    acfg.classes = mix.classes;
+    for (std::size_t i = 0; i < acfg.classes.size(); ++i)
+        acfg.classes[i].ratePerMs = mix.weights[i] * rate_per_ms;
 
     ClusterConfig cfg;
     cfg.gpu = env.gpu();
-    cfg.devices = cell.devices;
-    cfg.placement = cell.placement;
+    cfg.devices = devices;
     cfg.deviceScheduler = SchedulerKind::FlepHpf;
     cfg.deviceCapacity = 1;
     cfg.jobs = generateClusterJobs(acfg);
@@ -164,6 +237,7 @@ aggregate(const std::vector<ClusterResult> &reps)
             static_cast<double>(m.devicePreemptions);
         s.preemptivePlacements +=
             static_cast<double>(m.preemptivePlacements);
+        s.predictionErrPct += m.meanAbsPredictionErrorPct;
         s.jobs += m.jobs;
     }
     const auto n = static_cast<double>(reps.size());
@@ -175,7 +249,26 @@ aggregate(const std::vector<ClusterResult> &reps)
     s.utilization /= n;
     s.devicePreemptions /= n;
     s.preemptivePlacements /= n;
+    s.predictionErrPct /= n;
     return s;
+}
+
+/** Regroup a flat batch of cell x rep results and aggregate. */
+std::vector<CellStats>
+aggregateCells(const std::vector<ClusterResult> &results,
+               std::size_t cell_count, int reps)
+{
+    std::vector<CellStats> stats;
+    for (std::size_t c = 0; c < cell_count; ++c) {
+        std::vector<ClusterResult> cell(
+            results.begin() +
+                static_cast<long>(c * static_cast<std::size_t>(reps)),
+            results.begin() +
+                static_cast<long>((c + 1) *
+                                  static_cast<std::size_t>(reps)));
+        stats.push_back(aggregate(cell));
+    }
+    return stats;
 }
 
 int
@@ -183,14 +276,17 @@ run()
 {
     benchutil::printHeader(
         "cluster-policies",
-        "placement policy x devices x load: SLO attainment");
+        "placement x load and prediction-source x load: SLO "
+        "attainment");
 
     BenchEnv env;
     const long target_jobs = envLong("FLEP_CLUSTER_JOBS", 40, 4, 4000);
-    const Mix mix = buildMix(env);
+    const Mix placement_mix = buildPlacementMix(env);
+    const Mix prediction_mix = buildPredictionMix(env);
 
     const std::vector<int> device_counts = {1, 2, 4};
     const std::vector<double> loads = {0.5, 0.9, 1.2};
+    const std::vector<double> prediction_loads = {0.9, 1.2};
 
     std::vector<Cell> cells;
     for (PlacementKind placement : allPlacementKinds()) {
@@ -199,33 +295,60 @@ run()
                 cells.push_back({placement, devices, load});
         }
     }
+    std::vector<PredictionCell> pcells;
+    for (PredictionSource source : allPredictionSources()) {
+        for (double load : prediction_loads)
+            pcells.push_back({source, load});
+    }
 
-    // One flat batch over cells x reps, regrouped afterwards, so the
-    // pool sees every run at once.
+    // One flat batch over (both sweeps) x reps, regrouped afterwards,
+    // so the pool sees every run at once.
     std::vector<ClusterConfig> runs;
     for (std::size_t c = 0; c < cells.size(); ++c) {
         for (int r = 0; r < env.reps(); ++r) {
             const std::uint64_t seed =
                 42 + static_cast<std::uint64_t>(c) * 101 +
                 static_cast<std::uint64_t>(r) * 7919;
-            runs.push_back(cellConfig(env, mix, cells[c], target_jobs,
-                                      seed));
+            ClusterConfig cfg =
+                mixConfig(env, placement_mix, cells[c].devices,
+                          cells[c].load, target_jobs, seed);
+            cfg.placement = cells[c].placement;
+            runs.push_back(std::move(cfg));
+        }
+    }
+    for (std::size_t c = 0; c < pcells.size(); ++c) {
+        for (int r = 0; r < env.reps(); ++r) {
+            // Same seed across sources: every source schedules the
+            // identical arrival trace, isolating the estimator.
+            const std::uint64_t seed =
+                91 + static_cast<std::uint64_t>(c % 2) * 131 +
+                static_cast<std::uint64_t>(r) * 7919;
+            ClusterConfig cfg = mixConfig(
+                env, prediction_mix, 2, pcells[c].load, target_jobs,
+                seed);
+            cfg.placement = PlacementKind::PreemptivePriority;
+            cfg.prediction = pcells[c].source;
+            cfg.deviceCapacity = 3;
+            runs.push_back(std::move(cfg));
         }
     }
     const std::vector<ClusterResult> results =
         env.runClusterBatch(runs);
 
-    std::vector<CellStats> stats;
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-        std::vector<ClusterResult> reps(
-            results.begin() +
-                static_cast<long>(c * static_cast<std::size_t>(
-                                          env.reps())),
-            results.begin() +
-                static_cast<long>((c + 1) * static_cast<std::size_t>(
-                                                env.reps())));
-        stats.push_back(aggregate(reps));
-    }
+    const std::vector<ClusterResult> placement_results(
+        results.begin(),
+        results.begin() +
+            static_cast<long>(cells.size() *
+                              static_cast<std::size_t>(env.reps())));
+    const std::vector<ClusterResult> prediction_results(
+        results.begin() +
+            static_cast<long>(cells.size() *
+                              static_cast<std::size_t>(env.reps())),
+        results.end());
+    const std::vector<CellStats> stats =
+        aggregateCells(placement_results, cells.size(), env.reps());
+    const std::vector<CellStats> pstats =
+        aggregateCells(prediction_results, pcells.size(), env.reps());
 
     Table table("cluster placement sweep");
     table.setHeader({"policy", "devices", "load", "slo-high",
@@ -244,10 +367,28 @@ run()
                       format("%.1f", s.devicePreemptions)});
     }
     table.print();
+
+    Table ptable("prediction-source sweep (preemptive-priority, "
+                 "2 devices, capacity 3)");
+    ptable.setHeader({"prediction", "load", "slo-high", "slo-all",
+                      "p99-queue-us", "pred-err-%", "preemptions"});
+    for (std::size_t c = 0; c < pcells.size(); ++c) {
+        const PredictionCell &cell = pcells[c];
+        const CellStats &s = pstats[c];
+        ptable.addRow({predictionSourceName(cell.source),
+                       format("%.1f", cell.load),
+                       format("%.3f", s.sloHigh),
+                       format("%.3f", s.sloAll),
+                       format("%.1f", s.p99QueueUs),
+                       format("%.1f", s.predictionErrPct),
+                       format("%.1f", s.devicePreemptions)});
+    }
+    ptable.print();
     benchutil::printPaperNote(
         "no paper counterpart: FLEP (ASPLOS'17) is single-GPU; this "
-        "sweep shows its preemption enabling SLURM-style "
-        "preemptive cluster placement");
+        "sweep shows its preemption enabling SLURM-style preemptive "
+        "cluster placement, with §4.2's models driving the demand "
+        "estimates");
 
     const char *out = std::getenv("FLEP_CLUSTER_OUT");
     const char *path = out != nullptr ? out : "BENCH_cluster.json";
@@ -258,14 +399,14 @@ run()
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 1,\n"
+                 "  \"schema_version\": 2,\n"
                  "  \"reps\": %d,\n"
                  "  \"target_jobs\": %ld,\n"
                  "  \"interactive_slo_ns\": %llu,\n"
                  "  \"cells\": [\n",
                  env.reps(), target_jobs,
                  static_cast<unsigned long long>(
-                     mix.interactive.sloNs));
+                     placement_mix.classes[1].sloNs));
     for (std::size_t c = 0; c < cells.size(); ++c) {
         const Cell &cell = cells[c];
         const CellStats &s = stats[c];
@@ -285,6 +426,30 @@ run()
             s.meanTurnUs, s.utilization, s.devicePreemptions,
             s.preemptivePlacements,
             c + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"prediction_cells\": [\n");
+    for (std::size_t c = 0; c < pcells.size(); ++c) {
+        const PredictionCell &cell = pcells[c];
+        const CellStats &s = pstats[c];
+        std::fprintf(
+            f,
+            "    {\"prediction\": \"%s\", \"load\": %.2f, "
+            "\"jobs\": %zu, "
+            "\"slo_attainment_high\": %.6f, "
+            "\"slo_attainment\": %.6f, "
+            "\"p50_queue_us\": %.3f, \"p99_queue_us\": %.3f, "
+            "\"mean_turnaround_us\": %.3f, "
+            "\"utilization\": %.6f, "
+            "\"device_preemptions\": %.2f, "
+            "\"preemptive_placements\": %.2f, "
+            "\"mean_abs_prediction_error_pct\": %.3f}%s\n",
+            predictionSourceName(cell.source), cell.load, s.jobs,
+            s.sloHigh, s.sloAll, s.p50QueueUs, s.p99QueueUs,
+            s.meanTurnUs, s.utilization, s.devicePreemptions,
+            s.preemptivePlacements, s.predictionErrPct,
+            c + 1 < pcells.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -65,6 +65,18 @@
  *   solo_stoch_on_ms          stochastic-cost variant, fast path on
  *   solo_stoch_speedup        off_ms / on_ms (RNG-bound)
  *   macro_hit_rate            fast chunks / all chunks, fast-path run
+ *
+ * Added in schema 5 — a contended ThreadPool cell: far more tasks
+ * than workers, so the queue, the condition variable and the future
+ * handoff are all exercised under contention rather than the one-
+ * task-per-worker pattern the sweep produces. The worker count is
+ * forced to at least two so the contended path runs even on a
+ * single-core machine (where the pool would otherwise execute
+ * inline):
+ *   pool_contended_threads       worker count used
+ *   pool_contended_tasks         tasks pushed through the pool
+ *   pool_contended_ms            wall time, best of the passes
+ *   pool_contended_tasks_per_sec tasks / best wall second
  */
 
 #include <chrono>
@@ -187,6 +199,42 @@ soloPersistentPerf(long budget, int passes, double cv)
             best.ms = std::min(best.ms, r.ms);
     }
     return best;
+}
+
+/**
+ * Contended-pool throughput: `tasks` small deterministic event-queue
+ * runs pushed through a pool of `threads` workers, tasks >> threads.
+ * Returns the best wall milliseconds over `passes`.
+ */
+double
+poolContendedMs(int threads, std::size_t tasks, int passes)
+{
+    constexpr std::size_t kEventsPerTask = 20000;
+    double best_ms = 1e300;
+    for (int p = 0; p < passes; ++p) {
+        ThreadPool pool(threads);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto sums =
+            pool.parallelMap(tasks, [](std::size_t i) {
+                EventQueue q;
+                long long acc = 0;
+                Rng rng(1234 + static_cast<std::uint64_t>(i));
+                for (std::size_t e = 0; e < kEventsPerTask; ++e) {
+                    q.schedule(static_cast<Tick>(
+                                   rng.uniformInt(0, 1000000)),
+                               [&acc]() { ++acc; });
+                }
+                q.run();
+                return acc;
+            });
+        const double ms = wallMs(t0);
+        for (long long sum : sums) {
+            if (sum != static_cast<long long>(kEventsPerTask))
+                fatal("contended pool self-check failed");
+        }
+        best_ms = std::min(best_ms, ms);
+    }
+    return best_ms;
 }
 
 /** Eight representative fig08-style cells (pair x {MPS, HPF}). */
@@ -361,6 +409,19 @@ main()
                 trace_off_ms, traced_ms, trace_overhead_pct, legacy_ms,
                 legacy_overhead_pct, trace_events);
 
+    // Contended pool: force >= 2 workers so the queue path runs even
+    // where hardware concurrency is 1, and push 16 tasks per worker.
+    const int pool_threads = std::max(2, env.threads());
+    const std::size_t pool_tasks =
+        16 * static_cast<std::size_t>(pool_threads);
+    const double pool_ms = poolContendedMs(pool_threads, pool_tasks, 3);
+    const double pool_tasks_per_sec =
+        static_cast<double>(pool_tasks) / (pool_ms / 1000.0);
+    std::printf("contended pool: %zu tasks on %d workers, %.0f ms, "
+                "%.0f tasks/sec\n",
+                pool_tasks, pool_threads, pool_ms,
+                pool_tasks_per_sec);
+
     const char *out = std::getenv("FLEP_SELFPERF_OUT");
     const char *path = out != nullptr ? out : "BENCH_selfperf.json";
     std::FILE *f = std::fopen(path, "w");
@@ -370,7 +431,7 @@ main()
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 4,\n"
+                 "  \"schema_version\": 5,\n"
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"sweep_cells\": %zu,\n"
                  "  \"sweep_reps\": %d,\n"
@@ -396,7 +457,11 @@ main()
                  "  \"solo_stoch_off_ms\": %.1f,\n"
                  "  \"solo_stoch_on_ms\": %.1f,\n"
                  "  \"solo_stoch_speedup\": %.2f,\n"
-                 "  \"macro_hit_rate\": %.4f\n"
+                 "  \"macro_hit_rate\": %.4f,\n"
+                 "  \"pool_contended_threads\": %d,\n"
+                 "  \"pool_contended_tasks\": %zu,\n"
+                 "  \"pool_contended_ms\": %.1f,\n"
+                 "  \"pool_contended_tasks_per_sec\": %.0f\n"
                  "}\n",
                  ev_per_sec, cells.size(), env.reps(), serial_ms,
                  parallel_ms, env.threads(),
@@ -408,7 +473,9 @@ main()
                  static_cast<unsigned long long>(solo_off.simEvents),
                  static_cast<unsigned long long>(solo_on.simEvents),
                  chunks_sec_off, chunks_sec_on, stoch_off.ms,
-                 stoch_on.ms, stoch_speedup, solo_on.hitRate);
+                 stoch_on.ms, stoch_speedup, solo_on.hitRate,
+                 pool_threads, pool_tasks, pool_ms,
+                 pool_tasks_per_sec);
     std::fclose(f);
     std::printf("wrote %s\n", path);
     return 0;

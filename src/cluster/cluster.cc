@@ -54,7 +54,9 @@ ClusterScheduler::ClusterScheduler(Simulation &sim,
       suite_(suite),
       artifacts_(artifacts),
       cfg_(cfg),
-      policy_(makePlacementPolicy(cfg.placement))
+      policy_(makePlacementPolicy(cfg.placement)),
+      provider_(makePredictionProvider(cfg.prediction, suite,
+                                       artifacts, cfg_.gpu))
 {
     if (cfg_.devices < 1)
         fatal("cluster needs at least one device, got ", cfg_.devices);
@@ -193,7 +195,30 @@ ClusterScheduler::snapshotLoads()
         load.device = static_cast<int>(d);
         load.residentJobs = static_cast<int>(dev.residentJobs.size());
         load.capacity = cfg_.deviceCapacity;
-        load.predictedBacklogNs = dev.runtime->predictedRemainingNs();
+        for (int id : dev.residentJobs) {
+            const ClusterJob &job =
+                outcomes_[static_cast<std::size_t>(id)].job;
+            const auto pid = static_cast<ProcessId>(id);
+            // A resident job owes the runtime's refined T_r for the
+            // invocation it has in flight, plus the provider's
+            // estimate for every invocation it has not handed to the
+            // runtime yet (a host runs one invocation at a time, so
+            // the runtime cannot see the tail). Between invocations
+            // (IPC gap) nothing is tracked and every remaining
+            // invocation is tail.
+            const int tracked =
+                dev.runtime->tracksProcess(pid) ? 1 : 0;
+            const int queued =
+                remainingInvocations_[static_cast<std::size_t>(id)] -
+                tracked;
+            FLEP_ASSERT(queued >= 0,
+                        "more tracked invocations than owed");
+            Tick owed = dev.runtime->predictedRemainingOf(pid);
+            owed += static_cast<Tick>(queued) *
+                    provider_->predictInvocationNs(job);
+            load.predictedBacklogNs += owed;
+            load.backlogByPriority[job.priority] += owed;
+        }
         if (!dev.residentJobs.empty()) {
             Priority lowest = outcomes_[static_cast<std::size_t>(
                                             dev.residentJobs.front())]
@@ -220,8 +245,9 @@ ClusterScheduler::tryDispatch()
     // they would offer any lower-priority job, so stopping at the
     // first failure is exact, not just conservative.
     while (!queue_.empty()) {
-        const PlacementDecision dec =
-            policy_->place(queue_.front(), snapshotLoads());
+        const PlacementDecision dec = policy_->place(
+            queue_.front(), provider_->predictJobNs(queue_.front()),
+            snapshotLoads());
         if (!dec.placed())
             break;
         place(queue_.popFront(), dec);
@@ -242,6 +268,7 @@ ClusterScheduler::place(const ClusterJob &job,
     out.device = dec.device;
     out.placeTick = sim_.now();
     out.displacedVictim = dec.preempts;
+    out.predictedDemandNs = provider_->predictJobNs(job);
 
     ++placements_;
     if (dec.preempts)
@@ -257,6 +284,9 @@ ClusterScheduler::place(const ClusterJob &job,
                     {{"job", job.id},
                      {"device", dec.device},
                      {"preempts", dec.preempts},
+                     {"predicted_ns",
+                      static_cast<unsigned long long>(
+                          out.predictedDemandNs)},
                      {"queue_ns", static_cast<unsigned long long>(
                                       out.queueDelayNs())}});
         if (dec.preempts) {
@@ -331,6 +361,20 @@ ClusterScheduler::jobFinished(int job_id, Tick now)
                      {"device", out.device},
                      {"turnaround_ns", static_cast<unsigned long long>(
                                            out.turnaroundNs())}});
+        // How good was the placement-time demand estimate, now that
+        // the truth is in? Zero execNs (possible only under horizon
+        // truncation oddities) would make the error undefined.
+        if (out.execNs > 0) {
+            tr->instant(
+                TraceRecorder::pidCluster, 0, "cluster:predict",
+                {{"job", job_id},
+                 {"source", provider_->name()},
+                 {"predicted_ns", static_cast<unsigned long long>(
+                                      out.predictedDemandNs)},
+                 {"actual_ns",
+                  static_cast<unsigned long long>(out.execNs)},
+                 {"error_pct", out.predictionErrorPct()}});
+        }
     }
     // A slot just freed; the queue head may fit now.
     tryDispatch();

@@ -29,6 +29,7 @@
 #include "cluster/job.hh"
 #include "cluster/job_queue.hh"
 #include "cluster/placement.hh"
+#include "cluster/prediction.hh"
 #include "common/thread_pool.hh"
 #include "flep/experiment.hh"
 #include "gpu/gpu_config.hh"
@@ -56,6 +57,9 @@ struct ClusterConfig
 
     /** How jobs are assigned to devices. */
     PlacementKind placement = PlacementKind::FirstFit;
+
+    /** Where placement-scoring demand estimates come from. */
+    PredictionSource prediction = PredictionSource::Heuristic;
 
     /**
      * Per-device FLEP policy. Only the preemptive FLEP schedulers
@@ -114,6 +118,24 @@ struct JobOutcome
 
     /** Summed GPU execution span across invocations. */
     Tick execNs = 0;
+
+    /** Whole-job service demand the PredictionProvider estimated at
+     *  placement time (what the scoring used). @pre placed. */
+    Tick predictedDemandNs = 0;
+
+    /**
+     * Signed placement-prediction error against the realized
+     * execution span, in percent ((predicted - actual) / actual).
+     * @pre completed and execNs > 0.
+     */
+    double
+    predictionErrorPct() const
+    {
+        return 100.0 *
+               (static_cast<double>(predictedDemandNs) -
+                static_cast<double>(execNs)) /
+               static_cast<double>(execNs);
+    }
 
     /** Submission-to-placement delay. @pre placed. */
     Tick queueDelayNs() const { return placeTick - job.arrivalNs; }
@@ -200,6 +222,7 @@ class ClusterScheduler : public SimObject
     const ClusterConfig &cfg_;
 
     std::unique_ptr<PlacementPolicy> policy_;
+    std::unique_ptr<PredictionProvider> provider_;
     std::vector<std::unique_ptr<Device>> devices_;
     JobQueue queue_;
     std::vector<JobOutcome> outcomes_;

@@ -17,6 +17,7 @@ computeClusterMetrics(const ClusterResult &result)
 
     SampleStats queue_delay;
     SampleStats turnaround;
+    SampleStats abs_pred_err;
     std::map<Priority, std::pair<std::size_t, std::size_t>> by_prio;
     for (const auto &out : result.outcomes) {
         if (out.placed)
@@ -24,6 +25,10 @@ computeClusterMetrics(const ClusterResult &result)
         if (out.completed) {
             ++m.completed;
             turnaround.add(ticksToUs(out.turnaroundNs()));
+            if (out.execNs > 0) {
+                const double err = out.predictionErrorPct();
+                abs_pred_err.add(err < 0 ? -err : err);
+            }
         }
         if (out.job.sloNs > 0) {
             ++m.sloJobs;
@@ -53,6 +58,8 @@ computeClusterMetrics(const ClusterResult &result)
     }
     if (turnaround.count() > 0)
         m.meanTurnaroundUs = turnaround.mean();
+    if (abs_pred_err.count() > 0)
+        m.meanAbsPredictionErrorPct = abs_pred_err.mean();
     return m;
 }
 

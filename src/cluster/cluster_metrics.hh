@@ -49,6 +49,12 @@ struct ClusterMetrics
     /** Mean turnaround of the completed jobs, microseconds. */
     double meanTurnaroundUs = 0.0;
 
+    /** Mean |placement-time predicted demand - realized execution
+     *  span| over completed jobs with execNs > 0, in percent of the
+     *  realized span. 0 when no job qualifies (or the oracle nailed
+     *  every one). */
+    double meanAbsPredictionErrorPct = 0.0;
+
     /** Copied from the result: busy fraction per device. */
     std::vector<double> deviceUtilization;
 

@@ -68,21 +68,40 @@ namespace
 {
 
 /**
- * Free device with the least predicted backlog; -1 when none is
- * free. Ties break toward the lower device index, keeping decisions
- * deterministic.
+ * Free device with the earliest expected completion for the job:
+ * delaying backlog plus the job's own predicted demand. The demand
+ * term is constant across a homogeneous fleet, but scoring completion
+ * (not bare backlog) is what the interface promises — heterogeneous
+ * per-device demand only has to change this one function. When
+ * `priority_aware`, only backlog at or above the job's priority
+ * counts as delay (lower-priority residents get preempted on
+ * arrival); ties break toward the smaller total backlog, then the
+ * lower device index, keeping decisions deterministic.
  */
 int
-leastLoadedFree(const std::vector<DeviceLoad> &loads)
+bestFreeByCompletion(const ClusterJob &job, Tick demand_ns,
+                     const std::vector<DeviceLoad> &loads,
+                     bool priority_aware)
 {
     int best = -1;
+    Tick best_score = 0;
+    Tick best_total = 0;
     for (const auto &load : loads) {
         if (!load.hasFreeSlot())
             continue;
-        if (best < 0 ||
-            load.predictedBacklogNs <
-                loads[static_cast<std::size_t>(best)].predictedBacklogNs)
+        const Tick delay = priority_aware
+            ? load.backlogAtOrAbove(job.priority)
+            : load.predictedBacklogNs;
+        const Tick score = delay + demand_ns;
+        if (best < 0 || score < best_score ||
+            (score == best_score &&
+             (load.predictedBacklogNs < best_total ||
+              (load.predictedBacklogNs == best_total &&
+               load.device < best)))) {
             best = load.device;
+            best_score = score;
+            best_total = load.predictedBacklogNs;
+        }
     }
     return best;
 }
@@ -96,10 +115,11 @@ class FirstFitPolicy final : public PlacementPolicy
     }
 
     PlacementDecision
-    place(const ClusterJob &job,
+    place(const ClusterJob &job, Tick predicted_demand_ns,
           const std::vector<DeviceLoad> &loads) const override
     {
         (void)job;
+        (void)predicted_demand_ns;
         PlacementDecision d;
         for (const auto &load : loads) {
             if (load.hasFreeSlot()) {
@@ -120,12 +140,13 @@ class LeastLoadedPolicy final : public PlacementPolicy
     }
 
     PlacementDecision
-    place(const ClusterJob &job,
+    place(const ClusterJob &job, Tick predicted_demand_ns,
           const std::vector<DeviceLoad> &loads) const override
     {
-        (void)job;
         PlacementDecision d;
-        d.device = leastLoadedFree(loads);
+        d.device = bestFreeByCompletion(job, predicted_demand_ns,
+                                        loads,
+                                        /*priority_aware=*/false);
         return d;
     }
 };
@@ -139,30 +160,43 @@ class PreemptivePriorityPolicy final : public PlacementPolicy
     }
 
     PlacementDecision
-    place(const ClusterJob &job,
+    place(const ClusterJob &job, Tick predicted_demand_ns,
           const std::vector<DeviceLoad> &loads) const override
     {
         PlacementDecision d;
-        // While slots are free, behave like LeastLoaded — preempting
-        // when idle capacity exists would only add overhead.
-        d.device = leastLoadedFree(loads);
+        // While slots are free, place for the earliest expected
+        // completion, counting only backlog the job cannot preempt —
+        // preempting when idle capacity exists would only add
+        // overhead.
+        d.device = bestFreeByCompletion(job, predicted_demand_ns,
+                                        loads,
+                                        /*priority_aware=*/true);
         if (d.device >= 0)
             return d;
         // Full cluster: displace the device whose *best-protected*
         // resident is weakest, i.e. the one with the lowest resident
         // priority, and only if that priority is strictly below the
-        // incoming job's. The device's own HPF policy then preempts
-        // the running kernel as soon as the job's kernel arrives.
+        // incoming job's. Equal-lowest-priority victims tie-break by
+        // the smaller predicted backlog (the job shares the device
+        // with its victim until one finishes), then by device index.
+        // The device's own HPF policy then preempts the running
+        // kernel as soon as the job's kernel arrives.
         Priority victim_prio = 0;
+        Tick victim_backlog = 0;
         for (const auto &load : loads) {
             if (load.residentJobs <= 0)
                 continue;
             if (load.lowestResidentPriority >= job.priority)
                 continue;
             if (d.device < 0 ||
-                load.lowestResidentPriority < victim_prio) {
+                load.lowestResidentPriority < victim_prio ||
+                (load.lowestResidentPriority == victim_prio &&
+                 (load.predictedBacklogNs < victim_backlog ||
+                  (load.predictedBacklogNs == victim_backlog &&
+                   load.device < d.device)))) {
                 d.device = load.device;
                 victim_prio = load.lowestResidentPriority;
+                victim_backlog = load.predictedBacklogNs;
             }
         }
         d.preempts = d.device >= 0;

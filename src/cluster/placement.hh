@@ -4,14 +4,22 @@
  *
  * Placement decides *which device* a pending job runs on; FLEP's
  * per-device runtime decides *when its kernels run* once it is there.
+ * Scoring is by expected completion time: the device's predicted
+ * backlog plus the incoming job's predicted service demand (both fed
+ * by the configured PredictionSource, see cluster/prediction.hh).
  * The three policies map onto classic cluster-scheduler behaviors
  * (docs/cluster.md relates them to SLURM's preemption modes):
  *
  *  - FirstFit:           lowest-index device with a free slot.
- *  - LeastLoaded:        free device with the smallest predicted
- *                        remaining work, using the FLEP performance
- *                        model's T_r estimates as the load signal.
- *  - PreemptivePriority: like LeastLoaded while slots are free; when
+ *  - LeastLoaded:        free device with the smallest expected
+ *                        completion time for the job, using the
+ *                        performance model's T_r estimates plus the
+ *                        predicted demand of work still queued behind
+ *                        them as the load signal.
+ *  - PreemptivePriority: like LeastLoaded while slots are free, but
+ *                        priority-aware: only backlog at or above the
+ *                        job's priority delays it (lower-priority
+ *                        residents get preempted on arrival). When
  *                        the cluster is full, a job may be placed on
  *                        a device whose resident jobs all have lower
  *                        priority, letting the device's HPF policy
@@ -21,6 +29,7 @@
 #ifndef FLEP_CLUSTER_PLACEMENT_HH
 #define FLEP_CLUSTER_PLACEMENT_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,7 +44,7 @@ namespace flep
 enum class PlacementKind
 {
     FirstFit,           //!< first device with a free job slot
-    LeastLoaded,        //!< free device with least predicted backlog
+    LeastLoaded,        //!< free device with least expected completion
     PreemptivePriority  //!< may displace lower-priority residents
 };
 
@@ -64,17 +73,42 @@ struct DeviceLoad
     int capacity = 1;
 
     /**
-     * Sum of the device runtime's predicted remaining execution
-     * times T_r (FlepRuntime::predictedRemainingNs()): the model's
-     * estimate of how much work is still queued or running there.
+     * Predicted service demand still owed to resident jobs: the
+     * runtime's remaining-time estimates T_r for in-flight
+     * invocations (FlepRuntime::predictedRemainingNs()) plus the
+     * PredictionProvider's demand estimate for every invocation a
+     * resident job has not handed to the runtime yet. Counting that
+     * queued tail is what keeps the backlog honest at saturation —
+     * without it multi-invocation jobs look one invocation deep and
+     * scoring degenerates to resident-count tie-breaking.
      */
     Tick predictedBacklogNs = 0;
+
+    /** predictedBacklogNs split by the owning job's priority. */
+    std::map<Priority, Tick> backlogByPriority;
 
     /** Lowest priority among resident jobs; meaningful only when
      *  residentJobs > 0. */
     Priority lowestResidentPriority = 0;
 
     bool hasFreeSlot() const { return residentJobs < capacity; }
+
+    /**
+     * Backlog that would delay an arriving job of priority `p`:
+     * resident demand at priority >= p. Work below p gets preempted
+     * by the device's FLEP policy the moment the job's kernel
+     * arrives, so it does not stand in the way.
+     */
+    Tick
+    backlogAtOrAbove(Priority p) const
+    {
+        Tick total = 0;
+        for (const auto &[prio, ns] : backlogByPriority) {
+            if (prio >= p)
+                total += ns;
+        }
+        return total;
+    }
 };
 
 /** The outcome of one placement query. */
@@ -104,11 +138,13 @@ class PlacementPolicy
 
     /**
      * Choose a device for `job` given the current per-device loads
-     * (indexed by device). Must be a pure function of its arguments
-     * so cluster runs stay deterministic.
+     * (indexed by device) and the job's predicted per-job service
+     * demand (the PredictionProvider's whole-job estimate). Must be
+     * a pure function of its arguments so cluster runs stay
+     * deterministic.
      */
     virtual PlacementDecision place(
-        const ClusterJob &job,
+        const ClusterJob &job, Tick predicted_demand_ns,
         const std::vector<DeviceLoad> &loads) const = 0;
 };
 

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Prediction sources for cluster placement scoring.
+ *
+ * Placement scores devices by *expected completion time*: the
+ * device's predicted backlog plus the incoming job's predicted
+ * service demand. A PredictionProvider supplies the per-invocation
+ * demand estimates that feed both terms. Three sources exist, so the
+ * benches can quantify exactly what the trained model buys (Pai et
+ * al., arXiv:1406.6037, make the same oracle-vs-predicted-vs-baseline
+ * comparison for thread-block scheduling):
+ *
+ *  - heuristic: a flat per-invocation constant — queue-depth scoring
+ *               in disguise, the degenerate behavior the cluster
+ *               layer showed before prediction-driven placement.
+ *  - trained:   the per-kernel ridge models from the offline phase
+ *               (paper §4.2, KernelModel::predictNs), keyed by the
+ *               job's workload and input class.
+ *  - oracle:    the workload's measured solo duration in its
+ *               FLEP-persistent form — a zero-model-error upper
+ *               bound on what any predictor can achieve.
+ */
+
+#ifndef FLEP_CLUSTER_PREDICTION_HH
+#define FLEP_CLUSTER_PREDICTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/job.hh"
+#include "common/types.hh"
+
+namespace flep
+{
+
+struct OfflineArtifacts;
+struct GpuConfig;
+class BenchmarkSuite;
+
+/** Where placement-scoring demand estimates come from. */
+enum class PredictionSource
+{
+    Heuristic, //!< flat constant per invocation (no model)
+    Trained,   //!< offline ridge models (KernelModel::predictNs)
+    Oracle     //!< measured solo duration (upper bound)
+};
+
+/** Human-readable source name (also the bench/CLI spelling). */
+const char *predictionSourceName(PredictionSource source);
+
+/** Every PredictionSource value, in declaration order. */
+const std::vector<PredictionSource> &allPredictionSources();
+
+/**
+ * Parse a source name back into its value — the inverse of
+ * predictionSourceName(), case-insensitive; also accepts the
+ * "predicted" alias for Trained (the bench column spelling).
+ * @return false on unknown names, leaving `out` untouched.
+ */
+bool parsePredictionSource(const std::string &name,
+                           PredictionSource &out);
+
+/**
+ * Supplies per-invocation service-demand estimates for placement
+ * scoring. Implementations must be deterministic pure functions of
+ * the job's (workload, input) so cluster runs stay reproducible at
+ * any thread count.
+ */
+class PredictionProvider
+{
+  public:
+    virtual ~PredictionProvider();
+
+    /** The provider's source. */
+    virtual PredictionSource source() const = 0;
+
+    /** Human-readable name (== predictionSourceName(source())). */
+    const char *name() const
+    {
+        return predictionSourceName(source());
+    }
+
+    /** Predicted solo service demand of ONE invocation of `job`. */
+    virtual Tick predictInvocationNs(const ClusterJob &job) const = 0;
+
+    /** Whole-job demand: per-invocation demand x repeats. */
+    Tick predictJobNs(const ClusterJob &job) const;
+};
+
+/**
+ * The flat estimate the heuristic source charges per invocation.
+ * Matches FlepRuntimeConfig::fallbackPredictNs — the number the
+ * runtime itself falls back to when a kernel has no model.
+ */
+constexpr Tick heuristicDemandNs = 5 * 1000 * 1000;
+
+/**
+ * Build a provider of the given source. `suite`, `artifacts` and
+ * `gpu` must outlive the provider (Trained reads the artifact models;
+ * Oracle measures solo runs of suite workloads on a `gpu`-configured
+ * device, memoized process-wide and thread-safely, so parallel
+ * cluster batches stay bit-identical).
+ */
+std::unique_ptr<PredictionProvider> makePredictionProvider(
+    PredictionSource source, const BenchmarkSuite &suite,
+    const OfflineArtifacts &artifacts, const GpuConfig &gpu);
+
+} // namespace flep
+
+#endif // FLEP_CLUSTER_PREDICTION_HH

@@ -15,10 +15,7 @@ double
 KernelModel::predictNs(const InputSpec &in) const
 {
     const double raw = model_.predict(extractFeatures(in).toRow());
-    // A regression can extrapolate below zero on tiny inputs; a
-    // duration prediction of at least one microsecond keeps the
-    // scheduler's arithmetic sane.
-    return std::max(raw, 1000.0);
+    return std::max(raw, minPredictNs);
 }
 
 ModelTrainer::ModelTrainer(GpuConfig cfg, TrainerConfig tcfg)

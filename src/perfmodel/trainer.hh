@@ -34,7 +34,17 @@ class KernelModel
     /** The kernel the model belongs to. */
     const std::string &kernelName() const { return name_; }
 
-    /** Predicted duration in ticks for an input; clamped positive. */
+    /**
+     * The clamp floor of predictNs(), in ticks: one microsecond. A
+     * regression can extrapolate to zero or below on tiny or
+     * adversarial inputs; flooring the prediction keeps every
+     * consumer's arithmetic sane (T_r stays meaningful, placement
+     * demand never vanishes).
+     */
+    static constexpr double minPredictNs = 1000.0;
+
+    /** Predicted duration in ticks for an input; never below
+     *  minPredictNs. */
     double predictNs(const InputSpec &in) const;
 
     /** Underlying regression (tests and diagnostics). */

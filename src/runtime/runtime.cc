@@ -36,6 +36,9 @@ FlepRuntime::runtimeTracePid() const
 Tick
 FlepRuntime::predictedRemainingNs()
 {
+    if (remainCacheValid_ && remainCacheTick_ == sim_.now() &&
+        remainCacheGen_ == recordsGen_)
+        return remainCacheNs_;
     Tick total = 0;
     for (auto &[host, rec] : records_) {
         (void)host;
@@ -46,7 +49,35 @@ FlepRuntime::predictedRemainingNs()
         rec->refresh(sim_.now());
         total += rec->tr();
     }
+    remainCacheNs_ = total;
+    remainCacheTick_ = sim_.now();
+    remainCacheGen_ = recordsGen_;
+    remainCacheValid_ = true;
     return total;
+}
+
+bool
+FlepRuntime::tracksProcess(ProcessId pid) const
+{
+    for (const auto &[host, rec] : records_) {
+        (void)host;
+        if (rec->process() == pid)
+            return true;
+    }
+    return false;
+}
+
+Tick
+FlepRuntime::predictedRemainingOf(ProcessId pid)
+{
+    for (auto &[host, rec] : records_) {
+        (void)host;
+        if (rec->process() != pid)
+            continue;
+        rec->refresh(sim_.now());
+        return rec->tr();
+    }
+    return 0;
 }
 
 void
@@ -104,6 +135,7 @@ FlepRuntime::onInvoke(HostProcess &host)
         sim_.now());
     KernelRecord *raw = rec.get();
     records_.emplace(&host, std::move(rec));
+    ++recordsGen_;
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(TraceRecorder::hostPid(host.pid()), 0, "invoke",
                     {{"kernel", raw->kernel()},
@@ -154,6 +186,7 @@ FlepRuntime::onFinished(HostProcess &host)
     // drain; drop any stale latency bookkeeping.
     preemptSignalTick_.erase(rec);
     records_.erase(&host);
+    ++recordsGen_;
     traceQueueDepth();
 }
 

@@ -9,6 +9,7 @@
 #ifndef FLEP_RUNTIME_RUNTIME_HH
 #define FLEP_RUNTIME_RUNTIME_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -100,10 +101,27 @@ class FlepRuntime : public SimObject,
     /**
      * Sum of the predicted remaining execution times T_r over every
      * tracked invocation, refreshed to the current tick. The cluster
-     * layer's LeastLoaded placement uses this as the device's
-     * predicted backlog.
+     * layer's placement scoring uses this as the device's tracked
+     * backlog. Memoized per (tick, tracked set): the cluster snapshots
+     * loads once per placement attempt, and at saturation several
+     * attempts land on the same tick, so the O(records) fold runs at
+     * most once per tick unless an invocation arrived or finished in
+     * between. Same-tick state transitions cannot invalidate the
+     * cache — touch() folds a zero-length interval, leaving T_r
+     * unchanged.
      */
     Tick predictedRemainingNs();
+
+    /**
+     * Predicted remaining execution time T_r of the tracked
+     * invocation owned by process `pid`, refreshed to the current
+     * tick; 0 when the process has no tracked invocation (its
+     * current invocation finished and the next was not invoked yet).
+     */
+    Tick predictedRemainingOf(ProcessId pid);
+
+    /** Whether `pid` currently owns a tracked invocation. */
+    bool tracksProcess(ProcessId pid) const;
 
     /** Total preemptions the runtime has signalled. */
     long preemptionsSignalled() const { return preemptsSignalled_; }
@@ -140,6 +158,14 @@ class FlepRuntime : public SimObject,
     TraceRecorder::CounterHandle trackedCounter_ =
         TraceRecorder::invalidCounter;
     bool timerArmed_ = false;
+    /** predictedRemainingNs() memo: valid while the tick and the
+     *  tracked-set generation both match. */
+    Tick remainCacheNs_ = 0;
+    Tick remainCacheTick_ = 0;
+    std::uint64_t remainCacheGen_ = 0;
+    /** Bumped whenever records_ gains or loses an entry. */
+    std::uint64_t recordsGen_ = 0;
+    bool remainCacheValid_ = false;
     long preemptsSignalled_ = 0;
     SampleStats preemptLatency_;
     std::unordered_map<const KernelRecord *, Tick> preemptSignalTick_;

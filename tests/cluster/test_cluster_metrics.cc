@@ -98,6 +98,68 @@ TEST(ClusterMetrics, QueueDelayPercentilesAndTurnaround)
     EXPECT_DOUBLE_EQ(m.meanTurnaroundUs, 10.0);
 }
 
+TEST(ClusterMetrics, PercentilesWithZeroSamples)
+{
+    // Jobs exist but none was ever placed: the delay distribution is
+    // empty and every percentile stays at its zero identity.
+    ClusterResult res;
+    JobOutcome never = outcome(0, 0, 0, 0, 0, 0, /*completed=*/false);
+    never.placed = false;
+    res.outcomes = {never};
+    const auto m = computeClusterMetrics(res);
+    EXPECT_EQ(m.jobs, 1u);
+    EXPECT_EQ(m.completed, 0u);
+    EXPECT_DOUBLE_EQ(m.p50QueueDelayUs, 0.0);
+    EXPECT_DOUBLE_EQ(m.p99QueueDelayUs, 0.0);
+    EXPECT_DOUBLE_EQ(m.meanTurnaroundUs, 0.0);
+}
+
+TEST(ClusterMetrics, PercentilesWithOneSample)
+{
+    // A single sample is every percentile at once.
+    ClusterResult res;
+    res.outcomes = {outcome(0, 0, 0, 3000, 10000, 0)};
+    const auto m = computeClusterMetrics(res);
+    EXPECT_DOUBLE_EQ(m.p50QueueDelayUs, 3.0);
+    EXPECT_DOUBLE_EQ(m.p99QueueDelayUs, 3.0);
+}
+
+TEST(ClusterMetrics, PercentilesWithAllEqualDelays)
+{
+    // A degenerate (constant) distribution must not let
+    // interpolation invent values between samples.
+    ClusterResult res;
+    res.outcomes = {
+        outcome(0, 0, 0, 2000, 10000, 0),
+        outcome(1, 0, 0, 2000, 10000, 0),
+        outcome(2, 0, 0, 2000, 10000, 0),
+        outcome(3, 0, 0, 2000, 10000, 0),
+    };
+    const auto m = computeClusterMetrics(res);
+    EXPECT_DOUBLE_EQ(m.p50QueueDelayUs, 2.0);
+    EXPECT_DOUBLE_EQ(m.p99QueueDelayUs, 2.0);
+}
+
+TEST(ClusterMetrics, MeanAbsPredictionError)
+{
+    ClusterResult res;
+    JobOutcome over = outcome(0, 0, 0, 0, 10000, 0);
+    over.execNs = 1000;
+    over.predictedDemandNs = 1500; // +50%
+    JobOutcome under = outcome(1, 0, 0, 0, 10000, 0);
+    under.execNs = 1000;
+    under.predictedDemandNs = 900; // -10%
+    // Zero realized span: excluded rather than dividing by zero.
+    JobOutcome empty = outcome(2, 0, 0, 0, 10000, 0);
+    empty.execNs = 0;
+    empty.predictedDemandNs = 500;
+    res.outcomes = {over, under, empty};
+    const auto m = computeClusterMetrics(res);
+    EXPECT_DOUBLE_EQ(m.meanAbsPredictionErrorPct, 30.0);
+    EXPECT_DOUBLE_EQ(over.predictionErrorPct(), 50.0);
+    EXPECT_DOUBLE_EQ(under.predictionErrorPct(), -10.0);
+}
+
 TEST(ClusterMetrics, CopiesDeviceCounters)
 {
     ClusterResult res;

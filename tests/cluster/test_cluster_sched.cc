@@ -197,6 +197,61 @@ TEST_F(ClusterTest, BatchIsDeterministicAcrossThreadCounts)
     }
 }
 
+TEST_F(ClusterTest, QueuedInvocationsCountTowardBacklog)
+{
+    // Job 0 owes six invocations, but the runtime only ever tracks
+    // one at a time. The load snapshot must charge the other five to
+    // device 0, or job 2 ties and falls back to device 0 by index —
+    // the pre-fix degenerate behavior.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.deviceCapacity = 2;
+    cfg.placement = PlacementKind::LeastLoaded;
+    cfg.prediction = PredictionSource::Trained;
+    ClusterJob long_job = job(0, "VA", InputClass::Small, 0, 0);
+    long_job.repeats = 6;
+    cfg.jobs = {long_job, job(1, "VA", InputClass::Small, 0, 0),
+                job(2, "VA", InputClass::Small, 0, 0)};
+    const auto res = runCluster(*suite_, *artifacts_, cfg);
+
+    EXPECT_EQ(res.outcomes[0].device, 0);
+    EXPECT_EQ(res.outcomes[1].device, 1);
+    EXPECT_EQ(res.outcomes[2].device, 1);
+    for (const auto &out : res.outcomes)
+        EXPECT_TRUE(out.completed);
+}
+
+TEST_F(ClusterTest, PredictionSourcesStampPlacementDemand)
+{
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    ClusterJob j = job(0, "VA", InputClass::Large, 0, 0);
+    j.repeats = 2;
+    cfg.jobs = {j};
+
+    cfg.prediction = PredictionSource::Heuristic;
+    const auto heur = runCluster(*suite_, *artifacts_, cfg);
+    EXPECT_EQ(heur.outcomes[0].predictedDemandNs,
+              2 * heuristicDemandNs);
+
+    cfg.prediction = PredictionSource::Trained;
+    const auto trained = runCluster(*suite_, *artifacts_, cfg);
+    const Tick want = static_cast<Tick>(
+        artifacts_->models.at("VA").predictNs(
+            suite_->byName("VA").input(InputClass::Large)));
+    EXPECT_EQ(trained.outcomes[0].predictedDemandNs, 2 * want);
+
+    cfg.prediction = PredictionSource::Oracle;
+    const auto oracle = runCluster(*suite_, *artifacts_, cfg);
+    EXPECT_GT(oracle.outcomes[0].predictedDemandNs, 0u);
+    // The oracle knows the job solo; in this uncontended run its
+    // whole-job error must be small (IPC gaps between the two
+    // invocations keep it from being exactly zero).
+    ASSERT_TRUE(oracle.outcomes[0].completed);
+    const double err = oracle.outcomes[0].predictionErrorPct();
+    EXPECT_LT(err < 0 ? -err : err, 10.0);
+}
+
 TEST_F(ClusterTest, HorizonCutsOffUnfinishedJobs)
 {
     ClusterConfig cfg;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <iterator>
+#include <vector>
+
 #include "cluster/placement.hh"
 
 namespace flep
@@ -29,6 +33,8 @@ load(int device, int resident, int capacity, Tick backlog,
     l.capacity = capacity;
     l.predictedBacklogNs = backlog;
     l.lowestResidentPriority = lowest;
+    if (resident > 0 && backlog > 0)
+        l.backlogByPriority[lowest] = backlog;
     return l;
 }
 
@@ -48,12 +54,53 @@ TEST(PlacementNames, RoundTripAllKinds)
     EXPECT_FALSE(parsePlacementKind("round-robin", parsed));
 }
 
+TEST(PlacementNames, UnderscoreAliasesParse)
+{
+    const struct
+    {
+        const char *name;
+        PlacementKind want;
+    } cases[] = {
+        {"first_fit", PlacementKind::FirstFit},
+        {"least_loaded", PlacementKind::LeastLoaded},
+        {"preemptive_priority", PlacementKind::PreemptivePriority},
+        {"PREEMPTIVE_PRIORITY", PlacementKind::PreemptivePriority},
+        {"Least_Loaded", PlacementKind::LeastLoaded},
+    };
+    for (const auto &c : cases) {
+        PlacementKind parsed;
+        ASSERT_TRUE(parsePlacementKind(c.name, parsed)) << c.name;
+        EXPECT_EQ(parsed, c.want) << c.name;
+    }
+}
+
+TEST(PlacementNames, UnknownNamesLeaveOutputUntouched)
+{
+    PlacementKind parsed = PlacementKind::LeastLoaded;
+    EXPECT_FALSE(parsePlacementKind("", parsed));
+    EXPECT_FALSE(parsePlacementKind("first fit", parsed));
+    EXPECT_FALSE(parsePlacementKind("firstfit", parsed));
+    EXPECT_EQ(parsed, PlacementKind::LeastLoaded);
+}
+
+TEST(DeviceLoadTest, BacklogAtOrAboveSumsOnlyProtectedWork)
+{
+    DeviceLoad l;
+    l.backlogByPriority[0] = 100;
+    l.backlogByPriority[3] = 40;
+    l.backlogByPriority[5] = 7;
+    EXPECT_EQ(l.backlogAtOrAbove(0), 147u);
+    EXPECT_EQ(l.backlogAtOrAbove(1), 47u);
+    EXPECT_EQ(l.backlogAtOrAbove(5), 7u);
+    EXPECT_EQ(l.backlogAtOrAbove(6), 0u);
+}
+
 TEST(FirstFit, PicksLowestIndexFreeDevice)
 {
     const auto policy = makePlacementPolicy(PlacementKind::FirstFit);
     const auto d = policy->place(
-        job(0), {load(0, 1, 1, 100), load(1, 0, 1, 0),
-                 load(2, 0, 1, 0)});
+        job(0), 0, {load(0, 1, 1, 100), load(1, 0, 1, 0),
+                    load(2, 0, 1, 0)});
     EXPECT_EQ(d.device, 1);
     EXPECT_FALSE(d.preempts);
 }
@@ -62,7 +109,7 @@ TEST(FirstFit, FullClusterPlacesNothing)
 {
     const auto policy = makePlacementPolicy(PlacementKind::FirstFit);
     const auto d = policy->place(
-        job(9), {load(0, 1, 1, 100, 0), load(1, 1, 1, 50, 0)});
+        job(9), 0, {load(0, 1, 1, 100, 0), load(1, 1, 1, 50, 0)});
     EXPECT_FALSE(d.placed());
 }
 
@@ -70,8 +117,8 @@ TEST(LeastLoaded, PicksSmallestPredictedBacklog)
 {
     const auto policy = makePlacementPolicy(PlacementKind::LeastLoaded);
     const auto d = policy->place(
-        job(0), {load(0, 1, 2, 900), load(1, 1, 2, 200),
-                 load(2, 1, 2, 500)});
+        job(0), 50, {load(0, 1, 2, 900), load(1, 1, 2, 200),
+                     load(2, 1, 2, 500)});
     EXPECT_EQ(d.device, 1);
 }
 
@@ -80,8 +127,8 @@ TEST(LeastLoaded, IgnoresFullDevicesAndBreaksTiesLow)
     const auto policy = makePlacementPolicy(PlacementKind::LeastLoaded);
     // Device 1 has the least backlog but no free slot.
     const auto d = policy->place(
-        job(0), {load(0, 0, 1, 300), load(1, 1, 1, 0),
-                 load(2, 0, 1, 300)});
+        job(0), 50, {load(0, 0, 1, 300), load(1, 1, 1, 0),
+                     load(2, 0, 1, 300)});
     EXPECT_EQ(d.device, 0);
 }
 
@@ -90,8 +137,22 @@ TEST(PreemptivePriority, PrefersFreeSlotOverPreemption)
     const auto policy =
         makePlacementPolicy(PlacementKind::PreemptivePriority);
     const auto d = policy->place(
-        job(9), {load(0, 1, 1, 100, 0), load(1, 0, 1, 0)});
+        job(9), 10, {load(0, 1, 1, 100, 0), load(1, 0, 1, 0)});
     EXPECT_EQ(d.device, 1);
+    EXPECT_FALSE(d.preempts);
+}
+
+TEST(PreemptivePriority, FreePathIgnoresPreemptibleBacklog)
+{
+    const auto policy =
+        makePlacementPolicy(PlacementKind::PreemptivePriority);
+    // Device 0 holds more total work, but all of it sits below the
+    // job's priority, so it would be preempted on arrival; device 1's
+    // smaller backlog is same-priority and would actually delay the
+    // job. Priority-aware scoring must prefer device 0.
+    const auto d = policy->place(
+        job(5), 10, {load(0, 1, 2, 900, 0), load(1, 1, 2, 200, 5)});
+    EXPECT_EQ(d.device, 0);
     EXPECT_FALSE(d.preempts);
 }
 
@@ -100,7 +161,7 @@ TEST(PreemptivePriority, DisplacesLowestPriorityResident)
     const auto policy =
         makePlacementPolicy(PlacementKind::PreemptivePriority);
     const auto d = policy->place(
-        job(9), {load(0, 1, 1, 100, 3), load(1, 1, 1, 100, 1)});
+        job(9), 10, {load(0, 1, 1, 100, 3), load(1, 1, 1, 100, 1)});
     EXPECT_EQ(d.device, 1);
     EXPECT_TRUE(d.preempts);
 }
@@ -110,12 +171,43 @@ TEST(PreemptivePriority, NeverDisplacesEqualOrHigherPriority)
     const auto policy =
         makePlacementPolicy(PlacementKind::PreemptivePriority);
     const auto equal = policy->place(
-        job(3), {load(0, 1, 1, 100, 3), load(1, 1, 1, 100, 5)});
+        job(3), 10, {load(0, 1, 1, 100, 3), load(1, 1, 1, 100, 5)});
     EXPECT_FALSE(equal.placed());
 
     const auto lower = policy->place(
-        job(0), {load(0, 1, 1, 100, 3)});
+        job(0), 10, {load(0, 1, 1, 100, 3)});
     EXPECT_FALSE(lower.placed());
+}
+
+TEST(PreemptivePriority, VictimTieBreaksDeterministically)
+{
+    const auto policy =
+        makePlacementPolicy(PlacementKind::PreemptivePriority);
+    // Victim selection: lowest resident priority first, then the
+    // smaller predicted backlog, then the lower device index.
+    const struct
+    {
+        std::vector<DeviceLoad> loads;
+        int want;
+    } cases[] = {
+        // Equal-lowest-priority victims: less backlogged device wins.
+        {{load(0, 1, 1, 500, 1), load(1, 1, 1, 200, 1)}, 1},
+        {{load(0, 1, 1, 200, 1), load(1, 1, 1, 500, 1)}, 0},
+        // Priority dominates backlog: prio-0 victim beats a less
+        // backlogged prio-1 one.
+        {{load(0, 1, 1, 900, 0), load(1, 1, 1, 100, 1)}, 0},
+        // Fully tied: device index decides, in either scan order.
+        {{load(0, 1, 1, 300, 1), load(1, 1, 1, 300, 1)}, 0},
+        {{load(1, 1, 1, 300, 1), load(0, 1, 1, 300, 1)}, 0},
+        // Devices above the job's priority never become victims.
+        {{load(0, 1, 1, 900, 9), load(1, 1, 1, 100, 1)}, 1},
+    };
+    for (std::size_t i = 0; i < std::size(cases); ++i) {
+        const auto d = policy->place(job(5), 10, cases[i].loads);
+        ASSERT_TRUE(d.placed()) << "case " << i;
+        EXPECT_TRUE(d.preempts) << "case " << i;
+        EXPECT_EQ(d.device, cases[i].want) << "case " << i;
+    }
 }
 
 } // namespace

@@ -1,0 +1,216 @@
+/** @file Tests for the placement prediction providers. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/prediction.hh"
+#include "flep/experiment.hh"
+#include "gpu/gpu_device.hh"
+#include "runtime/host_process.hh"
+#include "runtime/hpf.hh"
+#include "runtime/runtime.hh"
+#include "workload/suite.hh"
+
+namespace flep
+{
+namespace
+{
+
+TEST(PredictionNames, RoundTripAllSources)
+{
+    for (PredictionSource source : allPredictionSources()) {
+        PredictionSource parsed;
+        ASSERT_TRUE(parsePredictionSource(
+            predictionSourceName(source), parsed))
+            << predictionSourceName(source);
+        EXPECT_EQ(parsed, source);
+    }
+    PredictionSource parsed;
+    EXPECT_TRUE(parsePredictionSource("Oracle", parsed));
+    EXPECT_EQ(parsed, PredictionSource::Oracle);
+    // The bench tables spell the trained source "predicted".
+    EXPECT_TRUE(parsePredictionSource("predicted", parsed));
+    EXPECT_EQ(parsed, PredictionSource::Trained);
+    EXPECT_TRUE(parsePredictionSource("PREDICTED", parsed));
+    EXPECT_EQ(parsed, PredictionSource::Trained);
+}
+
+TEST(PredictionNames, UnknownNamesLeaveOutputUntouched)
+{
+    PredictionSource parsed = PredictionSource::Oracle;
+    EXPECT_FALSE(parsePredictionSource("", parsed));
+    EXPECT_FALSE(parsePredictionSource("magic", parsed));
+    EXPECT_FALSE(parsePredictionSource("heuristics", parsed));
+    EXPECT_EQ(parsed, PredictionSource::Oracle);
+}
+
+class PredictionTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        // Reduced offline effort keeps the test fast; model accuracy
+        // is covered by the perfmodel tests.
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 30, 8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+        artifacts_ = nullptr;
+        suite_ = nullptr;
+    }
+
+    static ClusterJob
+    job(const char *workload, InputClass input, int repeats = 1)
+    {
+        ClusterJob j;
+        j.id = 0;
+        j.workload = workload;
+        j.input = input;
+        j.repeats = repeats;
+        return j;
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *PredictionTest::suite_ = nullptr;
+OfflineArtifacts *PredictionTest::artifacts_ = nullptr;
+
+TEST_F(PredictionTest, HeuristicChargesFlatDemand)
+{
+    const GpuConfig gpu = GpuConfig::keplerK40();
+    const auto p = makePredictionProvider(
+        PredictionSource::Heuristic, *suite_, *artifacts_, gpu);
+    EXPECT_EQ(p->source(), PredictionSource::Heuristic);
+    EXPECT_STREQ(p->name(), "heuristic");
+    // Flat regardless of workload or input class...
+    EXPECT_EQ(p->predictInvocationNs(job("VA", InputClass::Large)),
+              heuristicDemandNs);
+    EXPECT_EQ(p->predictInvocationNs(job("NN", InputClass::Small)),
+              heuristicDemandNs);
+    // ...but whole-job demand still scales with the repeat count.
+    EXPECT_EQ(p->predictJobNs(job("VA", InputClass::Small, 4)),
+              4 * heuristicDemandNs);
+}
+
+TEST_F(PredictionTest, TrainedMatchesOfflineModel)
+{
+    const GpuConfig gpu = GpuConfig::keplerK40();
+    const auto p = makePredictionProvider(
+        PredictionSource::Trained, *suite_, *artifacts_, gpu);
+    EXPECT_EQ(p->source(), PredictionSource::Trained);
+    const Tick want = static_cast<Tick>(
+        artifacts_->models.at("VA").predictNs(
+            suite_->byName("VA").input(InputClass::Large)));
+    EXPECT_EQ(p->predictInvocationNs(job("VA", InputClass::Large)),
+              want);
+    EXPECT_EQ(p->predictJobNs(job("VA", InputClass::Large, 3)),
+              3 * want);
+    // Input class matters: the model sees the input features.
+    EXPECT_NE(p->predictInvocationNs(job("VA", InputClass::Small)),
+              want);
+}
+
+TEST_F(PredictionTest, TrainedFallsBackWithoutModel)
+{
+    const GpuConfig gpu = GpuConfig::keplerK40();
+    const auto p = makePredictionProvider(
+        PredictionSource::Trained, *suite_, *artifacts_, gpu);
+    // A workload without an offline model degrades to the heuristic
+    // constant instead of crashing.
+    EXPECT_EQ(p->predictInvocationNs(
+                  job("NOT-A-KERNEL", InputClass::Small)),
+              heuristicDemandNs);
+}
+
+TEST_F(PredictionTest, OracleIsDeterministicAndSizeOrdered)
+{
+    const GpuConfig gpu = GpuConfig::keplerK40();
+    const auto a = makePredictionProvider(
+        PredictionSource::Oracle, *suite_, *artifacts_, gpu);
+    const auto b = makePredictionProvider(
+        PredictionSource::Oracle, *suite_, *artifacts_, gpu);
+    const Tick large =
+        a->predictInvocationNs(job("VA", InputClass::Large));
+    EXPECT_GT(large, 0u);
+    // Memoized or freshly measured, every provider instance agrees —
+    // this is what keeps parallel cluster batches bit-identical.
+    EXPECT_EQ(b->predictInvocationNs(job("VA", InputClass::Large)),
+              large);
+    EXPECT_EQ(a->predictInvocationNs(job("VA", InputClass::Large)),
+              large);
+    const Tick small =
+        a->predictInvocationNs(job("VA", InputClass::Small));
+    EXPECT_LT(small, large);
+}
+
+TEST(PredictedRemaining, MemoizedTotalsMatchPerProcessSums)
+{
+    Simulation sim{1};
+    const GpuConfig cfg = GpuConfig::keplerK40();
+    GpuDevice gpu{sim, cfg};
+    BenchmarkSuite suite;
+    FlepRuntimeConfig rcfg; // fallback predictions suffice
+    FlepRuntime runtime(sim, gpu, std::make_unique<HpfPolicy>(),
+                        std::move(rcfg));
+
+    auto entry = [&suite](const char *name, InputClass input,
+                          Priority prio, Tick delay, int repeats) {
+        const Workload &w = suite.byName(name);
+        HostProcess::ScriptEntry e;
+        e.workload = &w;
+        e.input = w.input(input);
+        e.priority = prio;
+        e.delayBefore = delay;
+        e.repeats = repeats;
+        e.amortizeL = w.paperAmortizeL();
+        return e;
+    };
+    HostProcess low(sim, gpu, runtime, 0,
+                    {entry("NN", InputClass::Large, 0, 0, 2)});
+    HostProcess high(sim, gpu, runtime, 1,
+                     {entry("MM", InputClass::Small, 5, 300000, 1)});
+    low.start();
+    high.start();
+
+    // Probe mid-run: the memoized total must equal an immediate
+    // repeat call (cache hit) and the sum of the per-process views
+    // (same-tick refreshes leave T_r untouched).
+    std::vector<Tick> observed;
+    for (const Tick at : {Tick(200000), Tick(500000), Tick(900000)}) {
+        sim.events().schedule(at, [&]() {
+            const Tick total = runtime.predictedRemainingNs();
+            EXPECT_EQ(runtime.predictedRemainingNs(), total);
+            EXPECT_EQ(runtime.predictedRemainingOf(0) +
+                          runtime.predictedRemainingOf(1),
+                      total);
+            EXPECT_EQ(runtime.predictedRemainingNs(), total);
+            observed.push_back(total);
+        });
+    }
+    sim.run();
+
+    ASSERT_EQ(observed.size(), 3u);
+    // The backlog must move across ticks — a cache that outlives its
+    // tick would freeze it.
+    EXPECT_GT(observed[0], 0u);
+    EXPECT_NE(observed[0], observed[2]);
+
+    // Drained runtime: nothing tracked, nothing owed.
+    EXPECT_EQ(runtime.trackedCount(), 0u);
+    EXPECT_EQ(runtime.predictedRemainingNs(), 0u);
+    EXPECT_FALSE(runtime.tracksProcess(0));
+    EXPECT_EQ(runtime.predictedRemainingOf(0), 0u);
+}
+
+} // namespace
+} // namespace flep

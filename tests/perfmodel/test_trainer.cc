@@ -85,6 +85,43 @@ TEST(Trainer, PredictionClampedPositive)
     EXPECT_GE(model.predictNs(in), 1000.0);
 }
 
+TEST(Trainer, ClampFloorIsExplicitAndEnforced)
+{
+    // The floor is part of the contract, not an implementation
+    // accident: every consumer (T_r bookkeeping, placement demand)
+    // relies on predictions never reaching zero.
+    EXPECT_EQ(KernelModel::minPredictNs, 1000.0);
+
+    // All-zero features: the prediction collapses to the
+    // (reconstructed) intercept, here chosen adversarially negative.
+    const KernelModel negative_intercept(
+        "x", RidgeModel::fromParameters({0.0, 0.0, 0.0, 0.0},
+                                        {0.0, 0.0, 0.0, 0.0},
+                                        {1.0, 1.0, 1.0, 1.0}, -5e6));
+    InputSpec zero;
+    zero.totalTasks = 0;
+    zero.footprint = CtaFootprint{0, 0, 0};
+    zero.inputSize = 0;
+    EXPECT_EQ(negative_intercept.predictNs(zero),
+              KernelModel::minPredictNs);
+
+    // Adversarial negative coefficients: large inputs drive the raw
+    // regression ever more negative, yet the clamp holds, and benign
+    // inputs still pass through unclamped.
+    const KernelModel negative_slope(
+        "x",
+        RidgeModel::fromParameters({-1e6, -1e6, -1e6, -1e6},
+                                   {0.0, 0.0, 0.0, 0.0},
+                                   {1.0, 1.0, 1.0, 1.0}, 2e6));
+    InputSpec big;
+    big.totalTasks = 100000;
+    big.footprint = CtaFootprint{1024, 48, 48 * 1024};
+    big.inputSize = 1 << 30;
+    EXPECT_EQ(negative_slope.predictNs(big),
+              KernelModel::minPredictNs);
+    EXPECT_EQ(negative_slope.predictNs(zero), 2e6);
+}
+
 TEST(OverheadProfiler, PositiveAndKernelDependent)
 {
     BenchmarkSuite suite;

@@ -13,8 +13,10 @@
  * Options:
  *   --devices=<N>        GPUs in the cluster (default 2)
  *   --placement=<name>   first-fit|least-loaded|preemptive-priority
+ *   --prediction=<name>  heuristic|trained|oracle demand estimates
  *   --load=<F>           offered load per device (default 0.9)
  *   --jobs=<N>           target job count (default 24)
+ *   --repeats=<N>        kernel invocations per job (default 1)
  *   --capacity=<N>       cluster job slots per device (default 1)
  *   --bursty             bursty arrivals instead of Poisson
  *   --seed=<N>           trace + simulation seed (default 1)
@@ -50,8 +52,10 @@ struct Options
 {
     int devices = 2;
     PlacementKind placement = PlacementKind::FirstFit;
+    PredictionSource prediction = PredictionSource::Heuristic;
     double load = 0.9;
     long jobs = 24;
+    int repeats = 1;
     int capacity = 1;
     bool bursty = false;
     std::uint64_t seed = 1;
@@ -69,9 +73,13 @@ usage(int code)
         "  --devices=<N>        GPUs in the cluster (default 2)\n"
         "  --placement=<name>   first-fit|least-loaded|"
         "preemptive-priority\n"
+        "  --prediction=<name>  heuristic|trained|oracle demand "
+        "estimates\n"
         "  --load=<F>           offered load per device (default "
         "0.9)\n"
         "  --jobs=<N>           target job count (default 24)\n"
+        "  --repeats=<N>        kernel invocations per job "
+        "(default 1)\n"
         "  --capacity=<N>       job slots per device (default 1)\n"
         "  --bursty             bursty arrivals instead of Poisson\n"
         "  --seed=<N>           trace + simulation seed (default 1)\n"
@@ -141,10 +149,28 @@ parseArgs(int argc, char **argv)
                              name.c_str(), valid.c_str());
                 std::exit(2);
             }
+        } else if (startsWith(arg, "--prediction=")) {
+            const std::string name = arg.substr(13);
+            if (!parsePredictionSource(name, opts.prediction)) {
+                std::string valid;
+                for (PredictionSource s : allPredictionSources()) {
+                    if (!valid.empty())
+                        valid += ", ";
+                    valid += predictionSourceName(s);
+                }
+                std::fprintf(stderr,
+                             "flepclusterd: unknown prediction "
+                             "source '%s' (valid: %s)\n",
+                             name.c_str(), valid.c_str());
+                std::exit(2);
+            }
         } else if (startsWith(arg, "--load=")) {
             opts.load = parseDouble(arg.substr(7), "load");
         } else if (startsWith(arg, "--jobs=")) {
             opts.jobs = parseLong(arg.substr(7), "jobs");
+        } else if (startsWith(arg, "--repeats=")) {
+            opts.repeats = static_cast<int>(
+                parseLong(arg.substr(10), "repeats"));
         } else if (startsWith(arg, "--capacity=")) {
             opts.capacity = static_cast<int>(
                 parseLong(arg.substr(11), "capacity"));
@@ -167,7 +193,7 @@ parseArgs(int argc, char **argv)
         }
     }
     if (opts.devices < 1 || opts.jobs < 1 || opts.capacity < 1 ||
-        opts.load <= 0.0) {
+        opts.repeats < 1 || opts.load <= 0.0) {
         std::fprintf(stderr, "flepclusterd: bad parameters\n");
         std::exit(2);
     }
@@ -187,16 +213,24 @@ runTool(const Options &opts)
     batch.workload = "VA";
     batch.input = InputClass::Large;
     batch.priority = 0;
+    batch.repeats = opts.repeats;
 
     ArrivalClassSpec interactive;
     interactive.workload = "NN";
     interactive.input = InputClass::Small;
     interactive.priority = 5;
+    interactive.repeats = opts.repeats;
 
-    const double svc_batch = artifacts.models.at("VA").predictNs(
-        suite.byName("VA").input(InputClass::Large));
-    const double svc_inter = artifacts.models.at("NN").predictNs(
-        suite.byName("NN").input(InputClass::Small));
+    // Whole-job demand scales with the invocation count, so the
+    // offered-load arithmetic and the SLO bound both carry `repeats`.
+    const double svc_batch =
+        artifacts.models.at("VA").predictNs(
+            suite.byName("VA").input(InputClass::Large)) *
+        opts.repeats;
+    const double svc_inter =
+        artifacts.models.at("NN").predictNs(
+            suite.byName("NN").input(InputClass::Small)) *
+        opts.repeats;
     interactive.sloNs = static_cast<Tick>(4.0 * svc_inter);
 
     const double svc_ms = (0.6 * svc_batch + 0.4 * svc_inter) / 1e6;
@@ -217,6 +251,7 @@ runTool(const Options &opts)
     cfg.gpu = gpu;
     cfg.devices = opts.devices;
     cfg.placement = opts.placement;
+    cfg.prediction = opts.prediction;
     cfg.deviceScheduler = opts.deviceScheduler;
     cfg.deviceCapacity = opts.capacity;
     cfg.jobs = generateClusterJobs(acfg);
@@ -224,10 +259,11 @@ runTool(const Options &opts)
     cfg.seed = opts.seed;
     cfg.tracePath = opts.tracePath;
 
-    std::printf("cluster: %d x %d-SM GPU, %s placement, %s, "
-                "load %.2f, %zu jobs, seed %llu\n",
+    std::printf("cluster: %d x %d-SM GPU, %s placement, %s "
+                "prediction, %s, load %.2f, %zu jobs, seed %llu\n",
                 cfg.devices, cfg.gpu.numSms,
                 placementKindName(cfg.placement),
+                predictionSourceName(cfg.prediction),
                 schedulerKindName(cfg.deviceScheduler), opts.load,
                 cfg.jobs.size(),
                 static_cast<unsigned long long>(cfg.seed));
@@ -283,6 +319,8 @@ runTool(const Options &opts)
                 "preemptions: %ld\n",
                 res.placements, res.preemptivePlacements,
                 m.devicePreemptions);
+    std::printf("mean |prediction error| %.1f%%\n",
+                m.meanAbsPredictionErrorPct);
     return 0;
 }
 
