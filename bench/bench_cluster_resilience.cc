@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Cluster resilience sweep: fault rate x placement x migration.
+ *
+ * One sweep over an open-loop two-class mix (batch + interactive with
+ * turnaround SLOs) under seed-deterministic fault injection
+ * (generateFaultPlan: Poisson device crashes and transient stalls).
+ * Per cell: SLO attainment, completion accounting, faults injected,
+ * checkpoint-requeues, migrations, permanent failures, lost work and
+ * the goodput fraction. Results go to stdout and
+ * BENCH_resilience.json (override the path with FLEP_RESILIENCE_OUT).
+ *
+ * Two contracts this bench exists to exercise end to end:
+ *
+ *  1. No job is silently lost: every submitted job either completes
+ *     (possibly after checkpoint-requeue onto a surviving device) or
+ *     is accounted a permanent failure. Asserted internally before
+ *     any output is written.
+ *  2. Determinism: fault plans are data fixed before the run and all
+ *     randomness derives from per-run seeds, so the JSON is
+ *     bit-identical at any FLEP_THREADS setting (CI cmp's a
+ *     1-thread run against a 4-thread run).
+ *
+ * The experiment extends the paper's premise: FLEP's drain-boundary
+ * preemption leaves a job's state as a handful of integers, which is
+ * what makes checkpoints free and fault recovery a requeue instead of
+ * a cold restart from zero.
+ *
+ * Environment knobs (see bench/common/bench_util.hh for the shared
+ * ones): FLEP_REPS, FLEP_THREADS, plus
+ *   FLEP_CLUSTER_JOBS    target jobs per cell (default 24),
+ *   FLEP_RESILIENCE_OUT  output path (default BENCH_resilience.json).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "cluster/arrival_gen.hh"
+#include "cluster/cluster.hh"
+#include "cluster/cluster_metrics.hh"
+#include "common/bench_util.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "resilience/fault_plan.hh"
+
+namespace flep
+{
+namespace
+{
+
+using benchutil::BenchEnv;
+using benchutil::envLong;
+
+constexpr Priority kBatchPrio = 0;
+constexpr Priority kInteractivePrio = 5;
+constexpr int kDevices = 3;
+constexpr double kLoad = 0.9;
+
+struct Cell
+{
+    double faultRatePerSec;
+    PlacementKind placement;
+    bool migration;
+};
+
+/** Per-cell aggregates: rates averaged, event counts summed. */
+struct CellStats
+{
+    double sloHigh = 0.0;
+    double sloAll = 0.0;
+    double meanTurnUs = 0.0;
+    double goodput = 0.0;
+    std::size_t jobs = 0;
+    std::size_t completed = 0;
+    long faultsInjected = 0;
+    long restarts = 0;
+    long migrations = 0;
+    long permanentFailures = 0;
+    Tick lostWorkNs = 0;
+};
+
+struct Mix
+{
+    std::vector<ArrivalClassSpec> classes;
+    std::vector<double> weights;
+    double meanServiceNs = 0.0;
+};
+
+double
+predictJobNs(const BenchEnv &env, const ArrivalClassSpec &cls)
+{
+    const InputSpec in =
+        env.suite().byName(cls.workload).input(cls.input);
+    return env.artifacts().models.at(cls.workload).predictNs(in) *
+           cls.repeats;
+}
+
+/**
+ * Batch jobs run two invocations so a mid-job drain boundary exists:
+ * a fault striking between them recovers the first invocation from
+ * the checkpoint instead of re-running it.
+ */
+Mix
+buildMix(const BenchEnv &env)
+{
+    Mix mix;
+    mix.classes.resize(2);
+    ArrivalClassSpec &batch = mix.classes[0];
+    batch.workload = "VA";
+    batch.input = InputClass::Large;
+    batch.priority = kBatchPrio;
+    batch.sloNs = 0;
+    batch.repeats = 2;
+
+    ArrivalClassSpec &interactive = mix.classes[1];
+    interactive.workload = "NN";
+    interactive.input = InputClass::Small;
+    interactive.priority = kInteractivePrio;
+    interactive.sloNs =
+        static_cast<Tick>(6.0 * predictJobNs(env, interactive));
+
+    mix.weights = {0.5, 0.5};
+    mix.meanServiceNs = 0.0;
+    for (std::size_t i = 0; i < mix.classes.size(); ++i)
+        mix.meanServiceNs +=
+            mix.weights[i] * predictJobNs(env, mix.classes[i]);
+    return mix;
+}
+
+ClusterConfig
+cellConfig(const BenchEnv &env, const Mix &mix, const Cell &cell,
+           long target_jobs, std::uint64_t seed)
+{
+    const double svc_ms = mix.meanServiceNs / 1e6;
+    const double rate_per_ms =
+        kLoad * static_cast<double>(kDevices) / svc_ms;
+
+    ClusterArrivalConfig acfg;
+    acfg.pattern = ArrivalPattern::Poisson;
+    acfg.horizonNs = static_cast<Tick>(
+        static_cast<double>(target_jobs) / rate_per_ms * 1e6);
+    acfg.seed = seed;
+    acfg.classes = mix.classes;
+    for (std::size_t i = 0; i < acfg.classes.size(); ++i)
+        acfg.classes[i].ratePerMs = mix.weights[i] * rate_per_ms;
+
+    ClusterConfig cfg;
+    cfg.gpu = env.gpu();
+    cfg.devices = kDevices;
+    cfg.placement = cell.placement;
+    cfg.deviceScheduler = SchedulerKind::FlepHpf;
+    cfg.deviceCapacity = 2;
+    cfg.jobs = generateClusterJobs(acfg);
+    cfg.horizonNs = 0;
+    cfg.seed = seed;
+
+    cfg.resilience.checkpoints = true;
+    cfg.resilience.migration.enabled = cell.migration;
+    if (cell.faultRatePerSec > 0.0) {
+        // Stall-heavy split: crashes are permanent, so an all-crash
+        // plan at these rates could kill every device and strand the
+        // queue. Faults may fire well past the arrival window while
+        // requeued work drains, hence the widened horizon.
+        FaultPlanConfig fcfg;
+        fcfg.devices = kDevices;
+        fcfg.horizonNs = acfg.horizonNs * 3;
+        fcfg.seed = seed ^ 0x9e3779b97f4a7c15ull;
+        fcfg.crashRatePerSec = 0.2 * cell.faultRatePerSec;
+        fcfg.stallRatePerSec = 0.8 * cell.faultRatePerSec;
+        cfg.resilience.faults = generateFaultPlan(fcfg);
+        // Guarantee a survivor: if the drawn plan crashes every
+        // device the cluster dies and queued jobs are stranded by
+        // design, which would void the no-lost-job contract this
+        // bench asserts. Drop the latest crash (a pure function of
+        // the plan, so determinism holds).
+        std::vector<bool> crashed(kDevices, false);
+        for (const FaultEvent &ev : cfg.resilience.faults) {
+            if (ev.kind == FaultKind::DeviceCrash)
+                crashed[static_cast<std::size_t>(ev.device)] = true;
+        }
+        bool all = true;
+        for (bool c : crashed)
+            all = all && c;
+        if (all) {
+            auto &plan = cfg.resilience.faults;
+            for (auto it = plan.rbegin(); it != plan.rend(); ++it) {
+                if (it->kind == FaultKind::DeviceCrash) {
+                    plan.erase(std::next(it).base());
+                    break;
+                }
+            }
+        }
+    }
+    return cfg;
+}
+
+CellStats
+aggregate(const std::vector<ClusterResult> &reps)
+{
+    CellStats s;
+    for (const auto &res : reps) {
+        const ClusterMetrics m = computeClusterMetrics(res);
+        auto high = m.sloAttainmentByPriority.find(kInteractivePrio);
+        s.sloHigh += high == m.sloAttainmentByPriority.end()
+            ? 1.0
+            : high->second;
+        s.sloAll += m.sloAttainment;
+        s.meanTurnUs += m.meanTurnaroundUs;
+        s.goodput += m.goodputFraction;
+        s.jobs += m.jobs;
+        s.completed += m.completed;
+        s.faultsInjected += m.faultsInjected;
+        s.restarts += m.restarts;
+        s.migrations += m.migrations;
+        s.permanentFailures += m.permanentFailures;
+        s.lostWorkNs += m.lostWorkNs;
+    }
+    const auto n = static_cast<double>(reps.size());
+    s.sloHigh /= n;
+    s.sloAll /= n;
+    s.meanTurnUs /= n;
+    s.goodput /= n;
+    return s;
+}
+
+/** Contract 1: no job may end the run unaccounted. */
+bool
+checkAccounting(const std::vector<ClusterResult> &results)
+{
+    bool ok = true;
+    for (std::size_t r = 0; r < results.size(); ++r) {
+        for (const JobOutcome &o : results[r].outcomes) {
+            if (!o.completed && !o.failedPermanently) {
+                std::fprintf(stderr,
+                             "FATAL: run %zu job %d neither completed "
+                             "nor failed permanently (placed=%d "
+                             "device=%d restarts=%d)\n",
+                             r, o.job.id, o.placed ? 1 : 0, o.device,
+                             o.restarts);
+                ok = false;
+            }
+        }
+    }
+    return ok;
+}
+
+int
+run()
+{
+    benchutil::printHeader(
+        "cluster-resilience",
+        "fault rate x placement x migration: checkpoint-requeue "
+        "recovery");
+
+    BenchEnv env;
+    const long target_jobs = envLong("FLEP_CLUSTER_JOBS", 24, 4, 4000);
+    const Mix mix = buildMix(env);
+
+    const std::vector<double> fault_rates = {0.0, 60.0, 180.0};
+    std::vector<Cell> cells;
+    for (double rate : fault_rates) {
+        for (PlacementKind placement : allPlacementKinds()) {
+            for (bool migration : {false, true})
+                cells.push_back({rate, placement, migration});
+        }
+    }
+
+    std::vector<ClusterConfig> runs;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        for (int r = 0; r < env.reps(); ++r) {
+            // The seed ignores the cell's policy axes: every
+            // (rate, rep) pair replays the identical arrival trace
+            // and fault plan, isolating placement and migration.
+            const std::uint64_t seed =
+                1009 +
+                static_cast<std::uint64_t>(
+                    c / (cells.size() / fault_rates.size())) *
+                    101 +
+                static_cast<std::uint64_t>(r) * 7919;
+            runs.push_back(
+                cellConfig(env, mix, cells[c], target_jobs, seed));
+        }
+    }
+    const std::vector<ClusterResult> results =
+        env.runClusterBatch(runs);
+    if (!checkAccounting(results))
+        return 1;
+
+    std::vector<CellStats> stats;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::vector<ClusterResult> cell(
+            results.begin() +
+                static_cast<long>(c * static_cast<std::size_t>(
+                                          env.reps())),
+            results.begin() +
+                static_cast<long>((c + 1) * static_cast<std::size_t>(
+                                                env.reps())));
+        stats.push_back(aggregate(cell));
+    }
+
+    Table table("cluster resilience sweep");
+    table.setHeader({"faults/s", "policy", "migrate", "slo-high",
+                     "goodput", "faults", "restarts", "migr",
+                     "failed"});
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const Cell &cell = cells[c];
+        const CellStats &s = stats[c];
+        table.addRow({format("%.0f", cell.faultRatePerSec),
+                      placementKindName(cell.placement),
+                      cell.migration ? "on" : "off",
+                      format("%.3f", s.sloHigh),
+                      format("%.3f", s.goodput),
+                      std::to_string(s.faultsInjected),
+                      std::to_string(s.restarts),
+                      std::to_string(s.migrations),
+                      std::to_string(s.permanentFailures)});
+    }
+    table.print();
+    benchutil::printPaperNote(
+        "no paper counterpart: FLEP (ASPLOS'17) is single-GPU; this "
+        "sweep shows its drain-boundary preemption doubling as free "
+        "checkpointing — fault recovery is a requeue of a few "
+        "integers, not a cold restart");
+
+    const char *out = std::getenv("FLEP_RESILIENCE_OUT");
+    const char *path = out != nullptr ? out : "BENCH_resilience.json";
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        warn("cannot write ", path);
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema_version\": 1,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"target_jobs\": %ld,\n"
+                 "  \"devices\": %d,\n"
+                 "  \"load\": %.2f,\n"
+                 "  \"cells\": [\n",
+                 env.reps(), target_jobs, kDevices, kLoad);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const Cell &cell = cells[c];
+        const CellStats &s = stats[c];
+        std::fprintf(
+            f,
+            "    {\"fault_rate_per_sec\": %.1f, \"policy\": \"%s\", "
+            "\"migration\": %s, \"jobs\": %zu, \"completed\": %zu, "
+            "\"slo_attainment_high\": %.6f, "
+            "\"slo_attainment\": %.6f, "
+            "\"mean_turnaround_us\": %.3f, "
+            "\"goodput_fraction\": %.6f, "
+            "\"faults_injected\": %ld, \"restarts\": %ld, "
+            "\"migrations\": %ld, \"permanent_failures\": %ld, "
+            "\"lost_work_ns\": %llu}%s\n",
+            cell.faultRatePerSec, placementKindName(cell.placement),
+            cell.migration ? "true" : "false", s.jobs, s.completed,
+            s.sloHigh, s.sloAll, s.meanTurnUs, s.goodput,
+            s.faultsInjected, s.restarts, s.migrations,
+            s.permanentFailures,
+            static_cast<unsigned long long>(s.lostWorkNs),
+            c + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    inform("wrote ", path);
+    return 0;
+}
+
+} // namespace
+} // namespace flep
+
+int
+main()
+{
+    return flep::run();
+}

@@ -34,16 +34,12 @@
  *   trace_events          events recorded across the traced sweep
  *   trace_events_per_sec  trace_events / trace_on seconds
  *
- * Added in schema 4 — the binary ring-buffer trace backend. The sweep
- * is additionally traced through the record-time-formatting legacy
- * backend; both backends must record the identical event count (they
- * share one typed front end), and the two overhead numbers quantify
- * what deferring the formatting buys:
- *   trace_legacy_on_ms        traced serial sweep, legacy backend
- *   trace_legacy_overhead_pct 100 * (legacy_on / trace_off - 1)
- * The three tracing walls (off, binary, legacy) are each the minimum
- * over five passes of the identical deterministic sweep, so a noise
- * spike on one pass cannot masquerade as tracing overhead.
+ * Added in schema 4 — the binary ring-buffer trace backend. Schema 6
+ * removed the record-time-formatting legacy backend and with it the
+ * trace_legacy_on_ms / trace_legacy_overhead_pct fields. The tracing
+ * walls (off, on) are each the minimum over five passes of the
+ * identical deterministic sweep, so a noise spike on one pass cannot
+ * masquerade as tracing overhead.
  *
  * Added in schema 3 — macro-stepped persistent execution, measured on
  * a solo persistent kernel run with the fast path off and on (results
@@ -342,23 +338,19 @@ main()
     // Tracing overhead: the identical serial sweep, each run recording
     // into its own in-memory recorder. This is the number the "tracing
     // must be cheap when off, affordable when on" goal is judged by.
-    // The same sweep then runs through the legacy record-time-
-    // formatting backend: its overhead shows what the binary hot path
-    // saves, and its event counts must match exactly (shared typed
-    // front end). Every mode is timed as the min over kTracePasses
-    // passes — the sweeps are deterministic, so any pass-to-pass
-    // spread is scheduler noise and the minimum is the real cost
-    // (single-pass deltas on a busy 1-core runner swing tens of
-    // percent either way).
+    // Every mode is timed as the min over kTracePasses passes — the
+    // sweeps are deterministic, so any pass-to-pass spread is
+    // scheduler noise and the minimum is the real cost (single-pass
+    // deltas on a busy 1-core runner swing tens of percent either
+    // way).
     constexpr int kTracePasses = 5;
-    auto tracedSweep = [&](TraceBackend backend, double &ms,
-                           std::size_t &events) {
+    auto tracedSweep = [&](double &ms, std::size_t &events) {
         ms = 1e300;
         for (int pass = 0; pass < kTracePasses; ++pass) {
             std::vector<CoRunConfig> traced(runs);
             std::deque<TraceRecorder> recorders;
             for (auto &run : traced) {
-                recorders.emplace_back(backend);
+                recorders.emplace_back();
                 run.tracer = &recorders.back();
             }
             const auto t0 = std::chrono::steady_clock::now();
@@ -389,25 +381,17 @@ main()
         }
     }
 
-    double traced_ms = 0.0, legacy_ms = 0.0;
-    std::size_t trace_events = 0, legacy_events = 0;
-    tracedSweep(TraceBackend::Binary, traced_ms, trace_events);
-    tracedSweep(TraceBackend::Legacy, legacy_ms, legacy_events);
-    if (trace_events != legacy_events) {
-        fatal("binary backend recorded ", trace_events,
-              " events but the legacy backend recorded ",
-              legacy_events);
-    }
+    double traced_ms = 0.0;
+    std::size_t trace_events = 0;
+    tracedSweep(traced_ms, trace_events);
     const double trace_overhead_pct =
         (traced_ms / trace_off_ms - 1.0) * 100.0;
-    const double legacy_overhead_pct =
-        (legacy_ms / trace_off_ms - 1.0) * 100.0;
     const double trace_events_per_sec =
         static_cast<double>(trace_events) / (traced_ms / 1000.0);
-    std::printf("tracing: off %.0f ms, binary %.0f ms (%+.1f%%), "
-                "legacy %.0f ms (%+.1f%%), %zu events\n",
-                trace_off_ms, traced_ms, trace_overhead_pct, legacy_ms,
-                legacy_overhead_pct, trace_events);
+    std::printf("tracing: off %.0f ms, on %.0f ms (%+.1f%%), "
+                "%zu events\n",
+                trace_off_ms, traced_ms, trace_overhead_pct,
+                trace_events);
 
     // Contended pool: force >= 2 workers so the queue path runs even
     // where hardware concurrency is 1, and push 16 tasks per worker.
@@ -431,7 +415,7 @@ main()
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 5,\n"
+                 "  \"schema_version\": 6,\n"
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"sweep_cells\": %zu,\n"
                  "  \"sweep_reps\": %d,\n"
@@ -443,8 +427,6 @@ main()
                  "  \"trace_off_ms\": %.1f,\n"
                  "  \"trace_on_ms\": %.1f,\n"
                  "  \"trace_overhead_pct\": %.2f,\n"
-                 "  \"trace_legacy_on_ms\": %.1f,\n"
-                 "  \"trace_legacy_overhead_pct\": %.2f,\n"
                  "  \"trace_events\": %zu,\n"
                  "  \"trace_events_per_sec\": %.0f,\n"
                  "  \"solo_macro_off_ms\": %.1f,\n"
@@ -466,8 +448,8 @@ main()
                  ev_per_sec, cells.size(), env.reps(), serial_ms,
                  parallel_ms, env.threads(),
                  std::thread::hardware_concurrency(), speedup,
-                 trace_off_ms, traced_ms, trace_overhead_pct, legacy_ms,
-                 legacy_overhead_pct, trace_events,
+                 trace_off_ms, traced_ms, trace_overhead_pct,
+                 trace_events,
                  trace_events_per_sec, solo_off.ms, solo_on.ms,
                  solo_speedup,
                  static_cast<unsigned long long>(solo_off.simEvents),

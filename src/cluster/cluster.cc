@@ -24,6 +24,12 @@ struct ClusterScheduler::Device
     /** Jobs ever placed here. */
     long jobCount = 0;
 
+    /** Fault injection: the device accepts no placements before this
+     *  tick (maxTick after a crash — the device never recovers). */
+    Tick failedUntil = 0;
+
+    bool failed(Tick now) const { return now < failedUntil; }
+
     /**
      * Approximate union of busy CTA-slot intervals: intervals are
      * reported in end-time order, so tracking the furthest end seen
@@ -73,6 +79,15 @@ ClusterScheduler::ClusterScheduler(Simulation &sim,
     // Job ids index outcomes_ and remainingInvocations_ directly.
     outcomes_.resize(cfg_.jobs.size());
     remainingInvocations_.assign(cfg_.jobs.size(), 0);
+    checkpoints_.resize(cfg_.jobs.size());
+    activeHost_.assign(cfg_.jobs.size(), nullptr);
+    lastMigrateNs_.assign(cfg_.jobs.size(), 0);
+    unfinishedJobs_ = cfg_.jobs.size();
+    for (const FaultEvent &ev : cfg_.resilience.faults) {
+        FLEP_ASSERT(ev.device >= 0 && ev.device < cfg_.devices,
+                    "fault plan targets device ", ev.device,
+                    " outside the cluster");
+    }
     std::vector<bool> seen(cfg_.jobs.size(), false);
     for (const auto &job : cfg_.jobs) {
         FLEP_ASSERT(job.id >= 0 &&
@@ -142,6 +157,25 @@ ClusterScheduler::start()
             submit(job);
         });
     }
+    // The fault plan is data fixed before the run; replay it. An
+    // inert resilience config schedules nothing here, keeping such
+    // runs event-for-event identical to pre-resilience builds.
+    for (const FaultEvent &ev : cfg_.resilience.faults) {
+        sim_.events().scheduleAfter(ev.atNs,
+                                    [this, ev]() { onFault(ev); });
+    }
+    if (cfg_.resilience.migration.enabled)
+        armRebalancer();
+}
+
+const JobCheckpoint &
+ClusterScheduler::checkpointOf(int job_id) const
+{
+    FLEP_ASSERT(job_id >= 0 &&
+                    static_cast<std::size_t>(job_id) <
+                        checkpoints_.size(),
+                "bad job id");
+    return checkpoints_[static_cast<std::size_t>(job_id)];
 }
 
 int
@@ -184,6 +218,29 @@ ClusterScheduler::submit(const ClusterJob &job)
     tryDispatch();
 }
 
+Tick
+ClusterScheduler::jobDemandNs(Device &dev, int job_id)
+{
+    // A resident job owes the runtime's refined T_r for the
+    // invocation it has in flight, plus the provider's estimate for
+    // every invocation it has not handed to the runtime yet (a host
+    // runs one invocation at a time, so the runtime cannot see the
+    // tail). Between invocations (IPC gap) nothing is tracked and
+    // every remaining invocation is tail.
+    const ClusterJob &job =
+        outcomes_[static_cast<std::size_t>(job_id)].job;
+    const auto pid = static_cast<ProcessId>(job_id);
+    const int tracked = dev.runtime->tracksProcess(pid) ? 1 : 0;
+    const int queued =
+        remainingInvocations_[static_cast<std::size_t>(job_id)] -
+        tracked;
+    FLEP_ASSERT(queued >= 0, "more tracked invocations than owed");
+    Tick owed = dev.runtime->predictedRemainingOf(pid);
+    owed += static_cast<Tick>(queued) *
+            provider_->predictInvocationNs(job);
+    return owed;
+}
+
 std::vector<DeviceLoad>
 ClusterScheduler::snapshotLoads()
 {
@@ -191,6 +248,11 @@ ClusterScheduler::snapshotLoads()
     loads.reserve(devices_.size());
     for (std::size_t d = 0; d < devices_.size(); ++d) {
         Device &dev = *devices_[d];
+        // Failed devices are simply not placement candidates; every
+        // policy scores the loads it is given by `load.device`, so
+        // omission is clean.
+        if (dev.failed(sim_.now()))
+            continue;
         DeviceLoad load;
         load.device = static_cast<int>(d);
         load.residentJobs = static_cast<int>(dev.residentJobs.size());
@@ -198,24 +260,7 @@ ClusterScheduler::snapshotLoads()
         for (int id : dev.residentJobs) {
             const ClusterJob &job =
                 outcomes_[static_cast<std::size_t>(id)].job;
-            const auto pid = static_cast<ProcessId>(id);
-            // A resident job owes the runtime's refined T_r for the
-            // invocation it has in flight, plus the provider's
-            // estimate for every invocation it has not handed to the
-            // runtime yet (a host runs one invocation at a time, so
-            // the runtime cannot see the tail). Between invocations
-            // (IPC gap) nothing is tracked and every remaining
-            // invocation is tail.
-            const int tracked =
-                dev.runtime->tracksProcess(pid) ? 1 : 0;
-            const int queued =
-                remainingInvocations_[static_cast<std::size_t>(id)] -
-                tracked;
-            FLEP_ASSERT(queued >= 0,
-                        "more tracked invocations than owed");
-            Tick owed = dev.runtime->predictedRemainingOf(pid);
-            owed += static_cast<Tick>(queued) *
-                    provider_->predictInvocationNs(job);
+            const Tick owed = jobDemandNs(dev, id);
             load.predictedBacklogNs += owed;
             load.backlogByPriority[job.priority] += owed;
         }
@@ -262,24 +307,24 @@ ClusterScheduler::place(const ClusterJob &job,
                     static_cast<std::size_t>(dec.device) <
                         devices_.size(),
                 "policy chose a nonexistent device");
-    Device &dev = *devices_[static_cast<std::size_t>(dec.device)];
     JobOutcome &out = outcomes_[static_cast<std::size_t>(job.id)];
-    out.placed = true;
+    // Re-placements after a fault requeue keep the first placement's
+    // timestamp and demand estimate: queueDelayNs() measures the
+    // submission-to-first-service delay, and the prediction-error
+    // metric compares the original estimate against realized work.
+    if (!out.placed) {
+        out.placed = true;
+        out.placeTick = sim_.now();
+        out.predictedDemandNs = provider_->predictJobNs(job);
+    }
     out.device = dec.device;
-    out.placeTick = sim_.now();
-    out.displacedVictim = dec.preempts;
-    out.predictedDemandNs = provider_->predictJobNs(job);
+    out.displacedVictim = out.displacedVictim || dec.preempts;
 
     ++placements_;
     if (dec.preempts)
         ++preemptivePlacements_;
-    dev.residentJobs.push_back(job.id);
-    ++dev.jobCount;
-    remainingInvocations_[static_cast<std::size_t>(job.id)] =
-        job.repeats;
 
-    TraceRecorder *tr = sim_.tracer();
-    if (tr != nullptr) {
+    if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(TraceRecorder::pidCluster, 0, "cluster:place",
                     {{"job", job.id},
                      {"device", dec.device},
@@ -297,6 +342,17 @@ ClusterScheduler::place(const ClusterJob &job,
                          {"priority", job.priority}});
         }
     }
+
+    materialize(job, dec.device);
+    traceQueueDepth();
+}
+
+void
+ClusterScheduler::materialize(const ClusterJob &job, int device)
+{
+    Device &dev = *devices_[static_cast<std::size_t>(device)];
+    dev.residentJobs.push_back(job.id);
+    ++dev.jobCount;
 
     // The job becomes an ordinary FLEP host process on its device.
     // If the placement displaces a resident, no extra mechanism is
@@ -316,17 +372,53 @@ ClusterScheduler::place(const ClusterJob &job,
     entry.repeats = job.repeats;
     entry.amortizeL = amortize_l;
 
+    // Restore from the checkpoint: a partially executed invocation
+    // becomes a one-shot first entry with its remaining tasks, and
+    // fully completed repeats are simply not re-run. A fresh
+    // checkpoint (nothing completed) degenerates to the original
+    // single-entry script, so first placements are unchanged.
+    std::vector<HostProcess::ScriptEntry> script;
+    int remaining = job.repeats;
+    if (resilienceActive()) {
+        JobCheckpoint &cp =
+            checkpoints_[static_cast<std::size_t>(job.id)];
+        if (!cp.valid) {
+            cp.jobId = job.id;
+            cp.totalTasks = entry.input.totalTasks;
+            cp.valid = true;
+        }
+        remaining = job.repeats - cp.completedRepeats;
+        FLEP_ASSERT(remaining >= 1, "restoring a finished job");
+        if (cp.tasksDone > 0) {
+            FLEP_ASSERT(cp.tasksDone < cp.totalTasks,
+                        "checkpoint beyond the invocation");
+            HostProcess::ScriptEntry partial = entry;
+            partial.input.totalTasks = cp.totalTasks - cp.tasksDone;
+            partial.repeats = 1;
+            script.push_back(partial);
+            entry.repeats = remaining - 1;
+            if (entry.repeats > 0)
+                script.push_back(entry);
+        } else {
+            entry.repeats = remaining;
+            script.push_back(entry);
+        }
+    } else {
+        script.push_back(entry);
+    }
+    remainingInvocations_[static_cast<std::size_t>(job.id)] =
+        remaining;
+
     auto host = std::make_unique<HostProcess>(
         sim_, *dev.gpu, *dev.runtime,
-        static_cast<ProcessId>(job.id),
-        std::vector<HostProcess::ScriptEntry>{entry});
-    if (tr != nullptr) {
+        static_cast<ProcessId>(job.id), std::move(script));
+    if (TraceRecorder *tr = sim_.tracer()) {
         const int hp =
             TraceRecorder::hostPid(static_cast<ProcessId>(job.id));
         tr->setProcessName(hp,
                            format("job%d (%s, prio %d, dev%d)", job.id,
                                   job.workload.c_str(), job.priority,
-                                  dec.device));
+                                  device));
         tr->setThreadName(hp, 0, "kernel lifecycle");
     }
     const int job_id = job.id;
@@ -334,13 +426,29 @@ ClusterScheduler::place(const ClusterJob &job,
         JobOutcome &o = outcomes_[static_cast<std::size_t>(job_id)];
         o.preemptions += res.preemptions;
         o.execNs += res.execNs;
-        if (--remainingInvocations_[static_cast<std::size_t>(
-                job_id)] == 0)
+        const int left =
+            --remainingInvocations_[static_cast<std::size_t>(job_id)];
+        if (resilienceActive()) {
+            // Passive capture: a completed invocation is itself a
+            // checkpoint (field writes only — no events, no RNG).
+            JobCheckpoint &cp =
+                checkpoints_[static_cast<std::size_t>(job_id)];
+            cp.completedRepeats = o.job.repeats - left;
+            cp.tasksDone = 0;
+            cp.rngCursor = 0;
+            cp.capturedNs = res.finishTick;
+        }
+        if (left == 0)
             jobFinished(job_id, res.finishTick);
     };
+    if (resilienceActive()) {
+        host->onDrainBoundary = [this](HostProcess &h) {
+            return captureDrain(h);
+        };
+    }
     host->start();
+    activeHost_[static_cast<std::size_t>(job.id)] = host.get();
     hosts_.push_back(std::move(host));
-    traceQueueDepth();
 }
 
 void
@@ -355,6 +463,10 @@ ClusterScheduler::jobFinished(int job_id, Tick now)
     FLEP_ASSERT(pos != dev.residentJobs.end(),
                 "finished job not resident on its device");
     dev.residentJobs.erase(pos);
+    activeHost_[static_cast<std::size_t>(job_id)] = nullptr;
+    pendingMigration_.erase(job_id);
+    FLEP_ASSERT(unfinishedJobs_ > 0, "job finished twice");
+    --unfinishedJobs_;
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(TraceRecorder::pidCluster, 0, "cluster:finish",
                     {{"job", job_id},
@@ -380,6 +492,316 @@ ClusterScheduler::jobFinished(int job_id, Tick now)
     tryDispatch();
 }
 
+bool
+ClusterScheduler::captureDrain(HostProcess &host)
+{
+    // Fired from HostProcess::handleDrained before the dispatcher is
+    // told. FLEP's task-boundary drain makes the in-flight progress a
+    // pair of integers; snapshotting them IS the checkpoint — no
+    // device memory moves. Pure field writes plus an optional trace
+    // instant, so fault-free runs are unperturbed.
+    const int job_id = static_cast<int>(host.pid());
+    JobCheckpoint &cp = checkpoints_[static_cast<std::size_t>(job_id)];
+    const auto &inv = host.invocation();
+    FLEP_ASSERT(inv.exec != nullptr,
+                "drain checkpoint without a whole-kernel exec");
+    // The entry's task count may already be a restored remainder;
+    // rebase onto the original invocation so repeated restores
+    // compose: done_abs = (full - this_entry) + done_in_entry.
+    const long done_abs = (cp.totalTasks - inv.input.totalTasks) +
+                          inv.exec->tasksCompleted();
+    FLEP_ASSERT(done_abs >= cp.tasksDone,
+                "checkpoint went backwards");
+    cp.tasksDone = done_abs;
+    cp.rngCursor = static_cast<std::uint64_t>(done_abs);
+    cp.capturedNs = sim_.now();
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidCluster, 0, "cluster:checkpoint",
+                    {{"job", job_id},
+                     {"completed_repeats", cp.completedRepeats},
+                     {"tasks_done", cp.tasksDone},
+                     {"total_tasks", cp.totalTasks}});
+    }
+    auto mig = pendingMigration_.find(job_id);
+    if (mig != pendingMigration_.end()) {
+        const int target = mig->second;
+        pendingMigration_.erase(mig);
+        finishMigration(job_id, target);
+        return true; // drain consumed: the job left this device
+    }
+    return false; // normal path: the runtime re-queues the kernel
+}
+
+Tick
+ClusterScheduler::lostWorkOf(int job_id)
+{
+    // Progress beyond the last checkpoint dies with the device and
+    // will be re-executed after the requeue. Scale the predicted
+    // invocation time by the lost task fraction.
+    const JobCheckpoint &cp =
+        checkpoints_[static_cast<std::size_t>(job_id)];
+    if (cp.totalTasks <= 0)
+        return 0;
+    HostProcess *host = activeHost_[static_cast<std::size_t>(job_id)];
+    long done_abs = cp.tasksDone;
+    if (host != nullptr && host->hasInvocation()) {
+        const auto &inv = host->invocation();
+        if (inv.exec != nullptr) {
+            done_abs = (cp.totalTasks - inv.input.totalTasks) +
+                       inv.exec->tasksCompleted();
+        }
+    }
+    const long lost = done_abs - cp.tasksDone;
+    if (lost <= 0)
+        return 0;
+    const ClusterJob &job =
+        outcomes_[static_cast<std::size_t>(job_id)].job;
+    return provider_->predictInvocationNs(job) * lost / cp.totalTasks;
+}
+
+void
+ClusterScheduler::onFault(const FaultEvent &ev)
+{
+    Device &dev = *devices_[static_cast<std::size_t>(ev.device)];
+    if (dev.failed(sim_.now()))
+        return; // already down (stall overlapping a crash, etc.)
+    ++faultsInjected_;
+    const bool crash = ev.kind == FaultKind::DeviceCrash;
+    dev.failedUntil =
+        crash ? maxTick : sim_.now() + std::max<Tick>(ev.durationNs, 1);
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidCluster, 0, "cluster:fault",
+                    {{"device", ev.device},
+                     {"kind", faultKindName(ev.kind)},
+                     {"duration_ns", static_cast<unsigned long long>(
+                                         ev.durationNs)},
+                     {"evicted", static_cast<int>(
+                                     dev.residentJobs.size())}});
+    }
+
+    // Evict every resident through the checkpoint-requeue path. A
+    // stall is handled exactly like a crash — the cluster cannot tell
+    // them apart while the device is unresponsive, so it does not
+    // wait — except that the device rejoins the pool afterwards.
+    const std::vector<int> evicted = dev.residentJobs;
+    for (int id : evicted) {
+        JobOutcome &o = outcomes_[static_cast<std::size_t>(id)];
+        const Tick lost = lostWorkOf(id); // read progress BEFORE abort
+        o.lostWorkNs += lost;
+        lostWorkNs_ += lost;
+        if (HostProcess *host =
+                activeHost_[static_cast<std::size_t>(id)]) {
+            host->abort();
+            activeHost_[static_cast<std::size_t>(id)] = nullptr;
+        }
+        pendingMigration_.erase(id);
+    }
+    dev.residentJobs.clear();
+    dev.runtime->abandonAll();
+    for (int id : evicted)
+        scheduleRetry(id);
+
+    if (!crash) {
+        const int device = ev.device;
+        sim_.events().scheduleAfter(
+            dev.failedUntil - sim_.now(), [this, device]() {
+                if (TraceRecorder *tr = sim_.tracer()) {
+                    tr->instant(TraceRecorder::pidCluster, 0,
+                                "cluster:recover",
+                                {{"device", device}});
+                }
+                // Back in the placeable pool; the queue head may fit.
+                tryDispatch();
+            });
+    }
+}
+
+void
+ClusterScheduler::scheduleRetry(int job_id)
+{
+    JobOutcome &out = outcomes_[static_cast<std::size_t>(job_id)];
+    out.restarts += 1;
+    ++restarts_;
+    const RetryPolicy &retry = cfg_.resilience.retry;
+    if (out.restarts > retry.maxRestarts) {
+        out.failedPermanently = true;
+        ++permanentFailures_;
+        FLEP_ASSERT(unfinishedJobs_ > 0, "job failed after the end");
+        --unfinishedJobs_;
+        if (TraceRecorder *tr = sim_.tracer()) {
+            tr->instant(TraceRecorder::pidCluster, 0,
+                        "cluster:job-failed",
+                        {{"job", job_id},
+                         {"restarts", out.restarts}});
+        }
+        return;
+    }
+    // Exponential backoff in simulated time, clamped: restart n waits
+    // base << (n-1), at most the cap.
+    Tick backoff = retry.backoffBaseNs;
+    for (int i = 1; i < out.restarts && backoff < retry.backoffCapNs;
+         ++i)
+        backoff <<= 1;
+    backoff = std::min(std::max<Tick>(backoff, 1), retry.backoffCapNs);
+    sim_.events().scheduleAfter(backoff,
+                                [this, job_id]() { requeueJob(job_id); });
+}
+
+void
+ClusterScheduler::requeueJob(int job_id)
+{
+    const JobOutcome &out =
+        outcomes_[static_cast<std::size_t>(job_id)];
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidCluster, 0, "cluster:restart",
+                    {{"job", job_id}, {"restarts", out.restarts}});
+    }
+    // Original arrival time: the job re-enters the priority-FIFO
+    // where it would have stood, ahead of later same-priority work.
+    queue_.push(out.job);
+    traceQueueDepth();
+    tryDispatch();
+}
+
+void
+ClusterScheduler::finishMigration(int job_id, int target)
+{
+    JobOutcome &out = outcomes_[static_cast<std::size_t>(job_id)];
+    Device &src = *devices_[static_cast<std::size_t>(out.device)];
+    HostProcess *host = activeHost_[static_cast<std::size_t>(job_id)];
+    FLEP_ASSERT(host != nullptr, "migrating a job with no host");
+    src.runtime->abandon(*host);
+    host->abort();
+    activeHost_[static_cast<std::size_t>(job_id)] = nullptr;
+    auto pos = std::find(src.residentJobs.begin(),
+                         src.residentJobs.end(), job_id);
+    FLEP_ASSERT(pos != src.residentJobs.end(),
+                "migrating job not resident on its device");
+    src.residentJobs.erase(pos);
+
+    Device &dst = *devices_[static_cast<std::size_t>(target)];
+    if (dst.failed(sim_.now()) ||
+        static_cast<int>(dst.residentJobs.size()) >=
+            cfg_.deviceCapacity) {
+        // The target failed or filled up while the drain was in
+        // flight; fall back to the cluster queue (not a migration).
+        queue_.push(out.job);
+        traceQueueDepth();
+        tryDispatch();
+        return;
+    }
+    ++migrations_;
+    ++out.migrations;
+    lastMigrateNs_[static_cast<std::size_t>(job_id)] = sim_.now();
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(TraceRecorder::pidCluster, 0, "cluster:migrate",
+                    {{"job", job_id},
+                     {"from", out.device},
+                     {"to", target}});
+    }
+    out.device = target;
+    materialize(out.job, target);
+}
+
+void
+ClusterScheduler::armRebalancer()
+{
+    if (unfinishedJobs_ == 0)
+        return; // let the event queue drain so the run can end
+    // Dead clusters (every device crashed) must not keep a timer
+    // alive either: the unfinished jobs can never progress.
+    bool serviceable = false;
+    for (const auto &dev : devices_) {
+        if (dev->failedUntil < maxTick) {
+            serviceable = true;
+            break;
+        }
+    }
+    if (!serviceable)
+        return;
+    sim_.events().scheduleAfter(cfg_.resilience.migration.intervalNs,
+                                [this]() {
+                                    maybeRebalance();
+                                    armRebalancer();
+                                });
+}
+
+void
+ClusterScheduler::maybeRebalance()
+{
+    if (unfinishedJobs_ == 0)
+        return;
+    const MigrationConfig &mc = cfg_.resilience.migration;
+    const std::vector<DeviceLoad> loads = snapshotLoads();
+    if (loads.size() < 2)
+        return;
+    std::size_t hi = 0, lo = 0;
+    for (std::size_t i = 1; i < loads.size(); ++i) {
+        if (loads[i].predictedBacklogNs >
+            loads[hi].predictedBacklogNs)
+            hi = i;
+        if (loads[i].predictedBacklogNs <
+            loads[lo].predictedBacklogNs)
+            lo = i;
+    }
+    const DeviceLoad &src = loads[hi];
+    const DeviceLoad &dst = loads[lo];
+    if (src.predictedBacklogNs - dst.predictedBacklogNs <
+        mc.minImbalanceNs)
+        return; // hysteresis floor
+    if (!dst.hasFreeSlot())
+        return;
+
+    // Candidate: a resident of the overloaded device whose move
+    // strictly shrinks the gap (dst + d < src, so the reverse move
+    // can never immediately qualify). Prefer the lowest priority
+    // (cheapest to disturb), then the largest demand (fewest moves),
+    // then the lowest id (determinism).
+    Device &sdev = *devices_[static_cast<std::size_t>(src.device)];
+    int best = -1;
+    Priority best_prio = 0;
+    Tick best_demand = 0;
+    for (int id : sdev.residentJobs) {
+        if (pendingMigration_.count(id) != 0)
+            continue;
+        const JobOutcome &o = outcomes_[static_cast<std::size_t>(id)];
+        if (o.migrations > 0 &&
+            sim_.now() - lastMigrateNs_[static_cast<std::size_t>(id)] <
+                mc.cooldownNs)
+            continue;
+        const Tick d = jobDemandNs(sdev, id);
+        if (d <= 0)
+            continue;
+        if (dst.predictedBacklogNs + d >= src.predictedBacklogNs)
+            continue;
+        const Priority p = o.job.priority;
+        const bool better =
+            best < 0 || p < best_prio ||
+            (p == best_prio &&
+             (d > best_demand || (d == best_demand && id < best)));
+        if (better) {
+            best = id;
+            best_prio = p;
+            best_demand = d;
+        }
+    }
+    if (best < 0)
+        return;
+
+    pendingMigration_[best] = dst.device;
+    if (!sdev.runtime->preemptProcess(static_cast<ProcessId>(best))) {
+        // Nothing on the GPU to drain (queued, or between
+        // invocations): the checkpoint is already current, move now.
+        pendingMigration_.erase(best);
+        finishMigration(best, dst.device);
+    }
+    // Otherwise the drain lands in captureDrain(), which completes
+    // the migration. If the kernel finishes before draining, the
+    // pending entry rides along until the job's next drain or its
+    // completion — never migrate from the completion path; an
+    // onFinished notification is already in flight there.
+}
+
 ClusterResult
 ClusterScheduler::collect() const
 {
@@ -392,6 +814,11 @@ ClusterScheduler::collect() const
     result.outcomes = outcomes_;
     result.placements = placements_;
     result.preemptivePlacements = preemptivePlacements_;
+    result.faultsInjected = faultsInjected_;
+    result.restarts = restarts_;
+    result.migrations = migrations_;
+    result.permanentFailures = permanentFailures_;
+    result.lostWorkNs = lostWorkNs_;
     for (const auto &out : outcomes_) {
         if (out.completed)
             result.makespanNs =

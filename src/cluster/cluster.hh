@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/job.hh"
@@ -34,6 +35,7 @@
 #include "flep/experiment.hh"
 #include "gpu/gpu_config.hh"
 #include "obs/trace_recorder.hh"
+#include "resilience/resilience.hh"
 #include "runtime/ffs.hh"
 #include "runtime/hpf.hh"
 #include "sim/sim_object.hh"
@@ -89,6 +91,14 @@ struct ClusterConfig
 
     std::uint64_t seed = 1;
 
+    /**
+     * Resilience layer: checkpoint capture, fault injection, and the
+     * migration rebalancer (see resilience/resilience.hh). The
+     * default-constructed config is inert — no hooks, no events — so
+     * existing runs are unchanged byte for byte.
+     */
+    ResilienceConfig resilience;
+
     /** When non-empty, write a Chrome trace of the run here. */
     std::string tracePath;
 
@@ -118,6 +128,21 @@ struct JobOutcome
 
     /** Summed GPU execution span across invocations. */
     Tick execNs = 0;
+
+    /** Fault evictions this job suffered (each consumed one restart
+     *  from the retry budget). */
+    int restarts = 0;
+
+    /** Completed cross-device migrations. */
+    int migrations = 0;
+
+    /** Execution progress beyond the last checkpoint that device
+     *  faults destroyed (predicted ns; re-run after requeue). */
+    Tick lostWorkNs = 0;
+
+    /** True when the job exhausted its restart budget and was never
+     *  requeued again (counts as incomplete and as an SLO miss). */
+    bool failedPermanently = false;
 
     /** Whole-job service demand the PredictionProvider estimated at
      *  placement time (what the scoring used). @pre placed. */
@@ -178,6 +203,21 @@ struct ClusterResult
 
     /** Jobs each device ran. */
     std::vector<long> deviceJobCounts;
+
+    /** Fault events that actually struck a live device. */
+    long faultsInjected = 0;
+
+    /** Checkpoint-requeues after fault evictions (all jobs). */
+    long restarts = 0;
+
+    /** Completed cross-device migrations (all jobs). */
+    long migrations = 0;
+
+    /** Jobs that exhausted their restart budget. */
+    long permanentFailures = 0;
+
+    /** Total predicted execution progress destroyed by faults. */
+    Tick lostWorkNs = 0;
 };
 
 /**
@@ -207,15 +247,32 @@ class ClusterScheduler : public SimObject
     /** Harvest results. Call after the simulation has run. */
     ClusterResult collect() const;
 
+    /** The last captured checkpoint of a job (tests poke at this). */
+    const JobCheckpoint &checkpointOf(int job_id) const;
+
   private:
     struct Device;
 
     void submit(const ClusterJob &job);
     void tryDispatch();
     void place(const ClusterJob &job, const PlacementDecision &dec);
+    void materialize(const ClusterJob &job, int device);
     void jobFinished(int job_id, Tick now);
     std::vector<DeviceLoad> snapshotLoads();
     void traceQueueDepth();
+
+    // --- resilience layer (only reached when cfg_.resilience is
+    // active; an inert config installs none of these) ---
+    bool resilienceActive() const { return cfg_.resilience.active(); }
+    bool captureDrain(HostProcess &host);
+    void onFault(const FaultEvent &ev);
+    Tick lostWorkOf(int job_id);
+    void scheduleRetry(int job_id);
+    void requeueJob(int job_id);
+    void finishMigration(int job_id, int target);
+    void armRebalancer();
+    void maybeRebalance();
+    Tick jobDemandNs(Device &dev, int job_id);
 
     const BenchmarkSuite &suite_;
     const OfflineArtifacts &artifacts_;
@@ -234,6 +291,23 @@ class ClusterScheduler : public SimObject
     /** Pre-resolved "cluster-queue-depth" counter track (lazy). */
     TraceRecorder::CounterHandle queueDepthCounter_ =
         TraceRecorder::invalidCounter;
+
+    /** Last drain-boundary checkpoint per job id (resilience only). */
+    std::vector<JobCheckpoint> checkpoints_;
+    /** The live host of each placed job; null when queued/finished. */
+    std::vector<HostProcess *> activeHost_;
+    /** Last completed migration per job id (cooldown hysteresis). */
+    std::vector<Tick> lastMigrateNs_;
+    /** Jobs with a migration drain in flight: job id -> target. */
+    std::unordered_map<int, int> pendingMigration_;
+    /** Jobs neither completed nor permanently failed; the rebalancer
+     *  stops re-arming at zero so the event queue can empty. */
+    std::size_t unfinishedJobs_ = 0;
+    long faultsInjected_ = 0;
+    long restarts_ = 0;
+    long migrations_ = 0;
+    long permanentFailures_ = 0;
+    Tick lostWorkNs_ = 0;
 };
 
 /** Run one cluster experiment. */

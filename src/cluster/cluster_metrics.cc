@@ -15,11 +15,20 @@ computeClusterMetrics(const ClusterResult &result)
     for (long p : result.devicePreemptions)
         m.devicePreemptions += p;
 
+    m.faultsInjected = result.faultsInjected;
+    m.restarts = result.restarts;
+    m.migrations = result.migrations;
+    m.permanentFailures = result.permanentFailures;
+    m.lostWorkNs = result.lostWorkNs;
+
     SampleStats queue_delay;
     SampleStats turnaround;
     SampleStats abs_pred_err;
     std::map<Priority, std::pair<std::size_t, std::size_t>> by_prio;
+    std::map<InputClass, std::pair<std::size_t, std::size_t>> by_class;
+    Tick exec_total = 0;
     for (const auto &out : result.outcomes) {
+        exec_total += out.execNs;
         if (out.placed)
             queue_delay.add(ticksToUs(out.queueDelayNs()));
         if (out.completed) {
@@ -34,12 +43,15 @@ computeClusterMetrics(const ClusterResult &result)
             ++m.sloJobs;
             auto &[slo_jobs, slo_met] = by_prio[out.job.priority];
             ++slo_jobs;
+            auto &[cls_jobs, cls_met] = by_class[out.job.input];
+            ++cls_jobs;
             // Unfinished (never placed, or cut off by the horizon)
             // SLO jobs count as misses: the user did not get their
             // answer in time.
             if (out.sloMet()) {
                 ++m.sloMet;
                 ++slo_met;
+                ++cls_met;
             }
         }
     }
@@ -51,6 +63,18 @@ computeClusterMetrics(const ClusterResult &result)
         m.sloAttainmentByPriority[prio] =
             static_cast<double>(counts.second) /
             static_cast<double>(counts.first);
+    }
+    for (const auto &[cls, counts] : by_class) {
+        m.sloAttainmentByInputClass[cls] =
+            static_cast<double>(counts.second) /
+            static_cast<double>(counts.first);
+    }
+    // Goodput: fraction of executed GPU time that contributed to
+    // results (lost work was re-run after requeues).
+    if (m.lostWorkNs > 0 && exec_total + m.lostWorkNs > 0) {
+        m.goodputFraction =
+            static_cast<double>(exec_total) /
+            static_cast<double>(exec_total + m.lostWorkNs);
     }
     if (queue_delay.count() > 0) {
         m.p50QueueDelayUs = queue_delay.percentile(50);

@@ -41,6 +41,11 @@ struct ClusterMetrics
      *  jobs. */
     std::map<Priority, double> sloAttainmentByPriority;
 
+    /** Attainment restricted to each input class that has SLO jobs
+     *  (a size-based breakdown: large jobs miss differently than
+     *  trivial ones under the same placement). */
+    std::map<InputClass, double> sloAttainmentByInputClass;
+
     /** Queueing delay (submission to placement) percentiles over the
      *  placed jobs, in microseconds. */
     double p50QueueDelayUs = 0.0;
@@ -63,6 +68,30 @@ struct ClusterMetrics
 
     /** Placements that displaced a lower-priority resident. */
     long preemptivePlacements = 0;
+
+    // --- resilience (all zero when the layer is inert) ---
+
+    /** Fault events that struck a live device. */
+    long faultsInjected = 0;
+
+    /** Checkpoint-requeues after fault evictions. */
+    long restarts = 0;
+
+    /** Completed cross-device migrations. */
+    long migrations = 0;
+
+    /** Jobs that exhausted their restart budget. */
+    long permanentFailures = 0;
+
+    /** Predicted execution progress destroyed by faults, summed. */
+    Tick lostWorkNs = 0;
+
+    /**
+     * Useful work over all work: sum(execNs) / (sum(execNs) +
+     * lostWorkNs). 1.0 in fault-free runs; degrades with the fault
+     * rate as re-executed progress piles up.
+     */
+    double goodputFraction = 1.0;
 };
 
 /** Reduce a run's outcomes to service metrics. */

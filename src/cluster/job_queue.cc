@@ -49,6 +49,28 @@ JobQueue::popFront()
     return job;
 }
 
+bool
+JobQueue::remove(int job_id)
+{
+    auto pos = std::find_if(jobs_.begin(), jobs_.end(),
+                            [&](const ClusterJob &job) {
+                                return job.id == job_id;
+                            });
+    if (pos == jobs_.end())
+        return false;
+    jobs_.erase(pos);
+    return true;
+}
+
+bool
+JobQueue::contains(int job_id) const
+{
+    return std::any_of(jobs_.begin(), jobs_.end(),
+                       [&](const ClusterJob &job) {
+                           return job.id == job_id;
+                       });
+}
+
 std::size_t
 JobQueue::sizeAt(Priority p) const
 {

@@ -35,6 +35,17 @@ class JobQueue
     /** Remove and return the head. @pre !empty(). */
     ClusterJob popFront();
 
+    /**
+     * Cancel a pending job by id. Returns true when the job was
+     * queued and removed; false when it was not in the queue (already
+     * placed, finished, or never submitted). Removal from the middle
+     * preserves the priority-FIFO order of everything else.
+     */
+    bool remove(int job_id);
+
+    /** Whether a job id is currently queued (diagnostics/tests). */
+    bool contains(int job_id) const;
+
     bool empty() const { return jobs_.empty(); }
     std::size_t size() const { return jobs_.size(); }
 

@@ -114,11 +114,6 @@ constexpr std::uint32_t kMaxStringLen = 1u << 20;
 bool
 TraceRecorder::writeBinFile(const std::string &path) const
 {
-    if (backend_ != TraceBackend::Binary) {
-        warn("writeBinFile: recorder uses the legacy backend; "
-             "no binary store to serialize");
-        return false;
-    }
     std::ofstream os(path, std::ios::binary);
     if (!os)
         return false;
@@ -191,9 +186,8 @@ TraceRecorder::writeBinFile(const std::string &path) const
 bool
 TraceRecorder::readBinFile(const std::string &path)
 {
-    if (backend_ != TraceBackend::Binary || recCount_ != 0 ||
-        !tracks_.empty() || !nameTable_.empty()) {
-        warn("readBinFile: needs a fresh binary-backend recorder");
+    if (recCount_ != 0 || !tracks_.empty() || !nameTable_.empty()) {
+        warn("readBinFile: needs a fresh recorder");
         return false;
     }
     std::ifstream is(path, std::ios::binary);

@@ -44,16 +44,9 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-TraceRecorder::TraceRecorder(TraceBackend backend)
-    : backend_(backend)
-{
-    if (backend_ == TraceBackend::Legacy)
-        legacyEvents_.reserve(4096);
-}
+TraceRecorder::TraceRecorder() = default;
 
-TraceRecorder::TraceRecorder(const EventQueue &clock,
-                             TraceBackend backend)
-    : TraceRecorder(backend)
+TraceRecorder::TraceRecorder(const EventQueue &clock)
 {
     clock_ = &clock;
 }
@@ -220,9 +213,9 @@ TraceRecorder::packArg(const TraceArg &arg)
 namespace
 {
 
-/** Append one `"key":value` argument to a JSON object body. Both
- *  backends funnel through here, so their rendered args are
- *  byte-identical by construction. */
+/** Append one `"key":value` argument to a JSON object body. Every
+ *  flush path funnels through here, so rendered args are
+ *  byte-identical regardless of how an event is materialized. */
 void
 appendArgJson(std::string &out, const std::string &key,
               TraceArg::Kind kind, std::uint64_t bits,
@@ -288,77 +281,29 @@ TraceRecorder::event(char ph, int pid, int tid, const char *name,
     const Tick now = nowTick();
     Track &t = tracks_[track_idx];
 
-    if (backend_ == TraceBackend::Binary) {
-        FLEP_ASSERT(argCount_ + args.size() <= 0xffffffffull,
-                    "trace argument arena overflow");
-        const std::uint64_t arg_base = argCount_;
-        const std::uint32_t off = static_cast<std::uint32_t>(arg_base);
-        for (const TraceArg &arg : args) {
-            if (argLeft_ == 0) {
-                argChunks_.push_back(
-                    std::make_unique<PackedTraceArg[]>(kArgsPerChunk));
-                argCur_ = argChunks_.back().get();
-                argLeft_ = kArgsPerChunk;
-            }
-            *argCur_++ = packArg(arg);
-            --argLeft_;
-            ++argCount_;
+    FLEP_ASSERT(argCount_ + args.size() <= 0xffffffffull,
+                "trace argument arena overflow");
+    const std::uint64_t arg_base = argCount_;
+    const std::uint32_t off = static_cast<std::uint32_t>(arg_base);
+    for (const TraceArg &arg : args) {
+        if (argLeft_ == 0) {
+            argChunks_.push_back(
+                std::make_unique<PackedTraceArg[]>(kArgsPerChunk));
+            argCur_ = argChunks_.back().get();
+            argLeft_ = kArgsPerChunk;
         }
-        TraceRecord &r = allocRecord(arg_base);
-        r.tickDelta = now - t.cursor;
-        r.payload.args.off = off;
-        r.payload.args.count =
-            static_cast<std::uint32_t>(args.size());
-        r.track = track_idx;
-        r.name = internPtr(name);
-        r.ph = static_cast<std::uint8_t>(ph);
-        r.flags = 0;
-    } else {
-        // Legacy backend: format at record time, as the original
-        // string recorder did.
-        legacyEvents_.emplace_back();
-        TraceEvent &ev = legacyEvents_.back();
-        ev.ts = now;
-        ev.ph = ph;
-        ev.pid = pid;
-        ev.tid = tid;
-        ev.name = name;
-        std::string body;
-        for (const TraceArg &arg : args) {
-            const std::string *sval = nullptr;
-            std::string tmp;
-            std::uint64_t bits = 0;
-            switch (arg.kind_) {
-              case TraceArg::Kind::Int:
-                bits = static_cast<std::uint64_t>(arg.i_);
-                break;
-              case TraceArg::Kind::Uint:
-                bits = arg.u_;
-                break;
-              case TraceArg::Kind::Real:
-                bits = std::bit_cast<std::uint64_t>(arg.d_);
-                break;
-              case TraceArg::Kind::Bool:
-                bits = arg.b_ ? 1 : 0;
-                break;
-              case TraceArg::Kind::Str:
-                sval = arg.s_;
-                break;
-              case TraceArg::Kind::CStr:
-                tmp = arg.c_;
-                sval = &tmp;
-                break;
-            }
-            appendArgJson(body, arg.key_,
-                          arg.kind_ == TraceArg::Kind::CStr
-                              ? TraceArg::Kind::Str
-                              : arg.kind_,
-                          bits, sval);
-        }
-        ev.args = std::move(body);
+        *argCur_++ = packArg(arg);
+        --argLeft_;
+        ++argCount_;
     }
-    // Both backends keep the cursor warm so switching semantics stay
-    // identical (the legacy store never reads it back).
+    TraceRecord &r = allocRecord(arg_base);
+    r.tickDelta = now - t.cursor;
+    r.payload.args.off = off;
+    r.payload.args.count = static_cast<std::uint32_t>(args.size());
+    r.track = track_idx;
+    r.name = internPtr(name);
+    r.ph = static_cast<std::uint8_t>(ph);
+    r.flags = 0;
     t.cursor = now;
 }
 
@@ -394,19 +339,6 @@ TraceRecorder::counter(int pid, int tid, const char *name, double value)
 }
 
 void
-TraceRecorder::appendLegacyCounter(const Track &t, double value)
-{
-    legacyEvents_.emplace_back();
-    TraceEvent &ev = legacyEvents_.back();
-    ev.ts = nowTick();
-    ev.ph = 'C';
-    ev.pid = t.pid;
-    ev.tid = t.tid;
-    ev.name = nameTable_[t.nameId].c_str();
-    ev.value = value;
-}
-
-void
 TraceRecorder::setProcessName(int pid, std::string name)
 {
     processNames_[pid] = std::move(name);
@@ -421,23 +353,18 @@ TraceRecorder::setThreadName(int pid, int tid, std::string name)
 std::size_t
 TraceRecorder::eventCount() const
 {
-    return backend_ == TraceBackend::Binary
-        ? static_cast<std::size_t>(recCount_)
-        : legacyEvents_.size();
+    return static_cast<std::size_t>(recCount_);
 }
 
 std::size_t
 TraceRecorder::liveEventCount() const
 {
-    return backend_ == TraceBackend::Binary
-        ? static_cast<std::size_t>(recCount_ - recFloor_)
-        : legacyEvents_.size();
+    return static_cast<std::size_t>(recCount_ - recFloor_);
 }
 
 void
 TraceRecorder::clear()
 {
-    legacyEvents_.clear();
     recChunks_.clear();
     argChunks_.clear();
     recCur_ = nullptr;
@@ -503,8 +430,6 @@ TraceRecorder::materialize() const
 const std::vector<TraceEvent> &
 TraceRecorder::events() const
 {
-    if (backend_ == TraceBackend::Legacy)
-        return legacyEvents_;
     if (!cacheValid_)
         materialize();
     return cache_;
@@ -573,54 +498,46 @@ TraceRecorder::writeJson(std::ostream &os) const
            << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
     }
 
-    if (backend_ == TraceBackend::Legacy) {
-        for (const auto &ev : legacyEvents_) {
-            sep();
-            writeEventJson(os, ev.ts, ev.ph, ev.pid, ev.tid, ev.name,
-                           ev.value, ev.args);
-        }
-    } else {
-        // Stream straight from the records — a multi-gigabyte trace
-        // never exists as one in-memory document or event vector.
-        static const std::string no_args;
-        std::unordered_map<std::uint32_t, Tick> cursors;
-        for (const auto &[track, tick] : baseCursors_)
-            cursors[track] = tick;
-        for (std::uint64_t i = recFloor_; i < recCount_; ++i) {
-            const TraceRecord &r = recordAt(i);
-            Tick &cursor = cursors[r.track];
-            cursor += r.tickDelta;
-            const Track &t = tracks_[r.track];
-            const char ph = static_cast<char>(r.ph);
-            sep();
-            if (ph == 'C') {
-                writeEventJson(os, cursor, ph, t.pid, t.tid,
-                               nameTable_[r.name].c_str(),
-                               r.payload.value, no_args);
-            } else {
-                const std::string body = r.payload.args.count == 0
-                    ? std::string()
-                    : [&] {
-                          std::string out;
-                          for (std::uint32_t a = 0;
-                               a < r.payload.args.count; ++a) {
-                              const PackedTraceArg &pa =
-                                  argAt(r.payload.args.off + a);
-                              const auto kind =
-                                  static_cast<TraceArg::Kind>(pa.kind);
-                              const std::string *sval =
-                                  kind == TraceArg::Kind::Str
-                                  ? &nameTable_[static_cast<
-                                        std::size_t>(pa.bits)]
-                                  : nullptr;
-                              appendArgJson(out, nameTable_[pa.key],
-                                            kind, pa.bits, sval);
-                          }
-                          return out;
-                      }();
-                writeEventJson(os, cursor, ph, t.pid, t.tid,
-                               nameTable_[r.name].c_str(), 0.0, body);
-            }
+    // Stream straight from the records — a multi-gigabyte trace
+    // never exists as one in-memory document or event vector.
+    static const std::string no_args;
+    std::unordered_map<std::uint32_t, Tick> cursors;
+    for (const auto &[track, tick] : baseCursors_)
+        cursors[track] = tick;
+    for (std::uint64_t i = recFloor_; i < recCount_; ++i) {
+        const TraceRecord &r = recordAt(i);
+        Tick &cursor = cursors[r.track];
+        cursor += r.tickDelta;
+        const Track &t = tracks_[r.track];
+        const char ph = static_cast<char>(r.ph);
+        sep();
+        if (ph == 'C') {
+            writeEventJson(os, cursor, ph, t.pid, t.tid,
+                           nameTable_[r.name].c_str(),
+                           r.payload.value, no_args);
+        } else {
+            const std::string body = r.payload.args.count == 0
+                ? std::string()
+                : [&] {
+                      std::string out;
+                      for (std::uint32_t a = 0;
+                           a < r.payload.args.count; ++a) {
+                          const PackedTraceArg &pa =
+                              argAt(r.payload.args.off + a);
+                          const auto kind =
+                              static_cast<TraceArg::Kind>(pa.kind);
+                          const std::string *sval =
+                              kind == TraceArg::Kind::Str
+                              ? &nameTable_[static_cast<
+                                    std::size_t>(pa.bits)]
+                              : nullptr;
+                          appendArgJson(out, nameTable_[pa.key],
+                                        kind, pa.bits, sval);
+                      }
+                      return out;
+                  }();
+            writeEventJson(os, cursor, ph, t.pid, t.tid,
+                           nameTable_[r.name].c_str(), 0.0, body);
         }
     }
     os << "\n]}\n";

@@ -28,12 +28,10 @@
  *  - One simulation owns at most one recorder and runs on one thread,
  *    so the recorder itself needs no locking; parallel sweeps give
  *    each traced simulation its own recorder (or none).
- *  - The pre-binary backend (record-time JSON-ish string formatting
- *    into TraceEvent) is kept compiled and selectable via
- *    TraceBackend::Legacy. Both backends share one typed front end, so
- *    a run recorded through either must render byte-identical JSON —
- *    the equivalence suite in tests/obs/test_trace_binary.cc holds the
- *    binary path to that.
+ *  - The rendered JSON is pinned by golden captures taken from the
+ *    retired record-time-formatting backend (tests/obs/golden/), so
+ *    the deferred formatter cannot drift from the format the original
+ *    recorder established.
  *
  * Track model (Chrome pid/tid):
  *  - pid 1 "GPU": one thread track per SM, plus per-SM occupancy
@@ -68,18 +66,6 @@
 
 namespace flep
 {
-
-/** Storage strategy of a TraceRecorder. */
-enum class TraceBackend
-{
-    /** 24-byte POD records in chunked ring segments; formatting is
-     *  deferred to the flush pass. The default. */
-    Binary,
-    /** Record-time string formatting into TraceEvent, as the original
-     *  recorder did. Kept for the binary<->JSON parity suite and as a
-     *  measurable overhead reference. */
-    Legacy,
-};
 
 /**
  * One typed event argument, e.g. {"kernel", rec.kernel()}. Built at
@@ -179,9 +165,8 @@ struct PackedTraceArg
 static_assert(sizeof(PackedTraceArg) == 16, "arena slots are 16 bytes");
 
 /**
- * One materialized trace event (a subset of the Chrome event model).
- * The binary backend produces these only on demand (events()); the
- * legacy backend stores them directly.
+ * One materialized trace event (a subset of the Chrome event model),
+ * produced on demand by events() from the binary record store.
  */
 struct TraceEvent
 {
@@ -241,11 +226,10 @@ class TraceRecorder
     /** A recorder with no clock yet; events stamp ts = 0 until
      *  bindClock() is called (the co-run harness rebinds a
      *  caller-owned recorder to the simulation it builds). */
-    explicit TraceRecorder(TraceBackend backend = TraceBackend::Binary);
+    TraceRecorder();
 
     /** @param clock source of timestamps; must outlive the recorder. */
-    explicit TraceRecorder(const EventQueue &clock,
-                           TraceBackend backend = TraceBackend::Binary);
+    explicit TraceRecorder(const EventQueue &clock);
 
     ~TraceRecorder();
 
@@ -255,16 +239,12 @@ class TraceRecorder
     /** Rebind the timestamp source. */
     void bindClock(const EventQueue &clock) { clock_ = &clock; }
 
-    /** Storage strategy this recorder was built with. */
-    TraceBackend backend() const { return backend_; }
-
     /**
      * Bound the record store to roughly `max_records` (rounded up to
      * whole ring segments): once full, the oldest segment is recycled
      * and its events are dropped, keeping the most recent window —
      * flight-recorder mode for horizon runs that would otherwise grow
-     * without bound. 0 (the default) keeps everything. Binary backend
-     * only; the legacy backend ignores the cap.
+     * without bound. 0 (the default) keeps everything.
      */
     void setRingCapacity(std::size_t max_records);
 
@@ -297,10 +277,7 @@ class TraceRecorder
             return; // last-value suppression: unchanged sample
         t.hasValue = true;
         t.lastValue = value;
-        if (backend_ == TraceBackend::Binary)
-            appendCounterRecord(handle, t, value);
-        else
-            appendLegacyCounter(t, value);
+        appendCounterRecord(handle, t, value);
     }
 
     /**
@@ -318,10 +295,10 @@ class TraceRecorder
 
     /**
      * All retained events in emission (= time) order, materialized on
-     * demand for the binary backend (formatting arguments and
-     * reconstructing absolute timestamps from the per-track deltas).
-     * The view is cached until the next append/clear. With a ring
-     * capacity set, evicted events are absent.
+     * demand (formatting arguments and reconstructing absolute
+     * timestamps from the per-track deltas). The view is cached until
+     * the next append/clear. With a ring capacity set, evicted events
+     * are absent.
      */
     const std::vector<TraceEvent> &events() const;
 
@@ -344,15 +321,14 @@ class TraceRecorder
 
     /**
      * Write the versioned binary trace (`.flepbin`, see
-     * docs/tracing.md). Binary backend only.
-     * @return false on I/O error or legacy backend.
+     * docs/tracing.md). @return false on I/O error.
      */
     bool writeBinFile(const std::string &path) const;
 
     /**
      * Load a `.flepbin` file into this recorder, which must be empty
-     * (freshly constructed, binary backend). Recording may continue
-     * afterwards. @return false on I/O, format or version error.
+     * (freshly constructed). Recording may continue afterwards.
+     * @return false on I/O, format or version error.
      */
     bool readBinFile(const std::string &path);
 
@@ -438,7 +414,6 @@ class TraceRecorder
         t.cursor = now;
     }
 
-    void appendLegacyCounter(const Track &t, double value);
     PackedTraceArg packArg(const TraceArg &arg);
     void evictFrontChunk(std::uint64_t pending_arg_base);
     const TraceRecord &recordAt(std::uint64_t i) const;
@@ -448,10 +423,9 @@ class TraceRecorder
     void materialize() const;
     void rebuildDerivedState();
 
-    TraceBackend backend_;
     const EventQueue *clock_ = nullptr;
 
-    // --- binary backend store ---------------------------------------
+    // --- binary record store ----------------------------------------
     std::deque<RecordChunk> recChunks_;
     std::deque<std::unique_ptr<PackedTraceArg[]>> argChunks_;
     TraceRecord *recCur_ = nullptr;  //!< bump pointer into back chunk
@@ -475,9 +449,6 @@ class TraceRecorder
     std::unordered_map<const void *, std::uint16_t> pointerIds_;
     std::map<int, std::string> processNames_;
     std::map<std::pair<int, int>, std::string> threadNames_;
-
-    // --- legacy backend store ---------------------------------------
-    std::vector<TraceEvent> legacyEvents_;
 
     // --- lazy materialization of the binary store -------------------
     mutable std::vector<TraceEvent> cache_;

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Drain-boundary job checkpoints.
+ *
+ * FLEP's temporal preemption drains the persistent-thread kernel at a
+ * task boundary (paper §4–5), so the entire restorable state of a
+ * cluster job fits in a handful of integers: how many invocations have
+ * completed, and how many tasks of the in-flight invocation were done
+ * at the last drain. No device memory is copied — the task-boundary
+ * drain is the context save, which is exactly what makes checkpointing
+ * cheap enough to take at every preemption instead of on a timer.
+ *
+ * A checkpoint is captured passively inside callbacks the runtime
+ * already fires (placement, invocation completion, and the
+ * HostProcess::onDrainBoundary hook); capture allocates nothing,
+ * schedules nothing and draws no randomness, so a run with
+ * checkpointing enabled but no fault fired is bit-identical to a run
+ * without the resilience layer.
+ */
+
+#ifndef FLEP_RESILIENCE_CHECKPOINT_HH
+#define FLEP_RESILIENCE_CHECKPOINT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+/**
+ * Restorable state of one cluster job. POD; copied around freely.
+ *
+ * `tasksDone` is absolute against the invocation's original task
+ * count: a job restored mid-invocation runs a first script entry with
+ * `totalTasks - tasksDone` tasks, and a later checkpoint of that
+ * partial entry adds its own progress back onto the original base, so
+ * repeated failures compose without extra bookkeeping.
+ */
+struct JobCheckpoint
+{
+    /** Job this checkpoint belongs to; -1 until first captured. */
+    int jobId = -1;
+
+    /** Fully completed invocations of the job's script entry. */
+    int completedRepeats = 0;
+
+    /** Completed tasks of the in-flight invocation at the last drain
+     *  boundary (0 right after placement or a completed invocation),
+     *  absolute against `totalTasks`. */
+    long tasksDone = 0;
+
+    /** Task count of one full invocation (the restore math's base). */
+    long totalTasks = 0;
+
+    /**
+     * RNG cursor of the in-flight invocation: the number of per-task
+     * cost draws its execution had consumed at capture (one draw per
+     * completed task). A restore re-derives a fresh task-cost stream
+     * for the remaining tasks — the simulated machine re-executes
+     * them, it does not replay recorded timings — so the cursor is
+     * diagnostic: it states where in the task stream the restored
+     * entry resumes.
+     */
+    std::uint64_t rngCursor = 0;
+
+    /** Simulated time of the last capture. */
+    Tick capturedNs = 0;
+
+    /** False until the job has been placed at least once. */
+    bool valid = false;
+};
+
+} // namespace flep
+
+#endif // FLEP_RESILIENCE_CHECKPOINT_HH

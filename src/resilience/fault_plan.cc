@@ -1,0 +1,99 @@
+#include "resilience/fault_plan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace flep
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DeviceCrash:
+        return "crash";
+      case FaultKind::TransientStall:
+        return "stall";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Poisson arrival times at `rate_per_sec` over [0, horizon). */
+std::vector<Tick>
+poissonArrivals(double rate_per_sec, Tick horizon, Rng &rng)
+{
+    std::vector<Tick> times;
+    if (rate_per_sec <= 0.0 || horizon == 0)
+        return times;
+    const double mean_gap_ns = 1e9 / rate_per_sec;
+    double t = rng.exponential(mean_gap_ns);
+    while (t < static_cast<double>(horizon)) {
+        times.push_back(static_cast<Tick>(t));
+        t += rng.exponential(mean_gap_ns);
+    }
+    return times;
+}
+
+} // namespace
+
+std::vector<FaultEvent>
+generateFaultPlan(const FaultPlanConfig &cfg)
+{
+    FLEP_ASSERT(cfg.devices >= 1, "fault plan needs devices");
+    FLEP_ASSERT(cfg.crashRatePerSec >= 0.0 && cfg.stallRatePerSec >= 0.0,
+                "fault rates must be non-negative");
+
+    // Each device forks its own streams in device order (crash stream
+    // first, stall stream second), so changing one device's rate
+    // leaves every other device's events untouched.
+    Rng root(cfg.seed);
+    std::vector<FaultEvent> plan;
+    for (int d = 0; d < cfg.devices; ++d) {
+        Rng crash_rng = root.fork();
+        Rng stall_rng = root.fork();
+
+        const std::vector<Tick> crashes =
+            poissonArrivals(cfg.crashRatePerSec, cfg.horizonNs,
+                            crash_rng);
+        if (!crashes.empty()) {
+            // A crash is terminal; later arrivals on a dead device
+            // are meaningless.
+            FaultEvent ev;
+            ev.kind = FaultKind::DeviceCrash;
+            ev.device = d;
+            ev.atNs = crashes.front();
+            plan.push_back(ev);
+        }
+
+        for (Tick at : poissonArrivals(cfg.stallRatePerSec,
+                                       cfg.horizonNs, stall_rng)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::TransientStall;
+            ev.device = d;
+            ev.atNs = at;
+            ev.durationNs = std::max<Tick>(
+                static_cast<Tick>(stall_rng.exponential(
+                    static_cast<double>(cfg.meanStallNs))),
+                1);
+            plan.push_back(ev);
+        }
+    }
+
+    std::sort(plan.begin(), plan.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  if (a.atNs != b.atNs)
+                      return a.atNs < b.atNs;
+                  if (a.device != b.device)
+                      return a.device < b.device;
+                  return static_cast<int>(a.kind) <
+                         static_cast<int>(b.kind);
+              });
+    return plan;
+}
+
+} // namespace flep

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Seed-deterministic fault injection plans for cluster runs.
+ *
+ * A FaultPlan is a pre-computed list of device fault events — full
+ * crashes and transient stalls — that the ClusterScheduler replays at
+ * their ticks. Plans come from two sources:
+ *
+ *  - scripted: tests and the CLI list explicit events ("kill device 0
+ *    at t = 40 ms"), giving exact control over the scenario;
+ *  - generated: generateFaultPlan() draws per-device Poisson crash and
+ *    stall arrivals from configured rates, purely from its own seed
+ *    (the same construction as cluster/arrival_gen.hh), so fault
+ *    sweeps are reproducible byte for byte at any thread count.
+ *
+ * Either way the plan is data, fixed before the simulation starts:
+ * injection adds events only when the plan is non-empty, which is what
+ * keeps fault-free runs identical to runs without the resilience
+ * layer.
+ */
+
+#ifndef FLEP_RESILIENCE_FAULT_PLAN_HH
+#define FLEP_RESILIENCE_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace flep
+{
+
+/** What kind of fault strikes the device. */
+enum class FaultKind
+{
+    /** The device dies for the rest of the run. Resident jobs are
+     *  requeued from their last checkpoints onto surviving devices. */
+    DeviceCrash,
+
+    /**
+     * The device goes unresponsive for `durationNs`, then rejoins the
+     * placeable pool. Resident jobs are evicted through the same
+     * checkpoint-requeue path as a crash — the cluster cannot tell a
+     * stall from a crash while it lasts, so it does not wait.
+     */
+    TransientStall
+};
+
+/** Human-readable kind name (also the CLI spelling). */
+const char *faultKindName(FaultKind kind);
+
+/** One fault striking one device at one tick. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::DeviceCrash;
+
+    /** Device index within the cluster. */
+    int device = 0;
+
+    /** Simulated time the fault strikes. */
+    Tick atNs = 0;
+
+    /** Outage length; meaningful for TransientStall only. */
+    Tick durationNs = 0;
+};
+
+/** Distribution parameters for generateFaultPlan(). */
+struct FaultPlanConfig
+{
+    /** Devices in the cluster (events target [0, devices)). */
+    int devices = 1;
+
+    /** Faults are drawn over [0, horizonNs). */
+    Tick horizonNs = 0;
+
+    std::uint64_t seed = 1;
+
+    /**
+     * Mean crashes per device per simulated second (Poisson). A
+     * device crashes at most once — it stays dead — so only the first
+     * arrival within the horizon is kept.
+     */
+    double crashRatePerSec = 0.0;
+
+    /** Mean transient stalls per device per simulated second. */
+    double stallRatePerSec = 0.0;
+
+    /** Mean stall outage (exponential, floored at 1 tick). */
+    Tick meanStallNs = 2 * 1000 * 1000;
+};
+
+/**
+ * Draw a fault plan from the configured distributions. Pure function
+ * of `cfg`: each device forks its own RNG stream in device order
+ * (crashes first, then stalls), and the merged plan is sorted by
+ * (tick, device, kind) so replay order is unambiguous.
+ */
+std::vector<FaultEvent> generateFaultPlan(const FaultPlanConfig &cfg);
+
+} // namespace flep
+
+#endif // FLEP_RESILIENCE_FAULT_PLAN_HH

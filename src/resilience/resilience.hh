@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Resilience configuration for the cluster layer: fault injection,
+ * checkpoint-requeue retry policy, and load-driven migration.
+ *
+ * See docs/resilience.md for the full model. The contract that shapes
+ * everything here: when `ResilienceConfig::active()` is false the
+ * cluster installs no hooks and schedules no events, and when it is
+ * true but no fault fires and migration is off, capture is purely
+ * passive — so such runs stay bit-identical to runs without the
+ * resilience layer (pinned by tests/resilience/).
+ */
+
+#ifndef FLEP_RESILIENCE_RESILIENCE_HH
+#define FLEP_RESILIENCE_RESILIENCE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/fault_plan.hh"
+
+namespace flep
+{
+
+/** What happens to a job evicted by a device fault. */
+struct RetryPolicy
+{
+    /**
+     * Restart budget per job. Each fault-eviction consumes one
+     * restart; a job evicted more than this many times is marked a
+     * permanent failure and never requeued (its SLO, if any, counts
+     * as missed).
+     */
+    int maxRestarts = 3;
+
+    /** First requeue delay; doubles per restart (simulated time). */
+    Tick backoffBaseNs = 1 * 1000 * 1000;
+
+    /** Ceiling on the exponential backoff. */
+    Tick backoffCapNs = 64 * 1000 * 1000;
+};
+
+/** The periodic load rebalancer. */
+struct MigrationConfig
+{
+    bool enabled = false;
+
+    /** Rebalance cadence while jobs remain in flight. */
+    Tick intervalNs = 2 * 1000 * 1000;
+
+    /**
+     * Hysteresis floor: migrate only when the predicted-backlog gap
+     * between the most and least loaded devices exceeds this. A
+     * candidate must also strictly reduce the gap, and the target
+     * must have a free slot, so a migration can never immediately
+     * justify the reverse move.
+     */
+    Tick minImbalanceNs = 2 * 1000 * 1000;
+
+    /** A job that just migrated may not migrate again this soon. */
+    Tick cooldownNs = 8 * 1000 * 1000;
+};
+
+/** Everything the cluster's resilience layer is told to do. */
+struct ResilienceConfig
+{
+    /**
+     * Capture checkpoints even with no faults and no migration —
+     * the knob the bit-identity regression pins: capture must be
+     * observable only through the checkpoint store.
+     */
+    bool checkpoints = false;
+
+    /** The fault plan (scripted or generateFaultPlan()). Non-empty
+     *  implies checkpoint capture. */
+    std::vector<FaultEvent> faults;
+
+    RetryPolicy retry;
+
+    MigrationConfig migration;
+
+    /** True when the cluster should wire the resilience layer in. */
+    bool
+    active() const
+    {
+        return checkpoints || !faults.empty() || migration.enabled;
+    }
+};
+
+} // namespace flep
+
+#endif // FLEP_RESILIENCE_RESILIENCE_HH

@@ -172,10 +172,19 @@ FfsPolicy::onArrival(RuntimeContext &ctx, KernelRecord &rec)
         maybeArmBoundary(ctx);
         return;
     }
-    if (slotOwner_ == pid && current_ == nullptr &&
-        ctx.now() < slotEnd_) {
-        // The owner's slot continues with its next kernel.
-        grantFrom(ctx, pid);
+    if (slotOwner_ == pid && current_ == nullptr) {
+        if (ctx.now() < slotEnd_) {
+            // The owner's slot continues with its next kernel.
+            grantFrom(ctx, pid);
+        } else {
+            // The slot expired during the owner's think time and the
+            // GPU is idle. Rotate to the next process with work —
+            // possibly the owner again, on a fresh slot. Without this
+            // a sole remaining process would starve: no competitor
+            // means no boundary timer, so nothing else ever grants.
+            rotate(ctx);
+            return;
+        }
     }
     maybeArmBoundary(ctx);
 }
@@ -217,6 +226,40 @@ FfsPolicy::onPreempted(RuntimeContext &ctx, KernelRecord &rec)
     // opens.
     slots_.at(rec.process()).pending.push_front(&rec);
     rotate(ctx);
+}
+
+void
+FfsPolicy::onAbandon(RuntimeContext &ctx, KernelRecord &rec)
+{
+    // The record may sit in its process's pending deque (FFS holds raw
+    // pointers there) or be the in-flight grant; purge both.
+    auto it = slots_.find(rec.process());
+    if (it != slots_.end()) {
+        auto &pending = it->second.pending;
+        pending.erase(std::remove(pending.begin(), pending.end(), &rec),
+                      pending.end());
+    }
+    if (current_ == &rec) {
+        current_ = nullptr;
+        rotate(ctx);
+        return;
+    }
+    maybeArmBoundary(ctx);
+}
+
+void
+FfsPolicy::onAbandonAll(RuntimeContext &ctx)
+{
+    for (auto &[pid, slot] : slots_) {
+        (void)pid;
+        slot.pending.clear();
+    }
+    current_ = nullptr;
+    slotOwner_ = -1;
+    if (timerArmed_) {
+        ctx.cancelTimer();
+        timerArmed_ = false;
+    }
 }
 
 void

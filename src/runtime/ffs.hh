@@ -65,6 +65,8 @@ class FfsPolicy : public SchedulingPolicy
     void onFinish(RuntimeContext &ctx, KernelRecord &rec) override;
     void onPreempted(RuntimeContext &ctx, KernelRecord &rec) override;
     void onTimer(RuntimeContext &ctx) override;
+    void onAbandon(RuntimeContext &ctx, KernelRecord &rec) override;
+    void onAbandonAll(RuntimeContext &ctx) override;
 
     /**
      * Weight of a priority under the configured mapping: the priority

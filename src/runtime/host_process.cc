@@ -266,8 +266,13 @@ HostProcess::handleComplete(Tick now)
     if (onResult)
         onResult(results_.back());
 
-    sim_.events().scheduleAfter(ipc(),
-                                [this]() { dispatcher_.onFinished(*this); });
+    // Unlike the other deferred callbacks this one cannot key on an
+    // invocation id (inv_ is reset below); an abort() during the IPC
+    // window must still suppress it, hence the aborted_ guard.
+    sim_.events().scheduleAfter(ipc(), [this]() {
+        if (!aborted_)
+            dispatcher_.onFinished(*this);
+    });
     inv_.reset();
 
     // Advance the script: repeat the entry or move on.
@@ -289,11 +294,34 @@ HostProcess::handleDrained(Tick now)
     traceInstant("drain", {{"kernel", inv_->workload->name()},
                            {"preemptions", inv_->preemptions}});
     state_ = State::WaitingGrant;
+    if (onDrainBoundary && onDrainBoundary(*this))
+        return; // consumed: the cluster layer took the process over
     const KernelId id = inv_->id;
     sim_.events().scheduleAfter(ipc(), [this, id]() {
         if (inv_ && inv_->id == id)
             dispatcher_.onDrained(*this);
     });
+}
+
+void
+HostProcess::abort()
+{
+    stopRequested_ = true;
+    aborted_ = true;
+    if (inv_) {
+        traceEndSpan();
+        traceInstant("abort", {{"kernel", inv_->workload->name()}});
+        if (state_ == State::WaitingGpu && inv_->exec &&
+            !inv_->exec->complete()) {
+            // Park the kernel so it stops claiming tasks; its
+            // remaining CTAs drain into a callback-less exec.
+            inv_->exec->setFlag(sim_.now(), gpu_.config().numSms);
+            inv_->exec->onComplete = nullptr;
+            inv_->exec->onDrained = nullptr;
+        }
+        inv_.reset();
+    }
+    state_ = State::Done;
 }
 
 } // namespace flep

@@ -145,8 +145,32 @@ class HostProcess : public SimObject
     /** Stop after the current invocation completes (harness use). */
     void requestStop() { stopRequested_ = true; }
 
+    /**
+     * Tear the process down immediately: the cluster layer is taking
+     * it off this device (migration after a drain, or device-fault
+     * eviction). Ends any open trace span, parks an in-flight kernel
+     * by raising its preemption flag (device-fault evictions leave the
+     * exec mid-run; parking stops it from dispatching further chunks),
+     * drops the invocation, and neutralizes every deferred callback —
+     * including an already-scheduled dispatcher_.onFinished. The
+     * dispatcher must have forgotten this host (abandon()) before or
+     * right after this call; the host never contacts it again.
+     */
+    void abort();
+
     /** Optional hook fired after each completed invocation. */
     std::function<void(const InvocationResult &)> onResult;
+
+    /**
+     * Optional hook fired when a temporal drain lands, before the
+     * dispatcher is notified. Returning true consumes the drain: the
+     * dispatcher is NOT notified and the caller takes over the process
+     * (the cluster layer checkpoints here and, when migrating, aborts
+     * the host and re-materializes it elsewhere). Returning false
+     * keeps the normal path: the dispatcher's onDrained re-queues the
+     * invocation.
+     */
+    std::function<bool(HostProcess &)> onDrainBoundary;
 
   private:
     void scheduleNextInvocation();
@@ -173,6 +197,9 @@ class HostProcess : public SimObject
     std::vector<InvocationResult> results_;
     KernelId nextInvocationId_ = 1;
     bool stopRequested_ = false;
+    /** Set by abort(): suppresses the one deferred callback that does
+     *  not check inv_ (handleComplete's onFinished notification). */
+    bool aborted_ = false;
 };
 
 } // namespace flep

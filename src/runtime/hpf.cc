@@ -120,6 +120,19 @@ HpfPolicy::onPreempted(RuntimeContext &ctx, KernelRecord &rec)
 }
 
 void
+HpfPolicy::onAbandon(RuntimeContext &ctx, KernelRecord &rec)
+{
+    (void)rec;
+    // HPF keeps no record pointers of its own (the wait queues are
+    // runtime state and already purged). But an abandoned record may
+    // have been the occupant — e.g. a migrating kernel preempted by
+    // the cluster rather than by this policy — leaving the GPU idle
+    // with work still queued. Make a fresh decision if so.
+    if (ctx.running() == nullptr && ctx.guest() == nullptr)
+        reschedule(ctx);
+}
+
+void
 HpfPolicy::scheduleForQueue(RuntimeContext &ctx, Priority p)
 {
     KernelRecord *ks = ctx.queues().front(p);

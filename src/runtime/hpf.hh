@@ -44,6 +44,7 @@ class HpfPolicy : public SchedulingPolicy
     void onArrival(RuntimeContext &ctx, KernelRecord &rec) override;
     void onFinish(RuntimeContext &ctx, KernelRecord &rec) override;
     void onPreempted(RuntimeContext &ctx, KernelRecord &rec) override;
+    void onAbandon(RuntimeContext &ctx, KernelRecord &rec) override;
 
   private:
     /** Figure 6's Schedule_for_queue for priority level p. */

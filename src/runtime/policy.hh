@@ -103,6 +103,33 @@ class SchedulingPolicy
 
     /** The policy timer armed via armTimer() fired. */
     virtual void onTimer(RuntimeContext &ctx) { (void)ctx; }
+
+    /**
+     * A tracked invocation is being abandoned: the cluster layer took
+     * its host off this device (migration, or eviction after a device
+     * fault) without the kernel finishing. The record is already
+     * detached from the running/guest slots and wait queues; the
+     * policy must drop any internal pointers to it. Granting another
+     * record is allowed — every other host on the device is healthy.
+     */
+    virtual void
+    onAbandon(RuntimeContext &ctx, KernelRecord &rec)
+    {
+        (void)ctx;
+        (void)rec;
+    }
+
+    /**
+     * Every tracked invocation is being abandoned at once (the device
+     * failed). The policy must drop all internal record pointers and
+     * go quiet WITHOUT granting anything — the owning hosts are being
+     * aborted and can no longer launch.
+     */
+    virtual void
+    onAbandonAll(RuntimeContext &ctx)
+    {
+        (void)ctx;
+    }
 };
 
 } // namespace flep

@@ -214,6 +214,80 @@ FlepRuntime::onDrained(HostProcess &host)
     traceQueueDepth();
 }
 
+bool
+FlepRuntime::preemptProcess(ProcessId pid)
+{
+    for (auto &[host, rec] : records_) {
+        (void)host;
+        if (rec->process() != pid)
+            continue;
+        switch (rec->state()) {
+          case KernelRecord::State::Draining:
+            return true; // a drain is already on its way
+          case KernelRecord::State::Running:
+          case KernelRecord::State::Guest:
+            preempt(*rec);
+            return true;
+          default:
+            return false; // queued: nothing on the GPU to drain
+        }
+    }
+    return false;
+}
+
+bool
+FlepRuntime::abandon(HostProcess &host)
+{
+    auto it = records_.find(&host);
+    if (it == records_.end())
+        return false;
+    // Keep the record alive across the policy callback: erase first so
+    // the policy's onAbandon sees a consistent tracked set, but hand it
+    // the record for pointer purging.
+    std::unique_ptr<KernelRecord> owned = std::move(it->second);
+    const bool was_guest = guest_ == owned.get();
+    detach(*owned);
+    if (was_guest && running_ != nullptr &&
+        running_->state() == KernelRecord::State::Running) {
+        // Same resume path as a guest finishing: the victim refills
+        // its yielded SMs.
+        running_->host().signalRefill(guestSms_);
+    }
+    preemptSignalTick_.erase(owned.get());
+    records_.erase(it);
+    ++recordsGen_;
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(runtimeTracePid(), 0, "abandon",
+                    {{"kernel", owned->kernel()},
+                     {"pid", owned->process()}});
+    }
+    policy_->onAbandon(*this, *owned);
+    traceQueueDepth();
+    return true;
+}
+
+void
+FlepRuntime::abandonAll()
+{
+    // Policy first, while the records it may hold pointers to are
+    // still alive; it must drop everything without granting.
+    policy_->onAbandonAll(*this);
+    for (auto &[host, rec] : records_) {
+        (void)host;
+        detach(*rec);
+        preemptSignalTick_.erase(rec.get());
+    }
+    records_.clear();
+    ++recordsGen_;
+    running_ = nullptr;
+    guest_ = nullptr;
+    cancelTimer();
+    if (TraceRecorder *tr = sim_.tracer()) {
+        tr->instant(runtimeTracePid(), 0, "abandon-all", {});
+    }
+    traceQueueDepth();
+}
+
 void
 FlepRuntime::grant(KernelRecord &rec)
 {

@@ -123,6 +123,35 @@ class FlepRuntime : public SimObject,
     /** Whether `pid` currently owns a tracked invocation. */
     bool tracksProcess(ProcessId pid) const;
 
+    /**
+     * Cluster-initiated temporal preemption of `pid`'s tracked
+     * invocation (migration drains a job off the device through the
+     * same flag machinery the policies use). Returns true when a drain
+     * is now guaranteed to arrive — the invocation was running, a
+     * spatial guest, or already draining. Returns false when nothing
+     * is on the GPU to drain (the invocation is waiting in a queue, or
+     * the process is untracked between invocations); the caller can
+     * act immediately in that case.
+     */
+    bool preemptProcess(ProcessId pid);
+
+    /**
+     * Abandon `host`'s tracked invocation: the cluster layer is taking
+     * the host off this device (migration, or fault eviction) and the
+     * kernel will never finish here. Detaches the record from the
+     * occupant slots and wait queues, destroys it, and gives the
+     * policy an onAbandon() callback (granting another record is
+     * allowed). Returns false when the host had no tracked invocation.
+     */
+    bool abandon(HostProcess &host);
+
+    /**
+     * Abandon every tracked invocation at once — the device failed.
+     * The policy is told first via onAbandonAll() and must not grant;
+     * the owning hosts are being aborted by the caller.
+     */
+    void abandonAll();
+
     /** Total preemptions the runtime has signalled. */
     long preemptionsSignalled() const { return preemptsSignalled_; }
 

@@ -67,5 +67,77 @@ TEST(JobQueue, SizeAtCountsPerPriority)
     EXPECT_EQ(q.sizeAt(3), 0u);
 }
 
+TEST(JobQueue, RemoveHeadPreservesOrder)
+{
+    JobQueue q;
+    q.push(job(0, 5, 0));
+    q.push(job(1, 2, 10));
+    q.push(job(2, 0, 20));
+    EXPECT_TRUE(q.remove(0));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.front().id, 1);
+    q.popFront();
+    EXPECT_EQ(q.front().id, 2);
+}
+
+TEST(JobQueue, RemoveMiddlePreservesOrder)
+{
+    JobQueue q;
+    q.push(job(0, 5, 0));
+    q.push(job(1, 2, 10));
+    q.push(job(2, 2, 20));
+    q.push(job(3, 0, 30));
+    EXPECT_TRUE(q.remove(1));
+    EXPECT_EQ(q.front().id, 0);
+    q.popFront();
+    EXPECT_EQ(q.front().id, 2);
+    q.popFront();
+    EXPECT_EQ(q.front().id, 3);
+}
+
+TEST(JobQueue, RemoveAbsentJobIsRejected)
+{
+    JobQueue q;
+    q.push(job(0, 0, 0));
+    // Cancel after placement (id no longer queued) and cancel of a
+    // never-submitted id both report false and disturb nothing.
+    EXPECT_FALSE(q.remove(7));
+    EXPECT_EQ(q.size(), 1u);
+    q.popFront();
+    EXPECT_FALSE(q.remove(0));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(JobQueue, ContainsTracksQueuedIds)
+{
+    JobQueue q;
+    EXPECT_FALSE(q.contains(0));
+    q.push(job(0, 0, 0));
+    q.push(job(1, 3, 5));
+    EXPECT_TRUE(q.contains(0));
+    EXPECT_TRUE(q.contains(1));
+    q.remove(1);
+    EXPECT_FALSE(q.contains(1));
+    EXPECT_TRUE(q.contains(0));
+}
+
+TEST(JobQueue, RequeueAfterRemoveKeepsPriorityFifo)
+{
+    // The resilience layer's failure path re-pushes jobs with their
+    // original arrival times; re-insertion must restore the exact
+    // priority-FIFO position, not append.
+    JobQueue q;
+    q.push(job(0, 2, 0));
+    q.push(job(1, 2, 10));
+    q.push(job(2, 2, 20));
+    ClusterJob cancelled = q.front();
+    q.popFront();
+    EXPECT_TRUE(q.remove(1));
+    q.push(cancelled); // id 0, original arrival 0: back to the head
+    EXPECT_EQ(q.front().id, 0);
+    q.popFront();
+    EXPECT_EQ(q.front().id, 2);
+}
+
 } // namespace
 } // namespace flep

@@ -1,10 +1,12 @@
-/** @file Binary trace backend: parity, delta encoding, ring
- * eviction, and the versioned .flepbin on-disk round trip.
+/** @file Binary trace backend: golden-format parity, delta encoding,
+ * ring eviction, and the versioned .flepbin on-disk round trip.
  *
  * The headline guarantees under test:
- *  - a co-run recorded through the binary backend renders Chrome JSON
- *    byte-identical to the legacy record-time-formatting recorder
- *    (both backends share one typed front end), and
+ *  - a typed event stream renders Chrome JSON byte-identical to the
+ *    golden capture in tests/obs/golden/, taken from the retired
+ *    record-time-formatting backend while both backends coexisted —
+ *    the format anchor that stops the deferred formatter drifting,
+ *    and
  *  - writeBinFile -> readBinFile -> writeJson reproduces that JSON
  *    byte-for-byte, so `fleptrace --to-json` is lossless.
  */
@@ -12,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -75,30 +78,42 @@ recordSampleStream(TraceRecorder &tr, EventQueue &q)
     tr.instant(2, 0, "tick");
 }
 
-TEST(TraceBinary, BackendsRenderIdenticalJsonForTypedStream)
+/** Load one golden capture from tests/obs/golden/. */
+std::string
+goldenFile(const char *name)
 {
-    EventQueue qb, ql;
-    TraceRecorder binary(qb, TraceBackend::Binary);
-    TraceRecorder legacy(ql, TraceBackend::Legacy);
-    recordSampleStream(binary, qb);
-    recordSampleStream(legacy, ql);
-    EXPECT_EQ(binary.eventCount(), legacy.eventCount());
-    EXPECT_EQ(renderJson(binary), renderJson(legacy));
+    const std::string path =
+        std::string(FLEP_TEST_GOLDEN_DIR) + "/" + name;
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is) << "missing golden file " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
 }
 
-TEST(TraceBinary, CounterSuppressionIsSharedByBothBackends)
+TEST(TraceBinary, TypedStreamMatchesGoldenJson)
 {
-    for (TraceBackend backend :
-         {TraceBackend::Binary, TraceBackend::Legacy}) {
-        EventQueue q;
-        TraceRecorder tr(q, backend);
-        tr.counter(1, 0, "depth", 1.0);
-        tr.counter(1, 0, "depth", 1.0);
-        tr.counter(1, 0, "depth", 1.0);
-        tr.counter(1, 0, "depth", 2.0);
-        tr.counter(1, 1, "depth", 2.0); // distinct track, not a rerun
-        EXPECT_EQ(tr.eventCount(), 3u);
-    }
+    // The golden bytes were captured from the retired record-time-
+    // formatting backend on the identical stream; both backends
+    // rendered byte-identical JSON while they coexisted, so this
+    // pins the deferred formatter to the original recorder's format.
+    EventQueue q;
+    TraceRecorder tr(q);
+    recordSampleStream(tr, q);
+    EXPECT_EQ(renderJson(tr),
+              goldenFile("typed_stream_trace.json"));
+}
+
+TEST(TraceBinary, CounterSuppressionSkipsUnchangedSamples)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    tr.counter(1, 0, "depth", 1.0);
+    tr.counter(1, 0, "depth", 1.0);
+    tr.counter(1, 0, "depth", 1.0);
+    tr.counter(1, 0, "depth", 2.0);
+    tr.counter(1, 1, "depth", 2.0); // distinct track, not a rerun
+    EXPECT_EQ(tr.eventCount(), 3u);
 }
 
 TEST(TraceBinary, DeltaEncodingReconstructsAbsoluteTimestamps)
@@ -426,22 +441,24 @@ class TraceBinaryCoRun : public ::testing::Test
 BenchmarkSuite *TraceBinaryCoRun::suite_ = nullptr;
 OfflineArtifacts *TraceBinaryCoRun::artifacts_ = nullptr;
 
-TEST_F(TraceBinaryCoRun, BinaryMatchesLegacyJsonEventForEvent)
+TEST_F(TraceBinaryCoRun, RepeatedCoRunsRenderIdenticalJson)
 {
-    TraceRecorder binary(TraceBackend::Binary);
-    TraceRecorder legacy(TraceBackend::Legacy);
+    // Trace output is part of the determinism contract: the identical
+    // co-run must record the identical event stream, byte for byte.
+    TraceRecorder first;
+    TraceRecorder second;
 
     CoRunConfig cfg = preemptionCoRun();
-    cfg.tracer = &binary;
+    cfg.tracer = &first;
+    const auto res_a = runCoRun(*suite_, *artifacts_, cfg);
+    cfg.tracer = &second;
     const auto res_b = runCoRun(*suite_, *artifacts_, cfg);
-    cfg.tracer = &legacy;
-    const auto res_l = runCoRun(*suite_, *artifacts_, cfg);
 
-    ASSERT_GE(res_b.preemptions, 1);
-    ASSERT_EQ(res_b.makespanNs, res_l.makespanNs);
-    ASSERT_GT(binary.eventCount(), 0u);
-    ASSERT_EQ(binary.eventCount(), legacy.eventCount());
-    EXPECT_EQ(renderJson(binary), renderJson(legacy));
+    ASSERT_GE(res_a.preemptions, 1);
+    ASSERT_EQ(res_a.makespanNs, res_b.makespanNs);
+    ASSERT_GT(first.eventCount(), 0u);
+    ASSERT_EQ(first.eventCount(), second.eventCount());
+    EXPECT_EQ(renderJson(first), renderJson(second));
 }
 
 TEST_F(TraceBinaryCoRun, CoRunBinFileConvertsToIdenticalJson)

@@ -1,0 +1,110 @@
+/** @file Unit tests for seed-deterministic fault plan generation. */
+
+#include <gtest/gtest.h>
+
+#include "resilience/fault_plan.hh"
+
+namespace flep
+{
+namespace
+{
+
+bool
+samePlan(const std::vector<FaultEvent> &a,
+         const std::vector<FaultEvent> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].kind != b[i].kind || a[i].device != b[i].device ||
+            a[i].atNs != b[i].atNs ||
+            a[i].durationNs != b[i].durationNs)
+            return false;
+    }
+    return true;
+}
+
+TEST(FaultPlanTest, SameSeedSamePlan)
+{
+    FaultPlanConfig cfg;
+    cfg.devices = 4;
+    cfg.horizonNs = 100 * 1000 * 1000;
+    cfg.seed = 42;
+    cfg.crashRatePerSec = 40.0;
+    cfg.stallRatePerSec = 120.0;
+    const auto a = generateFaultPlan(cfg);
+    const auto b = generateFaultPlan(cfg);
+    EXPECT_FALSE(a.empty());
+    EXPECT_TRUE(samePlan(a, b));
+}
+
+TEST(FaultPlanTest, DifferentSeedDifferentPlan)
+{
+    FaultPlanConfig cfg;
+    cfg.devices = 4;
+    cfg.horizonNs = 100 * 1000 * 1000;
+    cfg.crashRatePerSec = 40.0;
+    cfg.stallRatePerSec = 120.0;
+    cfg.seed = 1;
+    const auto a = generateFaultPlan(cfg);
+    cfg.seed = 2;
+    const auto b = generateFaultPlan(cfg);
+    EXPECT_FALSE(samePlan(a, b));
+}
+
+TEST(FaultPlanTest, EventsSortedAndInHorizon)
+{
+    FaultPlanConfig cfg;
+    cfg.devices = 3;
+    cfg.horizonNs = 50 * 1000 * 1000;
+    cfg.seed = 7;
+    cfg.crashRatePerSec = 100.0;
+    cfg.stallRatePerSec = 200.0;
+    const auto plan = generateFaultPlan(cfg);
+    ASSERT_FALSE(plan.empty());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_LT(plan[i].atNs, cfg.horizonNs);
+        EXPECT_GE(plan[i].device, 0);
+        EXPECT_LT(plan[i].device, cfg.devices);
+        if (i > 0) {
+            EXPECT_LE(plan[i - 1].atNs, plan[i].atNs);
+        }
+        if (plan[i].kind == FaultKind::TransientStall) {
+            EXPECT_GE(plan[i].durationNs, 1u);
+        }
+    }
+}
+
+TEST(FaultPlanTest, AtMostOneCrashPerDevice)
+{
+    FaultPlanConfig cfg;
+    cfg.devices = 4;
+    cfg.horizonNs = 1000 * 1000 * 1000;
+    cfg.seed = 3;
+    cfg.crashRatePerSec = 500.0; // many arrivals; only the first kept
+    const auto plan = generateFaultPlan(cfg);
+    std::vector<int> crashes(static_cast<std::size_t>(cfg.devices), 0);
+    for (const auto &ev : plan) {
+        ASSERT_EQ(ev.kind, FaultKind::DeviceCrash);
+        ++crashes[static_cast<std::size_t>(ev.device)];
+    }
+    for (int n : crashes)
+        EXPECT_LE(n, 1);
+}
+
+TEST(FaultPlanTest, ZeroRatesYieldEmptyPlan)
+{
+    FaultPlanConfig cfg;
+    cfg.devices = 8;
+    cfg.horizonNs = 1000 * 1000 * 1000;
+    EXPECT_TRUE(generateFaultPlan(cfg).empty());
+}
+
+TEST(FaultPlanTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::DeviceCrash), "crash");
+    EXPECT_STREQ(faultKindName(FaultKind::TransientStall), "stall");
+}
+
+} // namespace
+} // namespace flep

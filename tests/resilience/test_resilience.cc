@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Integration tests for the cluster resilience layer: drain-boundary
+ * checkpoints, fault injection with checkpoint-requeue, retry budgets,
+ * transient-stall recovery, and load-driven migration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "cluster/cluster_metrics.hh"
+#include "common/logging.hh"
+
+namespace flep
+{
+namespace
+{
+
+class ResilienceTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 30, 8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+        artifacts_ = nullptr;
+        suite_ = nullptr;
+    }
+
+    static ClusterJob
+    job(int id, const char *workload, InputClass input,
+        Priority priority, Tick arrival, int repeats = 1,
+        Tick slo = 0)
+    {
+        ClusterJob j;
+        j.id = id;
+        j.workload = workload;
+        j.input = input;
+        j.priority = priority;
+        j.arrivalNs = arrival;
+        j.repeats = repeats;
+        j.sloNs = slo;
+        return j;
+    }
+
+    /** Makespan of `cfg` run without any resilience features; used
+     *  to aim scripted faults at a mid-run tick. */
+    static Tick
+    baselineMakespan(ClusterConfig cfg)
+    {
+        cfg.resilience = ResilienceConfig{};
+        const ClusterResult res =
+            runCluster(*suite_, *artifacts_, cfg);
+        EXPECT_GT(res.makespanNs, 0u);
+        return res.makespanNs;
+    }
+
+    static FaultEvent
+    crashAt(int device, Tick at)
+    {
+        FaultEvent ev;
+        ev.kind = FaultKind::DeviceCrash;
+        ev.device = device;
+        ev.atNs = at;
+        return ev;
+    }
+
+    static FaultEvent
+    stallAt(int device, Tick at, Tick duration)
+    {
+        FaultEvent ev;
+        ev.kind = FaultKind::TransientStall;
+        ev.device = device;
+        ev.atNs = at;
+        ev.durationNs = duration;
+        return ev;
+    }
+
+    static void
+    expectSameOutcome(const JobOutcome &a, const JobOutcome &b)
+    {
+        EXPECT_EQ(a.placed, b.placed);
+        EXPECT_EQ(a.completed, b.completed);
+        EXPECT_EQ(a.device, b.device);
+        EXPECT_EQ(a.displacedVictim, b.displacedVictim);
+        EXPECT_EQ(a.placeTick, b.placeTick);
+        EXPECT_EQ(a.finishTick, b.finishTick);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_EQ(a.execNs, b.execNs);
+        EXPECT_EQ(a.predictedDemandNs, b.predictedDemandNs);
+        EXPECT_EQ(a.restarts, b.restarts);
+        EXPECT_EQ(a.migrations, b.migrations);
+        EXPECT_EQ(a.lostWorkNs, b.lostWorkNs);
+        EXPECT_EQ(a.failedPermanently, b.failedPermanently);
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *ResilienceTest::suite_ = nullptr;
+OfflineArtifacts *ResilienceTest::artifacts_ = nullptr;
+
+TEST_F(ResilienceTest, InertConfigInstallsNothing)
+{
+    ResilienceConfig rc;
+    EXPECT_FALSE(rc.active());
+    rc.checkpoints = true;
+    EXPECT_TRUE(rc.active());
+    rc = ResilienceConfig{};
+    rc.faults.push_back(FaultEvent{});
+    EXPECT_TRUE(rc.active());
+    rc = ResilienceConfig{};
+    rc.migration.enabled = true;
+    EXPECT_TRUE(rc.active());
+}
+
+TEST_F(ResilienceTest, CheckpointingWithoutFaultsIsByteIdentical)
+{
+    // The determinism contract: capture is purely passive, so a run
+    // with checkpointing on (but no fault plan and no migration) must
+    // be indistinguishable from a run without the resilience layer —
+    // every outcome field, not just aggregates.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.deviceCapacity = 2;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2),
+                job(1, "MM", InputClass::Small, 1, 1000),
+                job(2, "NN", InputClass::Small, 0, 2000, 2),
+                job(3, "VA", InputClass::Small, 2, 3000)};
+
+    const ClusterResult plain = runCluster(*suite_, *artifacts_, cfg);
+    cfg.resilience.checkpoints = true;
+    const ClusterResult chk = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(plain.outcomes.size(), chk.outcomes.size());
+    for (std::size_t i = 0; i < plain.outcomes.size(); ++i)
+        expectSameOutcome(plain.outcomes[i], chk.outcomes[i]);
+    EXPECT_EQ(plain.makespanNs, chk.makespanNs);
+    EXPECT_EQ(plain.placements, chk.placements);
+    EXPECT_EQ(plain.preemptivePlacements, chk.preemptivePlacements);
+    EXPECT_EQ(plain.devicePreemptions, chk.devicePreemptions);
+    EXPECT_EQ(plain.deviceUtilization, chk.deviceUtilization);
+    EXPECT_EQ(chk.faultsInjected, 0);
+    EXPECT_EQ(chk.restarts, 0);
+    EXPECT_EQ(chk.migrations, 0);
+    EXPECT_EQ(chk.lostWorkNs, 0u);
+}
+
+TEST_F(ResilienceTest, ScriptedCrashRequeuesOntoSurvivor)
+{
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2)};
+    const Tick mid = baselineMakespan(cfg) / 2;
+
+    cfg.resilience.faults = {crashAt(0, mid)};
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    const JobOutcome &out = res.outcomes[0];
+    EXPECT_TRUE(out.completed);
+    EXPECT_FALSE(out.failedPermanently);
+    EXPECT_EQ(out.restarts, 1);
+    EXPECT_EQ(out.device, 1); // FirstFit placed on 0; 0 died
+    EXPECT_EQ(res.faultsInjected, 1);
+    EXPECT_EQ(res.restarts, 1);
+    EXPECT_EQ(res.permanentFailures, 0);
+    // The requeued job finishes later than an undisturbed run would.
+    EXPECT_GT(out.finishTick, mid);
+}
+
+TEST_F(ResilienceTest, MidProgramCheckpointRestoresRemainingRepeats)
+{
+    // A multi-invocation job crashed mid-program must resume from its
+    // checkpoint: completed repeats are not re-run, and the job still
+    // finishes all of them.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 4)};
+    const Tick mid = (baselineMakespan(cfg) * 6) / 10;
+
+    cfg.resilience.faults = {crashAt(0, mid)};
+
+    Simulation sim(cfg.seed);
+    ClusterScheduler cluster(sim, *suite_, *artifacts_, cfg);
+    cluster.start();
+    sim.run();
+    const ClusterResult res = cluster.collect();
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    EXPECT_TRUE(res.outcomes[0].completed);
+    EXPECT_EQ(res.outcomes[0].restarts, 1);
+
+    const JobCheckpoint &cp = cluster.checkpointOf(0);
+    EXPECT_TRUE(cp.valid);
+    EXPECT_EQ(cp.jobId, 0);
+    EXPECT_EQ(cp.completedRepeats, 4); // final state: all repeats in
+    EXPECT_EQ(cp.tasksDone, 0);
+    EXPECT_EQ(cp.totalTasks,
+              suite_->byName("VA")
+                  .input(InputClass::Small)
+                  .totalTasks);
+}
+
+TEST_F(ResilienceTest, ExhaustedRetryBudgetIsPermanentFailure)
+{
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 1,
+                    /*slo=*/1000)};
+    const Tick mid = baselineMakespan(cfg) / 2;
+
+    cfg.resilience.faults = {crashAt(0, mid)};
+    cfg.resilience.retry.maxRestarts = 0;
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    const JobOutcome &out = res.outcomes[0];
+    EXPECT_FALSE(out.completed);
+    EXPECT_TRUE(out.failedPermanently);
+    EXPECT_EQ(out.restarts, 1);
+    EXPECT_FALSE(out.sloMet());
+    EXPECT_EQ(res.permanentFailures, 1);
+    // The kernel was mid-execution past its (empty) checkpoint, so
+    // the crash destroyed real progress.
+    EXPECT_GT(out.lostWorkNs, 0u);
+    EXPECT_EQ(res.lostWorkNs, out.lostWorkNs);
+
+    const ClusterMetrics m = computeClusterMetrics(res);
+    EXPECT_EQ(m.permanentFailures, 1);
+    EXPECT_LT(m.goodputFraction, 1.0);
+    EXPECT_EQ(m.sloAttainment, 0.0);
+}
+
+TEST_F(ResilienceTest, TransientStallEvictsAndDeviceRejoins)
+{
+    // Single device: the stall evicts the job (the cluster cannot
+    // tell a stall from a crash while it lasts), and the only path to
+    // completion is the device rejoining after the outage.
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2)};
+    const Tick mid = baselineMakespan(cfg) / 2;
+
+    cfg.resilience.faults = {stallAt(0, mid, 2 * 1000 * 1000)};
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    const JobOutcome &out = res.outcomes[0];
+    EXPECT_TRUE(out.completed);
+    EXPECT_EQ(out.restarts, 1);
+    EXPECT_EQ(out.device, 0);
+    EXPECT_EQ(res.faultsInjected, 1);
+    // It cannot restart before the outage ends.
+    EXPECT_GT(out.finishTick, mid + 2 * 1000 * 1000);
+}
+
+TEST_F(ResilienceTest, CrashUnderFfsEvictsAllResidents)
+{
+    // FFS keeps per-process pending queues and a current grant; the
+    // abandonAll path must purge them without granting from aborted
+    // hosts (and without hanging the run).
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.deviceCapacity = 2;
+    cfg.deviceScheduler = SchedulerKind::FlepFfs;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 1, 0, 2),
+                job(1, "MM", InputClass::Small, 1, 0, 2)};
+    // Crash early enough that neither resident has retired yet (the
+    // faster job finishes around 29% of the fault-free makespan).
+    const Tick early = baselineMakespan(cfg) / 4;
+
+    cfg.resilience.faults = {crashAt(0, early)};
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 2u);
+    for (const auto &out : res.outcomes) {
+        EXPECT_TRUE(out.completed);
+        EXPECT_EQ(out.device, 1);
+    }
+    EXPECT_EQ(res.restarts, 2);
+}
+
+TEST_F(ResilienceTest, RebalancerMigratesOffOverloadedDevice)
+{
+    // FirstFit piles both jobs onto device 0, leaving device 1 idle;
+    // the rebalancer must move one over. Hysteresis bounds the churn:
+    // once balanced, no further migration can strictly shrink the gap.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.deviceCapacity = 2;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 4),
+                job(1, "VA", InputClass::Small, 0, 0, 4)};
+    cfg.resilience.migration.enabled = true;
+    cfg.resilience.migration.intervalNs = 200 * 1000;
+    cfg.resilience.migration.minImbalanceNs = 100 * 1000;
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 2u);
+    EXPECT_TRUE(res.outcomes[0].completed);
+    EXPECT_TRUE(res.outcomes[1].completed);
+    EXPECT_GE(res.migrations, 1);
+    EXPECT_LE(res.migrations, 2); // hysteresis: no ping-pong
+    EXPECT_NE(res.outcomes[0].device, res.outcomes[1].device);
+    EXPECT_EQ(res.restarts, 0);   // migration is not a failure
+    EXPECT_EQ(res.lostWorkNs, 0u); // drain-first: nothing destroyed
+}
+
+TEST_F(ResilienceTest, FaultRunsAreDeterministicAcrossThreadCounts)
+{
+    // A faulty, migrating batch must still be bit-identical at any
+    // host thread count: all resilience randomness comes from the
+    // pre-computed plan, and all event ties resolve FIFO.
+    FaultPlanConfig fp;
+    fp.devices = 2;
+    fp.horizonNs = 20 * 1000 * 1000;
+    fp.seed = 11;
+    fp.stallRatePerSec = 100.0;
+    fp.meanStallNs = 1 * 1000 * 1000;
+
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.deviceCapacity = 2;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2),
+                job(1, "MM", InputClass::Small, 1, 500, 2),
+                job(2, "NN", InputClass::Small, 0, 1000)};
+    cfg.resilience.faults = generateFaultPlan(fp);
+    cfg.resilience.migration.enabled = true;
+
+    std::vector<ClusterConfig> cfgs;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        cfg.seed = seed;
+        cfgs.push_back(cfg);
+    }
+    const auto serial =
+        runClusterBatch(*suite_, *artifacts_, cfgs, 1);
+    const auto parallel =
+        runClusterBatch(*suite_, *artifacts_, cfgs, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+        ASSERT_EQ(serial[r].outcomes.size(),
+                  parallel[r].outcomes.size());
+        for (std::size_t i = 0; i < serial[r].outcomes.size(); ++i)
+            expectSameOutcome(serial[r].outcomes[i],
+                              parallel[r].outcomes[i]);
+        EXPECT_EQ(serial[r].makespanNs, parallel[r].makespanNs);
+        EXPECT_EQ(serial[r].restarts, parallel[r].restarts);
+        EXPECT_EQ(serial[r].migrations, parallel[r].migrations);
+        EXPECT_EQ(serial[r].lostWorkNs, parallel[r].lostWorkNs);
+    }
+}
+
+} // namespace
+} // namespace flep

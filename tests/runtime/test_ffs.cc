@@ -159,6 +159,64 @@ TEST(Ffs, LoneProcessExtendsWithoutPreemption)
         EXPECT_EQ(entry.find("preempt"), std::string::npos);
 }
 
+TEST(Ffs, OwnerArrivalAfterExpiredSlotRegrants)
+{
+    // Regression: a sole surviving process whose slot expired during
+    // host think time used to starve — the owner-arrival fast path
+    // only granted inside the slot, and with no competitor waiting no
+    // boundary timer was armed, so nothing ever granted again.
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a1 = makeRecord(0, "A1", 1, 1000);
+    ffs.onArrival(ctx, *a1);
+    EXPECT_EQ(ctx.log.back(), "grant:A1");
+    ctx.currentTick = 500;
+    ctx.finish(ffs, *a1);
+    // Think time carries the process well past its slot end.
+    ctx.currentTick = 500000000;
+    auto a2 = makeRecord(0, "A2", 1, 1000, ctx.currentTick);
+    ffs.onArrival(ctx, *a2);
+    EXPECT_EQ(ctx.log.back(), "grant:A2");
+}
+
+TEST(Ffs, AbandonRunningRotatesToNextProcess)
+{
+    // The cluster layer abandons the in-flight grant (migration or
+    // fault eviction): FFS must drop its current_ pointer and hand
+    // the GPU to the next process with work.
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a = makeRecord(0, "A", 1, 100000000);
+    auto b = makeRecord(1, "B", 1, 100000000);
+    ffs.onArrival(ctx, *a);
+    ffs.onArrival(ctx, *b);
+    EXPECT_EQ(ctx.runningRec, a.get());
+    // The runtime detaches the record before the policy callback.
+    ctx.runningRec = nullptr;
+    ffs.onAbandon(ctx, *a);
+    EXPECT_EQ(ctx.log.back(), "grant:B");
+}
+
+TEST(Ffs, AbandonAllPurgesStateWithoutGranting)
+{
+    FakeContext ctx;
+    FfsPolicy ffs;
+    auto a = makeRecord(0, "A", 1, 100000000);
+    auto b = makeRecord(1, "B", 1, 100000000);
+    ffs.onArrival(ctx, *a);
+    ffs.onArrival(ctx, *b);
+    EXPECT_TRUE(ctx.timerArmed);
+    const std::size_t grants_before = ctx.log.size();
+    ctx.runningRec = nullptr;
+    ffs.onAbandonAll(ctx);
+    EXPECT_FALSE(ctx.timerArmed);
+    EXPECT_EQ(ctx.log.size(), grants_before); // no grant from the dead set
+    // A fresh arrival opens a new slot as if the policy were new.
+    auto c = makeRecord(2, "C", 1, 1000);
+    ffs.onArrival(ctx, *c);
+    EXPECT_EQ(ctx.log.back(), "grant:C");
+}
+
 TEST(Ffs, PreemptedKernelResumesAtFrontOfItsSlot)
 {
     FakeContext ctx;

@@ -24,9 +24,17 @@
  *   --trace=<file>       write a Chrome trace of the run
  *   --ffs                FLEP-FFS device scheduler instead of HPF
  *
- * Example:
+ * Resilience (see docs/resilience.md):
+ *   --checkpoints        capture drain-boundary job checkpoints
+ *   --fault-rate=<F>     generated faults per device-second
+ *                        (20% crashes, 80% transient stalls)
+ *   --kill=<dev>@<ms>    scripted device crash (repeatable)
+ *   --migrate            enable the periodic load rebalancer
+ *
+ * Examples:
  *   flepclusterd --devices=2 --placement=preemptive-priority \
  *                --load=1.2 --jobs=30
+ *   flepclusterd --devices=3 --kill=0@2 --migrate
  */
 
 #include <algorithm>
@@ -42,6 +50,7 @@
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "flep/experiment.hh"
+#include "resilience/fault_plan.hh"
 
 namespace
 {
@@ -62,6 +71,10 @@ struct Options
     Tick horizonNs = 0;
     std::string tracePath;
     SchedulerKind deviceScheduler = SchedulerKind::FlepHpf;
+    bool checkpoints = false;
+    double faultRatePerSec = 0.0;
+    std::vector<FaultEvent> scriptedFaults;
+    bool migrate = false;
 };
 
 [[noreturn]] void
@@ -85,7 +98,11 @@ usage(int code)
         "  --seed=<N>           trace + simulation seed (default 1)\n"
         "  --horizon-ms=<N>     cut the run off after N ms\n"
         "  --trace=<file>       write a Chrome trace of the run\n"
-        "  --ffs                FLEP-FFS device scheduler\n");
+        "  --ffs                FLEP-FFS device scheduler\n"
+        "  --checkpoints        capture drain-boundary checkpoints\n"
+        "  --fault-rate=<F>     generated faults per device-second\n"
+        "  --kill=<dev>@<ms>    scripted device crash (repeatable)\n"
+        "  --migrate            enable the load rebalancer\n");
     std::exit(code);
 }
 
@@ -186,6 +203,36 @@ parseArgs(int argc, char **argv)
             opts.tracePath = arg.substr(8);
         } else if (arg == "--ffs") {
             opts.deviceScheduler = SchedulerKind::FlepFfs;
+        } else if (arg == "--checkpoints") {
+            opts.checkpoints = true;
+        } else if (startsWith(arg, "--fault-rate=")) {
+            opts.faultRatePerSec =
+                parseDouble(arg.substr(13), "fault rate");
+            if (opts.faultRatePerSec < 0.0) {
+                std::fprintf(stderr,
+                             "flepclusterd: fault rate must be >= 0\n");
+                std::exit(2);
+            }
+        } else if (startsWith(arg, "--kill=")) {
+            const std::string spec = arg.substr(7);
+            const std::size_t at = spec.find('@');
+            if (at == std::string::npos) {
+                std::fprintf(stderr,
+                             "flepclusterd: --kill wants <dev>@<ms>, "
+                             "got '%s'\n",
+                             spec.c_str());
+                std::exit(2);
+            }
+            FaultEvent ev;
+            ev.kind = FaultKind::DeviceCrash;
+            ev.device = static_cast<int>(
+                parseLong(spec.substr(0, at), "kill device"));
+            ev.atNs = static_cast<Tick>(
+                parseLong(spec.substr(at + 1), "kill time") *
+                ticksPerMs);
+            opts.scriptedFaults.push_back(ev);
+        } else if (arg == "--migrate") {
+            opts.migrate = true;
         } else {
             std::fprintf(stderr, "flepclusterd: unknown option '%s'\n",
                          arg.c_str());
@@ -196,6 +243,15 @@ parseArgs(int argc, char **argv)
         opts.repeats < 1 || opts.load <= 0.0) {
         std::fprintf(stderr, "flepclusterd: bad parameters\n");
         std::exit(2);
+    }
+    for (const FaultEvent &ev : opts.scriptedFaults) {
+        if (ev.device < 0 || ev.device >= opts.devices) {
+            std::fprintf(stderr,
+                         "flepclusterd: --kill device %d outside the "
+                         "%d-device cluster\n",
+                         ev.device, opts.devices);
+            std::exit(2);
+        }
     }
     return opts;
 }
@@ -259,6 +315,31 @@ runTool(const Options &opts)
     cfg.seed = opts.seed;
     cfg.tracePath = opts.tracePath;
 
+    cfg.resilience.checkpoints = opts.checkpoints;
+    cfg.resilience.migration.enabled = opts.migrate;
+    cfg.resilience.faults = opts.scriptedFaults;
+    if (opts.faultRatePerSec > 0.0) {
+        // Same split as bench_cluster_resilience: crashes are
+        // permanent, so stalls carry most of the rate. Faults may
+        // strike while requeued work drains past the arrival window.
+        FaultPlanConfig fcfg;
+        fcfg.devices = opts.devices;
+        fcfg.horizonNs = acfg.horizonNs * 3;
+        fcfg.seed = opts.seed ^ 0x9e3779b97f4a7c15ull;
+        fcfg.crashRatePerSec = 0.2 * opts.faultRatePerSec;
+        fcfg.stallRatePerSec = 0.8 * opts.faultRatePerSec;
+        const auto generated = generateFaultPlan(fcfg);
+        cfg.resilience.faults.insert(cfg.resilience.faults.end(),
+                                     generated.begin(),
+                                     generated.end());
+    }
+    std::sort(cfg.resilience.faults.begin(),
+              cfg.resilience.faults.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  return a.atNs != b.atNs ? a.atNs < b.atNs
+                                          : a.device < b.device;
+              });
+
     std::printf("cluster: %d x %d-SM GPU, %s placement, %s "
                 "prediction, %s, load %.2f, %zu jobs, seed %llu\n",
                 cfg.devices, cfg.gpu.numSms,
@@ -289,14 +370,24 @@ runTool(const Options &opts)
         for (const JobOutcome *out : placed) {
             const std::string finish = out->completed
                 ? format("%10.1f", ticksToUs(out->finishTick))
-                : std::string("   (cut)  ");
+                : std::string(out->failedPermanently ? "  (failed)"
+                                                     : "   (cut)  ");
+            std::string marks;
+            if (out->displacedVictim)
+                marks += "  [displaced victim]";
+            if (out->restarts > 0)
+                marks += format("  [%d restart%s]", out->restarts,
+                                out->restarts == 1 ? "" : "s");
+            if (out->migrations > 0)
+                marks += format("  [%d migration%s]", out->migrations,
+                                out->migrations == 1 ? "" : "s");
             std::printf(
                 "  [%8.1f .. %s us] job%-3d %-4s prio %d  "
                 "queued %8.1f us%s%s\n",
                 ticksToUs(out->placeTick), finish.c_str(),
                 out->job.id, out->job.workload.c_str(),
                 out->job.priority, ticksToUs(out->queueDelayNs()),
-                out->displacedVictim ? "  [displaced victim]" : "",
+                marks.c_str(),
                 out->job.sloNs > 0
                     ? (out->sloMet() ? "  SLO met" : "  SLO MISS")
                     : "");
@@ -311,6 +402,14 @@ runTool(const Options &opts)
     auto high = m.sloAttainmentByPriority.find(5);
     if (high != m.sloAttainmentByPriority.end())
         std::printf(", high-priority %.3f", high->second);
+    if (!m.sloAttainmentByInputClass.empty()) {
+        // The size-based breakdown: under the same placement, large
+        // SLO jobs miss for different reasons than trivial ones.
+        std::printf("\nSLO attainment by input class:");
+        for (const auto &entry : m.sloAttainmentByInputClass)
+            std::printf(" %s %.3f", inputClassName(entry.first),
+                        entry.second);
+    }
     std::printf("\nqueueing delay p50 %.1f us, p99 %.1f us; mean "
                 "turnaround %.1f us\n",
                 m.p50QueueDelayUs, m.p99QueueDelayUs,
@@ -321,6 +420,14 @@ runTool(const Options &opts)
                 m.devicePreemptions);
     std::printf("mean |prediction error| %.1f%%\n",
                 m.meanAbsPredictionErrorPct);
+    if (cfg.resilience.active()) {
+        std::printf("resilience: %ld faults injected, %ld restarts, "
+                    "%ld migrations, %ld permanent failures\n",
+                    m.faultsInjected, m.restarts, m.migrations,
+                    m.permanentFailures);
+        std::printf("lost work %.1f us, goodput fraction %.3f\n",
+                    ticksToUs(m.lostWorkNs), m.goodputFraction);
+    }
     return 0;
 }
 

@@ -24,7 +24,6 @@
  *   --out=<file>         trace path (default fleptrace.json; a
  *                        .flepbin suffix selects the binary format)
  *   --bin-out=<file>     additionally write the binary trace
- *   --backend=binary|legacy   recorder backend (default binary)
  *   --to-json=<in>       convert an existing .flepbin to Chrome JSON
  *                        (written to --out) and exit; no replay
  *   --counters           include counter samples in the text timeline
@@ -58,7 +57,6 @@ struct Options
     std::string out = "fleptrace.json";
     std::string bin_out;
     std::string to_json;
-    TraceBackend backend = TraceBackend::Binary;
     bool counters = false;
     bool list = false;
     long max_lines = 200;
@@ -81,7 +79,6 @@ usage(int code)
         "  --out=<file>         trace path (fleptrace.json; .flepbin\n"
         "                       suffix selects the binary format)\n"
         "  --bin-out=<file>     additionally write the binary trace\n"
-        "  --backend=binary|legacy  recorder backend (binary)\n"
         "  --to-json=<in>       convert a .flepbin to Chrome JSON at\n"
         "                       --out and exit\n"
         "  --counters           include counters in the timeline\n"
@@ -196,16 +193,14 @@ parseArgs(int argc, char **argv)
         } else if (startsWith(arg, "--to-json=")) {
             opts.to_json = arg.substr(10);
         } else if (startsWith(arg, "--backend=")) {
-            const std::string kind = arg.substr(10);
-            if (kind == "binary") {
-                opts.backend = TraceBackend::Binary;
-            } else if (kind == "legacy") {
-                opts.backend = TraceBackend::Legacy;
-            } else {
+            // The record-time-formatting backend was retired; the
+            // binary recorder is the only backend. Accept the old
+            // spelling for scripts, reject anything else.
+            if (arg.substr(10) != "binary") {
                 std::fprintf(stderr,
-                             "fleptrace: unknown backend '%s' "
-                             "(binary, legacy)\n",
-                             kind.c_str());
+                             "fleptrace: the '%s' backend was "
+                             "removed; only 'binary' remains\n",
+                             arg.substr(10).c_str());
                 std::exit(2);
             }
         } else if (arg == "--counters") {
@@ -351,7 +346,7 @@ main(int argc, char **argv)
         const OfflineArtifacts &artifacts =
             defaultArtifacts(suite, opts.cfg.gpu);
 
-        TraceRecorder tr(opts.backend);
+        TraceRecorder tr;
         CoRunConfig cfg = opts.cfg;
         cfg.tracer = &tr;
         const CoRunResult res = runCoRun(suite, artifacts, cfg);
