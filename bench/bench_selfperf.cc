@@ -62,6 +62,20 @@
  *   solo_stoch_speedup        off_ms / on_ms (RNG-bound)
  *   macro_hit_rate            fast chunks / all chunks, fast-path run
  *
+ * Added in schema 7 — joint macro-step windows over co-runs. The
+ * workload puts two persistent kernels on every SM (2 CTAs of A, 1 of
+ * B), so the slow path slices every chunk into contention time quanta
+ * and the fast path must coalesce at segment granularity across both
+ * execs. Results are checked bit-identical before being reported:
+ *   corun_macro_off_ms        wall time, macroStepMaxChunks = 0
+ *   corun_macro_on_ms         wall time, default chunk budget
+ *   corun_macro_speedup       off_ms / on_ms (CI enforces a floor)
+ *   corun_sim_events_off      events executed by the slow-path run
+ *   corun_sim_events_on       events executed by the fast-path run
+ *   corun_chunks_per_sec_off  task chunks simulated per wall second
+ *   corun_chunks_per_sec_on   same, fast path
+ *   corun_macro_hit_rate      fast chunks / all chunks, fast-path run
+ *
  * Added in schema 5 — a contended ThreadPool cell: far more tasks
  * than workers, so the queue, the condition variable and the future
  * handoff are all exercised under contention rather than the one-
@@ -198,6 +212,67 @@ soloPersistentPerf(long budget, int passes, double cv)
 }
 
 /**
+ * The shared-SM co-run macro measurement: two persistent kernels with
+ * waves sized so every SM hosts CTAs of both (2 of A, 1 of B). The
+ * slow path slices each chunk into contention quanta; the joint
+ * window must absorb both execs and still win. Best of `passes`.
+ */
+SoloPerf
+coRunPersistentPerf(long budget, int passes)
+{
+    SoloPerf best;
+    for (int p = 0; p < passes; ++p) {
+        Simulation sim(103);
+        GpuConfig cfg = GpuConfig::keplerK40();
+        cfg.macroStepMaxChunks = budget;
+        GpuDevice gpu(sim, cfg);
+        KernelLaunchDesc da;
+        da.name = "corunA";
+        da.totalTasks = 2000000;
+        da.footprint = CtaFootprint{256, 32, 0};
+        da.cost = TaskCostModel(1000.0, 0.0);
+        da.contentionBeta = 0.05;
+        da.mode = ExecMode::Persistent;
+        da.amortizeL = 50;
+        KernelLaunchDesc db = da;
+        db.name = "corunB";
+        db.totalTasks = 1000000;
+        db.cost = TaskCostModel(1400.0, 0.0);
+        db.contentionBeta = 0.08;
+        db.amortizeL = 40;
+        auto a = gpu.createExec(da);
+        auto b = gpu.createExec(db);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        gpu.launchWave(a, 2L * cfg.numSms, cfg.kernelLaunchNs);
+        gpu.launchWave(b, cfg.numSms, cfg.kernelLaunchNs + 500);
+        sim.run();
+        const double ms = wallMs(t0);
+
+        if (!a->complete() || !b->complete() ||
+            a->tasksCompleted() != da.totalTasks ||
+            b->tasksCompleted() != db.totalTasks)
+            fatal("co-run macro bench self-check failed");
+
+        SoloPerf r;
+        r.ms = ms;
+        r.simEvents = sim.events().executedCount();
+        r.chunks = gpu.macroEngine().fastChunks() +
+                   gpu.macroEngine().slowChunks();
+        r.hitRate = gpu.macroEngine().hitRate();
+        r.completionTick = std::max(a->completionTick(),
+                                    b->completionTick());
+        r.busySlotNs = a->busySlotTime() + b->busySlotTime();
+        r.polls = a->pollCount() + b->pollCount();
+        if (p == 0)
+            best = r;
+        else
+            best.ms = std::min(best.ms, r.ms);
+    }
+    return best;
+}
+
+/**
  * Contended-pool throughput: `tasks` small deterministic event-queue
  * runs pushed through a pool of `threads` workers, tasks >> threads.
  * Returns the best wall milliseconds over `passes`.
@@ -298,6 +373,30 @@ main()
     std::printf("macro-step solo (stochastic cost): off %.0f ms, "
                 "on %.0f ms, speedup %.2fx\n",
                 stoch_off.ms, stoch_on.ms, stoch_speedup);
+
+    // Joint windows over a shared-SM co-run: the workload ISSUE 9 is
+    // about — every SM hosts two kernels, the slow path runs quantum-
+    // sliced segments, and a window spans both execs.
+    const SoloPerf corun_off = coRunPersistentPerf(0, 2);
+    const SoloPerf corun_on = coRunPersistentPerf(budget_on, 2);
+    if (corun_on.completionTick != corun_off.completionTick ||
+        corun_on.busySlotNs != corun_off.busySlotNs ||
+        corun_on.polls != corun_off.polls)
+        fatal("co-run macro-stepped run diverged from the slow path");
+    const double corun_speedup = corun_off.ms / corun_on.ms;
+    const double corun_chunks_sec_off =
+        static_cast<double>(corun_off.chunks) /
+        (corun_off.ms / 1000.0);
+    const double corun_chunks_sec_on =
+        static_cast<double>(corun_on.chunks) / (corun_on.ms / 1000.0);
+    std::printf("macro-step co-run (shared SMs): off %.0f ms "
+                "(%llu events), on %.0f ms (%llu events), "
+                "speedup %.2fx, hit rate %.3f\n",
+                corun_off.ms,
+                static_cast<unsigned long long>(corun_off.simEvents),
+                corun_on.ms,
+                static_cast<unsigned long long>(corun_on.simEvents),
+                corun_speedup, corun_on.hitRate);
 
     // Expand cells the same way BenchEnv::sweep does, then time the
     // identical batch serially and across the pool.
@@ -415,7 +514,7 @@ main()
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 6,\n"
+                 "  \"schema_version\": 7,\n"
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"sweep_cells\": %zu,\n"
                  "  \"sweep_reps\": %d,\n"
@@ -440,6 +539,14 @@ main()
                  "  \"solo_stoch_on_ms\": %.1f,\n"
                  "  \"solo_stoch_speedup\": %.2f,\n"
                  "  \"macro_hit_rate\": %.4f,\n"
+                 "  \"corun_macro_off_ms\": %.1f,\n"
+                 "  \"corun_macro_on_ms\": %.1f,\n"
+                 "  \"corun_macro_speedup\": %.2f,\n"
+                 "  \"corun_sim_events_off\": %llu,\n"
+                 "  \"corun_sim_events_on\": %llu,\n"
+                 "  \"corun_chunks_per_sec_off\": %.0f,\n"
+                 "  \"corun_chunks_per_sec_on\": %.0f,\n"
+                 "  \"corun_macro_hit_rate\": %.4f,\n"
                  "  \"pool_contended_threads\": %d,\n"
                  "  \"pool_contended_tasks\": %zu,\n"
                  "  \"pool_contended_ms\": %.1f,\n"
@@ -456,7 +563,11 @@ main()
                  static_cast<unsigned long long>(solo_on.simEvents),
                  chunks_sec_off, chunks_sec_on, stoch_off.ms,
                  stoch_on.ms, stoch_speedup, solo_on.hitRate,
-                 pool_threads, pool_tasks, pool_ms,
+                 corun_off.ms, corun_on.ms, corun_speedup,
+                 static_cast<unsigned long long>(corun_off.simEvents),
+                 static_cast<unsigned long long>(corun_on.simEvents),
+                 corun_chunks_sec_off, corun_chunks_sec_on,
+                 corun_on.hitRate, pool_threads, pool_tasks, pool_ms,
                  pool_tasks_per_sec);
     std::fclose(f);
     std::printf("wrote %s\n", path);

@@ -75,6 +75,16 @@ repConfig(const CoRunConfig &cfg, int r)
     return run;
 }
 
+/** FLEP_TRACE_STREAM=1 next to FLEP_TRACE=<x>.flepbin streams the
+ *  trace incrementally (spilling completed record blocks) instead of
+ *  buffering the whole run in the recorder. */
+bool
+streamTraceFromEnv()
+{
+    const char *v = std::getenv("FLEP_TRACE_STREAM");
+    return v != nullptr && *v != '\0' && *v != '0';
+}
+
 /**
  * FLEP_TRACE=<path>: record one co-run of this bench process — the
  * first FLEP (HPF/FFS) config of the first batch, because those
@@ -99,6 +109,7 @@ attachTraceFromEnv(std::vector<CoRunConfig> &cfgs)
         }
     }
     cfgs[pick].tracePath = path;
+    cfgs[pick].streamTrace = streamTraceFromEnv();
     inform("FLEP_TRACE: tracing ",
            schedulerKindName(cfgs[pick].scheduler), " co-run to ",
            path);
@@ -179,6 +190,7 @@ BenchEnv::runClusterBatch(const std::vector<ClusterConfig> &cfgs)
         !runs.empty()) {
         consumed = true;
         runs[0].tracePath = path;
+        runs[0].streamTrace = streamTraceFromEnv();
         inform("FLEP_TRACE: tracing ",
                placementKindName(runs[0].placement), " cluster run to ",
                path);

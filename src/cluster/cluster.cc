@@ -835,6 +835,14 @@ ClusterScheduler::collect() const
                         : static_cast<double>(dev->busyNs) /
                               static_cast<double>(run_ns));
         result.deviceJobCounts.push_back(dev->jobCount);
+        const MacroStepEngine &macro = dev->gpu->macroEngine();
+        DeviceMacroStats ms;
+        ms.fastChunks = macro.fastChunks();
+        ms.slowChunks = macro.slowChunks();
+        ms.windows = macro.windows();
+        ms.invalidations = macro.invalidations();
+        ms.hitRate = macro.hitRate();
+        result.deviceMacroStats.push_back(ms);
     }
     return result;
 }
@@ -856,6 +864,12 @@ runCluster(const BenchmarkSuite &suite,
     if (tracer != nullptr) {
         tracer->bindClock(sim.events());
         sim.setTracer(tracer);
+        if (cfg.streamTrace && !cfg.tracePath.empty() &&
+            TraceRecorder::looksLikeBinPath(cfg.tracePath) &&
+            !tracer->streamTo(cfg.tracePath)) {
+            warn("could not stream trace to ", cfg.tracePath,
+                 "; buffering instead");
+        }
     }
 
     ClusterScheduler cluster(sim, suite, artifacts, cfg);

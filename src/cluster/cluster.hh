@@ -102,6 +102,11 @@ struct ClusterConfig
     /** When non-empty, write a Chrome trace of the run here. */
     std::string tracePath;
 
+    /** Stream incrementally to a `.flepbin` tracePath, spilling
+     *  completed record blocks during the run (see
+     *  CoRunConfig::streamTrace). Ignored for JSON paths. */
+    bool streamTrace = false;
+
     /** When non-null, record into this caller-owned recorder. */
     TraceRecorder *tracer = nullptr;
 };
@@ -180,6 +185,22 @@ struct JobOutcome
 };
 
 /** Measurements of one cluster run. */
+/**
+ * Macro-step engine counters of one device (see gpu/macro_step.hh):
+ * where the event-coalescing fast path engaged and what broke its
+ * windows. Diagnostic only — deliberately kept out of the BENCH json
+ * emitters, whose byte-identity across macro on/off is a CI invariant.
+ */
+struct DeviceMacroStats
+{
+    std::uint64_t fastChunks = 0;
+    std::uint64_t slowChunks = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t invalidations = 0;
+    /** fastChunks / (fastChunks + slowChunks); 0 when no chunks ran. */
+    double hitRate = 0.0;
+};
+
 struct ClusterResult
 {
     /** One outcome per submitted job, indexed by job id. */
@@ -203,6 +224,9 @@ struct ClusterResult
 
     /** Jobs each device ran. */
     std::vector<long> deviceJobCounts;
+
+    /** Macro-stepping engagement per device. */
+    std::vector<DeviceMacroStats> deviceMacroStats;
 
     /** Fault events that actually struck a live device. */
     long faultsInjected = 0;

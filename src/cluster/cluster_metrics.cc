@@ -84,6 +84,18 @@ computeClusterMetrics(const ClusterResult &result)
         m.meanTurnaroundUs = turnaround.mean();
     if (abs_pred_err.count() > 0)
         m.meanAbsPredictionErrorPct = abs_pred_err.mean();
+    for (const DeviceMacroStats &ms : result.deviceMacroStats) {
+        m.macroFastChunks += ms.fastChunks;
+        m.macroSlowChunks += ms.slowChunks;
+        m.macroWindows += ms.windows;
+        m.macroInvalidations += ms.invalidations;
+    }
+    const std::uint64_t macro_total =
+        m.macroFastChunks + m.macroSlowChunks;
+    if (macro_total > 0) {
+        m.macroHitRate = static_cast<double>(m.macroFastChunks) /
+                         static_cast<double>(macro_total);
+    }
     return m;
 }
 

@@ -92,6 +92,24 @@ struct ClusterMetrics
      * rate as re-executed progress piles up.
      */
     double goodputFraction = 1.0;
+
+    // --- macro-stepping (event-coalescing fast path) ---
+
+    /** Chunks simulated inside joint windows, fleet-wide. */
+    std::uint64_t macroFastChunks = 0;
+
+    /** Chunks simulated by ordinary per-chunk events. */
+    std::uint64_t macroSlowChunks = 0;
+
+    /** Windows opened across all devices. */
+    std::uint64_t macroWindows = 0;
+
+    /** Windows torn down early (flag writes, dispatches, faults). */
+    std::uint64_t macroInvalidations = 0;
+
+    /** Fleet-wide fastChunks / (fastChunks + slowChunks); 0 when no
+     *  chunks ran. Shows where coalescing is (not) engaging. */
+    double macroHitRate = 0.0;
 };
 
 /** Reduce a run's outcomes to service metrics. */

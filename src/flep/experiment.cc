@@ -156,6 +156,12 @@ runCoRun(const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
         tracer->setProcessName(
             TraceRecorder::pidRuntime,
             format("runtime (%s)", schedulerKindName(cfg.scheduler)));
+        if (cfg.streamTrace && !cfg.tracePath.empty() &&
+            TraceRecorder::looksLikeBinPath(cfg.tracePath) &&
+            !tracer->streamTo(cfg.tracePath)) {
+            warn("could not stream trace to ", cfg.tracePath,
+                 "; buffering instead");
+        }
     }
 
     GpuDevice gpu(sim, cfg.gpu);

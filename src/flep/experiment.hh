@@ -117,6 +117,15 @@ struct CoRunConfig
     std::string tracePath;
 
     /**
+     * Stream the trace incrementally to tracePath (which must name
+     * the binary `.flepbin` format): completed record blocks spill to
+     * disk during the run instead of buffering everything, bounding
+     * recorder memory on long-horizon runs. The finished file is
+     * byte-identical to a buffered write. Ignored for JSON paths.
+     */
+    bool streamTrace = false;
+
+    /**
      * When non-null, record into this caller-owned recorder instead
      * of (or in addition to) tracePath; the recorder's clock is
      * rebound to this run's simulation. Tests use this to inspect

@@ -210,6 +210,8 @@ GpuDevice::dispatchCta(std::shared_ptr<KernelExec> exec, SmId sm)
     sms_[static_cast<std::size_t>(sm)].acquire(exec->desc().footprint);
     smResidents_[static_cast<std::size_t>(sm)][exec.get()] += 1;
     exec->activeCtas_ += 1;
+    if (exec->activeCtas_ == 1)
+        residentExecs_.push_back(exec);
     exec->firstDispatch_ = std::min(exec->firstDispatch_, sim_.now());
 
     // CTAs dispatched after a preemption start with cold caches: the
@@ -266,7 +268,8 @@ GpuDevice::runOriginalCta(std::shared_ptr<KernelExec> exec, SmId sm)
 GpuDevice::BodyLaunch
 GpuDevice::runBodySegments(std::shared_ptr<KernelExec> exec, SmId sm,
                            Tick base_left, double extra_factor,
-                           Tick lead_ns, std::function<void()> done)
+                           Tick lead_ns, std::function<void()> done,
+                           long flight_first, long flight_k)
 {
     BodySeg st;
     st.exec = std::move(exec);
@@ -274,6 +277,8 @@ GpuDevice::runBodySegments(std::shared_ptr<KernelExec> exec, SmId sm,
     st.baseLeft = base_left;
     st.extraFactor = extra_factor;
     st.sm = sm;
+    st.flightFirst = flight_first;
+    st.flightK = flight_k;
     return stepBodySegment(std::move(st), lead_ns);
 }
 
@@ -298,9 +303,16 @@ GpuDevice::stepBodySegment(BodySeg st, Tick lead_ns)
     const Tick begin = sim_.now();
     st.baseLeft -= base_step;
 
+    // Capture the flight identity before st moves into the closure;
+    // the engine needs the segment reported after its event id exists.
+    KernelExec *const fl_exec = st.exec.get();
+    const long fl_first = st.flightFirst;
+    const long fl_k = st.flightK;
+    const SmId fl_sm = st.sm;
+    const Tick fl_left = st.baseLeft;
+
     BodyLaunch launch;
     launch.end = begin + wall;
-    launch.whole = st.baseLeft == 0;
     launch.ev = sim_.events().scheduleAfter(
         wall, [this, begin, st = std::move(st)]() mutable {
             accountBusy(*st.exec, st.sm, begin, sim_.now());
@@ -309,6 +321,10 @@ GpuDevice::stepBodySegment(BodySeg st, Tick lead_ns)
             else
                 st.done();
         });
+    if (fl_first >= 0 && macro_.budget() > 0) {
+        macro_.noteSegment(fl_exec, fl_first, fl_k, fl_sm, begin,
+                           launch.end, fl_left, launch.ev);
+    }
     return launch;
 }
 
@@ -363,27 +379,37 @@ GpuDevice::persistentIterate(std::shared_ptr<KernelExec> exec, SmId sm,
     const Tick lead = cfg_.pinnedReadNs +
                       static_cast<Tick>(k) * cfg_.atomicNs;
     const double extra = cold ? cfg_.coldRestartFactor : 1.0;
-    const BodyLaunch launch = runBodySegments(
-        exec, sm, base, extra, lead, [this, exec, sm, k, first]() {
-            macro_.unregisterFlight(exec.get(), first);
-            macro_.countSlowChunk();
-            exec->tasksCompleted_ += k;
-            runTaskHook(*exec, first, k);
-            persistentIterate(exec, sm, false);
-        });
-    if (launch.whole) {
-        // Single-segment chunk with a precomputed completion tick: a
-        // later macro window may absorb it.
-        ChunkFlight flight;
-        flight.sm = sm;
-        flight.ev = launch.ev;
-        flight.order = launch.ev;
-        flight.begin = sim_.now();
-        flight.end = launch.end;
-        flight.k = k;
-        flight.first = first;
-        macro_.registerFlight(exec.get(), flight);
-    }
+    // Cold restarts never register a flight: the extra cost factor is
+    // not reproduced by the virtual loop, so a window cannot open
+    // while any cold chunk is in flight (its CTA is not covered).
+    runBodySegments(exec, sm, base, extra, lead,
+                    [this, exec, sm, k, first]() {
+                        persistentChunkDone(exec, sm, k, first);
+                    },
+                    cold ? -1 : first, k);
+}
+
+void
+GpuDevice::persistentChunkDone(std::shared_ptr<KernelExec> exec,
+                               SmId sm, long k, long first)
+{
+    macro_.unregisterFlight(exec.get(), first);
+    macro_.countSlowChunk();
+    exec->tasksCompleted_ += k;
+    runTaskHook(*exec, first, k);
+    persistentIterate(exec, sm, false);
+}
+
+void
+GpuDevice::resumeChunkSegments(std::shared_ptr<KernelExec> exec,
+                               SmId sm, Tick base_left, long k,
+                               long first)
+{
+    runBodySegments(exec, sm, base_left, 1.0, 0,
+                    [this, exec, sm, k, first]() {
+                        persistentChunkDone(exec, sm, k, first);
+                    },
+                    first, k);
 }
 
 void
@@ -396,6 +422,16 @@ GpuDevice::retireCta(std::shared_ptr<KernelExec> exec, SmId sm)
     exec->activeCtas_ -= 1;
     FLEP_ASSERT(exec->activeCtas_ >= 0, "CTA count underflow for ",
                 exec->name());
+    if (exec->activeCtas_ == 0) {
+        auto it = std::find_if(
+            residentExecs_.begin(), residentExecs_.end(),
+            [&exec](const std::shared_ptr<KernelExec> &p) {
+                return p.get() == exec.get();
+            });
+        FLEP_ASSERT(it != residentExecs_.end(),
+                    "retiring exec missing from resident list");
+        residentExecs_.erase(it);
+    }
 
     if (exec->activeCtas_ == 0 && !exec->complete()) {
         if (exec->tasksCompleted_ == exec->totalTasks()) {

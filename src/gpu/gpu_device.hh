@@ -263,15 +263,12 @@ class GpuDevice : public SimObject
 
     /**
      * What runBodySegments scheduled for its first segment: the
-     * completion event, its tick, and whether that one segment covers
-     * the entire chunk. Single-segment persistent chunks are exactly
-     * the ones the macro-stepping engine can absorb.
+     * completion event and its tick.
      */
     struct BodyLaunch
     {
         EventId ev = 0;
         Tick end = 0;
-        bool whole = false;
     };
 
     /**
@@ -279,6 +276,10 @@ class GpuDevice : public SimObject
      * in-progress chunk carries between time quanta. Travels by move
      * through the segment events, so the `done` continuation is
      * wrapped exactly once no matter how many quanta the chunk spans.
+     * Warm persistent chunks carry their flight identity
+     * (flightFirst >= 0) so every scheduled segment is reported to the
+     * macro-step engine, which lets a window absorb the chunk at any
+     * quantum boundary.
      */
     struct BodySeg
     {
@@ -287,6 +288,8 @@ class GpuDevice : public SimObject
         Tick baseLeft = 0;
         double extraFactor = 1.0;
         SmId sm = -1;
+        long flightFirst = -1;
+        long flightK = 0;
     };
 
     /**
@@ -294,16 +297,35 @@ class GpuDevice : public SimObject
      * `sm`, inflating each time quantum by the contention factor of
      * the residency observed when the quantum starts, then invoke
      * `done`. `lead_ns` is fixed-cost overhead (flag poll, task-pull
-     * atomics) prepended to the first quantum.
+     * atomics) prepended to the first quantum. `flight_first` /
+     * `flight_k` identify an absorbable persistent chunk (-1 for
+     * Original CTAs and cold restarts, which stay off the fast path).
      * @return the first segment's launch record.
      */
     BodyLaunch runBodySegments(std::shared_ptr<KernelExec> exec,
                                SmId sm, Tick base_left,
                                double extra_factor, Tick lead_ns,
-                               std::function<void()> done);
+                               std::function<void()> done,
+                               long flight_first = -1,
+                               long flight_k = 0);
 
     /** Schedule the next time quantum of `st`. */
     BodyLaunch stepBodySegment(BodySeg st, Tick lead_ns);
+
+    /**
+     * Completion continuation of one warm persistent chunk: apply the
+     * counters, then iterate. The macro engine schedules this directly
+     * when re-materializing a window's in-flight chunks.
+     */
+    void persistentChunkDone(std::shared_ptr<KernelExec> exec, SmId sm,
+                             long k, long first);
+
+    /**
+     * Resume a partially executed chunk on the slow-path segment
+     * machinery (used when a window is invalidated mid-chunk).
+     */
+    void resumeChunkSegments(std::shared_ptr<KernelExec> exec, SmId sm,
+                             Tick base_left, long k, long first);
 
     /** True when `sm` hosts CTAs of more than one execution. */
     bool mixedResidency(SmId sm) const;
@@ -328,6 +350,13 @@ class GpuDevice : public SimObject
     Rng rng_;
     /** Every exec created here; backpointers cleared on destruction. */
     std::vector<std::weak_ptr<KernelExec>> allExecs_;
+    /**
+     * Execs with at least one resident CTA, in first-dispatch order —
+     * the deterministic participant enumeration for joint macro-step
+     * windows (iterating smResidents_, keyed by pointer, would leak
+     * allocator addresses into simulation results).
+     */
+    std::vector<std::shared_ptr<KernelExec>> residentExecs_;
     /** Per-SM count of resident CTAs per execution. */
     std::vector<std::unordered_map<const KernelExec *, int>>
         smResidents_;

@@ -15,9 +15,9 @@ namespace
 {
 
 /**
- * Boundary key for the virtual event loop: (end tick, launch order) —
- * exactly the (when, event id) order of the real queue. Each CTA has
- * at most one chunk in flight, so the full ChunkFlight lives in a
+ * Boundary key for the virtual event loop: (end tick, schedule order)
+ * — exactly the (when, event id) order of the real queue. Each CTA has
+ * at most one segment in flight, so the full segment state lives in a
  * per-CTA slot and only this 24-byte key moves through the queue.
  */
 struct BoundaryKey
@@ -40,8 +40,8 @@ keyBefore(const BoundaryKey &a, const BoundaryKey &b)
  * ring popped at the front, inserted near the back.
  *
  * A binary heap is the textbook structure here, but the workload is
- * strongly in favour of a sorted array: a freshly launched chunk ends
- * roughly one whole chunk after the *earliest* in-flight boundary, so
+ * strongly in favour of a sorted array: a freshly launched segment
+ * ends roughly one segment after the *earliest* in-flight boundary, so
  * its key is (nearly) the maximum — with uniform task costs the
  * insert is exactly at the back, and with cv > 0 the relative spread
  * of a k-task chunk is cv/sqrt(k), so only a handful of tail entries
@@ -99,12 +99,6 @@ class BoundaryRing
     std::size_t head_ = 0;
 };
 
-bool
-orderBefore(const ChunkFlight &a, const ChunkFlight &b)
-{
-    return a.order < b.order;
-}
-
 } // namespace
 
 MacroStepEngine::MacroStepEngine(GpuDevice &dev)
@@ -112,13 +106,21 @@ MacroStepEngine::MacroStepEngine(GpuDevice &dev)
 {}
 
 void
-MacroStepEngine::registerFlight(KernelExec *exec,
-                                const ChunkFlight &flight)
+MacroStepEngine::noteSegment(KernelExec *exec, long first, long k,
+                             SmId sm, Tick begin, Tick end,
+                             Tick base_left, EventId ev)
 {
-    const bool inserted =
-        stateFor(exec).flights.emplace(flight.first, flight).second;
-    FLEP_ASSERT(inserted, "duplicate chunk flight for task ",
-                flight.first);
+    // Upsert: the first segment of a chunk creates the entry, each
+    // further quantum of the same chunk overwrites it in place.
+    ChunkFlight &f = stateFor(exec).flights[first];
+    f.sm = sm;
+    f.ev = ev;
+    f.order = ev;
+    f.begin = begin;
+    f.end = end;
+    f.baseLeft = base_left;
+    f.k = k;
+    f.first = first;
 }
 
 void
@@ -132,12 +134,16 @@ MacroStepEngine::unregisterFlight(KernelExec *exec, long first)
 void
 MacroStepEngine::onExecComplete(KernelExec *exec)
 {
+    FLEP_ASSERT(exec->macroWindow_ == nullptr,
+                "exec completed with an open macro window");
+    for (const auto &[f, e] : seeds_) {
+        FLEP_ASSERT(e.get() != exec,
+                    "exec completed with seed flights pending");
+    }
     auto it = execs_.find(exec);
     if (it == execs_.end())
         return;
-    FLEP_ASSERT(!it->second.window,
-                "exec completed with an open macro window");
-    FLEP_ASSERT(it->second.flights.empty() && it->second.seeds.empty(),
+    FLEP_ASSERT(it->second.flights.empty(),
                 "exec completed with chunks in flight");
     execs_.erase(it);
 }
@@ -146,402 +152,554 @@ bool
 MacroStepEngine::tryOpenWindow(const std::shared_ptr<KernelExec> &exec,
                                SmId sm)
 {
-    ExecState &st = stateFor(exec.get());
-    FLEP_ASSERT(!st.window, "persistent iteration inside an open "
-                            "macro window");
-    FLEP_ASSERT(st.flights.empty() || st.seeds.empty(),
-                "real and seed flights cannot coexist");
+    FLEP_ASSERT(!window_, "persistent iteration inside an open "
+                          "macro window");
 
     const Tick now = dev_.sim().now();
-    const KernelLaunchDesc &desc = exec->desc_;
-    const long total = desc.totalTasks;
+    const GpuConfig &cfg = dev_.cfg_;
+    const auto &parts = dev_.residentExecs_;
 
-    // Eligibility: every per-chunk decision the window elides must be
-    // provably constant over its whole span — the flag polls all read
-    // zero, no CTA can arrive or leave, the contention factor of each
-    // involved SM is fixed, and every sibling CTA sits in a
-    // single-segment chunk whose completion tick is already known.
-    bool ok = budget_ > 0 && desc.mode == ExecMode::Persistent &&
-              !desc.onTask && exec->flag_.quiescentZeroAt(now) &&
-              dev_.scheduler_.pendingBatches() == 0 &&
-              total - exec->tasksClaimed_ > 0 &&
-              static_cast<long>(st.flights.size() + st.seeds.size()) ==
-                  static_cast<long>(exec->activeCtas_) - 1;
+    // Eligibility: every per-segment decision the window elides must
+    // be provably constant over its whole span — all participants'
+    // flag polls read zero, no CTA can arrive or leave, the
+    // contention factor of each involved SM is fixed, and every
+    // resident CTA of every exec sits in a segment whose completion
+    // tick is already known (or is the one entering here). Any
+    // resident Original-mode exec, task-hooked exec, cold chunk or
+    // retiring CTA breaks coverage and keeps the whole device on the
+    // slow path.
+    bool ok = budget_ > 0 && dev_.scheduler_.pendingBatches() == 0 &&
+              exec->desc_.totalTasks - exec->tasksClaimed_ > 0;
+    int entering_part = -1;
     if (ok) {
-        // The in-flight chunks plus the entering CTA cover every CTA
-        // of the exec, so their SMs are exactly the hosting set:
-        // requiring each to host only this exec gives uniform
-        // residency everywhere the window touches.
-        auto uniform = [this, &exec](SmId s) {
-            const auto &res =
-                dev_.smResidents_[static_cast<std::size_t>(s)];
-            return res.size() == 1 && res.count(exec.get()) == 1;
-        };
-        ok = uniform(sm);
-        for (const auto &[first, f] : st.flights)
-            ok = ok && uniform(f.sm);
-        for (const auto &f : st.seeds)
-            ok = ok && uniform(f.sm);
+        std::vector<long> seed_count(parts.size(), 0);
+        for (const auto &[f, e] : seeds_) {
+            for (std::size_t i = 0; i < parts.size(); ++i) {
+                if (parts[i].get() == e.get()) {
+                    seed_count[i] += 1;
+                    break;
+                }
+            }
+        }
+        for (std::size_t i = 0; i < parts.size() && ok; ++i) {
+            const KernelExec *p = parts[i].get();
+            if (p == exec.get())
+                entering_part = static_cast<int>(i);
+            const KernelLaunchDesc &d = p->desc_;
+            ok = d.mode == ExecMode::Persistent && !d.onTask &&
+                 p->flag_.quiescentZeroAt(now);
+            if (!ok)
+                break;
+            auto it = execs_.find(const_cast<KernelExec *>(p));
+            const long flights =
+                it == execs_.end()
+                    ? 0
+                    : static_cast<long>(it->second.flights.size());
+            const long extra = p == exec.get() ? 1 : 0;
+            ok = flights + seed_count[i] + extra ==
+                 static_cast<long>(p->activeCtas_);
+        }
+        ok = ok && entering_part >= 0;
     }
     if (!ok) {
-        if (!st.seeds.empty()) {
-            std::vector<ChunkFlight> seeds = std::move(st.seeds);
-            st.seeds.clear();
-            materialize(exec, std::move(seeds));
-        }
+        flushSeeds();
         return false;
     }
-    // Chunk sizes are bounded by amortizeL and the log narrows them
-    // to 32 bits; a window never opens for an exec that could overflow.
-    FLEP_ASSERT(desc.amortizeL <= 0x7fffffffL,
-                "amortizeL too large for the macro-step log");
 
-    // Absorb every sibling in-flight chunk: cancel the real events
-    // and renumber the flights into window-local launch order (their
-    // event ids, and the seeds' previous-window orders, both increase
-    // in launch order, so a stable renumbering preserves FIFO ties).
-    // Real flights come out of a hash map and need sorting; seeds are
-    // a previous window's remnant, stored already sorted — and the
-    // two never coexist (asserted above), so the common chained-
-    // window case skips the sort entirely.
-    std::vector<ChunkFlight> absorbed;
-    absorbed.reserve(st.flights.size() + st.seeds.size() + 1);
-    const bool from_flights = !st.flights.empty();
-    for (const auto &[first, f] : st.flights) {
-        const bool pending = dev_.sim().events().deschedule(f.ev);
-        FLEP_ASSERT(pending, "in-flight chunk without pending event");
-        absorbed.push_back(f);
+    // Absorb every in-flight segment of every participant: cancel the
+    // real events and renumber into window-local schedule order (the
+    // segments' event ids, and the seeds' previous-window orders, both
+    // increase in schedule order, so a stable renumbering preserves
+    // FIFO ties — across execs too, since event ids are global).
+    struct Slot
+    {
+        ChunkFlight f;
+        int part = 0;
+        double factor = 1.0;
+        bool sliced = false;
+    };
+    std::vector<Slot> slots;
+    bool any_flights = false;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        auto it = execs_.find(parts[i].get());
+        if (it == execs_.end())
+            continue;
+        for (const auto &[first, f] : it->second.flights) {
+            const bool pending = dev_.sim().events().deschedule(f.ev);
+            FLEP_ASSERT(pending,
+                        "in-flight chunk without pending event");
+            Slot s;
+            s.f = f;
+            s.part = static_cast<int>(i);
+            slots.push_back(s);
+            any_flights = true;
+        }
+        it->second.flights.clear();
     }
-    st.flights.clear();
-    for (const auto &f : st.seeds)
-        absorbed.push_back(f);
-    st.seeds.clear();
-    if (from_flights) {
-        std::sort(absorbed.begin(), absorbed.end(), orderBefore);
-    } else {
-        FLEP_ASSERT(std::is_sorted(absorbed.begin(), absorbed.end(),
-                                   orderBefore),
-                    "seed flights arrived out of launch order");
+    FLEP_ASSERT(!any_flights || seeds_.empty(),
+                "real and seed flights cannot coexist");
+    for (const auto &[f, e] : seeds_) {
+        Slot s;
+        s.f = f;
+        s.part = -1;
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            if (parts[i].get() == e.get()) {
+                s.part = static_cast<int>(i);
+                break;
+            }
+        }
+        FLEP_ASSERT(s.part >= 0, "seed flight for a non-resident exec");
+        slots.push_back(s);
     }
+    seeds_.clear();
+    std::sort(slots.begin(), slots.end(),
+              [](const Slot &a, const Slot &b) {
+                  return a.f.order < b.f.order;
+              });
     std::uint64_t next_order = 0;
-    for (auto &f : absorbed) {
-        f.ev = 0;
-        f.order = next_order++;
+    for (auto &s : slots) {
+        s.f.ev = 0;
+        s.f.order = next_order++;
     }
 
     auto window = std::make_unique<MacroWindow>();
-    window->exec = exec;
     window->openTick = now;
+    window->parts.reserve(parts.size());
+    for (const auto &p : parts) {
+        MacroParticipant mp;
+        mp.exec = p;
+        window->parts.push_back(std::move(mp));
+    }
 
-    // Per-SM inflation factors are constants of the window; record
-    // each SM's residency epoch so the commit can assert nothing
-    // changed underneath (the invalidation hooks make this
-    // unreachable — it is a safety net, not a code path). Indexed by
-    // SM id so the per-launch lookup is one load, not a scan.
-    std::vector<double> factor_by_sm(dev_.sms_.size(), -1.0);
-    auto factor_for = [this, &desc, &factor_by_sm, &window](SmId s) {
-        double &f = factor_by_sm[static_cast<std::size_t>(s)];
-        if (f < 0.0) {
-            const Sm &sm_obj = dev_.sms_[static_cast<std::size_t>(s)];
-            f = contentionFactor(desc.contentionBeta,
-                                 sm_obj.residentCtas());
-            window->smEpochs.emplace_back(s, sm_obj.residencyEpoch());
+    // Per-slot inflation factors and quantum slicing are constants of
+    // the window; record each touched SM's residency epoch so the
+    // commit can assert nothing changed underneath (the invalidation
+    // hooks make this unreachable — it is a safety net, not a code
+    // path).
+    std::vector<char> sm_seen(dev_.sms_.size(), 0);
+    auto touch = [this, &sm_seen, &window](SmId s) {
+        char &seen = sm_seen[static_cast<std::size_t>(s)];
+        if (!seen) {
+            seen = 1;
+            window->smEpochs.emplace_back(
+                s, dev_.sms_[static_cast<std::size_t>(s)]
+                       .residencyEpoch());
         }
-        return f;
     };
+    auto factor_for = [this, &parts](int part, SmId s) {
+        return contentionFactor(
+            parts[static_cast<std::size_t>(part)]->desc_.contentionBeta,
+            dev_.sms_[static_cast<std::size_t>(s)].residentCtas());
+    };
+    auto sliced_on = [this, &cfg](SmId s) {
+        return cfg.contentionQuantumNs > 0 && dev_.mixedResidency(s);
+    };
+    for (auto &s : slots) {
+        touch(s.f.sm);
+        s.factor = factor_for(s.part, s.f.sm);
+        s.sliced = sliced_on(s.f.sm);
+    }
 
     // The entering CTA's iteration happens for real, now: its poll,
     // claim and RNG draw are due at this tick on the slow path too.
     exec->pollCount_ += 1;
+    const KernelLaunchDesc &desc = exec->desc_;
     const long fair = std::max<long>(
-        1, (total - exec->tasksClaimed_) / exec->waveEstimate_);
+        1, (desc.totalTasks - exec->tasksClaimed_) /
+               exec->waveEstimate_);
     long first = 0;
     const long k = dev_.claimTasks(
         *exec, std::min<long>(desc.amortizeL, fair), first);
     FLEP_ASSERT(k > 0, "entering claim came up empty");
     const Tick base = desc.cost.sampleChunk(k, exec->rng_);
 
-    window->rngAtOpen = exec->rng_;
+    for (std::size_t i = 0; i < window->parts.size(); ++i)
+        window->parts[i].rngAtOpen = window->parts[i].exec->rng_;
 
-    ChunkFlight entering;
-    entering.sm = sm;
-    entering.order = next_order++;
-    entering.begin = now;
-    entering.k = k;
-    entering.first = first;
-    entering.end =
-        now + dev_.cfg_.pinnedReadNs +
-        static_cast<Tick>(k) * dev_.cfg_.atomicNs +
-        std::max<Tick>(static_cast<Tick>(static_cast<double>(base) *
-                                         factor_for(sm)), 1);
+    {
+        Slot s;
+        s.part = entering_part;
+        touch(sm);
+        s.factor = factor_for(entering_part, sm);
+        s.sliced = sliced_on(sm);
+        const Tick step =
+            s.sliced ? std::min(base, cfg.contentionQuantumNs) : base;
+        s.f.sm = sm;
+        s.f.order = next_order++;
+        s.f.begin = now;
+        s.f.baseLeft = base - step;
+        s.f.k = k;
+        s.f.first = first;
+        s.f.end = now + cfg.pinnedReadNs +
+                  static_cast<Tick>(k) * cfg.atomicNs +
+                  std::max<Tick>(
+                      static_cast<Tick>(static_cast<double>(step) *
+                                        s.factor), 1);
+        slots.push_back(s);
+    }
 
     // Virtual event loop on copies of the shared state. Boundaries
     // pop in (end, order) — the order the real queue would fire the
-    // completion events — so the claims and RNG draws of different
-    // CTAs interleave exactly as on the slow path. Each CTA slot
-    // holds its one in-flight chunk and is relaunched in place; the
-    // ring shuffles only the 24-byte keys.
-    std::vector<ChunkFlight> slots = std::move(absorbed);
-    slots.push_back(entering);
+    // segment events — so the claims and RNG draws of different CTAs,
+    // across all execs, interleave exactly as on the slow path. Each
+    // CTA slot holds its one in-flight segment and is advanced in
+    // place; the ring shuffles only the 24-byte keys.
     std::vector<BoundaryKey> keys;
     keys.reserve(slots.size());
     for (std::size_t i = 0; i < slots.size(); ++i) {
-        keys.push_back(BoundaryKey{slots[i].end, slots[i].order,
+        keys.push_back(BoundaryKey{slots[i].f.end, slots[i].f.order,
                                    static_cast<std::uint32_t>(i)});
     }
     BoundaryRing ring;
     ring.reset(std::move(keys));
     long launches = 1;
 
-    long v_claimed = exec->tasksClaimed_;
-    Rng v_rng = exec->rng_;
+    std::vector<long> v_claimed;
+    std::vector<Rng> v_rng;
+    v_claimed.reserve(window->parts.size());
+    v_rng.reserve(window->parts.size());
+    for (const auto &mp : window->parts) {
+        v_claimed.push_back(mp.exec->tasksClaimed_);
+        v_rng.push_back(mp.exec->rng_);
+    }
 
-    // One log entry per boundary: at most budget_ launches plus the
-    // stop entry (capped so a huge budget cannot pre-commit memory).
+    // One log entry per boundary: at least one per launch plus the
+    // in-flight slots and the stop entry (capped so a huge budget
+    // cannot pre-commit memory; quantum-sliced chunks append more as
+    // the vector grows).
     window->log.reserve(static_cast<std::size_t>(
                             std::min<long>(budget_, 8192)) +
                         slots.size() + 1);
 
     for (;;) {
         const BoundaryKey top = ring.popFront();
-        ChunkFlight &f = slots[top.slot];
+        Slot &s = slots[top.slot];
+        ChunkFlight &f = s.f;
         const Tick boundary = top.end;
 
         MacroLogEntry entry;
         entry.tick = boundary;
         entry.begin = f.begin;
+        entry.baseLeft = f.baseLeft;
         entry.first = f.first;
         entry.order = f.order;
         entry.sm = f.sm;
+        entry.part = static_cast<std::int16_t>(s.part);
         entry.k = static_cast<std::int32_t>(f.k);
 
-        const long unclaimed = total - v_claimed;
+        if (f.baseLeft > 0) {
+            // Mid-chunk quantum boundary: the CTA rolls straight into
+            // the next time slice, exactly as the slow-path segment
+            // event would; no poll, no claim, no draw.
+            const Tick step = s.sliced ? std::min(f.baseLeft,
+                                                  cfg.contentionQuantumNs)
+                                       : f.baseLeft;
+            f.order = next_order++;
+            f.begin = boundary;
+            f.baseLeft -= step;
+            f.end = boundary +
+                    std::max<Tick>(
+                        static_cast<Tick>(static_cast<double>(step) *
+                                          s.factor), 1);
+            ring.insert(BoundaryKey{f.end, f.order, top.slot});
+            window->log.push_back(entry);
+            continue;
+        }
+
+        KernelExec *pe =
+            window->parts[static_cast<std::size_t>(s.part)].exec.get();
+        const long unclaimed =
+            pe->desc_.totalTasks -
+            v_claimed[static_cast<std::size_t>(s.part)];
         const bool launch = unclaimed > 0 && launches < budget_;
         if (launch) {
             // The CTA starts its next chunk at this boundary, exactly
             // as the slow-path completion callback would; its slot is
-            // rewritten in place (the entry recorded the old chunk).
+            // rewritten in place (the entry recorded the old segment).
             const long fair2 = std::max<long>(
-                1, unclaimed / exec->waveEstimate_);
+                1, unclaimed / pe->waveEstimate_);
             const long k2 = std::min(
-                std::min<long>(desc.amortizeL, fair2), unclaimed);
+                std::min<long>(pe->desc_.amortizeL, fair2), unclaimed);
             f.order = next_order++;
             f.begin = boundary;
             f.k = k2;
-            f.first = v_claimed;
-            v_claimed += k2;
-            const Tick base2 = desc.cost.sampleChunk(k2, v_rng);
-            f.end =
-                boundary + dev_.cfg_.pinnedReadNs +
-                static_cast<Tick>(k2) * dev_.cfg_.atomicNs +
-                std::max<Tick>(
-                    static_cast<Tick>(static_cast<double>(base2) *
-                                      factor_for(f.sm)), 1);
+            f.first = v_claimed[static_cast<std::size_t>(s.part)];
+            v_claimed[static_cast<std::size_t>(s.part)] += k2;
+            const Tick base2 = pe->desc_.cost.sampleChunk(
+                k2, v_rng[static_cast<std::size_t>(s.part)]);
+            const Tick step = s.sliced
+                                  ? std::min(base2,
+                                             cfg.contentionQuantumNs)
+                                  : base2;
+            f.baseLeft = base2 - step;
+            f.end = boundary + cfg.pinnedReadNs +
+                    static_cast<Tick>(k2) * cfg.atomicNs +
+                    std::max<Tick>(
+                        static_cast<Tick>(static_cast<double>(step) *
+                                          s.factor), 1);
             ring.insert(BoundaryKey{f.end, f.order, top.slot});
             launches += 1;
             entry.launchedK = static_cast<std::int32_t>(k2);
-        }
-        window->log.push_back(entry);
-        if (!launch) {
-            // Task pool drained or budget spent: this CTA's next move
-            // (retire, or the next window) happens for real at the
-            // close boundary.
+            window->log.push_back(entry);
+        } else {
+            // This CTA's exec drained, or the budget is spent: its
+            // next move (retire, or the next window) happens for real
+            // at the close boundary.
+            window->log.push_back(entry);
+            window->stopPart = s.part;
             window->stopSm = f.sm;
             window->closeTick = boundary;
             break;
         }
     }
-    window->rngAtClose = v_rng;
+    for (std::size_t i = 0; i < window->parts.size(); ++i)
+        window->parts[i].rngAtClose = v_rng[i];
 
-    // The live ring keys are the still-in-flight chunks; ascending
-    // (end, order) is not launch order, so the remnant still sorts.
+    // The live ring keys are the still-in-flight segments; ascending
+    // (end, order) is not schedule order, so the remnant still sorts.
     window->remnant.reserve(
         static_cast<std::size_t>(ring.liveEnd() - ring.liveBegin()));
     for (const BoundaryKey *it = ring.liveBegin();
          it != ring.liveEnd(); ++it)
-        window->remnant.push_back(slots[it->slot]);
+        window->remnant.emplace_back(slots[it->slot].f,
+                                     slots[it->slot].part);
     std::sort(window->remnant.begin(), window->remnant.end(),
-              orderBefore);
+              [](const std::pair<ChunkFlight, int> &a,
+                 const std::pair<ChunkFlight, int> &b) {
+                  return a.first.order < b.first.order;
+              });
 
-    KernelExec *raw = exec.get();
     window->commitEv = dev_.sim().events().schedule(
-        window->closeTick, [this, raw]() { commit(raw); });
-    exec->macroWindow_ = window.get();
-    st.window = std::move(window);
+        window->closeTick, [this]() { commit(); });
+    for (const auto &mp : window->parts)
+        mp.exec->macroWindow_ = window.get();
+    window_ = std::move(window);
     ++windows_;
     return true;
 }
 
 void
-MacroStepEngine::syncTo(ExecState &st, Tick now)
+MacroStepEngine::syncTo(Tick now)
 {
-    MacroWindow *w = st.window.get();
-    if (w == nullptr)
-        return;
-    KernelExec *exec = w->exec.get();
     // The cursor advances before the busy-time hooks run, so a hook
     // that reads an exec getter (re-entering sync) sees each entry
-    // applied exactly once. Counter effects are pure increments; the
-    // RNG is settled only at commit/invalidation (nothing reads it
-    // while the window is open — all of the exec's CTAs are inside).
-    while (w->committed < w->log.size() &&
-           w->log[w->committed].tick <= now) {
-        const MacroLogEntry &e = w->log[w->committed];
-        ++w->committed;
-        exec->tasksCompleted_ += e.k;
+    // applied exactly once; the loop re-reads window_ every iteration
+    // in case a hook tears the window down. Counter effects are pure
+    // increments; each participant's RNG is settled only at
+    // commit/invalidation (nothing reads it while the window is open
+    // — all of every participant's CTAs are inside).
+    while (window_ && window_->committed < window_->log.size() &&
+           window_->log[window_->committed].tick <= now) {
+        MacroWindow &w = *window_;
+        const MacroLogEntry e = w.log[w.committed];
+        ++w.committed;
+        KernelExec *exec =
+            w.parts[static_cast<std::size_t>(e.part)].exec.get();
+        dev_.accountBusy(*exec, e.sm, e.begin, e.tick);
+        if (e.baseLeft == 0) {
+            exec->tasksCompleted_ += e.k;
+            ++fastChunks_;
+        }
         if (e.launchedK >= 0) {
             exec->tasksClaimed_ += e.launchedK;
             exec->pollCount_ += 1;
         }
-        ++fastChunks_;
-        dev_.accountBusy(*exec, e.sm, e.begin, e.tick);
     }
 }
 
 void
-MacroStepEngine::sync(KernelExec *exec)
+MacroStepEngine::sync(KernelExec *)
 {
-    auto it = execs_.find(exec);
-    if (it == execs_.end() || !it->second.window)
-        return;
-    syncTo(it->second, dev_.sim().now());
+    if (window_)
+        syncTo(dev_.sim().now());
 }
 
 void
 MacroStepEngine::syncAll()
 {
-    for (auto &[exec, st] : execs_) {
-        if (st.window)
-            syncTo(st, dev_.sim().now());
-    }
+    if (window_)
+        syncTo(dev_.sim().now());
 }
 
 void
 MacroStepEngine::invalidate(KernelExec *exec)
 {
-    auto it = execs_.find(exec);
-    if (it == execs_.end() || !it->second.window)
-        return;
-    invalidateState(exec, it->second);
+    if (window_ && exec->macroWindow_ == window_.get())
+        invalidateWindow();
 }
 
 void
 MacroStepEngine::invalidateAll()
 {
-    for (auto &[exec, st] : execs_) {
-        if (st.window)
-            invalidateState(exec, st);
-    }
+    if (window_)
+        invalidateWindow();
 }
 
 void
-MacroStepEngine::invalidateState(KernelExec *exec, ExecState &st)
+MacroStepEngine::invalidateWindow()
 {
-    MacroWindow &w = *st.window;
     const Tick now = dev_.sim().now();
     ++invalidations_;
 
-    const bool pending = dev_.sim().events().deschedule(w.commitEv);
+    const bool pending =
+        dev_.sim().events().deschedule(window_->commitEv);
     FLEP_ASSERT(pending, "macro commit event fired with window open");
 
     // Everything at or before the interruption tick has happened.
-    syncTo(st, now);
+    syncTo(now);
 
-    // Settle the exec RNG at the committed prefix by replaying the
-    // prefix's draws from the window-open snapshot (each draw's k is
-    // in the log); later virtual draws never happened.
+    MacroWindow &w = *window_;
+
+    // Settle each participant's RNG at the committed prefix by
+    // replaying the prefix's draws from the window-open snapshots in
+    // one pass over the log (each draw's k and owner are in its
+    // entry); later virtual draws never happened.
     {
-        const KernelLaunchDesc &desc = exec->desc_;
-        Rng r = w.rngAtOpen;
+        std::vector<Rng> rngs;
+        rngs.reserve(w.parts.size());
+        for (const auto &mp : w.parts)
+            rngs.push_back(mp.rngAtOpen);
         for (std::size_t i = 0; i < w.committed; ++i) {
-            if (w.log[i].launchedK >= 0)
-                (void)desc.cost.sampleChunk(w.log[i].launchedK, r);
+            const MacroLogEntry &e = w.log[i];
+            if (e.launchedK >= 0) {
+                const std::size_t p =
+                    static_cast<std::size_t>(e.part);
+                (void)w.parts[p].exec->desc_.cost.sampleChunk(
+                    e.launchedK, rngs[p]);
+            }
         }
-        exec->rng_ = r;
+        for (std::size_t i = 0; i < w.parts.size(); ++i)
+            w.parts[i].exec->rng_ = rngs[i];
     }
 
-    // Chunks launched at or before now that complete later are still
-    // in flight; later virtual launches never happened.
-    std::vector<ChunkFlight> inflight;
+    // Segments that began at or before now and complete later are
+    // still in flight; later virtual activity never happened. Each
+    // CTA contributes exactly one: a chunk's segments chain
+    // begin == previous tick, so only the first uncommitted entry of
+    // a CTA can have begin <= now.
+    std::vector<std::pair<ChunkFlight, std::shared_ptr<KernelExec>>>
+        inflight;
     for (std::size_t i = w.committed; i < w.log.size(); ++i) {
-        if (w.log[i].begin <= now)
-            inflight.push_back(w.log[i].flight());
+        if (w.log[i].begin <= now) {
+            inflight.emplace_back(
+                w.log[i].flight(),
+                w.parts[static_cast<std::size_t>(w.log[i].part)].exec);
+        }
     }
-    for (const auto &f : w.remnant) {
-        if (f.begin <= now)
-            inflight.push_back(f);
+    for (const auto &[f, part] : w.remnant) {
+        if (f.begin <= now) {
+            inflight.emplace_back(
+                f, w.parts[static_cast<std::size_t>(part)].exec);
+        }
     }
 
-    // Only the close boundary leaves its CTA without a next chunk; if
-    // it was committed (the invalidator shares its tick), give that
-    // CTA a real continuation event.
+    // Only the close boundary leaves its CTA without a next segment;
+    // if it was committed (the invalidator shares its tick), give
+    // that CTA a real continuation event.
     const bool stop_committed = w.committed == w.log.size();
-    std::shared_ptr<KernelExec> exec_shared = w.exec;
+    std::shared_ptr<KernelExec> stop_exec =
+        w.parts[static_cast<std::size_t>(w.stopPart)].exec;
     const SmId stop_sm = w.stopSm;
 
-    exec->macroWindow_ = nullptr;
-    st.window.reset();
+    for (const auto &mp : w.parts)
+        mp.exec->macroWindow_ = nullptr;
+    window_.reset();
 
-    materialize(exec_shared, std::move(inflight));
+    materialize(std::move(inflight));
     if (stop_committed) {
         dev_.sim().events().schedule(
-            now, [this, exec_shared, stop_sm]() {
-                dev_.persistentIterate(exec_shared, stop_sm, false);
+            now, [this, stop_exec, stop_sm]() {
+                dev_.persistentIterate(stop_exec, stop_sm, false);
             });
     }
 }
 
 void
-MacroStepEngine::materialize(const std::shared_ptr<KernelExec> &exec,
-                             std::vector<ChunkFlight> flights)
+MacroStepEngine::flushSeeds()
 {
-    // Ascending launch order: completion events at equal ticks must
-    // fire in the order the slow path would have scheduled them.
-    std::sort(flights.begin(), flights.end(), orderBefore);
-    for (const ChunkFlight &f : flights) {
+    if (seeds_.empty())
+        return;
+    std::vector<std::pair<ChunkFlight, std::shared_ptr<KernelExec>>>
+        seeds = std::move(seeds_);
+    seeds_.clear();
+    materialize(std::move(seeds));
+}
+
+void
+MacroStepEngine::materialize(
+    std::vector<std::pair<ChunkFlight, std::shared_ptr<KernelExec>>>
+        flights)
+{
+    // Ascending schedule order, across execs: completion events at
+    // equal ticks must fire in the order the slow path would have
+    // scheduled them, and event ids are issued globally.
+    std::sort(flights.begin(), flights.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first.order < b.first.order;
+              });
+    for (auto &[f, exec] : flights) {
         ChunkFlight real = f;
-        real.ev = dev_.sim().events().schedule(f.end, [this, exec,
-                                                       f]() {
-            // A fast-path-launched chunk completing on the slow path:
-            // mirror the persistent completion callback exactly.
-            unregisterFlight(exec.get(), f.first);
-            ++slowChunks_;
-            dev_.accountBusy(*exec, f.sm, f.begin, dev_.sim().now());
-            exec->tasksCompleted_ += f.k;
-            GpuDevice::runTaskHook(*exec, f.first, f.k);
-            dev_.persistentIterate(exec, f.sm, false);
-        });
+        if (f.baseLeft == 0) {
+            // The chunk's last segment: mirror the slow-path segment
+            // event with its completion continuation.
+            real.ev = dev_.sim().events().schedule(
+                f.end, [this, exec = exec, f]() {
+                    dev_.accountBusy(*exec, f.sm, f.begin,
+                                     dev_.sim().now());
+                    dev_.persistentChunkDone(exec, f.sm, f.k, f.first);
+                });
+        } else {
+            // Mid-chunk: account this segment, then hand the rest of
+            // the chunk back to the live slow-path segment machinery
+            // (which re-reads residency per quantum, as it must once
+            // the window's assumptions no longer hold).
+            real.ev = dev_.sim().events().schedule(
+                f.end, [this, exec = exec, f]() {
+                    dev_.accountBusy(*exec, f.sm, f.begin,
+                                     dev_.sim().now());
+                    dev_.resumeChunkSegments(exec, f.sm, f.baseLeft,
+                                             f.k, f.first);
+                });
+        }
         real.order = real.ev;
-        registerFlight(exec.get(), real);
+        const bool inserted = stateFor(exec.get())
+                                  .flights.emplace(real.first, real)
+                                  .second;
+        FLEP_ASSERT(inserted, "duplicate chunk flight for task ",
+                    real.first);
     }
 }
 
 void
-MacroStepEngine::commit(KernelExec *exec)
+MacroStepEngine::commit()
 {
-    auto it = execs_.find(exec);
-    FLEP_ASSERT(it != execs_.end() && it->second.window,
-                "macro commit without an open window");
-    ExecState &st = it->second;
-    MacroWindow &w = *st.window;
+    FLEP_ASSERT(window_, "macro commit without an open window");
+    MacroWindow &w = *window_;
     FLEP_ASSERT(dev_.sim().now() == w.closeTick,
                 "macro commit fired off its close boundary");
 
-    syncTo(st, w.closeTick);
+    syncTo(w.closeTick);
     FLEP_ASSERT(w.committed == w.log.size(),
                 "macro log not fully committed at close");
-    exec->rng_ = w.rngAtClose;
+    for (auto &mp : w.parts)
+        mp.exec->rng_ = mp.rngAtClose;
     for (const auto &[sm_id, epoch] : w.smEpochs) {
         FLEP_ASSERT(dev_.sms_[static_cast<std::size_t>(sm_id)]
                             .residencyEpoch() == epoch,
                     "SM residency changed under an open macro window");
     }
 
-    std::shared_ptr<KernelExec> exec_shared = w.exec;
+    std::shared_ptr<KernelExec> stop_exec =
+        w.parts[static_cast<std::size_t>(w.stopPart)].exec;
     const SmId stop_sm = w.stopSm;
-    st.seeds = std::move(w.remnant);
-    exec->macroWindow_ = nullptr;
-    st.window.reset();
+    seeds_.reserve(w.remnant.size());
+    for (const auto &[f, part] : w.remnant) {
+        seeds_.emplace_back(
+            f, w.parts[static_cast<std::size_t>(part)].exec);
+    }
+    for (const auto &mp : w.parts)
+        mp.exec->macroWindow_ = nullptr;
+    window_.reset();
 
     if (TraceRecorder *tr = dev_.sim().tracer()) {
         tr->counter(dev_.tracePid(), 0, "macro-fast-chunks",
@@ -555,7 +713,7 @@ MacroStepEngine::commit(KernelExec *exec)
     // seeds) or tryOpenWindow declines, materializes the seeds and
     // the slow path takes over — including the k == 0 retire once
     // the task pool has drained.
-    dev_.persistentIterate(exec_shared, stop_sm, false);
+    dev_.persistentIterate(stop_exec, stop_sm, false);
 }
 
 } // namespace flep

@@ -3,27 +3,37 @@
  * Macro-stepped persistent-CTA execution: the event-coalescing fast
  * path.
  *
- * A persistent kernel running alone on its SMs is analytically
- * predictable: the contention factor is constant, the preemption flag
- * is quiescently zero, and every iteration is poll -> claim -> chunk.
- * The engine exploits this by simulating many chunk completions across
- * *all* CTAs of an execution inside one real event (a "window"),
- * drawing the same per-chunk RNG samples the slow path would draw, in
- * the same global order, and deferring the state updates into a log
- * that is committed when simulated time actually reaches each
- * boundary.
+ * A stable co-run phase is analytically predictable: every resident
+ * exec is persistent-mode with a quiescently-zero preemption flag, the
+ * hardware scheduler has no pending batches, and each SM's resident
+ * set — hence its contention factor — is fixed. The engine exploits
+ * this by opening one *device-level joint window* that simulates many
+ * chunk (and, on shared SMs, time-quantum) completions across all CTAs
+ * of all resident execs inside one real event, drawing each exec's
+ * per-chunk RNG samples in the same global order the slow path would,
+ * and deferring the state updates into a log that is committed when
+ * simulated time actually reaches each boundary.
  *
  * Bit-identicality hinges on replaying EventQueue semantics exactly:
- * the slow path interleaves the chunks of different CTAs by
- * (completion tick, event id), and the per-exec RNG is shared by all
- * CTAs, so the window runs a miniature event loop ordered by
- * (end tick, launch order) — the same total order the real queue
- * would produce. Anything that could change the inputs (a preemption
- * flag write, a new launch batch, a CTA dispatch) invalidates the
- * window: the committed prefix up to the interruption tick is applied
- * and the still-in-flight chunks are re-materialized as ordinary
- * events, after which simulation proceeds on the slow path — from the
- * precomputed per-chunk boundary, with identical state.
+ * the slow path interleaves the segments of different CTAs — across
+ * execs — by (completion tick, event id), and each exec's RNG is
+ * shared by all its CTAs, so the window runs a miniature cross-exec
+ * event loop ordered by (end tick, launch order) with one global
+ * order counter mirroring the event ids the real queue would have
+ * issued. On SMs hosting more than one exec the slow path slices each
+ * chunk into contention time quanta, each its own event with its own
+ * busy-interval record; the virtual loop therefore advances at
+ * *segment* granularity and logs one entry per quantum boundary.
+ *
+ * Anything that could change the inputs — a participant's preemption
+ * flag write (including resilience evictions, which go through
+ * setFlag), a new launch batch, a CTA dispatch — invalidates the
+ * window: the committed prefix up to the interruption tick is applied,
+ * every participant's RNG is settled by replaying the prefix's draws,
+ * and each participant's still-in-flight segments are re-materialized
+ * as ordinary events, after which simulation proceeds on the slow
+ * path — from the precomputed per-segment boundary, with identical
+ * state.
  *
  * See docs/perf.md for the invariants and the invalidation protocol.
  */
@@ -34,6 +44,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/random.hh"
@@ -47,44 +58,52 @@ class GpuDevice;
 class KernelExec;
 
 /**
- * One in-flight persistent chunk: a single-segment (uniform-residency)
- * task chunk whose completion tick was fixed when it was launched.
- * Real flights have a scheduled completion event; flights inside a
- * window are virtual (ev == 0) and ordered by `order`, which mirrors
- * the event ids the slow path would have issued.
+ * One in-flight persistent chunk *segment*: the slice of a task chunk
+ * whose completion tick was fixed when the segment was scheduled. On a
+ * single-resident SM the segment is the whole chunk (baseLeft == 0);
+ * on a shared SM it is one contention quantum and baseLeft holds the
+ * base cost still to run after it. Real flights have a scheduled
+ * completion event; flights inside a window are virtual (ev == 0) and
+ * ordered by `order`, which mirrors the event ids the slow path would
+ * have issued.
  */
 struct ChunkFlight
 {
     SmId sm = -1;
     EventId ev = 0;           //!< completion event; 0 while virtual
-    std::uint64_t order = 0;  //!< FIFO tie-break (launch order)
-    Tick begin = 0;           //!< launch tick (chunk start)
-    Tick end = 0;             //!< completion tick
-    long k = 0;               //!< tasks in the chunk
+    std::uint64_t order = 0;  //!< FIFO tie-break (schedule order)
+    Tick begin = 0;           //!< segment start tick
+    Tick end = 0;             //!< segment completion tick
+    Tick baseLeft = 0;        //!< base cost remaining after this segment
+    long k = 0;               //!< tasks in the owning chunk
     long first = 0;           //!< first task index (unique per chunk)
 };
 
 /**
- * Deferred effects of one chunk boundary inside a window: the chunk
- * that completed and, when its CTA immediately launched another, that
- * next chunk's task count. Counter updates are pure increments
- * (+flight.k completed; +launchedK claimed, +1 poll), so committing a
- * prefix needs no state snapshots; the RNG is reconstructed lazily
- * (see MacroWindow::rngAtOpen). Keeping this entry small matters: one
- * is written and read back per coalesced chunk, and its size showed
- * up directly in the fast path's per-chunk cost.
+ * Deferred effects of one segment boundary inside a window: the
+ * busy interval always; the chunk-completion counters when the segment
+ * was the chunk's last (baseLeft == 0); and, when its CTA immediately
+ * launched another chunk, that next chunk's task count. Counter
+ * updates are pure increments (+k completed; +launchedK claimed,
+ * +1 poll), so committing a prefix needs no state snapshots; each
+ * participant's RNG is reconstructed lazily (see
+ * MacroParticipant::rngAtOpen). Keeping this entry small matters: one
+ * is written and read back per coalesced segment, and its size showed
+ * up directly in the fast path's per-segment cost.
  */
 struct MacroLogEntry
 {
-    Tick tick = 0;        //!< boundary tick (== the chunk's end)
-    Tick begin = 0;       //!< the chunk's launch tick
+    Tick tick = 0;        //!< boundary tick (== the segment's end)
+    Tick begin = 0;       //!< the segment's start tick
+    Tick baseLeft = 0;    //!< chunk base cost remaining after it
     long first = 0;       //!< the chunk's first task index
-    std::uint64_t order = 0; //!< the chunk's launch order
+    std::uint64_t order = 0; //!< the segment's schedule order
     SmId sm = -1;
-    std::int32_t k = 0;   //!< tasks in the completing chunk
+    std::int16_t part = 0; //!< participant index into MacroWindow
+    std::int32_t k = 0;   //!< tasks in the owning chunk
     std::int32_t launchedK = -1; //!< follow-up chunk tasks; -1 if none
 
-    /** The completing chunk, reconstructed (for materialization). */
+    /** The in-flight segment, reconstructed (for materialization). */
     ChunkFlight
     flight() const
     {
@@ -93,42 +112,53 @@ struct MacroLogEntry
         f.order = order;
         f.begin = begin;
         f.end = tick;
+        f.baseLeft = baseLeft;
         f.k = k;
         f.first = first;
         return f;
     }
 };
 
-/** An open coalescing window for one execution. */
-struct MacroWindow
+/** One exec taking part in a joint window. */
+struct MacroParticipant
 {
     std::shared_ptr<KernelExec> exec;
-    Tick openTick = 0;
-    Tick closeTick = 0;
-    EventId commitEv = 0;       //!< the single real (cancellable) event
-    std::vector<MacroLogEntry> log;
-    std::size_t committed = 0;  //!< log prefix already applied
-    /** Chunks still in flight at closeTick, ascending `order`. */
-    std::vector<ChunkFlight> remnant;
-    SmId stopSm = -1;           //!< CTA that hit the stop condition
-    /** Residency epochs of the involved SMs at open (safety check). */
-    std::vector<std::pair<SmId, std::uint64_t>> smEpochs;
     /**
-     * The exec RNG right after the entering CTA's live draw. The
-     * virtual draws of a committed prefix are replayed from here on
-     * invalidation (their chunk sizes are in the log), instead of
-     * snapshotting the RNG into every entry.
+     * The exec RNG at window open (for the exec entering the window,
+     * right after its live draw). The virtual draws of a committed
+     * prefix are replayed from here on invalidation (their chunk sizes
+     * are in the log), instead of snapshotting the RNG into every
+     * entry.
      */
     Rng rngAtOpen{0};
     /** The exec RNG after every virtual draw; installed at commit. */
     Rng rngAtClose{0};
 };
 
+/** The device's open joint coalescing window. */
+struct MacroWindow
+{
+    /** Every resident exec, in dispatch (deterministic) order. */
+    std::vector<MacroParticipant> parts;
+    Tick openTick = 0;
+    Tick closeTick = 0;
+    EventId commitEv = 0;       //!< the single real (cancellable) event
+    std::vector<MacroLogEntry> log;
+    std::size_t committed = 0;  //!< log prefix already applied
+    /** Segments still in flight at closeTick with their participant
+     *  index, ascending `order`. */
+    std::vector<std::pair<ChunkFlight, int>> remnant;
+    int stopPart = -1;          //!< participant that hit the stop
+    SmId stopSm = -1;           //!< its CTA's SM
+    /** Residency epochs of the involved SMs at open (safety check). */
+    std::vector<std::pair<SmId, std::uint64_t>> smEpochs;
+};
+
 /**
- * Per-device engine owning the chunk-flight registry, the open
- * windows, and the fast/slow statistics. GpuDevice drives it from
- * persistentIterate (tryOpenWindow), the slow-path chunk bookkeeping
- * (registerFlight / unregisterFlight / countSlowChunk), and the
+ * Per-device engine owning the segment-flight registry, the joint
+ * window, and the fast/slow statistics. GpuDevice drives it from
+ * persistentIterate (tryOpenWindow), the slow-path segment bookkeeping
+ * (noteSegment / unregisterFlight / countSlowChunk), and the
  * invalidation hooks (flag writes, scheduler enqueue, CTA dispatch).
  */
 class MacroStepEngine
@@ -140,30 +170,39 @@ class MacroStepEngine
     long budget() const { return budget_; }
     void setBudget(long budget) { budget_ = budget; }
 
-    /** Slow path launched a single-segment persistent chunk. */
-    void registerFlight(KernelExec *exec, const ChunkFlight &flight);
+    /**
+     * Slow path scheduled one segment of a warm persistent chunk:
+     * record (or update) the chunk's in-flight segment so a later
+     * window can absorb it mid-chunk. Called once per quantum; the
+     * per-chunk entry is keyed by the chunk's first task index.
+     */
+    void noteSegment(KernelExec *exec, long first, long k, SmId sm,
+                     Tick begin, Tick end, Tick base_left, EventId ev);
 
     /** A chunk completed (or was absorbed); drop its registry entry. */
     void unregisterFlight(KernelExec *exec, long first);
 
     /**
      * Attempt to coalesce: called at the top of a (warm) persistent
-     * iteration. When eligible, absorbs every sibling in-flight chunk,
-     * simulates up to budget() chunk launches virtually, schedules the
-     * commit event, and returns true — the caller must not run the
-     * slow-path iteration. Returns false when ineligible (after
-     * materializing any pending seed flights).
+     * iteration. When eligible, absorbs every in-flight segment of
+     * every resident exec, simulates up to budget() chunk launches
+     * virtually across all of them, schedules the commit event, and
+     * returns true — the caller must not run the slow-path iteration.
+     * Returns false when ineligible (after materializing any pending
+     * seed flights).
      */
     bool tryOpenWindow(const std::shared_ptr<KernelExec> &exec, SmId sm);
 
     /**
      * Commit the open window's prefix with boundary ticks <= now and
      * convert the rest back into ordinary events. Called whenever the
-     * window's assumptions break (flag write, enqueue, dispatch).
+     * window's assumptions break (flag write, enqueue, dispatch). A
+     * non-participant exec is a no-op — its flag is never polled by
+     * any window CTA.
      */
     void invalidate(KernelExec *exec);
 
-    /** Invalidate every open window on the device. */
+    /** Invalidate the joint window, if open. */
     void invalidateAll();
 
     /**
@@ -174,7 +213,7 @@ class MacroStepEngine
      */
     void sync(KernelExec *exec);
 
-    /** sync() every open window. */
+    /** sync() the joint window (all participants share one log). */
     void syncAll();
 
     /** Slow-path chunk completed (statistics). */
@@ -195,35 +234,57 @@ class MacroStepEngine
     /** Windows torn down before their commit event fired. */
     std::uint64_t invalidations() const { return invalidations_; }
 
+    /** Fraction of chunks that completed inside a window (0 if none). */
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = fastChunks_ + slowChunks_;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(fastChunks_) /
+                         static_cast<double>(total);
+    }
+
   private:
     struct ExecState
     {
-        /** Real in-flight chunks, keyed by first task index. */
+        /** Real in-flight segments, keyed by chunk first task index. */
         std::unordered_map<long, ChunkFlight> flights;
-        /** Virtual flights carried over from a just-committed window,
-         *  offered to the immediately following tryOpenWindow. */
-        std::vector<ChunkFlight> seeds;
-        std::unique_ptr<MacroWindow> window;
     };
 
     /** Apply log entries with tick <= now; reentrancy-safe. */
-    void syncTo(ExecState &st, Tick now);
+    void syncTo(Tick now);
 
-    /** Schedule real completion events for `flights` (ascending
-     *  order), registering each as a normal in-flight chunk. */
-    void materialize(const std::shared_ptr<KernelExec> &exec,
-                     std::vector<ChunkFlight> flights);
+    /** Schedule real completion events for `flights` (sorted into
+     *  ascending order here), registering each as a normal in-flight
+     *  segment. */
+    void materialize(
+        std::vector<std::pair<ChunkFlight,
+                              std::shared_ptr<KernelExec>>> flights);
+
+    /** Materialize every pending seed flight (decline path). */
+    void flushSeeds();
 
     /** The commit event's body. */
-    void commit(KernelExec *exec);
+    void commit();
 
-    void invalidateState(KernelExec *exec, ExecState &st);
+    void invalidateWindow();
 
     ExecState &stateFor(KernelExec *exec) { return execs_[exec]; }
 
     GpuDevice &dev_;
     long budget_ = 0;
     std::unordered_map<KernelExec *, ExecState> execs_;
+    /**
+     * Virtual flights carried over from a just-committed window,
+     * ascending `order`, offered to the immediately following
+     * tryOpenWindow. They exist only inside the synchronous
+     * commit -> persistentIterate call chain: the chained open either
+     * re-absorbs them or flushSeeds() turns them into real events.
+     */
+    std::vector<std::pair<ChunkFlight, std::shared_ptr<KernelExec>>>
+        seeds_;
+    std::unique_ptr<MacroWindow> window_;
 
     std::uint64_t fastChunks_ = 0;
     std::uint64_t slowChunks_ = 0;

@@ -33,6 +33,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -109,64 +110,46 @@ getString(std::istream &is, std::string &s, std::uint32_t max_len)
 /** Sanity ceiling on per-string length: trace names are short. */
 constexpr std::uint32_t kMaxStringLen = 1u << 20;
 
+/** Resident window while streaming with no explicit ring capacity:
+ *  16 segments = 64 Ki records (~1.5 MiB plus argument arenas). */
+constexpr std::size_t kDefaultStreamChunks = 16;
+
+constexpr const char *kRecPartSuffix = ".recs.part";
+constexpr const char *kArgPartSuffix = ".args.part";
+
+/** Copy a part-file's bytes into the composed stream. Inserting an
+ *  empty rdbuf sets failbit, so empty parts are skipped. */
+bool
+appendFile(std::ostream &os, const std::string &part)
+{
+    std::ifstream is(part, std::ios::binary);
+    if (!is)
+        return false;
+    if (is.peek() != std::char_traits<char>::eof())
+        os << is.rdbuf();
+    return static_cast<bool>(os);
+}
+
 } // namespace
 
-bool
-TraceRecorder::writeBinFile(const std::string &path) const
+/**
+ * Shared serialization pieces: writeBinFile() and the streaming
+ * spill/compose path must encode entries and tables identically, or
+ * a streamed file would not be byte-identical to a buffered one.
+ */
+struct TraceBinIo
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        return false;
-
-    putBytes(os, kMagic, sizeof(kMagic));
-    putLe<std::uint32_t>(os, kFlepbinVersion);
-    putLe<std::uint32_t>(os, 0); // flags
-
-    putLe<std::uint64_t>(os, nameTable_.size());
-    for (const std::string &name : nameTable_)
-        putString(os, name);
-
-    putLe<std::uint64_t>(os, tracks_.size());
-    for (const Track &t : tracks_) {
-        putLe<std::int32_t>(os, t.pid);
-        putLe<std::int32_t>(os, t.tid);
-        putLe<std::uint16_t>(os, t.nameId);
-        putLe<std::uint8_t>(os, t.isCounter ? 1 : 0);
-        putLe<std::uint8_t>(os, 0);
-    }
-
-    putLe<std::uint64_t>(os, baseCursors_.size());
-    for (const auto &[track, tick] : baseCursors_) {
-        putLe<std::uint32_t>(os, track);
-        putLe<std::uint64_t>(os, tick);
-    }
-
-    putLe<std::uint64_t>(os, processNames_.size());
-    for (const auto &[pid, name] : processNames_) {
-        putLe<std::int32_t>(os, pid);
-        putString(os, name);
-    }
-
-    putLe<std::uint64_t>(os, threadNames_.size());
-    for (const auto &[key, name] : threadNames_) {
-        putLe<std::int32_t>(os, key.first);
-        putLe<std::int32_t>(os, key.second);
-        putString(os, name);
-    }
-
-    putLe<std::uint64_t>(os, argCount_);
-    putLe<std::uint64_t>(os, argFloor_);
-    for (std::uint64_t i = argFloor_; i < argCount_; ++i) {
-        const PackedTraceArg &a = argAt(i);
+    static void
+    putArg(std::ostream &os, const PackedTraceArg &a)
+    {
         putLe<std::uint64_t>(os, a.bits);
         putLe<std::uint16_t>(os, a.key);
         putLe<std::uint8_t>(os, a.kind);
     }
 
-    putLe<std::uint64_t>(os, recCount_);
-    putLe<std::uint64_t>(os, recFloor_);
-    for (std::uint64_t i = recFloor_; i < recCount_; ++i) {
-        const TraceRecord &r = recordAt(i);
+    static void
+    putRecord(std::ostream &os, const TraceRecord &r)
+    {
         putLe<std::uint64_t>(os, r.tickDelta);
         const std::uint64_t payload = r.ph == 'C'
             ? std::bit_cast<std::uint64_t>(r.payload.value)
@@ -179,8 +162,192 @@ TraceRecorder::writeBinFile(const std::string &path) const
         putLe<std::uint8_t>(os, r.ph);
     }
 
+    /** Everything ahead of the args section. A composed stream file
+     *  carries all records from floor 0, so it writes no base
+     *  cursors — exactly like a recorder that never evicted. */
+    static void
+    writeHeaderAndTables(const TraceRecorder &tr, std::ostream &os,
+                         bool with_base_cursors)
+    {
+        putBytes(os, kMagic, sizeof(kMagic));
+        putLe<std::uint32_t>(os, kFlepbinVersion);
+        putLe<std::uint32_t>(os, 0); // flags
+
+        putLe<std::uint64_t>(os, tr.nameTable_.size());
+        for (const std::string &name : tr.nameTable_)
+            putString(os, name);
+
+        putLe<std::uint64_t>(os, tr.tracks_.size());
+        for (const TraceRecorder::Track &t : tr.tracks_) {
+            putLe<std::int32_t>(os, t.pid);
+            putLe<std::int32_t>(os, t.tid);
+            putLe<std::uint16_t>(os, t.nameId);
+            putLe<std::uint8_t>(os, t.isCounter ? 1 : 0);
+            putLe<std::uint8_t>(os, 0);
+        }
+
+        putLe<std::uint64_t>(
+            os, with_base_cursors ? tr.baseCursors_.size() : 0);
+        if (with_base_cursors) {
+            for (const auto &[track, tick] : tr.baseCursors_) {
+                putLe<std::uint32_t>(os, track);
+                putLe<std::uint64_t>(os, tick);
+            }
+        }
+
+        putLe<std::uint64_t>(os, tr.processNames_.size());
+        for (const auto &[pid, name] : tr.processNames_) {
+            putLe<std::int32_t>(os, pid);
+            putString(os, name);
+        }
+
+        putLe<std::uint64_t>(os, tr.threadNames_.size());
+        for (const auto &[key, name] : tr.threadNames_) {
+            putLe<std::int32_t>(os, key.first);
+            putLe<std::int32_t>(os, key.second);
+            putString(os, name);
+        }
+    }
+};
+
+bool
+TraceRecorder::writeBinFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+
+    TraceBinIo::writeHeaderAndTables(*this, os, true);
+
+    putLe<std::uint64_t>(os, argCount_);
+    putLe<std::uint64_t>(os, argFloor_);
+    for (std::uint64_t i = argFloor_; i < argCount_; ++i)
+        TraceBinIo::putArg(os, argAt(i));
+
+    putLe<std::uint64_t>(os, recCount_);
+    putLe<std::uint64_t>(os, recFloor_);
+    for (std::uint64_t i = recFloor_; i < recCount_; ++i)
+        TraceBinIo::putRecord(os, recordAt(i));
+
     os.flush();
     return static_cast<bool>(os);
+}
+
+bool
+TraceRecorder::streamTo(const std::string &path,
+                        std::size_t resident_records)
+{
+    if (streaming()) {
+        warn("streamTo: already streaming to ", streamPath_);
+        return false;
+    }
+    if (recFloor_ != 0 || argFloor_ != 0) {
+        // The dropped prefix can never reach the spill files, so the
+        // composed file could not start at floor 0.
+        warn("streamTo: ring eviction already dropped records");
+        return false;
+    }
+    auto recs = std::make_unique<std::ofstream>(
+        path + kRecPartSuffix, std::ios::binary | std::ios::trunc);
+    auto args = std::make_unique<std::ofstream>(
+        path + kArgPartSuffix, std::ios::binary | std::ios::trunc);
+    if (!*recs || !*args) {
+        warn("streamTo: cannot open part-files next to ", path);
+        recs.reset();
+        args.reset();
+        std::remove((path + kRecPartSuffix).c_str());
+        std::remove((path + kArgPartSuffix).c_str());
+        return false;
+    }
+    streamPath_ = path;
+    streamRecs_ = std::move(recs);
+    streamArgs_ = std::move(args);
+    streamChunks_ = resident_records == 0
+        ? kDefaultStreamChunks
+        : (resident_records + kRecordsPerChunk - 1) / kRecordsPerChunk;
+    streamFailed_ = false;
+    return true;
+}
+
+void
+TraceRecorder::spillRecordChunk(const TraceRecord *recs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        TraceBinIo::putRecord(*streamRecs_, recs[i]);
+    if (!*streamRecs_)
+        streamFailed_ = true;
+}
+
+void
+TraceRecorder::spillArgChunk(const PackedTraceArg *args, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        TraceBinIo::putArg(*streamArgs_, args[i]);
+    if (!*streamArgs_)
+        streamFailed_ = true;
+}
+
+bool
+TraceRecorder::finishStream()
+{
+    if (!streaming()) {
+        warn("finishStream: no active stream");
+        return false;
+    }
+    streamRecs_->flush();
+    streamArgs_->flush();
+    bool ok = !streamFailed_ && *streamRecs_ && *streamArgs_;
+    streamRecs_.reset();
+    streamArgs_.reset();
+    const std::string path = streamPath_;
+    const std::string rec_part = path + kRecPartSuffix;
+    const std::string arg_part = path + kArgPartSuffix;
+    streamPath_.clear();
+    streamChunks_ = 0;
+    streamFailed_ = false;
+
+    // The spill files hold exactly [0, floor) of each section and the
+    // store holds [floor, count); concatenated they are the complete
+    // sections a never-evicting recorder would have written.
+    if (ok) {
+        std::ofstream os(path, std::ios::binary);
+        ok = static_cast<bool>(os);
+        if (ok) {
+            TraceBinIo::writeHeaderAndTables(*this, os, false);
+
+            putLe<std::uint64_t>(os, argCount_);
+            putLe<std::uint64_t>(os, 0);
+            ok = appendFile(os, arg_part);
+            for (std::uint64_t i = argFloor_; i < argCount_; ++i)
+                TraceBinIo::putArg(os, argAt(i));
+
+            putLe<std::uint64_t>(os, recCount_);
+            putLe<std::uint64_t>(os, 0);
+            ok = appendFile(os, rec_part) && ok;
+            for (std::uint64_t i = recFloor_; i < recCount_; ++i)
+                TraceBinIo::putRecord(os, recordAt(i));
+
+            os.flush();
+            ok = ok && static_cast<bool>(os);
+        }
+    }
+    if (!ok)
+        warn("finishStream: could not compose ", path);
+    std::remove(rec_part.c_str());
+    std::remove(arg_part.c_str());
+    return ok;
+}
+
+void
+TraceRecorder::abortStream()
+{
+    streamRecs_.reset();
+    streamArgs_.reset();
+    std::remove((streamPath_ + kRecPartSuffix).c_str());
+    std::remove((streamPath_ + kArgPartSuffix).c_str());
+    streamPath_.clear();
+    streamChunks_ = 0;
+    streamFailed_ = false;
 }
 
 bool

@@ -51,7 +51,11 @@ TraceRecorder::TraceRecorder(const EventQueue &clock)
     clock_ = &clock;
 }
 
-TraceRecorder::~TraceRecorder() = default;
+TraceRecorder::~TraceRecorder()
+{
+    if (streaming())
+        abortStream();
+}
 
 void
 TraceRecorder::setRingCapacity(std::size_t max_records)
@@ -122,7 +126,11 @@ TraceRecorder::trackOf(int pid, int tid, std::uint16_t counter_name)
 void
 TraceRecorder::growRecordChunk(std::uint64_t pending_arg_base)
 {
-    if (ringChunks_ != 0 && recChunks_.size() >= ringChunks_) {
+    // Streaming bounds residency like a ring does; an explicit ring
+    // capacity takes precedence (a tighter ring just spills earlier).
+    const std::size_t cap =
+        ringChunks_ != 0 ? ringChunks_ : streamChunks_;
+    if (cap != 0 && recChunks_.size() >= cap) {
         evictFrontChunk(pending_arg_base);
     } else {
         recChunks_.push_back(RecordChunk{
@@ -141,6 +149,8 @@ TraceRecorder::evictFrontChunk(std::uint64_t pending_arg_base)
     // still retained keep decoding to the same absolute ticks.
     RecordChunk front = std::move(recChunks_.front());
     recChunks_.pop_front();
+    if (streaming())
+        spillRecordChunk(front.recs.get(), kRecordsPerChunk);
     for (std::size_t i = 0; i < kRecordsPerChunk; ++i)
         baseCursors_[front.recs[i].track] += front.recs[i].tickDelta;
     recFloor_ += kRecordsPerChunk;
@@ -153,6 +163,8 @@ TraceRecorder::evictFrontChunk(std::uint64_t pending_arg_base)
         ? pending_arg_base
         : recChunks_.front().argBase;
     while (argFloor_ + kArgsPerChunk <= live_floor) {
+        if (streaming())
+            spillArgChunk(argChunks_.front().get(), kArgsPerChunk);
         argChunks_.pop_front();
         argFloor_ += kArgsPerChunk;
     }
@@ -365,6 +377,9 @@ TraceRecorder::liveEventCount() const
 void
 TraceRecorder::clear()
 {
+    // Dropping the records invalidates anything already spilled.
+    if (streaming())
+        abortStream();
     recChunks_.clear();
     argChunks_.clear();
     recCur_ = nullptr;
@@ -566,6 +581,15 @@ writeTraceFile(const TraceRecorder &tr, const std::string &path)
     if (TraceRecorder::looksLikeBinPath(path))
         return tr.writeBinFile(path);
     return tr.writeJsonFile(path);
+}
+
+bool
+writeTraceFile(TraceRecorder &tr, const std::string &path)
+{
+    if (tr.streaming() && tr.streamPath() == path)
+        return tr.finishStream();
+    return writeTraceFile(static_cast<const TraceRecorder &>(tr),
+                          path);
 }
 
 } // namespace flep

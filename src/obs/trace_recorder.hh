@@ -53,6 +53,7 @@
 #include <cstdint>
 #include <deque>
 #include <initializer_list>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -326,6 +327,41 @@ class TraceRecorder
     bool writeBinFile(const std::string &path) const;
 
     /**
+     * Begin streaming the binary trace to `path`: completed record
+     * and argument segments spill to sidecar part-files as they fill
+     * instead of accumulating in memory, keeping only the most recent
+     * `resident_records` (rounded up to whole segments; 0 picks a
+     * small default window) resident. finishStream() composes the
+     * final `.flepbin`, byte-identical to what writeBinFile() would
+     * have produced had everything been buffered, so readers need no
+     * changes. Must be called before any spill-worthy volume is
+     * recorded — specifically before ring eviction has dropped
+     * records — and composes with setRingCapacity(): a tighter ring
+     * just spills earlier. events()/writeJson() while streaming see
+     * only the resident window, like flight-recorder mode.
+     * @return false if streaming is already active, records were
+     * already dropped, or the part-files cannot be opened.
+     */
+    bool streamTo(const std::string &path,
+                  std::size_t resident_records = 0);
+
+    /**
+     * Close an active stream: spill what remains resident and compose
+     * the final `.flepbin` at the streamTo() path from the part-files
+     * (which are removed). The recorder keeps its resident window and
+     * can continue recording (flight-recorder style; a second
+     * streamTo() is not possible once records have been spilled).
+     * @return false on I/O error anywhere since streamTo().
+     */
+    bool finishStream();
+
+    /** True between a successful streamTo() and finishStream(). */
+    bool streaming() const { return streamRecs_ != nullptr; }
+
+    /** Destination of the active stream; empty when not streaming. */
+    const std::string &streamPath() const { return streamPath_; }
+
+    /**
      * Load a `.flepbin` file into this recorder, which must be empty
      * (freshly constructed). Recording may continue afterwards.
      * @return false on I/O, format or version error.
@@ -416,6 +452,9 @@ class TraceRecorder
 
     PackedTraceArg packArg(const TraceArg &arg);
     void evictFrontChunk(std::uint64_t pending_arg_base);
+    void spillRecordChunk(const TraceRecord *recs, std::size_t n);
+    void spillArgChunk(const PackedTraceArg *args, std::size_t n);
+    void abortStream();
     const TraceRecord &recordAt(std::uint64_t i) const;
     const PackedTraceArg &argAt(std::uint64_t i) const;
     std::string formatArgs(const PackedTraceArg *args,
@@ -441,6 +480,13 @@ class TraceRecorder
      *  records stay decodable after eviction. */
     std::map<std::uint32_t, Tick> baseCursors_;
 
+    // --- incremental streaming (streamTo/finishStream) --------------
+    std::string streamPath_;
+    std::unique_ptr<std::ofstream> streamRecs_; //!< spilled records
+    std::unique_ptr<std::ofstream> streamArgs_; //!< spilled args
+    std::size_t streamChunks_ = 0;   //!< resident window, segments
+    bool streamFailed_ = false;      //!< sticky spill I/O error
+
     // --- shared front-end state -------------------------------------
     std::vector<Track> tracks_;
     std::unordered_map<std::uint64_t, std::uint32_t> trackIndex_;
@@ -462,6 +508,14 @@ class TraceRecorder
  * FLEP_TRACE. @return false on I/O error.
  */
 bool writeTraceFile(const TraceRecorder &tr, const std::string &path);
+
+/**
+ * As above, but when `tr` is streaming to exactly `path`, finish the
+ * stream instead of writing from the (partial) resident window. Every
+ * harness exit point funnels through here, so enabling streaming
+ * never changes where the trace ends up.
+ */
+bool writeTraceFile(TraceRecorder &tr, const std::string &path);
 
 /** Escape a string for embedding in a JSON string literal. */
 std::string jsonEscape(const std::string &s);

@@ -360,6 +360,244 @@ TEST(MacroStep, BusyIntervalStreamIsIdentical)
     EXPECT_EQ(intervals(256), intervals(0));
 }
 
+/**
+ * A shared-SM co-run: two persistent kernels with explicit waves sized
+ * so every SM hosts CTAs of both (2 CTAs of A and 1 of B per SM).
+ * This is the joint-window workload: the slow path slices every chunk
+ * into contention quanta, and a window must absorb the CTAs of both
+ * execs and interleave their claims/draws in global event order.
+ */
+struct CoRunObserved
+{
+    std::vector<Tick> completionTick;
+    std::vector<long> tasksCompleted;
+    std::vector<Tick> busySlotNs;
+    std::vector<long> polls;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t fastChunks = 0;
+    std::uint64_t slowChunks = 0;
+    std::uint64_t invalidations = 0;
+
+    bool
+    operator==(const CoRunObserved &o) const
+    {
+        return completionTick == o.completionTick &&
+               tasksCompleted == o.tasksCompleted &&
+               busySlotNs == o.busySlotNs && polls == o.polls;
+    }
+};
+
+CoRunObserved
+coRunObserve(long budget, std::uint64_t seed, long tasks_a = 30000,
+             long tasks_b = 12000, double cv = 0.2,
+             const std::function<void(Simulation &, GpuDevice &,
+                                      std::shared_ptr<KernelExec>,
+                                      std::shared_ptr<KernelExec>)>
+                 &script = {})
+{
+    Simulation sim(seed);
+    GpuConfig cfg = GpuConfig::keplerK40();
+    cfg.macroStepMaxChunks = budget;
+    GpuDevice gpu(sim, cfg);
+    auto a = gpu.createExec(persistentDesc(tasks_a, 1000.0, 20, cv,
+                                           0.05));
+    auto b = gpu.createExec(persistentDesc(tasks_b, 1400.0, 15, cv,
+                                           0.08));
+    gpu.launchWave(a, 2L * cfg.numSms, cfg.kernelLaunchNs);
+    gpu.launchWave(b, cfg.numSms, cfg.kernelLaunchNs + 500);
+    if (script)
+        script(sim, gpu, a, b);
+    sim.run();
+    EXPECT_TRUE(a->complete());
+    EXPECT_TRUE(b->complete());
+
+    CoRunObserved o;
+    for (const auto &e : {a, b}) {
+        o.completionTick.push_back(e->completionTick());
+        o.tasksCompleted.push_back(e->tasksCompleted());
+        o.busySlotNs.push_back(e->busySlotTime());
+        o.polls.push_back(e->pollCount());
+    }
+    o.eventsExecuted = sim.events().executedCount();
+    o.windows = gpu.macroEngine().windows();
+    o.fastChunks = gpu.macroEngine().fastChunks();
+    o.slowChunks = gpu.macroEngine().slowChunks();
+    o.invalidations = gpu.macroEngine().invalidations();
+    return o;
+}
+
+TEST(MacroStep, JointWindowEngagesOnSharedSmCoRun)
+{
+    EnvGuard env;
+    const CoRunObserved o = coRunObserve(256, 1);
+    EXPECT_GT(o.windows, 0u);
+    // The steady state should coalesce the bulk of both kernels'
+    // chunks even though every SM hosts two execs.
+    EXPECT_GT(o.fastChunks, o.slowChunks);
+}
+
+TEST(MacroStep, CoRunBitIdenticalAcrossBudgetsAndSeeds)
+{
+    EnvGuard env;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const CoRunObserved ref = coRunObserve(0, seed);
+        EXPECT_EQ(ref.windows, 0u);
+        for (long budget : {1L, 7L, 256L, 2048L}) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + " budget " +
+                         std::to_string(budget));
+            EXPECT_EQ(coRunObserve(budget, seed), ref);
+        }
+    }
+}
+
+TEST(MacroStep, UniformCostCoRunBitIdentical)
+{
+    EnvGuard env;
+    const CoRunObserved ref = coRunObserve(0, 5, 30000, 12000, 0.0);
+    for (long budget : {1L, 256L, 2048L}) {
+        SCOPED_TRACE("budget " + std::to_string(budget));
+        EXPECT_EQ(coRunObserve(budget, 5, 30000, 12000, 0.0), ref);
+    }
+}
+
+TEST(MacroStep, CoRunCoalescingReducesEventCount)
+{
+    EnvGuard env;
+    const CoRunObserved slow = coRunObserve(0, 7);
+    const CoRunObserved fast = coRunObserve(2048, 7);
+    EXPECT_EQ(fast, slow);
+    EXPECT_LT(fast.eventsExecuted * 2, slow.eventsExecuted);
+}
+
+TEST(MacroStep, CoRunBusyIntervalStreamIsIdentical)
+{
+    // The joint window defers the per-quantum busy intervals of both
+    // execs; committing must replay the exact (exec, sm, begin, end)
+    // sequence the sliced slow path reports.
+    EnvGuard env;
+    auto intervals = [](long budget) {
+        Simulation sim(13);
+        GpuConfig cfg = GpuConfig::keplerK40();
+        cfg.macroStepMaxChunks = budget;
+        GpuDevice gpu(sim, cfg);
+        auto a = gpu.createExec(persistentDesc(6000, 1000.0, 10, 0.2,
+                                               0.05));
+        auto b = gpu.createExec(persistentDesc(3000, 1400.0, 8, 0.2,
+                                               0.08));
+        std::vector<std::tuple<int, SmId, Tick, Tick>> out;
+        gpu.onSlotBusyDetailed = [&](const KernelExec &e, SmId sm,
+                                     Tick bg, Tick en) {
+            out.emplace_back(&e == a.get() ? 0 : 1, sm, bg, en);
+        };
+        gpu.launchWave(a, 2L * cfg.numSms, cfg.kernelLaunchNs);
+        gpu.launchWave(b, cfg.numSms, cfg.kernelLaunchNs + 500);
+        sim.run();
+        return out;
+    };
+    EXPECT_EQ(intervals(2048), intervals(0));
+}
+
+TEST(MacroStep, CoRunFlagWritesInvalidateJointWindowsCleanly)
+{
+    // Preemption flags raised (and cleared) mid-run land inside open
+    // joint windows: prefix commit + RNG replay + re-materialization
+    // must leave both execs bit-identical to the slow path.
+    EnvGuard env;
+    auto script = [](Simulation &sim, GpuDevice &gpu,
+                     std::shared_ptr<KernelExec> a,
+                     std::shared_ptr<KernelExec> b) {
+        sim.events().schedule(400000, [&sim, a]() {
+            a->setFlag(sim.now(), 4); // spatial yield of SMs 0..3
+        });
+        sim.events().schedule(700000, [&sim, &gpu, a]() {
+            a->setFlag(sim.now(), 0);
+            gpu.launchWave(a, 8, gpu.config().kernelLaunchNs);
+        });
+        sim.events().schedule(1000000, [&sim, b]() {
+            b->setFlag(sim.now(), 2);
+        });
+        sim.events().schedule(1200000, [&sim, &gpu, b]() {
+            b->setFlag(sim.now(), 0);
+            gpu.launchWave(b, 4, gpu.config().kernelLaunchNs);
+        });
+    };
+    for (std::uint64_t seed : {21u, 22u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const CoRunObserved slow =
+            coRunObserve(0, seed, 40000, 20000, 0.2, script);
+        const CoRunObserved fast =
+            coRunObserve(256, seed, 40000, 20000, 0.2, script);
+        EXPECT_EQ(fast, slow);
+        EXPECT_GT(fast.windows, 0u);
+        EXPECT_GT(fast.invalidations, 0u);
+    }
+}
+
+TEST(MacroStep, CoRunMidRunReadsMatchSlowPath)
+{
+    EnvGuard env;
+    auto probe = [](long budget) {
+        Simulation sim(17);
+        GpuConfig cfg = GpuConfig::keplerK40();
+        cfg.macroStepMaxChunks = budget;
+        GpuDevice gpu(sim, cfg);
+        auto a = gpu.createExec(persistentDesc(30000, 1000.0, 20, 0.2,
+                                               0.05));
+        auto b = gpu.createExec(persistentDesc(12000, 1400.0, 15, 0.2,
+                                               0.08));
+        gpu.launchWave(a, 2L * cfg.numSms, cfg.kernelLaunchNs);
+        gpu.launchWave(b, cfg.numSms, cfg.kernelLaunchNs + 500);
+        std::vector<std::tuple<long, long, Tick, long>> samples;
+        for (Tick t = 50000; t <= 2000000; t += 50000) {
+            sim.runUntil(t);
+            for (const auto &e : {a, b}) {
+                samples.emplace_back(e->tasksCompleted(),
+                                     e->tasksUnclaimed(),
+                                     e->busySlotTime(),
+                                     e->pollCount());
+            }
+        }
+        sim.run();
+        for (const auto &e : {a, b}) {
+            samples.emplace_back(e->tasksCompleted(), 0,
+                                 e->busySlotTime(), e->pollCount());
+        }
+        return samples;
+    };
+    EXPECT_EQ(probe(256), probe(0));
+}
+
+TEST(MacroStep, ThreeWayCoRunStaysIdentical)
+{
+    // Uneven three-kernel mix: some SMs host three execs, some two —
+    // per-slot contention factors differ across the same window.
+    EnvGuard env;
+    auto run = [](long budget) {
+        Simulation sim(23);
+        GpuConfig cfg = GpuConfig::keplerK40();
+        cfg.macroStepMaxChunks = budget;
+        GpuDevice gpu(sim, cfg);
+        auto a = gpu.createExec(persistentDesc(20000, 900.0, 16, 0.2,
+                                               0.04));
+        auto b = gpu.createExec(persistentDesc(9000, 1300.0, 12, 0.2,
+                                               0.07));
+        auto c = gpu.createExec(persistentDesc(5000, 1700.0, 10, 0.2,
+                                               0.10));
+        gpu.launchWave(a, cfg.numSms, cfg.kernelLaunchNs);
+        gpu.launchWave(b, cfg.numSms, cfg.kernelLaunchNs + 300);
+        gpu.launchWave(c, 7, cfg.kernelLaunchNs + 600);
+        sim.run();
+        std::vector<std::tuple<Tick, long, Tick, long>> out;
+        for (const auto &e : {a, b, c}) {
+            out.emplace_back(e->completionTick(), e->tasksCompleted(),
+                             e->busySlotTime(), e->pollCount());
+        }
+        return out;
+    };
+    EXPECT_EQ(run(256), run(0));
+}
+
 TEST(MacroStep, TinyKernelsAndOddBudgetsStayIdentical)
 {
     // Edge geometry: fewer tasks than CTA slots, L larger than the

@@ -78,6 +78,17 @@ recordSampleStream(TraceRecorder &tr, EventQueue &q)
     tr.instant(2, 0, "tick");
 }
 
+/** Raw bytes of a file, for on-disk byte comparisons. */
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is) << "missing file " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
 /** Load one golden capture from tests/obs/golden/. */
 std::string
 goldenFile(const char *name)
@@ -280,6 +291,120 @@ TEST(TraceBinary, BinFileRoundTripsAfterRingEviction)
     std::remove(path.c_str());
 }
 
+TEST(TraceBinary, StreamedFileIsByteIdenticalToBufferedWrite)
+{
+    // The headline streaming guarantee: spilling completed segments
+    // during the run and composing at finishStream() produces the
+    // exact bytes writeBinFile() would have, so readers (fleptrace)
+    // need no changes.
+    EventQueue q;
+    TraceRecorder streamed(q);
+    TraceRecorder buffered(q);
+    const std::string spath = tmpBinPath("stream");
+    const std::string bpath = tmpBinPath("stream_ref");
+    ASSERT_TRUE(streamed.streamTo(spath, 4096)); // one-segment window
+    const auto name = [](TraceRecorder &tr) {
+        tr.setProcessName(1, "GPU");
+        tr.setThreadName(1, 0, "SM00");
+    };
+    name(streamed);
+    name(buffered);
+    constexpr int total = 3 * 4096 + 321;
+    for (int i = 0; i < total; ++i) {
+        q.schedule(q.now() + 5, []() {});
+        q.run();
+        streamed.instant(1, 0, "ev", {{"i", i}});
+        buffered.instant(1, 0, "ev", {{"i", i}});
+        if (i % 97 == 0) {
+            streamed.counter(1, 0, "depth", i);
+            buffered.counter(1, 0, "depth", i);
+        }
+    }
+    // Spilling must actually have happened for this to test anything.
+    ASSERT_LT(streamed.liveEventCount(), streamed.eventCount());
+    EXPECT_EQ(streamed.eventCount(), buffered.eventCount());
+    ASSERT_TRUE(streamed.streaming());
+    ASSERT_TRUE(streamed.finishStream());
+    EXPECT_FALSE(streamed.streaming());
+    ASSERT_TRUE(buffered.writeBinFile(bpath));
+    EXPECT_EQ(fileBytes(spath), fileBytes(bpath));
+
+    // The part-files are gone and the composed file loads to the full
+    // event stream, not just the resident window.
+    EXPECT_FALSE(std::ifstream(spath + ".recs.part").good());
+    EXPECT_FALSE(std::ifstream(spath + ".args.part").good());
+    TraceRecorder loaded;
+    ASSERT_TRUE(loaded.readBinFile(spath));
+    EXPECT_EQ(loaded.eventCount(), buffered.eventCount());
+    EXPECT_EQ(loaded.liveEventCount(), buffered.liveEventCount());
+    EXPECT_EQ(renderJson(loaded), renderJson(buffered));
+    std::remove(spath.c_str());
+    std::remove(bpath.c_str());
+}
+
+TEST(TraceBinary, StreamWithNoSpillMatchesBufferedWrite)
+{
+    // A run small enough to stay inside the resident window never
+    // touches the part-files; the composed file must still match.
+    // Separate queues: recordSampleStream advances its clock, so a
+    // shared queue would give the second recorder different deltas.
+    EventQueue q_s;
+    EventQueue q_b;
+    TraceRecorder streamed(q_s);
+    TraceRecorder buffered(q_b);
+    const std::string spath = tmpBinPath("stream_small");
+    const std::string bpath = tmpBinPath("stream_small_ref");
+    ASSERT_TRUE(streamed.streamTo(spath));
+    recordSampleStream(streamed, q_s);
+    recordSampleStream(buffered, q_b);
+    ASSERT_TRUE(streamed.finishStream());
+    ASSERT_TRUE(buffered.writeBinFile(bpath));
+    EXPECT_EQ(fileBytes(spath), fileBytes(bpath));
+    std::remove(spath.c_str());
+    std::remove(bpath.c_str());
+}
+
+TEST(TraceBinary, StreamToRejectsActiveStreamAndDroppedRecords)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    const std::string path = tmpBinPath("stream_rej");
+    ASSERT_TRUE(tr.streamTo(path));
+    EXPECT_FALSE(tr.streamTo(tmpBinPath("stream_rej2")));
+    tr.instant(1, 0, "ev");
+    ASSERT_TRUE(tr.finishStream());
+    std::remove(path.c_str());
+
+    // Once ring eviction has dropped records the prefix can never be
+    // spilled, so streaming must refuse to start.
+    TraceRecorder ringed(q);
+    ringed.setRingCapacity(1);
+    for (int i = 0; i < 2 * 4096 + 1; ++i)
+        ringed.instant(1, 0, "ev");
+    ASSERT_LT(ringed.liveEventCount(), ringed.eventCount());
+    EXPECT_FALSE(ringed.streamTo(tmpBinPath("stream_rej3")));
+}
+
+TEST(TraceBinary, ClearAbortsStreamAndRemovesPartFiles)
+{
+    EventQueue q;
+    TraceRecorder tr(q);
+    const std::string path = tmpBinPath("stream_clear");
+    ASSERT_TRUE(tr.streamTo(path, 4096));
+    for (int i = 0; i < 2 * 4096 + 1; ++i) // forces a spill
+        tr.instant(1, 0, "ev", {{"i", i}});
+    tr.clear();
+    EXPECT_FALSE(tr.streaming());
+    EXPECT_FALSE(std::ifstream(path + ".recs.part").good());
+    EXPECT_FALSE(std::ifstream(path + ".args.part").good());
+    // The recorder stays usable the ordinary buffered way.
+    tr.instant(1, 0, "after");
+    ASSERT_TRUE(tr.writeBinFile(path));
+    TraceRecorder loaded;
+    EXPECT_TRUE(loaded.readBinFile(path));
+    std::remove(path.c_str());
+}
+
 TEST(TraceBinary, RecordingContinuesAfterLoad)
 {
     const std::string path = tmpBinPath("continue");
@@ -459,6 +584,31 @@ TEST_F(TraceBinaryCoRun, RepeatedCoRunsRenderIdenticalJson)
     ASSERT_GT(first.eventCount(), 0u);
     ASSERT_EQ(first.eventCount(), second.eventCount());
     EXPECT_EQ(renderJson(first), renderJson(second));
+}
+
+TEST_F(TraceBinaryCoRun, StreamedCoRunTraceMatchesBufferedTrace)
+{
+    // End-to-end through the harness: CoRunConfig::streamTrace makes
+    // runCoRun stream to tracePath and finish the stream at its trace
+    // exit point; the file must match a buffered run byte for byte.
+    TraceRecorder buffered;
+    CoRunConfig cfg = preemptionCoRun();
+    cfg.tracer = &buffered;
+    runCoRun(*suite_, *artifacts_, cfg);
+    const std::string bpath = tmpBinPath("corun_buf");
+    ASSERT_TRUE(buffered.writeBinFile(bpath));
+
+    TraceRecorder streamed;
+    const std::string spath = tmpBinPath("corun_stream");
+    CoRunConfig scfg = preemptionCoRun();
+    scfg.tracer = &streamed;
+    scfg.tracePath = spath;
+    scfg.streamTrace = true;
+    runCoRun(*suite_, *artifacts_, scfg);
+    EXPECT_FALSE(streamed.streaming()); // the harness finished it
+    EXPECT_EQ(fileBytes(spath), fileBytes(bpath));
+    std::remove(spath.c_str());
+    std::remove(bpath.c_str());
 }
 
 TEST_F(TraceBinaryCoRun, CoRunBinFileConvertsToIdenticalJson)

@@ -5,6 +5,9 @@
  * transient-stall recovery, and load-driven migration.
  */
 
+#include <cstdlib>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hh"
@@ -314,6 +317,116 @@ TEST_F(ResilienceTest, RebalancerMigratesOffOverloadedDevice)
     EXPECT_NE(res.outcomes[0].device, res.outcomes[1].device);
     EXPECT_EQ(res.restarts, 0);   // migration is not a failure
     EXPECT_EQ(res.lostWorkNs, 0u); // drain-first: nothing destroyed
+}
+
+/** Neutralize the CI slow-path override for macro comparisons. */
+class MacroEnvGuard
+{
+  public:
+    MacroEnvGuard()
+    {
+        const char *old = std::getenv(kVar);
+        had_ = old != nullptr;
+        if (had_)
+            saved_ = old;
+        ::unsetenv(kVar);
+    }
+
+    ~MacroEnvGuard()
+    {
+        if (had_)
+            ::setenv(kVar, saved_.c_str(), 1);
+    }
+
+  private:
+    static constexpr const char *kVar = "FLEP_MACRO_MAX_CHUNKS";
+    bool had_ = false;
+    std::string saved_;
+};
+
+TEST_F(ResilienceTest, FaultsLandingMidWindowStayBitIdentical)
+{
+    // The macro × resilience contract: a device crash, a transient
+    // stall or a migration drain arriving while a joint macro-step
+    // window is open must invalidate it cleanly — every outcome field
+    // bit-identical to a run with the fast path disabled, at any
+    // budget. Two jobs per device keep the windows joint (co-run),
+    // not solo.
+    MacroEnvGuard env;
+    ClusterConfig base;
+    base.devices = 2;
+    base.deviceCapacity = 2;
+    base.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2),
+                 job(1, "MM", InputClass::Small, 1, 500, 2),
+                 job(2, "NN", InputClass::Small, 0, 1000, 2),
+                 job(3, "VA", InputClass::Small, 1, 1500)};
+    const Tick mid = baselineMakespan(base) / 2;
+
+    struct Scenario
+    {
+        const char *name;
+        ResilienceConfig resilience;
+    };
+    std::vector<Scenario> scenarios(3);
+    scenarios[0].name = "crash";
+    scenarios[0].resilience.faults = {crashAt(0, mid)};
+    scenarios[1].name = "stall";
+    scenarios[1].resilience.faults = {stallAt(0, mid, 2000000),
+                                      stallAt(1, mid + 500000,
+                                              1000000)};
+    scenarios[2].name = "migration";
+    scenarios[2].resilience.migration.enabled = true;
+    scenarios[2].resilience.migration.intervalNs = 200 * 1000;
+    scenarios[2].resilience.migration.minImbalanceNs = 100 * 1000;
+
+    auto macroTotals = [](const ClusterResult &res) {
+        DeviceMacroStats total;
+        for (const auto &ms : res.deviceMacroStats) {
+            total.fastChunks += ms.fastChunks;
+            total.slowChunks += ms.slowChunks;
+            total.windows += ms.windows;
+            total.invalidations += ms.invalidations;
+        }
+        return total;
+    };
+
+    for (const Scenario &sc : scenarios) {
+        ClusterConfig cfg = base;
+        cfg.resilience = sc.resilience;
+
+        cfg.gpu.macroStepMaxChunks = 0;
+        const ClusterResult slow =
+            runCluster(*suite_, *artifacts_, cfg);
+        EXPECT_EQ(macroTotals(slow).windows, 0u);
+
+        for (long budget : {1L, 256L, 2048L}) {
+            SCOPED_TRACE(std::string(sc.name) + " budget " +
+                         std::to_string(budget));
+            cfg.gpu.macroStepMaxChunks = budget;
+            const ClusterResult fast =
+                runCluster(*suite_, *artifacts_, cfg);
+
+            ASSERT_EQ(fast.outcomes.size(), slow.outcomes.size());
+            for (std::size_t i = 0; i < fast.outcomes.size(); ++i)
+                expectSameOutcome(fast.outcomes[i], slow.outcomes[i]);
+            EXPECT_EQ(fast.makespanNs, slow.makespanNs);
+            EXPECT_EQ(fast.restarts, slow.restarts);
+            EXPECT_EQ(fast.migrations, slow.migrations);
+            EXPECT_EQ(fast.lostWorkNs, slow.lostWorkNs);
+            EXPECT_EQ(fast.faultsInjected, slow.faultsInjected);
+            EXPECT_EQ(fast.devicePreemptions, slow.devicePreemptions);
+            EXPECT_EQ(fast.deviceUtilization, slow.deviceUtilization);
+
+            const DeviceMacroStats totals = macroTotals(fast);
+            EXPECT_GT(totals.windows, 0u);
+            EXPECT_GT(totals.fastChunks, 0u);
+            if (budget >= 256) {
+                // Long windows are near-certainly open when the fault
+                // or drain lands; it must tear them down, not slip by.
+                EXPECT_GT(totals.invalidations, 0u);
+            }
+        }
+    }
 }
 
 TEST_F(ResilienceTest, FaultRunsAreDeterministicAcrossThreadCounts)

@@ -353,11 +353,15 @@ runTool(const Options &opts)
 
     // Per-device timeline: jobs in placement order.
     for (int d = 0; d < cfg.devices; ++d) {
+        const DeviceMacroStats &ms =
+            res.deviceMacroStats[static_cast<size_t>(d)];
         std::printf("\ndevice %d  (util %.3f, %ld preemptions, "
-                    "%ld jobs)\n",
+                    "%ld jobs, macro hit %.3f over %llu windows)\n",
                     d, res.deviceUtilization[static_cast<size_t>(d)],
                     res.devicePreemptions[static_cast<size_t>(d)],
-                    res.deviceJobCounts[static_cast<size_t>(d)]);
+                    res.deviceJobCounts[static_cast<size_t>(d)],
+                    ms.hitRate,
+                    static_cast<unsigned long long>(ms.windows));
         std::vector<const JobOutcome *> placed;
         for (const auto &out : res.outcomes) {
             if (out.placed && out.device == d)
@@ -420,6 +424,13 @@ runTool(const Options &opts)
                 m.devicePreemptions);
     std::printf("mean |prediction error| %.1f%%\n",
                 m.meanAbsPredictionErrorPct);
+    std::printf("macro-stepping: hit rate %.3f (%llu fast / %llu "
+                "slow chunks), %llu windows, %llu invalidations\n",
+                m.macroHitRate,
+                static_cast<unsigned long long>(m.macroFastChunks),
+                static_cast<unsigned long long>(m.macroSlowChunks),
+                static_cast<unsigned long long>(m.macroWindows),
+                static_cast<unsigned long long>(m.macroInvalidations));
     if (cfg.resilience.active()) {
         std::printf("resilience: %ld faults injected, %ld restarts, "
                     "%ld migrations, %ld permanent failures\n",

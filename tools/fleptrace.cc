@@ -23,6 +23,9 @@
  *   --seed=<N>           simulation seed (default 1)
  *   --out=<file>         trace path (default fleptrace.json; a
  *                        .flepbin suffix selects the binary format)
+ *   --stream             stream a .flepbin --out incrementally while
+ *                        replaying (spills completed record blocks;
+ *                        the file is byte-identical either way)
  *   --bin-out=<file>     additionally write the binary trace
  *   --to-json=<in>       convert an existing .flepbin to Chrome JSON
  *                        (written to --out) and exit; no replay
@@ -57,6 +60,7 @@ struct Options
     std::string out = "fleptrace.json";
     std::string bin_out;
     std::string to_json;
+    bool stream = false;
     bool counters = false;
     bool list = false;
     long max_lines = 200;
@@ -78,6 +82,8 @@ usage(int code)
         "  --seed=<N>           simulation seed (default 1)\n"
         "  --out=<file>         trace path (fleptrace.json; .flepbin\n"
         "                       suffix selects the binary format)\n"
+        "  --stream             stream a .flepbin --out incrementally\n"
+        "                       while replaying\n"
         "  --bin-out=<file>     additionally write the binary trace\n"
         "  --to-json=<in>       convert a .flepbin to Chrome JSON at\n"
         "                       --out and exit\n"
@@ -188,6 +194,8 @@ parseArgs(int argc, char **argv)
                 parseLong(arg.substr(7), "seed"));
         } else if (startsWith(arg, "--out=")) {
             opts.out = arg.substr(6);
+        } else if (arg == "--stream") {
+            opts.stream = true;
         } else if (startsWith(arg, "--bin-out=")) {
             opts.bin_out = arg.substr(10);
         } else if (startsWith(arg, "--to-json=")) {
@@ -349,12 +357,24 @@ main(int argc, char **argv)
         TraceRecorder tr;
         CoRunConfig cfg = opts.cfg;
         cfg.tracer = &tr;
+        if (opts.stream) {
+            if (!TraceRecorder::looksLikeBinPath(opts.out)) {
+                std::fprintf(stderr, "fleptrace: --stream needs a "
+                                     ".flepbin --out path\n");
+                return 2;
+            }
+            cfg.tracePath = opts.out;
+            cfg.streamTrace = true;
+        }
         const CoRunResult res = runCoRun(suite, artifacts, cfg);
 
         printTimeline(tr, opts);
         printSummary(cfg, res, tr);
 
-        if (!writeTraceFile(tr, opts.out)) {
+        // With --stream, runCoRun already composed the file when it
+        // finished the stream; rewriting from the recorder would
+        // replace it with only the resident window.
+        if (!opts.stream && !writeTraceFile(tr, opts.out)) {
             std::fprintf(stderr, "fleptrace: cannot write %s\n",
                          opts.out.c_str());
             return 1;
