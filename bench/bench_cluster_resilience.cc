@@ -2,13 +2,24 @@
  * @file
  * Cluster resilience sweep: fault rate x placement x migration.
  *
- * One sweep over an open-loop two-class mix (batch + interactive with
- * turnaround SLOs) under seed-deterministic fault injection
- * (generateFaultPlan: Poisson device crashes and transient stalls).
+ * Two sweeps over an open-loop two-class mix (batch + interactive
+ * with turnaround SLOs) under seed-deterministic fault injection
+ * (generateFaultPlan: Poisson device crashes and transient stalls):
+ *
+ *  - the homogeneous sweep: fault rate x placement x migration;
+ *  - the heterogeneous sweep (`hetero_cells`): a mixed-width fleet
+ *    (15/5/15-SM devices, trained per-device demand pricing) under a
+ *    crash-heavy plan, with and without one warm K40 spare. Both
+ *    variants replay the identical arrival trace and fault plan, so
+ *    the spare's goodput benefit is isolated; the bench asserts
+ *    goodput(spare) >= goodput(no spare) at every fault rate before
+ *    writing output.
+ *
  * Per cell: SLO attainment, completion accounting, faults injected,
- * checkpoint-requeues, migrations, permanent failures, lost work and
- * the goodput fraction. Results go to stdout and
- * BENCH_resilience.json (override the path with FLEP_RESILIENCE_OUT).
+ * checkpoint-requeues, migrations, permanent failures, lost work,
+ * goodput fraction, and (hetero cells) spare activations and the jobs
+ * they absorbed. Results go to stdout and BENCH_resilience.json
+ * (override the path with FLEP_RESILIENCE_OUT).
  *
  * Two contracts this bench exists to exercise end to end:
  *
@@ -67,6 +78,13 @@ struct Cell
     bool migration;
 };
 
+/** One heterogeneous-fleet cell: crash-heavy faults, +- one spare. */
+struct HeteroCell
+{
+    double faultRatePerSec;
+    bool spare;
+};
+
 /** Per-cell aggregates: rates averaged, event counts summed. */
 struct CellStats
 {
@@ -81,6 +99,9 @@ struct CellStats
     long migrations = 0;
     long permanentFailures = 0;
     Tick lostWorkNs = 0;
+    long sparesActivated = 0;
+    long jobsAbsorbedBySpares = 0;
+    double meanSpareLatencyUs = 0.0;
 };
 
 struct Mix
@@ -131,6 +152,35 @@ buildMix(const BenchEnv &env)
     return mix;
 }
 
+/**
+ * Guarantee a surviving primary: if the drawn plan crashes every
+ * device the cluster dies and queued jobs are stranded by design,
+ * which would void the no-lost-job contract this bench asserts. Drop
+ * the latest crash (a pure function of the plan, so determinism
+ * holds; generateFaultPlan keeps at most one crash per device).
+ */
+void
+ensureSurvivor(std::vector<FaultEvent> &plan, int devices)
+{
+    std::vector<bool> crashed(static_cast<std::size_t>(devices),
+                              false);
+    for (const FaultEvent &ev : plan) {
+        if (ev.kind == FaultKind::DeviceCrash)
+            crashed[static_cast<std::size_t>(ev.device)] = true;
+    }
+    bool all = true;
+    for (bool c : crashed)
+        all = all && c;
+    if (!all)
+        return;
+    for (auto it = plan.rbegin(); it != plan.rend(); ++it) {
+        if (it->kind == FaultKind::DeviceCrash) {
+            plan.erase(std::next(it).base());
+            break;
+        }
+    }
+}
+
 ClusterConfig
 cellConfig(const BenchEnv &env, const Mix &mix, const Cell &cell,
            long target_jobs, std::uint64_t seed)
@@ -172,28 +222,67 @@ cellConfig(const BenchEnv &env, const Mix &mix, const Cell &cell,
         fcfg.crashRatePerSec = 0.2 * cell.faultRatePerSec;
         fcfg.stallRatePerSec = 0.8 * cell.faultRatePerSec;
         cfg.resilience.faults = generateFaultPlan(fcfg);
-        // Guarantee a survivor: if the drawn plan crashes every
-        // device the cluster dies and queued jobs are stranded by
-        // design, which would void the no-lost-job contract this
-        // bench asserts. Drop the latest crash (a pure function of
-        // the plan, so determinism holds).
-        std::vector<bool> crashed(kDevices, false);
-        for (const FaultEvent &ev : cfg.resilience.faults) {
-            if (ev.kind == FaultKind::DeviceCrash)
-                crashed[static_cast<std::size_t>(ev.device)] = true;
-        }
-        bool all = true;
-        for (bool c : crashed)
-            all = all && c;
-        if (all) {
-            auto &plan = cfg.resilience.faults;
-            for (auto it = plan.rbegin(); it != plan.rend(); ++it) {
-                if (it->kind == FaultKind::DeviceCrash) {
-                    plan.erase(std::next(it).base());
-                    break;
-                }
-            }
-        }
+        ensureSurvivor(cfg.resilience.faults, kDevices);
+    }
+    return cfg;
+}
+
+/**
+ * The heterogeneous sweep's config: a 15/5/15-SM fleet with trained
+ * per-device demand pricing under a crash-heavy plan, optionally
+ * backed by one warm K40 spare. The arrival trace and the fault plan
+ * depend only on (seed, rate) — never on `cell.spare` — so the spare
+ * and no-spare cells replay identical scenarios.
+ */
+ClusterConfig
+heteroCellConfig(const BenchEnv &env, const Mix &mix,
+                 const HeteroCell &cell, long target_jobs,
+                 std::uint64_t seed)
+{
+    const double svc_ms = mix.meanServiceNs / 1e6;
+    const double rate_per_ms =
+        kLoad * static_cast<double>(kDevices) / svc_ms;
+
+    ClusterArrivalConfig acfg;
+    acfg.pattern = ArrivalPattern::Poisson;
+    acfg.horizonNs = static_cast<Tick>(
+        static_cast<double>(target_jobs) / rate_per_ms * 1e6);
+    acfg.seed = seed;
+    acfg.classes = mix.classes;
+    for (std::size_t i = 0; i < acfg.classes.size(); ++i)
+        acfg.classes[i].ratePerMs = mix.weights[i] * rate_per_ms;
+
+    ClusterConfig cfg;
+    cfg.gpu = env.gpu();
+    cfg.devices = kDevices;
+    GpuConfig narrow = env.gpu();
+    narrow.numSms = 5;
+    cfg.deviceGpus = {env.gpu(), narrow, env.gpu()};
+    if (cell.spare) {
+        cfg.spareDevices = 1;
+        cfg.deviceGpus.push_back(env.gpu());
+    }
+    cfg.placement = PlacementKind::LeastLoaded;
+    cfg.prediction = PredictionSource::Trained;
+    cfg.deviceScheduler = SchedulerKind::FlepHpf;
+    cfg.deviceCapacity = 2;
+    cfg.jobs = generateClusterJobs(acfg);
+    cfg.horizonNs = 0;
+    cfg.seed = seed;
+
+    cfg.resilience.checkpoints = true;
+    if (cell.faultRatePerSec > 0.0) {
+        // Crash-heavy split — the regime warm spares exist for. The
+        // survivor guarantee keeps at least one primary alive so the
+        // no-spare variant can still drain its queue.
+        FaultPlanConfig fcfg;
+        fcfg.devices = kDevices;
+        fcfg.horizonNs = acfg.horizonNs * 3;
+        fcfg.seed = seed ^ 0x5bd1e995c0ffee00ull;
+        fcfg.crashRatePerSec = 0.6 * cell.faultRatePerSec;
+        fcfg.stallRatePerSec = 0.4 * cell.faultRatePerSec;
+        cfg.resilience.faults = generateFaultPlan(fcfg);
+        ensureSurvivor(cfg.resilience.faults, kDevices);
     }
     return cfg;
 }
@@ -218,12 +307,16 @@ aggregate(const std::vector<ClusterResult> &reps)
         s.migrations += m.migrations;
         s.permanentFailures += m.permanentFailures;
         s.lostWorkNs += m.lostWorkNs;
+        s.sparesActivated += m.sparesActivated;
+        s.jobsAbsorbedBySpares += m.jobsAbsorbedBySpares;
+        s.meanSpareLatencyUs += m.meanSpareActivationLatencyUs;
     }
     const auto n = static_cast<double>(reps.size());
     s.sloHigh /= n;
     s.sloAll /= n;
     s.meanTurnUs /= n;
     s.goodput /= n;
+    s.meanSpareLatencyUs /= n;
     return s;
 }
 
@@ -285,21 +378,62 @@ run()
                 cellConfig(env, mix, cells[c], target_jobs, seed));
         }
     }
+    // Heterogeneous fleet cells ride in the same batch: per fault
+    // rate, one no-spare and one spare variant of the identical
+    // scenario.
+    std::vector<HeteroCell> hetero_cells;
+    for (double rate : fault_rates) {
+        for (bool spare : {false, true})
+            hetero_cells.push_back({rate, spare});
+    }
+    const std::size_t hetero_base = runs.size();
+    for (std::size_t c = 0; c < hetero_cells.size(); ++c) {
+        for (int r = 0; r < env.reps(); ++r) {
+            // Seed ignores the spare axis so both variants replay
+            // the same arrivals and faults.
+            const std::uint64_t seed =
+                2027 + static_cast<std::uint64_t>(c / 2) * 101 +
+                static_cast<std::uint64_t>(r) * 7919;
+            runs.push_back(heteroCellConfig(env, mix,
+                                            hetero_cells[c],
+                                            target_jobs, seed));
+        }
+    }
+
     const std::vector<ClusterResult> results =
         env.runClusterBatch(runs);
     if (!checkAccounting(results))
         return 1;
 
+    const auto cellSlice = [&](std::size_t base, std::size_t c) {
+        const auto reps = static_cast<std::size_t>(env.reps());
+        return std::vector<ClusterResult>(
+            results.begin() + static_cast<long>(base + c * reps),
+            results.begin() +
+                static_cast<long>(base + (c + 1) * reps));
+    };
+
     std::vector<CellStats> stats;
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-        std::vector<ClusterResult> cell(
-            results.begin() +
-                static_cast<long>(c * static_cast<std::size_t>(
-                                          env.reps())),
-            results.begin() +
-                static_cast<long>((c + 1) * static_cast<std::size_t>(
-                                                env.reps())));
-        stats.push_back(aggregate(cell));
+    for (std::size_t c = 0; c < cells.size(); ++c)
+        stats.push_back(aggregate(cellSlice(0, c)));
+    std::vector<CellStats> hetero_stats;
+    for (std::size_t c = 0; c < hetero_cells.size(); ++c)
+        hetero_stats.push_back(aggregate(cellSlice(hetero_base, c)));
+
+    // Contract 3: at every fault rate the warm spare must not cost
+    // goodput — it replays the identical scenario with strictly more
+    // recovery capacity. Asserted before any output is written.
+    for (std::size_t c = 0; c + 1 < hetero_cells.size(); c += 2) {
+        const double without = hetero_stats[c].goodput;
+        const double with_spare = hetero_stats[c + 1].goodput;
+        if (with_spare + 1e-9 < without) {
+            std::fprintf(stderr,
+                         "FATAL: spare goodput %.6f < no-spare %.6f "
+                         "at fault rate %.0f/s\n",
+                         with_spare, without,
+                         hetero_cells[c].faultRatePerSec);
+            return 1;
+        }
     }
 
     Table table("cluster resilience sweep");
@@ -320,6 +454,23 @@ run()
                       std::to_string(s.permanentFailures)});
     }
     table.print();
+
+    Table htable("heterogeneous fleet (15/5/15 SMs) + warm spare");
+    htable.setHeader({"faults/s", "spare", "slo-high", "goodput",
+                      "faults", "restarts", "absorbed", "failed"});
+    for (std::size_t c = 0; c < hetero_cells.size(); ++c) {
+        const HeteroCell &cell = hetero_cells[c];
+        const CellStats &s = hetero_stats[c];
+        htable.addRow({format("%.0f", cell.faultRatePerSec),
+                       cell.spare ? "on" : "off",
+                       format("%.3f", s.sloHigh),
+                       format("%.3f", s.goodput),
+                       std::to_string(s.faultsInjected),
+                       std::to_string(s.restarts),
+                       std::to_string(s.jobsAbsorbedBySpares),
+                       std::to_string(s.permanentFailures)});
+    }
+    htable.print();
     benchutil::printPaperNote(
         "no paper counterpart: FLEP (ASPLOS'17) is single-GPU; this "
         "sweep shows its drain-boundary preemption doubling as free "
@@ -335,7 +486,7 @@ run()
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 1,\n"
+                 "  \"schema_version\": 2,\n"
                  "  \"reps\": %d,\n"
                  "  \"target_jobs\": %ld,\n"
                  "  \"devices\": %d,\n"
@@ -363,6 +514,32 @@ run()
             s.permanentFailures,
             static_cast<unsigned long long>(s.lostWorkNs),
             c + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"hetero_cells\": [\n");
+    for (std::size_t c = 0; c < hetero_cells.size(); ++c) {
+        const HeteroCell &cell = hetero_cells[c];
+        const CellStats &s = hetero_stats[c];
+        std::fprintf(
+            f,
+            "    {\"fault_rate_per_sec\": %.1f, \"spare\": %s, "
+            "\"jobs\": %zu, \"completed\": %zu, "
+            "\"slo_attainment_high\": %.6f, "
+            "\"slo_attainment\": %.6f, "
+            "\"mean_turnaround_us\": %.3f, "
+            "\"goodput_fraction\": %.6f, "
+            "\"faults_injected\": %ld, \"restarts\": %ld, "
+            "\"permanent_failures\": %ld, \"lost_work_ns\": %llu, "
+            "\"spares_activated\": %ld, "
+            "\"jobs_absorbed_by_spares\": %ld, "
+            "\"mean_spare_activation_latency_us\": %.3f}%s\n",
+            cell.faultRatePerSec, cell.spare ? "true" : "false",
+            s.jobs, s.completed, s.sloHigh, s.sloAll, s.meanTurnUs,
+            s.goodput, s.faultsInjected, s.restarts,
+            s.permanentFailures,
+            static_cast<unsigned long long>(s.lostWorkNs),
+            s.sparesActivated, s.jobsAbsorbedBySpares,
+            s.meanSpareLatencyUs,
+            c + 1 < hetero_cells.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

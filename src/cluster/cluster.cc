@@ -1,6 +1,7 @@
 #include "cluster/cluster.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "common/strings.hh"
@@ -18,6 +19,13 @@ struct ClusterScheduler::Device
     std::unique_ptr<GpuDevice> gpu;
     std::unique_ptr<FlepRuntime> runtime;
 
+    /** This device's hardware model (heterogeneous fleets differ). */
+    GpuConfig config;
+
+    /** Demand estimates priced for this device's config; owned by
+     *  the scheduler's provider map (shared across equal configs). */
+    PredictionProvider *provider = nullptr;
+
     /** Placed-and-unfinished job ids (cluster slots in use). */
     std::vector<int> residentJobs;
 
@@ -29,6 +37,52 @@ struct ClusterScheduler::Device
     Tick failedUntil = 0;
 
     bool failed(Tick now) const { return now < failedUntil; }
+
+    /** Warm spare: sits outside the placement pool until a crash
+     *  activates it. */
+    bool spare = false;
+
+    /** False for a spare that has not been activated yet. */
+    bool active = true;
+
+    /** When an activated spare joined the pool. */
+    Tick activatedNs = 0;
+
+    /**
+     * Fault-aware placement signal: exponentially decayed count of
+     * faults observed on this device (one unit per fault, time
+     * constant FaultAwareConfig::decayTauNs). Stored as the value at
+     * `faultScoreNs`; reads decay it forward lazily. Pure arithmetic
+     * on already-scheduled fault events — no extra events, no RNG —
+     * so it cannot perturb determinism.
+     */
+    double faultScore = 0.0;
+    Tick faultScoreNs = 0;
+
+    double
+    decayedFaultScore(Tick now, Tick tau) const
+    {
+        if (faultScore <= 0.0)
+            return 0.0;
+        const double dt = static_cast<double>(now - faultScoreNs);
+        return faultScore * std::exp(-dt / static_cast<double>(tau));
+    }
+
+    /** The score read as a rate in events per second of sim time:
+     *  score counts roughly the faults of the last tau window. */
+    double
+    decayedFaultRatePerSec(Tick now, Tick tau) const
+    {
+        return decayedFaultScore(now, tau) * 1e9 /
+               static_cast<double>(tau);
+    }
+
+    void
+    bumpFaultScore(Tick now, Tick tau)
+    {
+        faultScore = decayedFaultScore(now, tau) + 1.0;
+        faultScoreNs = now;
+    }
 
     /**
      * Approximate union of busy CTA-slot intervals: intervals are
@@ -66,6 +120,21 @@ ClusterScheduler::ClusterScheduler(Simulation &sim,
 {
     if (cfg_.devices < 1)
         fatal("cluster needs at least one device, got ", cfg_.devices);
+    if (cfg_.spareDevices < 0)
+        fatal("spare device count must be >= 0, got ",
+              cfg_.spareDevices);
+    const std::size_t fleet = static_cast<std::size_t>(
+        cfg_.devices + cfg_.spareDevices);
+    if (!cfg_.deviceGpus.empty() &&
+        cfg_.deviceGpus.size() !=
+            static_cast<std::size_t>(cfg_.devices) &&
+        cfg_.deviceGpus.size() != fleet) {
+        fatal("deviceGpus must name every primary (", cfg_.devices,
+              ") or the whole fleet (", fleet, "), got ",
+              cfg_.deviceGpus.size());
+    }
+    for (const GpuConfig &gpu : cfg_.deviceGpus)
+        gpu.validate();
     if (cfg_.deviceCapacity < 1)
         fatal("device capacity must be >= 1, got ",
               cfg_.deviceCapacity);
@@ -109,22 +178,31 @@ ClusterScheduler::ClusterScheduler(Simulation &sim,
     }
 
     // Steady state keeps roughly one in-flight event per resident CTA
-    // slot per device, plus the job arrival timers; a single reserve
-    // here beats the per-device reserves (reserve never shrinks, so
-    // the largest request wins).
-    sim.events().reserve(
-        static_cast<std::size_t>(cfg_.devices) *
-            (static_cast<std::size_t>(cfg_.gpu.numSms) *
-                 static_cast<std::size_t>(cfg_.gpu.maxCtasPerSm) +
-             256) +
-        cfg_.jobs.size());
+    // slot per device (summed per device — heterogeneous fleets have
+    // different slot counts), plus the job arrival timers; a single
+    // reserve here beats the per-device reserves (reserve never
+    // shrinks, so the largest request wins).
+    std::size_t slot_events = 0;
+    for (std::size_t d = 0; d < fleet; ++d) {
+        const GpuConfig &gpu = deviceGpuAt(static_cast<int>(d));
+        slot_events += static_cast<std::size_t>(gpu.numSms) *
+                           static_cast<std::size_t>(gpu.maxCtasPerSm) +
+                       256;
+    }
+    sim.events().reserve(slot_events + cfg_.jobs.size());
 
     FlepRuntimeConfig rcfg;
     rcfg.models = artifacts.models;
     rcfg.overheads = artifacts.overheads;
-    for (int d = 0; d < cfg_.devices; ++d) {
+    for (std::size_t d = 0; d < fleet; ++d) {
+        const bool spare = d >= static_cast<std::size_t>(cfg_.devices);
         auto dev = std::make_unique<Device>();
-        dev->gpu = std::make_unique<GpuDevice>(sim, cfg_.gpu, d);
+        dev->config = deviceGpuAt(static_cast<int>(d));
+        dev->provider = providerFor(dev->config);
+        dev->spare = spare;
+        dev->active = !spare;
+        dev->gpu = std::make_unique<GpuDevice>(sim, dev->config,
+                                               static_cast<int>(d));
         std::unique_ptr<SchedulingPolicy> policy;
         if (cfg_.deviceScheduler == SchedulerKind::FlepHpf)
             policy = std::make_unique<HpfPolicy>(cfg_.hpf);
@@ -138,12 +216,39 @@ ClusterScheduler::ClusterScheduler(Simulation &sim,
         };
         if (tr != nullptr) {
             tr->setProcessName(
-                TraceRecorder::runtimePid(d),
-                format("runtime%d (%s)", d,
+                TraceRecorder::runtimePid(static_cast<int>(d)),
+                format("runtime%d (%s%s)", static_cast<int>(d),
+                       spare ? "spare, " : "",
                        schedulerKindName(cfg_.deviceScheduler)));
         }
         devices_.push_back(std::move(dev));
     }
+}
+
+const GpuConfig &
+ClusterScheduler::deviceGpuAt(int d) const
+{
+    const auto idx = static_cast<std::size_t>(d);
+    if (idx < cfg_.deviceGpus.size())
+        return cfg_.deviceGpus[idx];
+    return cfg_.gpu;
+}
+
+PredictionProvider *
+ClusterScheduler::providerFor(const GpuConfig &gpu)
+{
+    // Equal configs simulate (and therefore predict) identically;
+    // memoizing by cacheKey keeps homogeneous fleets on the single
+    // reference provider, so their demand numbers cannot drift from
+    // pre-heterogeneity builds.
+    if (gpu.cacheKey() == cfg_.gpu.cacheKey())
+        return provider_.get();
+    auto &slot = providersByConfig_[gpu.cacheKey()];
+    if (!slot) {
+        slot = makePredictionProvider(cfg_.prediction, suite_,
+                                      artifacts_, gpu, &cfg_.gpu);
+    }
+    return slot.get();
 }
 
 ClusterScheduler::~ClusterScheduler() = default;
@@ -237,26 +342,58 @@ ClusterScheduler::jobDemandNs(Device &dev, int job_id)
     FLEP_ASSERT(queued >= 0, "more tracked invocations than owed");
     Tick owed = dev.runtime->predictedRemainingOf(pid);
     owed += static_cast<Tick>(queued) *
-            provider_->predictInvocationNs(job);
+            dev.provider->predictInvocationNs(job);
     return owed;
 }
 
-std::vector<DeviceLoad>
-ClusterScheduler::snapshotLoads()
+Tick
+ClusterScheduler::remainingDemandNs(
+    const ClusterJob &job, const PredictionProvider &prov) const
 {
+    // Whole-job demand minus what the checkpoint has already banked,
+    // priced at `prov`'s device rate: the same remaining tasks cost a
+    // slow device proportionally more. Fresh jobs (or inert
+    // resilience) degenerate to the plain whole-job estimate, so
+    // fault-free placement scores are unchanged.
+    const Tick inv = prov.predictInvocationNs(job);
+    if (!resilienceActive())
+        return inv * static_cast<Tick>(job.repeats);
+    const JobCheckpoint &cp =
+        checkpoints_[static_cast<std::size_t>(job.id)];
+    if (!cp.valid || cp.totalTasks <= 0)
+        return inv * static_cast<Tick>(job.repeats);
+    Tick owed = inv *
+        static_cast<Tick>(job.repeats - cp.completedRepeats);
+    owed -= inv * cp.tasksDone / cp.totalTasks;
+    return std::max<Tick>(owed, 0);
+}
+
+std::vector<DeviceLoad>
+ClusterScheduler::snapshotLoads(const ClusterJob *incoming)
+{
+    const Tick tau = cfg_.resilience.faultAware.decayTauNs;
+    const double risk_w = cfg_.resilience.faultAware.riskWeightSec;
     std::vector<DeviceLoad> loads;
     loads.reserve(devices_.size());
     for (std::size_t d = 0; d < devices_.size(); ++d) {
         Device &dev = *devices_[d];
         // Failed devices are simply not placement candidates; every
         // policy scores the loads it is given by `load.device`, so
-        // omission is clean.
-        if (dev.failed(sim_.now()))
+        // omission is clean. Unactivated spares are outside the pool
+        // the same way.
+        if (!dev.active || dev.failed(sim_.now()))
             continue;
         DeviceLoad load;
         load.device = static_cast<int>(d);
         load.residentJobs = static_cast<int>(dev.residentJobs.size());
         load.capacity = cfg_.deviceCapacity;
+        load.decayedFaultRatePerSec =
+            dev.decayedFaultRatePerSec(sim_.now(), tau);
+        load.faultRiskFactor = load.decayedFaultRatePerSec * risk_w;
+        if (incoming != nullptr) {
+            load.incomingDemandNs =
+                remainingDemandNs(*incoming, *dev.provider);
+        }
         for (int id : dev.residentJobs) {
             const ClusterJob &job =
                 outcomes_[static_cast<std::size_t>(id)].job;
@@ -290,9 +427,10 @@ ClusterScheduler::tryDispatch()
     // they would offer any lower-priority job, so stopping at the
     // first failure is exact, not just conservative.
     while (!queue_.empty()) {
+        const ClusterJob &head = queue_.front();
         const PlacementDecision dec = policy_->place(
-            queue_.front(), provider_->predictJobNs(queue_.front()),
-            snapshotLoads());
+            head, remainingDemandNs(head, *provider_),
+            snapshotLoads(&head));
         if (!dec.placed())
             break;
         place(queue_.popFront(), dec);
@@ -353,6 +491,8 @@ ClusterScheduler::materialize(const ClusterJob &job, int device)
     Device &dev = *devices_[static_cast<std::size_t>(device)];
     dev.residentJobs.push_back(job.id);
     ++dev.jobCount;
+    if (dev.spare)
+        ++jobsAbsorbedBySpares_;
 
     // The job becomes an ordinary FLEP host process on its device.
     // If the placement displaces a resident, no extra mechanism is
@@ -437,6 +577,7 @@ ClusterScheduler::materialize(const ClusterJob &job, int device)
             cp.tasksDone = 0;
             cp.rngCursor = 0;
             cp.capturedNs = res.finishTick;
+            cp.capturedOnDevice = o.device;
         }
         if (left == 0)
             jobFinished(job_id, res.finishTick);
@@ -515,6 +656,8 @@ ClusterScheduler::captureDrain(HostProcess &host)
     cp.tasksDone = done_abs;
     cp.rngCursor = static_cast<std::uint64_t>(done_abs);
     cp.capturedNs = sim_.now();
+    cp.capturedOnDevice =
+        outcomes_[static_cast<std::size_t>(job_id)].device;
     if (TraceRecorder *tr = sim_.tracer()) {
         tr->instant(TraceRecorder::pidCluster, 0, "cluster:checkpoint",
                     {{"job", job_id},
@@ -554,9 +697,16 @@ ClusterScheduler::lostWorkOf(int job_id)
     const long lost = done_abs - cp.tasksDone;
     if (lost <= 0)
         return 0;
-    const ClusterJob &job =
-        outcomes_[static_cast<std::size_t>(job_id)].job;
-    return provider_->predictInvocationNs(job) * lost / cp.totalTasks;
+    // Price the destroyed progress at the rate of the device that
+    // executed it — on a heterogeneous fleet the same lost tasks cost
+    // a slow device more wall time, and goodput accounting must match
+    // what was actually re-run where it ran.
+    const JobOutcome &out = outcomes_[static_cast<std::size_t>(job_id)];
+    const PredictionProvider &prov =
+        out.device >= 0
+            ? *devices_[static_cast<std::size_t>(out.device)]->provider
+            : *provider_;
+    return prov.predictInvocationNs(out.job) * lost / cp.totalTasks;
 }
 
 void
@@ -566,6 +716,8 @@ ClusterScheduler::onFault(const FaultEvent &ev)
     if (dev.failed(sim_.now()))
         return; // already down (stall overlapping a crash, etc.)
     ++faultsInjected_;
+    dev.bumpFaultScore(sim_.now(),
+                       cfg_.resilience.faultAware.decayTauNs);
     const bool crash = ev.kind == FaultKind::DeviceCrash;
     dev.failedUntil =
         crash ? maxTick : sim_.now() + std::max<Tick>(ev.durationNs, 1);
@@ -601,6 +753,11 @@ ClusterScheduler::onFault(const FaultEvent &ev)
     for (int id : evicted)
         scheduleRetry(id);
 
+    // A crash permanently shrinks the pool; bring a warm spare in to
+    // replace the lost capacity (no-op when the pool is empty).
+    if (crash)
+        activateSpareFor(ev.device);
+
     if (!crash) {
         const int device = ev.device;
         sim_.events().scheduleAfter(
@@ -613,6 +770,50 @@ ClusterScheduler::onFault(const FaultEvent &ev)
                 // Back in the placeable pool; the queue head may fit.
                 tryDispatch();
             });
+    }
+}
+
+void
+ClusterScheduler::activateSpareFor(int crashed)
+{
+    for (std::size_t d = static_cast<std::size_t>(cfg_.devices);
+         d < devices_.size(); ++d) {
+        Device &dev = *devices_[d];
+        if (!dev.spare || dev.active)
+            continue;
+        const Tick delay =
+            std::max<Tick>(cfg_.spareActivationDelayNs, 0);
+        const Tick crashed_at = sim_.now();
+        // Claim the spare immediately — a second crash inside the
+        // bring-up window must take the *next* one — but keep it out
+        // of the placeable pool via failedUntil until bring-up ends.
+        dev.active = true;
+        dev.failedUntil = crashed_at + delay;
+        const int spare_idx = static_cast<int>(d);
+        sim_.events().scheduleAfter(
+            delay, [this, spare_idx, crashed, crashed_at]() {
+                Device &sp =
+                    *devices_[static_cast<std::size_t>(spare_idx)];
+                sp.activatedNs = sim_.now();
+                ++sparesActivated_;
+                spareActivationLatencyNs_ += sim_.now() - crashed_at;
+                if (TraceRecorder *tr = sim_.tracer()) {
+                    tr->instant(
+                        TraceRecorder::pidCluster, 0,
+                        "cluster:spare-activate",
+                        {{"spare", spare_idx},
+                         {"crashed", crashed},
+                         {"latency_ns",
+                          static_cast<unsigned long long>(
+                              sim_.now() - crashed_at)}});
+                }
+                // The fleet may have been unserviceable while every
+                // primary was down; restart the rebalancer and offer
+                // the queue head the fresh capacity.
+                armRebalancer();
+                tryDispatch();
+            });
+        return;
     }
 }
 
@@ -706,21 +907,26 @@ ClusterScheduler::finishMigration(int job_id, int target)
 void
 ClusterScheduler::armRebalancer()
 {
+    if (!cfg_.resilience.migration.enabled || rebalancerArmed_)
+        return;
     if (unfinishedJobs_ == 0)
         return; // let the event queue drain so the run can end
-    // Dead clusters (every device crashed) must not keep a timer
-    // alive either: the unfinished jobs can never progress.
+    // Dead clusters (every live device crashed) must not keep a timer
+    // alive either: the unfinished jobs can never progress. A spare
+    // activation restarts the timer when it revives the fleet.
     bool serviceable = false;
     for (const auto &dev : devices_) {
-        if (dev->failedUntil < maxTick) {
+        if (dev->active && dev->failedUntil < maxTick) {
             serviceable = true;
             break;
         }
     }
     if (!serviceable)
         return;
+    rebalancerArmed_ = true;
     sim_.events().scheduleAfter(cfg_.resilience.migration.intervalNs,
                                 [this]() {
+                                    rebalancerArmed_ = false;
                                     maybeRebalance();
                                     armRebalancer();
                                 });
@@ -819,6 +1025,9 @@ ClusterScheduler::collect() const
     result.migrations = migrations_;
     result.permanentFailures = permanentFailures_;
     result.lostWorkNs = lostWorkNs_;
+    result.sparesActivated = sparesActivated_;
+    result.spareActivationLatencyNs = spareActivationLatencyNs_;
+    result.jobsAbsorbedBySpares = jobsAbsorbedBySpares_;
     for (const auto &out : outcomes_) {
         if (out.completed)
             result.makespanNs =
@@ -835,6 +1044,9 @@ ClusterScheduler::collect() const
                         : static_cast<double>(dev->busyNs) /
                               static_cast<double>(run_ns));
         result.deviceJobCounts.push_back(dev->jobCount);
+        result.deviceFaultRatePerSec.push_back(
+            dev->decayedFaultRatePerSec(
+                sim_.now(), cfg_.resilience.faultAware.decayTauNs));
         const MacroStepEngine &macro = dev->gpu->macroEngine();
         DeviceMacroStats ms;
         ms.fastChunks = macro.fastChunks();
@@ -845,6 +1057,45 @@ ClusterScheduler::collect() const
         result.deviceMacroStats.push_back(ms);
     }
     return result;
+}
+
+bool
+ClusterResult::identicalTo(const ClusterResult &other) const
+{
+    if (outcomes.size() != other.outcomes.size())
+        return false;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const JobOutcome &a = outcomes[i];
+        const JobOutcome &b = other.outcomes[i];
+        if (a.job.id != b.job.id || a.device != b.device ||
+            a.placed != b.placed || a.completed != b.completed ||
+            a.displacedVictim != b.displacedVictim ||
+            a.placeTick != b.placeTick ||
+            a.finishTick != b.finishTick ||
+            a.preemptions != b.preemptions || a.execNs != b.execNs ||
+            a.restarts != b.restarts ||
+            a.migrations != b.migrations ||
+            a.lostWorkNs != b.lostWorkNs ||
+            a.failedPermanently != b.failedPermanently ||
+            a.predictedDemandNs != b.predictedDemandNs)
+            return false;
+    }
+    return makespanNs == other.makespanNs &&
+           placements == other.placements &&
+           preemptivePlacements == other.preemptivePlacements &&
+           devicePreemptions == other.devicePreemptions &&
+           deviceUtilization == other.deviceUtilization &&
+           deviceJobCounts == other.deviceJobCounts &&
+           faultsInjected == other.faultsInjected &&
+           restarts == other.restarts &&
+           migrations == other.migrations &&
+           permanentFailures == other.permanentFailures &&
+           lostWorkNs == other.lostWorkNs &&
+           sparesActivated == other.sparesActivated &&
+           spareActivationLatencyNs ==
+               other.spareActivationLatencyNs &&
+           jobsAbsorbedBySpares == other.jobsAbsorbedBySpares &&
+           deviceFaultRatePerSec == other.deviceFaultRatePerSec;
 }
 
 ClusterResult

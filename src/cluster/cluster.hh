@@ -51,11 +51,38 @@ class TraceRecorder;
 /** Full description of one cluster experiment. */
 struct ClusterConfig
 {
-    /** Per-device hardware model (all devices identical). */
+    /** Default per-device hardware model (see deviceGpus). */
     GpuConfig gpu = GpuConfig::keplerK40();
 
-    /** Number of GPUs in the cluster. */
+    /** Number of GPUs in the cluster (primaries; spares come on top,
+     *  see spareDevices). */
     int devices = 2;
+
+    /**
+     * Heterogeneous fleets: per-device hardware models, primaries
+     * first, then spares. Empty means every device (and spare) runs
+     * `gpu`. When non-empty the size must be either `devices`
+     * (spares fall back to `gpu`) or `devices + spareDevices`.
+     * Placement prices demand per device through a per-config
+     * PredictionProvider, and checkpointed jobs restore onto any
+     * config — progress is stored in task units (docs/resilience.md).
+     */
+    std::vector<GpuConfig> deviceGpus;
+
+    /**
+     * Warm spares: extra devices, indexed after the primaries
+     * ([devices, devices + spareDevices)), that sit outside the
+     * placement pool until a device crash activates one. Each crash
+     * activates the lowest-index inactive spare (if any) after
+     * spareActivationDelayNs; activation emits a
+     * `cluster:spare-activate` trace instant. Fault plans may only
+     * target primaries — spares are assumed fresh hardware.
+     */
+    int spareDevices = 0;
+
+    /** Crash-to-accepting-placements latency of a spare (bring-up,
+     *  image prefetch, ...). */
+    Tick spareActivationDelayNs = 500 * 1000;
 
     /** How jobs are assigned to devices. */
     PlacementKind placement = PlacementKind::FirstFit;
@@ -242,6 +269,34 @@ struct ClusterResult
 
     /** Total predicted execution progress destroyed by faults. */
     Tick lostWorkNs = 0;
+
+    /** Warm spares that left the pool (crash-triggered). */
+    long sparesActivated = 0;
+
+    /** Crash-to-accepting-placements latency summed over
+     *  activations (spareActivationLatencyNs / sparesActivated is
+     *  the mean). */
+    Tick spareActivationLatencyNs = 0;
+
+    /** Placements that landed on an activated spare. */
+    long jobsAbsorbedBySpares = 0;
+
+    /**
+     * Decayed per-device fault-rate estimate (events per second of
+     * simulated time) at collect time — the signal fault-aware
+     * placement priced into each device's score. Primaries first,
+     * then spares; all zero in fault-free runs.
+     */
+    std::vector<double> deviceFaultRatePerSec;
+
+    /**
+     * Field-exact equality over every outcome and aggregate, for
+     * differential testing (macro on/off, serial vs parallel).
+     * deviceMacroStats is deliberately excluded: the fast path's
+     * engagement counters differ across macro budgets by design while
+     * every measurement must not.
+     */
+    bool identicalTo(const ClusterResult &other) const;
 };
 
 /**
@@ -282,8 +337,21 @@ class ClusterScheduler : public SimObject
     void place(const ClusterJob &job, const PlacementDecision &dec);
     void materialize(const ClusterJob &job, int device);
     void jobFinished(int job_id, Tick now);
-    std::vector<DeviceLoad> snapshotLoads();
+    /** Loads of the placeable (live, active) devices. When `incoming`
+     *  is non-null each load carries the job's per-device remaining
+     *  demand estimate (heterogeneous pricing). */
+    std::vector<DeviceLoad> snapshotLoads(
+        const ClusterJob *incoming = nullptr);
     void traceQueueDepth();
+    /** Hardware model of device `d` (primaries, then spares). */
+    const GpuConfig &deviceGpuAt(int d) const;
+    /** Demand provider for a device config, memoized by cacheKey so
+     *  homogeneous fleets share one instance. */
+    PredictionProvider *providerFor(const GpuConfig &gpu);
+    /** The job's whole-job demand minus checkpoint-banked progress,
+     *  priced through `prov` (per-device on heterogeneous fleets). */
+    Tick remainingDemandNs(const ClusterJob &job,
+                           const PredictionProvider &prov) const;
 
     // --- resilience layer (only reached when cfg_.resilience is
     // active; an inert config installs none of these) ---
@@ -297,6 +365,9 @@ class ClusterScheduler : public SimObject
     void armRebalancer();
     void maybeRebalance();
     Tick jobDemandNs(Device &dev, int job_id);
+    /** A crash struck `crashed`: bring the lowest-index inactive
+     *  spare (if any) into the pool after the activation delay. */
+    void activateSpareFor(int crashed);
 
     const BenchmarkSuite &suite_;
     const OfflineArtifacts &artifacts_;
@@ -304,6 +375,12 @@ class ClusterScheduler : public SimObject
 
     std::unique_ptr<PlacementPolicy> policy_;
     std::unique_ptr<PredictionProvider> provider_;
+    /** Per-config providers for heterogeneous fleets, keyed by
+     *  GpuConfig::cacheKey(); the reference config maps to
+     *  provider_. */
+    std::unordered_map<std::string,
+                       std::unique_ptr<PredictionProvider>>
+        providersByConfig_;
     std::vector<std::unique_ptr<Device>> devices_;
     JobQueue queue_;
     std::vector<JobOutcome> outcomes_;
@@ -332,6 +409,12 @@ class ClusterScheduler : public SimObject
     long migrations_ = 0;
     long permanentFailures_ = 0;
     Tick lostWorkNs_ = 0;
+    /** True while a rebalancer timer event is in flight (guards the
+     *  re-arm from spare activation against double-arming). */
+    bool rebalancerArmed_ = false;
+    long sparesActivated_ = 0;
+    Tick spareActivationLatencyNs_ = 0;
+    long jobsAbsorbedBySpares_ = 0;
 };
 
 /** Run one cluster experiment. */

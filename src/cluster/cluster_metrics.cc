@@ -20,6 +20,14 @@ computeClusterMetrics(const ClusterResult &result)
     m.migrations = result.migrations;
     m.permanentFailures = result.permanentFailures;
     m.lostWorkNs = result.lostWorkNs;
+    m.sparesActivated = result.sparesActivated;
+    m.jobsAbsorbedBySpares = result.jobsAbsorbedBySpares;
+    m.deviceFaultRatePerSec = result.deviceFaultRatePerSec;
+    if (result.sparesActivated > 0) {
+        m.meanSpareActivationLatencyUs =
+            ticksToUs(result.spareActivationLatencyNs) /
+            static_cast<double>(result.sparesActivated);
+    }
 
     SampleStats queue_delay;
     SampleStats turnaround;
@@ -59,15 +67,21 @@ computeClusterMetrics(const ClusterResult &result)
         ? 1.0
         : static_cast<double>(m.sloMet) /
             static_cast<double>(m.sloJobs);
+    // NaN guard: a breakdown entry with zero SLO jobs (cannot arise
+    // from the loop above today, but sloAttainmentFor()'s 1.0
+    // contract must hold even if callers build partial results by
+    // hand) reports full attainment instead of 0/0.
     for (const auto &[prio, counts] : by_prio) {
-        m.sloAttainmentByPriority[prio] =
-            static_cast<double>(counts.second) /
-            static_cast<double>(counts.first);
+        m.sloAttainmentByPriority[prio] = counts.first == 0
+            ? 1.0
+            : static_cast<double>(counts.second) /
+                static_cast<double>(counts.first);
     }
     for (const auto &[cls, counts] : by_class) {
-        m.sloAttainmentByInputClass[cls] =
-            static_cast<double>(counts.second) /
-            static_cast<double>(counts.first);
+        m.sloAttainmentByInputClass[cls] = counts.first == 0
+            ? 1.0
+            : static_cast<double>(counts.second) /
+                static_cast<double>(counts.first);
     }
     // Goodput: fraction of executed GPU time that contributed to
     // results (lost work was re-run after requeues).

@@ -41,6 +41,20 @@ struct ClusterMetrics
      *  jobs. */
     std::map<Priority, double> sloAttainmentByPriority;
 
+    /**
+     * NaN-safe per-priority attainment lookup: a priority class with
+     * no SLO jobs (absent from the breakdown map) reports 1.0 — no
+     * SLO job at that priority was late — instead of a division by
+     * zero or a map miss. Callers should prefer this over indexing
+     * the map directly.
+     */
+    double
+    sloAttainmentFor(Priority p) const
+    {
+        auto it = sloAttainmentByPriority.find(p);
+        return it == sloAttainmentByPriority.end() ? 1.0 : it->second;
+    }
+
     /** Attainment restricted to each input class that has SLO jobs
      *  (a size-based breakdown: large jobs miss differently than
      *  trivial ones under the same placement). */
@@ -92,6 +106,23 @@ struct ClusterMetrics
      * rate as re-executed progress piles up.
      */
     double goodputFraction = 1.0;
+
+    // --- warm spares / fault-aware placement ---
+
+    /** Warm spares that crash events pulled into the pool. */
+    long sparesActivated = 0;
+
+    /** Mean crash-to-accepting-placements latency of the activated
+     *  spares, microseconds; 0 when none activated. */
+    double meanSpareActivationLatencyUs = 0.0;
+
+    /** Placements that landed on an activated spare. */
+    long jobsAbsorbedBySpares = 0;
+
+    /** Decayed per-device fault-rate estimate at collect time
+     *  (events/sec of sim time), primaries then spares — the signal
+     *  fault-aware placement priced into completion scores. */
+    std::vector<double> deviceFaultRatePerSec;
 
     // --- macro-stepping (event-coalescing fast path) ---
 

@@ -69,10 +69,17 @@ namespace
 
 /**
  * Free device with the earliest expected completion for the job:
- * delaying backlog plus the job's own predicted demand. The demand
- * term is constant across a homogeneous fleet, but scoring completion
- * (not bare backlog) is what the interface promises — heterogeneous
- * per-device demand only has to change this one function. When
+ * delaying backlog plus the job's own predicted demand, inflated by
+ * the device's fault-risk factor (docs/cluster.md):
+ *
+ *   score = (delay + demand_d) * (1 + r_d * W)
+ *
+ * where demand_d is the per-device demand estimate when the load
+ * carries one (heterogeneous fleets price the same tasks differently
+ * per device) and r_d * W is DeviceLoad::faultRiskFactor — zero for
+ * devices with no observed fault history, so fault-free scoring is
+ * unchanged. The risk term is computed in doubles but folded back to
+ * an integral Tick so tie-breaking stays exact. When
  * `priority_aware`, only backlog at or above the job's priority
  * counts as delay (lower-priority residents get preempted on
  * arrival); ties break toward the smaller total backlog, then the
@@ -92,7 +99,14 @@ bestFreeByCompletion(const ClusterJob &job, Tick demand_ns,
         const Tick delay = priority_aware
             ? load.backlogAtOrAbove(job.priority)
             : load.predictedBacklogNs;
-        const Tick score = delay + demand_ns;
+        const Tick demand =
+            load.incomingDemandNs > 0 ? load.incomingDemandNs
+                                      : demand_ns;
+        Tick score = delay + demand;
+        if (load.faultRiskFactor > 0) {
+            score += static_cast<Tick>(static_cast<double>(score) *
+                                       load.faultRiskFactor);
+        }
         if (best < 0 || score < best_score ||
             (score == best_score &&
              (load.predictedBacklogNs < best_total ||

@@ -87,6 +87,29 @@ struct DeviceLoad
     /** predictedBacklogNs split by the owning job's priority. */
     std::map<Priority, Tick> backlogByPriority;
 
+    /**
+     * Predicted *remaining* demand of the incoming job priced on this
+     * device (heterogeneous fleets: a slow device owes the same tasks
+     * more time; requeued jobs owe only what their checkpoint has not
+     * banked). 0 means "no per-device estimate — use the fleet-wide
+     * demand the caller passed", which keeps hand-built loads in
+     * tests and homogeneous snapshots equivalent.
+     */
+    Tick incomingDemandNs = 0;
+
+    /** Decayed fault-rate estimate of the device, events per second
+     *  of simulated time (0 for a device that never faulted). */
+    double decayedFaultRatePerSec = 0.0;
+
+    /**
+     * Fault-risk multiplier applied to the completion score:
+     * score = base + base * faultRiskFactor, with faultRiskFactor =
+     * decayedFaultRatePerSec * FaultAwareConfig::riskWeightSec.
+     * Exactly 0 for devices with no observed fault history, so
+     * fault-free scoring is bit-identical to fault-blind scoring.
+     */
+    double faultRiskFactor = 0.0;
+
     /** Lowest priority among resident jobs; meaningful only when
      *  residentJobs > 0. */
     Priority lowestResidentPriority = 0;

@@ -92,9 +92,16 @@ class HeuristicProvider final : public PredictionProvider
 class TrainedProvider final : public PredictionProvider
 {
   public:
+    /**
+     * @param scale cross-config correction applied to every model
+     *        prediction: the ridge models were fit on a reference
+     *        device, so a device with a different throughput index
+     *        sees predictions multiplied by reference/device. 1.0 on
+     *        homogeneous fleets.
+     */
     TrainedProvider(const BenchmarkSuite &suite,
-                    const OfflineArtifacts &artifacts)
-        : suite_(suite), artifacts_(artifacts)
+                    const OfflineArtifacts &artifacts, double scale)
+        : suite_(suite), artifacts_(artifacts), scale_(scale)
     {}
 
     PredictionSource source() const override
@@ -110,12 +117,13 @@ class TrainedProvider final : public PredictionProvider
             return heuristicDemandNs;
         const InputSpec in =
             suite_.byName(job.workload).input(job.input);
-        return static_cast<Tick>(it->second.predictNs(in));
+        return static_cast<Tick>(it->second.predictNs(in) * scale_);
     }
 
   private:
     const BenchmarkSuite &suite_;
     const OfflineArtifacts &artifacts_;
+    const double scale_;
 };
 
 /**
@@ -184,13 +192,24 @@ std::unique_ptr<PredictionProvider>
 makePredictionProvider(PredictionSource source,
                        const BenchmarkSuite &suite,
                        const OfflineArtifacts &artifacts,
-                       const GpuConfig &gpu)
+                       const GpuConfig &gpu,
+                       const GpuConfig *trained_reference)
 {
     switch (source) {
       case PredictionSource::Heuristic:
         return std::make_unique<HeuristicProvider>();
-      case PredictionSource::Trained:
-        return std::make_unique<TrainedProvider>(suite, artifacts);
+      case PredictionSource::Trained: {
+        double scale = 1.0;
+        if (trained_reference != nullptr &&
+            trained_reference->cacheKey() != gpu.cacheKey()) {
+            FLEP_ASSERT(gpu.throughputIndex() > 0,
+                        "device throughput index must be positive");
+            scale = trained_reference->throughputIndex() /
+                    gpu.throughputIndex();
+        }
+        return std::make_unique<TrainedProvider>(suite, artifacts,
+                                                 scale);
+      }
       case PredictionSource::Oracle:
         return std::make_unique<OracleProvider>(suite, artifacts, gpu);
     }

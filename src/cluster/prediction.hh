@@ -101,10 +101,20 @@ constexpr Tick heuristicDemandNs = 5 * 1000 * 1000;
  * Oracle measures solo runs of suite workloads on a `gpu`-configured
  * device, memoized process-wide and thread-safely, so parallel
  * cluster batches stay bit-identical).
+ *
+ * Heterogeneous fleets: when `trained_reference` is non-null and its
+ * config differs from `gpu`, the trained source scales its
+ * reference-device predictions by the throughput-index ratio
+ * reference/device (GpuConfig::throughputIndex()) — the ridge models
+ * were fit on the reference device, so a device with half the
+ * resident-thread capacity is predicted to take twice as long. The
+ * oracle needs no scaling (it measures on `gpu` directly) and the
+ * heuristic stays deliberately blind (it is the no-model baseline).
  */
 std::unique_ptr<PredictionProvider> makePredictionProvider(
     PredictionSource source, const BenchmarkSuite &suite,
-    const OfflineArtifacts &artifacts, const GpuConfig &gpu);
+    const OfflineArtifacts &artifacts, const GpuConfig &gpu,
+    const GpuConfig *trained_reference = nullptr);
 
 } // namespace flep
 

@@ -134,6 +134,27 @@ CoRunResult::completedOf(ProcessId pid) const
     return n;
 }
 
+bool
+CoRunResult::identicalTo(const CoRunResult &other) const
+{
+    if (invocations.size() != other.invocations.size())
+        return false;
+    for (std::size_t i = 0; i < invocations.size(); ++i) {
+        const InvocationResult &a = invocations[i];
+        const InvocationResult &b = other.invocations[i];
+        if (a.kernel != b.kernel || a.process != b.process ||
+            a.priority != b.priority || a.invokeTick != b.invokeTick ||
+            a.finishTick != b.finishTick ||
+            a.preemptions != b.preemptions ||
+            a.totalTasks != b.totalTasks || a.execNs != b.execNs)
+            return false;
+    }
+    return makespanNs == other.makespanNs &&
+           preemptions == other.preemptions &&
+           shareSeries == other.shareSeries &&
+           overallShare == other.overallShare;
+}
+
 CoRunResult
 runCoRun(const BenchmarkSuite &suite, const OfflineArtifacts &artifacts,
          const CoRunConfig &cfg)

@@ -157,6 +157,15 @@ struct CoRunResult
 
     /** Completed invocation count of one process. */
     std::size_t completedOf(ProcessId pid) const;
+
+    /**
+     * Field-exact equality over every measurement, for differential
+     * testing (the macro-stepping fuzz harness compares fast-path vs
+     * slow-path and serial vs parallel runs of one config). True only
+     * when the invocation lists match field for field in order and
+     * all aggregate measurements are bit-identical.
+     */
+    bool identicalTo(const CoRunResult &other) const;
 };
 
 /**

@@ -120,6 +120,21 @@ struct GpuConfig
     }
 
     /**
+     * First-order throughput proxy: concurrently resident threads
+     * (numSms x maxThreadsPerSm). The simulated task throughput of a
+     * persistent kernel tracks its resident-CTA count, which both
+     * dimensions bound, so the ratio of two devices' indices is a
+     * usable cross-config scaling factor for duration predictions
+     * trained on one of them (see cluster/prediction.hh).
+     */
+    double
+    throughputIndex() const
+    {
+        return static_cast<double>(numSms) *
+               static_cast<double>(maxThreadsPerSm);
+    }
+
+    /**
      * Compact string covering every field, usable as a cache key:
      * configs with equal keys simulate identically.
      */

@@ -67,6 +67,17 @@ struct JobCheckpoint
     /** Simulated time of the last capture. */
     Tick capturedNs = 0;
 
+    /**
+     * Device that captured the last progress update; -1 before any
+     * capture. Provenance only: progress is stored in *task* units,
+     * which are hardware-independent, so a checkpoint taken on one
+     * GpuConfig restores onto any other. What changes across configs
+     * is the time-pricing of the remaining tasks, which the cluster
+     * re-derives from the target device's PredictionProvider at
+     * placement time (docs/resilience.md, heterogeneous migration).
+     */
+    int capturedOnDevice = -1;
+
     /** False until the job has been placed at least once. */
     bool valid = false;
 };

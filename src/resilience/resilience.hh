@@ -62,6 +62,31 @@ struct MigrationConfig
     Tick cooldownNs = 8 * 1000 * 1000;
 };
 
+/**
+ * Fault-aware placement: price each device's observed crash/stall
+ * history into its completion score so repeat offenders shed load
+ * before they fail again (docs/cluster.md gives the formula). The
+ * estimate is an exponentially decayed event count — one unit per
+ * observed fault, decaying with time constant `decayTauNs` — read as
+ * a rate in events per second of simulated time. A device that has
+ * never faulted scores exactly zero penalty, so fault-free runs stay
+ * bit-identical whether or not this is "on"; there is deliberately
+ * no enable flag.
+ */
+struct FaultAwareConfig
+{
+    /** Decay time constant of the per-device fault-rate estimate. */
+    Tick decayTauNs = 50 * 1000 * 1000;
+
+    /**
+     * Risk weight W: a device with decayed fault rate r (events/sec)
+     * has its completion score inflated by the factor (1 + r * W).
+     * Interpreted as the expected seconds of delay each fault per
+     * second adds per second of scored work. 0 ignores fault history.
+     */
+    double riskWeightSec = 0.02;
+};
+
 /** Everything the cluster's resilience layer is told to do. */
 struct ResilienceConfig
 {
@@ -79,6 +104,10 @@ struct ResilienceConfig
     RetryPolicy retry;
 
     MigrationConfig migration;
+
+    /** Fault-history pricing for placement (inert until a fault has
+     *  actually been observed; does not affect active()). */
+    FaultAwareConfig faultAware;
 
     /** True when the cluster should wire the resilience layer in. */
     bool

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Fault-aware placement: risk-inflated completion scoring, per-device
+ * demand pricing on heterogeneous fleets, the decayed fault-rate
+ * signal, and the NaN-safe per-priority SLO accessor.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "cluster/cluster_metrics.hh"
+#include "cluster/placement.hh"
+#include "cluster/prediction.hh"
+
+namespace flep
+{
+namespace
+{
+
+ClusterJob
+job(int id, const char *workload, InputClass input, Priority priority,
+    Tick arrival, int repeats = 1, Tick slo = 0)
+{
+    ClusterJob j;
+    j.id = id;
+    j.workload = workload;
+    j.input = input;
+    j.priority = priority;
+    j.arrivalNs = arrival;
+    j.repeats = repeats;
+    j.sloNs = slo;
+    return j;
+}
+
+DeviceLoad
+load(int device, Tick backlog, int resident = 0, int capacity = 2)
+{
+    DeviceLoad l;
+    l.device = device;
+    l.residentJobs = resident;
+    l.capacity = capacity;
+    l.predictedBacklogNs = backlog;
+    if (backlog > 0)
+        l.backlogByPriority[0] = backlog;
+    return l;
+}
+
+// --- pure policy scoring -------------------------------------------
+
+TEST(FaultAwarePlacement, RiskFactorRepelsLeastLoaded)
+{
+    // Identical devices; device 0 carries fault history. Without the
+    // risk term the tie breaks toward index 0, so choosing device 1
+    // proves the (1 + r*W) inflation is live.
+    const auto policy =
+        makePlacementPolicy(PlacementKind::LeastLoaded);
+    std::vector<DeviceLoad> loads = {load(0, 0), load(1, 0)};
+
+    ClusterJob j = job(0, "VA", InputClass::Small, 0, 0);
+    EXPECT_EQ(policy->place(j, 1000, loads).device, 0);
+
+    loads[0].decayedFaultRatePerSec = 10.0;
+    loads[0].faultRiskFactor = 10.0 * 0.02;
+    EXPECT_EQ(policy->place(j, 1000, loads).device, 1);
+}
+
+TEST(FaultAwarePlacement, RiskyDeviceStillWinsWhenMuchLessLoaded)
+{
+    // The risk term inflates, it does not blacklist: a faulty but
+    // idle device beats a healthy device drowning in backlog.
+    const auto policy =
+        makePlacementPolicy(PlacementKind::LeastLoaded);
+    std::vector<DeviceLoad> loads = {load(0, 0),
+                                     load(1, 50 * 1000 * 1000)};
+    loads[0].faultRiskFactor = 0.2;
+
+    ClusterJob j = job(0, "VA", InputClass::Small, 0, 0);
+    EXPECT_EQ(policy->place(j, 1000 * 1000, loads).device, 0);
+}
+
+TEST(FaultAwarePlacement, PerDeviceDemandOverridesFleetDemand)
+{
+    // Heterogeneous pricing: device 0 is idle but slow (its per-device
+    // estimate for the incoming job dwarfs device 1's), so the busier
+    // fast device still wins. incomingDemandNs == 0 must keep using
+    // the caller's fleet-wide demand.
+    const auto policy =
+        makePlacementPolicy(PlacementKind::LeastLoaded);
+    std::vector<DeviceLoad> loads = {load(0, 0), load(1, 2000)};
+    loads[0].incomingDemandNs = 30000;
+    loads[1].incomingDemandNs = 10000;
+
+    ClusterJob j = job(0, "VA", InputClass::Small, 0, 0);
+    EXPECT_EQ(policy->place(j, 5000, loads).device, 1);
+
+    loads[1].incomingDemandNs = 0; // fleet-wide 5000 + backlog 2000
+    EXPECT_EQ(policy->place(j, 5000, loads).device, 1);
+
+    loads[0].incomingDemandNs = 0; // both flat: idle device wins
+    EXPECT_EQ(policy->place(j, 5000, loads).device, 0);
+}
+
+TEST(FaultAwarePlacement, FirstFitStaysRiskBlind)
+{
+    // FirstFit is the no-signal baseline; fault history must not
+    // perturb it.
+    const auto policy = makePlacementPolicy(PlacementKind::FirstFit);
+    std::vector<DeviceLoad> loads = {load(0, 0), load(1, 0)};
+    loads[0].faultRiskFactor = 100.0;
+
+    ClusterJob j = job(0, "VA", InputClass::Small, 0, 0);
+    EXPECT_EQ(policy->place(j, 1000, loads).device, 0);
+}
+
+// --- end-to-end: the signal and its effect -------------------------
+
+class FaultAwareClusterTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 30, 8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+        artifacts_ = nullptr;
+        suite_ = nullptr;
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *FaultAwareClusterTest::suite_ = nullptr;
+OfflineArtifacts *FaultAwareClusterTest::artifacts_ = nullptr;
+
+TEST_F(FaultAwareClusterTest, StallHistoryShedsFollowingJobs)
+{
+    // Job 0 takes device 0 (tie toward index 0) and suffers a stall.
+    // Job 1 arrives long after everything is over: both devices idle,
+    // scores equal except device 0's decayed fault history — so job 1
+    // must land on device 1, and the rate must surface in the result
+    // and metrics.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.placement = PlacementKind::LeastLoaded;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2)};
+    {
+        ClusterConfig probe = cfg;
+        const ClusterResult solo =
+            runCluster(*suite_, *artifacts_, probe);
+        ASSERT_GT(solo.makespanNs, 0u);
+        FaultEvent stall;
+        stall.kind = FaultKind::TransientStall;
+        stall.device = 0;
+        stall.atNs = solo.makespanNs / 2;
+        stall.durationNs = 200 * 1000;
+        cfg.resilience.faults = {stall};
+        cfg.jobs.push_back(job(1, "VA", InputClass::Small, 0,
+                               solo.makespanNs * 3));
+    }
+
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 2u);
+    EXPECT_TRUE(res.outcomes[0].completed);
+    EXPECT_TRUE(res.outcomes[1].completed);
+    EXPECT_EQ(res.outcomes[1].device, 1);
+    EXPECT_EQ(res.faultsInjected, 1);
+
+    ASSERT_EQ(res.deviceFaultRatePerSec.size(), 2u);
+    EXPECT_GT(res.deviceFaultRatePerSec[0], 0.0);
+    EXPECT_DOUBLE_EQ(res.deviceFaultRatePerSec[1], 0.0);
+
+    const ClusterMetrics m = computeClusterMetrics(res);
+    ASSERT_EQ(m.deviceFaultRatePerSec.size(), 2u);
+    EXPECT_DOUBLE_EQ(m.deviceFaultRatePerSec[0],
+                     res.deviceFaultRatePerSec[0]);
+}
+
+TEST_F(FaultAwareClusterTest, FaultFreeRunsReportZeroRates)
+{
+    // The estimator must be invisible without fault history — the
+    // bit-identity guarantee rests on this.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.placement = PlacementKind::LeastLoaded;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0),
+                job(1, "MM", InputClass::Small, 0, 500)};
+    cfg.resilience.checkpoints = true; // active layer, no faults
+
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+    for (double rate : res.deviceFaultRatePerSec)
+        EXPECT_DOUBLE_EQ(rate, 0.0);
+}
+
+TEST_F(FaultAwareClusterTest, TrainedProviderScalesByThroughputRatio)
+{
+    // The ridge models are fit on the reference device; a device with
+    // a third of the throughput index must be quoted ~3x the time,
+    // and a provider for the reference config itself must be quoted
+    // the reference time unchanged.
+    const GpuConfig ref = GpuConfig::keplerK40();
+    GpuConfig slow = ref;
+    slow.numSms = 5;
+
+    const auto ref_prov = makePredictionProvider(
+        PredictionSource::Trained, *suite_, *artifacts_, ref, &ref);
+    const auto slow_prov = makePredictionProvider(
+        PredictionSource::Trained, *suite_, *artifacts_, slow, &ref);
+
+    const ClusterJob j = job(0, "VA", InputClass::Small, 0, 0);
+    const double ref_ns =
+        static_cast<double>(ref_prov->predictInvocationNs(j));
+    const double slow_ns =
+        static_cast<double>(slow_prov->predictInvocationNs(j));
+    ASSERT_GT(ref_ns, 0.0);
+    EXPECT_NEAR(slow_ns / ref_ns, 3.0, 0.01);
+}
+
+TEST_F(FaultAwareClusterTest, HeuristicProviderStaysFlatAcrossConfigs)
+{
+    // The heuristic is the deliberately model-free baseline; scaling
+    // it would launder hardware knowledge into the no-model column.
+    const GpuConfig ref = GpuConfig::keplerK40();
+    GpuConfig slow = ref;
+    slow.numSms = 5;
+
+    const auto prov = makePredictionProvider(
+        PredictionSource::Heuristic, *suite_, *artifacts_, slow,
+        &ref);
+    const ClusterJob j = job(0, "VA", InputClass::Small, 0, 0);
+    EXPECT_EQ(prov->predictInvocationNs(j), heuristicDemandNs);
+}
+
+// --- metrics regression --------------------------------------------
+
+TEST_F(FaultAwareClusterTest, SloAttainmentForPriorityWithoutSloJobs)
+{
+    // Regression: a priority class whose jobs carry no SLO used to
+    // make a 0/0 breakdown possible. The accessor must answer 1.0
+    // for any priority absent from the map, and every value actually
+    // in the map must be finite.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.jobs = {
+        job(0, "VA", InputClass::Small, 0, 0, 1,
+            100 * 1000 * 1000),                 // SLO at priority 0
+        job(1, "MM", InputClass::Small, 3, 500) // no SLO, priority 3
+    };
+
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+    const ClusterMetrics m = computeClusterMetrics(res);
+
+    EXPECT_EQ(m.sloJobs, 1u);
+    // Priority 3 has jobs but no SLO jobs; priority 9 has nothing.
+    EXPECT_DOUBLE_EQ(m.sloAttainmentFor(3), 1.0);
+    EXPECT_DOUBLE_EQ(m.sloAttainmentFor(9), 1.0);
+    EXPECT_EQ(m.sloAttainmentByPriority.count(3), 0u);
+    for (const auto &[prio, att] : m.sloAttainmentByPriority) {
+        (void)prio;
+        EXPECT_TRUE(std::isfinite(att));
+        EXPECT_GE(att, 0.0);
+        EXPECT_LE(att, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(m.sloAttainmentFor(0),
+                     m.sloAttainmentByPriority.at(0));
+}
+
+} // namespace
+} // namespace flep

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Randomized differential fuzzing of the simulation's equivalence
+ * invariants.
+ *
+ * Two properties must hold for *every* config, not just the
+ * hand-picked ones the unit tests pin:
+ *
+ *  1. macro-stepping is invisible: a run with the event-coalescing
+ *     fast path enabled is bit-identical to the same config with
+ *     FLEP_MACRO_MAX_CHUNKS-style budget 0 (every chunk its own
+ *     event);
+ *  2. batching is invisible: a parallel batch equals a serial loop.
+ *
+ * This harness draws random CoRunConfigs and ClusterConfigs — the
+ * cluster generator covers heterogeneous fleets, warm spares, crashes,
+ * stalls, migration, and therefore the cross-config checkpoint-restore
+ * path — from a fixed seed list and compares the full results with
+ * CoRunResult::identicalTo / ClusterResult::identicalTo. Config count
+ * scales with the FLEP_FUZZ_CONFIGS environment variable (default 32,
+ * the tier-1 budget; CI's extended job raises it).
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "common/random.hh"
+#include "flep/experiment.hh"
+
+namespace flep
+{
+namespace
+{
+
+/** Neutralize the CI slow-path override for the comparison's sake. */
+class EnvGuard
+{
+  public:
+    EnvGuard()
+    {
+        const char *old = std::getenv(kVar);
+        had_ = old != nullptr;
+        if (had_)
+            saved_ = old;
+        ::unsetenv(kVar);
+    }
+
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(kVar, saved_.c_str(), 1);
+    }
+
+  private:
+    static constexpr const char *kVar = "FLEP_MACRO_MAX_CHUNKS";
+    bool had_ = false;
+    std::string saved_;
+};
+
+/** Configs per fuzz family: FLEP_FUZZ_CONFIGS, floored at 32. */
+int
+fuzzConfigCount()
+{
+    const char *env = std::getenv("FLEP_FUZZ_CONFIGS");
+    if (env != nullptr) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n < 32 ? 32 : n;
+    }
+    return 32;
+}
+
+const char *const kWorkloads[] = {"CFD", "NN",   "PF", "PL",
+                                  "MD",  "SPMV", "MM", "VA"};
+
+const long kMacroBudgets[] = {1, 7, 64, 256, 2048};
+
+/** One random co-run: 1-3 kernels, both FLEP policies, occasional
+ *  infinite workloads under a horizon with share tracking. */
+CoRunConfig
+randomCoRun(Rng &rng, long macro_budget)
+{
+    CoRunConfig cfg;
+    cfg.gpu.macroStepMaxChunks = macro_budget;
+    cfg.scheduler = rng.uniform() < 0.5 ? SchedulerKind::FlepHpf
+                                        : SchedulerKind::FlepFfs;
+    cfg.seed = rng.next();
+    const bool infinite = rng.uniform() < 0.25;
+    const int kernels = static_cast<int>(rng.uniformInt(1, 3));
+    for (int k = 0; k < kernels; ++k) {
+        KernelSpec spec;
+        spec.workload = kWorkloads[rng.uniformInt(0, 7)];
+        spec.input = InputClass::Small;
+        spec.priority = static_cast<Priority>(rng.uniformInt(0, 5));
+        spec.invokeDelayNs = rng.uniformInt(0, 50 * 1000);
+        spec.repeats =
+            infinite ? -1 : static_cast<int>(rng.uniformInt(1, 3));
+        cfg.kernels.push_back(spec);
+    }
+    if (infinite) {
+        cfg.horizonNs = rng.uniformInt(5, 12) * ticksPerMs;
+        if (rng.uniform() < 0.5)
+            cfg.shareWindowNs = 2 * ticksPerMs;
+    } else if (rng.uniform() < 0.25) {
+        cfg.shareWindowNs = 1 * ticksPerMs;
+    }
+    return cfg;
+}
+
+/** A random fleet device: the K40 at full, 2/3 or 1/3 width. */
+GpuConfig
+randomGpu(Rng &rng, long macro_budget)
+{
+    GpuConfig gpu = GpuConfig::keplerK40();
+    gpu.numSms = static_cast<int>(rng.uniformInt(1, 3)) * 5;
+    gpu.macroStepMaxChunks = macro_budget;
+    return gpu;
+}
+
+/**
+ * One random cluster run: heterogeneous fleet, spares, scripted
+ * crashes/stalls on primaries, sometimes migration — the whole
+ * resilience surface, including restores onto different configs.
+ */
+ClusterConfig
+randomCluster(Rng &rng, long macro_budget)
+{
+    ClusterConfig cfg;
+    cfg.seed = rng.next();
+    cfg.gpu.macroStepMaxChunks = macro_budget;
+    cfg.devices = static_cast<int>(rng.uniformInt(1, 3));
+    cfg.spareDevices = static_cast<int>(rng.uniformInt(0, 1));
+    cfg.spareActivationDelayNs = rng.uniformInt(50, 800) * ticksPerUs;
+    cfg.deviceCapacity = static_cast<int>(rng.uniformInt(1, 2));
+    const auto &placements = allPlacementKinds();
+    cfg.placement = placements[static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(placements.size()) - 1))];
+    cfg.prediction = rng.uniform() < 0.5 ? PredictionSource::Heuristic
+                                         : PredictionSource::Trained;
+    if (rng.uniform() < 0.6) {
+        const int fleet = cfg.devices + cfg.spareDevices;
+        for (int d = 0; d < fleet; ++d)
+            cfg.deviceGpus.push_back(randomGpu(rng, macro_budget));
+    }
+
+    const int jobs = static_cast<int>(rng.uniformInt(2, 5));
+    for (int j = 0; j < jobs; ++j) {
+        ClusterJob job;
+        job.id = j;
+        job.workload = kWorkloads[rng.uniformInt(0, 7)];
+        job.input = InputClass::Small;
+        job.priority = static_cast<Priority>(rng.uniformInt(0, 5));
+        job.arrivalNs = rng.uniformInt(0, 2 * ticksPerMs);
+        job.repeats = static_cast<int>(rng.uniformInt(1, 3));
+        if (rng.uniform() < 0.3)
+            job.sloNs = rng.uniformInt(5, 100) * ticksPerMs;
+        cfg.jobs.push_back(job);
+    }
+
+    const int faults = static_cast<int>(rng.uniformInt(0, 2));
+    for (int f = 0; f < faults; ++f) {
+        FaultEvent ev;
+        ev.kind = rng.uniform() < 0.5 ? FaultKind::DeviceCrash
+                                      : FaultKind::TransientStall;
+        ev.device = static_cast<int>(
+            rng.uniformInt(0, cfg.devices - 1));
+        ev.atNs = rng.uniformInt(200 * ticksPerUs, 8 * ticksPerMs);
+        ev.durationNs = rng.uniformInt(100, 2000) * ticksPerUs;
+        cfg.resilience.faults.push_back(ev);
+    }
+    if (rng.uniform() < 0.4) {
+        cfg.resilience.migration.enabled = true;
+        cfg.resilience.migration.intervalNs =
+            rng.uniformInt(1, 4) * ticksPerMs;
+        cfg.resilience.migration.minImbalanceNs =
+            rng.uniformInt(1, 3) * ticksPerMs;
+    }
+    return cfg;
+}
+
+/** Rewrite every macro budget in the config (fleet-wide). */
+ClusterConfig
+withClusterBudget(ClusterConfig cfg, long macro_budget)
+{
+    cfg.gpu.macroStepMaxChunks = macro_budget;
+    for (GpuConfig &gpu : cfg.deviceGpus)
+        gpu.macroStepMaxChunks = macro_budget;
+    return cfg;
+}
+
+class MacroFuzzTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 30, 8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+        artifacts_ = nullptr;
+        suite_ = nullptr;
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *MacroFuzzTest::suite_ = nullptr;
+OfflineArtifacts *MacroFuzzTest::artifacts_ = nullptr;
+
+TEST_F(MacroFuzzTest, RandomCoRunsAreBitIdentical)
+{
+    EnvGuard env;
+    const int count = fuzzConfigCount();
+    std::vector<CoRunConfig> fast_cfgs;
+    std::vector<CoRunConfig> slow_cfgs;
+    Rng rng(0xF1E9C0DEULL);
+    for (int i = 0; i < count; ++i) {
+        Rng cfg_rng = rng.fork();
+        Rng budget_rng = cfg_rng; // same stream -> same config
+        const long budget =
+            kMacroBudgets[static_cast<std::size_t>(i) % 5];
+        fast_cfgs.push_back(randomCoRun(cfg_rng, budget));
+        slow_cfgs.push_back(randomCoRun(budget_rng, 0));
+    }
+
+    const auto fast =
+        runCoRunBatch(*suite_, *artifacts_, fast_cfgs, 1);
+    const auto slow =
+        runCoRunBatch(*suite_, *artifacts_, slow_cfgs, 1);
+    const auto fast4 =
+        runCoRunBatch(*suite_, *artifacts_, fast_cfgs, 4);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i) + " seed " +
+                     std::to_string(fast_cfgs[i].seed));
+        EXPECT_TRUE(fast[i].identicalTo(slow[i]))
+            << "macro fast path diverged from slow path";
+        EXPECT_TRUE(fast[i].identicalTo(fast4[i]))
+            << "parallel batch diverged from serial batch";
+        EXPECT_FALSE(fast[i].invocations.empty());
+    }
+}
+
+TEST_F(MacroFuzzTest, RandomClustersAreBitIdentical)
+{
+    EnvGuard env;
+    const int count = fuzzConfigCount() / 2;
+    std::vector<ClusterConfig> fast_cfgs;
+    std::vector<ClusterConfig> slow_cfgs;
+    Rng rng(0xC1A5F0CCULL);
+    long hetero = 0;
+    long faulty = 0;
+    for (int i = 0; i < count; ++i) {
+        Rng cfg_rng = rng.fork();
+        const long budget =
+            kMacroBudgets[static_cast<std::size_t>(i) % 5];
+        ClusterConfig cfg = randomCluster(cfg_rng, budget);
+        hetero += cfg.deviceGpus.empty() ? 0 : 1;
+        faulty += cfg.resilience.faults.empty() ? 0 : 1;
+        fast_cfgs.push_back(cfg);
+        slow_cfgs.push_back(withClusterBudget(cfg, 0));
+    }
+    // The generator must actually exercise the tentpole paths.
+    EXPECT_GT(hetero, 0);
+    EXPECT_GT(faulty, 0);
+
+    const auto fast =
+        runClusterBatch(*suite_, *artifacts_, fast_cfgs, 1);
+    const auto slow =
+        runClusterBatch(*suite_, *artifacts_, slow_cfgs, 1);
+    const auto fast4 =
+        runClusterBatch(*suite_, *artifacts_, fast_cfgs, 4);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i) + " seed " +
+                     std::to_string(fast_cfgs[i].seed));
+        EXPECT_TRUE(fast[i].identicalTo(slow[i]))
+            << "macro fast path diverged from slow path";
+        EXPECT_TRUE(fast[i].identicalTo(fast4[i]))
+            << "parallel batch diverged from serial batch";
+        EXPECT_EQ(fast[i].outcomes.size(), fast_cfgs[i].jobs.size());
+    }
+}
+
+TEST_F(MacroFuzzTest, RerunsAreReproducible)
+{
+    // The generator itself is part of the determinism contract: the
+    // same master seed must yield the same configs and results, or
+    // a CI failure could never be replayed locally.
+    EnvGuard env;
+    Rng a(42);
+    Rng b(42);
+    const CoRunConfig ca = randomCoRun(a, 256);
+    const CoRunConfig cb = randomCoRun(b, 256);
+    ASSERT_EQ(ca.seed, cb.seed);
+    const CoRunResult ra = runCoRun(*suite_, *artifacts_, ca);
+    const CoRunResult rb = runCoRun(*suite_, *artifacts_, cb);
+    EXPECT_TRUE(ra.identicalTo(rb));
+}
+
+} // namespace
+} // namespace flep

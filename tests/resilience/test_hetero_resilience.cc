@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Heterogeneous-fleet resilience: checkpoint restore across different
+ * GpuConfigs, double-restore composition, restore racing a migration
+ * drain, and warm-spare activation (including an exhausted pool).
+ *
+ * The load-bearing property: a JobCheckpoint stores progress in task
+ * units, which are hardware-independent, so a job checkpointed on
+ * config A resumes correctly on config B — only the time-pricing of
+ * the remaining work changes, through B's PredictionProvider.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "cluster/cluster_metrics.hh"
+#include "cluster/prediction.hh"
+
+namespace flep
+{
+namespace
+{
+
+class HeteroResilienceTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        suite_ = new BenchmarkSuite();
+        artifacts_ = new OfflineArtifacts(
+            runOfflinePhase(*suite_, GpuConfig::keplerK40(), 30, 8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete artifacts_;
+        delete suite_;
+        artifacts_ = nullptr;
+        suite_ = nullptr;
+    }
+
+    /** A K40 with a third of the SMs: same ISA-level behavior, one
+     *  third the throughput index (15 -> 5 SMs). */
+    static GpuConfig
+    slowGpu()
+    {
+        GpuConfig gpu = GpuConfig::keplerK40();
+        gpu.numSms = 5;
+        return gpu;
+    }
+
+    static ClusterJob
+    job(int id, const char *workload, InputClass input,
+        Priority priority, Tick arrival, int repeats = 1,
+        Tick slo = 0)
+    {
+        ClusterJob j;
+        j.id = id;
+        j.workload = workload;
+        j.input = input;
+        j.priority = priority;
+        j.arrivalNs = arrival;
+        j.repeats = repeats;
+        j.sloNs = slo;
+        return j;
+    }
+
+    static Tick
+    baselineMakespan(ClusterConfig cfg)
+    {
+        cfg.resilience = ResilienceConfig{};
+        const ClusterResult res =
+            runCluster(*suite_, *artifacts_, cfg);
+        EXPECT_GT(res.makespanNs, 0u);
+        return res.makespanNs;
+    }
+
+    static FaultEvent
+    crashAt(int device, Tick at)
+    {
+        FaultEvent ev;
+        ev.kind = FaultKind::DeviceCrash;
+        ev.device = device;
+        ev.atNs = at;
+        return ev;
+    }
+
+    static BenchmarkSuite *suite_;
+    static OfflineArtifacts *artifacts_;
+};
+
+BenchmarkSuite *HeteroResilienceTest::suite_ = nullptr;
+OfflineArtifacts *HeteroResilienceTest::artifacts_ = nullptr;
+
+TEST_F(HeteroResilienceTest, RestoreOntoSlowerConfigCompletes)
+{
+    // Fast primary, slow survivor. The job starts on device 0 (K40,
+    // first-fit), the crash evicts it mid-program, and it must finish
+    // every repeat on the 5-SM device.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.deviceGpus = {GpuConfig::keplerK40(), slowGpu()};
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 4)};
+    const Tick mid = (baselineMakespan(cfg) * 6) / 10;
+
+    cfg.resilience.faults = {crashAt(0, mid)};
+
+    Simulation sim(cfg.seed);
+    ClusterScheduler cluster(sim, *suite_, *artifacts_, cfg);
+    cluster.start();
+    sim.run();
+    const ClusterResult res = cluster.collect();
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    const JobOutcome &out = res.outcomes[0];
+    EXPECT_TRUE(out.completed);
+    EXPECT_EQ(out.restarts, 1);
+    EXPECT_EQ(out.device, 1);
+
+    const JobCheckpoint &cp = cluster.checkpointOf(0);
+    EXPECT_TRUE(cp.valid);
+    EXPECT_EQ(cp.completedRepeats, 4);
+    EXPECT_EQ(cp.tasksDone, 0);
+    // Provenance: the final capture happened on the slow survivor.
+    EXPECT_EQ(cp.capturedOnDevice, 1);
+    EXPECT_EQ(cp.totalTasks,
+              suite_->byName("VA")
+                  .input(InputClass::Small)
+                  .totalTasks);
+}
+
+TEST_F(HeteroResilienceTest, RestoreOntoFasterConfigCompletes)
+{
+    // The mirror case: checkpointed on the slow device, restored onto
+    // the fast one.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.deviceGpus = {slowGpu(), GpuConfig::keplerK40()};
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 4)};
+    const Tick mid = (baselineMakespan(cfg) * 6) / 10;
+
+    cfg.resilience.faults = {crashAt(0, mid)};
+
+    Simulation sim(cfg.seed);
+    ClusterScheduler cluster(sim, *suite_, *artifacts_, cfg);
+    cluster.start();
+    sim.run();
+    const ClusterResult res = cluster.collect();
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    EXPECT_TRUE(res.outcomes[0].completed);
+    EXPECT_EQ(res.outcomes[0].restarts, 1);
+    EXPECT_EQ(res.outcomes[0].device, 1);
+    EXPECT_EQ(cluster.checkpointOf(0).completedRepeats, 4);
+    EXPECT_EQ(cluster.checkpointOf(0).capturedOnDevice, 1);
+}
+
+TEST_F(HeteroResilienceTest, DrainBankedProgressSurvivesCrashExactly)
+{
+    // Exact progress accounting across a cross-config restore: a
+    // high-priority arrival preempts the victim, whose drain banks
+    // its partial progress into the checkpoint. The crash then lands
+    // while the victim is *off* the GPU (the preemptor is running),
+    // so the victim's live progress equals its checkpoint and the
+    // crash must destroy exactly zero of its work — while the
+    // preemptor, which has no banked progress, must lose a nonzero
+    // amount. The victim then resumes its remaining tasks on the
+    // slow device.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.deviceCapacity = 2;
+    cfg.deviceGpus = {GpuConfig::keplerK40(), slowGpu()};
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2),
+                job(1, "NN", InputClass::Small, 5, 400 * 1000)};
+    const Tick base = baselineMakespan(cfg);
+
+    // Both jobs first-fit onto device 0; the priority-5 arrival at
+    // 400us preempts the victim under HPF. Crash after the drain has
+    // certainly completed but well before the preemptor finishes.
+    const Tick crash = 400 * 1000 + (base - 400 * 1000) / 2;
+    cfg.resilience.faults = {crashAt(0, crash)};
+
+    Simulation sim(cfg.seed);
+    ClusterScheduler cluster(sim, *suite_, *artifacts_, cfg);
+    cluster.start();
+    sim.runUntil(crash - 1);
+    const JobCheckpoint banked = cluster.checkpointOf(0);
+    sim.run();
+    const ClusterResult res = cluster.collect();
+
+    // The drain really banked partial progress on device 0.
+    ASSERT_TRUE(banked.valid);
+    EXPECT_GT(banked.tasksDone, 0);
+    EXPECT_LT(banked.tasksDone, banked.totalTasks);
+    EXPECT_EQ(banked.capturedOnDevice, 0);
+
+    ASSERT_EQ(res.outcomes.size(), 2u);
+    const JobOutcome &victim = res.outcomes[0];
+    const JobOutcome &preemptor = res.outcomes[1];
+    EXPECT_TRUE(victim.completed);
+    EXPECT_TRUE(preemptor.completed);
+    // Exactness: everything the victim had done was in the
+    // checkpoint, so the crash cost it nothing; the preemptor ran
+    // uncheckpointed and lost real progress.
+    EXPECT_EQ(victim.lostWorkNs, 0u);
+    EXPECT_GT(preemptor.lostWorkNs, 0u);
+    EXPECT_EQ(res.lostWorkNs,
+              victim.lostWorkNs + preemptor.lostWorkNs);
+    // Both finished on the slow survivor, from the banked state.
+    EXPECT_EQ(victim.device, 1);
+    EXPECT_EQ(cluster.checkpointOf(0).completedRepeats, 2);
+}
+
+TEST_F(HeteroResilienceTest, LostWorkIsPricedAtTheFailedDevicesRate)
+{
+    // A crash late in a solo run on the *slow* device destroys most
+    // of an invocation. Priced at the slow device's rate, the loss
+    // must exceed the whole-invocation estimate at the reference
+    // (fast) rate — which is what a fleet-wide provider would have
+    // charged, and would understate the re-execution time.
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.deviceGpus = {slowGpu()};
+    cfg.prediction = PredictionSource::Trained;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 1)};
+    const Tick late = (baselineMakespan(cfg) * 9) / 10;
+
+    cfg.resilience.faults = {crashAt(0, late)};
+    cfg.resilience.retry.maxRestarts = 0;
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    EXPECT_TRUE(res.outcomes[0].failedPermanently);
+
+    const auto ref = makePredictionProvider(
+        PredictionSource::Trained, *suite_, *artifacts_,
+        GpuConfig::keplerK40());
+    const Tick ref_invocation =
+        ref->predictInvocationNs(cfg.jobs[0]);
+    EXPECT_GT(res.lostWorkNs, ref_invocation);
+}
+
+TEST_F(HeteroResilienceTest, DoubleRestoreComposesAcrossConfigs)
+{
+    // Two crashes, two restores, three different devices. tasksDone
+    // is absolute against the original invocation, so the second
+    // restore must build on the first's base instead of resetting.
+    ClusterConfig cfg;
+    cfg.devices = 3;
+    cfg.deviceGpus = {GpuConfig::keplerK40(), slowGpu(),
+                      GpuConfig::keplerK40()};
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 4)};
+    const Tick base = baselineMakespan(cfg);
+
+    cfg.resilience.faults = {crashAt(0, (base * 4) / 10),
+                             crashAt(1, (base * 12) / 10)};
+
+    Simulation sim(cfg.seed);
+    ClusterScheduler cluster(sim, *suite_, *artifacts_, cfg);
+    cluster.start();
+    sim.run();
+    const ClusterResult res = cluster.collect();
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    const JobOutcome &out = res.outcomes[0];
+    EXPECT_TRUE(out.completed);
+    EXPECT_EQ(out.restarts, 2);
+    EXPECT_EQ(out.device, 2);
+    EXPECT_EQ(res.faultsInjected, 2);
+    const JobCheckpoint &cp = cluster.checkpointOf(0);
+    EXPECT_EQ(cp.completedRepeats, 4);
+    EXPECT_EQ(cp.tasksDone, 0);
+    EXPECT_EQ(cp.capturedOnDevice, 2);
+}
+
+TEST_F(HeteroResilienceTest, CrashRacingMigrationDrainStaysConsistent)
+{
+    // A crash striking the source device while a migration drain is
+    // in flight must not double-materialize or lose the job: the
+    // pending migration is dropped and the job goes through the
+    // ordinary checkpoint-requeue path. Assert global consistency
+    // plus determinism (two runs, field-exact equality).
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.deviceCapacity = 2;
+    cfg.deviceGpus = {GpuConfig::keplerK40(), slowGpu()};
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 3),
+                job(1, "MM", InputClass::Small, 0, 0, 3),
+                job(2, "NN", InputClass::Small, 0, 1000, 2)};
+    const Tick base = baselineMakespan(cfg);
+
+    cfg.resilience.migration.enabled = true;
+    cfg.resilience.migration.intervalNs = base / 8;
+    cfg.resilience.migration.minImbalanceNs = 1;
+    cfg.resilience.migration.cooldownNs = 1;
+    // One crash per rebalance period, hunting for a drain overlap;
+    // whichever tick hits one, both runs see the same interleaving.
+    cfg.resilience.faults = {crashAt(0, base / 8 + 2000)};
+
+    const ClusterResult a = runCluster(*suite_, *artifacts_, cfg);
+    const ClusterResult b = runCluster(*suite_, *artifacts_, cfg);
+    EXPECT_TRUE(a.identicalTo(b));
+
+    Tick lost = 0;
+    for (const auto &out : a.outcomes) {
+        // No job may be silently dropped: completed or accounted as
+        // a permanent failure.
+        EXPECT_TRUE(out.completed || out.failedPermanently);
+        lost += out.lostWorkNs;
+    }
+    EXPECT_EQ(a.lostWorkNs, lost);
+    EXPECT_EQ(a.faultsInjected, 1);
+}
+
+TEST_F(HeteroResilienceTest, CrashActivatesWarmSpare)
+{
+    // One primary, one spare. The crash kills the only primary; the
+    // spare must join the pool after the activation delay and absorb
+    // the requeued job.
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.spareDevices = 1;
+    cfg.spareActivationDelayNs = 500 * 1000;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2)};
+    const Tick mid = baselineMakespan(cfg) / 2;
+
+    cfg.resilience.faults = {crashAt(0, mid)};
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    EXPECT_TRUE(res.outcomes[0].completed);
+    EXPECT_EQ(res.outcomes[0].device, 1); // the spare's index
+    EXPECT_EQ(res.sparesActivated, 1);
+    EXPECT_EQ(res.spareActivationLatencyNs, 500 * 1000);
+    EXPECT_GE(res.jobsAbsorbedBySpares, 1);
+
+    const ClusterMetrics m = computeClusterMetrics(res);
+    EXPECT_EQ(m.sparesActivated, 1);
+    EXPECT_EQ(m.jobsAbsorbedBySpares, res.jobsAbsorbedBySpares);
+    EXPECT_DOUBLE_EQ(m.meanSpareActivationLatencyUs, 500.0);
+}
+
+TEST_F(HeteroResilienceTest, SecondCrashFindsEmptySparePool)
+{
+    // Two primaries, one spare. The first crash takes the spare; the
+    // second finds the pool empty and must degrade gracefully: no
+    // phantom activation, and the whole backlog lands on the spare.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.spareDevices = 1;
+    cfg.spareActivationDelayNs = 100 * 1000;
+    cfg.deviceGpus = {GpuConfig::keplerK40(), GpuConfig::keplerK40(),
+                      slowGpu()};
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2),
+                job(1, "MM", InputClass::Small, 0, 0, 2)};
+    const Tick base = baselineMakespan(cfg);
+
+    cfg.resilience.faults = {crashAt(0, base / 3),
+                             crashAt(1, (base * 2) / 3)};
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    EXPECT_EQ(res.faultsInjected, 2);
+    EXPECT_EQ(res.sparesActivated, 1);
+    for (const auto &out : res.outcomes) {
+        EXPECT_TRUE(out.completed);
+        EXPECT_EQ(out.device, 2); // everyone ends on the slow spare
+    }
+}
+
+TEST_F(HeteroResilienceTest, SpareStaysColdWithoutACrash)
+{
+    // Transient stalls do not spend spares: the device comes back.
+    ClusterConfig cfg;
+    cfg.devices = 1;
+    cfg.spareDevices = 1;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 2)};
+    const Tick mid = baselineMakespan(cfg) / 2;
+
+    FaultEvent stall;
+    stall.kind = FaultKind::TransientStall;
+    stall.device = 0;
+    stall.atNs = mid;
+    stall.durationNs = 2 * 1000 * 1000;
+    cfg.resilience.faults = {stall};
+    const ClusterResult res = runCluster(*suite_, *artifacts_, cfg);
+
+    EXPECT_EQ(res.sparesActivated, 0);
+    EXPECT_EQ(res.jobsAbsorbedBySpares, 0);
+    ASSERT_EQ(res.outcomes.size(), 1u);
+    EXPECT_TRUE(res.outcomes[0].completed);
+    EXPECT_EQ(res.outcomes[0].device, 0);
+}
+
+TEST_F(HeteroResilienceTest, HeteroFaultRunsAreDeterministic)
+{
+    // The whole tentpole at once — heterogeneous fleet, spares,
+    // crash, migration — must be bit-identical run to run and across
+    // batch thread counts.
+    ClusterConfig cfg;
+    cfg.devices = 2;
+    cfg.spareDevices = 1;
+    cfg.deviceGpus = {GpuConfig::keplerK40(), slowGpu(),
+                      GpuConfig::keplerK40()};
+    cfg.placement = PlacementKind::LeastLoaded;
+    cfg.prediction = PredictionSource::Trained;
+    cfg.jobs = {job(0, "VA", InputClass::Small, 0, 0, 3),
+                job(1, "NN", InputClass::Small, 5, 1000, 2,
+                    50 * 1000 * 1000),
+                job(2, "MM", InputClass::Small, 0, 2000, 2)};
+    const Tick base = baselineMakespan(cfg);
+    cfg.resilience.faults = {crashAt(0, base / 3)};
+    cfg.resilience.migration.enabled = true;
+    cfg.resilience.migration.intervalNs = base / 6;
+
+    const std::vector<ClusterConfig> cfgs(4, cfg);
+    const auto serial =
+        runClusterBatch(*suite_, *artifacts_, cfgs, 1);
+    const auto parallel =
+        runClusterBatch(*suite_, *artifacts_, cfgs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(serial[i].identicalTo(parallel[i]))
+            << "batch index " << i;
+        EXPECT_TRUE(serial[i].identicalTo(serial[0]));
+    }
+    EXPECT_GT(serial[0].restarts, 0);
+}
+
+} // namespace
+} // namespace flep

@@ -12,6 +12,8 @@
  *
  * Options:
  *   --devices=<N>        GPUs in the cluster (default 2)
+ *   --gpus=<S1,S2,...>   per-device SM counts (heterogeneous fleet;
+ *                        one entry per device, or per device+spare)
  *   --placement=<name>   first-fit|least-loaded|preemptive-priority
  *   --prediction=<name>  heuristic|trained|oracle demand estimates
  *   --load=<F>           offered load per device (default 0.9)
@@ -30,11 +32,14 @@
  *                        (20% crashes, 80% transient stalls)
  *   --kill=<dev>@<ms>    scripted device crash (repeatable)
  *   --migrate            enable the periodic load rebalancer
+ *   --spares=<N>         warm spare devices (crash-activated)
+ *   --spare-delay-us=<N> spare crash-to-ready latency (default 500)
  *
  * Examples:
  *   flepclusterd --devices=2 --placement=preemptive-priority \
  *                --load=1.2 --jobs=30
  *   flepclusterd --devices=3 --kill=0@2 --migrate
+ *   flepclusterd --devices=2 --gpus=15,5,15 --spares=1 --kill=0@2
  */
 
 #include <algorithm>
@@ -75,6 +80,9 @@ struct Options
     double faultRatePerSec = 0.0;
     std::vector<FaultEvent> scriptedFaults;
     bool migrate = false;
+    int spares = 0;
+    Tick spareDelayNs = 500 * 1000;
+    std::vector<int> gpuSms;
 };
 
 [[noreturn]] void
@@ -102,7 +110,13 @@ usage(int code)
         "  --checkpoints        capture drain-boundary checkpoints\n"
         "  --fault-rate=<F>     generated faults per device-second\n"
         "  --kill=<dev>@<ms>    scripted device crash (repeatable)\n"
-        "  --migrate            enable the load rebalancer\n");
+        "  --migrate            enable the load rebalancer\n"
+        "  --spares=<N>         warm spare devices "
+        "(crash-activated)\n"
+        "  --spare-delay-us=<N> spare crash-to-ready latency "
+        "(default 500)\n"
+        "  --gpus=<S1,S2,...>   per-device SM counts "
+        "(heterogeneous fleet)\n");
     std::exit(code);
 }
 
@@ -233,6 +247,27 @@ parseArgs(int argc, char **argv)
             opts.scriptedFaults.push_back(ev);
         } else if (arg == "--migrate") {
             opts.migrate = true;
+        } else if (startsWith(arg, "--spares=")) {
+            opts.spares = static_cast<int>(
+                parseLong(arg.substr(9), "spares"));
+        } else if (startsWith(arg, "--spare-delay-us=")) {
+            opts.spareDelayNs = static_cast<Tick>(
+                parseLong(arg.substr(17), "spare delay") *
+                ticksPerUs);
+        } else if (startsWith(arg, "--gpus=")) {
+            std::string list = arg.substr(7);
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string entry = list.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                opts.gpuSms.push_back(static_cast<int>(
+                    parseLong(entry, "gpu SM count")));
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
         } else {
             std::fprintf(stderr, "flepclusterd: unknown option '%s'\n",
                          arg.c_str());
@@ -240,9 +275,31 @@ parseArgs(int argc, char **argv)
         }
     }
     if (opts.devices < 1 || opts.jobs < 1 || opts.capacity < 1 ||
-        opts.repeats < 1 || opts.load <= 0.0) {
+        opts.repeats < 1 || opts.load <= 0.0 || opts.spares < 0) {
         std::fprintf(stderr, "flepclusterd: bad parameters\n");
         std::exit(2);
+    }
+    if (!opts.gpuSms.empty()) {
+        const std::size_t devices =
+            static_cast<std::size_t>(opts.devices);
+        const std::size_t fleet =
+            devices + static_cast<std::size_t>(opts.spares);
+        if (opts.gpuSms.size() != devices &&
+            opts.gpuSms.size() != fleet) {
+            std::fprintf(stderr,
+                         "flepclusterd: --gpus wants %zu entries "
+                         "(devices) or %zu (devices+spares), got %zu\n",
+                         devices, fleet, opts.gpuSms.size());
+            std::exit(2);
+        }
+        for (int sms : opts.gpuSms) {
+            if (sms < 1) {
+                std::fprintf(stderr,
+                             "flepclusterd: --gpus SM counts must be "
+                             ">= 1\n");
+                std::exit(2);
+            }
+        }
     }
     for (const FaultEvent &ev : opts.scriptedFaults) {
         if (ev.device < 0 || ev.device >= opts.devices) {
@@ -306,6 +363,13 @@ runTool(const Options &opts)
     ClusterConfig cfg;
     cfg.gpu = gpu;
     cfg.devices = opts.devices;
+    cfg.spareDevices = opts.spares;
+    cfg.spareActivationDelayNs = opts.spareDelayNs;
+    for (int sms : opts.gpuSms) {
+        GpuConfig dev = gpu;
+        dev.numSms = sms;
+        cfg.deviceGpus.push_back(dev);
+    }
     cfg.placement = opts.placement;
     cfg.prediction = opts.prediction;
     cfg.deviceScheduler = opts.deviceScheduler;
@@ -340,9 +404,37 @@ runTool(const Options &opts)
                                           : a.device < b.device;
               });
 
-    std::printf("cluster: %d x %d-SM GPU, %s placement, %s "
+    /** Hardware model of fleet device `d` (primaries then spares). */
+    const auto gpuAt = [&cfg](int d) -> const GpuConfig & {
+        const auto idx = static_cast<std::size_t>(d);
+        return idx < cfg.deviceGpus.size() ? cfg.deviceGpus[idx]
+                                           : cfg.gpu;
+    };
+    const int fleet = cfg.devices + cfg.spareDevices;
+    std::string fleet_desc;
+    bool hetero = false;
+    for (int d = 0; d < fleet; ++d)
+        hetero = hetero || gpuAt(d).numSms != cfg.gpu.numSms;
+    if (hetero) {
+        for (int d = 0; d < fleet; ++d) {
+            if (!fleet_desc.empty())
+                fleet_desc += ",";
+            fleet_desc += std::to_string(gpuAt(d).numSms);
+        }
+        fleet_desc = format("%d GPUs (%s SMs)", fleet,
+                            fleet_desc.c_str());
+    } else {
+        fleet_desc =
+            format("%d x %d-SM GPU", fleet, cfg.gpu.numSms);
+    }
+    std::printf("cluster: %s%s, %s placement, %s "
                 "prediction, %s, load %.2f, %zu jobs, seed %llu\n",
-                cfg.devices, cfg.gpu.numSms,
+                fleet_desc.c_str(),
+                cfg.spareDevices > 0
+                    ? format(" (%d warm spare%s)", cfg.spareDevices,
+                             cfg.spareDevices == 1 ? "" : "s")
+                          .c_str()
+                    : "",
                 placementKindName(cfg.placement),
                 predictionSourceName(cfg.prediction),
                 schedulerKindName(cfg.deviceScheduler), opts.load,
@@ -351,13 +443,22 @@ runTool(const Options &opts)
 
     const ClusterResult res = runCluster(suite, artifacts, cfg);
 
-    // Per-device timeline: jobs in placement order.
-    for (int d = 0; d < cfg.devices; ++d) {
+    // Per-device timeline: jobs in placement order (primaries first,
+    // then warm spares).
+    for (int d = 0; d < fleet; ++d) {
         const DeviceMacroStats &ms =
             res.deviceMacroStats[static_cast<size_t>(d)];
-        std::printf("\ndevice %d  (util %.3f, %ld preemptions, "
-                    "%ld jobs, macro hit %.3f over %llu windows)\n",
-                    d, res.deviceUtilization[static_cast<size_t>(d)],
+        const bool spare = d >= cfg.devices;
+        const bool used =
+            res.deviceJobCounts[static_cast<size_t>(d)] > 0;
+        std::printf("\ndevice %d  (%d SMs%s, util %.3f, "
+                    "%ld preemptions, %ld jobs, macro hit %.3f over "
+                    "%llu windows)\n",
+                    d, gpuAt(d).numSms,
+                    spare ? (used ? ", spare: activated"
+                                  : ", spare: cold")
+                          : "",
+                    res.deviceUtilization[static_cast<size_t>(d)],
                     res.devicePreemptions[static_cast<size_t>(d)],
                     res.deviceJobCounts[static_cast<size_t>(d)],
                     ms.hitRate,
@@ -438,6 +539,24 @@ runTool(const Options &opts)
                     m.permanentFailures);
         std::printf("lost work %.1f us, goodput fraction %.3f\n",
                     ticksToUs(m.lostWorkNs), m.goodputFraction);
+        if (cfg.spareDevices > 0) {
+            std::printf("spares: %ld of %d activated, %ld jobs "
+                        "absorbed, mean activation latency %.1f us\n",
+                        m.sparesActivated, cfg.spareDevices,
+                        m.jobsAbsorbedBySpares,
+                        m.meanSpareActivationLatencyUs);
+        }
+        bool any_rate = false;
+        for (double rate : m.deviceFaultRatePerSec)
+            any_rate = any_rate || rate > 0.0;
+        if (any_rate) {
+            std::printf("decayed fault rates (events/s):");
+            for (std::size_t d = 0;
+                 d < m.deviceFaultRatePerSec.size(); ++d)
+                std::printf(" dev%zu %.2f", d,
+                            m.deviceFaultRatePerSec[d]);
+            std::printf("\n");
+        }
     }
     return 0;
 }
